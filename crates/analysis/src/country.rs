@@ -1,0 +1,104 @@
+//! Per-country coverage (Figure 3): for each country, the fraction of
+//! its APNIC-estimated Internet population that lives in ASes where
+//! cache probing found client activity.
+
+use std::collections::HashMap;
+
+use clientmap_datasets::AsView;
+use clientmap_geo::CountryCode;
+use clientmap_world::World;
+
+/// One country's coverage point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountryCoverage {
+    /// The country.
+    pub country: CountryCode,
+    /// APNIC-estimated users in the country (sum over published ASes).
+    pub apnic_users: f64,
+    /// Fraction of those users in ASes the technique detected.
+    pub fraction_seen: f64,
+}
+
+/// Computes Figure 3's points. AS→country comes from registration data
+/// (public RIR files), which the world's AS table stands in for.
+pub fn country_coverage(
+    world: &World,
+    apnic: &AsView,
+    technique: &AsView,
+) -> Vec<CountryCoverage> {
+    let mut users: HashMap<CountryCode, f64> = HashMap::new();
+    let mut seen: HashMap<CountryCode, f64> = HashMap::new();
+    for (asn, est) in &apnic.volume {
+        let Some(as_id) = world.as_id(*asn) else {
+            continue;
+        };
+        let country = world.ases[as_id].country;
+        *users.entry(country).or_insert(0.0) += est;
+        if technique.contains(*asn) {
+            *seen.entry(country).or_insert(0.0) += est;
+        }
+    }
+    let mut out: Vec<CountryCoverage> = users
+        .into_iter()
+        .map(|(country, apnic_users)| CountryCoverage {
+            country,
+            apnic_users,
+            fraction_seen: seen.get(&country).copied().unwrap_or(0.0) / apnic_users.max(1e-12),
+        })
+        .collect();
+    out.sort_by(|a, b| b.apnic_users.total_cmp(&a.apnic_users));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_net::Asn;
+    use clientmap_world::{World, WorldConfig};
+
+    #[test]
+    fn coverage_fractions_in_range_and_weighted() {
+        let world = World::generate(WorldConfig::tiny(121));
+        // APNIC view from ground truth (all user ASes).
+        let apnic = AsView::from_volumes(
+            world
+                .ases
+                .iter()
+                .filter(|a| a.users > 0.0)
+                .map(|a| (a.asn, a.users)),
+        );
+        // A technique that saw every *large* AS only.
+        let technique = AsView::from_set(
+            world
+                .ases
+                .iter()
+                .filter(|a| a.users > 1000.0)
+                .map(|a| a.asn),
+        );
+        let cov = country_coverage(&world, &apnic, &technique);
+        assert!(!cov.is_empty());
+        for c in &cov {
+            assert!((0.0..=1.0).contains(&c.fraction_seen), "{c:?}");
+            assert!(c.apnic_users > 0.0);
+        }
+        // Sorted by population, descending.
+        for w in cov.windows(2) {
+            assert!(w[0].apnic_users >= w[1].apnic_users);
+        }
+        // Volume-weighted coverage must beat AS-count coverage (large
+        // ASes dominate user counts).
+        let weighted: f64 = cov.iter().map(|c| c.fraction_seen * c.apnic_users).sum::<f64>()
+            / cov.iter().map(|c| c.apnic_users).sum::<f64>();
+        let by_as = technique.len() as f64 / apnic.len() as f64;
+        assert!(weighted > by_as, "weighted {weighted} vs by-AS {by_as}");
+    }
+
+    #[test]
+    fn unknown_ases_skipped() {
+        let world = World::generate(WorldConfig::tiny(122));
+        let apnic = AsView::from_volumes([(Asn(999_999_999), 1.0e6)]);
+        let technique = AsView::from_set([Asn(999_999_999)]);
+        let cov = country_coverage(&world, &apnic, &technique);
+        assert!(cov.is_empty(), "AS without registration data must be dropped");
+    }
+}

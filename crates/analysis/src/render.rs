@@ -1,0 +1,146 @@
+//! Plain-text table rendering for reports and the `repro` harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a header row.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len().max(r.len()), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(c.chars().count());
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = c
+                    .chars()
+                    .all(|ch| ch.is_ascii_digit() || ".,%KM-+()".contains(ch))
+                    && c.chars().any(|ch| ch.is_ascii_digit());
+                if numeric {
+                    let _ = write!(out, "{}{}", " ".repeat(pad), c);
+                } else {
+                    let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats a count with K/M suffixes the way the paper's tables do
+/// (e.g. `9712.2K`).
+pub fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1.0e6)
+    } else if n >= 10_000 {
+        format!("{:.1}K", n as f64 / 1.0e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "count"]);
+        t.row(["alpha", "5"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned in their column.
+        assert!(lines[2].ends_with("    5"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn count_formatting_matches_paper_style() {
+        assert_eq!(fmt_count(9_712_200), "9712.2K");
+        assert_eq!(fmt_count(692_200), "692.2K");
+        assert_eq!(fmt_count(36_989), "37.0K");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(15_527_909), "15.5M");
+        assert_eq!(fmt_pct(95.24), "95.2%");
+    }
+}

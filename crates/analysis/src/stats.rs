@@ -1,0 +1,120 @@
+//! Small statistics utilities: ECDFs and percentiles.
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(f64::total_cmp);
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|v| *v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// The sorted samples (for plotting/printing a CDF series).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF at evenly spaced fractions, returning
+    /// `(value, cumulative_fraction)` pairs — the series papers plot.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+                (self.sorted[idx.min(self.sorted.len() - 1)], q)
+            })
+            .collect()
+    }
+}
+
+/// Percent helper with guarded division.
+pub fn pct(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        100.0 * num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, f64::NAN, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_leq(0.5), 0.0);
+        assert_eq!(e.fraction_leq(2.0), 0.5);
+        assert_eq!(e.fraction_leq(10.0), 1.0);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+        // Nearest-rank rounding: (n−1)·q = 1.5 rounds to index 2.
+        assert_eq!(e.quantile(0.5), Some(3.0));
+        assert_eq!(e.quantile(0.25), Some(2.0));
+    }
+
+    #[test]
+    fn ecdf_empty() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_leq(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.series(5).is_empty());
+    }
+
+    #[test]
+    fn series_monotone() {
+        let e = Ecdf::new((0..100).map(f64::from).collect());
+        let s = e.series(10);
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn pct_guards() {
+        assert_eq!(pct(1.0, 0.0), 0.0);
+        assert_eq!(pct(1.0, 4.0), 25.0);
+    }
+}

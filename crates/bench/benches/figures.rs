@@ -1,0 +1,64 @@
+//! One bench per paper figure: regenerating each figure's data series.
+
+use clientmap_analysis::{
+    country_coverage, fraction_active_cdf, pop_density, relative_volume_cdf,
+    relative_volume_differences, service_radius_cdfs,
+};
+use clientmap_bench::tiny_run;
+use clientmap_datasets::DatasetId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let out = tiny_run();
+
+    c.bench_function("fig1_pop_density", |b| {
+        b.iter(|| black_box(pop_density(&out.cache_probe).len()))
+    });
+
+    c.bench_function("fig2_service_radius", |b| {
+        b.iter(|| {
+            let cdfs = service_radius_cdfs(&out.cache_probe);
+            black_box(cdfs.len())
+        })
+    });
+
+    c.bench_function("fig3_country_coverage", |b| {
+        b.iter(|| {
+            let cov = country_coverage(
+                out.sim.world(),
+                &out.bundle.apnic,
+                &out.bundle.cache_probing_as,
+            );
+            black_box(cov.len())
+        })
+    });
+
+    c.bench_function("fig4_fraction_active", |b| {
+        b.iter(|| {
+            let (points, lower, upper) =
+                fraction_active_cdf(&out.cache_probe, &out.sim.world().rib);
+            black_box((points.len(), lower.len(), upper.len()))
+        })
+    });
+
+    c.bench_function("fig6_relative_volume", |b| {
+        b.iter(|| {
+            let cdf = relative_volume_cdf(&out.bundle.as_view(DatasetId::DnsLogs));
+            black_box(cdf.len())
+        })
+    });
+
+    c.bench_function("fig7_volume_differences", |b| {
+        b.iter(|| {
+            let d = relative_volume_differences(
+                &out.bundle.as_view(DatasetId::MicrosoftResolvers),
+                &out.bundle.as_view(DatasetId::Apnic),
+            );
+            black_box(d.len())
+        })
+    });
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

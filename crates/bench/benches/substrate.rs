@@ -1,0 +1,94 @@
+//! Substrate microbenches: the hot paths every probe goes through.
+
+use clientmap_dns::{wire, CacheKey, EcsCache, Message, Question, Record, RrType};
+use clientmap_net::{Asn, Prefix, PrefixSet, PrefixTrie, Rib};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn deterministic_prefixes(n: usize) -> Vec<Prefix> {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|_| {
+            state = clientmap_net::splitmix64(state);
+            let len = 16 + (state % 9) as u8; // 16..=24
+            Prefix::new((state >> 16) as u32, len).expect("valid length")
+        })
+        .collect()
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    // Wire codec: the exact packet shape a probe sends.
+    let probe = Message::query(0x1234, Question::a("www.google.com").unwrap())
+        .with_recursion_desired(false)
+        .with_ecs("203.0.113.0/24".parse().unwrap());
+    let encoded = wire::encode(&probe).unwrap();
+
+    c.bench_function("wire_encode_probe", |b| {
+        b.iter(|| black_box(wire::encode(black_box(&probe)).unwrap().len()))
+    });
+
+    c.bench_function("wire_decode_probe", |b| {
+        b.iter(|| black_box(wire::decode(black_box(&encoded)).unwrap()))
+    });
+
+    // Trie LPM over a realistic table.
+    let prefixes = deterministic_prefixes(100_000);
+    let mut trie = PrefixTrie::new();
+    for (i, p) in prefixes.iter().enumerate() {
+        trie.insert(*p, i as u32);
+    }
+    c.bench_function("trie_lpm_100k", |b| {
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x01010101);
+            black_box(trie.longest_match_addr(black_box(addr)))
+        })
+    });
+
+    // RIB origin lookups.
+    let mut rib = Rib::new();
+    for (i, p) in prefixes.iter().enumerate() {
+        rib.announce(*p, Asn(i as u32 % 5000));
+    }
+    c.bench_function("rib_origin_100k", |b| {
+        let mut addr = 7u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x00010101);
+            black_box(rib.origin_of_addr(black_box(addr)))
+        })
+    });
+
+    // PrefixSet: the Table 1 workhorse.
+    let set_a = PrefixSet::from_prefixes(prefixes.iter().take(50_000).copied());
+    let set_b = PrefixSet::from_prefixes(prefixes.iter().skip(25_000).take(50_000).copied());
+    c.bench_function("prefixset_intersection_50k", |b| {
+        b.iter(|| black_box(set_a.intersection_slash24s(black_box(&set_b))))
+    });
+
+    // ECS cache insert + lookup.
+    c.bench_function("ecs_cache_insert_lookup", |b| {
+        let key = CacheKey::new("www.google.com".parse().unwrap(), RrType::A);
+        let rec = Record::a("www.google.com".parse().unwrap(), 300, 1);
+        b.iter_batched(
+            || EcsCache::new(4096),
+            |mut cache| {
+                for i in 0u32..256 {
+                    let scope = Prefix::new(i << 20, 16).unwrap();
+                    cache.insert(key.clone(), scope, vec![rec.clone()], 300, 0);
+                }
+                let mut hits = 0;
+                for i in 0u32..256 {
+                    let q = Prefix::new((i << 20) | 0x100, 24).unwrap();
+                    if cache.lookup(&key, q, 100).is_hit() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(substrate, bench_substrate);
+criterion_main!(substrate);

@@ -1,0 +1,68 @@
+//! One bench group per paper table: each measures regenerating that
+//! table's numbers from a cached pipeline run (`repro` prints them).
+
+use clientmap_analysis::overlap::{as_matrix, prefix_matrix, volume_matrix};
+use clientmap_analysis::{domain_overlap, scope_stability_table};
+use clientmap_bench::tiny_run;
+use clientmap_datasets::DatasetId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PREFIX_IDS: [DatasetId; 5] = [
+    DatasetId::CacheProbing,
+    DatasetId::DnsLogs,
+    DatasetId::Union,
+    DatasetId::MicrosoftClients,
+    DatasetId::MicrosoftResolvers,
+];
+
+const AS_IDS: [DatasetId; 6] = [
+    DatasetId::CacheProbing,
+    DatasetId::DnsLogs,
+    DatasetId::Union,
+    DatasetId::Apnic,
+    DatasetId::MicrosoftClients,
+    DatasetId::MicrosoftResolvers,
+];
+
+fn bench_tables(c: &mut Criterion) {
+    let out = tiny_run();
+
+    c.bench_function("table1_prefix_overlap", |b| {
+        b.iter(|| {
+            let m = prefix_matrix(black_box(&out.bundle), &PREFIX_IDS);
+            black_box(m.cells.len())
+        })
+    });
+
+    c.bench_function("table2_scope_stability", |b| {
+        b.iter(|| {
+            let rows = scope_stability_table(black_box(&out.cache_probe));
+            black_box(rows.len())
+        })
+    });
+
+    c.bench_function("table3_as_overlap", |b| {
+        b.iter(|| {
+            let m = as_matrix(black_box(&out.bundle), &AS_IDS);
+            black_box(m.cells.len())
+        })
+    });
+
+    c.bench_function("table4_volume_coverage", |b| {
+        b.iter(|| {
+            let m = volume_matrix(black_box(&out.bundle), &AS_IDS, &AS_IDS);
+            black_box(m.pct.len())
+        })
+    });
+
+    c.bench_function("table5_per_domain", |b| {
+        b.iter(|| {
+            let d = domain_overlap(black_box(&out.cache_probe), &out.sim.world().rib);
+            black_box(d.domains.len())
+        })
+    });
+}
+
+criterion_group!(tables, bench_tables);
+criterion_main!(tables);

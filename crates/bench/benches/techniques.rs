@@ -1,0 +1,77 @@
+//! End-to-end technique benches: the measurement pipelines themselves.
+
+use clientmap_cacheprobe::{run_technique, ProbeConfig};
+use clientmap_chromium::{collisions, crawl, ChromiumClassifier};
+use clientmap_net::Prefix;
+use clientmap_sim::{Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_techniques(c: &mut Criterion) {
+    // World + sim construction.
+    c.bench_function("world_generate_tiny", |b| {
+        b.iter(|| {
+            let w = World::generate(WorldConfig::tiny(1));
+            black_box(w.slash24s.len())
+        })
+    });
+
+    c.bench_function("sim_build_tiny", |b| {
+        let world = World::generate(WorldConfig::tiny(2));
+        b.iter_batched(
+            || World::generate(WorldConfig::tiny(2)),
+            |w| black_box(Sim::new(w)),
+            criterion::BatchSize::LargeInput,
+        );
+        black_box(world.slash24s.len());
+    });
+
+    // Cache probing end-to-end (short window).
+    c.bench_function("cacheprobe_run_tiny", |b| {
+        b.iter_batched(
+            || {
+                let world = World::generate(WorldConfig::tiny(3));
+                let universe: Vec<Prefix> = world.blocks.iter().map(|bl| bl.prefix).collect();
+                (Sim::new(world), universe)
+            },
+            |(mut sim, universe)| {
+                let mut cfg = ProbeConfig::test_scale();
+                cfg.duration_hours = 0.5;
+                cfg.calibration_sample = 100;
+                black_box(run_technique(&mut sim, &cfg, &universe).probes_sent)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // DNS logs: capture + crawl.
+    c.bench_function("chromium_crawl_tiny", |b| {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(4)));
+        let traces = sim.capture_root_traces(SimTime::ZERO, 2, 0.005);
+        b.iter(|| {
+            let r = crawl(black_box(&traces), &ChromiumClassifier::default());
+            black_box(r.resolvers.len())
+        })
+    });
+
+    // The §3.2 collision simulation.
+    c.bench_function("chromium_collision_sim", |b| {
+        b.iter(|| black_box(collisions::simulate_max_multiplicity(200_000, 5)))
+    });
+
+    c.bench_function("chromium_collision_analytic", |b| {
+        b.iter(|| black_box(collisions::expected_max_multiplicity(1.0e9, 0.99)))
+    });
+}
+
+criterion_group! {
+    name = techniques;
+    // End-to-end runs are seconds each: keep sampling light.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(20))
+        .warm_up_time(std::time::Duration::from_secs(2));
+    targets = bench_techniques
+}
+criterion_main!(techniques);

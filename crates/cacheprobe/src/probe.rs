@@ -1,0 +1,435 @@
+//! The probing loop (§3.1.1, "probing details") and the end-to-end
+//! technique runner.
+//!
+//! Probing is embarrassingly parallel across PoPs — each bound vantage
+//! point is an independent VM with its own connection state — so the
+//! runner fans the per-PoP streams out over threads (crossbeam scoped),
+//! sharing the immutable simulation core. Results merge in PoP order,
+//! keeping the whole run deterministic.
+
+use std::collections::HashMap;
+
+use clientmap_dns::{wire, DomainName, Message, Question};
+use clientmap_net::Prefix;
+use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
+
+use crate::calibrate::{calibrate, sample_prefixes};
+use crate::results::CacheProbeResult;
+use crate::scopescan::scan;
+use crate::vantage::{discover, BoundVantage};
+use crate::ProbeConfig;
+
+/// Sends `cfg.redundancy` identical non-recursive ECS queries for
+/// ⟨PoP, prefix, domain⟩ (covering multiple cache pools) and returns
+/// the best outcome. Hit > HitScopeZero > Miss > Dropped.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_scope_with(
+    view: &SimView<'_>,
+    session: &mut GpdnsSession,
+    bound: &BoundVantage,
+    domain: &DomainName,
+    scope: Prefix,
+    cfg: &ProbeConfig,
+    t: SimTime,
+) -> ProbeOutcome {
+    let q = Message::query(
+        (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16,
+        Question {
+            name: domain.clone(),
+            rtype: clientmap_dns::RrType::A,
+            class: clientmap_dns::RrClass::In,
+        },
+    )
+    .with_recursion_desired(false)
+    .with_ecs(scope);
+    let Ok(packet) = wire::encode(&q) else {
+        return ProbeOutcome::Dropped;
+    };
+    let mut best = ProbeOutcome::Dropped;
+    for r in 0..cfg.redundancy {
+        let rt = t + SimTime::from_millis(u64::from(r));
+        let resp = view.gpdns_query(
+            session,
+            bound.prober_key(),
+            bound.coord(),
+            &packet,
+            cfg.transport,
+            rt,
+        );
+        let outcome = clientmap_sim::GooglePublicDns::classify_response(resp.as_deref());
+        best = match (&best, &outcome) {
+            (_, ProbeOutcome::Hit { .. }) => return outcome,
+            (ProbeOutcome::Dropped, _) => outcome,
+            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
+            _ => best,
+        };
+    }
+    best
+}
+
+/// Convenience wrapper over [`probe_scope_with`] driving the [`Sim`]'s
+/// built-in session (single-threaded callers: examples, ablations).
+/// Rate-limiter state persists across calls, as it must for UDP
+/// throttling to be observable.
+pub fn probe_scope(
+    sim: &mut Sim,
+    bound: &BoundVantage,
+    domain: &DomainName,
+    scope: Prefix,
+    cfg: &ProbeConfig,
+    t: SimTime,
+) -> ProbeOutcome {
+    let q = Message::query(
+        (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16,
+        Question {
+            name: domain.clone(),
+            rtype: clientmap_dns::RrType::A,
+            class: clientmap_dns::RrClass::In,
+        },
+    )
+    .with_recursion_desired(false)
+    .with_ecs(scope);
+    let Ok(packet) = wire::encode(&q) else {
+        return ProbeOutcome::Dropped;
+    };
+    let mut best = ProbeOutcome::Dropped;
+    for r in 0..cfg.redundancy {
+        let rt = t + SimTime::from_millis(u64::from(r));
+        let resp = sim.gpdns_query(bound.prober_key(), bound.coord(), &packet, cfg.transport, rt);
+        let outcome = clientmap_sim::GooglePublicDns::classify_response(resp.as_deref());
+        best = match (&best, &outcome) {
+            (_, ProbeOutcome::Hit { .. }) => return outcome,
+            (ProbeOutcome::Dropped, _) => outcome,
+            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
+            _ => best,
+        };
+    }
+    best
+}
+
+/// Selects the probing domains: the `num_alexa_domains` most popular
+/// ECS+TTL-qualified catalog domains, plus the Microsoft validation
+/// domain if configured.
+pub fn select_domains(sim: &Sim, cfg: &ProbeConfig) -> Vec<DomainName> {
+    let catalog = &sim.world().domains;
+    let mut domains: Vec<DomainName> = catalog
+        .top_probeable(cfg.num_alexa_domains)
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    if cfg.include_microsoft_domain {
+        let ms = catalog.microsoft_cdn().name.clone();
+        if !domains.contains(&ms) {
+            domains.push(ms);
+        }
+    }
+    domains
+}
+
+/// What one PoP's worker produced.
+struct PopTally {
+    pop: PopId,
+    /// (domain, query scope, response scope, remaining TTL) per hit.
+    hits: Vec<(usize, Prefix, Prefix, u32)>,
+    /// (domain, query scope) → (attempts, hits) for activity ranking.
+    counts: HashMap<(usize, Prefix), (u64, u64)>,
+    probes_sent: u64,
+    scope0_hits: u64,
+    drops: u64,
+    session: GpdnsSession,
+}
+
+/// Probes every assigned scope at one PoP for the whole window.
+fn probe_pop(
+    view: &SimView<'_>,
+    bound: &BoundVantage,
+    domains: &[DomainName],
+    per_domain: &[Vec<Prefix>],
+    cfg: &ProbeConfig,
+    t0: SimTime,
+) -> PopTally {
+    let mut tally = PopTally {
+        pop: bound.pop,
+        hits: Vec::new(),
+        counts: HashMap::new(),
+        probes_sent: 0,
+        scope0_hits: 0,
+        drops: 0,
+        session: GpdnsSession::new(),
+    };
+    let window_secs = cfg.duration_hours * 3600.0;
+    let slot_secs = 1.0 / cfg.rate_per_domain;
+    let total_slots = (window_secs * cfg.rate_per_domain) as u64;
+
+    // The five per-domain probe streams run concurrently on the VM and
+    // share one TCP connection's pacing, so their queries must reach the
+    // PoP in true time order (the rate limiter is stateful). An event
+    // queue k-way merges the streams: one pending event per stream,
+    // re-armed with the stream's next slot after each probe.
+    struct Slot {
+        domain: usize,
+        index: usize,
+        pass: u64,
+        loops: u64,
+    }
+    let mut queue: clientmap_sim::EventQueue<Slot> = clientmap_sim::EventQueue::new();
+    for (d, scopes) in per_domain.iter().enumerate() {
+        if scopes.is_empty() {
+            continue;
+        }
+        // The paper's 120 h at 50/s over ~2.4M prefixes ≈ 9 passes.
+        let loops = (total_slots / scopes.len() as u64).clamp(1, 9);
+        queue.push(
+            t0,
+            Slot {
+                domain: d,
+                index: 0,
+                pass: 0,
+                loops,
+            },
+        );
+    }
+    while let Some((t, slot)) = queue.pop() {
+        let scopes = &per_domain[slot.domain];
+        let scope = scopes[slot.index];
+        tally.probes_sent += u64::from(cfg.redundancy);
+        let count = tally.counts.entry((slot.domain, scope)).or_insert((0, 0));
+        count.0 += 1;
+        match probe_scope_with(
+            view,
+            &mut tally.session,
+            bound,
+            &domains[slot.domain],
+            scope,
+            cfg,
+            t,
+        ) {
+            ProbeOutcome::Hit {
+                scope: resp_scope,
+                remaining_ttl,
+            } => {
+                count.1 += 1;
+                tally.hits.push((slot.domain, scope, resp_scope, remaining_ttl));
+            }
+            ProbeOutcome::HitScopeZero => tally.scope0_hits += 1,
+            ProbeOutcome::Miss => {}
+            ProbeOutcome::Dropped => tally.drops += 1,
+        }
+        // Arm the stream's next slot.
+        let (next_index, next_pass) = if slot.index + 1 < scopes.len() {
+            (slot.index + 1, slot.pass)
+        } else {
+            (0, slot.pass + 1)
+        };
+        if next_pass < slot.loops {
+            let offset_secs =
+                (next_pass as f64 * scopes.len() as f64 + next_index as f64) * slot_secs;
+            if offset_secs < window_secs {
+                queue.push(
+                    t0 + SimTime::from_secs_f64(offset_secs),
+                    Slot {
+                        domain: slot.domain,
+                        index: next_index,
+                        pass: next_pass,
+                        loops: slot.loops,
+                    },
+                );
+            }
+        }
+    }
+    tally
+}
+
+/// Runs the full cache-probing technique.
+///
+/// `universe` is the public probe universe (RIR allocations /
+/// Routeviews blocks). Returns everything downstream analysis needs.
+pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> CacheProbeResult {
+    let seed = sim.world().config.seed;
+
+    // 1. Vantage discovery (optionally capped for ablations).
+    let mut bound = discover(sim, SimTime::ZERO);
+    if let Some(cap) = cfg.max_pops {
+        bound.truncate(cap);
+    }
+
+    // 2. Domain selection + authoritative scope pre-scan.
+    let domains = select_domains(sim, cfg);
+    let scan_result = scan(sim, &domains, universe, SimTime::ZERO);
+
+    // 3. Service-radius calibration (start a few hours in, so caches
+    //    reflect steady-state client activity).
+    let sample = sample_prefixes(
+        sim,
+        universe,
+        cfg.calibration_sample,
+        cfg.calibration_max_error_km,
+        seed ^ 0xCA11,
+    );
+    let t_cal = SimTime::from_hours(6);
+    let radii = calibrate(sim, &bound, &domains, &sample, cfg, t_cal);
+
+    // 4. Scope → PoP assignment by service radius (MaxMind location +
+    //    error radius possibly within the radius).
+    let pops = clientmap_sim::pop_catalog();
+    let mut assigned: HashMap<PopId, Vec<(usize, Prefix)>> = HashMap::new();
+    for (d, plan) in scan_result.domains.iter().enumerate() {
+        for scope in &plan.scopes {
+            let geo = {
+                let geodb = &sim.world().geodb;
+                geodb
+                    .lookup(*scope)
+                    .or_else(|| geodb.lookup_addr(scope.addr()))
+                    .map(|e| (e.coord, e.error_radius_km))
+            };
+            let Some((coord, err_km)) = geo else { continue };
+            for b in &bound {
+                let radius = radii.radius(b.pop, cfg.fallback_radius_km);
+                if coord.distance_km(&pops[b.pop].coord) <= radius + err_km {
+                    assigned.entry(b.pop).or_default().push((d, *scope));
+                }
+            }
+        }
+    }
+
+    // 5. The probing loops, one worker per PoP over the shared core.
+    let t0 = SimTime::from_hours(8);
+    let mut result = CacheProbeResult::new(domains.clone(), bound.clone(), radii, scan_result);
+    let view = sim.view();
+    let mut tallies: Vec<PopTally> = Vec::with_capacity(bound.len());
+    crossbeam::thread::scope(|scope_| {
+        let mut handles = Vec::with_capacity(bound.len());
+        for b in &bound {
+            let list = assigned.get(&b.pop).cloned().unwrap_or_default();
+            let mut per_domain: Vec<Vec<Prefix>> = vec![Vec::new(); domains.len()];
+            for (d, scope) in &list {
+                per_domain[*d].push(*scope);
+            }
+            result.assigned_per_pop.insert(b.pop, list.len());
+            let domains = &domains;
+            let cfg_ref = cfg;
+            let view_ref = &view;
+            handles.push(scope_.spawn(move |_| {
+                probe_pop(view_ref, b, domains, &per_domain, cfg_ref, t0)
+            }));
+        }
+        for h in handles {
+            tallies.push(h.join().expect("probe worker panicked"));
+        }
+    })
+    .expect("probe scope");
+    let _ = &view;
+
+    // Merge in PoP order for determinism.
+    tallies.sort_by_key(|t| t.pop);
+    for tally in tallies {
+        result.probes_sent += tally.probes_sent;
+        result.scope0_hits += tally.scope0_hits;
+        result.drops += tally.drops;
+        for (d, query_scope, resp_scope, remaining) in tally.hits {
+            result.record_hit(d, tally.pop, query_scope, resp_scope, remaining);
+        }
+        for ((d, scope), (attempts, hits)) in tally.counts {
+            let c = result.probe_counts.entry((d, scope)).or_default();
+            c.attempts += attempts;
+            c.hits += hits;
+        }
+        sim.absorb_session(&tally.session);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_world::{World, WorldConfig};
+
+    fn run_tiny(seed: u64) -> (Sim, CacheProbeResult) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        let mut sim = Sim::new(world);
+        let mut cfg = ProbeConfig::test_scale();
+        cfg.duration_hours = 2.0; // ≈ one pass over each list
+        cfg.calibration_sample = 250;
+        let result = run_technique(&mut sim, &cfg, &universe);
+        (sim, result)
+    }
+
+    /// One shared end-to-end run — the expensive part of this module's
+    /// tests — reused by every read-only assertion below.
+    fn shared_run() -> &'static (Sim, CacheProbeResult) {
+        static RUN: std::sync::OnceLock<(Sim, CacheProbeResult)> = std::sync::OnceLock::new();
+        RUN.get_or_init(|| run_tiny(101))
+    }
+
+    #[test]
+    fn technique_end_to_end_detects_activity() {
+        let (sim, result) = shared_run();
+        assert!(result.probes_sent > 0);
+        let active = result.active_set();
+        assert!(
+            active.num_slash24s() > 0,
+            "no active prefixes found ({} probes)",
+            result.probes_sent
+        );
+        // Active space is a subset of the (routed) universe and every
+        // detected /24 belongs to a prefix with real activity nearby —
+        // precision is checked properly in the analysis crate.
+        assert!(active.num_slash24s() <= sim.world().routed_slash24s() * 2);
+    }
+
+    #[test]
+    fn probing_selects_paper_domains() {
+        let world = World::generate(WorldConfig::tiny(102));
+        let sim = Sim::new(world);
+        let domains = select_domains(&sim, &ProbeConfig::default());
+        let names: Vec<String> = domains.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "www.google.com",
+                "www.youtube.com",
+                "facebook.com",
+                "www.wikipedia.org",
+                "cdn.msvalidation.example",
+            ]
+        );
+    }
+
+    #[test]
+    fn hits_record_scope_pairs_for_table2() {
+        let (_, result) = shared_run();
+        let total: u64 = result.scope_pairs.values().sum();
+        assert!(total > 0, "no scope pairs recorded");
+        // Most response scopes equal the query scope (Table 2: ~90%).
+        let exact: u64 = result
+            .scope_pairs
+            .iter()
+            .filter(|((_, q, r), _)| q == r)
+            .map(|(_, c)| *c)
+            .sum();
+        let frac = exact as f64 / total as f64;
+        assert!(frac > 0.75, "exact-scope fraction {frac}");
+    }
+
+    #[test]
+    fn per_pop_density_populated() {
+        let (_, result) = shared_run();
+        let with_hits = result
+            .pop_hit_prefixes
+            .values()
+            .filter(|s| s.num_slash24s() > 0)
+            .count();
+        assert!(with_hits >= 2, "only {with_hits} PoPs saw hits");
+    }
+
+    #[test]
+    fn deterministic_run_even_across_thread_interleavings() {
+        let (_, a) = run_tiny(105);
+        let (_, b) = run_tiny(105);
+        assert_eq!(a.probes_sent, b.probes_sent);
+        assert_eq!(a.active_set().num_slash24s(), b.active_set().num_slash24s());
+        assert_eq!(a.scope0_hits, b.scope0_hits);
+        assert_eq!(a.hits.len(), b.hits.len());
+    }
+}

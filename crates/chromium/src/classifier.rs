@@ -1,0 +1,145 @@
+//! The two-part Chromium probe signature.
+
+use clientmap_dns::DomainName;
+use clientmap_sim::roots::TraceRecord;
+
+/// Classifies root-trace queries as Chromium interception probes.
+///
+/// ```
+/// use clientmap_chromium::ChromiumClassifier;
+/// let c = ChromiumClassifier::default();
+/// assert!(c.matches_shape(&"sdhfjssf".parse().unwrap()));
+/// assert!(!c.matches_shape(&"columbia.edu".parse().unwrap())); // has a TLD
+/// assert!(!c.matches_shape(&"abc".parse().unwrap())); // too short
+/// assert!(!c.matches_shape(&"ab3defgh".parse().unwrap())); // digit
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ChromiumClassifier {
+    /// Minimum label length (Chromium uses 7).
+    pub min_len: usize,
+    /// Maximum label length (Chromium uses 15).
+    pub max_len: usize,
+    /// A shape-matching name repeated at least this many times in any
+    /// single day is rejected as noise (paper: 7/day at 99% confidence).
+    pub daily_collision_threshold: u32,
+}
+
+impl Default for ChromiumClassifier {
+    fn default() -> Self {
+        ChromiumClassifier {
+            min_len: 7,
+            max_len: 15,
+            daily_collision_threshold: 7,
+        }
+    }
+}
+
+impl ChromiumClassifier {
+    /// Whether a name has the Chromium probe *shape*: one label of
+    /// `min_len..=max_len` lowercase ASCII letters.
+    pub fn matches_shape(&self, name: &DomainName) -> bool {
+        if !name.is_single_label() {
+            return false;
+        }
+        let label = name.first_label().expect("single label");
+        (self.min_len..=self.max_len).contains(&label.len()) && label.is_all_lowercase_alpha()
+    }
+
+    /// The rarity threshold applied to **raw** counts of a capture
+    /// sampled at `sample_rate`.
+    ///
+    /// On a complete trace (`rate = 1`) this is the paper's 7/day. On a
+    /// sampled trace, a name with true daily count `T` appears ≈ `T·r`
+    /// times, so the scaled cutoff is `⌈7·r⌉` — floored at 2 because a
+    /// single sampled occurrence is indistinguishable from a genuinely
+    /// unique label. (The floor can admit noise names whose true count
+    /// is below `2/r`; that residue is what the threshold's 99%
+    /// confidence already budgets for.)
+    pub fn effective_threshold(&self, sample_rate: f64) -> u32 {
+        let rate = sample_rate.clamp(f64::MIN_POSITIVE, 1.0);
+        if rate >= 1.0 {
+            self.daily_collision_threshold
+        } else {
+            ((f64::from(self.daily_collision_threshold) * rate).ceil() as u32).max(2)
+        }
+    }
+
+    /// Whether a record's own counts stay below the (sample-adjusted)
+    /// threshold every day. Note the full technique applies the
+    /// threshold to **global** per-name counts across all roots (see
+    /// [`crate::crawl`]); this per-record check is a building block.
+    pub fn below_collision_threshold(&self, record: &TraceRecord, sample_rate: f64) -> bool {
+        let threshold = self.effective_threshold(sample_rate);
+        record.count_by_day.iter().all(|c| *c < threshold)
+    }
+
+    /// Full classification of one aggregated record in isolation.
+    pub fn is_chromium_probe(&self, record: &TraceRecord, sample_rate: f64) -> bool {
+        self.matches_shape(&record.qname) && self.below_collision_threshold(record, sample_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, counts: &[u32]) -> TraceRecord {
+        TraceRecord {
+            resolver_addr: 0x01020304,
+            qname: name.parse().unwrap(),
+            count_by_day: counts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn shape_boundaries() {
+        let c = ChromiumClassifier::default();
+        assert!(c.matches_shape(&"abcdefg".parse().unwrap())); // 7
+        assert!(c.matches_shape(&"abcdefghijklmno".parse().unwrap())); // 15
+        assert!(!c.matches_shape(&"abcdef".parse().unwrap())); // 6
+        assert!(!c.matches_shape(&"abcdefghijklmnop".parse().unwrap())); // 16
+        assert!(!c.matches_shape(&"abc-defg".parse().unwrap())); // hyphen
+    }
+
+    #[test]
+    fn uppercase_is_normalised_by_dns_semantics() {
+        // The previous assertion in shape_boundaries is subtle: spell it out.
+        let c = ChromiumClassifier::default();
+        let n: DomainName = "QWERTYU".parse().unwrap();
+        assert!(c.matches_shape(&n), "names are compared case-insensitively");
+    }
+
+    #[test]
+    fn collision_threshold_per_day_not_total() {
+        let c = ChromiumClassifier::default();
+        // 6+6 over two days: fine (each day below 7).
+        assert!(c.below_collision_threshold(&record("abcdefgh", &[6, 6]), 1.0));
+        // 7 on one day: rejected.
+        assert!(!c.below_collision_threshold(&record("abcdefgh", &[7, 0]), 1.0));
+        assert!(!c.below_collision_threshold(&record("abcdefgh", &[0, 7]), 1.0));
+    }
+
+    #[test]
+    fn sampling_scales_the_threshold() {
+        let c = ChromiumClassifier::default();
+        assert_eq!(c.effective_threshold(1.0), 7);
+        // Heavily sampled captures floor at 2: one occurrence stays a
+        // probe, repeats are noise.
+        assert_eq!(c.effective_threshold(0.01), 2);
+        assert!(c.below_collision_threshold(&record("abcdefgh", &[1]), 0.01));
+        assert!(!c.below_collision_threshold(&record("abcdefgh", &[2]), 0.01));
+        // Mild sampling scales proportionally: 7 × 0.5 → 4.
+        assert_eq!(c.effective_threshold(0.5), 4);
+    }
+
+    #[test]
+    fn full_classification() {
+        let c = ChromiumClassifier::default();
+        assert!(c.is_chromium_probe(&record("qwertyuasdf", &[1, 0]), 1.0));
+        // Junk names that match the shape but repeat heavily.
+        assert!(!c.is_chromium_probe(&record("localdomain", &[500, 480]), 1.0));
+        assert!(!c.is_chromium_probe(&record("wwwgooglecom", &[120, 130]), 1.0));
+        // Wrong shape entirely.
+        assert!(!c.is_chromium_probe(&record("a.root-servers.example", &[1]), 1.0));
+    }
+}

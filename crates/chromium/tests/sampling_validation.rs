@@ -1,0 +1,99 @@
+//! Validates the DITL sampling correction: on a world small enough to
+//! capture *complete* root traces (sample rate 1.0, like the paper's
+//! actual DITL inputs), a heavily sampled capture crawled with the
+//! rate-corrected classifier must reproduce (a) the same noise
+//! rejection and (b) per-resolver totals within statistical tolerance.
+
+use clientmap_chromium::{crawl, ChromiumClassifier};
+use clientmap_sim::{Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+
+/// A micro world where a full (unsampled) two-day capture is tractable.
+fn micro_world(seed: u64) -> World {
+    let mut cfg = WorldConfig::tiny(seed);
+    cfg.total_users = 5.0e4;
+    cfg.num_ases = 60;
+    cfg.target_routed_slash24s = 1_500;
+    World::generate(cfg)
+}
+
+#[test]
+fn sampled_crawl_estimates_full_crawl() {
+    let sim = Sim::new(micro_world(171));
+    let classifier = ChromiumClassifier::default();
+
+    let full_traces = sim.capture_root_traces(SimTime::ZERO, 2, 1.0);
+    let full = crawl(&full_traces, &classifier);
+    assert!(
+        full.total_probes() > 10_000.0,
+        "full capture too small to compare: {}",
+        full.total_probes()
+    );
+
+    let sampled_traces = sim.capture_root_traces(SimTime::ZERO, 2, 0.05);
+    let sampled = crawl(&sampled_traces, &classifier);
+
+    // (a) Totals: the corrected estimate matches the full count within
+    // sampling noise (5% of N probes → relative error ~ 1/√(0.05·N)).
+    let ratio = sampled.total_probes() / full.total_probes();
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "sampling correction off: full {} vs corrected {} (ratio {ratio:.3})",
+        full.total_probes(),
+        sampled.total_probes()
+    );
+
+    // (b) Noise: the junk names rejected in the full capture are also
+    // rejected when sampled (the floor-at-2 threshold holds).
+    assert!(full.rejected_noise_records > 0);
+    assert!(
+        sampled.rejected_noise_records > 0,
+        "sampled crawl let all noise through"
+    );
+
+    // (c) Resolver ranking: the busiest resolvers of the full crawl
+    // dominate the sampled crawl too (top-5 sets mostly overlap).
+    let top = |r: &clientmap_chromium::DnsLogsResult| -> Vec<u32> {
+        r.resolvers.iter().take(5).map(|x| x.resolver_addr).collect()
+    };
+    let full_top = top(&full);
+    let sampled_top = top(&sampled);
+    let overlap = full_top.iter().filter(|a| sampled_top.contains(a)).count();
+    assert!(
+        overlap >= 3,
+        "top resolvers diverge: full {full_top:?} vs sampled {sampled_top:?}"
+    );
+
+    // (d) Per-resolver estimates for the big resolvers are unbiased
+    // within tolerance.
+    let mut checked = 0;
+    for r in full.resolvers.iter().take(10) {
+        if r.probes < 2_000.0 {
+            continue;
+        }
+        let est = sampled.probes_for(r.resolver_addr);
+        let rel = (est - r.probes).abs() / r.probes;
+        assert!(
+            rel < 0.35,
+            "resolver {:#x}: full {} vs corrected {est}",
+            r.resolver_addr,
+            r.probes
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "no large resolvers to validate against");
+}
+
+#[test]
+fn full_capture_needs_no_correction() {
+    // At rate 1.0 the effective threshold is the paper's 7/day and the
+    // counts are exact: crawling twice is identical.
+    let sim = Sim::new(micro_world(172));
+    let traces = sim.capture_root_traces(SimTime::ZERO, 2, 1.0);
+    let classifier = ChromiumClassifier::default();
+    assert_eq!(classifier.effective_threshold(1.0), 7);
+    let a = crawl(&traces, &classifier);
+    let b = crawl(&traces, &classifier);
+    assert_eq!(a.resolvers.len(), b.resolvers.len());
+    assert_eq!(a.total_probes(), b.total_probes());
+}

@@ -1,0 +1,27 @@
+//! # clientmap-core
+//!
+//! The end-to-end pipeline of *Towards Identifying Networks with
+//! Internet Clients Using Public Data* (IMC '21): generate a synthetic
+//! Internet, run both measurement techniques against its simulated
+//! services, extract the comparison datasets, and produce every table
+//! and figure of the paper's evaluation.
+//!
+//! ```no_run
+//! use clientmap_core::{Pipeline, PipelineConfig};
+//!
+//! let out = Pipeline::run(PipelineConfig::tiny(42));
+//! println!("{}", out.report().render_all());
+//! ```
+//!
+//! The crate deliberately keeps a thin surface: [`PipelineConfig`]
+//! (all dials), [`Pipeline::run`] (the orchestration), and
+//! [`PipelineOutput`]/[`Report`] (results + rendering). Each stage is
+//! individually usable through the underlying crates.
+
+#![warn(missing_docs)]
+
+mod pipeline;
+mod report;
+
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+pub use report::Report;

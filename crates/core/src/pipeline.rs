@@ -1,0 +1,246 @@
+//! Pipeline orchestration.
+
+use clientmap_cacheprobe::{run_technique, CacheProbeResult, ProbeConfig};
+use clientmap_chromium::{crawl, ChromiumClassifier, DnsLogsResult};
+use clientmap_datasets::{ApnicConfig, ApnicDataset, DatasetBundle};
+use clientmap_net::Prefix;
+use clientmap_sim::cdn::CdnLogs;
+use clientmap_sim::{Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+
+use crate::Report;
+
+/// All configuration of an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The synthetic world.
+    pub world: WorldConfig,
+    /// Cache probing.
+    pub probe: ProbeConfig,
+    /// The Chromium classifier.
+    pub classifier: ChromiumClassifier,
+    /// The APNIC-style campaign.
+    pub apnic: ApnicConfig,
+    /// DITL capture length, days (paper: 2).
+    pub root_trace_days: u32,
+    /// DITL capture sampling rate (1.0 = complete traces).
+    pub root_trace_sample_rate: f64,
+    /// CDN/TM log window, hours (paper compares "a full day").
+    pub cdn_window_hours: u64,
+}
+
+impl PipelineConfig {
+    /// Tiny run for unit tests (seconds).
+    pub fn tiny(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::tiny(seed),
+            probe: {
+                let mut p = ProbeConfig::test_scale();
+                p.duration_hours = 2.0;
+                p.calibration_sample = 250;
+                p
+            },
+            classifier: ChromiumClassifier::default(),
+            apnic: ApnicConfig::default(),
+            root_trace_days: 2,
+            root_trace_sample_rate: 0.005,
+            cdn_window_hours: 24,
+        }
+    }
+
+    /// Small run for integration tests and quick benches (tens of
+    /// seconds).
+    pub fn small(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::small(seed),
+            probe: {
+                let mut p = ProbeConfig::test_scale();
+                p.duration_hours = 4.0;
+                p.calibration_sample = 2_000;
+                p
+            },
+            root_trace_sample_rate: 0.001,
+            ..PipelineConfig::tiny(seed)
+        }
+    }
+
+    /// The full evaluation scale used by the `repro` harness.
+    pub fn paper_scale(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::paper_scale(seed),
+            probe: ProbeConfig::default(),
+            root_trace_sample_rate: 5.0e-4,
+            ..PipelineConfig::tiny(seed)
+        }
+    }
+}
+
+/// Everything an end-to-end run produces.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The simulation (world + services), for further queries.
+    pub sim: Sim,
+    /// Cache-probing output.
+    pub cache_probe: CacheProbeResult,
+    /// DNS-logs output.
+    pub dns_logs: DnsLogsResult,
+    /// Microsoft-side logs.
+    pub cdn_logs: CdnLogs,
+    /// APNIC estimates.
+    pub apnic: ApnicDataset,
+    /// The comparable dataset bundle.
+    pub bundle: DatasetBundle,
+    /// The configuration that produced this output.
+    pub config: PipelineConfig,
+}
+
+impl PipelineOutput {
+    /// A report renderer over this output.
+    pub fn report(&self) -> Report<'_> {
+        Report::new(self)
+    }
+}
+
+/// The pipeline entry point.
+#[derive(Debug)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Runs everything: world → sim → techniques → datasets.
+    pub fn run(config: PipelineConfig) -> PipelineOutput {
+        let world = World::generate(config.world.clone());
+        // The probe universe: public allocation data (RIR files stand-in).
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        let mut sim = Sim::new(world);
+
+        // Technique 1: cache probing.
+        let cache_probe = run_technique(&mut sim, &config.probe, &universe);
+
+        // Technique 2: DNS logs over a DITL capture.
+        let traces = sim.capture_root_traces(
+            SimTime::ZERO,
+            config.root_trace_days,
+            config.root_trace_sample_rate,
+        );
+        let dns_logs = crawl(&traces, &config.classifier);
+
+        // Validation datasets.
+        let cdn_logs =
+            sim.collect_cdn_logs(SimTime::ZERO, SimTime::from_hours(config.cdn_window_hours));
+        let apnic = ApnicDataset::estimate(sim.world(), &config.apnic);
+
+        let bundle = DatasetBundle::build(
+            &cache_probe,
+            &dns_logs,
+            &cdn_logs,
+            &apnic,
+            &sim.world().rib,
+        );
+
+        PipelineOutput {
+            cache_probe,
+            dns_logs,
+            cdn_logs,
+            apnic,
+            bundle,
+            config,
+            sim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_datasets::DatasetId;
+
+    /// One shared tiny end-to-end run for all assertions below.
+    fn output() -> &'static PipelineOutput {
+        static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
+        OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(7)))
+    }
+
+    #[test]
+    fn all_stages_produce_data() {
+        let o = output();
+        assert!(o.cache_probe.probes_sent > 0);
+        assert!(o.cache_probe.active_set().num_slash24s() > 0);
+        assert!(!o.dns_logs.resolvers.is_empty());
+        assert!(o.cdn_logs.total_requests() > 0);
+        assert!(!o.apnic.is_empty());
+    }
+
+    #[test]
+    fn bundle_consistent_with_parts() {
+        let o = output();
+        assert_eq!(
+            o.bundle.cache_probing.num_slash24s(),
+            o.cache_probe.active_set().num_slash24s()
+        );
+        assert_eq!(o.bundle.apnic.len(), o.apnic.len());
+        assert_eq!(
+            o.bundle.ms_clients.num_slash24s() as usize,
+            o.cdn_logs.clients.len()
+        );
+    }
+
+    #[test]
+    fn paper_shape_microsoft_sees_most_ases() {
+        let o = output();
+        // Table 3's key structure: the CDN has the broadest AS view;
+        // APNIC the narrowest of the major datasets.
+        let ms = o.bundle.as_view(DatasetId::MicrosoftClients).len();
+        let apnic = o.bundle.as_view(DatasetId::Apnic).len();
+        let union = o.bundle.as_view(DatasetId::Union).len();
+        assert!(ms > apnic, "CDN {ms} vs APNIC {apnic}");
+        assert!(union > apnic, "union {union} vs APNIC {apnic}");
+    }
+
+    #[test]
+    fn techniques_beat_apnic_on_volume_coverage() {
+        let o = output();
+        use clientmap_analysis::overlap::volume_matrix;
+        let ids = [
+            DatasetId::Union,
+            DatasetId::Apnic,
+            DatasetId::MicrosoftClients,
+        ];
+        let m = volume_matrix(&o.bundle, &[DatasetId::MicrosoftClients], &ids);
+        let in_union = m
+            .cell(DatasetId::MicrosoftClients, DatasetId::Union)
+            .unwrap();
+        let in_apnic = m
+            .cell(DatasetId::MicrosoftClients, DatasetId::Apnic)
+            .unwrap();
+        // Paper: 98.8% vs 92%.
+        assert!(
+            in_union > in_apnic,
+            "union {in_union:.1}% vs APNIC {in_apnic:.1}%"
+        );
+        assert!(in_union > 70.0, "union coverage too low: {in_union:.1}%");
+    }
+
+    #[test]
+    fn report_renders_everything() {
+        let o = output();
+        let all = o.report().render_all();
+        for needle in [
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "cache probing",
+            "Microsoft clients",
+        ] {
+            assert!(all.contains(needle), "report missing {needle:?}");
+        }
+    }
+}

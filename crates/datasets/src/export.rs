@@ -1,0 +1,135 @@
+//! Plain-text (CSV) export of the shareable datasets.
+//!
+//! The paper commits to sharing its measurement data ("we are happy to
+//! share our data (except proprietary data we use for validation)").
+//! These writers produce exactly that split: the technique outputs
+//! export cleanly; the Microsoft-derived views exist only inside the
+//! validation layer and deliberately have no exporter here.
+
+use std::fmt::Write as _;
+
+use clientmap_net::Rib;
+
+use crate::{ApnicDataset, AsView, PrefixView};
+
+/// Exports a prefix view as `prefix,volume` rows (volume empty for
+/// set-only datasets like cache probing).
+pub fn prefix_view_csv(view: &PrefixView) -> String {
+    let mut out = String::from("prefix,volume\n");
+    let mut rows: Vec<(clientmap_net::Prefix, Option<f64>)> = view
+        .set
+        .prefixes()
+        .iter()
+        .map(|p| (*p, view.volume.get(p).copied()))
+        .collect();
+    rows.sort_by_key(|(p, _)| *p);
+    for (p, v) in rows {
+        match v {
+            Some(v) => {
+                let _ = writeln!(out, "{p},{v}");
+            }
+            None => {
+                let _ = writeln!(out, "{p},");
+            }
+        }
+    }
+    out
+}
+
+/// Exports an AS view as `asn,volume` rows.
+pub fn as_view_csv(view: &AsView) -> String {
+    let mut out = String::from("asn,volume\n");
+    let mut rows: Vec<(u32, f64)> = view.volume.iter().map(|(a, v)| (a.0, *v)).collect();
+    rows.sort_unstable_by_key(|(a, _)| *a);
+    for (a, v) in rows {
+        let _ = writeln!(out, "AS{a},{v}");
+    }
+    out
+}
+
+/// Exports the APNIC-style estimates as `asn,estimated_users`.
+pub fn apnic_csv(apnic: &ApnicDataset) -> String {
+    let mut out = String::from("asn,estimated_users\n");
+    let mut rows: Vec<(u32, f64)> = apnic.estimates.iter().map(|(a, v)| (a.0, *v)).collect();
+    rows.sort_unstable_by_key(|(a, _)| *a);
+    for (a, v) in rows {
+        let _ = writeln!(out, "AS{a},{v:.0}");
+    }
+    out
+}
+
+/// Exports a prefix view joined with its origin ASes:
+/// `prefix,asn,volume`.
+pub fn prefix_view_with_origins_csv(view: &PrefixView, rib: &Rib) -> String {
+    let mut out = String::from("prefix,asn,volume\n");
+    let mut prefixes = view.set.prefixes();
+    prefixes.sort();
+    for p in prefixes {
+        let origin = rib
+            .origin_of_prefix(p)
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        let volume = view
+            .volume
+            .get(&p)
+            .map(|v| v.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(out, "{p},{origin},{volume}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_net::{Asn, Prefix, PrefixSet};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn prefix_csv_round_shape() {
+        let v = PrefixView::from_volumes([(p("10.1.2.0/24"), 5.0), (p("9.0.0.0/24"), 2.0)]);
+        let csv = prefix_view_csv(&v);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "prefix,volume");
+        assert_eq!(lines[1], "9.0.0.0/24,2");
+        assert_eq!(lines[2], "10.1.2.0/24,5");
+    }
+
+    #[test]
+    fn set_only_prefixes_have_empty_volume() {
+        let v = PrefixView::from_set(PrefixSet::from_prefixes([p("10.1.0.0/16")]));
+        let csv = prefix_view_csv(&v);
+        assert!(csv.contains("10.1.0.0/16,\n"), "{csv}");
+    }
+
+    #[test]
+    fn as_csv_sorted() {
+        let v = AsView::from_volumes([(Asn(300), 1.0), (Asn(2), 9.5)]);
+        let csv = as_view_csv(&v);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "AS2,9.5");
+        assert_eq!(lines[2], "AS300,1");
+    }
+
+    #[test]
+    fn apnic_csv_format() {
+        let a = ApnicDataset {
+            estimates: [(Asn(7), 1234.6)].into_iter().collect(),
+        };
+        assert_eq!(apnic_csv(&a), "asn,estimated_users\nAS7,1235\n");
+    }
+
+    #[test]
+    fn origins_join() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.0.0/16"), Asn(55));
+        let v = PrefixView::from_volumes([(p("10.1.2.0/24"), 3.0), (p("8.8.8.0/24"), 1.0)]);
+        let csv = prefix_view_with_origins_csv(&v, &rib);
+        assert!(csv.contains("10.1.2.0/24,AS55,3"), "{csv}");
+        assert!(csv.contains("8.8.8.0/24,,1"), "unrouted keeps empty ASN: {csv}");
+    }
+
+}

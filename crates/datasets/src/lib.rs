@@ -1,0 +1,28 @@
+//! # clientmap-datasets
+//!
+//! Turns raw technique outputs and service logs into the five (plus
+//! union) **comparable datasets** of the paper's §4:
+//!
+//! | dataset | source | granularity | volume measure |
+//! |---|---|---|---|
+//! | cache probing | `clientmap-cacheprobe` | /24 (via scopes) | none |
+//! | DNS logs | `clientmap-chromium` | resolver /24 | Chromium probes |
+//! | APNIC | simulated ad campaign | AS | estimated users |
+//! | Microsoft clients | CDN access log | /24 | HTTP requests |
+//! | Microsoft resolvers | CDN resolver join | resolver /24 | client IPs |
+//! | cloud ECS prefixes | Traffic Manager log | /24 | DNS queries |
+//!
+//! Every dataset exposes an [`AsView`] (AS set + per-AS volume) and,
+//! where meaningful, a [`PrefixView`] (/24 set + per-/24 volume), which
+//! is all `clientmap-analysis` needs to rebuild Tables 1, 3 and 4.
+
+#![warn(missing_docs)]
+
+mod apnic;
+mod bundle;
+pub mod export;
+mod views;
+
+pub use apnic::{ApnicConfig, ApnicDataset};
+pub use bundle::{DatasetBundle, DatasetId};
+pub use views::{AsView, PrefixView};

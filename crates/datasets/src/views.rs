@@ -1,0 +1,254 @@
+//! The two comparable dataset views: by AS and by /24 prefix.
+
+use std::collections::{HashMap, HashSet};
+
+use clientmap_net::{Asn, Prefix, PrefixSet, Rib};
+
+/// An AS-granularity view: which ASes a dataset observed, with an
+/// optional per-AS activity volume (Tables 3 & 4).
+#[derive(Debug, Clone, Default)]
+pub struct AsView {
+    /// Per-AS volume. ASes observed without a volume measure carry 0.
+    pub volume: HashMap<Asn, f64>,
+}
+
+impl AsView {
+    /// Builds a view from an iterator of (AS, volume).
+    pub fn from_volumes<I: IntoIterator<Item = (Asn, f64)>>(iter: I) -> Self {
+        let mut volume = HashMap::new();
+        for (asn, v) in iter {
+            *volume.entry(asn).or_insert(0.0) += v;
+        }
+        AsView { volume }
+    }
+
+    /// Builds a set-only view (no volumes).
+    pub fn from_set<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        AsView {
+            volume: iter.into_iter().map(|a| (a, 0.0)).collect(),
+        }
+    }
+
+    /// The AS set.
+    pub fn set(&self) -> HashSet<Asn> {
+        self.volume.keys().copied().collect()
+    }
+
+    /// Number of ASes observed.
+    pub fn len(&self) -> usize {
+        self.volume.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.volume.is_empty()
+    }
+
+    /// Whether an AS was observed.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.volume.contains_key(&asn)
+    }
+
+    /// Total volume.
+    pub fn total_volume(&self) -> f64 {
+        self.volume.values().sum()
+    }
+
+    /// Volume carried by ASes that `other` also observed — the Table 4
+    /// "percent of row volume in column ASes" numerator.
+    pub fn volume_in(&self, other: &AsView) -> f64 {
+        self.volume
+            .iter()
+            .filter(|(a, _)| other.contains(**a))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Set union with another view (volumes summed).
+    pub fn union(&self, other: &AsView) -> AsView {
+        let mut volume = self.volume.clone();
+        for (a, v) in &other.volume {
+            *volume.entry(*a).or_insert(0.0) += v;
+        }
+        AsView { volume }
+    }
+
+    /// Intersection size (Table 3 cells).
+    pub fn intersection_len(&self, other: &AsView) -> usize {
+        self.volume.keys().filter(|a| other.contains(**a)).count()
+    }
+
+    /// Relative volume of an AS (share of the dataset total), for the
+    /// Figure 6/7 comparisons.
+    pub fn relative_volume(&self, asn: Asn) -> f64 {
+        let total = self.total_volume();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.volume.get(&asn).copied().unwrap_or(0.0) / total
+    }
+}
+
+/// A /24-granularity view (Table 1).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixView {
+    /// The covered space (normalised to /24 units).
+    pub set: PrefixSet,
+    /// Optional per-/24 volume for datasets that have one.
+    pub volume: HashMap<Prefix, f64>,
+}
+
+impl PrefixView {
+    /// Builds from per-/24 volumes.
+    pub fn from_volumes<I: IntoIterator<Item = (Prefix, f64)>>(iter: I) -> Self {
+        let mut volume = HashMap::new();
+        let mut set = PrefixSet::new();
+        for (p, v) in iter {
+            let p24 = if p.len() > 24 {
+                p.supernet(24).expect("<=24")
+            } else {
+                p
+            };
+            set.insert(p24);
+            *volume.entry(p24).or_insert(0.0) += v;
+        }
+        PrefixView { set, volume }
+    }
+
+    /// Builds a set-only view from arbitrary prefixes.
+    pub fn from_set(set: PrefixSet) -> Self {
+        PrefixView {
+            set,
+            volume: HashMap::new(),
+        }
+    }
+
+    /// /24 count.
+    pub fn num_slash24s(&self) -> u64 {
+        self.set.num_slash24s()
+    }
+
+    /// Intersection /24 count with another view (Table 1 cells).
+    pub fn intersection_slash24s(&self, other: &PrefixView) -> u64 {
+        self.set.intersection_slash24s(&other.set)
+    }
+
+    /// Total volume.
+    pub fn total_volume(&self) -> f64 {
+        self.volume.values().sum()
+    }
+
+    /// Volume of this dataset inside another dataset's space — e.g.
+    /// "prefixes identified as active are responsible for 95.2% of
+    /// Microsoft clients volume" uses
+    /// `ms_clients.volume_in(&cache_probing)`.
+    pub fn volume_in(&self, other: &PrefixView) -> f64 {
+        self.volume
+            .iter()
+            .filter(|(p, _)| other.set.contains_slash24(**p))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Union with another view.
+    pub fn union(&self, other: &PrefixView) -> PrefixView {
+        let mut volume = self.volume.clone();
+        for (p, v) in &other.volume {
+            *volume.entry(*p).or_insert(0.0) += v;
+        }
+        PrefixView {
+            set: self.set.union(&other.set),
+            volume,
+        }
+    }
+
+    /// The AS-level projection of this view through a RIB: per-AS
+    /// volume (or /24 counts when the dataset has no volume measure).
+    pub fn to_as_view(&self, rib: &Rib) -> AsView {
+        let mut volume: HashMap<Asn, f64> = HashMap::new();
+        if self.volume.is_empty() {
+            // Set-only dataset: count /24s per AS as a stand-in volume
+            // of 0 (set membership only).
+            for p in self.set.prefixes() {
+                for asn in rib.origins_within(p) {
+                    volume.entry(asn).or_insert(0.0);
+                }
+            }
+        } else {
+            for (p, v) in &self.volume {
+                if let Some(asn) = rib.origin_of_prefix(*p) {
+                    *volume.entry(asn).or_insert(0.0) += v;
+                }
+            }
+        }
+        AsView { volume }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn as_view_basics() {
+        let a = AsView::from_volumes([(Asn(1), 10.0), (Asn(2), 30.0), (Asn(1), 5.0)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_volume(), 45.0);
+        assert_eq!(a.relative_volume(Asn(2)), 30.0 / 45.0);
+        assert_eq!(a.relative_volume(Asn(9)), 0.0);
+        let b = AsView::from_set([Asn(2), Asn(3)]);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.volume_in(&b), 30.0);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn prefix_view_normalises_and_counts() {
+        let v = PrefixView::from_volumes([
+            (p("10.1.2.0/24"), 5.0),
+            (p("10.1.2.128/25"), 3.0), // same /24 after normalisation
+            (p("10.9.0.0/24"), 2.0),
+        ]);
+        assert_eq!(v.num_slash24s(), 2);
+        assert_eq!(v.volume[&p("10.1.2.0/24")], 8.0);
+        assert_eq!(v.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn prefix_volume_in() {
+        let clients = PrefixView::from_volumes([
+            (p("10.1.2.0/24"), 90.0),
+            (p("10.9.0.0/24"), 10.0),
+        ]);
+        let probing = PrefixView::from_set(PrefixSet::from_prefixes([p("10.1.0.0/16")]));
+        assert_eq!(clients.volume_in(&probing), 90.0);
+        assert_eq!(clients.intersection_slash24s(&probing), 1);
+    }
+
+    #[test]
+    fn as_projection() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.0.0/16"), Asn(100));
+        rib.announce(p("10.9.0.0/24"), Asn(200));
+        let v = PrefixView::from_volumes([
+            (p("10.1.2.0/24"), 90.0),
+            (p("10.1.3.0/24"), 10.0),
+            (p("10.9.0.0/24"), 7.0),
+            (p("8.8.8.0/24"), 3.0), // unrouted → dropped
+        ]);
+        let a = v.to_as_view(&rib);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.volume[&Asn(100)], 100.0);
+        assert_eq!(a.volume[&Asn(200)], 7.0);
+        // Set-only projection keeps AS membership without volume.
+        let s = PrefixView::from_set(PrefixSet::from_prefixes([p("10.1.0.0/16")]));
+        let sa = s.to_as_view(&rib);
+        assert!(sa.contains(Asn(100)));
+        assert_eq!(sa.total_volume(), 0.0);
+    }
+}

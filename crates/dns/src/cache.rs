@@ -1,0 +1,476 @@
+//! An ECS-scoped DNS cache with TTL expiry and bounded capacity.
+//!
+//! Models how an ECS-aware recursive resolver (Google Public DNS) keeps
+//! **separate cache entries per client-subnet scope** for each
+//! `⟨name, type⟩` (RFC 7871 §7.3.1). This is the observable state the
+//! paper's cache-probing technique snoops: a non-recursive query with a
+//! crafted ECS prefix gets an answer iff some entry's scope contains
+//! that prefix and has not expired.
+//!
+//! Time is caller-supplied simulated milliseconds; the cache performs
+//! lazy expiry on lookup plus earliest-expiry eviction when the capacity
+//! bound is hit.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use clientmap_net::{Prefix, PrefixTrie};
+
+use crate::{DomainName, Record, RrType};
+
+/// Cache index: one scoped entry family per name and type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Owner name.
+    pub name: DomainName,
+    /// Record type.
+    pub rtype: RrType,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    pub fn new(name: DomainName, rtype: RrType) -> Self {
+        CacheKey { name, rtype }
+    }
+}
+
+/// One cached, scoped answer.
+#[derive(Debug, Clone)]
+pub struct EcsCacheEntry {
+    /// The answer records, with their original TTLs.
+    pub records: Vec<Record>,
+    /// The ECS scope the entry is valid for (`/0` = whole Internet).
+    pub scope: Prefix,
+    /// Absolute expiry, ms.
+    pub expires_ms: u64,
+    /// Insertion time, ms (lets callers compute entry age).
+    pub inserted_ms: u64,
+}
+
+impl EcsCacheEntry {
+    /// Remaining TTL in whole seconds at `now_ms` (0 if expired).
+    pub fn remaining_ttl_secs(&self, now_ms: u64) -> u32 {
+        (self.expires_ms.saturating_sub(now_ms) / 1000) as u32
+    }
+}
+
+/// The result of a cache lookup.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// A live entry whose scope contains the queried prefix.
+    Hit(EcsCacheEntry),
+    /// No live entry covers the queried prefix.
+    Miss,
+}
+
+impl CacheLookup {
+    /// Whether this is a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheLookup::Hit(_))
+    }
+}
+
+/// Running counters, exposed for tests and the simulator's metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live covering entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries removed by the capacity bound.
+    pub evictions: u64,
+    /// Entries removed because they had expired.
+    pub expirations: u64,
+}
+
+/// Scoped entries for one `⟨name, type⟩`.
+#[derive(Debug, Default)]
+struct ScopedEntries {
+    /// Entries keyed by scope prefix. Scope `/0` lives here too (the
+    /// trie supports the default route).
+    by_scope: PrefixTrie<EcsCacheEntry>,
+}
+
+/// Heap item for earliest-expiry eviction (lazy deletion).
+#[derive(Debug, PartialEq, Eq)]
+struct ExpirySlot {
+    expires_ms: u64,
+    key: CacheKey,
+    scope: Prefix,
+}
+
+impl Ord for ExpirySlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest expiry first.
+        other
+            .expires_ms
+            .cmp(&self.expires_ms)
+            .then_with(|| other.scope.cmp(&self.scope))
+    }
+}
+
+impl PartialOrd for ExpirySlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An ECS-scoped DNS cache.
+///
+/// ```
+/// use clientmap_dns::{CacheKey, EcsCache, Record, RrType};
+/// use clientmap_net::Prefix;
+///
+/// let mut cache = EcsCache::new(1024);
+/// let key = CacheKey::new("www.google.com".parse().unwrap(), RrType::A);
+/// let scope: Prefix = "203.0.113.0/24".parse().unwrap();
+/// let rec = Record::a("www.google.com".parse().unwrap(), 300, 0x01020304);
+/// cache.insert(key.clone(), scope, vec![rec], 300, 0);
+///
+/// // A /24 query inside the scope hits…
+/// assert!(cache.lookup(&key, scope, 10_000).is_hit());
+/// // …a different /24 misses…
+/// assert!(!cache.lookup(&key, "203.0.114.0/24".parse().unwrap(), 10_000).is_hit());
+/// // …and after the TTL everything is gone.
+/// assert!(!cache.lookup(&key, scope, 301_000).is_hit());
+/// ```
+#[derive(Debug)]
+pub struct EcsCache {
+    map: HashMap<CacheKey, ScopedEntries>,
+    expiry: BinaryHeap<ExpirySlot>,
+    /// Live entry count (≤ capacity after every insert).
+    len: usize,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl EcsCache {
+    /// Creates a cache bounded to `capacity` scoped entries.
+    pub fn new(capacity: usize) -> Self {
+        EcsCache {
+            map: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            len: 0,
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Live entries currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Inserts an answer valid for `scope`, expiring `ttl_secs` from
+    /// `now_ms`. Replacing an existing `⟨key, scope⟩` entry refreshes it.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        scope: Prefix,
+        records: Vec<Record>,
+        ttl_secs: u32,
+        now_ms: u64,
+    ) {
+        let expires_ms = now_ms + u64::from(ttl_secs) * 1000;
+        let entry = EcsCacheEntry {
+            records,
+            scope,
+            expires_ms,
+            inserted_ms: now_ms,
+        };
+        let scoped = self.map.entry(key.clone()).or_default();
+        if scoped.by_scope.insert(scope, entry).is_none() {
+            self.len += 1;
+        }
+        self.expiry.push(ExpirySlot {
+            expires_ms,
+            key,
+            scope,
+        });
+        self.stats.inserts += 1;
+        self.enforce_capacity(now_ms);
+    }
+
+    /// Looks up an answer for `client` (the ECS source prefix of the
+    /// query): returns the most specific live entry whose scope contains
+    /// `client`. Expired covering entries are removed on the way.
+    pub fn lookup(&mut self, key: &CacheKey, client: Prefix, now_ms: u64) -> CacheLookup {
+        let Some(scoped) = self.map.get_mut(key) else {
+            self.stats.misses += 1;
+            return CacheLookup::Miss;
+        };
+        // Collect covering scopes (most specific last), then walk from the
+        // most specific, discarding expired ones.
+        let covering: Vec<Prefix> = scoped
+            .by_scope
+            .covering(client)
+            .iter()
+            .map(|(p, _)| *p)
+            .collect();
+        for scope in covering.iter().rev() {
+            let live = scoped
+                .by_scope
+                .get(*scope)
+                .map(|e| e.expires_ms > now_ms)
+                .unwrap_or(false);
+            if live {
+                let entry = scoped.by_scope.get(*scope).expect("checked").clone();
+                self.stats.hits += 1;
+                return CacheLookup::Hit(entry);
+            }
+            scoped.by_scope.remove(*scope);
+            self.len -= 1;
+            self.stats.expirations += 1;
+        }
+        if scoped.by_scope.is_empty() {
+            self.map.remove(key);
+        }
+        self.stats.misses += 1;
+        CacheLookup::Miss
+    }
+
+    /// Removes every expired entry (eager sweep; lookups also expire
+    /// lazily). Returns how many were removed.
+    pub fn purge_expired(&mut self, now_ms: u64) -> usize {
+        let mut removed = 0;
+        let keys: Vec<CacheKey> = self.map.keys().cloned().collect();
+        for key in keys {
+            let scoped = self.map.get_mut(&key).expect("key just listed");
+            let dead: Vec<Prefix> = scoped
+                .by_scope
+                .iter()
+                .into_iter()
+                .filter(|(_, e)| e.expires_ms <= now_ms)
+                .map(|(p, _)| p)
+                .collect();
+            for p in dead {
+                scoped.by_scope.remove(p);
+                removed += 1;
+            }
+            if scoped.by_scope.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+        self.len -= removed;
+        self.stats.expirations += removed as u64;
+        removed
+    }
+
+    /// Evicts earliest-expiring entries until within capacity.
+    fn enforce_capacity(&mut self, now_ms: u64) {
+        while self.len > self.capacity {
+            let Some(slot) = self.expiry.pop() else {
+                // Heap exhausted by stale slots: rebuild from live entries.
+                self.rebuild_expiry_heap();
+                continue;
+            };
+            let Some(scoped) = self.map.get_mut(&slot.key) else {
+                continue; // stale slot
+            };
+            // Only evict if the slot still describes the live entry
+            // (same expiry — otherwise the entry was refreshed).
+            let matches = scoped
+                .by_scope
+                .get(slot.scope)
+                .map(|e| e.expires_ms == slot.expires_ms)
+                .unwrap_or(false);
+            if !matches {
+                continue; // stale slot
+            }
+            scoped.by_scope.remove(slot.scope);
+            if scoped.by_scope.is_empty() {
+                self.map.remove(&slot.key);
+            }
+            self.len -= 1;
+            if slot.expires_ms <= now_ms {
+                self.stats.expirations += 1;
+            } else {
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    fn rebuild_expiry_heap(&mut self) {
+        self.expiry = self
+            .map
+            .iter()
+            .flat_map(|(key, scoped)| {
+                scoped
+                    .by_scope
+                    .iter()
+                    .into_iter()
+                    .map(|(scope, e)| ExpirySlot {
+                        expires_ms: e.expires_ms,
+                        key: key.clone(),
+                        scope,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str) -> CacheKey {
+        CacheKey::new(name.parse().unwrap(), RrType::A)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rec(name: &str, ttl: u32) -> Record {
+        Record::a(name.parse().unwrap(), ttl, 0x7F000001)
+    }
+
+    #[test]
+    fn hit_within_scope_and_ttl() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 0);
+        // Any /24 inside the /16 scope hits.
+        assert!(c.lookup(&key("a.example"), p("10.1.7.0/24"), 59_999).is_hit());
+        // Outside the scope: miss.
+        assert!(!c.lookup(&key("a.example"), p("10.2.0.0/24"), 1).is_hit());
+        // Different name: miss.
+        assert!(!c.lookup(&key("b.example"), p("10.1.7.0/24"), 1).is_hit());
+        // Different type: miss.
+        let kt = CacheKey::new("a.example".parse().unwrap(), RrType::Txt);
+        assert!(!c.lookup(&kt, p("10.1.7.0/24"), 1).is_hit());
+    }
+
+    #[test]
+    fn expires_exactly_at_ttl() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 1_000);
+        assert!(c.lookup(&key("a.example"), p("10.1.0.0/24"), 60_999).is_hit());
+        assert!(!c.lookup(&key("a.example"), p("10.1.0.0/24"), 61_000).is_hit());
+        assert_eq!(c.len(), 0, "expired entry must be removed");
+    }
+
+    #[test]
+    fn most_specific_scope_wins() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.0.0.0/8"), vec![rec("a.example", 60)], 60, 0);
+        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 120)], 120, 0);
+        match c.lookup(&key("a.example"), p("10.1.2.0/24"), 10) {
+            CacheLookup::Hit(e) => assert_eq!(e.scope, p("10.1.0.0/16")),
+            CacheLookup::Miss => panic!("expected hit"),
+        }
+        // Prefix outside the /16 but inside the /8 gets the /8 entry.
+        match c.lookup(&key("a.example"), p("10.9.0.0/24"), 10) {
+            CacheLookup::Hit(e) => assert_eq!(e.scope, p("10.0.0.0/8")),
+            CacheLookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn expired_specific_falls_back_to_live_coarse() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.0.0.0/8"), vec![rec("a.example", 600)], 600, 0);
+        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 10)], 10, 0);
+        // After the /16 expires, the /8 still answers.
+        match c.lookup(&key("a.example"), p("10.1.2.0/24"), 20_000) {
+            CacheLookup::Hit(e) => assert_eq!(e.scope, p("10.0.0.0/8")),
+            CacheLookup::Miss => panic!("expected fallback hit"),
+        }
+    }
+
+    #[test]
+    fn scope_zero_answers_everyone() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), Prefix::DEFAULT, vec![rec("a.example", 60)], 60, 0);
+        match c.lookup(&key("a.example"), p("192.0.2.0/24"), 1) {
+            CacheLookup::Hit(e) => assert!(e.scope.is_default()),
+            CacheLookup::Miss => panic!("scope-0 entry must answer any prefix"),
+        }
+    }
+
+    #[test]
+    fn refresh_extends_ttl() {
+        let mut c = EcsCache::new(16);
+        let k = key("a.example");
+        c.insert(k.clone(), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 0);
+        c.insert(k.clone(), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 50_000);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&k, p("10.1.0.0/24"), 100_000).is_hit());
+    }
+
+    #[test]
+    fn capacity_evicts_earliest_expiry() {
+        let mut c = EcsCache::new(2);
+        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
+        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 100)], 100, 0);
+        c.insert(key("c.example"), p("10.3.0.0/24"), vec![rec("c.example", 50)], 50, 0);
+        assert_eq!(c.len(), 2);
+        // The 10s entry (earliest expiry) must be the one evicted.
+        assert!(!c.lookup(&key("a.example"), p("10.1.0.0/24"), 1).is_hit());
+        assert!(c.lookup(&key("b.example"), p("10.2.0.0/24"), 1).is_hit());
+        assert!(c.lookup(&key("c.example"), p("10.3.0.0/24"), 1).is_hit());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refresh_does_not_leave_entry_vulnerable_to_stale_slot() {
+        let mut c = EcsCache::new(2);
+        let k = key("a.example");
+        c.insert(k.clone(), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
+        // Refresh with a later expiry: the old heap slot is now stale.
+        c.insert(k.clone(), p("10.1.0.0/24"), vec![rec("a.example", 1000)], 1000, 0);
+        // Fill to capacity + 1 to force eviction; the refreshed entry's
+        // stale slot must be skipped, evicting by true expiry order.
+        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 20)], 20, 0);
+        c.insert(key("c.example"), p("10.3.0.0/24"), vec![rec("c.example", 30)], 30, 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&k, p("10.1.0.0/24"), 1).is_hit(), "refreshed entry survived");
+        assert!(!c.lookup(&key("b.example"), p("10.2.0.0/24"), 1).is_hit());
+    }
+
+    #[test]
+    fn purge_expired_sweeps() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
+        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 100)], 100, 0);
+        assert_eq!(c.purge_expired(50_000), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.purge_expired(50_000), 0);
+    }
+
+    #[test]
+    fn remaining_ttl_reported() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 60)], 60, 0);
+        match c.lookup(&key("a.example"), p("10.1.0.0/24"), 45_000) {
+            CacheLookup::Hit(e) => {
+                assert_eq!(e.remaining_ttl_secs(45_000), 15);
+                assert_eq!(e.inserted_ms, 0);
+            }
+            CacheLookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut c = EcsCache::new(16);
+        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 60)], 60, 0);
+        let _ = c.lookup(&key("a.example"), p("10.1.0.0/24"), 1);
+        let _ = c.lookup(&key("a.example"), p("10.9.0.0/24"), 1);
+        let s = c.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! EDNS0 (RFC 6891) and the EDNS Client Subnet option (RFC 7871).
+//!
+//! ECS is the mechanism the cache-probing technique rides on: Google
+//! Public DNS accepts a client-supplied ECS prefix and keeps separate
+//! cache entries per scope, so a *non-recursive* query with a crafted
+//! ECS prefix reveals whether anyone in that prefix resolved the domain
+//! recently (paper §3.1).
+
+use clientmap_net::Prefix;
+
+use crate::DnsError;
+
+/// The ECS option code (RFC 7871).
+pub const OPTION_CODE_ECS: u16 = 8;
+/// Address family 1 = IPv4 (RFC 7871 uses the address-family registry).
+pub const ECS_FAMILY_IPV4: u16 = 1;
+
+/// An EDNS Client Subnet option for IPv4.
+///
+/// `source` is the prefix the querier asserts the client is in;
+/// `scope_len` is meaningful in responses: the authoritative's statement
+/// of how wide the answer applies (0 = whole Internet).
+///
+/// ```
+/// use clientmap_dns::EcsOption;
+/// let ecs = EcsOption::query("203.0.113.0/24".parse().unwrap());
+/// assert_eq!(ecs.source.len(), 24);
+/// assert_eq!(ecs.scope_len, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EcsOption {
+    /// The client subnet (always IPv4 here), canonical.
+    pub source: Prefix,
+    /// Scope prefix length (response side); 0 in queries.
+    pub scope_len: u8,
+}
+
+impl EcsOption {
+    /// ECS option as sent in a query: scope 0.
+    pub fn query(source: Prefix) -> Self {
+        EcsOption {
+            source,
+            scope_len: 0,
+        }
+    }
+
+    /// ECS option as returned in a response with the given scope.
+    pub fn response(source: Prefix, scope_len: u8) -> Result<Self, DnsError> {
+        if scope_len > 32 {
+            return Err(DnsError::InvalidEcsPrefix(scope_len));
+        }
+        Ok(EcsOption { source, scope_len })
+    }
+
+    /// The *scope prefix* of a response: the source address truncated to
+    /// the scope length. This is the prefix a cache entry is valid for.
+    pub fn scope_prefix(&self) -> Prefix {
+        Prefix::new(self.source.addr(), self.scope_len).expect("scope_len validated <= 32")
+    }
+}
+
+/// Any EDNS option: ECS is modelled, others are carried opaquely.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EdnsOption {
+    /// RFC 7871 client subnet.
+    Ecs(EcsOption),
+    /// Unknown option, preserved for lossless round trips.
+    Other {
+        /// Option code.
+        code: u16,
+        /// Raw option payload.
+        data: Vec<u8>,
+    },
+}
+
+/// The EDNS0 pseudo-header carried in an OPT record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edns {
+    /// Requestor's maximum UDP payload size.
+    pub udp_payload_size: u16,
+    /// Extended RCODE high bits (we keep 0 throughout).
+    pub ext_rcode: u8,
+    /// EDNS version (0).
+    pub version: u8,
+    /// DO bit and flags word.
+    pub flags: u16,
+    /// Options, in order.
+    pub options: Vec<EdnsOption>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 4096,
+            ext_rcode: 0,
+            version: 0,
+            flags: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// An EDNS block carrying a single ECS query option.
+    pub fn with_ecs(source: Prefix) -> Self {
+        Edns {
+            options: vec![EdnsOption::Ecs(EcsOption::query(source))],
+            ..Edns::default()
+        }
+    }
+
+    /// The first ECS option, if present.
+    pub fn ecs(&self) -> Option<&EcsOption> {
+        self.options.iter().find_map(|o| match o {
+            EdnsOption::Ecs(e) => Some(e),
+            EdnsOption::Other { .. } => None,
+        })
+    }
+
+    /// Replaces (or inserts) the ECS option.
+    pub fn set_ecs(&mut self, ecs: EcsOption) {
+        for o in &mut self.options {
+            if let EdnsOption::Ecs(e) = o {
+                *e = ecs;
+                return;
+            }
+        }
+        self.options.push(EdnsOption::Ecs(ecs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn query_option_has_zero_scope() {
+        let e = EcsOption::query(p("203.0.113.0/24"));
+        assert_eq!(e.scope_len, 0);
+        assert_eq!(e.scope_prefix(), Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn response_scope_prefix_truncates() {
+        let e = EcsOption::response(p("203.0.113.0/24"), 16).unwrap();
+        assert_eq!(e.scope_prefix(), p("203.0.0.0/16"));
+        assert!(EcsOption::response(p("203.0.113.0/24"), 33).is_err());
+    }
+
+    #[test]
+    fn edns_ecs_accessors() {
+        let mut e = Edns::with_ecs(p("10.0.0.0/24"));
+        assert_eq!(e.ecs().unwrap().source, p("10.0.0.0/24"));
+        e.set_ecs(EcsOption::response(p("10.0.0.0/24"), 20).unwrap());
+        assert_eq!(e.ecs().unwrap().scope_len, 20);
+        assert_eq!(e.options.len(), 1, "set_ecs must replace, not append");
+    }
+
+    #[test]
+    fn edns_without_ecs() {
+        let e = Edns::default();
+        assert!(e.ecs().is_none());
+    }
+}

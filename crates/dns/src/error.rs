@@ -1,0 +1,86 @@
+//! Error types for `clientmap-dns`.
+
+use std::fmt;
+
+/// Errors constructing DNS values (names, records, options).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// A domain-name label was empty, too long, or contained a
+    /// non-ASCII / disallowed byte.
+    InvalidLabel(String),
+    /// The full name exceeded 255 octets in wire form.
+    NameTooLong(String),
+    /// An ECS prefix length did not match the address family.
+    InvalidEcsPrefix(u8),
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::InvalidLabel(l) => write!(f, "invalid DNS label: {l:?}"),
+            DnsError::NameTooLong(n) => write!(f, "domain name too long: {n:?}"),
+            DnsError::InvalidEcsPrefix(l) => write!(f, "invalid ECS prefix length: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Errors produced by the wire codec.
+///
+/// Decoding is fully bounds-checked: any of these is returned instead of
+/// panicking on malformed or truncated packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The packet ended before a complete field could be read.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer(u16),
+    /// A label length byte used the reserved `0x40`/`0x80` forms.
+    BadLabelType(u8),
+    /// A decoded name violated length limits.
+    NameTooLong,
+    /// A label contained invalid bytes.
+    InvalidLabel,
+    /// An unknown or unsupported RR type appeared where a concrete
+    /// rdata model was required.
+    UnsupportedType(u16),
+    /// An OPT pseudo-record was malformed.
+    BadOpt(&'static str),
+    /// An ECS option was malformed (family, prefix length, padding).
+    BadEcs(&'static str),
+    /// rdata length did not match the parsed rdata.
+    RdataLengthMismatch {
+        /// Length declared in the RDLENGTH field.
+        declared: u16,
+        /// Bytes actually consumed parsing the rdata.
+        consumed: u16,
+    },
+    /// A name or message being *encoded* violated a protocol limit.
+    EncodeTooLong,
+    /// A structurally valid packet used a feature this model does not
+    /// support (e.g. multiple questions).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::BadPointer(off) => write!(f, "bad compression pointer to offset {off}"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
+            WireError::NameTooLong => write!(f, "decoded name exceeds 255 octets"),
+            WireError::InvalidLabel => write!(f, "label contains invalid bytes"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported RR type {t}"),
+            WireError::BadOpt(why) => write!(f, "malformed OPT record: {why}"),
+            WireError::BadEcs(why) => write!(f, "malformed ECS option: {why}"),
+            WireError::RdataLengthMismatch { declared, consumed } => {
+                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+            }
+            WireError::EncodeTooLong => write!(f, "value too long to encode"),
+            WireError::Unsupported(what) => write!(f, "unsupported message feature: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

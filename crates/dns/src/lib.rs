@@ -1,0 +1,52 @@
+//! # clientmap-dns
+//!
+//! A from-scratch DNS data model for the `clientmap` measurement
+//! pipeline:
+//!
+//! - [`DomainName`] — validated, case-insensitive domain names;
+//! - resource records ([`Record`], [`RData`], [`RrType`], [`Rcode`]);
+//! - [`Message`] — query/response messages with EDNS0 and the RFC 7871
+//!   EDNS Client Subnet (ECS) option ([`EcsOption`]);
+//! - a bounds-checked RFC 1035 **wire codec** with name compression
+//!   ([`wire::encode`], [`wire::decode`]) — malformed input returns
+//!   [`WireError`], never panics;
+//! - an **ECS-scoped TTL cache** ([`EcsCache`]) reproducing how Google
+//!   Public DNS keeps separate cache entries per client-subnet scope,
+//!   which is the mechanism the paper's cache-probing technique (§3.1)
+//!   snoops on.
+//!
+//! The crate performs no I/O. "Time" is a plain `u64` of simulated
+//! milliseconds supplied by the caller, which keeps the cache testable
+//! and the whole pipeline deterministic.
+//!
+//! ```
+//! use clientmap_dns::{DomainName, Message, Question, RrType};
+//!
+//! let q = Message::query(0x1234, Question::a("www.example.com").unwrap())
+//!     .with_recursion_desired(false);
+//! let bytes = clientmap_dns::wire::encode(&q).unwrap();
+//! let back = clientmap_dns::wire::decode(&bytes).unwrap();
+//! assert_eq!(q, back);
+//! assert_eq!(back.question.as_ref().unwrap().rtype, RrType::A);
+//! assert_eq!(
+//!     back.question.as_ref().unwrap().name,
+//!     "WWW.EXAMPLE.COM".parse::<DomainName>().unwrap()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod edns;
+mod error;
+mod message;
+mod name;
+mod rr;
+pub mod wire;
+
+pub use cache::{CacheKey, CacheLookup, EcsCache, EcsCacheEntry};
+pub use edns::{EcsOption, Edns, EdnsOption};
+pub use error::{DnsError, WireError};
+pub use message::{Message, Opcode, Question};
+pub use name::{DomainName, Label};
+pub use rr::{RData, Rcode, Record, RrClass, RrType, ScopedAnswer};

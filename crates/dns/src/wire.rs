@@ -1,0 +1,798 @@
+//! RFC 1035 wire-format codec with name compression.
+//!
+//! [`encode`] produces a compact packet (names compressed against every
+//! previously written name suffix). [`decode`] is fully bounds-checked:
+//! arbitrary bytes can be fed in and the worst outcome is a
+//! [`WireError`]. Compression pointers must point strictly backwards,
+//! which both matches real resolver behaviour and makes pointer loops
+//! impossible.
+//!
+//! The codec exists so the simulated query path exercises exactly what a
+//! real prober would put on the wire — including the EDNS0 OPT record
+//! and the RFC 7871 ECS option the whole cache-probing technique relies
+//! on — and so the test suite can fuzz the parser with garbage.
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, BytesMut};
+use clientmap_net::Prefix;
+
+use crate::edns::{ECS_FAMILY_IPV4, OPTION_CODE_ECS};
+use crate::name::{Label, MAX_NAME_LEN};
+use crate::{
+    DomainName, EcsOption, Edns, EdnsOption, Message, Opcode, Question, RData, Rcode, Record,
+    RrClass, RrType, WireError,
+};
+
+/// Maximum offset expressible by a 14-bit compression pointer.
+const MAX_POINTER: usize = 0x3FFF;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a message to wire format.
+pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut buf = BytesMut::with_capacity(512);
+    let mut names: HashMap<String, usize> = HashMap::new();
+
+    buf.put_u16(msg.id);
+    let mut flags: u16 = 0;
+    if msg.is_response {
+        flags |= 0x8000;
+    }
+    flags |= (msg.opcode.to_u8() as u16) << 11;
+    if msg.authoritative {
+        flags |= 0x0400;
+    }
+    if msg.truncated {
+        flags |= 0x0200;
+    }
+    if msg.recursion_desired {
+        flags |= 0x0100;
+    }
+    if msg.recursion_available {
+        flags |= 0x0080;
+    }
+    flags |= msg.rcode.to_u8() as u16;
+    buf.put_u16(flags);
+
+    let qdcount = msg.question.iter().count() as u16;
+    let arcount = msg.additional.len() as u16 + msg.edns.iter().count() as u16;
+    buf.put_u16(qdcount);
+    buf.put_u16(msg.answers.len() as u16);
+    buf.put_u16(msg.authority.len() as u16);
+    buf.put_u16(arcount);
+
+    if let Some(q) = &msg.question {
+        encode_name(&mut buf, &q.name, &mut names)?;
+        buf.put_u16(q.rtype.to_u16());
+        buf.put_u16(q.class.to_u16());
+    }
+    for r in &msg.answers {
+        encode_record(&mut buf, r, &mut names)?;
+    }
+    for r in &msg.authority {
+        encode_record(&mut buf, r, &mut names)?;
+    }
+    for r in &msg.additional {
+        encode_record(&mut buf, r, &mut names)?;
+    }
+    if let Some(edns) = &msg.edns {
+        encode_opt(&mut buf, edns)?;
+    }
+    Ok(buf.to_vec())
+}
+
+/// Writes a (possibly compressed) name at the current offset.
+fn encode_name(
+    buf: &mut BytesMut,
+    name: &DomainName,
+    names: &mut HashMap<String, usize>,
+) -> Result<(), WireError> {
+    let labels = name.labels();
+    for i in 0..labels.len() {
+        let suffix: String = labels[i..]
+            .iter()
+            .map(|l| l.as_str())
+            .collect::<Vec<_>>()
+            .join(".");
+        if let Some(&off) = names.get(&suffix) {
+            if off <= MAX_POINTER {
+                buf.put_u16(0xC000 | off as u16);
+                return Ok(());
+            }
+        }
+        let here = buf.len();
+        if here <= MAX_POINTER {
+            names.insert(suffix, here);
+        }
+        let label = labels[i].as_str();
+        debug_assert!(label.len() <= 63);
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+    }
+    buf.put_u8(0); // root
+    Ok(())
+}
+
+fn encode_record(
+    buf: &mut BytesMut,
+    r: &Record,
+    names: &mut HashMap<String, usize>,
+) -> Result<(), WireError> {
+    encode_name(buf, &r.name, names)?;
+    buf.put_u16(r.rtype.to_u16());
+    buf.put_u16(r.class.to_u16());
+    buf.put_u32(r.ttl);
+    // Reserve the RDLENGTH slot, then backfill.
+    let len_pos = buf.len();
+    buf.put_u16(0);
+    let start = buf.len();
+    match &r.rdata {
+        RData::A(addr) => buf.put_u32(*addr),
+        RData::Cname(n) | RData::Ns(n) => encode_name(buf, n, names)?,
+        RData::Txt(text) => {
+            let bytes = text.as_bytes();
+            if bytes.is_empty() {
+                buf.put_u8(0);
+            } else {
+                for chunk in bytes.chunks(255) {
+                    buf.put_u8(chunk.len() as u8);
+                    buf.put_slice(chunk);
+                }
+            }
+        }
+        RData::Opaque(data) => buf.put_slice(data),
+    }
+    let rdlen = buf.len() - start;
+    if rdlen > u16::MAX as usize {
+        return Err(WireError::EncodeTooLong);
+    }
+    buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+    Ok(())
+}
+
+fn encode_opt(buf: &mut BytesMut, edns: &Edns) -> Result<(), WireError> {
+    buf.put_u8(0); // root name
+    buf.put_u16(RrType::Opt.to_u16());
+    buf.put_u16(edns.udp_payload_size);
+    let ttl: u32 =
+        ((edns.ext_rcode as u32) << 24) | ((edns.version as u32) << 16) | edns.flags as u32;
+    buf.put_u32(ttl);
+    let len_pos = buf.len();
+    buf.put_u16(0);
+    let start = buf.len();
+    for opt in &edns.options {
+        match opt {
+            EdnsOption::Ecs(ecs) => {
+                // RFC 7871: family, source prefix len, scope prefix len,
+                // then ceil(source_len/8) address bytes.
+                let src_len = ecs.source.len();
+                let addr_bytes = src_len.div_ceil(8) as usize;
+                buf.put_u16(OPTION_CODE_ECS);
+                buf.put_u16(4 + addr_bytes as u16);
+                buf.put_u16(ECS_FAMILY_IPV4);
+                buf.put_u8(src_len);
+                buf.put_u8(ecs.scope_len);
+                let addr = ecs.source.addr().to_be_bytes();
+                buf.put_slice(&addr[..addr_bytes]);
+            }
+            EdnsOption::Other { code, data } => {
+                if data.len() > u16::MAX as usize {
+                    return Err(WireError::EncodeTooLong);
+                }
+                buf.put_u16(*code);
+                buf.put_u16(data.len() as u16);
+                buf.put_slice(data);
+            }
+        }
+    }
+    let rdlen = buf.len() - start;
+    if rdlen > u16::MAX as usize {
+        return Err(WireError::EncodeTooLong);
+    }
+    buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over the packet.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(((self.u8()? as u16) << 8) | self.u8()? as u16)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(((self.u16()? as u32) << 16) | self.u16()? as u32)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Decodes a name starting at the cursor, following backward-only
+/// compression pointers.
+fn decode_name(cur: &mut Cursor<'_>) -> Result<DomainName, WireError> {
+    let mut labels: Vec<Label> = Vec::new();
+    let mut wire_len = 1usize; // root byte
+    // After the first pointer jump we stop advancing the real cursor.
+    let mut jumped = false;
+    let mut pos = cur.pos;
+
+    loop {
+        let len_byte = *cur.data.get(pos).ok_or(WireError::Truncated)?;
+        match len_byte & 0xC0 {
+            0x00 => {
+                if len_byte == 0 {
+                    pos += 1;
+                    if !jumped {
+                        cur.pos = pos;
+                    }
+                    return DomainName::from_labels(labels).map_err(|_| WireError::NameTooLong);
+                }
+                let n = len_byte as usize;
+                let start = pos + 1;
+                let end = start + n;
+                if end > cur.data.len() {
+                    return Err(WireError::Truncated);
+                }
+                wire_len += 1 + n;
+                if wire_len > MAX_NAME_LEN {
+                    return Err(WireError::NameTooLong);
+                }
+                let text = std::str::from_utf8(&cur.data[start..end])
+                    .map_err(|_| WireError::InvalidLabel)?;
+                labels.push(Label::new(text).map_err(|_| WireError::InvalidLabel)?);
+                pos = end;
+                if !jumped {
+                    cur.pos = pos;
+                }
+            }
+            0xC0 => {
+                let second = *cur.data.get(pos + 1).ok_or(WireError::Truncated)?;
+                let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                // Backward-only: prevents loops and forward references.
+                if target >= pos {
+                    return Err(WireError::BadPointer(target as u16));
+                }
+                if !jumped {
+                    cur.pos = pos + 2;
+                }
+                jumped = true;
+                pos = target;
+            }
+            other => return Err(WireError::BadLabelType(other)),
+        }
+    }
+}
+
+fn decode_question(cur: &mut Cursor<'_>) -> Result<Question, WireError> {
+    let name = decode_name(cur)?;
+    let rtype = RrType::from_u16(cur.u16()?);
+    let class = RrClass::from_u16(cur.u16()?);
+    Ok(Question { name, rtype, class })
+}
+
+/// Outcome of decoding one record slot: a regular record or the OPT
+/// pseudo-record (extracted into [`Edns`]).
+enum Slot {
+    Record(Record),
+    Opt(Edns),
+}
+
+fn decode_record(cur: &mut Cursor<'_>) -> Result<Slot, WireError> {
+    let name = decode_name(cur)?;
+    let rtype = RrType::from_u16(cur.u16()?);
+    let class_raw = cur.u16()?;
+    let ttl = cur.u32()?;
+    let rdlen = cur.u16()? as usize;
+    if cur.remaining() < rdlen {
+        return Err(WireError::Truncated);
+    }
+    if rtype == RrType::Opt {
+        if !name.is_root() {
+            return Err(WireError::BadOpt("OPT owner name must be root"));
+        }
+        let rdata = cur.bytes(rdlen)?;
+        let edns = decode_opt(class_raw, ttl, rdata)?;
+        return Ok(Slot::Opt(edns));
+    }
+
+    let rdata_end = cur.pos + rdlen;
+    let rdata = match rtype {
+        RrType::A => {
+            if rdlen != 4 {
+                return Err(WireError::RdataLengthMismatch {
+                    declared: rdlen as u16,
+                    consumed: 4,
+                });
+            }
+            RData::A(cur.u32()?)
+        }
+        RrType::Cname | RrType::Ns => {
+            let n = decode_name(cur)?;
+            if cur.pos != rdata_end {
+                return Err(WireError::RdataLengthMismatch {
+                    declared: rdlen as u16,
+                    consumed: (cur.pos + rdlen - rdata_end) as u16,
+                });
+            }
+            if rtype == RrType::Cname {
+                RData::Cname(n)
+            } else {
+                RData::Ns(n)
+            }
+        }
+        RrType::Txt => {
+            let mut text = Vec::new();
+            while cur.pos < rdata_end {
+                let n = cur.u8()? as usize;
+                if cur.pos + n > rdata_end {
+                    return Err(WireError::Truncated);
+                }
+                text.extend_from_slice(cur.bytes(n)?);
+            }
+            RData::Txt(String::from_utf8(text).map_err(|_| WireError::InvalidLabel)?)
+        }
+        _ => RData::Opaque(cur.bytes(rdlen)?.to_vec()),
+    };
+    Ok(Slot::Record(Record {
+        name,
+        rtype,
+        class: RrClass::from_u16(class_raw),
+        ttl,
+        rdata,
+    }))
+}
+
+fn decode_opt(class_raw: u16, ttl: u32, rdata: &[u8]) -> Result<Edns, WireError> {
+    let mut edns = Edns {
+        udp_payload_size: class_raw,
+        ext_rcode: (ttl >> 24) as u8,
+        version: (ttl >> 16) as u8,
+        flags: (ttl & 0xFFFF) as u16,
+        options: Vec::new(),
+    };
+    let mut cur = Cursor::new(rdata);
+    while cur.remaining() > 0 {
+        let code = cur.u16()?;
+        let len = cur.u16()? as usize;
+        let body = cur.bytes(len)?;
+        if code == OPTION_CODE_ECS {
+            edns.options.push(EdnsOption::Ecs(decode_ecs(body)?));
+        } else {
+            edns.options.push(EdnsOption::Other {
+                code,
+                data: body.to_vec(),
+            });
+        }
+    }
+    Ok(edns)
+}
+
+fn decode_ecs(body: &[u8]) -> Result<EcsOption, WireError> {
+    if body.len() < 4 {
+        return Err(WireError::BadEcs("option shorter than fixed header"));
+    }
+    let family = ((body[0] as u16) << 8) | body[1] as u16;
+    if family != ECS_FAMILY_IPV4 {
+        return Err(WireError::BadEcs("non-IPv4 family"));
+    }
+    let source_len = body[2];
+    let scope_len = body[3];
+    if source_len > 32 || scope_len > 32 {
+        return Err(WireError::BadEcs("prefix length > 32"));
+    }
+    let addr_bytes = source_len.div_ceil(8) as usize;
+    if body.len() != 4 + addr_bytes {
+        return Err(WireError::BadEcs("address length mismatch"));
+    }
+    let mut octets = [0u8; 4];
+    octets[..addr_bytes].copy_from_slice(&body[4..4 + addr_bytes]);
+    let addr = u32::from_be_bytes(octets);
+    // RFC 7871 §6: trailing bits beyond source_len MUST be zero.
+    let source =
+        Prefix::new(addr, source_len).map_err(|_| WireError::BadEcs("bad source prefix"))?;
+    if source.addr() != addr {
+        return Err(WireError::BadEcs("nonzero padding bits"));
+    }
+    Ok(EcsOption { source, scope_len })
+}
+
+/// Decodes a packet into a [`Message`].
+pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+    let mut cur = Cursor::new(data);
+    let id = cur.u16()?;
+    let flags = cur.u16()?;
+    let qdcount = cur.u16()?;
+    let ancount = cur.u16()?;
+    let nscount = cur.u16()?;
+    let arcount = cur.u16()?;
+
+    if qdcount > 1 {
+        return Err(WireError::Unsupported("multiple questions"));
+    }
+
+    let question = if qdcount == 1 {
+        Some(decode_question(&mut cur)?)
+    } else {
+        None
+    };
+
+    let mut answers = Vec::with_capacity(ancount.min(64) as usize);
+    for _ in 0..ancount {
+        match decode_record(&mut cur)? {
+            Slot::Record(r) => answers.push(r),
+            Slot::Opt(_) => return Err(WireError::BadOpt("OPT in answer section")),
+        }
+    }
+    let mut authority = Vec::with_capacity(nscount.min(64) as usize);
+    for _ in 0..nscount {
+        match decode_record(&mut cur)? {
+            Slot::Record(r) => authority.push(r),
+            Slot::Opt(_) => return Err(WireError::BadOpt("OPT in authority section")),
+        }
+    }
+    let mut additional = Vec::new();
+    let mut edns = None;
+    for _ in 0..arcount {
+        match decode_record(&mut cur)? {
+            Slot::Record(r) => additional.push(r),
+            Slot::Opt(e) => {
+                if edns.replace(e).is_some() {
+                    return Err(WireError::BadOpt("duplicate OPT"));
+                }
+            }
+        }
+    }
+
+    Ok(Message {
+        id,
+        is_response: flags & 0x8000 != 0,
+        opcode: Opcode::from_u8((flags >> 11) as u8),
+        authoritative: flags & 0x0400 != 0,
+        truncated: flags & 0x0200 != 0,
+        recursion_desired: flags & 0x0100 != 0,
+        recursion_available: flags & 0x0080 != 0,
+        rcode: Rcode::from_u8(flags as u8),
+        question,
+        answers,
+        authority,
+        additional,
+        edns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Question;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        let bytes = encode(msg).unwrap();
+        decode(&bytes).unwrap()
+    }
+
+    #[test]
+    fn simple_query_roundtrip() {
+        let m = Message::query(0xBEEF, Question::a("www.example.com").unwrap());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn non_recursive_ecs_query_roundtrip() {
+        let m = Message::query(1, Question::a("facebook.com").unwrap())
+            .with_recursion_desired(false)
+            .with_ecs(p("203.0.113.0/24"));
+        let back = roundtrip(&m);
+        assert_eq!(back, m);
+        assert!(!back.recursion_desired);
+        assert_eq!(back.ecs().unwrap().source, p("203.0.113.0/24"));
+    }
+
+    #[test]
+    fn response_with_answers_and_scope() {
+        let q = Message::query(2, Question::a("www.google.com").unwrap())
+            .with_recursion_desired(false)
+            .with_ecs(p("198.51.100.0/24"));
+        let resp = Message::response_for(&q)
+            .with_answers(vec![Record::a(
+                "www.google.com".parse().unwrap(),
+                300,
+                0x8efa436e,
+            )])
+            .with_response_ecs(p("198.51.100.0/24"), 20);
+        let back = roundtrip(&resp);
+        assert_eq!(back, resp);
+        assert_eq!(back.ecs().unwrap().scope_len, 20);
+        assert!(back.has_answers());
+    }
+
+    #[test]
+    fn ecs_partial_address_bytes() {
+        // A /20 source needs ceil(20/8)=3 address octets on the wire.
+        let m = Message::query(3, Question::a("x.example").unwrap()).with_ecs(p("10.32.16.0/20"));
+        let bytes = encode(&m).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.ecs().unwrap().source, p("10.32.16.0/20"));
+        // /0 needs zero octets.
+        let m0 = Message::query(4, Question::a("x.example").unwrap()).with_ecs(Prefix::DEFAULT);
+        assert_eq!(roundtrip(&m0).ecs().unwrap().source, Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn name_compression_shrinks_and_roundtrips() {
+        let mut m = Message::query(5, Question::a("www.example.com").unwrap());
+        m.answers = vec![
+            Record::a("www.example.com".parse().unwrap(), 60, 1),
+            Record::a("www.example.com".parse().unwrap(), 60, 2),
+            Record {
+                name: "api.example.com".parse().unwrap(),
+                rtype: RrType::Cname,
+                class: RrClass::In,
+                ttl: 60,
+                rdata: RData::Cname("www.example.com".parse().unwrap()),
+            },
+        ];
+        let bytes = encode(&m).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), m);
+        // The three repeats of www.example.com must compress to pointers:
+        // a full encoding would repeat 17 bytes; allow generous slack.
+        assert!(bytes.len() < 100, "packet unexpectedly large: {}", bytes.len());
+    }
+
+    #[test]
+    fn txt_record_long_string_chunks() {
+        let long = "x".repeat(700);
+        let mut m = Message::query(6, Question::txt("t.example").unwrap());
+        m.answers = vec![Record::txt("t.example".parse().unwrap(), 60, long.clone())];
+        let back = roundtrip(&m);
+        match &back.answers[0].rdata {
+            RData::Txt(s) => assert_eq!(s, &long),
+            other => panic!("wrong rdata: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_txt_roundtrips() {
+        let mut m = Message::query(6, Question::txt("t.example").unwrap());
+        m.answers = vec![Record::txt("t.example".parse().unwrap(), 60, "")];
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn unknown_type_is_opaque_lossless() {
+        let mut m = Message::query(7, Question::a("z.example").unwrap());
+        m.answers = vec![Record {
+            name: "z.example".parse().unwrap(),
+            rtype: RrType::Other(4242),
+            class: RrClass::In,
+            ttl: 9,
+            rdata: RData::Opaque(vec![1, 2, 3, 4, 5]),
+        }];
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn root_question_roundtrips() {
+        let q = Question {
+            name: DomainName::root(),
+            rtype: RrType::Ns,
+            class: RrClass::In,
+        };
+        let m = Message::query(8, q);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let m = Message::query(9, Question::a("www.example.com").unwrap())
+            .with_ecs(p("10.0.0.0/24"));
+        let bytes = encode(&m).unwrap();
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "decode accepted a {cut}-byte truncation");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // Header + a name that points forward to itself.
+        let mut pkt = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        pkt.extend_from_slice(&[0xC0, 12]); // pointer to its own offset 12
+        pkt.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(decode(&pkt), Err(WireError::BadPointer(_))));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_type() {
+        let mut pkt = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        pkt.push(0x80); // reserved 10-prefix label type
+        pkt.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(decode(&pkt), Err(WireError::BadLabelType(_))));
+    }
+
+    #[test]
+    fn decode_rejects_bad_ecs() {
+        // Build a valid message, then corrupt the ECS family to IPv6.
+        let m = Message::query(10, Question::a("a.example").unwrap()).with_ecs(p("10.0.0.0/24"));
+        let mut bytes = encode(&m).unwrap();
+        // Find the ECS option: family bytes are the 2 bytes after code+len.
+        // code 0x0008, len 0x0007 — locate that pattern.
+        let pat = [0x00, 0x08, 0x00, 0x07, 0x00, 0x01];
+        let pos = bytes
+            .windows(pat.len())
+            .position(|w| w == pat)
+            .expect("ECS option not found");
+        bytes[pos + 5] = 2; // family = 2 (IPv6)
+        assert!(matches!(decode(&bytes), Err(WireError::BadEcs(_))));
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_ecs_padding() {
+        let m = Message::query(11, Question::a("a.example").unwrap()).with_ecs(p("10.0.0.0/20"));
+        let mut bytes = encode(&m).unwrap();
+        // /20 encodes 3 address octets: 0x0A 0x00 0x00; set low 4 bits of
+        // the third octet (beyond the /20 boundary) to violate RFC 7871.
+        let pat = [0x00, 0x08, 0x00, 0x07, 0x00, 0x01, 20, 0, 0x0A];
+        let pos = bytes
+            .windows(pat.len())
+            .position(|w| w == pat)
+            .expect("ECS option not found");
+        bytes[pos + 10] |= 0x0F;
+        assert!(matches!(decode(&bytes), Err(WireError::BadEcs(_))));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_a_rdlen() {
+        let mut m = Message::query(12, Question::a("a.example").unwrap());
+        m.answers = vec![Record::a("a.example".parse().unwrap(), 1, 7)];
+        let mut bytes = encode(&m).unwrap();
+        // The final 6 bytes are RDLENGTH(2) + RDATA(4). Shrink RDLENGTH to 3
+        // and drop a byte.
+        let n = bytes.len();
+        bytes[n - 6..n - 4].copy_from_slice(&3u16.to_be_bytes());
+        bytes.truncate(n - 1);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_garbage_never_panics() {
+        // Deterministic pseudo-random garbage.
+        let mut x = 0x12345678u32;
+        for len in 0..200 {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                v.push((x >> 24) as u8);
+            }
+            let _ = decode(&v); // must not panic
+        }
+    }
+
+    #[test]
+    fn multiple_questions_rejected() {
+        let m = Message::query(13, Question::a("a.example").unwrap());
+        let mut bytes = encode(&m).unwrap();
+        bytes[4..6].copy_from_slice(&2u16.to_be_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Unsupported(_))));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DNS-over-TCP framing (RFC 1035 §4.2.2)
+// ---------------------------------------------------------------------------
+
+/// Encodes a message with the two-octet length prefix used on TCP —
+/// the transport the paper's prober uses to dodge the UDP rate limit.
+pub fn encode_tcp(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let body = encode(msg)?;
+    if body.len() > u16::MAX as usize {
+        return Err(WireError::EncodeTooLong);
+    }
+    let mut out = Vec::with_capacity(body.len() + 2);
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decodes one length-prefixed message from a TCP stream buffer.
+///
+/// Returns the message and the number of bytes consumed, or
+/// `Ok(None)` if the buffer does not yet hold a complete frame
+/// (stream reassembly), or an error for malformed contents.
+pub fn decode_tcp(stream: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
+    if stream.len() < 2 {
+        return Ok(None);
+    }
+    let len = u16::from_be_bytes([stream[0], stream[1]]) as usize;
+    if stream.len() < 2 + len {
+        return Ok(None);
+    }
+    let msg = decode(&stream[2..2 + len])?;
+    Ok(Some((msg, 2 + len)))
+}
+
+#[cfg(test)]
+mod tcp_tests {
+    use super::*;
+    use crate::Question;
+
+    fn probe() -> Message {
+        Message::query(7, Question::a("www.google.com").unwrap())
+            .with_recursion_desired(false)
+            .with_ecs("203.0.113.0/24".parse().unwrap())
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let m = probe();
+        let framed = encode_tcp(&m).unwrap();
+        let (back, used) = decode_tcp(&framed).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn tcp_partial_frames_wait() {
+        let framed = encode_tcp(&probe()).unwrap();
+        assert!(decode_tcp(&framed[..1]).unwrap().is_none());
+        assert!(decode_tcp(&framed[..framed.len() - 1]).unwrap().is_none());
+        assert!(decode_tcp(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn tcp_stream_with_two_messages() {
+        let m1 = probe();
+        let mut m2 = probe();
+        m2.id = 9;
+        let mut stream = encode_tcp(&m1).unwrap();
+        stream.extend(encode_tcp(&m2).unwrap());
+        let (got1, used1) = decode_tcp(&stream).unwrap().unwrap();
+        assert_eq!(got1.id, 7);
+        let (got2, used2) = decode_tcp(&stream[used1..]).unwrap().unwrap();
+        assert_eq!(got2.id, 9);
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn tcp_bad_contents_error() {
+        // Complete frame with garbage inside.
+        let mut stream = vec![0, 3];
+        stream.extend_from_slice(&[1, 2, 3]);
+        assert!(decode_tcp(&stream).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Stateful model test: random operation sequences against a naive
+//! reference implementation of the ECS cache semantics.
+//!
+//! The reference stores every insert as a plain list and answers
+//! lookups by scanning for the most specific unexpired covering scope.
+//! Any divergence between the real cache and the model on hit/miss,
+//! returned scope, or expiry is a bug. (Capacity-bounded runs are
+//! excluded — eviction policy is the cache's own business — so the
+//! model cache is sized above the operation count.)
+
+use clientmap_dns::{CacheKey, CacheLookup, EcsCache, Record, RrType};
+use clientmap_net::Prefix;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert an entry for (name index, scope, ttl).
+    Insert { name: u8, addr: u32, len: u8, ttl: u32 },
+    /// Advance the clock.
+    Advance { ms: u32 },
+    /// Lookup (name index, /24 probe).
+    Lookup { name: u8, addr: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, any::<u32>(), 8u8..=24, 1u32..600).prop_map(|(name, addr, len, ttl)| Op::Insert {
+            name,
+            addr,
+            len,
+            ttl
+        }),
+        (1u32..400_000).prop_map(|ms| Op::Advance { ms }),
+        (0u8..3, any::<u32>()).prop_map(|(name, addr)| Op::Lookup { name, addr }),
+    ]
+}
+
+fn name_of(i: u8) -> CacheKey {
+    let name = match i % 3 {
+        0 => "a.example",
+        1 => "b.example",
+        _ => "c.example",
+    };
+    CacheKey::new(name.parse().unwrap(), RrType::A)
+}
+
+/// The reference: a flat list of (key index, scope, expires_ms).
+#[derive(Debug, Default)]
+struct Model {
+    entries: Vec<(u8, Prefix, u64)>,
+}
+
+impl Model {
+    fn insert(&mut self, name: u8, scope: Prefix, ttl: u32, now: u64) {
+        // Replace same (name, scope).
+        self.entries.retain(|(n, s, _)| !(*n == name % 3 && *s == scope));
+        self.entries
+            .push((name % 3, scope, now + u64::from(ttl) * 1000));
+    }
+
+    /// Most specific live covering scope for the probe.
+    fn lookup(&self, name: u8, probe: Prefix, now: u64) -> Option<Prefix> {
+        self.entries
+            .iter()
+            .filter(|(n, s, exp)| *n == name % 3 && *exp > now && s.contains(probe))
+            .map(|(_, s, _)| *s)
+            .max_by_key(|s| s.len())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_agrees_with_naive_model(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut cache = EcsCache::new(1024); // far above op count: no eviction
+        let mut model = Model::default();
+        let mut now: u64 = 0;
+        for op in ops {
+            match op {
+                Op::Insert { name, addr, len, ttl } => {
+                    let scope = Prefix::new(addr, len).unwrap();
+                    let rec = Record::a("x.example".parse().unwrap(), ttl, addr);
+                    cache.insert(name_of(name), scope, vec![rec], ttl, now);
+                    model.insert(name, scope, ttl, now);
+                }
+                Op::Advance { ms } => now += u64::from(ms),
+                Op::Lookup { name, addr } => {
+                    let probe = Prefix::slash24_of(addr);
+                    let got = cache.lookup(&name_of(name), probe, now);
+                    let want = model.lookup(name, probe, now);
+                    match (got, want) {
+                        (CacheLookup::Hit(e), Some(scope)) => {
+                            prop_assert_eq!(e.scope, scope, "wrong scope at t={}", now);
+                            prop_assert!(e.expires_ms > now);
+                        }
+                        (CacheLookup::Miss, None) => {}
+                        (CacheLookup::Hit(e), None) => {
+                            return Err(TestCaseError::fail(format!(
+                                "phantom hit {:?} at t={now}", e.scope
+                            )));
+                        }
+                        (CacheLookup::Miss, Some(scope)) => {
+                            return Err(TestCaseError::fail(format!(
+                                "missed live entry {scope} at t={now}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the DNS wire codec and the ECS cache
+//! (DESIGN.md §6: `decode(encode(m)) == m`, no panics on garbage,
+//! non-recursive queries never populate the cache, exact TTL expiry,
+//! scoped entries answer only addresses inside the scope).
+
+use clientmap_dns::{
+    wire, CacheKey, DomainName, EcsCache, Message, Question, RData, Rcode, Record, RrClass,
+    RrType,
+};
+use clientmap_net::Prefix;
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,14}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(arb_label(), 0..5).prop_map(|labels| {
+        DomainName::parse(&labels.join(".")).expect("labels are valid")
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(a, l).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = (RrType, RData)> {
+    prop_oneof![
+        any::<u32>().prop_map(|a| (RrType::A, RData::A(a))),
+        arb_name().prop_map(|n| (RrType::Cname, RData::Cname(n))),
+        arb_name().prop_map(|n| (RrType::Ns, RData::Ns(n))),
+        proptest::string::string_regex("[ -~]{0,300}")
+            .expect("valid regex")
+            .prop_map(|s| (RrType::Txt, RData::Txt(s))),
+        (1000u16..2000, prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(t, d)| (RrType::Other(t), RData::Opaque(d))),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), arb_rdata(), any::<u32>()).prop_map(|(name, (rtype, rdata), ttl)| Record {
+        name,
+        rtype,
+        class: RrClass::In,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        prop::collection::vec(arb_record(), 0..4),
+        prop::collection::vec(arb_record(), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of(arb_prefix()),
+        0u8..6,
+    )
+        .prop_map(
+            |(id, qname, answers, additional, rd, is_resp, ecs, rcode)| {
+                let mut m = Message::query(
+                    id,
+                    Question {
+                        name: qname,
+                        rtype: RrType::A,
+                        class: RrClass::In,
+                    },
+                )
+                .with_recursion_desired(rd)
+                .with_rcode(Rcode::from_u8(rcode));
+                m.is_response = is_resp;
+                m.answers = answers;
+                m.additional = additional;
+                if let Some(p) = ecs {
+                    m = m.with_ecs(p);
+                }
+                m
+            },
+        )
+}
+
+proptest! {
+    /// Wire codec round trip is the identity on valid messages.
+    #[test]
+    fn wire_roundtrip(m in arb_message()) {
+        let bytes = wire::encode(&m).expect("encodable");
+        let back = wire::decode(&bytes).expect("decodable");
+        prop_assert_eq!(back, m);
+    }
+
+    /// Any truncation of a valid packet decodes to an error, never a panic.
+    #[test]
+    fn wire_truncation_errors(m in arb_message(), frac in 0.0f64..1.0) {
+        let bytes = wire::encode(&m).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(wire::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Random bytes never panic the decoder.
+    #[test]
+    fn wire_garbage_no_panic(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = wire::decode(&data);
+    }
+
+    /// Single-byte corruption never panics and, if it still decodes, the
+    /// result re-encodes cleanly (parser output is always well-formed).
+    #[test]
+    fn wire_bitflip_robustness(m in arb_message(), idx: prop::sample::Index, bit in 0u8..8) {
+        let mut bytes = wire::encode(&m).unwrap();
+        if bytes.is_empty() { return Ok(()); }
+        let i = idx.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        if let Ok(decoded) = wire::decode(&bytes) {
+            prop_assert!(wire::encode(&decoded).is_ok());
+        }
+    }
+
+    /// Cache: an entry inserted with scope S answers exactly the query
+    /// prefixes contained in S, and expires exactly at TTL.
+    #[test]
+    fn cache_scope_and_ttl_exact(
+        scope in (any::<u32>(), 8u8..=24).prop_map(|(a, l)| Prefix::new(a, l).unwrap()),
+        probe in (any::<u32>(), 24u8..=24).prop_map(|(a, l)| Prefix::new(a, l).unwrap()),
+        ttl in 1u32..3600,
+        now in 0u64..1_000_000,
+    ) {
+        let mut cache = EcsCache::new(64);
+        let key = CacheKey::new("www.example.com".parse().unwrap(), RrType::A);
+        let rec = Record::a("www.example.com".parse().unwrap(), ttl, 1);
+        cache.insert(key.clone(), scope, vec![rec], ttl, now);
+
+        let in_scope = scope.contains(probe);
+        let live_at = now + u64::from(ttl) * 1000 - 1;
+        let dead_at = now + u64::from(ttl) * 1000;
+        prop_assert_eq!(cache.lookup(&key, probe, live_at).is_hit(), in_scope);
+        prop_assert!(!cache.lookup(&key, probe, dead_at).is_hit());
+    }
+
+    /// Cache capacity bound is never exceeded and lookups stay correct.
+    #[test]
+    fn cache_capacity_invariant(
+        inserts in prop::collection::vec((any::<u32>(), 1u32..600), 1..40),
+        cap in 1usize..16,
+    ) {
+        let mut cache = EcsCache::new(cap);
+        let key = CacheKey::new("www.example.com".parse().unwrap(), RrType::A);
+        for (i, (addr, ttl)) in inserts.iter().enumerate() {
+            let scope = Prefix::new(*addr, 24).unwrap();
+            let rec = Record::a("www.example.com".parse().unwrap(), *ttl, *addr);
+            cache.insert(key.clone(), scope, vec![rec], *ttl, i as u64 * 10);
+            prop_assert!(cache.len() <= cap, "len {} > cap {}", cache.len(), cap);
+        }
+    }
+}
+
+/// The probe path in the simulator never inserts on a miss; this guards
+/// the cache API against growing an implicit resolve-on-miss.
+#[test]
+fn lookup_never_populates() {
+    let mut cache = EcsCache::new(16);
+    let key = CacheKey::new("www.example.com".parse().unwrap(), RrType::A);
+    let probe: Prefix = "10.0.0.0/24".parse().unwrap();
+    for t in 0..10 {
+        assert!(!cache.lookup(&key, probe, t * 1000).is_hit());
+    }
+    assert!(cache.is_empty());
+    assert_eq!(cache.stats().inserts, 0);
+    assert_eq!(cache.stats().misses, 10);
+}
+
+/// Names written beyond offset 0x3FFF cannot be pointer targets; the
+/// encoder must fall back to uncompressed names and still round-trip.
+#[test]
+fn compression_disabled_past_pointer_range() {
+    let mut m = Message::query(1, Question::a("seed.example").unwrap());
+    // ~700 answers × ~40B pushes later names past 16 KiB.
+    for i in 0..700u32 {
+        let name: DomainName = format!("host-{i}.tail.domain-{i}.example")
+            .parse()
+            .unwrap();
+        m.answers.push(Record {
+            name,
+            rtype: RrType::A,
+            class: RrClass::In,
+            ttl: 60,
+            rdata: RData::A(i),
+        });
+    }
+    let bytes = wire::encode(&m).expect("encodable");
+    assert!(bytes.len() > 0x3FFF, "message too small to exercise the edge");
+    let back = wire::decode(&bytes).expect("decodable");
+    assert_eq!(back, m);
+}
+
+/// A response compressed against the question name decodes correctly
+/// even when the pointer lands exactly at the question-name offset (12).
+#[test]
+fn pointer_to_question_name() {
+    let q = Question::a("www.example.com").unwrap();
+    let mut m = Message::query(2, q.clone());
+    m.is_response = true;
+    m.answers = vec![Record::a(q.name.clone(), 30, 7)];
+    let bytes = wire::encode(&m).unwrap();
+    // The answer's owner name must be a pointer to offset 12.
+    let q_wire_len = q.name.wire_len();
+    let answer_name_off = 12 + q_wire_len + 4;
+    assert_eq!(bytes[answer_name_off], 0xC0);
+    assert_eq!(bytes[answer_name_off + 1], 12);
+    assert_eq!(wire::decode(&bytes).unwrap(), m);
+}

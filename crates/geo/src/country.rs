@@ -1,0 +1,80 @@
+//! ISO-3166-style two-letter country codes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-letter uppercase country code (e.g. `US`, `BR`).
+///
+/// ```
+/// use clientmap_geo::CountryCode;
+/// let us: CountryCode = "us".parse().unwrap();
+/// assert_eq!(us.to_string(), "US");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from two ASCII letters (any case).
+    pub const fn new(a: u8, b: u8) -> CountryCode {
+        CountryCode([a.to_ascii_uppercase(), b.to_ascii_uppercase()])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a country code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadCountryCode(pub String);
+
+impl fmt::Display for BadCountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid country code: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for BadCountryCode {}
+
+impl FromStr for CountryCode {
+    type Err = BadCountryCode;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return Err(BadCountryCode(s.to_string()));
+        }
+        Ok(CountryCode::new(bytes[0], bytes[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_uppercase() {
+        assert_eq!("br".parse::<CountryCode>().unwrap().as_str(), "BR");
+        assert_eq!("US".parse::<CountryCode>().unwrap().as_str(), "US");
+    }
+
+    #[test]
+    fn rejects_bad() {
+        for s in ["", "U", "USA", "U1", "??"] {
+            assert!(s.parse::<CountryCode>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn const_constructor() {
+        const US: CountryCode = CountryCode::new(b'u', b's');
+        assert_eq!(US.as_str(), "US");
+    }
+}

@@ -1,0 +1,30 @@
+//! # clientmap-geo
+//!
+//! A MaxMind-style IP geolocation database **simulator** and a static
+//! catalog of world metro areas.
+//!
+//! The paper uses MaxMind twice:
+//!
+//! 1. to map each /24 to a location + **error radius**, keeping only
+//!    prefixes with error radius < 200 km when calibrating per-PoP
+//!    service radii (§3.1.1);
+//! 2. implicitly relying on the fact that geolocation databases are
+//!    accurate for *eyeball* prefixes and poor for *infrastructure*
+//!    (§1 cites its ref. 16).
+//!
+//! [`GeoDb`] reproduces both properties: it is built from the synthetic
+//! world's ground-truth prefix locations through an explicit
+//! [`GeoAccuracyModel`] that perturbs eyeball prefixes a little and
+//! infrastructure prefixes a lot (occasionally assigning the wrong
+//! country), and it reports a per-entry error radius that bounds the
+//! true location — mostly.
+
+#![warn(missing_docs)]
+
+mod country;
+mod db;
+mod metros;
+
+pub use country::CountryCode;
+pub use db::{GeoAccuracyModel, GeoDb, GeoDbBuilder, GeoEntry, PrefixKind};
+pub use metros::{world_metros, Metro};

@@ -1,0 +1,190 @@
+//! A static catalog of world metro areas.
+//!
+//! The synthetic world scatters eyeball prefixes around these
+//! population centres so that geography-dependent results (Figure 1's
+//! density map, Figure 2's service-radius CDFs, Figure 3's per-country
+//! coverage) have realistic shape. Weights are rough metro populations
+//! in millions — only their *relative* sizes matter.
+//!
+//! South America is deliberately well represented: the paper highlights
+//! that cache-probing coverage is worse there (Figure 3), which in our
+//! reproduction emerges from sparser PoP/vantage coverage of the region.
+
+use clientmap_net::GeoCoord;
+
+use crate::CountryCode;
+
+/// One metro area.
+#[derive(Debug, Clone, Copy)]
+pub struct Metro {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Country.
+    pub country: CountryCode,
+    /// Centre coordinate.
+    pub coord: GeoCoord,
+    /// Relative population weight (≈ metro population, millions).
+    pub weight: f64,
+}
+
+const fn cc(a: u8, b: u8) -> CountryCode {
+    CountryCode::new(a, b)
+}
+
+macro_rules! metro {
+    ($name:literal, $a:literal $b:literal, $lat:literal, $lon:literal, $w:literal) => {
+        Metro {
+            name: $name,
+            country: cc($a, $b),
+            coord: GeoCoord {
+                lat: $lat,
+                lon: $lon,
+            },
+            weight: $w,
+        }
+    };
+}
+
+/// The catalog. Ordering is stable (tests rely on determinism, not on
+/// any particular order).
+static METROS: &[Metro] = &[
+    // --- North America (US coasts dense, matching Figure 1's remark) ---
+    metro!("New York", b'U' b'S', 40.7128, -74.0060, 19.5),
+    metro!("Los Angeles", b'U' b'S', 34.0522, -118.2437, 13.2),
+    metro!("Chicago", b'U' b'S', 41.8781, -87.6298, 9.5),
+    metro!("Dallas", b'U' b'S', 32.7767, -96.7970, 7.6),
+    metro!("Houston", b'U' b'S', 29.7604, -95.3698, 7.1),
+    metro!("Washington DC", b'U' b'S', 38.9072, -77.0369, 6.3),
+    metro!("Miami", b'U' b'S', 25.7617, -80.1918, 6.1),
+    metro!("Atlanta", b'U' b'S', 33.7490, -84.3880, 6.0),
+    metro!("San Francisco", b'U' b'S', 37.7749, -122.4194, 4.7),
+    metro!("Seattle", b'U' b'S', 47.6062, -122.3321, 4.0),
+    metro!("Denver", b'U' b'S', 39.7392, -104.9903, 3.0),
+    metro!("Charleston SC", b'U' b'S', 32.7765, -79.9311, 0.8),
+    metro!("The Dalles OR", b'U' b'S', 45.5946, -121.1787, 0.3),
+    metro!("Toronto", b'C' b'A', 43.6532, -79.3832, 6.2),
+    metro!("Montreal", b'C' b'A', 45.5017, -73.5673, 4.3),
+    metro!("Vancouver", b'C' b'A', 49.2827, -123.1207, 2.6),
+    metro!("Mexico City", b'M' b'X', 19.4326, -99.1332, 21.8),
+    metro!("Guadalajara", b'M' b'X', 20.6597, -103.3496, 5.3),
+    // --- South America ---
+    metro!("Sao Paulo", b'B' b'R', -23.5505, -46.6333, 22.4),
+    metro!("Rio de Janeiro", b'B' b'R', -22.9068, -43.1729, 13.6),
+    metro!("Belo Horizonte", b'B' b'R', -19.9167, -43.9345, 6.0),
+    metro!("Fortaleza", b'B' b'R', -3.7319, -38.5267, 4.1),
+    metro!("Buenos Aires", b'A' b'R', -34.6037, -58.3816, 15.4),
+    metro!("Cordoba", b'A' b'R', -31.4201, -64.1888, 1.6),
+    metro!("Lima", b'P' b'E', -12.0464, -77.0428, 10.9),
+    metro!("Bogota", b'C' b'O', 4.7110, -74.0721, 11.3),
+    metro!("Medellin", b'C' b'O', 6.2476, -75.5658, 4.0),
+    metro!("Santiago", b'C' b'L', -33.4489, -70.6693, 6.9),
+    metro!("Caracas", b'V' b'E', 10.4806, -66.9036, 2.9),
+    metro!("Quito", b'E' b'C', -0.1807, -78.4678, 2.0),
+    metro!("Guayaquil", b'E' b'C', -2.1894, -79.8891, 3.1),
+    metro!("La Paz", b'B' b'O', -16.4897, -68.1193, 1.9),
+    metro!("Santa Cruz", b'B' b'O', -17.7833, -63.1821, 1.8),
+    metro!("Asuncion", b'P' b'Y', -25.2637, -57.5759, 2.3),
+    metro!("Montevideo", b'U' b'Y', -34.9011, -56.1645, 1.8),
+    metro!("Paramaribo", b'S' b'R', 5.8520, -55.2038, 0.3),
+    // --- Europe ---
+    metro!("London", b'G' b'B', 51.5074, -0.1278, 14.3),
+    metro!("Paris", b'F' b'R', 48.8566, 2.3522, 12.9),
+    metro!("Berlin", b'D' b'E', 52.5200, 13.4050, 6.1),
+    metro!("Frankfurt", b'D' b'E', 50.1109, 8.6821, 2.7),
+    metro!("Madrid", b'E' b'S', 40.4168, -3.7038, 6.7),
+    metro!("Barcelona", b'E' b'S', 41.3851, 2.1734, 5.6),
+    metro!("Rome", b'I' b'T', 41.9028, 12.4964, 4.3),
+    metro!("Milan", b'I' b'T', 45.4642, 9.1900, 4.9),
+    metro!("Amsterdam", b'N' b'L', 52.3676, 4.9041, 2.9),
+    metro!("Groningen", b'N' b'L', 53.2194, 6.5665, 0.4),
+    metro!("Warsaw", b'P' b'L', 52.2297, 21.0122, 3.1),
+    metro!("Stockholm", b'S' b'E', 59.3293, 18.0686, 2.4),
+    metro!("Zurich", b'C' b'H', 47.3769, 8.5417, 1.4),
+    metro!("Istanbul", b'T' b'R', 41.0082, 28.9784, 15.8),
+    metro!("Moscow", b'R' b'U', 55.7558, 37.6173, 12.5),
+    metro!("Kyiv", b'U' b'A', 50.4501, 30.5234, 3.0),
+    // --- Africa & Middle East ---
+    metro!("Lagos", b'N' b'G', 6.5244, 3.3792, 15.4),
+    metro!("Cairo", b'E' b'G', 30.0444, 31.2357, 21.3),
+    metro!("Johannesburg", b'Z' b'A', -26.2041, 28.0473, 6.0),
+    metro!("Nairobi", b'K' b'E', -1.2921, 36.8219, 4.7),
+    metro!("Dubai", b'A' b'E', 25.2048, 55.2708, 3.5),
+    metro!("Tel Aviv", b'I' b'L', 32.0853, 34.7818, 4.2),
+    // --- Asia ---
+    metro!("Tokyo", b'J' b'P', 35.6762, 139.6503, 37.3),
+    metro!("Osaka", b'J' b'P', 34.6937, 135.5023, 18.9),
+    metro!("Seoul", b'K' b'R', 37.5665, 126.9780, 25.5),
+    metro!("Beijing", b'C' b'N', 39.9042, 116.4074, 20.9),
+    metro!("Shanghai", b'C' b'N', 31.2304, 121.4737, 27.0),
+    metro!("Shenzhen", b'C' b'N', 22.5431, 114.0579, 12.9),
+    metro!("Hong Kong", b'H' b'K', 22.3193, 114.1694, 7.5),
+    metro!("Taipei", b'T' b'W', 25.0330, 121.5654, 7.0),
+    metro!("Singapore", b'S' b'G', 1.3521, 103.8198, 5.9),
+    metro!("Jakarta", b'I' b'D', -6.2088, 106.8456, 34.5),
+    metro!("Manila", b'P' b'H', 14.5995, 120.9842, 14.2),
+    metro!("Bangkok", b'T' b'H', 13.7563, 100.5018, 10.7),
+    metro!("Ho Chi Minh City", b'V' b'N', 10.8231, 106.6297, 9.0),
+    metro!("Mumbai", b'I' b'N', 19.0760, 72.8777, 20.7),
+    metro!("Delhi", b'I' b'N', 28.7041, 77.1025, 31.2),
+    metro!("Bangalore", b'I' b'N', 12.9716, 77.5946, 13.2),
+    metro!("Chennai", b'I' b'N', 13.0827, 80.2707, 11.2),
+    metro!("Karachi", b'P' b'K', 24.8607, 67.0011, 16.5),
+    metro!("Dhaka", b'B' b'D', 23.8103, 90.4125, 22.5),
+    // --- Oceania ---
+    metro!("Sydney", b'A' b'U', -33.8688, 151.2093, 5.4),
+    metro!("Melbourne", b'A' b'U', -37.8136, 144.9631, 5.2),
+    metro!("Auckland", b'N' b'Z', -36.8509, 174.7645, 1.7),
+];
+
+/// The full metro catalog.
+pub fn world_metros() -> &'static [Metro] {
+    METROS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_valid() {
+        let metros = world_metros();
+        assert!(metros.len() >= 70);
+        for m in metros {
+            assert!((-90.0..=90.0).contains(&m.coord.lat), "{}", m.name);
+            assert!((-180.0..=180.0).contains(&m.coord.lon), "{}", m.name);
+            assert!(m.weight > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn covers_all_continent_groups() {
+        let metros = world_metros();
+        for code in ["US", "BR", "GB", "CN", "IN", "NG", "AU", "SR", "BO", "PY", "UY"] {
+            let c: CountryCode = code.parse().unwrap();
+            assert!(
+                metros.iter().any(|m| m.country == c),
+                "no metro in {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn south_america_well_represented() {
+        let metros = world_metros();
+        let sa = ["BR", "AR", "PE", "CO", "CL", "VE", "EC", "BO", "PY", "UY", "SR"];
+        let count = metros
+            .iter()
+            .filter(|m| sa.contains(&m.country.as_str()))
+            .count();
+        assert!(count >= 15, "only {count} South American metros");
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = world_metros().iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

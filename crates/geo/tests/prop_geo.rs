@@ -1,0 +1,71 @@
+//! Property tests for the geolocation substrate.
+
+use clientmap_geo::{CountryCode, GeoAccuracyModel, GeoDbBuilder, PrefixKind};
+use clientmap_net::{GeoCoord, Prefix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_coord() -> impl Strategy<Value = GeoCoord> {
+    (-85.0f64..85.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoCoord::new(lat, lon).unwrap())
+}
+
+proptest! {
+    /// Haversine is a metric (symmetry + triangle inequality, with
+    /// floating-point slack) and destination() is its inverse on range.
+    #[test]
+    fn distance_metric_properties(a in arb_coord(), b in arb_coord(), c in arb_coord()) {
+        let ab = a.distance_km(&b);
+        let ba = b.distance_km(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        let ac = a.distance_km(&c);
+        let cb = c.distance_km(&b);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle violated: {ab} > {ac}+{cb}");
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn destination_inverts_distance(start in arb_coord(), bearing in 0.0f64..360.0, d in 0.1f64..5000.0) {
+        let dest = start.destination(bearing, d);
+        let got = start.distance_km(&dest);
+        prop_assert!((got - d).abs() < 1.0, "wanted {d}, got {got}");
+    }
+
+    /// The geo DB answers exactly the prefixes it covers, eyeball
+    /// entries stay within the model's displacement bound, and the
+    /// country survives perturbation for eyeballs.
+    #[test]
+    fn geodb_lookup_and_eyeball_bounds(
+        blocks in prop::collection::vec((any::<u32>(), 16u8..=24, arb_coord()), 1..12),
+        probe_addr in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let us: CountryCode = "US".parse().unwrap();
+        let mut builder = GeoDbBuilder::new();
+        let mut prefixes: Vec<(Prefix, GeoCoord)> = Vec::new();
+        for (addr, len, coord) in blocks {
+            let p = Prefix::new(addr, len).unwrap();
+            // Skip overlapping inserts to keep expectations unambiguous.
+            if prefixes.iter().any(|(q, _)| q.overlaps(p)) {
+                continue;
+            }
+            builder.add(p, coord, us, PrefixKind::Eyeball);
+            prefixes.push((p, coord));
+        }
+        let model = GeoAccuracyModel::default();
+        let db = builder.build(&model, &mut StdRng::seed_from_u64(seed));
+        // Every inserted prefix answers, within the eyeball bound.
+        for (p, truth) in &prefixes {
+            let e = db.lookup(*p).expect("inserted prefix must answer");
+            prop_assert!(
+                truth.distance_km(&e.coord) <= model.eyeball_max_err_km + 1e-6,
+                "eyeball displaced {} km", truth.distance_km(&e.coord)
+            );
+            prop_assert_eq!(e.country, us);
+            prop_assert!(e.error_radius_km > 0.0);
+        }
+        // A random address answers iff covered.
+        let covered = prefixes.iter().any(|(p, _)| p.contains_addr(probe_addr));
+        prop_assert_eq!(db.lookup_addr(probe_addr).is_some(), covered);
+    }
+}

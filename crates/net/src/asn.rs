@@ -1,0 +1,86 @@
+//! Autonomous System numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetError;
+
+/// An Autonomous System number (32-bit, RFC 6793).
+///
+/// ```
+/// use clientmap_net::Asn;
+/// let a: Asn = "AS15169".parse().unwrap();
+/// assert_eq!(a, Asn(15169));
+/// assert_eq!(a.to_string(), "AS15169");
+/// assert_eq!("64512".parse::<Asn>().unwrap(), Asn(64512));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS 0 is reserved (RFC 7607) and never a valid origin.
+    pub const RESERVED: Asn = Asn(0);
+
+    /// Whether this is a private-use ASN (RFC 6996 ranges).
+    pub fn is_private(&self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, NetError> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(NetError::InvalidAsn(s.to_string()));
+        }
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetError::InvalidAsn(s.to_string()))
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_variants() {
+        assert_eq!("AS1".parse::<Asn>().unwrap(), Asn(1));
+        assert_eq!("as23456".parse::<Asn>().unwrap(), Asn(23456));
+        assert_eq!("4294967295".parse::<Asn>().unwrap(), Asn(u32::MAX));
+    }
+
+    #[test]
+    fn parse_rejects() {
+        for s in ["", "AS", "AS-1", "ASX", "1.5", "AS99999999999"] {
+            assert!(s.parse::<Asn>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(15169).is_private());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for `clientmap-net`.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating network types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The textual form of an IPv4 address was malformed.
+    InvalidAddress(String),
+    /// The prefix length was outside `0..=32`.
+    InvalidPrefixLength(u8),
+    /// A CIDR string was structurally malformed (missing `/`, empty, …).
+    InvalidCidr(String),
+    /// An AS number string was malformed.
+    InvalidAsn(String),
+    /// A latitude/longitude pair was out of range.
+    InvalidCoordinate {
+        /// Latitude in degrees.
+        lat: f64,
+        /// Longitude in degrees.
+        lon: f64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            NetError::InvalidPrefixLength(l) => {
+                write!(f, "invalid prefix length {l} (must be 0..=32)")
+            }
+            NetError::InvalidCidr(s) => write!(f, "invalid CIDR: {s:?}"),
+            NetError::InvalidAsn(s) => write!(f, "invalid AS number: {s:?}"),
+            NetError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid coordinate: lat={lat}, lon={lon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,47 @@
+//! # clientmap-net
+//!
+//! Foundational network types for the `clientmap` measurement pipeline:
+//! IPv4 prefixes and CIDR arithmetic, a binary prefix trie with
+//! longest-prefix matching, /24-granularity prefix sets, a
+//! Routeviews-style prefix→origin-AS routing information base (RIB),
+//! and geographic coordinates with great-circle distance.
+//!
+//! Everything in this crate is plain data + algorithms: no I/O, no
+//! global state, no panics on untrusted input. All fallible parsing
+//! returns a dedicated error type.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use clientmap_net::{Prefix, PrefixTrie};
+//!
+//! let p: Prefix = "192.0.2.0/24".parse().unwrap();
+//! assert!(p.contains_addr(0xC0000217)); // 192.0.2.23
+//!
+//! let mut trie = PrefixTrie::new();
+//! trie.insert("192.0.0.0/16".parse().unwrap(), "coarse");
+//! trie.insert(p, "fine");
+//! let (m, v) = trie.longest_match_addr(0xC0000217).unwrap();
+//! assert_eq!(m, p);
+//! assert_eq!(*v, "fine");
+//! ```
+
+#![warn(missing_docs)]
+
+mod asn;
+mod coord;
+mod error;
+mod prefix;
+mod rib;
+mod set;
+mod stablehash;
+mod trie;
+
+pub use asn::Asn;
+pub use coord::GeoCoord;
+pub use error::NetError;
+pub use prefix::{Prefix, Subnets24};
+pub use rib::{Rib, RibEntry};
+pub use set::PrefixSet;
+pub use stablehash::{splitmix64, SeedMixer};
+pub use trie::PrefixTrie;

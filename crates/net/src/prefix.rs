@@ -1,0 +1,448 @@
+//! IPv4 CIDR prefixes and arithmetic.
+//!
+//! A [`Prefix`] is stored in canonical form: host bits below the mask are
+//! always zero, so two prefixes compare equal iff they denote the same
+//! address block. Addresses are carried as plain `u32` in network
+//! (big-endian numeric) order, which keeps the hot paths branch-free and
+//! allocation-free.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetError;
+
+/// An IPv4 CIDR prefix in canonical (masked) form.
+///
+/// ```
+/// use clientmap_net::Prefix;
+/// let p: Prefix = "10.1.2.0/23".parse().unwrap();
+/// assert_eq!(p.len(), 23);
+/// assert_eq!(p.to_string(), "10.1.2.0/23");
+/// assert!(p.contains("10.1.3.0/24".parse().unwrap()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address with host bits zeroed.
+    addr: u32,
+    /// Prefix length, `0..=32`.
+    len: u8,
+}
+
+// `len` is the CIDR prefix length; "emptiness" is meaningless for a
+// prefix, so the usual `is_empty` pairing does not apply.
+#[allow(clippy::len_without_is_empty)]
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Builds a prefix, masking out host bits. Fails if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Result<Self, NetError> {
+        if len > 32 {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        Ok(Prefix {
+            addr: addr & mask(len),
+            len,
+        })
+    }
+
+    /// The /32 prefix for a single address.
+    pub fn host(addr: u32) -> Self {
+        Prefix { addr, len: 32 }
+    }
+
+    /// The /24 prefix containing `addr`.
+    pub fn slash24_of(addr: u32) -> Self {
+        Prefix {
+            addr: addr & mask(24),
+            len: 24,
+        }
+    }
+
+    /// Network address (host bits zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default route.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask as a `u32` (e.g. `/24` → `0xFFFF_FF00`).
+    pub fn netmask(&self) -> u32 {
+        mask(self.len)
+    }
+
+    /// Number of addresses covered (as `u64`; `/0` covers 2^32).
+    pub fn num_addrs(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// First address in the block.
+    pub fn first_addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Last address in the block.
+    pub fn last_addr(&self) -> u32 {
+        self.addr | !mask(self.len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        addr & mask(self.len) == self.addr
+    }
+
+    /// Whether `other` is equal to or more specific than `self`.
+    pub fn contains(&self, other: Prefix) -> bool {
+        other.len >= self.len && other.addr & mask(self.len) == self.addr
+    }
+
+    /// Whether the two prefixes share any address (one contains the other).
+    pub fn overlaps(&self, other: Prefix) -> bool {
+        self.contains(other) || other.contains(*self)
+    }
+
+    /// The immediate parent (one bit shorter), or `None` for `/0`.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            let len = self.len - 1;
+            Some(Prefix {
+                addr: self.addr & mask(len),
+                len,
+            })
+        }
+    }
+
+    /// The enclosing prefix of length `len`, if `len <= self.len()`.
+    pub fn supernet(&self, len: u8) -> Option<Prefix> {
+        if len > self.len {
+            None
+        } else {
+            Some(Prefix {
+                addr: self.addr & mask(len),
+                len,
+            })
+        }
+    }
+
+    /// Splits into the two children one bit longer, or `None` for `/32`.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let bit = 1u32 << (32 - len);
+        Some((
+            Prefix {
+                addr: self.addr,
+                len,
+            },
+            Prefix {
+                addr: self.addr | bit,
+                len,
+            },
+        ))
+    }
+
+    /// The sibling sharing this prefix's parent, or `None` for `/0`.
+    pub fn sibling(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = 1u32 << (32 - self.len);
+        Some(Prefix {
+            addr: self.addr ^ bit,
+            len: self.len,
+        })
+    }
+
+    /// Value of the bit at `depth` (0 = most significant) of the address.
+    pub fn bit(&self, depth: u8) -> bool {
+        debug_assert!(depth < 32);
+        self.addr & (1u32 << (31 - depth)) != 0
+    }
+
+    /// Number of /24 prefixes covered. A prefix longer than /24 counts as
+    /// the single /24 containing it (the paper's convention: "for return
+    /// scopes smaller than /24, we assume the entire /24 is active").
+    pub fn num_slash24s(&self) -> u64 {
+        if self.len >= 24 {
+            1
+        } else {
+            1u64 << (24 - self.len)
+        }
+    }
+
+    /// Iterator over the /24 prefixes covered by this prefix (see
+    /// [`Prefix::num_slash24s`] for the >/24 convention).
+    pub fn slash24s(&self) -> Subnets24 {
+        let start = (self.addr & mask(24)) >> 8;
+        Subnets24 {
+            next: start,
+            remaining: self.num_slash24s(),
+        }
+    }
+}
+
+/// Iterator over the /24 sub-prefixes of a prefix.
+///
+/// Yielded by [`Prefix::slash24s`].
+#[derive(Debug, Clone)]
+pub struct Subnets24 {
+    /// Next /24 index (address >> 8).
+    next: u32,
+    remaining: u64,
+}
+
+impl Iterator for Subnets24 {
+    type Item = Prefix;
+
+    fn next(&mut self) -> Option<Prefix> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let p = Prefix {
+            addr: self.next << 8,
+            len: 24,
+        };
+        self.next = self.next.wrapping_add(1);
+        self.remaining -= 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Subnets24 {}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xFF,
+            (a >> 8) & 0xFF,
+            a & 0xFF,
+            self.len
+        )
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, NetError> {
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::InvalidCidr(s.to_string()))?;
+        let len: u8 = len_s
+            .parse()
+            .map_err(|_| NetError::InvalidCidr(s.to_string()))?;
+        let addr = parse_ipv4(addr_s)?;
+        Prefix::new(addr, len)
+    }
+}
+
+/// Parses a dotted-quad IPv4 address into a `u32`.
+pub(crate) fn parse_ipv4(s: &str) -> Result<u32, NetError> {
+    let mut octets = [0u32; 4];
+    let mut count = 0;
+    for part in s.split('.') {
+        if count == 4 {
+            return Err(NetError::InvalidAddress(s.to_string()));
+        }
+        // Reject empty parts and leading '+' which u8::from_str would allow.
+        if part.is_empty() || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(NetError::InvalidAddress(s.to_string()));
+        }
+        let v: u32 = part
+            .parse()
+            .map_err(|_| NetError::InvalidAddress(s.to_string()))?;
+        if v > 255 {
+            return Err(NetError::InvalidAddress(s.to_string()));
+        }
+        octets[count] = v;
+        count += 1;
+    }
+    if count != 4 {
+        return Err(NetError::InvalidAddress(s.to_string()));
+    }
+    Ok((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3])
+}
+
+/// Netmask for a prefix length: `mask(24) == 0xFFFF_FF00`, `mask(0) == 0`.
+#[inline]
+pub(crate) fn mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_canonicalizes_host_bits() {
+        let p: Prefix = "192.0.2.77/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "1.2.3.4",
+            "1.2.3/24",
+            "1.2.3.4.5/8",
+            "256.0.0.0/8",
+            "1.2.3.4/33",
+            "1.2.3.4/-1",
+            "a.b.c.d/8",
+            "1.2.3.4/",
+            "/24",
+            "1..2.3/8",
+            "+1.2.3.4/8",
+        ] {
+            assert!(s.parse::<Prefix>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+        let p24: Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Prefix = "10.2.0.0/16".parse().unwrap();
+        assert!(p16.contains(p24));
+        assert!(!p24.contains(p16));
+        assert!(p16.overlaps(p24));
+        assert!(p24.overlaps(p16));
+        assert!(!p16.overlaps(other));
+        assert!(p16.contains(p16));
+    }
+
+    #[test]
+    fn contains_addr_boundaries() {
+        let p: Prefix = "10.1.2.0/23".parse().unwrap();
+        assert!(p.contains_addr(parse_ipv4("10.1.2.0").unwrap()));
+        assert!(p.contains_addr(parse_ipv4("10.1.3.255").unwrap()));
+        assert!(!p.contains_addr(parse_ipv4("10.1.4.0").unwrap()));
+        assert!(!p.contains_addr(parse_ipv4("10.1.1.255").unwrap()));
+    }
+
+    #[test]
+    fn default_route() {
+        assert!(Prefix::DEFAULT.is_default());
+        assert!(Prefix::DEFAULT.contains_addr(0));
+        assert!(Prefix::DEFAULT.contains_addr(u32::MAX));
+        assert_eq!(Prefix::DEFAULT.num_addrs(), 1u64 << 32);
+    }
+
+    #[test]
+    fn parent_children_sibling() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "10.1.2.0/23");
+        let (l, r) = parent.children().unwrap();
+        assert_eq!(l, p);
+        assert_eq!(r.to_string(), "10.1.3.0/24");
+        assert_eq!(p.sibling().unwrap(), r);
+        assert_eq!(r.sibling().unwrap(), p);
+        assert!(Prefix::DEFAULT.parent().is_none());
+        assert!(Prefix::DEFAULT.sibling().is_none());
+        assert!(Prefix::host(5).children().is_none());
+    }
+
+    #[test]
+    fn slash24_iteration() {
+        let p: Prefix = "10.1.2.0/23".parse().unwrap();
+        let subs: Vec<String> = p.slash24s().map(|q| q.to_string()).collect();
+        assert_eq!(subs, vec!["10.1.2.0/24", "10.1.3.0/24"]);
+
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.slash24s().count(), 1);
+
+        // >/24 collapses onto its covering /24.
+        let p: Prefix = "10.1.2.128/25".parse().unwrap();
+        let subs: Vec<String> = p.slash24s().map(|q| q.to_string()).collect();
+        assert_eq!(subs, vec!["10.1.2.0/24"]);
+        assert_eq!(p.num_slash24s(), 1);
+    }
+
+    #[test]
+    fn num_slash24s_counts() {
+        let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(p16.num_slash24s(), 256);
+        assert_eq!(p16.slash24s().count(), 256);
+        assert_eq!(Prefix::host(0).num_slash24s(), 1);
+    }
+
+    #[test]
+    fn supernet_truncates() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.supernet(16).unwrap().to_string(), "10.1.0.0/16");
+        assert_eq!(p.supernet(24).unwrap(), p);
+        assert!(p.supernet(25).is_none());
+    }
+
+    #[test]
+    fn first_last_addr() {
+        let p: Prefix = "10.1.2.0/23".parse().unwrap();
+        assert_eq!(p.first_addr(), parse_ipv4("10.1.2.0").unwrap());
+        assert_eq!(p.last_addr(), parse_ipv4("10.1.3.255").unwrap());
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let p: Prefix = "128.0.0.0/1".parse().unwrap();
+        assert!(p.bit(0));
+        let q: Prefix = "64.0.0.0/2".parse().unwrap();
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v: Vec<Prefix> = ["10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        v.sort();
+        let strs: Vec<String> = v.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec!["9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16"]
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! A Routeviews-style prefix→origin-AS routing information base.
+//!
+//! The paper maps measured prefixes to ASes using the CAIDA Routeviews
+//! prefix-to-AS dataset [1]. [`Rib`] plays that role here: it stores
+//! announced prefixes with their origin AS and answers longest-prefix
+//! match for addresses and prefixes, plus per-AS aggregates (announced
+//! /24 counts drive Figure 4's denominators).
+
+use std::collections::HashMap;
+
+use crate::{Asn, Prefix, PrefixTrie};
+
+/// One announced route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RibEntry {
+    /// Origin AS announcing the prefix.
+    pub origin: Asn,
+}
+
+/// Prefix→origin-AS table with longest-prefix matching.
+///
+/// ```
+/// use clientmap_net::{Asn, Rib};
+/// let mut rib = Rib::new();
+/// rib.announce("10.0.0.0/8".parse().unwrap(), Asn(100));
+/// rib.announce("10.1.0.0/16".parse().unwrap(), Asn(200));
+/// assert_eq!(rib.origin_of_addr(0x0A010203), Some(Asn(200)));
+/// assert_eq!(rib.origin_of_addr(0x0A020203), Some(Asn(100)));
+/// assert_eq!(rib.announced_slash24s(Asn(200)), 256);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    trie: PrefixTrie<RibEntry>,
+    /// Announced /24 equivalents per origin AS, counting each announced
+    /// prefix independently (Routeviews convention: more-specifics of a
+    /// different origin are separate announcements).
+    per_as_slash24s: HashMap<Asn, u64>,
+    per_as_prefixes: HashMap<Asn, u32>,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Rib::default()
+    }
+
+    /// Announces `prefix` with the given origin. Re-announcing an existing
+    /// prefix replaces its origin.
+    pub fn announce(&mut self, prefix: Prefix, origin: Asn) {
+        if let Some(old) = self.trie.insert(prefix, RibEntry { origin }) {
+            // Replacement: retract the old origin's accounting.
+            if let Some(c) = self.per_as_slash24s.get_mut(&old.origin) {
+                *c -= prefix.num_slash24s();
+            }
+            if let Some(c) = self.per_as_prefixes.get_mut(&old.origin) {
+                *c -= 1;
+            }
+        }
+        *self.per_as_slash24s.entry(origin).or_insert(0) += prefix.num_slash24s();
+        *self.per_as_prefixes.entry(origin).or_insert(0) += 1;
+    }
+
+    /// Withdraws a prefix. Returns the entry if it was announced.
+    pub fn withdraw(&mut self, prefix: Prefix) -> Option<RibEntry> {
+        let entry = self.trie.remove(prefix)?;
+        if let Some(c) = self.per_as_slash24s.get_mut(&entry.origin) {
+            *c -= prefix.num_slash24s();
+        }
+        if let Some(c) = self.per_as_prefixes.get_mut(&entry.origin) {
+            *c -= 1;
+        }
+        Some(entry)
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Longest-prefix match for an address.
+    pub fn lookup_addr(&self, addr: u32) -> Option<(Prefix, RibEntry)> {
+        self.trie.longest_match_addr(addr).map(|(p, e)| (p, *e))
+    }
+
+    /// Longest-prefix match for a prefix (most specific announced prefix
+    /// containing it).
+    pub fn lookup(&self, prefix: Prefix) -> Option<(Prefix, RibEntry)> {
+        self.trie.longest_match(prefix).map(|(p, e)| (p, *e))
+    }
+
+    /// Origin AS of the route covering `addr`, if any.
+    pub fn origin_of_addr(&self, addr: u32) -> Option<Asn> {
+        self.lookup_addr(addr).map(|(_, e)| e.origin)
+    }
+
+    /// Origin AS of the most specific route covering `prefix`.
+    ///
+    /// When `prefix` is *shorter* than every announced covering route
+    /// (e.g. mapping a /16 ECS scope against /24 announcements), falls
+    /// back to the origin of the first announced prefix *inside* it.
+    pub fn origin_of_prefix(&self, prefix: Prefix) -> Option<Asn> {
+        if let Some((_, e)) = self.trie.longest_match(prefix) {
+            return Some(e.origin);
+        }
+        self.trie
+            .covered_by(prefix)
+            .first()
+            .map(|(_, e)| e.origin)
+    }
+
+    /// All origin ASes with announcements inside `prefix` (deduplicated,
+    /// unordered), including a covering announcement if present.
+    pub fn origins_within(&self, prefix: Prefix) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .trie
+            .covered_by(prefix)
+            .iter()
+            .map(|(_, e)| e.origin)
+            .collect();
+        if out.is_empty() {
+            if let Some((_, e)) = self.trie.longest_match(prefix) {
+                out.push(e.origin);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether an address is covered by any announcement.
+    pub fn is_routed(&self, addr: u32) -> bool {
+        self.trie.longest_match_addr(addr).is_some()
+    }
+
+    /// Number of /24 equivalents announced by an AS (0 if unknown).
+    pub fn announced_slash24s(&self, asn: Asn) -> u64 {
+        self.per_as_slash24s.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// Number of prefixes announced by an AS (0 if unknown).
+    pub fn announced_prefixes(&self, asn: Asn) -> u32 {
+        self.per_as_prefixes.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// All ASes with at least one announcement.
+    pub fn origins(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self
+            .per_as_prefixes
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(a, _)| *a)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All announced routes in address order.
+    pub fn routes(&self) -> Vec<(Prefix, RibEntry)> {
+        self.trie.iter().into_iter().map(|(p, e)| (p, *e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lpm_resolution() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.0.0.0/8"), Asn(1));
+        rib.announce(p("10.1.0.0/16"), Asn(2));
+        assert_eq!(rib.origin_of_addr(0x0A010101), Some(Asn(2)));
+        assert_eq!(rib.origin_of_addr(0x0A020101), Some(Asn(1)));
+        assert_eq!(rib.origin_of_addr(0x0B000001), None);
+        assert!(rib.is_routed(0x0A000001));
+        assert!(!rib.is_routed(0x0B000001));
+    }
+
+    #[test]
+    fn origin_of_prefix_falls_back_to_contained() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.4.0/24"), Asn(7));
+        // Query /16: no covering route, but a contained one.
+        assert_eq!(rib.origin_of_prefix(p("10.1.0.0/16")), Some(Asn(7)));
+        assert_eq!(rib.origin_of_prefix(p("10.2.0.0/16")), None);
+    }
+
+    #[test]
+    fn origins_within_dedups() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.0.0/24"), Asn(7));
+        rib.announce(p("10.1.1.0/24"), Asn(7));
+        rib.announce(p("10.1.2.0/24"), Asn(9));
+        assert_eq!(rib.origins_within(p("10.1.0.0/16")), vec![Asn(7), Asn(9)]);
+        // A covering-only announcement also answers.
+        let mut rib2 = Rib::new();
+        rib2.announce(p("10.0.0.0/8"), Asn(5));
+        assert_eq!(rib2.origins_within(p("10.1.0.0/16")), vec![Asn(5)]);
+    }
+
+    #[test]
+    fn per_as_accounting() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.0.0/16"), Asn(1));
+        rib.announce(p("10.2.0.0/24"), Asn(1));
+        rib.announce(p("11.0.0.0/24"), Asn(2));
+        assert_eq!(rib.announced_slash24s(Asn(1)), 257);
+        assert_eq!(rib.announced_prefixes(Asn(1)), 2);
+        assert_eq!(rib.announced_slash24s(Asn(2)), 1);
+        assert_eq!(rib.announced_slash24s(Asn(3)), 0);
+        assert_eq!(rib.origins(), vec![Asn(1), Asn(2)]);
+
+        rib.withdraw(p("10.1.0.0/16"));
+        assert_eq!(rib.announced_slash24s(Asn(1)), 1);
+        assert_eq!(rib.announced_prefixes(Asn(1)), 1);
+    }
+
+    #[test]
+    fn reannounce_replaces_origin() {
+        let mut rib = Rib::new();
+        rib.announce(p("10.1.0.0/16"), Asn(1));
+        rib.announce(p("10.1.0.0/16"), Asn(2));
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.origin_of_addr(0x0A010000), Some(Asn(2)));
+        assert_eq!(rib.announced_slash24s(Asn(1)), 0);
+        assert_eq!(rib.announced_slash24s(Asn(2)), 256);
+        assert_eq!(rib.origins(), vec![Asn(2)]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Sets of IPv4 prefixes with /24-granularity accounting.
+//!
+//! The paper's prefix-level results (Table 1, Figure 4) count `/24`
+//! prefixes: a cache hit whose return scope is *less* specific than /24
+//! (e.g. a /16) covers many /24s, and a scope *more* specific than /24
+//! is collapsed onto its covering /24. [`PrefixSet`] implements exactly
+//! that accounting: it stores a set of **disjoint** prefixes of length
+//! ≤ 24 and answers membership, cardinality (in /24s) and set algebra
+//! at /24 granularity.
+
+use crate::{Prefix, PrefixTrie};
+
+/// A set of IPv4 address space, normalised to disjoint prefixes of
+/// length ≤ 24 and measured in /24 units.
+///
+/// ```
+/// use clientmap_net::PrefixSet;
+/// let mut s = PrefixSet::new();
+/// s.insert("10.1.0.0/16".parse().unwrap());
+/// s.insert("10.1.2.0/24".parse().unwrap()); // already covered
+/// s.insert("10.2.3.128/25".parse().unwrap()); // collapses to 10.2.3.0/24
+/// assert_eq!(s.num_slash24s(), 256 + 1);
+/// assert!(s.contains_slash24("10.2.3.0/24".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSet {
+    /// Invariant: keys are pairwise disjoint and have length ≤ 24.
+    trie: PrefixTrie<()>,
+    /// Cached total number of /24s covered.
+    slash24s: u64,
+}
+
+impl PrefixSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PrefixSet {
+            trie: PrefixTrie::new(),
+            slash24s: 0,
+        }
+    }
+
+    /// Builds a set from any iterator of prefixes.
+    pub fn from_prefixes<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+        let mut s = PrefixSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Normalises a prefix longer than /24 onto its covering /24.
+    fn normalise(p: Prefix) -> Prefix {
+        if p.len() > 24 {
+            p.supernet(24).expect("24 <= len")
+        } else {
+            p
+        }
+    }
+
+    /// Adds a prefix (normalised to ≤ /24). Returns `true` if the set grew.
+    pub fn insert(&mut self, p: Prefix) -> bool {
+        let p = Self::normalise(p);
+        if self.trie.any_covering(p) {
+            return false; // already fully covered by an equal/shorter entry
+        }
+        // Remove entries that the new prefix swallows, then insert it.
+        let removed = self.trie.remove_covered_by(p);
+        for (r, ()) in &removed {
+            self.slash24s -= r.num_slash24s();
+        }
+        self.trie.insert(p, ());
+        self.slash24s += p.num_slash24s();
+        true
+    }
+
+    /// Number of distinct prefixes stored (after normalisation/merging).
+    ///
+    /// Note this is *not* the /24 count; see [`PrefixSet::num_slash24s`].
+    pub fn num_prefixes(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Total number of /24 prefixes covered.
+    pub fn num_slash24s(&self) -> u64 {
+        self.slash24s
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Whether the given /24 (or the /24 containing a longer prefix) is
+    /// fully covered by the set.
+    pub fn contains_slash24(&self, p: Prefix) -> bool {
+        self.trie.any_covering(Self::normalise(p))
+    }
+
+    /// Whether `addr` falls inside the set.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.trie.longest_match_addr(addr).is_some()
+    }
+
+    /// Whether any part of `p` intersects the set (either direction of
+    /// containment).
+    pub fn intersects(&self, p: Prefix) -> bool {
+        let p = Self::normalise(p);
+        self.trie.any_covering(p) || self.trie.any_covered_by(p)
+    }
+
+    /// The stored (disjoint, ≤ /24) prefixes in address order.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.trie.iter().into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Iterates every covered /24, in address order.
+    pub fn iter_slash24s(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.trie
+            .iter()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|p| p.slash24s())
+    }
+
+    /// Number of /24s in `self ∩ other`.
+    pub fn intersection_slash24s(&self, other: &PrefixSet) -> u64 {
+        // Iterate the set with fewer stored prefixes; for each, count
+        // the /24 overlap with the other's disjoint entries.
+        let (small, large) = if self.num_prefixes() <= other.num_prefixes() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut total = 0u64;
+        for p in small.prefixes() {
+            if large.trie.any_covering(p) {
+                // p fully inside one of large's entries.
+                total += p.num_slash24s();
+            } else {
+                // Sum the entries of large strictly inside p. Disjointness
+                // of each set means no double counting.
+                for (q, ()) in large.trie.covered_by(p) {
+                    total += q.num_slash24s();
+                }
+            }
+        }
+        total
+    }
+
+    /// The /24s present in both sets, as a new set.
+    pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
+        let (small, large) = if self.num_prefixes() <= other.num_prefixes() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = PrefixSet::new();
+        for p in small.prefixes() {
+            if large.trie.any_covering(p) {
+                out.insert(p);
+            } else {
+                for (q, ()) in large.trie.covered_by(p) {
+                    out.insert(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// Union with another set, as a new set.
+    pub fn union(&self, other: &PrefixSet) -> PrefixSet {
+        let mut out = self.clone();
+        for p in other.prefixes() {
+            out.insert(p);
+        }
+        out
+    }
+
+    /// Merges `other` into `self`.
+    pub fn extend(&mut self, other: &PrefixSet) {
+        for p in other.prefixes() {
+            self.insert(p);
+        }
+    }
+}
+
+impl FromIterator<Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+        PrefixSet::from_prefixes(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_dedups_covered() {
+        let mut s = PrefixSet::new();
+        assert!(s.insert(p("10.1.0.0/16")));
+        assert!(!s.insert(p("10.1.2.0/24")));
+        assert!(!s.insert(p("10.1.0.0/16")));
+        assert_eq!(s.num_prefixes(), 1);
+        assert_eq!(s.num_slash24s(), 256);
+    }
+
+    #[test]
+    fn insert_swallows_more_specific() {
+        let mut s = PrefixSet::new();
+        s.insert(p("10.1.2.0/24"));
+        s.insert(p("10.1.3.0/24"));
+        assert_eq!(s.num_slash24s(), 2);
+        s.insert(p("10.1.0.0/16"));
+        assert_eq!(s.num_prefixes(), 1);
+        assert_eq!(s.num_slash24s(), 256);
+    }
+
+    #[test]
+    fn longer_than_24_collapses() {
+        let mut s = PrefixSet::new();
+        s.insert(p("10.1.2.128/25"));
+        s.insert(p("10.1.2.0/25")); // same /24
+        assert_eq!(s.num_prefixes(), 1);
+        assert_eq!(s.num_slash24s(), 1);
+        assert!(s.contains_slash24(p("10.1.2.0/24")));
+    }
+
+    #[test]
+    fn membership() {
+        let mut s = PrefixSet::new();
+        s.insert(p("10.1.0.0/16"));
+        assert!(s.contains_slash24(p("10.1.200.0/24")));
+        assert!(!s.contains_slash24(p("10.2.0.0/24")));
+        assert!(s.contains_addr(0x0A01FF01)); // 10.1.255.1
+        assert!(!s.contains_addr(0x0A020001));
+        assert!(s.intersects(p("10.0.0.0/8")));
+        assert!(!s.intersects(p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn intersection_counts() {
+        let a = PrefixSet::from_prefixes([p("10.1.0.0/16"), p("10.3.5.0/24")]);
+        let b = PrefixSet::from_prefixes([p("10.1.7.0/24"), p("10.1.8.0/24"), p("10.4.0.0/16")]);
+        assert_eq!(a.intersection_slash24s(&b), 2);
+        assert_eq!(b.intersection_slash24s(&a), 2);
+        let i = a.intersection(&b);
+        assert_eq!(i.num_slash24s(), 2);
+        assert!(i.contains_slash24(p("10.1.7.0/24")));
+        assert!(!i.contains_slash24(p("10.3.5.0/24")));
+    }
+
+    #[test]
+    fn intersection_with_coarse_entries() {
+        // a has a /16, b has the same /16: overlap is all 256.
+        let a = PrefixSet::from_prefixes([p("10.1.0.0/16")]);
+        let b = PrefixSet::from_prefixes([p("10.0.0.0/8")]);
+        assert_eq!(a.intersection_slash24s(&b), 256);
+        assert_eq!(b.intersection_slash24s(&a), 256);
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = PrefixSet::from_prefixes([p("10.1.2.0/24")]);
+        let b = PrefixSet::from_prefixes([p("10.1.0.0/16")]);
+        let u = a.union(&b);
+        assert_eq!(u.num_slash24s(), 256);
+        let mut c = a.clone();
+        c.extend(&b);
+        assert_eq!(c.num_slash24s(), 256);
+    }
+
+    #[test]
+    fn iter_slash24s_enumerates() {
+        let s = PrefixSet::from_prefixes([p("10.1.2.0/23"), p("192.0.2.0/24")]);
+        let v: Vec<String> = s.iter_slash24s().map(|q| q.to_string()).collect();
+        assert_eq!(v, vec!["10.1.2.0/24", "10.1.3.0/24", "192.0.2.0/24"]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = PrefixSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.num_slash24s(), 0);
+        assert_eq!(s.intersection_slash24s(&s), 0);
+    }
+}

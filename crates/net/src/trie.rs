@@ -1,0 +1,447 @@
+//! A binary prefix trie over IPv4 CIDR prefixes.
+//!
+//! The trie is an uncompressed binary tree of maximum depth 32 — in the
+//! spirit of smoltcp's "simplicity and robustness" goals we avoid the
+//! path-compression bookkeeping; depth is bounded and the pipeline's
+//! tables (≲ a few hundred thousand routes) fit comfortably.
+//!
+//! Supports exact lookup, longest-prefix match, enumeration of entries
+//! covering or covered by a prefix, and in-order iteration.
+
+use crate::Prefix;
+
+/// One trie node. `value` is set iff a prefix terminates here.
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+
+    fn is_leaf_empty(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from [`Prefix`] to `V` supporting longest-prefix matching.
+///
+/// ```
+/// use clientmap_net::{Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), 8);
+/// t.insert("10.1.0.0/16".parse().unwrap(), 16);
+/// let (p, v) = t.longest_match_addr(0x0A010203).unwrap(); // 10.1.2.3
+/// assert_eq!(p.len(), 16);
+/// assert_eq!(*v, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Returns the entry for `prefix`, inserting `default()` if absent.
+    pub fn get_or_insert_with(&mut self, prefix: Prefix, default: impl FnOnce() -> V) -> &mut V {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        if node.value.is_none() {
+            node.value = Some(default());
+            self.len += 1;
+        }
+        node.value.as_mut().expect("just set")
+    }
+
+    /// Removes `prefix`, returning its value, and prunes empty branches.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, prefix: Prefix, depth: u8) -> Option<V> {
+            if depth == prefix.len() {
+                return node.value.take();
+            }
+            let b = prefix.bit(depth) as usize;
+            let child = node.children[b].as_deref_mut()?;
+            let out = rec(child, prefix, depth + 1);
+            if out.is_some() && child.is_leaf_empty() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Longest-prefix match for a single address.
+    pub fn longest_match_addr(&self, addr: u32) -> Option<(Prefix, &V)> {
+        self.longest_match(Prefix::host(addr))
+    }
+
+    /// The most specific stored prefix that contains `prefix`.
+    pub fn longest_match(&self, prefix: Prefix) -> Option<(Prefix, &V)> {
+        let mut best = None;
+        let mut node = &self.root;
+        if let Some(v) = &node.value {
+            best = Some((Prefix::DEFAULT, v));
+        }
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        let p = prefix.supernet(depth + 1).expect("depth+1 <= prefix.len");
+                        best = Some((p, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes that contain `prefix`, shortest first.
+    pub fn covering(&self, prefix: Prefix) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::new();
+        let mut node = &self.root;
+        if let Some(v) = &node.value {
+            out.push((Prefix::DEFAULT, v));
+        }
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        out.push((prefix.supernet(depth + 1).expect("in range"), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Whether any stored prefix contains `prefix` (including equality).
+    pub fn any_covering(&self, prefix: Prefix) -> bool {
+        let mut node = &self.root;
+        if node.value.is_some() {
+            return true;
+        }
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// All stored prefixes contained within `prefix` (including equality),
+    /// in address order.
+    pub fn covered_by(&self, prefix: Prefix) -> Vec<(Prefix, &V)> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => node = child,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        collect(node, prefix, &mut out);
+        out
+    }
+
+    /// Whether any stored prefix is contained within `prefix`.
+    pub fn any_covered_by(&self, prefix: Prefix) -> bool {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = prefix.bit(depth) as usize;
+            match node.children[b].as_deref() {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        subtree_nonempty(node)
+    }
+
+    /// Removes every stored prefix contained within `prefix`, returning them.
+    pub fn remove_covered_by(&mut self, prefix: Prefix) -> Vec<(Prefix, V)> {
+        // Walk to the subtree root, remembering the path for pruning.
+        let mut removed = Vec::new();
+        fn rec<V>(
+            node: &mut Node<V>,
+            prefix: Prefix,
+            depth: u8,
+            removed: &mut Vec<(Prefix, V)>,
+        ) {
+            if depth == prefix.len() {
+                drain(node, prefix, removed);
+                return;
+            }
+            let b = prefix.bit(depth) as usize;
+            if let Some(child) = node.children[b].as_deref_mut() {
+                rec(child, prefix, depth + 1, removed);
+                if child.is_leaf_empty() {
+                    node.children[b] = None;
+                }
+            }
+        }
+        fn drain<V>(node: &mut Node<V>, at: Prefix, removed: &mut Vec<(Prefix, V)>) {
+            if let Some(v) = node.value.take() {
+                removed.push((at, v));
+            }
+            for b in 0..2 {
+                if let Some(child) = node.children[b].as_deref_mut() {
+                    if let Some((l, r)) = at.children() {
+                        drain(child, if b == 0 { l } else { r }, removed);
+                    }
+                    if child.is_leaf_empty() {
+                        node.children[b] = None;
+                    }
+                }
+            }
+        }
+        rec(&mut self.root, prefix, 0, &mut removed);
+        self.len -= removed.len();
+        removed
+    }
+
+    /// All entries in address order.
+    pub fn iter(&self) -> Vec<(Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        collect(&self.root, Prefix::DEFAULT, &mut out);
+        out
+    }
+}
+
+/// In-order collection of a subtree rooted at `at`.
+fn collect<'a, V>(node: &'a Node<V>, at: Prefix, out: &mut Vec<(Prefix, &'a V)>) {
+    if let Some(v) = &node.value {
+        out.push((at, v));
+    }
+    if let Some((l, r)) = at.children() {
+        if let Some(c) = node.children[0].as_deref() {
+            collect(c, l, out);
+        }
+        if let Some(c) = node.children[1].as_deref() {
+            collect(c, r, out);
+        }
+    }
+}
+
+fn subtree_nonempty<V>(node: &Node<V>) -> bool {
+    if node.value.is_some() {
+        return true;
+    }
+    node.children
+        .iter()
+        .flatten()
+        .any(|c| subtree_nonempty(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn default_route_entry() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::DEFAULT, "dfl");
+        assert_eq!(t.get(Prefix::DEFAULT), Some(&"dfl"));
+        let (m, v) = t.longest_match_addr(12345).unwrap();
+        assert!(m.is_default());
+        assert_eq!(*v, "dfl");
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        let (m, v) = t.longest_match_addr(0x0A010203).unwrap();
+        assert_eq!(m, p("10.1.2.0/24"));
+        assert_eq!(*v, 24);
+        let (m, _) = t.longest_match_addr(0x0A010303).unwrap(); // 10.1.3.3
+        assert_eq!(m, p("10.1.0.0/16"));
+        let (m, _) = t.longest_match_addr(0x0A020203).unwrap(); // 10.2.2.3
+        assert_eq!(m, p("10.0.0.0/8"));
+        assert!(t.longest_match_addr(0x0B000001).is_none()); // 11.0.0.1
+    }
+
+    #[test]
+    fn longest_match_of_prefix_requires_containment() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), ());
+        // A /16 query is *less* specific than the stored /24: no match.
+        assert!(t.longest_match(p("10.1.0.0/16")).is_none());
+        assert!(t.longest_match(p("10.1.2.0/24")).is_some());
+        assert!(t.longest_match(p("10.1.2.0/25")).is_some());
+    }
+
+    #[test]
+    fn covering_lists_all_supernets() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        t.insert(p("12.0.0.0/8"), ());
+        let cov = t.covering(p("10.1.2.0/24"));
+        let ps: Vec<Prefix> = cov.iter().map(|(q, _)| *q).collect();
+        assert_eq!(ps, vec![p("10.0.0.0/8"), p("10.1.0.0/16")]);
+        assert!(t.any_covering(p("10.1.2.0/24")));
+        assert!(!t.any_covering(p("11.0.0.0/24")));
+    }
+
+    #[test]
+    fn covered_by_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), 1);
+        t.insert(p("10.1.2.0/24"), 2);
+        t.insert(p("10.1.3.0/24"), 3);
+        t.insert(p("10.2.0.0/16"), 4);
+        let sub = t.covered_by(p("10.1.0.0/16"));
+        let ps: Vec<Prefix> = sub.iter().map(|(q, _)| *q).collect();
+        assert_eq!(ps, vec![p("10.1.0.0/16"), p("10.1.2.0/24"), p("10.1.3.0/24")]);
+        assert!(t.any_covered_by(p("10.0.0.0/8")));
+        assert!(!t.any_covered_by(p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn remove_covered_by_drains_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), 1);
+        t.insert(p("10.1.2.0/24"), 2);
+        t.insert(p("10.2.0.0/16"), 3);
+        let removed = t.remove_covered_by(p("10.1.0.0/16"));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.2.0.0/16")), Some(&3));
+        assert_eq!(t.get(p("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut t = PrefixTrie::new();
+        for s in ["10.1.0.0/16", "9.0.0.0/8", "10.0.0.0/8", "10.1.2.0/24"] {
+            t.insert(p(s), ());
+        }
+        let got: Vec<String> = t.iter().iter().map(|(q, _)| q.to_string()).collect();
+        assert_eq!(
+            got,
+            vec!["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+        );
+    }
+
+    #[test]
+    fn get_or_insert_with_counts_once() {
+        let mut t: PrefixTrie<Vec<u8>> = PrefixTrie::new();
+        t.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(1);
+        t.get_or_insert_with(p("10.0.0.0/8"), Vec::new).push(2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn remove_prunes_intermediate_nodes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), ());
+        t.remove(p("10.1.2.0/24"));
+        // Tree should be structurally empty again (no stale spine).
+        assert!(t.root.is_leaf_empty());
+    }
+}

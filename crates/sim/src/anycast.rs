@@ -1,0 +1,219 @@
+//! Anycast catchment simulation.
+//!
+//! Google Public DNS directs clients to PoPs with BGP anycast. Anycast
+//! routing correlates with distance but is *not* nearest-PoP (the paper
+//! cites [8, 21, 24]); we model a per-/24 deterministic "routing
+//! inflation" factor so most prefixes land at a nearby PoP and a tail
+//! lands further away — exactly the effect the per-PoP service-radius
+//! calibration (Fig. 2) has to absorb.
+//!
+//! Cloud vantage points see a *restricted* anycast horizon: the five
+//! active-but-unprobed PoPs attract no route from any tried cloud
+//! region (paper Appendix A.1), which we model by excluding them from
+//! VM catchment computation.
+
+use clientmap_net::{GeoCoord, SeedMixer};
+use clientmap_world::World;
+
+use crate::pops::{active_pops, pop_catalog, probeable_pops, PopId};
+
+/// Per-world catchment table: which PoP each routed /24 is served by,
+/// plus helpers for vantage-point routing.
+#[derive(Debug)]
+pub struct Catchments {
+    /// Index parallel to `world.slash24s`.
+    by_slash24: Vec<PopId>,
+    seed: u64,
+}
+
+/// Deterministic routing-inflation factor in `[1, 1+spread)` for an
+/// entity identified by `key`.
+fn inflation(seed: u64, key: u64, pop: PopId, spread: f64) -> f64 {
+    let h = SeedMixer::new(seed)
+        .mix_str("anycast-inflation")
+        .mix(key)
+        .mix(pop as u64)
+        .finish();
+    // Map to [0,1) then to [1, 1+spread).
+    1.0 + (h >> 11) as f64 / (1u64 << 53) as f64 * spread
+}
+
+/// Chooses the PoP with minimal inflated distance among `candidates`.
+///
+/// Active-but-cloud-unreachable PoPs (the paper's "unprobed and
+/// verified" five) carry a routing penalty: they announce the anycast
+/// prefix to fewer peers, so even nearby clients often route past them
+/// — which is why they carry only ~5% of Google's query volume
+/// (Appendix A.1).
+fn route(
+    seed: u64,
+    key: u64,
+    from: GeoCoord,
+    candidates: impl Iterator<Item = PopId>,
+    spread: f64,
+) -> PopId {
+    let pops = pop_catalog();
+    candidates
+        .map(|id| {
+            let d = from.distance_km(&pops[id].coord).max(1.0);
+            let penalty = if pops[id].status == crate::pops::PopStatus::UnprobedVerified {
+                2.2
+            } else {
+                1.0
+            };
+            (d * penalty * inflation(seed, key, id, spread), id)
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .map(|(_, id)| id)
+        .expect("candidate set is never empty")
+}
+
+/// Routing-inflation spread for clients (0.9 ⇒ up to ~90% detour).
+const CLIENT_SPREAD: f64 = 0.9;
+/// Cloud VMs have cleaner routing toward Google.
+const VM_SPREAD: f64 = 0.4;
+
+impl Catchments {
+    /// Computes the client catchment of every routed /24 in the world.
+    pub fn compute(world: &World) -> Catchments {
+        let seed = SeedMixer::new(world.config.seed).mix_str("catchments").finish();
+        let by_slash24 = world
+            .slash24s
+            .iter()
+            .map(|s| {
+                route(
+                    seed,
+                    u64::from(s.prefix.addr()),
+                    s.coord,
+                    active_pops(),
+                    CLIENT_SPREAD,
+                )
+            })
+            .collect();
+        Catchments { by_slash24, seed }
+    }
+
+    /// The PoP serving the world's `i`-th routed /24.
+    pub fn of_slash24(&self, i: usize) -> PopId {
+        self.by_slash24[i]
+    }
+
+    /// The PoP an arbitrary coordinate's clients would be served by
+    /// (used for resolvers and for ad-hoc queries; keyed by a caller-
+    /// chosen stable id so the same entity always routes the same way).
+    pub fn of_client_coord(&self, key: u64, coord: GeoCoord) -> PopId {
+        route(self.seed, key, coord, active_pops(), CLIENT_SPREAD)
+    }
+
+    /// The PoP a cloud VM at `coord` reaches — restricted to the
+    /// probeable set (the 5 active-unprobed PoPs attract no cloud route).
+    pub fn of_vantage(&self, key: u64, coord: GeoCoord) -> PopId {
+        route(self.seed, key, coord, probeable_pops(), VM_SPREAD)
+    }
+
+    /// Number of /24 entries.
+    pub fn len(&self) -> usize {
+        self.by_slash24.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_slash24.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pops::PopStatus;
+    use clientmap_world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn every_slash24_has_an_active_catchment() {
+        let w = world();
+        let c = Catchments::compute(&w);
+        assert_eq!(c.len(), w.slash24s.len());
+        let pops = pop_catalog();
+        for i in 0..c.len() {
+            assert_ne!(pops[c.of_slash24(i)].status, PopStatus::UnprobedInactive);
+        }
+    }
+
+    #[test]
+    fn catchment_is_deterministic() {
+        let w = world();
+        let c1 = Catchments::compute(&w);
+        let c2 = Catchments::compute(&w);
+        for i in (0..c1.len()).step_by(7) {
+            assert_eq!(c1.of_slash24(i), c2.of_slash24(i));
+        }
+    }
+
+    #[test]
+    fn most_prefixes_route_near() {
+        let w = world();
+        let c = Catchments::compute(&w);
+        let pops = pop_catalog();
+        // For each prefix, its assigned PoP should usually be within 2×
+        // the distance of the true nearest active PoP.
+        let mut near = 0;
+        let mut total = 0;
+        for (i, s) in w.slash24s.iter().enumerate() {
+            let assigned = pops[c.of_slash24(i)].coord;
+            let d_assigned = s.coord.distance_km(&assigned);
+            let d_nearest = active_pops()
+                .map(|id| s.coord.distance_km(&pops[id].coord))
+                .fold(f64::INFINITY, f64::min);
+            total += 1;
+            if d_assigned <= 2.0 * d_nearest.max(50.0) {
+                near += 1;
+            }
+        }
+        assert!(
+            near as f64 > 0.85 * total as f64,
+            "only {near}/{total} near their PoP"
+        );
+    }
+
+    #[test]
+    fn vantage_points_never_reach_unprobed_pops() {
+        let w = world();
+        let c = Catchments::compute(&w);
+        let pops = pop_catalog();
+        // A VM in Lima still cannot reach the Lima PoP.
+        let lima = GeoCoord::new(-12.05, -77.04).unwrap();
+        let reached = c.of_vantage(1, lima);
+        assert_eq!(pops[reached].status, PopStatus::ProbedVerified);
+        // But clients in Lima can.
+        let client_pop = c.of_client_coord(1, lima);
+        assert_ne!(pops[client_pop].status, PopStatus::UnprobedInactive);
+    }
+
+    #[test]
+    fn andean_clients_often_land_on_unreachable_pops() {
+        // Clients scattered around Lima/Quito/La Paz should frequently be
+        // served by the UnprobedVerified PoPs — the mechanism behind the
+        // paper's South America coverage gap.
+        let w = world();
+        let c = Catchments::compute(&w);
+        let pops = pop_catalog();
+        let lima = GeoCoord::new(-12.05, -77.04).unwrap();
+        let mut unreachable = 0;
+        let n = 200;
+        for key in 0..n {
+            let coord = lima.destination((key * 17 % 360) as f64, (key % 40) as f64 * 10.0);
+            let pop = c.of_client_coord(key, coord);
+            if pops[pop].status == PopStatus::UnprobedVerified {
+                unreachable += 1;
+            }
+        }
+        assert!(
+            unreachable > n / 4,
+            "only {unreachable}/{n} Andean clients on unreachable PoPs"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Authoritative DNS servers with ECS scope policies.
+//!
+//! For every ECS-supporting domain, the authoritative assigns each
+//! query a **response scope**: the prefix length the answer may be
+//! cached for. The paper's probe-reduction trick (§3.1.1) pre-scans the
+//! authoritatives to learn these scopes, and Appendix A.2 (Table 2)
+//! validates that scopes are stable: 90% of cache hits return exactly
+//! the queried scope, 97% within 2 bits, 99% within 4.
+//!
+//! We model a per-region **base scope** (stable, keyed by the /16
+//! containing the query address: real CDNs assign scopes by routing
+//! aggregates) plus occasional churn with the paper's magnitudes.
+//! A small fraction of regions get scope 0 ("answer valid everywhere"),
+//! which produces the scope-0 cache hits the probing methodology must
+//! discard.
+
+use clientmap_dns::{DomainName, Record, ScopedAnswer};
+use clientmap_net::{Prefix, Rib, SeedMixer};
+use clientmap_world::{DomainCatalog, DomainSpec};
+
+use crate::SimTime;
+
+/// Probability a region's answers carry scope 0 (global validity).
+const SCOPE_ZERO_PROB: f64 = 0.02;
+/// Scope-churn distribution (paper Table 2): probability the response
+/// scope differs from the base, by bucketed magnitude.
+// Halved relative to Table 2's *measured* rates: a probe pays churn
+// twice (once when the pre-scan learns the scope, once at hit time),
+// so per-sample churn of ~5% yields the paper's ~10% differing pairs.
+const CHURN_WITHIN_2: f64 = 0.035;
+const CHURN_WITHIN_4: f64 = 0.012;
+const CHURN_BEYOND_4: f64 = 0.006;
+
+/// The set of simulated authoritative servers (one logical service per
+/// catalog domain).
+///
+/// CDN authoritatives derive their ECS scopes from **BGP routing
+/// aggregates** (that is how end-user mapping systems are built), so a
+/// scope never spans announced prefixes of different origins. The
+/// layer therefore holds a snapshot of the public routing table and
+/// clamps every drawn scope to the announced prefix containing the
+/// query address.
+#[derive(Debug)]
+pub struct Authoritatives {
+    seed: u64,
+    /// Public routing snapshot used for scope alignment. An empty RIB
+    /// disables clamping (used by unit tests of the raw policy).
+    rib: Rib,
+}
+
+/// Maps a hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Authoritatives {
+    /// Builds the authoritative layer for a world seed, with a routing
+    /// snapshot for scope alignment.
+    pub fn new(world_seed: u64, rib: Rib) -> Authoritatives {
+        Authoritatives {
+            seed: SeedMixer::new(world_seed).mix_str("authoritatives").finish(),
+            rib,
+        }
+    }
+
+    /// Builds the layer without routing alignment (raw scope policy).
+    pub fn without_rib(world_seed: u64) -> Authoritatives {
+        Authoritatives::new(world_seed, Rib::new())
+    }
+
+    /// The announced-prefix length covering `addr`, if routed.
+    fn announced_len(&self, addr: u32) -> Option<u8> {
+        self.rib.lookup_addr(addr).map(|(p, _)| p.len())
+    }
+
+    /// The **base scope** the authoritative assigns for queries whose
+    /// ECS address falls at `addr` — what a patient pre-scan learns.
+    /// `None` if the domain does not support ECS.
+    pub fn base_scope(&self, spec: &DomainSpec, addr: u32) -> Option<Prefix> {
+        if !spec.supports_ecs {
+            return None;
+        }
+        let region = addr >> 16; // scope policy varies per /16 region
+        let h = SeedMixer::new(self.seed)
+            .mix_str("scope")
+            .mix_str(&spec.name.to_string())
+            .mix(u64::from(region))
+            .finish();
+        if unit(h) < SCOPE_ZERO_PROB {
+            return Some(Prefix::DEFAULT);
+        }
+        let (lo, hi) = spec.scope_len_range;
+        let span = u64::from(hi - lo) + 1;
+        let mut len = lo + (SeedMixer::new(h).mix(1).finish() % span) as u8;
+        // Align to the routing aggregate: never coarser than the
+        // announced prefix containing the address.
+        if let Some(announced) = self.announced_len(addr) {
+            len = len.max(announced);
+        }
+        Some(Prefix::new(addr, len).expect("len <= 32 by catalog construction"))
+    }
+
+    /// The scope actually attached to a response at time `t` — the base
+    /// scope, with occasional churn per Table 2's magnitudes. Churn is
+    /// keyed by (domain, /24, 6-hour bucket) so it is consistent for
+    /// nearby queries but drifts over the measurement window.
+    pub fn response_scope(&self, spec: &DomainSpec, addr: u32, t: SimTime) -> Option<Prefix> {
+        let base = self.base_scope(spec, addr)?;
+        if base.is_default() {
+            return Some(base); // scope-0 regions stay scope 0
+        }
+        let bucket = t.as_millis() / (6 * 3_600_000);
+        let h = SeedMixer::new(self.seed)
+            .mix_str("churn")
+            .mix_str(&spec.name.to_string())
+            .mix(u64::from(addr >> 8))
+            .mix(bucket)
+            .finish();
+        let u = unit(h);
+        let delta: i8 = if u < CHURN_BEYOND_4 {
+            5 + (h % 3) as i8 // 5..=7
+        } else if u < CHURN_BEYOND_4 + CHURN_WITHIN_4 {
+            3 + (h % 2) as i8 // 3..=4
+        } else if u < CHURN_BEYOND_4 + CHURN_WITHIN_4 + CHURN_WITHIN_2 {
+            1 + (h % 2) as i8 // 1..=2
+        } else {
+            0
+        };
+        if delta == 0 {
+            return Some(base);
+        }
+        let sign: i8 = if (h >> 32) & 1 == 0 { -1 } else { 1 };
+        let mut len = (base.len() as i8 + sign * delta).clamp(8, 24) as u8;
+        // Churn stays aligned to the routing aggregate too.
+        if let Some(announced) = self.announced_len(addr) {
+            len = len.max(announced);
+        }
+        Some(Prefix::new(addr, len).expect("clamped to <= 24"))
+    }
+
+    /// Serves an authoritative answer for `name` with optional ECS.
+    ///
+    /// The answer's A record is a stable function of the domain (one
+    /// virtual IP per service — enough for the pipeline, which never
+    /// connects to it).
+    pub fn answer(
+        &self,
+        catalog: &DomainCatalog,
+        name: &DomainName,
+        ecs: Option<Prefix>,
+        t: SimTime,
+    ) -> Option<ScopedAnswer> {
+        let spec = catalog.get(name)?;
+        let vip = 0x60_00_00_00
+            | (SeedMixer::new(self.seed)
+                .mix_str("vip")
+                .mix_str(&spec.name.to_string())
+                .finish() as u32
+                & 0x00FF_FFFF);
+        let records = vec![Record::a(spec.name.clone(), spec.ttl_secs, vip)];
+        let scope = match (spec.supports_ecs, ecs) {
+            (true, Some(source)) => self.response_scope(spec, source.addr(), t),
+            _ => None,
+        };
+        Some(ScopedAnswer { records, scope })
+    }
+
+    /// The TTL for a domain (convenience passthrough).
+    pub fn ttl(&self, spec: &DomainSpec) -> u32 {
+        spec.ttl_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_world::DomainCatalog;
+
+    fn setup() -> (Authoritatives, DomainCatalog) {
+        (Authoritatives::without_rib(77), DomainCatalog::standard())
+    }
+
+    fn google(cat: &DomainCatalog) -> &DomainSpec {
+        cat.get(&"www.google.com".parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn base_scope_respects_catalog_range() {
+        let (auth, cat) = setup();
+        let wiki = cat.get(&"www.wikipedia.org".parse().unwrap()).unwrap();
+        let g = google(&cat);
+        let mut zero = 0;
+        for i in 0..2000u32 {
+            let addr = i << 16 | 0x1200;
+            let ws = auth.base_scope(wiki, addr).unwrap();
+            let gs = auth.base_scope(g, addr).unwrap();
+            if ws.is_default() {
+                zero += 1;
+            } else {
+                assert!((16..=18).contains(&ws.len()), "wiki scope {}", ws.len());
+            }
+            if !gs.is_default() {
+                assert!((20..=24).contains(&gs.len()), "google scope {}", gs.len());
+            }
+        }
+        // ~2% scope-0 regions.
+        assert!((10..120).contains(&zero), "scope-0 count {zero}");
+    }
+
+    #[test]
+    fn base_scope_stable_within_region() {
+        let (auth, cat) = setup();
+        let g = google(&cat);
+        let a = auth.base_scope(g, 0x0A01_0200).unwrap();
+        let b = auth.base_scope(g, 0x0A01_FF00).unwrap(); // same /16
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn non_ecs_domains_have_no_scope() {
+        let (auth, cat) = setup();
+        let amazon = cat.get(&"www.amazon.com".parse().unwrap()).unwrap();
+        assert!(auth.base_scope(amazon, 0x0A010200).is_none());
+    }
+
+    #[test]
+    fn churn_matches_table2_magnitudes() {
+        let (auth, cat) = setup();
+        let g = google(&cat);
+        let mut exact = 0u32;
+        let mut within2 = 0u32;
+        let mut within4 = 0u32;
+        let mut total = 0u32;
+        for i in 0..4000u32 {
+            let addr = (i * 7919) << 8;
+            let Some(base) = auth.base_scope(g, addr) else { continue };
+            if base.is_default() {
+                continue;
+            }
+            // Sample several time buckets.
+            for hour in [0u64, 7, 13, 26, 50, 99] {
+                let resp = auth
+                    .response_scope(g, addr, SimTime::from_hours(hour))
+                    .unwrap();
+                let d = (i16::from(resp.len()) - i16::from(base.len())).unsigned_abs();
+                total += 1;
+                if d == 0 {
+                    exact += 1;
+                }
+                if d <= 2 {
+                    within2 += 1;
+                }
+                if d <= 4 {
+                    within4 += 1;
+                }
+            }
+        }
+        let e = f64::from(exact) / f64::from(total);
+        let w2 = f64::from(within2) / f64::from(total);
+        let w4 = f64::from(within4) / f64::from(total);
+        assert!((0.93..0.97).contains(&e), "exact {e}");
+        assert!((0.965..0.995).contains(&w2), "within2 {w2}");
+        assert!(w4 > 0.98, "within4 {w4}");
+    }
+
+    #[test]
+    fn answer_carries_scope_and_ttl() {
+        let (auth, cat) = setup();
+        let name: DomainName = "www.google.com".parse().unwrap();
+        let ecs: Prefix = "9.9.9.0/24".parse().unwrap();
+        let ans = auth
+            .answer(&cat, &name, Some(ecs), SimTime::ZERO)
+            .expect("catalog domain");
+        assert_eq!(ans.records[0].ttl, 300);
+        let scope = ans.scope.expect("google answers with ECS scope");
+        assert!(scope.is_default() || scope.contains(ecs) || ecs.contains(scope));
+        // Without ECS in the query, no scope in the answer.
+        let plain = auth.answer(&cat, &name, None, SimTime::ZERO).unwrap();
+        assert!(plain.scope.is_none());
+        // Unknown domains: no answer.
+        assert!(auth
+            .answer(&cat, &"nonexistent.example".parse().unwrap(), None, SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn answers_deterministic() {
+        let (auth, cat) = setup();
+        let name: DomainName = "facebook.com".parse().unwrap();
+        let ecs: Prefix = "11.22.33.0/24".parse().unwrap();
+        let a = auth.answer(&cat, &name, Some(ecs), SimTime::from_hours(3)).unwrap();
+        let b = auth.answer(&cat, &name, Some(ecs), SimTime::from_hours(3)).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.scope, b.scope);
+    }
+}

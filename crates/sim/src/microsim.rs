@@ -1,0 +1,253 @@
+//! Event-level micro-simulation validating the analytic cache model.
+//!
+//! The production Google-cache model answers probes from the closed
+//! form `P(live) = 1 − exp(−λ·min(TTL, t))` (see the `gpdns` module),
+//! which is exact for Poisson arrivals but worth *demonstrating*, not
+//! just asserting. This module rebuilds a PoP's caches the slow way —
+//! actual Poisson arrival events drawn through the [`EventQueue`],
+//! inserted into real [`EcsCache`] instances (one per pool), probed by
+//! real lookups — and compares the measured hit rates against the
+//! closed form for the same scopes.
+//!
+//! Besides validating the approximation, this is the reference
+//! implementation future contributors can diff the fast path against.
+
+use clientmap_dns::{CacheKey, DomainName, EcsCache, Record, RrType};
+use clientmap_net::{Prefix, SeedMixer};
+use clientmap_world::activity::diurnal_multiplier;
+
+use crate::gpdns::POOLS_PER_POP;
+use crate::{EventQueue, PopId, Sim, SimTime};
+
+/// Per-scope comparison of measured vs analytic hit rates.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeComparison {
+    /// The scope.
+    pub scope: Prefix,
+    /// Mean arrival rate (qps, diurnal mean).
+    pub rate: f64,
+    /// Hit rate measured against event-fed real caches.
+    pub event_hit_rate: f64,
+    /// Hit rate predicted by the closed form the fast path uses.
+    pub analytic_hit_rate: f64,
+}
+
+/// The validation report.
+#[derive(Debug, Clone)]
+pub struct MicroSimReport {
+    /// Per-scope comparisons.
+    pub scopes: Vec<ScopeComparison>,
+    /// Probe events per scope.
+    pub probes_per_scope: u32,
+    /// Mean absolute difference between the two hit rates.
+    pub mean_abs_diff: f64,
+    /// Worst per-scope difference.
+    pub max_abs_diff: f64,
+}
+
+/// One queued event in the micro-simulation.
+enum Event {
+    /// A client query for `scope` arrives (inserted into a random pool).
+    Arrival { scope_idx: usize },
+    /// A probe samples `redundancy` random pools for `scope`.
+    Probe { scope_idx: usize },
+}
+
+/// Draws an exponential inter-arrival time with the given rate.
+fn exp_draw(state: &mut u64, rate: f64) -> f64 {
+    *state = clientmap_net::splitmix64(*state);
+    let u = ((*state >> 11) as f64 / (1u64 << 53) as f64).clamp(f64::MIN_POSITIVE, 1.0);
+    -u.ln() / rate
+}
+
+/// Runs the micro-simulation for the heaviest `max_scopes` scopes of
+/// `domain` at `pop` over `hours` of simulated time.
+///
+/// Probes fire every `TTL` seconds per scope (so each probe lands in a
+/// fresh TTL window — independent samples), each sampling `redundancy`
+/// pools, mirroring the real prober.
+pub fn validate_liveness_model(
+    sim: &Sim,
+    pop: PopId,
+    domain: &DomainName,
+    max_scopes: usize,
+    hours: f64,
+    redundancy: u32,
+    seed: u64,
+) -> MicroSimReport {
+    let gpdns = sim.gpdns();
+    let ttl = gpdns.domain_ttl(domain).unwrap_or(300);
+    let ttl_s = f64::from(ttl);
+    let amplitude = sim.world().config.diurnal_amplitude;
+    let scopes: Vec<(Prefix, f64)> = gpdns
+        .scopes_at(pop, domain)
+        .into_iter()
+        .take(max_scopes)
+        .collect();
+    let lons: Vec<f64> = scopes
+        .iter()
+        .map(|(p, _)| gpdns.scope_load(pop, domain, *p).map(|(_, lon)| lon).unwrap_or(0.0))
+        .collect();
+
+    // One real cache per pool, sized to hold everything.
+    let mut pools: Vec<EcsCache> = (0..POOLS_PER_POP)
+        .map(|_| EcsCache::new(scopes.len().max(1) * 4))
+        .collect();
+    let key = CacheKey::new(domain.clone(), RrType::A);
+    let record = Record::a(domain.clone(), ttl, 0x60AA_0001);
+
+    let horizon = SimTime::from_secs_f64(hours * 3600.0);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut rng = SeedMixer::new(seed).mix_str("microsim").finish();
+
+    // Seed one arrival per scope (non-homogeneous Poisson by thinning:
+    // draw at the peak rate, accept with diurnal(t)/peak).
+    let peak = 1.0 + amplitude;
+    for (i, (_, rate)) in scopes.iter().enumerate() {
+        let dt = exp_draw(&mut rng, rate.max(1e-12) * peak);
+        queue.push(SimTime::from_secs_f64(dt), Event::Arrival { scope_idx: i });
+        // Probes start after one TTL so caches are warm.
+        queue.push(SimTime::from_secs(u64::from(ttl)), Event::Probe { scope_idx: i });
+    }
+
+    let mut hits = vec![0u32; scopes.len()];
+    let mut probes = vec![0u32; scopes.len()];
+    let mut analytic_acc = vec![0f64; scopes.len()];
+
+    while let Some((t, event)) = queue.pop() {
+        if t > horizon {
+            break;
+        }
+        match event {
+            Event::Arrival { scope_idx } => {
+                let (scope, rate) = scopes[scope_idx];
+                // Thinning for the diurnal profile.
+                rng = clientmap_net::splitmix64(rng);
+                let accept = ((rng >> 11) as f64 / (1u64 << 53) as f64)
+                    < diurnal_multiplier(t.as_secs_f64(), lons[scope_idx], amplitude) / peak;
+                if accept {
+                    rng = clientmap_net::splitmix64(rng);
+                    let pool = (rng % POOLS_PER_POP as u64) as usize;
+                    pools[pool].insert(
+                        key.clone(),
+                        scope,
+                        vec![record.clone()],
+                        ttl,
+                        t.as_millis(),
+                    );
+                }
+                let dt = exp_draw(&mut rng, rate.max(1e-12) * peak);
+                queue.push(t + SimTime::from_secs_f64(dt), Event::Arrival { scope_idx });
+            }
+            Event::Probe { scope_idx } => {
+                let (scope, rate) = scopes[scope_idx];
+                probes[scope_idx] += 1;
+                let mut hit = false;
+                for _ in 0..redundancy {
+                    rng = clientmap_net::splitmix64(rng);
+                    let pool = (rng % POOLS_PER_POP as u64) as usize;
+                    if pools[pool].lookup(&key, scope, t.as_millis()).is_hit() {
+                        hit = true;
+                    }
+                }
+                if hit {
+                    hits[scope_idx] += 1;
+                }
+                // The closed form for the same instant: per-pool liveness,
+                // combined over the expected distinct pools sampled.
+                let k = POOLS_PER_POP as f64;
+                let lambda = rate * diurnal_multiplier(t.as_secs_f64(), lons[scope_idx], amplitude);
+                let p_pool = 1.0 - (-lambda * ttl_s / k).exp();
+                let eff = k * (1.0 - ((k - 1.0) / k).powi(redundancy as i32));
+                analytic_acc[scope_idx] += 1.0 - (1.0 - p_pool).powf(eff);
+                queue.push(
+                    t + SimTime::from_secs(u64::from(ttl)),
+                    Event::Probe { scope_idx },
+                );
+            }
+        }
+    }
+
+    let comparisons: Vec<ScopeComparison> = scopes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| probes[*i] > 0)
+        .map(|(i, (scope, rate))| ScopeComparison {
+            scope: *scope,
+            rate: *rate,
+            event_hit_rate: f64::from(hits[i]) / f64::from(probes[i]),
+            analytic_hit_rate: analytic_acc[i] / f64::from(probes[i]),
+        })
+        .collect();
+    let diffs: Vec<f64> = comparisons
+        .iter()
+        .map(|c| (c.event_hit_rate - c.analytic_hit_rate).abs())
+        .collect();
+    MicroSimReport {
+        probes_per_scope: probes.iter().copied().max().unwrap_or(0),
+        mean_abs_diff: diffs.iter().sum::<f64>() / diffs.len().max(1) as f64,
+        max_abs_diff: diffs.iter().copied().fold(0.0, f64::max),
+        scopes: comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_world::{World, WorldConfig};
+
+    #[test]
+    fn analytic_model_matches_event_simulation() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(81)));
+        let domain: DomainName = "www.google.com".parse().unwrap();
+        // Pick the busiest probeable PoP.
+        let pop = crate::pops::probeable_pops()
+            .max_by(|a, b| {
+                sim.gpdns()
+                    .pop_load(*a)
+                    .total_cmp(&sim.gpdns().pop_load(*b))
+            })
+            .expect("pops exist");
+        let report = validate_liveness_model(&sim, pop, &domain, 30, 36.0, 5, 7);
+        assert!(report.scopes.len() >= 10, "too few scopes: {}", report.scopes.len());
+        assert!(report.probes_per_scope > 100);
+        // The closed form is exact for Poisson arrivals; differences are
+        // sampling noise (~1/√n) plus the within-window probe-time bias.
+        assert!(
+            report.mean_abs_diff < 0.06,
+            "mean |event − analytic| = {:.3}",
+            report.mean_abs_diff
+        );
+        assert!(
+            report.max_abs_diff < 0.25,
+            "worst scope diff {:.3}",
+            report.max_abs_diff
+        );
+    }
+
+    #[test]
+    fn saturated_and_dead_scopes_agree_exactly() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(82)));
+        let domain: DomainName = "www.google.com".parse().unwrap();
+        let pop = crate::pops::probeable_pops().next().unwrap();
+        let report = validate_liveness_model(&sim, pop, &domain, 40, 24.0, 5, 9);
+        for c in &report.scopes {
+            // Very busy scopes: both sides ≈ 1.
+            if c.rate * 300.0 > 20.0 {
+                assert!(c.event_hit_rate > 0.95, "{:?}", c);
+                assert!(c.analytic_hit_rate > 0.95, "{:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(83)));
+        let domain: DomainName = "facebook.com".parse().unwrap();
+        let pop = crate::pops::probeable_pops().next().unwrap();
+        let a = validate_liveness_model(&sim, pop, &domain, 10, 24.0, 5, 5);
+        let b = validate_liveness_model(&sim, pop, &domain, 10, 24.0, 5, 5);
+        assert_eq!(a.scopes.len(), b.scopes.len());
+        assert_eq!(a.mean_abs_diff, b.mean_abs_diff);
+    }
+}

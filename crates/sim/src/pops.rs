@@ -1,0 +1,202 @@
+//! The Google Public DNS PoP catalog.
+//!
+//! The paper (Fig. 5, Appendix A.1) distinguishes three PoP states:
+//! 22 **probed and verified** (reachable from AWS/Vultr VMs, carrying
+//! 95% of Google Public DNS queries to Microsoft), 5 **unprobed and
+//! verified** (active — they appear as resolvers in Microsoft logs —
+//! but no tried cloud region's anycast routes to them; they carry the
+//! remaining 5%), and 18 **unprobed and unverified** (apparently
+//! inactive). The catalog reproduces those counts with plausible sites:
+//! the unreachable-but-active ones sit in regions with thin cloud
+//! presence (Andean/central South America, West Africa), which is what
+//! makes the technique's South American coverage worse (Fig. 3).
+
+use clientmap_net::GeoCoord;
+
+/// Index into the PoP catalog.
+pub type PopId = usize;
+
+/// Reachability/activity state of a PoP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PopStatus {
+    /// Active and reachable from at least one cloud vantage point.
+    ProbedVerified,
+    /// Active (serves clients) but anycast from no tried cloud reaches it.
+    UnprobedVerified,
+    /// Inactive: serves no clients, announces no anycast route.
+    UnprobedInactive,
+}
+
+/// One Google Public DNS PoP site.
+#[derive(Debug, Clone, Copy)]
+pub struct PopSite {
+    /// Site mnemonic (airport-code style).
+    pub code: &'static str,
+    /// Human-readable location.
+    pub location: &'static str,
+    /// Coordinates.
+    pub coord: GeoCoord,
+    /// State.
+    pub status: PopStatus,
+}
+
+macro_rules! pop {
+    ($code:literal, $loc:literal, $lat:literal, $lon:literal, $status:ident) => {
+        PopSite {
+            code: $code,
+            location: $loc,
+            coord: GeoCoord {
+                lat: $lat,
+                lon: $lon,
+            },
+            status: PopStatus::$status,
+        }
+    };
+}
+
+/// The 45 PoPs. Slices are stable; `PopId` indexes into this array.
+static POPS: &[PopSite] = &[
+    // --- 22 probed and verified ---------------------------------------
+    // United States, seven states (paper: "seven states").
+    pop!("DLS", "The Dalles, OR, US", 45.5946, -121.1787, ProbedVerified),
+    pop!("CBF", "Council Bluffs, IA, US", 41.2619, -95.8608, ProbedVerified),
+    pop!("CHS", "Charleston, SC, US", 32.7765, -79.9311, ProbedVerified),
+    pop!("LNR", "Lenoir, NC, US", 35.9140, -81.5390, ProbedVerified),
+    pop!("PRY", "Pryor, OK, US", 36.3084, -95.3169, ProbedVerified),
+    pop!("DGA", "Douglas County, GA, US", 33.7515, -84.7477, ProbedVerified),
+    pop!("RNO", "Reno, NV, US", 39.5296, -119.8138, ProbedVerified),
+    // Canada, two provinces.
+    pop!("YUL", "Montreal, QC, CA", 45.5017, -73.5673, ProbedVerified),
+    pop!("YYZ", "Toronto, ON, CA", 43.6532, -79.3832, ProbedVerified),
+    // Europe, five countries.
+    pop!("GRQ", "Groningen, NL", 53.2194, 6.5665, ProbedVerified),
+    pop!("HEL", "Hamina, FI", 60.5696, 27.1979, ProbedVerified),
+    pop!("DUB", "Dublin, IE", 53.3498, -6.2603, ProbedVerified),
+    pop!("BRU", "St. Ghislain, BE", 50.4542, 3.8192, ProbedVerified),
+    pop!("ZRH", "Zurich, CH", 47.3769, 8.5417, ProbedVerified),
+    // Asia, five countries/regions.
+    pop!("TPE", "Changhua County, TW", 24.0518, 120.5161, ProbedVerified),
+    pop!("SIN", "Singapore, SG", 1.3521, 103.8198, ProbedVerified),
+    pop!("NRT", "Tokyo, JP", 35.6762, 139.6503, ProbedVerified),
+    pop!("KIX", "Osaka, JP", 34.6937, 135.5023, ProbedVerified),
+    pop!("HKG", "Hong Kong, HK", 22.3193, 114.1694, ProbedVerified),
+    // South America, two countries.
+    pop!("GRU", "Sao Paulo, BR", -23.5505, -46.6333, ProbedVerified),
+    pop!("SCL", "Santiago, CL", -33.4489, -70.6693, ProbedVerified),
+    // Australia.
+    pop!("SYD", "Sydney, AU", -33.8688, 151.2093, ProbedVerified),
+    // --- 5 unprobed and verified (active, cloud-unreachable) -----------
+    pop!("LIM", "Lima, PE", -12.0464, -77.0428, UnprobedVerified),
+    pop!("UIO", "Quito, EC", -0.1807, -78.4678, UnprobedVerified),
+    pop!("LPB", "La Paz, BO", -16.4897, -68.1193, UnprobedVerified),
+    pop!("ASU", "Asuncion, PY", -25.2637, -57.5759, UnprobedVerified),
+    pop!("LOS", "Lagos, NG", 6.5244, 3.3792, UnprobedVerified),
+    // --- 18 unprobed and unverified (inactive) --------------------------
+    pop!("FRA", "Frankfurt, DE", 50.1109, 8.6821, UnprobedInactive),
+    pop!("LHR", "London, GB", 51.5074, -0.1278, UnprobedInactive),
+    pop!("MAD", "Madrid, ES", 40.4168, -3.7038, UnprobedInactive),
+    pop!("MXP", "Milan, IT", 45.4642, 9.1900, UnprobedInactive),
+    pop!("WAW", "Warsaw, PL", 52.2297, 21.0122, UnprobedInactive),
+    pop!("BOM", "Mumbai, IN", 19.0760, 72.8777, UnprobedInactive),
+    pop!("DEL", "Delhi, IN", 28.7041, 77.1025, UnprobedInactive),
+    pop!("MAA", "Chennai, IN", 13.0827, 80.2707, UnprobedInactive),
+    pop!("ICN", "Seoul, KR", 37.5665, 126.9780, UnprobedInactive),
+    pop!("CGK", "Jakarta, ID", -6.2088, 106.8456, UnprobedInactive),
+    pop!("MNL", "Manila, PH", 14.5995, 120.9842, UnprobedInactive),
+    pop!("BKK", "Bangkok, TH", 13.7563, 100.5018, UnprobedInactive),
+    pop!("EZE", "Buenos Aires, AR", -34.6037, -58.3816, UnprobedInactive),
+    pop!("BOG", "Bogota, CO", 4.7110, -74.0721, UnprobedInactive),
+    pop!("JNB", "Johannesburg, ZA", -26.2041, 28.0473, UnprobedInactive),
+    pop!("CAI", "Cairo, EG", 30.0444, 31.2357, UnprobedInactive),
+    pop!("DXB", "Dubai, AE", 25.2048, 55.2708, UnprobedInactive),
+    pop!("MEL", "Melbourne, AU", -37.8136, 144.9631, UnprobedInactive),
+];
+
+/// The PoP catalog.
+pub fn pop_catalog() -> &'static [PopSite] {
+    POPS
+}
+
+/// Ids of all *active* PoPs (probed or not) — the ones clients can be
+/// routed to.
+pub fn active_pops() -> impl Iterator<Item = PopId> {
+    POPS.iter()
+        .enumerate()
+        .filter(|(_, p)| p.status != PopStatus::UnprobedInactive)
+        .map(|(i, _)| i)
+}
+
+/// Ids of PoPs reachable from cloud vantage points.
+pub fn probeable_pops() -> impl Iterator<Item = PopId> {
+    POPS.iter()
+        .enumerate()
+        .filter(|(_, p)| p.status == PopStatus::ProbedVerified)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        let probed = POPS
+            .iter()
+            .filter(|p| p.status == PopStatus::ProbedVerified)
+            .count();
+        let unprobed_active = POPS
+            .iter()
+            .filter(|p| p.status == PopStatus::UnprobedVerified)
+            .count();
+        let inactive = POPS
+            .iter()
+            .filter(|p| p.status == PopStatus::UnprobedInactive)
+            .count();
+        assert_eq!((probed, unprobed_active, inactive), (22, 5, 18));
+        assert_eq!(POPS.len(), 45);
+    }
+
+    #[test]
+    fn regional_structure_matches_paper() {
+        let probed: Vec<&PopSite> = POPS
+            .iter()
+            .filter(|p| p.status == PopStatus::ProbedVerified)
+            .collect();
+        let us = probed.iter().filter(|p| p.location.ends_with("US")).count();
+        let ca = probed.iter().filter(|p| p.location.ends_with("CA")).count();
+        let au = probed.iter().filter(|p| p.location.ends_with("AU")).count();
+        assert_eq!(us, 7, "seven US states");
+        assert_eq!(ca, 2, "two Canadian provinces");
+        assert_eq!(au, 1);
+    }
+
+    #[test]
+    fn unreachable_active_pops_are_in_thin_cloud_regions() {
+        for p in POPS.iter().filter(|p| p.status == PopStatus::UnprobedVerified) {
+            // All five sit in South America or Africa by construction.
+            assert!(
+                p.coord.lon < -50.0 || p.location.ends_with("NG"),
+                "{} unexpectedly placed",
+                p.location
+            );
+        }
+    }
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<&str> = POPS.iter().map(|p| p.code).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n);
+    }
+
+    #[test]
+    fn iterators_consistent() {
+        assert_eq!(active_pops().count(), 27);
+        assert_eq!(probeable_pops().count(), 22);
+        for id in probeable_pops() {
+            assert_eq!(POPS[id].status, PopStatus::ProbedVerified);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! ISP recursive resolvers as a snooping target — the *baseline*
+//! approach the paper considers and rejects (§3.1).
+//!
+//! Before leaning on Google Public DNS, the paper reviews classic DNS
+//! cache snooping: send non-recursive queries to ISPs' recursive
+//! resolvers and infer client activity from cache hits [2, 7, 33].
+//! Its two documented problems, both modelled here:
+//!
+//! 1. **Most resolvers are closed.** The fraction answering queries
+//!    from outside their network "has significantly reduced over time"
+//!    [25, 28]; we model a small open fraction.
+//! 2. **No ECS, one cache.** A hit only proves *some* client of that
+//!    resolver queried — no prefix granularity, and coverage is bounded
+//!    by the open-resolver population (the Cache-Me-Outside follow-up
+//!    (paper ref. 26) found usable forwarders in only 4,905 ASes).
+
+use clientmap_net::SeedMixer;
+use clientmap_world::activity::ResolverChoice;
+use clientmap_world::{DomainSpec, ResolverKind, World};
+
+use crate::SimTime;
+
+/// Fraction of ISP resolvers that answer external (off-net) queries.
+pub const OPEN_RESOLVER_FRACTION: f64 = 0.06;
+
+/// Outcome of one snoop query against a recursive resolver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopOutcome {
+    /// The record was in cache (some client queried it within TTL).
+    Hit {
+        /// Remaining TTL, seconds.
+        remaining_ttl: u32,
+    },
+    /// The resolver answered but had no cached record.
+    Miss,
+    /// The resolver refuses external queries (the common case).
+    Refused,
+}
+
+/// The resolver-snooping service surface.
+#[derive(Debug)]
+pub struct ResolverSnooping {
+    seed: u64,
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ResolverSnooping {
+    /// Builds the service for a world seed.
+    pub fn new(world_seed: u64) -> ResolverSnooping {
+        ResolverSnooping {
+            seed: SeedMixer::new(world_seed).mix_str("open-resolvers").finish(),
+        }
+    }
+
+    /// Whether the resolver with this id answers external queries.
+    /// Public anycast resolvers always answer (that is their job);
+    /// ISP resolvers are open only with [`OPEN_RESOLVER_FRACTION`].
+    pub fn is_open(&self, world: &World, resolver_id: usize) -> bool {
+        let info = &world.resolvers[resolver_id];
+        match info.kind {
+            ResolverKind::GooglePublic | ResolverKind::OtherPublic => true,
+            ResolverKind::IspLocal => {
+                let h = SeedMixer::new(self.seed)
+                    .mix_str("open")
+                    .mix(u64::from(info.addr))
+                    .finish();
+                unit(h) < OPEN_RESOLVER_FRACTION
+            }
+        }
+    }
+
+    /// One non-recursive snoop query for `spec` against a resolver.
+    ///
+    /// Cache liveness follows the same Poisson model as the Google
+    /// cache, but with a single cache and only the resolver's own
+    /// client population feeding it.
+    pub fn snoop(
+        &self,
+        world: &World,
+        resolver_id: usize,
+        spec: &DomainSpec,
+        t: SimTime,
+    ) -> SnoopOutcome {
+        if !self.is_open(world, resolver_id) {
+            return SnoopOutcome::Refused;
+        }
+        let info = &world.resolvers[resolver_id];
+        // Only ISP-local resolver caches are meaningfully snoopable in
+        // this baseline (public anycast resolvers shard caches across
+        // sites/pools; Cloudflare-style ones also ignore client ECS).
+        if info.kind != ResolverKind::IspLocal {
+            return SnoopOutcome::Miss;
+        }
+        let act = world.activity();
+        let lambda: f64 = world
+            .slash24s
+            .iter()
+            .filter(|s| s.as_id == info.as_id && s.is_active())
+            .map(|s| act.dns_rate(s, spec, ResolverChoice::IspLocal, t.as_secs_f64()))
+            .sum();
+        let ttl = f64::from(spec.ttl_secs);
+        let horizon = ttl.min(t.as_secs_f64().max(0.0));
+        let p_live = 1.0 - (-lambda * horizon).exp();
+        let window = (t.as_secs_f64() / ttl.max(1.0)) as u64;
+        let h = SeedMixer::new(self.seed)
+            .mix_str("cache")
+            .mix(u64::from(info.addr))
+            .mix_str(&spec.name.to_string())
+            .mix(window)
+            .finish();
+        if unit(h) < p_live {
+            let age = unit(SeedMixer::new(h).mix(5).finish()) * horizon;
+            SnoopOutcome::Hit {
+                remaining_ttl: (ttl - age).max(1.0) as u32,
+            }
+        } else {
+            SnoopOutcome::Miss
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_world::WorldConfig;
+
+    fn setup() -> (World, ResolverSnooping) {
+        let world = World::generate(WorldConfig::tiny(61));
+        let snoop = ResolverSnooping::new(world.config.seed);
+        (world, snoop)
+    }
+
+    #[test]
+    fn open_fraction_is_small() {
+        let (world, snoop) = setup();
+        let isp: Vec<usize> = world
+            .resolvers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == ResolverKind::IspLocal)
+            .map(|(i, _)| i)
+            .collect();
+        let open = isp.iter().filter(|i| snoop.is_open(&world, **i)).count();
+        let frac = open as f64 / isp.len().max(1) as f64;
+        assert!(
+            frac < 0.2,
+            "open fraction {frac} implausibly high ({open}/{})",
+            isp.len()
+        );
+        // Public resolvers always answer.
+        for &r in &world.other_public_resolvers {
+            assert!(snoop.is_open(&world, r));
+        }
+    }
+
+    #[test]
+    fn closed_resolvers_refuse() {
+        let (world, snoop) = setup();
+        let spec = world.domains.get(&"www.google.com".parse().unwrap()).unwrap();
+        let closed = world
+            .resolvers
+            .iter()
+            .enumerate()
+            .find(|(i, r)| r.kind == ResolverKind::IspLocal && !snoop.is_open(&world, *i))
+            .map(|(i, _)| i)
+            .expect("a closed resolver exists");
+        assert_eq!(
+            snoop.snoop(&world, closed, spec, SimTime::from_hours(10)),
+            SnoopOutcome::Refused
+        );
+    }
+
+    #[test]
+    fn busy_open_resolver_hits_popular_domains() {
+        let (world, snoop) = setup();
+        let spec = world.domains.get(&"www.google.com".parse().unwrap()).unwrap();
+        // Find the open ISP resolver with the most users behind it.
+        let best = world
+            .resolvers
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.kind == ResolverKind::IspLocal && snoop.is_open(&world, *i))
+            .max_by(|a, b| {
+                let ua = world.ases[a.1.as_id].users;
+                let ub = world.ases[b.1.as_id].users;
+                ua.total_cmp(&ub)
+            })
+            .map(|(i, _)| i);
+        let Some(best) = best else {
+            return; // tiny world may have no open ISP resolver; fine
+        };
+        // Probe across many windows: a busy resolver hits at least once.
+        let hit = (0..30).any(|k| {
+            matches!(
+                snoop.snoop(&world, best, spec, SimTime::from_secs(36_000 + k * 301)),
+                SnoopOutcome::Hit { .. }
+            )
+        });
+        assert!(
+            hit || world.ases[world.resolvers[best].as_id].users < 50.0,
+            "busy open resolver never hit"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (world, snoop) = setup();
+        let spec = world.domains.get(&"facebook.com".parse().unwrap()).unwrap();
+        for rid in 0..world.resolvers.len().min(20) {
+            let a = snoop.snoop(&world, rid, spec, SimTime::from_hours(9));
+            let b = snoop.snoop(&world, rid, spec, SimTime::from_hours(9));
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Root DNS servers and DITL-style trace capture.
+//!
+//! Chromium-based browsers probe for DNS interception with queries for
+//! random single labels of 7–15 lowercase letters at browser launch and
+//! on network changes (paper ref. 35). Having no valid TLD, these are not cached
+//! and land at the root servers, where DITL traces record them with the
+//! **recursive resolver's** source address. The paper crawls the J, H,
+//! M, A, K and D roots (the letters with un-anonymised, complete 2020
+//! traces).
+//!
+//! The capture here mixes three populations, so the classifier in
+//! `clientmap-chromium` has real work to do:
+//!
+//! 1. genuine Chromium probes (fresh random label per probe);
+//! 2. **misconfiguration noise**: fixed junk names (`localdomain`,
+//!    `corpinternal`, …) leaked to the roots at high rates — they match
+//!    the Chromium *shape* but recur far above the collision threshold;
+//! 3. **typo noise**: hostnames missing their dot (`wwwgooglecom`) —
+//!    also shape-matching, also high-recurrence.
+//!
+//! Traces can be **sampled** (`sample_rate < 1`): real DITL analysis at
+//! scale works on samples, and it keeps the reproduction laptop-sized.
+//! Counts in downstream analysis are scaled back by the rate.
+
+use std::collections::HashMap;
+
+use clientmap_dns::DomainName;
+use clientmap_net::SeedMixer;
+use clientmap_world::World;
+
+use crate::anycast::Catchments;
+use crate::cdn::poisson;
+use crate::gpdns::GooglePublicDns;
+use crate::SimTime;
+
+/// The 13 root letters.
+pub const ROOT_LETTERS: [char; 13] = [
+    'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M',
+];
+
+/// The letters with public, complete, un-anonymised DITL traces (2020).
+pub const PUBLIC_TRACE_LETTERS: [char; 6] = ['J', 'H', 'M', 'A', 'K', 'D'];
+
+/// One aggregated trace record: a (resolver, name) pair with per-day
+/// query counts over the capture window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Source address (the recursive resolver).
+    pub resolver_addr: u32,
+    /// The queried name.
+    pub qname: DomainName,
+    /// Queries observed per capture day.
+    pub count_by_day: Vec<u32>,
+}
+
+impl TraceRecord {
+    /// Total queries across the window.
+    pub fn total(&self) -> u64 {
+        self.count_by_day.iter().map(|c| u64::from(*c)).sum()
+    }
+}
+
+/// The trace of one root letter.
+#[derive(Debug)]
+pub struct RootTrace {
+    /// Root letter.
+    pub letter: char,
+    /// Whether a complete public trace exists (else it is unusable, as
+    /// for the non-DITL letters in the paper).
+    pub public: bool,
+    /// Records (aggregated by (resolver, name)).
+    pub records: Vec<TraceRecord>,
+}
+
+/// A full DITL-style capture.
+#[derive(Debug)]
+pub struct RootTraceSet {
+    /// One trace per root letter.
+    pub traces: Vec<RootTrace>,
+    /// Sampling rate applied at capture (counts are *not* pre-scaled).
+    pub sample_rate: f64,
+    /// Capture length in days.
+    pub days: u32,
+}
+
+impl RootTraceSet {
+    /// The usable (public) traces.
+    pub fn public_traces(&self) -> impl Iterator<Item = &RootTrace> {
+        self.traces.iter().filter(|t| t.public)
+    }
+
+    /// Total records across public traces.
+    pub fn public_records(&self) -> usize {
+        self.public_traces().map(|t| t.records.len()).sum()
+    }
+}
+
+/// Generates a fresh random Chromium-style label of 7–15 lowercase
+/// letters from the hash state.
+fn random_probe_label(h: u64) -> String {
+    let mut state = h;
+    let mut next = || {
+        state = clientmap_net::splitmix64(state);
+        state
+    };
+    let len = 7 + (next() % 9) as usize; // 7..=15
+    (0..len)
+        .map(|_| (b'a' + (next() % 26) as u8) as char)
+        .collect()
+}
+
+/// Fixed misconfiguration names: single labels that *match* the
+/// Chromium shape (7–15 lowercase letters) but recur at high rates.
+const MISCONFIG_NAMES: &[&str] = &[
+    "localdomain",
+    "corpinternal",
+    "homestation",
+    "belkinrouter",
+    "workgroup",
+    "intranet",
+];
+
+/// Typo names: well-known hostnames with the dots dropped.
+const TYPO_NAMES: &[&str] = &[
+    "wwwgooglecom",
+    "wwwfacebookcom",
+    "wwwyoutubecom",
+    "wikipediaorg",
+    "wwwbingcom",
+];
+
+/// Captures `days` days of root traces.
+///
+/// `sample_rate` keeps each probe with that probability; counts remain
+/// raw (downstream scales by `1/sample_rate`).
+pub fn capture_traces(
+    world: &World,
+    catchments: &Catchments,
+    gpdns: &GooglePublicDns,
+    start: SimTime,
+    days: u32,
+    sample_rate: f64,
+) -> RootTraceSet {
+    assert!(days >= 1, "capture needs at least one day");
+    assert!((0.0..=1.0).contains(&sample_rate));
+    let seed = SeedMixer::new(world.config.seed).mix_str("roots").finish();
+    let act = world.activity();
+    let nletters = ROOT_LETTERS.len() as u64;
+
+    // Aggregation key: (letter, resolver, name) → per-day counts.
+    let mut agg: HashMap<(usize, u32, String), Vec<u32>> = HashMap::new();
+    let mut bump = |letter: usize, resolver: u32, name: String, day: usize, n: u32, days: u32| {
+        let counts = agg
+            .entry((letter, resolver, name))
+            .or_insert_with(|| vec![0; days as usize]);
+        counts[day] += n;
+    };
+
+    for (i, s) in world.slash24s.iter().enumerate() {
+        if s.users <= 0.0 {
+            continue;
+        }
+        let base = SeedMixer::new(seed).mix(u64::from(s.prefix.addr()));
+        // Resolver addresses for each share.
+        let isp_addr = world.ases[s.as_id]
+            .local_resolver
+            .map(|rid| world.resolvers[rid].addr);
+        let google_addr = gpdns.egress_addr(catchments.of_slash24(i));
+        let other_addr = world.resolvers[s.other_resolver].addr;
+
+        for day in 0..days {
+            let t0 = start.as_secs_f64() + f64::from(day) * 86_400.0;
+            let t1 = t0 + 86_400.0;
+            let mean_probes =
+                act.expected_events(|t| act.chromium_probe_rate(s, t), t0, t1) * sample_rate;
+            for (share, addr) in [
+                (s.resolver_mix.isp, isp_addr),
+                (s.resolver_mix.google, Some(google_addr)),
+                (s.resolver_mix.other, Some(other_addr)),
+            ] {
+                let Some(addr) = addr else { continue };
+                if share <= 0.0 {
+                    continue;
+                }
+                let h = base.mix(day as u64).mix(u64::from(addr)).finish();
+                let n = poisson(h, mean_probes * share);
+                // Each probe: a fresh random label, to a random root.
+                let mut state = h;
+                for k in 0..n {
+                    state = clientmap_net::splitmix64(state ^ k);
+                    let letter = (state % nletters) as usize;
+                    let label = random_probe_label(state);
+                    bump(letter, addr, label, day as usize, 1, days);
+                }
+            }
+        }
+    }
+
+    // Misconfiguration + typo noise: emitted by a spread of resolvers at
+    // rates far above the Chromium collision threshold.
+    let mut noise_rng = SeedMixer::new(seed).mix_str("noise").finish();
+    let resolver_pool: Vec<u32> = world.resolvers.iter().map(|r| r.addr).collect();
+    for name in MISCONFIG_NAMES.iter().chain(TYPO_NAMES) {
+        for day in 0..days as usize {
+            // 10–40 resolvers leak each junk name, dozens of times a day.
+            noise_rng = clientmap_net::splitmix64(noise_rng);
+            let spread = 10 + (noise_rng % 31) as usize;
+            for j in 0..spread.min(resolver_pool.len()) {
+                noise_rng = clientmap_net::splitmix64(noise_rng);
+                let addr = resolver_pool[(noise_rng as usize) % resolver_pool.len()];
+                let letter = (noise_rng % nletters) as usize;
+                let count = 20 + (noise_rng % 100) as u32;
+                let sampled = poisson(
+                    clientmap_net::splitmix64(noise_rng ^ j as u64),
+                    f64::from(count) * sample_rate.max(1e-12),
+                );
+                if sampled > 0 {
+                    bump(letter, addr, name.to_string(), day, sampled as u32, days);
+                }
+            }
+        }
+    }
+
+    // Assemble per-letter traces.
+    let mut traces: Vec<RootTrace> = ROOT_LETTERS
+        .iter()
+        .map(|l| RootTrace {
+            letter: *l,
+            public: PUBLIC_TRACE_LETTERS.contains(l),
+            records: Vec::new(),
+        })
+        .collect();
+    let mut entries: Vec<((usize, u32, String), Vec<u32>)> = agg.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
+    for ((letter, resolver_addr, name), count_by_day) in entries {
+        if let Ok(qname) = name.parse::<DomainName>() {
+            traces[letter].records.push(TraceRecord {
+                resolver_addr,
+                qname,
+                count_by_day,
+            });
+        }
+    }
+    RootTraceSet {
+        traces,
+        sample_rate,
+        days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authoritative::Authoritatives;
+    use clientmap_world::WorldConfig;
+
+    fn capture(seed: u64, rate: f64) -> (World, RootTraceSet) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let gpdns = GooglePublicDns::build(&world, &catchments, &auth);
+        let t = capture_traces(&world, &catchments, &gpdns, SimTime::ZERO, 2, rate);
+        (world, t)
+    }
+
+    #[test]
+    fn thirteen_letters_six_public() {
+        let (_, set) = capture(41, 0.001);
+        assert_eq!(set.traces.len(), 13);
+        assert_eq!(set.public_traces().count(), 6);
+        assert_eq!(set.days, 2);
+    }
+
+    #[test]
+    fn probe_labels_have_chromium_shape() {
+        let (_, set) = capture(42, 0.002);
+        let mut checked = 0;
+        for trace in &set.traces {
+            for r in &trace.records {
+                assert!(r.qname.is_single_label(), "{} has dots", r.qname);
+                let label = r.qname.first_label().unwrap();
+                assert!(
+                    (7..=15).contains(&label.len()),
+                    "label length {}",
+                    label.len()
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "only {checked} records captured");
+    }
+
+    #[test]
+    fn genuine_probes_rarely_repeat_noise_repeats_heavily() {
+        let (_, set) = capture(43, 0.01);
+        let mut max_random_count = 0u64;
+        let mut noise_seen = false;
+        for trace in &set.traces {
+            for r in &trace.records {
+                let name = r.qname.to_string();
+                if MISCONFIG_NAMES.contains(&name.as_str())
+                    || TYPO_NAMES.contains(&name.as_str())
+                {
+                    noise_seen = true;
+                    assert!(r.total() >= 1);
+                } else {
+                    max_random_count = max_random_count.max(r.total());
+                }
+            }
+        }
+        assert!(noise_seen, "noise population missing");
+        // Fresh random labels essentially never collide within a capture.
+        assert!(
+            max_random_count <= 2,
+            "random label repeated {max_random_count} times"
+        );
+    }
+
+    #[test]
+    fn resolver_addresses_are_real_resolvers_or_google_egress() {
+        let (world, set) = capture(44, 0.005);
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let gpdns = GooglePublicDns::build(&world, &catchments, &auth);
+        let known: std::collections::HashSet<u32> =
+            world.resolvers.iter().map(|r| r.addr).collect();
+        for trace in &set.traces {
+            for r in &trace.records {
+                assert!(
+                    known.contains(&r.resolver_addr)
+                        || gpdns.pop_of_egress(r.resolver_addr).is_some(),
+                    "unknown resolver {:#x}",
+                    r.resolver_addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_scales_volume() {
+        let (_, lo) = capture(45, 0.001);
+        let (_, hi) = capture(45, 0.01);
+        let lo_total: u64 = lo.traces.iter().flat_map(|t| &t.records).map(|r| r.total()).sum();
+        let hi_total: u64 = hi.traces.iter().flat_map(|t| &t.records).map(|r| r.total()).sum();
+        assert!(
+            hi_total > 4 * lo_total,
+            "sampling did not scale: {lo_total} vs {hi_total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_capture() {
+        let (_, a) = capture(46, 0.002);
+        let (_, b) = capture(46, 0.002);
+        let count = |s: &RootTraceSet| -> usize { s.traces.iter().map(|t| t.records.len()).sum() };
+        assert_eq!(count(&a), count(&b));
+        for (ta, tb) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(ta.records, tb.records);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The [`Sim`] façade tying world + services together.
+
+use clientmap_dns::{wire, DomainName, Message, Question, RData, ScopedAnswer};
+use clientmap_net::{GeoCoord, Prefix};
+use clientmap_world::World;
+
+use crate::anycast::Catchments;
+use crate::authoritative::Authoritatives;
+use crate::cdn::{collect_logs, CdnLogs};
+use crate::gpdns::{GooglePublicDns, GpdnsSession, Transport, MYADDR_NAME};
+use crate::pops::{pop_catalog, PopId};
+use crate::resolvers::{ResolverSnooping, SnoopOutcome};
+use crate::roots::{capture_traces, RootTraceSet};
+use crate::SimTime;
+
+/// The assembled simulation: one [`World`] plus every service the
+/// measurement techniques interact with.
+///
+/// ```
+/// use clientmap_sim::Sim;
+/// use clientmap_world::{World, WorldConfig};
+///
+/// let sim = Sim::new(World::generate(WorldConfig::tiny(1)));
+/// assert!(sim.world().routed_slash24s() > 1000);
+/// ```
+#[derive(Debug)]
+pub struct Sim {
+    world: World,
+    catchments: Catchments,
+    auth: Authoritatives,
+    gpdns: GooglePublicDns,
+    session: GpdnsSession,
+    snooping: ResolverSnooping,
+}
+
+/// A read-only view over the simulation shared by concurrent probers;
+/// obtained from [`Sim::view`]. Each prober pairs it with its own
+/// [`GpdnsSession`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimView<'a> {
+    /// The world (public data only, by convention).
+    pub world: &'a World,
+    /// Anycast catchments.
+    pub catchments: &'a Catchments,
+    /// Authoritative layer.
+    pub auth: &'a Authoritatives,
+    /// The Google Public DNS core.
+    pub gpdns: &'a GooglePublicDns,
+}
+
+impl<'a> SimView<'a> {
+    /// Sends one wire-format query through a caller-owned session.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gpdns_query(
+        &self,
+        session: &mut GpdnsSession,
+        prober: u64,
+        coord: GeoCoord,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+    ) -> Option<Vec<u8>> {
+        self.gpdns.handle_query(
+            session,
+            self.world,
+            self.catchments,
+            self.auth,
+            prober,
+            coord,
+            packet,
+            transport,
+            t,
+        )
+    }
+}
+
+impl Sim {
+    /// Builds the simulation for a world.
+    pub fn new(world: World) -> Sim {
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let gpdns = GooglePublicDns::build(&world, &catchments, &auth);
+        let snooping = ResolverSnooping::new(world.config.seed);
+        Sim {
+            world,
+            catchments,
+            auth,
+            gpdns,
+            session: GpdnsSession::new(),
+            snooping,
+        }
+    }
+
+    /// A shareable read-only view for concurrent probers.
+    pub fn view(&self) -> SimView<'_> {
+        SimView {
+            world: &self.world,
+            catchments: &self.catchments,
+            auth: &self.auth,
+            gpdns: &self.gpdns,
+        }
+    }
+
+    /// The built-in session's counters (queries sent through
+    /// [`Sim::gpdns_query`]).
+    pub fn gpdns_stats(&self) -> crate::GpdnsStats {
+        self.session.stats
+    }
+
+    /// Merges a worker session's counters into the built-in session.
+    pub fn absorb_session(&mut self, other: &GpdnsSession) {
+        self.session.absorb(other);
+    }
+
+    /// The underlying world (ground truth; techniques must not peek —
+    /// only the validation/analysis layer does).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Anycast catchments.
+    pub fn catchments(&self) -> &Catchments {
+        &self.catchments
+    }
+
+    /// The authoritative layer.
+    pub fn authoritatives(&self) -> &Authoritatives {
+        &self.auth
+    }
+
+    /// The Google Public DNS service (read-only view).
+    pub fn gpdns(&self) -> &GooglePublicDns {
+        &self.gpdns
+    }
+
+    /// Sends one wire-format query to Google Public DNS from a vantage
+    /// point at `coord` (anycast decides the PoP). Returns the raw
+    /// response bytes, or `None` if dropped.
+    pub fn gpdns_query(
+        &mut self,
+        prober: u64,
+        coord: GeoCoord,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+    ) -> Option<Vec<u8>> {
+        self.gpdns.handle_query(
+            &mut self.session,
+            &self.world,
+            &self.catchments,
+            &self.auth,
+            prober,
+            coord,
+            packet,
+            transport,
+            t,
+        )
+    }
+
+    /// The `dig @8.8.8.8 o-o.myaddr.l.google.com TXT` dance: discovers
+    /// which PoP a vantage point reaches.
+    pub fn discover_pop(&mut self, prober: u64, coord: GeoCoord, t: SimTime) -> Option<PopId> {
+        let q = Message::query(1, Question::txt(MYADDR_NAME).ok()?);
+        let pkt = wire::encode(&q).ok()?;
+        let resp = self.gpdns_query(prober, coord, &pkt, Transport::Tcp, t)?;
+        let msg = wire::decode(&resp).ok()?;
+        let txt = msg.answers.first()?;
+        if let RData::Txt(body) = &txt.rdata {
+            let code = body.strip_prefix("pop=")?;
+            pop_catalog().iter().position(|p| p.code == code)
+        } else {
+            None
+        }
+    }
+
+    /// Queries a domain's authoritative directly with an ECS prefix
+    /// (the pre-scan that learns response scopes, §3.1.1).
+    pub fn authoritative_scan(
+        &self,
+        name: &DomainName,
+        ecs: Prefix,
+        t: SimTime,
+    ) -> Option<ScopedAnswer> {
+        self.auth.answer(&self.world.domains, name, Some(ecs), t)
+    }
+
+    /// Collects a window of Microsoft CDN + Traffic Manager logs.
+    pub fn collect_cdn_logs(&self, t0: SimTime, t1: SimTime) -> CdnLogs {
+        collect_logs(&self.world, &self.catchments, &self.auth, &self.gpdns, t0, t1)
+    }
+
+    /// Whether a resolver (by id) answers off-net queries — what an
+    /// Internet-wide port-53 scan discovers.
+    pub fn resolver_is_open(&self, resolver_id: usize) -> bool {
+        self.snooping.is_open(&self.world, resolver_id)
+    }
+
+    /// One cache-snoop query against a recursive resolver (the §3.1
+    /// baseline approach).
+    pub fn snoop_resolver(
+        &self,
+        resolver_id: usize,
+        domain: &DomainName,
+        t: SimTime,
+    ) -> Option<SnoopOutcome> {
+        let spec = self.world.domains.get(domain)?;
+        Some(self.snooping.snoop(&self.world, resolver_id, spec, t))
+    }
+
+    /// Captures a DITL-style root-trace window.
+    pub fn capture_root_traces(&self, start: SimTime, days: u32, sample_rate: f64) -> RootTraceSet {
+        capture_traces(
+            &self.world,
+            &self.catchments,
+            &self.gpdns,
+            start,
+            days,
+            sample_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_world::WorldConfig;
+
+    #[test]
+    fn discover_pop_returns_probeable_site() {
+        let mut sim = Sim::new(World::generate(WorldConfig::tiny(51)));
+        let nyc = GeoCoord::new(40.7, -74.0).unwrap();
+        let pop = sim.discover_pop(77, nyc, SimTime::ZERO).expect("pop discovered");
+        use crate::pops::PopStatus;
+        assert_eq!(pop_catalog()[pop].status, PopStatus::ProbedVerified);
+        // Deterministic per prober key.
+        let again = sim.discover_pop(77, nyc, SimTime::from_secs(60)).unwrap();
+        assert_eq!(pop, again);
+    }
+
+    #[test]
+    fn authoritative_scan_returns_scopes() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(52)));
+        let name: DomainName = "www.google.com".parse().unwrap();
+        let ecs: Prefix = "100.100.100.0/24".parse().unwrap();
+        let ans = sim.authoritative_scan(&name, ecs, SimTime::ZERO).unwrap();
+        assert!(ans.scope.is_some());
+        // Non-ECS domain scans yield no scope.
+        let amazon: DomainName = "www.amazon.com".parse().unwrap();
+        let plain = sim.authoritative_scan(&amazon, ecs, SimTime::ZERO).unwrap();
+        assert!(plain.scope.is_none());
+    }
+
+    #[test]
+    fn facade_logs_and_traces() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(53)));
+        let logs = sim.collect_cdn_logs(SimTime::ZERO, SimTime::from_hours(24));
+        assert!(logs.total_requests() > 0);
+        let traces = sim.capture_root_traces(SimTime::ZERO, 2, 0.001);
+        assert_eq!(traces.traces.len(), 13);
+    }
+}

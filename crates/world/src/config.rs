@@ -1,0 +1,157 @@
+//! World-generation configuration.
+
+/// All dials of the synthetic Internet. Every distributional assumption
+/// of the reproduction is an explicit field here (DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Root seed; the entire world (and every downstream simulation
+    /// that derives sub-seeds from it) is a pure function of this.
+    pub seed: u64,
+    /// Number of ASes to generate.
+    pub num_ases: usize,
+    /// Total human Internet users in the world.
+    pub total_users: f64,
+    /// Target number of *routed* /24 equivalents across all ASes.
+    pub target_routed_slash24s: u64,
+    /// Fraction of allocated space that is announced nowhere
+    /// (public-but-unrouted, ≈ (15.5M − 12M)/15.5M in the paper).
+    pub unrouted_alloc_fraction: f64,
+
+    // --- Resolver market ---
+    /// Fraction of users whose stub points at Google Public DNS.
+    pub google_dns_share: f64,
+    /// Fraction of users using their ISP's resolver.
+    pub isp_dns_share: f64,
+    /// Remainder uses "other public DNS" (Cloudflare/Quad9-style).
+    /// (Computed: 1 − google − isp.)
+    /// Per-AS jitter applied to the Google share (absolute, ±).
+    pub google_share_jitter: f64,
+    /// Number of distinct other-public-resolver operators.
+    pub num_other_public_resolvers: usize,
+
+    // --- Browser market & Chromium probes (paper §3.2) ---
+    /// Fraction of web users on Chromium-based browsers.
+    pub chromium_share: f64,
+    /// Mean browser launches (or network changes) per user per day —
+    /// each emits interception probes.
+    pub browser_launches_per_user_per_day: f64,
+    /// Random-label probes emitted per launch (Chromium sends 3).
+    pub probes_per_launch: u32,
+
+    // --- Web activity ---
+    /// Mean DNS queries a user's device sends its resolver per day
+    /// (after OS-level caching), across all domains.
+    pub dns_queries_per_user_per_day: f64,
+    /// Mean HTTP(S) requests to the Microsoft CDN per user per day.
+    pub cdn_requests_per_user_per_day: f64,
+    /// Machine clients (bots/crawlers) per hosting-AS /24, as a mean.
+    pub machines_per_hosting_slash24: f64,
+    /// Diurnal amplitude `A` in `1 + A·sin(…)`, 0 = flat.
+    pub diurnal_amplitude: f64,
+
+    // --- Per-AS utilisation mixture (Figure 4's spread) ---
+    /// Probability an AS is "mostly dark" (tiny active fraction).
+    pub sparse_as_prob: f64,
+    /// Active-/24 fraction range for sparse ASes.
+    pub sparse_util_range: (f64, f64),
+    /// Active-/24 fraction range for normal ASes.
+    pub normal_util_range: (f64, f64),
+
+    // --- Heavy tails ---
+    /// Pareto shape for AS user populations (smaller = heavier tail).
+    pub as_users_pareto_alpha: f64,
+}
+
+impl WorldConfig {
+    /// A tiny world for unit tests: fast to generate and simulate.
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig {
+            num_ases: 120,
+            total_users: 2.0e6,
+            target_routed_slash24s: 4_000,
+            ..WorldConfig::default_with_seed(seed)
+        }
+    }
+
+    /// A small world for integration tests and quick benches.
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            num_ases: 700,
+            total_users: 2.0e7,
+            target_routed_slash24s: 30_000,
+            ..WorldConfig::default_with_seed(seed)
+        }
+    }
+
+    /// The full evaluation scale used by the `repro` harness
+    /// (scaled-down Internet: ≈3k ASes, ≈250k routed /24s).
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            num_ases: 3_000,
+            total_users: 2.0e8,
+            target_routed_slash24s: 250_000,
+            ..WorldConfig::default_with_seed(seed)
+        }
+    }
+
+    /// Defaults shared by all presets.
+    pub fn default_with_seed(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            num_ases: 1_000,
+            total_users: 5.0e7,
+            target_routed_slash24s: 60_000,
+            unrouted_alloc_fraction: 0.22,
+            google_dns_share: 0.30,
+            isp_dns_share: 0.55,
+            google_share_jitter: 0.15,
+            num_other_public_resolvers: 4,
+            chromium_share: 0.70,
+            browser_launches_per_user_per_day: 2.5,
+            probes_per_launch: 3,
+            dns_queries_per_user_per_day: 120.0,
+            cdn_requests_per_user_per_day: 30.0,
+            machines_per_hosting_slash24: 6.0,
+            diurnal_amplitude: 0.8,
+            sparse_as_prob: 0.20,
+            sparse_util_range: (0.01, 0.25),
+            normal_util_range: (0.30, 1.0),
+            as_users_pareto_alpha: 1.16,
+        }
+    }
+
+    /// The "other public DNS" share implied by the two explicit shares.
+    pub fn other_dns_share(&self) -> f64 {
+        (1.0 - self.google_dns_share - self.isp_dns_share).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let t = WorldConfig::tiny(1);
+        let s = WorldConfig::small(1);
+        let p = WorldConfig::paper_scale(1);
+        assert!(t.num_ases < s.num_ases && s.num_ases < p.num_ases);
+        assert!(t.target_routed_slash24s < s.target_routed_slash24s);
+        assert!(s.target_routed_slash24s < p.target_routed_slash24s);
+    }
+
+    #[test]
+    fn resolver_shares_sum_to_one() {
+        let c = WorldConfig::default_with_seed(0);
+        let total = c.google_dns_share + c.isp_dns_share + c.other_dns_share();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_share_clamps() {
+        let mut c = WorldConfig::default_with_seed(0);
+        c.google_dns_share = 0.7;
+        c.isp_dns_share = 0.7;
+        assert_eq!(c.other_dns_share(), 0.0);
+    }
+}

@@ -1,0 +1,605 @@
+//! World generation: from a [`WorldConfig`] to a fully populated
+//! [`World`]. Deterministic given the seed.
+
+use clientmap_geo::{GeoAccuracyModel, GeoDbBuilder, PrefixKind};
+use clientmap_net::{Asn, Rib, SeedMixer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alloc::BlockAllocator;
+use crate::types::{AsInfo, BlockInfo, ResolverInfo, ResolverKind, ResolverMix, Slash24Info};
+use crate::{AsCategory, DomainCatalog, World, WorldConfig};
+
+/// User-population scale factor per category (relative to ISP draws).
+fn user_scale(cat: AsCategory) -> f64 {
+    match cat {
+        AsCategory::Isp => 1.0,
+        AsCategory::Education => 0.04,
+        AsCategory::Enterprise => 0.02,
+        AsCategory::Government => 0.02,
+        AsCategory::Other => 0.015,
+        _ => 0.0,
+    }
+}
+
+/// Machine-population scale per category.
+fn machine_scale(cat: AsCategory) -> f64 {
+    match cat {
+        AsCategory::HostingCloud => 1.0,
+        AsCategory::ContentMedia => 0.4,
+        _ => 0.0,
+    }
+}
+
+/// Fraction of an AS's routed space that is eyeball (vs infrastructure).
+fn eyeball_space_fraction(cat: AsCategory) -> f64 {
+    match cat {
+        AsCategory::Isp => 0.90,
+        AsCategory::Education => 0.80,
+        AsCategory::Enterprise => 0.70,
+        AsCategory::Government => 0.70,
+        AsCategory::Other => 0.60,
+        AsCategory::ContentMedia => 0.05,
+        AsCategory::HostingCloud => 0.0,
+        AsCategory::Transit => 0.0,
+    }
+}
+
+/// A lognormal draw with median 1 and the given log-space σ.
+fn lognormal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Splits `total_24s` /24 equivalents into aligned block sizes
+/// (/16, /18, /20, /22, /24), largest first.
+fn block_lengths(total_24s: u64) -> Vec<u8> {
+    let mut remaining = total_24s;
+    let mut out = Vec::new();
+    for (len, size) in [(16u8, 256u64), (18, 64), (20, 16), (22, 4), (24, 1)] {
+        while remaining >= size {
+            out.push(len);
+            remaining -= size;
+        }
+    }
+    out
+}
+
+pub(crate) fn generate(config: WorldConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(SeedMixer::new(config.seed).mix_str("worldgen").finish());
+    let metros = clientmap_geo::world_metros();
+    let metro_weight_total: f64 = metros.iter().map(|m| m.weight).sum();
+
+    let mut ases: Vec<AsInfo> = Vec::with_capacity(config.num_ases + 8);
+    let mut blocks: Vec<BlockInfo> = Vec::new();
+    let mut resolvers: Vec<ResolverInfo> = Vec::new();
+    let mut allocator = BlockAllocator::new();
+    let mut rib = Rib::new();
+    let mut geodb_builder = GeoDbBuilder::new();
+    let mut next_asn = 100u32;
+
+    // Helper: pick a metro index by population weight.
+    let sample_metro = |rng: &mut StdRng| -> usize {
+        let mut x = rng.gen_range(0.0..metro_weight_total);
+        for (i, m) in metros.iter().enumerate() {
+            x -= m.weight;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        metros.len() - 1
+    };
+
+    // --- 1. Special operator ASes -------------------------------------
+    // Google: hosts Google Public DNS and Google authoritatives.
+    let google_as = ases.len();
+    {
+        let metro = metros
+            .iter()
+            .position(|m| m.name == "San Francisco")
+            .unwrap_or(0);
+        let asn = Asn(next_asn);
+        next_asn += 1;
+        let block = allocator.alloc(16).expect("space available");
+        rib.announce(block, asn);
+        blocks.push(BlockInfo {
+            prefix: block,
+            as_id: google_as,
+            routed: true,
+        });
+        let coord = metros[metro].coord;
+        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        resolvers.push(ResolverInfo {
+            addr: block.addr() | 0x0808, // the "8.8" suffix, a wink
+            as_id: google_as,
+            kind: ResolverKind::GooglePublic,
+            coord,
+        });
+        ases.push(AsInfo {
+            asn,
+            category: AsCategory::ContentMedia,
+            country: metros[metro].country,
+            home_metro: metro,
+            users: 0.0,
+            machines: 200.0,
+            blocks: vec![0],
+            local_resolver: Some(0),
+            routed_slash24s: block.num_slash24s(),
+        });
+    }
+
+    // Microsoft: hosts the CDN and Traffic Manager authoritative.
+    let microsoft_as = ases.len();
+    {
+        let metro = metros.iter().position(|m| m.name == "Seattle").unwrap_or(0);
+        let asn = Asn(next_asn);
+        next_asn += 1;
+        let block = allocator.alloc(16).expect("space available");
+        rib.announce(block, asn);
+        let block_id = blocks.len();
+        blocks.push(BlockInfo {
+            prefix: block,
+            as_id: microsoft_as,
+            routed: true,
+        });
+        let coord = metros[metro].coord;
+        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        ases.push(AsInfo {
+            asn,
+            category: AsCategory::ContentMedia,
+            country: metros[metro].country,
+            home_metro: metro,
+            users: 0.0,
+            machines: 150.0,
+            blocks: vec![block_id],
+            local_resolver: None,
+            routed_slash24s: block.num_slash24s(),
+        });
+    }
+
+    // Other public resolver operators (Cloudflare/Quad9-style).
+    let mut other_public_resolvers: Vec<usize> = Vec::new();
+    for i in 0..config.num_other_public_resolvers {
+        let as_id = ases.len();
+        let metro = sample_metro(&mut rng);
+        let asn = Asn(next_asn);
+        next_asn += 1;
+        let block = allocator.alloc(20).expect("space available");
+        rib.announce(block, asn);
+        let block_id = blocks.len();
+        blocks.push(BlockInfo {
+            prefix: block,
+            as_id,
+            routed: true,
+        });
+        let coord = metros[metro].coord;
+        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        let resolver_id = resolvers.len();
+        resolvers.push(ResolverInfo {
+            addr: block.addr() | (i as u32 + 1),
+            as_id,
+            kind: ResolverKind::OtherPublic,
+            coord,
+        });
+        other_public_resolvers.push(resolver_id);
+        ases.push(AsInfo {
+            asn,
+            category: AsCategory::ContentMedia,
+            country: metros[metro].country,
+            home_metro: metro,
+            users: 0.0,
+            machines: 20.0,
+            blocks: vec![block_id],
+            local_resolver: Some(resolver_id),
+            routed_slash24s: block.num_slash24s(),
+        });
+    }
+
+    // --- 2. Regular ASes ----------------------------------------------
+    struct Draft {
+        category: AsCategory,
+        metro: usize,
+        raw_users: f64,
+        raw_machines: f64,
+    }
+    let mut drafts: Vec<Draft> = Vec::with_capacity(config.num_ases);
+    let user_cap = 0.05 * config.total_users; // no AS above 5% of the world
+    // Users per AS follow a lognormal: its heavy tail gives a few huge
+    // ISPs, and its *soft minimum* gives a long tail of ASes with only
+    // tens of users — the population APNIC's ad sampling and the
+    // probing techniques genuinely miss (the paper's coverage-gap
+    // structure depends on these existing). σ is derived from the
+    // configured Pareto shape so the dial stays a single number:
+    // smaller alpha ⇒ heavier tail ⇒ larger σ.
+    let user_sigma = 3.0 / config.as_users_pareto_alpha.max(0.5);
+    for _ in 0..config.num_ases {
+        let category = AsCategory::sample(&mut rng);
+        let metro = sample_metro(&mut rng);
+        let raw_users = if category.hosts_users() {
+            lognormal(&mut rng, user_sigma) * user_scale(category)
+        } else {
+            0.0
+        };
+        let raw_machines = if category.hosts_machines() {
+            lognormal(&mut rng, 2.0) * machine_scale(category)
+        } else {
+            0.0
+        };
+        drafts.push(Draft {
+            category,
+            metro,
+            raw_users,
+            raw_machines,
+        });
+    }
+    // Water-filling normalisation: scale draws to hit the target total
+    // while capping any single AS at `user_cap`, redistributing the
+    // excess over the uncapped ASes until it converges.
+    let mut user_targets: Vec<f64> = drafts.iter().map(|d| d.raw_users).collect();
+    {
+        let mut capped = vec![false; user_targets.len()];
+        for _ in 0..32 {
+            let fixed: f64 = user_targets
+                .iter()
+                .zip(&capped)
+                .filter(|(_, c)| **c)
+                .map(|(u, _)| *u)
+                .sum();
+            let free_raw: f64 = drafts
+                .iter()
+                .zip(&capped)
+                .filter(|(_, c)| !**c)
+                .map(|(d, _)| d.raw_users)
+                .sum();
+            if free_raw <= 0.0 {
+                break;
+            }
+            let scale = (config.total_users - fixed).max(0.0) / free_raw;
+            let mut newly_capped = false;
+            for (i, d) in drafts.iter().enumerate() {
+                if capped[i] {
+                    continue;
+                }
+                let v = d.raw_users * scale;
+                if v > user_cap {
+                    user_targets[i] = user_cap;
+                    capped[i] = true;
+                    newly_capped = true;
+                } else {
+                    user_targets[i] = v;
+                }
+            }
+            if !newly_capped {
+                break;
+            }
+        }
+    }
+    let machine_norm = {
+        let raw: f64 = drafts.iter().map(|d| d.raw_machines).sum();
+        if raw > 0.0 {
+            // Machines globally ≈ 1.5% of the human population.
+            (config.total_users * 0.015) / raw
+        } else {
+            0.0
+        }
+    };
+
+    for (i, d) in drafts.iter().enumerate() {
+        let as_id = ases.len();
+        let asn = Asn(next_asn);
+        next_asn += 1;
+        let users = user_targets[i];
+        let machines = d.raw_machines * machine_norm;
+        ases.push(AsInfo {
+            asn,
+            category: d.category,
+            country: metros[d.metro].country,
+            home_metro: d.metro,
+            users,
+            machines,
+            blocks: Vec::new(),
+            local_resolver: None,
+            routed_slash24s: 0,
+        });
+        let _ = as_id;
+    }
+
+    // --- 3. Address allocation -----------------------------------------
+    // Space weight: users and machines drive space, with lognormal-ish
+    // over-allocation jitter and a floor so tiny ASes still get a /24.
+    let first_regular = 2 + config.num_other_public_resolvers;
+    let mut space_weights: Vec<f64> = Vec::with_capacity(ases.len());
+    for info in ases.iter().skip(first_regular) {
+        let demand = info.users / 180.0 + info.machines / 40.0 + 1.0;
+        let jitter = (rng.gen_range(-1.0f64..1.0) * 0.9).exp();
+        space_weights.push(demand * jitter);
+    }
+    let weight_total: f64 = space_weights.iter().sum();
+    let already_routed: u64 = ases
+        .iter()
+        .take(first_regular)
+        .map(|a| a.routed_slash24s)
+        .sum();
+    let budget = config.target_routed_slash24s.saturating_sub(already_routed) as f64;
+
+    for (offset, w) in space_weights.iter().enumerate() {
+        let as_id = first_regular + offset;
+        let routed_24s = ((w / weight_total) * budget).round().max(1.0) as u64;
+        // Total allocation includes a never-routed share.
+        let alloc_24s = (routed_24s as f64 / (1.0 - config.unrouted_alloc_fraction).max(0.1))
+            .round() as u64;
+        let lengths = block_lengths(alloc_24s.max(1));
+        let mut routed_so_far = 0u64;
+        for (bi, len) in lengths.iter().enumerate() {
+            let Some(block) = allocator.alloc(*len) else {
+                break; // address space exhausted; AS keeps what it has
+            };
+            // Route blocks until the routed quota is met; the first block
+            // is always routed so active ASes are reachable.
+            let routed = bi == 0 || routed_so_far < routed_24s;
+            let block_id = blocks.len();
+            blocks.push(BlockInfo {
+                prefix: block,
+                as_id,
+                routed,
+            });
+            ases[as_id].blocks.push(block_id);
+            if routed {
+                rib.announce(block, ases[as_id].asn);
+                routed_so_far += block.num_slash24s();
+                ases[as_id].routed_slash24s += block.num_slash24s();
+            }
+        }
+    }
+
+    // --- 4. Per-/24 population ------------------------------------------
+    // For each AS: choose a utilisation fraction from the mixture, mark
+    // that share of eyeball /24s active, and split users among them.
+    let mut slash24s: Vec<Slash24Info> = Vec::new();
+    let mut slash24_by_addr: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+
+    // Country → metro indices, for scattering blocks within the country.
+    let country_metros = |cc: clientmap_geo::CountryCode| -> Vec<usize> {
+        metros
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.country == cc)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    for as_id in first_regular..ases.len() {
+        let info = &ases[as_id];
+        let sparse = rng.gen_bool(config.sparse_as_prob.clamp(0.0, 1.0));
+        let (lo, hi) = if sparse {
+            config.sparse_util_range
+        } else {
+            config.normal_util_range
+        };
+        let utilisation = rng.gen_range(lo..hi.max(lo + 1e-9));
+        let eyeball_frac = eyeball_space_fraction(info.category);
+        let in_country = country_metros(info.country);
+
+        // First pass: create entries, collecting active indices + weights.
+        let mut active_user_slots: Vec<(usize, f64)> = Vec::new();
+        let mut active_machine_slots: Vec<(usize, f64)> = Vec::new();
+        let block_ids = info.blocks.clone();
+        for block_id in block_ids {
+            let block = &blocks[block_id];
+            if !block.routed {
+                // Unrouted space still gets a geolocation entry (MaxMind
+                // covers allocated space), at block granularity.
+                let metro = metros[ases[as_id].home_metro];
+                geodb_builder.add(
+                    block.prefix,
+                    metro.coord,
+                    ases[as_id].country,
+                    PrefixKind::Infrastructure,
+                );
+                continue;
+            }
+            // Scatter the block around one in-country metro.
+            let metro_idx = if in_country.is_empty() {
+                ases[as_id].home_metro
+            } else {
+                in_country[rng.gen_range(0..in_country.len())]
+            };
+            let metro = metros[metro_idx];
+            let block_coord = metro
+                .coord
+                .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..60.0));
+            for sub in block.prefix.slash24s() {
+                let kind = if rng.gen_bool(eyeball_frac) {
+                    PrefixKind::Eyeball
+                } else {
+                    PrefixKind::Infrastructure
+                };
+                let coord =
+                    block_coord.destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..40.0));
+                let idx = slash24s.len();
+                let active = rng.gen_bool(utilisation);
+                if active {
+                    match kind {
+                        PrefixKind::Eyeball => {
+                            active_user_slots.push((idx, rng.gen_range(0.05f64..1.0)));
+                        }
+                        PrefixKind::Infrastructure => {
+                            active_machine_slots.push((idx, rng.gen_range(0.05f64..1.0)));
+                        }
+                    }
+                }
+                slash24_by_addr.insert(sub.addr() >> 8, idx);
+                slash24s.push(Slash24Info {
+                    prefix: sub,
+                    as_id,
+                    coord,
+                    kind,
+                    users: 0.0,
+                    machines: 0.0,
+                    resolver_mix: ResolverMix::DARK,
+                    other_resolver: 0,
+                });
+                geodb_builder.add(sub, coord, ases[as_id].country, kind);
+            }
+        }
+
+        // Guarantee at least one active slot when there is population.
+        let last_range = slash24s.len();
+        let as_start = last_range
+            - ases[as_id]
+                .blocks
+                .iter()
+                .filter(|b| blocks[**b].routed)
+                .map(|b| blocks[*b].prefix.num_slash24s() as usize)
+                .sum::<usize>();
+        if ases[as_id].users > 0.0 && active_user_slots.is_empty() {
+            // Prefer an eyeball /24; fall back to any routed /24.
+            let pick = (as_start..last_range)
+                .find(|i| slash24s[*i].kind == PrefixKind::Eyeball)
+                .or(if as_start < last_range {
+                    Some(as_start)
+                } else {
+                    None
+                });
+            if let Some(i) = pick {
+                active_user_slots.push((i, 1.0));
+            }
+        }
+        if ases[as_id].machines > 0.0 && active_machine_slots.is_empty() && as_start < last_range {
+            let pick = (as_start..last_range)
+                .find(|i| slash24s[*i].kind == PrefixKind::Infrastructure)
+                .unwrap_or(as_start);
+            active_machine_slots.push((pick, 1.0));
+        }
+
+        // Distribute users/machines across the active slots.
+        let user_weight: f64 = active_user_slots.iter().map(|(_, w)| w).sum();
+        for (idx, w) in &active_user_slots {
+            slash24s[*idx].users = ases[as_id].users * w / user_weight.max(f64::MIN_POSITIVE);
+        }
+        let machine_weight: f64 = active_machine_slots.iter().map(|(_, w)| w).sum();
+        for (idx, w) in &active_machine_slots {
+            slash24s[*idx].machines =
+                ases[as_id].machines * w / machine_weight.max(f64::MIN_POSITIVE);
+        }
+    }
+
+    // --- 5. Resolvers & per-prefix resolver mixes ------------------------
+    for as_id in first_regular..ases.len() {
+        // ISPs and most non-trivial user ASes run their own resolver;
+        // tiny networks point their stubs at public DNS instead.
+        let runs_resolver = ases[as_id].users > 50.0
+            || (ases[as_id].category == AsCategory::Isp && ases[as_id].users > 0.0);
+        if runs_resolver {
+            if let Some(&first_block) = ases[as_id].blocks.first() {
+                let block = &blocks[first_block];
+                if block.routed {
+                    let resolver_id = resolvers.len();
+                    resolvers.push(ResolverInfo {
+                        addr: block.prefix.addr() | 53,
+                        as_id,
+                        kind: ResolverKind::IspLocal,
+                        coord: metros[ases[as_id].home_metro].coord,
+                    });
+                    ases[as_id].local_resolver = Some(resolver_id);
+                    // The resolver's /24 is a server segment: it co-hosts
+                    // machines (monitoring, mail, update fetchers) that a
+                    // CDN sees — which is why resolver prefixes observed
+                    // in root traces almost always also appear in CDN
+                    // client logs (paper Table 1: 95.5% precision).
+                    let r24 = block.prefix.addr() >> 8;
+                    if let Some(&idx) = slash24_by_addr.get(&r24) {
+                        if slash24s[idx].machines < 1.0 {
+                            slash24s[idx].machines += 2.0 + (r24 % 5) as f64;
+                            ases[as_id].machines += slash24s[idx].machines;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-AS resolver shares with jitter; per-prefix "other" assignment.
+    //
+    // Small networks are frequently *Google-free*: an enterprise or a
+    // small ISP pins every stub to its own (or one contracted) resolver,
+    // or intercepts port 53 outright. Such ASes are invisible to cache
+    // probing of Google Public DNS while remaining plainly visible to a
+    // CDN — the mechanism behind the paper's finding that its probing
+    // covers only ~56% of the ASes Microsoft sees while still covering
+    // ~95% of the *volume* (large ASes always have some 8.8.8.8 users).
+    let google_free_prob = |cat: AsCategory| -> f64 {
+        match cat {
+            AsCategory::Isp => 0.30,
+            AsCategory::Education => 0.45,
+            AsCategory::Enterprise => 0.65,
+            AsCategory::Government => 0.60,
+            AsCategory::Other => 0.55,
+            AsCategory::HostingCloud => 0.30,
+            AsCategory::ContentMedia => 0.30,
+            AsCategory::Transit => 0.50,
+        }
+    };
+    // Above this many users an AS always has some Google DNS adopters.
+    const ALWAYS_MIXED_USERS: f64 = 3_000.0;
+    let mut as_mix: Vec<ResolverMix> = Vec::with_capacity(ases.len());
+    for info in ases.iter() {
+        let small = info.users < ALWAYS_MIXED_USERS;
+        let google_free = small && rng.gen_bool(google_free_prob(info.category));
+        let jitter = rng.gen_range(-config.google_share_jitter..=config.google_share_jitter);
+        let mut google = if google_free {
+            rng.gen_range(0.0..0.01)
+        } else {
+            (config.google_dns_share + jitter).clamp(0.02, 0.95)
+        };
+        let mut isp = config.isp_dns_share;
+        let mut other = config.other_dns_share();
+        if info.local_resolver.is_none() {
+            // No local resolver: its share flows to the public ones.
+            let spill = isp;
+            isp = 0.0;
+            let denom = (google + other).max(f64::MIN_POSITIVE);
+            google += spill * google / denom;
+            other += spill * other / denom;
+        }
+        let total = (google + isp + other).max(f64::MIN_POSITIVE);
+        as_mix.push(ResolverMix {
+            isp: isp / total,
+            google: google / total,
+            other: other / total,
+        });
+    }
+    for s in &mut slash24s {
+        if s.is_active() {
+            s.resolver_mix = as_mix[s.as_id];
+            s.other_resolver = if other_public_resolvers.is_empty() {
+                0
+            } else {
+                other_public_resolvers[SeedMixer::new(config.seed)
+                    .mix_str("other-resolver")
+                    .mix(u64::from(s.prefix.addr()))
+                    .finish() as usize
+                    % other_public_resolvers.len()]
+            };
+        }
+    }
+
+    // --- 6. Geolocation database -----------------------------------------
+    let geodb = geodb_builder.build(&GeoAccuracyModel::default(), &mut rng);
+
+    World::assemble(
+        config,
+        ases,
+        blocks,
+        slash24s,
+        resolvers,
+        rib,
+        geodb,
+        DomainCatalog::standard(),
+        google_as,
+        microsoft_as,
+        other_public_resolvers,
+    )
+}

@@ -1,0 +1,127 @@
+//! Core world entities: ASes, /24s, resolvers.
+
+use clientmap_geo::{CountryCode, PrefixKind};
+use clientmap_net::{Asn, GeoCoord, Prefix};
+
+use crate::AsCategory;
+
+/// Index into [`crate::World::ases`].
+pub type AsId = usize;
+/// Index into the world's allocated prefix blocks.
+pub type PrefixId = usize;
+/// Index into [`crate::World::resolvers`].
+pub type ResolverId = usize;
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// ASdb-style category.
+    pub category: AsCategory,
+    /// Registration country.
+    pub country: CountryCode,
+    /// Index of the AS's home metro in the world metro catalog.
+    pub home_metro: usize,
+    /// Total human users across the AS's space.
+    pub users: f64,
+    /// Total machine web clients (bots/crawlers/cloud workloads).
+    pub machines: f64,
+    /// Allocated blocks (ids into the world's block table).
+    pub blocks: Vec<PrefixId>,
+    /// This AS's own recursive resolver, if it runs one.
+    pub local_resolver: Option<ResolverId>,
+    /// /24 equivalents announced (routed); mirrors the RIB.
+    pub routed_slash24s: u64,
+}
+
+/// One allocated address block (what the RIR handed out; announced as a
+/// whole or left unrouted).
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// The block.
+    pub prefix: Prefix,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// Whether the block is announced in the RIB.
+    pub routed: bool,
+}
+
+/// How the users of a /24 split across resolver kinds. Fractions sum
+/// to 1 for prefixes with users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolverMix {
+    /// Share using the AS's own resolver.
+    pub isp: f64,
+    /// Share using Google Public DNS.
+    pub google: f64,
+    /// Share using another public resolver.
+    pub other: f64,
+}
+
+impl ResolverMix {
+    /// A mix with everything zero (dark prefix).
+    pub const DARK: ResolverMix = ResolverMix {
+        isp: 0.0,
+        google: 0.0,
+        other: 0.0,
+    };
+}
+
+/// One routed /24 and its ground truth.
+#[derive(Debug, Clone)]
+pub struct Slash24Info {
+    /// The /24.
+    pub prefix: Prefix,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// True location.
+    pub coord: GeoCoord,
+    /// Eyeball vs infrastructure (drives geo DB accuracy).
+    pub kind: PrefixKind,
+    /// Human users inside (0 for dark or infra space).
+    pub users: f64,
+    /// Machine web clients inside.
+    pub machines: f64,
+    /// Resolver split for this prefix's clients.
+    pub resolver_mix: ResolverMix,
+    /// The "other public" resolver this prefix's `other` share uses.
+    pub other_resolver: ResolverId,
+}
+
+impl Slash24Info {
+    /// Total web clients (human + machine).
+    pub fn clients(&self) -> f64 {
+        self.users + self.machines
+    }
+
+    /// Whether anything in the prefix generates traffic.
+    pub fn is_active(&self) -> bool {
+        self.clients() > 0.0
+    }
+}
+
+/// What kind of recursive resolver this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolverKind {
+    /// An ISP-operated resolver serving its own AS.
+    IspLocal,
+    /// Google Public DNS (one logical resolver; per-PoP egress addresses
+    /// are handled by the simulator).
+    GooglePublic,
+    /// Cloudflare/Quad9-style other public anycast resolver.
+    OtherPublic,
+}
+
+/// One recursive resolver.
+#[derive(Debug, Clone)]
+pub struct ResolverInfo {
+    /// The resolver's (egress) IP address as seen by authoritatives.
+    pub addr: u32,
+    /// AS hosting the resolver.
+    pub as_id: AsId,
+    /// Kind.
+    pub kind: ResolverKind,
+    /// Location (for IspLocal: the AS home metro; public: operator HQ).
+    pub coord: GeoCoord,
+}

@@ -1,0 +1,62 @@
+//! Generation invariants across seeds (DESIGN.md §6).
+
+use clientmap_geo::PrefixKind;
+use clientmap_world::{World, WorldConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Core structural invariants hold for any seed.
+    #[test]
+    fn world_invariants(seed in 0u64..1_000_000) {
+        let w = World::generate(WorldConfig::tiny(seed));
+
+        // 1. Blocks are pairwise disjoint.
+        let mut blocks: Vec<_> = w.blocks.iter().map(|b| b.prefix).collect();
+        blocks.sort();
+        for pair in blocks.windows(2) {
+            prop_assert!(!pair[0].overlaps(pair[1]), "{} overlaps {}", pair[0], pair[1]);
+        }
+
+        // 2. Every routed /24 resolves to its owner through the RIB.
+        for s in w.slash24s.iter().step_by(11) {
+            let asn = w.rib.origin_of_prefix(s.prefix);
+            prop_assert_eq!(asn.and_then(|a| w.as_id(a)), Some(s.as_id));
+        }
+
+        // 3. Per-AS user totals match the /24 spread.
+        let mut per_as = vec![0.0f64; w.ases.len()];
+        for s in &w.slash24s {
+            per_as[s.as_id] += s.users;
+        }
+        for (i, a) in w.ases.iter().enumerate() {
+            prop_assert!(
+                (per_as[i] - a.users).abs() <= 1e-6 * a.users.max(1.0),
+                "AS {}: {} vs {}", a.asn, per_as[i], a.users
+            );
+        }
+
+        // 4. Active prefixes have normalised resolver mixes.
+        for s in w.active_slash24s() {
+            let total = s.resolver_mix.isp + s.resolver_mix.google + s.resolver_mix.other;
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        // 5. User mass lives overwhelmingly in eyeball space.
+        let (eyeball, infra): (f64, f64) = w.slash24s.iter().fold((0.0, 0.0), |(e, i), s| {
+            match s.kind {
+                PrefixKind::Eyeball => (e + s.users, i),
+                PrefixKind::Infrastructure => (e, i + s.users),
+            }
+        });
+        prop_assert!(eyeball > 5.0 * infra, "eyeball {eyeball} infra {infra}");
+
+        // 6. The population total lands near the configured target.
+        let total = w.total_users();
+        prop_assert!(
+            total > 0.7 * w.config.total_users && total < 1.2 * w.config.total_users,
+            "total {total}"
+        );
+    }
+}

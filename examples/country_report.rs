@@ -1,0 +1,65 @@
+//! Country coverage report (the paper's Figure 3 as a usable tool):
+//! for each country, how much of its (APNIC-estimated) Internet
+//! population lives in networks where the public techniques found
+//! client activity — and which ASes are the blind spots.
+//!
+//! ```sh
+//! cargo run --release --example country_report [seed]
+//! ```
+
+use clientmap::analysis::country_coverage;
+use clientmap::core::{Pipeline, PipelineConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(31u64);
+
+    eprintln!("running the full pipeline (seed {seed})…");
+    let out = Pipeline::run(PipelineConfig::tiny(seed));
+    let world = out.sim.world();
+
+    let union = out.bundle.as_view(clientmap::datasets::DatasetId::Union);
+    let coverage = country_coverage(world, &out.bundle.apnic, &union);
+
+    println!(
+        "{:<8} {:>14} {:>10}  blind spots (largest unseen ASes)",
+        "country", "APNIC users", "coverage"
+    );
+    for c in coverage.iter().take(20) {
+        // Largest APNIC-listed ASes in this country missed by the union.
+        let mut blind: Vec<(clientmap::net::Asn, f64)> = out
+            .bundle
+            .apnic
+            .volume
+            .iter()
+            .filter(|(asn, _)| {
+                world
+                    .as_id(**asn)
+                    .map(|id| world.ases[id].country == c.country)
+                    .unwrap_or(false)
+                    && !union.contains(**asn)
+            })
+            .map(|(a, v)| (*a, *v))
+            .collect();
+        blind.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let blind_str = blind
+            .iter()
+            .take(3)
+            .map(|(a, v)| format!("{a} ({v:.0} users)"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{:<8} {:>14.0} {:>9.0}%  {}",
+            c.country.as_str(),
+            c.apnic_users,
+            100.0 * c.fraction_seen,
+            if blind_str.is_empty() { "-".into() } else { blind_str }
+        );
+    }
+    println!(
+        "\n(coverage = fraction of APNIC-estimated users in ASes where either \
+         technique found activity)"
+    );
+}

@@ -1,0 +1,189 @@
+//! `clientmap` — the user-facing CLI.
+//!
+//! ```text
+//! clientmap run     [--scale tiny|small|paper] [--seed N]
+//! clientmap export  [--scale ...] [--seed N] --out DIR
+//! clientmap query   PREFIX [--scale ...] [--seed N]
+//! clientmap stats   [--scale ...] [--seed N]
+//! ```
+//!
+//! `run` executes the full pipeline and prints the headline numbers;
+//! `export` writes the *shareable* datasets (technique outputs + the
+//! APNIC-style estimates) as CSV; `query` answers the paper's title
+//! question for one prefix ("does this network have clients?") from
+//! the public activity map; `stats` summarises the generated world.
+//! (The evaluation harness regenerating every paper table/figure is
+//! the separate `repro` binary in `clientmap-bench`.)
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use clientmap::core::{Pipeline, PipelineConfig};
+use clientmap::datasets::export;
+use clientmap::net::Prefix;
+
+struct Args {
+    scale: String,
+    seed: u64,
+    out: Option<PathBuf>,
+    positional: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args {
+        scale: "tiny".into(),
+        seed: 2021,
+        out: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                args.scale = argv.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+                i += 2;
+            }
+            "--out" => {
+                args.out = argv.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            other => {
+                args.positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    args
+}
+
+fn config_for(args: &Args) -> PipelineConfig {
+    match args.scale.as_str() {
+        "paper" => PipelineConfig::paper_scale(args.seed),
+        "small" => PipelineConfig::small(args.seed),
+        _ => PipelineConfig::tiny(args.seed),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clientmap <run|export|query|stats> [--scale tiny|small|paper] [--seed N] \
+         [--out DIR] [PREFIX]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cmd = argv[0].clone();
+    let args = parse_args(&argv[1..]);
+
+    match cmd.as_str() {
+        "run" => {
+            let out = Pipeline::run(config_for(&args));
+            println!("{}", out.report().headlines());
+            println!(
+                "active space: {} /24s across {} hit scopes; {} resolvers with Chromium activity",
+                out.cache_probe.active_set().num_slash24s(),
+                out.cache_probe.hit_prefixes().len(),
+                out.dns_logs.resolvers.len(),
+            );
+        }
+        "export" => {
+            let Some(dir) = args.out.clone() else {
+                eprintln!("export requires --out DIR");
+                std::process::exit(2);
+            };
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            let out = Pipeline::run(config_for(&args));
+            let rib = &out.sim.world().rib;
+            let files = [
+                (
+                    "cache_probing.csv",
+                    export::prefix_view_with_origins_csv(&out.bundle.cache_probing, rib),
+                ),
+                ("dns_logs.csv", export::prefix_view_csv(&out.bundle.dns_logs)),
+                ("apnic.csv", export::apnic_csv(&out.apnic)),
+                (
+                    "dns_logs_by_as.csv",
+                    export::as_view_csv(&out.bundle.dns_logs_as),
+                ),
+            ];
+            for (name, contents) in files {
+                let path = dir.join(name);
+                match std::fs::File::create(&path)
+                    .and_then(|mut f| f.write_all(contents.as_bytes()))
+                {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            println!(
+                "(the Microsoft-derived validation views are deliberately not exportable — \
+                 see DESIGN.md)"
+            );
+        }
+        "query" => {
+            let Some(prefix_s) = args.positional.first() else {
+                eprintln!("query requires a PREFIX argument, e.g. 1.2.3.0/24");
+                std::process::exit(2);
+            };
+            let prefix: Prefix = match prefix_s.parse() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("bad prefix {prefix_s:?}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let out = Pipeline::run(config_for(&args));
+            let active = out.cache_probe.active_set();
+            let dns_hit = out.bundle.dns_logs.set.intersects(prefix);
+            let verdict = if active.contains_slash24(prefix) || active.intersects(prefix) {
+                "ACTIVE: cache probing found client activity here"
+            } else if dns_hit {
+                "RESOLVER: a recursive resolver with Chromium clients lives here"
+            } else {
+                "no client signal from either public technique"
+            };
+            let asn = out
+                .sim
+                .world()
+                .rib
+                .origin_of_prefix(prefix)
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "unrouted".into());
+            println!("{prefix} ({asn}): {verdict}");
+        }
+        "stats" => {
+            let world = clientmap::world::World::generate(config_for(&args).world);
+            println!(
+                "world: {} ASes, {} routed /24s, {:.1}M users, {} resolvers, {} blocks",
+                world.ases.len(),
+                world.routed_slash24s(),
+                world.total_users() / 1e6,
+                world.resolvers.len(),
+                world.blocks.len(),
+            );
+            let mut by_cat: std::collections::BTreeMap<&str, usize> = Default::default();
+            for a in &world.ases {
+                *by_cat.entry(a.category.label()).or_insert(0) += 1;
+            }
+            for (cat, n) in by_cat {
+                println!("  {cat:<14} {n}");
+            }
+        }
+        _ => usage(),
+    }
+}

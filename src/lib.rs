@@ -1,0 +1,26 @@
+//! # clientmap
+//!
+//! A production-quality Rust reproduction of *Towards Identifying
+//! Networks with Internet Clients Using Public Data* (Jiang, Luo,
+//! Koch, Zhang, Katz-Bassett, Calder — ACM IMC 2021).
+//!
+//! This façade crate re-exports the whole workspace; see the README
+//! for the architecture and DESIGN.md for the system inventory.
+//!
+//! ```no_run
+//! use clientmap::core::{Pipeline, PipelineConfig};
+//!
+//! let out = Pipeline::run(PipelineConfig::tiny(42));
+//! println!("{}", out.report().headlines());
+//! ```
+
+pub use clientmap_analysis as analysis;
+pub use clientmap_cacheprobe as cacheprobe;
+pub use clientmap_chromium as chromium;
+pub use clientmap_core as core;
+pub use clientmap_datasets as datasets;
+pub use clientmap_dns as dns;
+pub use clientmap_geo as geo;
+pub use clientmap_net as net;
+pub use clientmap_sim as sim;
+pub use clientmap_world as world;

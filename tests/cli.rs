@@ -1,0 +1,108 @@
+//! Integration tests for the `clientmap` CLI binary.
+//!
+//! These run the real binary (built by cargo for this package) end to
+//! end: world stats, a prefix query against the activity map, and a
+//! CSV export — the flows a downstream user actually touches.
+
+use std::process::Command;
+
+fn clientmap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clientmap"))
+}
+
+#[test]
+fn stats_prints_world_summary() {
+    let out = clientmap()
+        .args(["stats", "--scale", "tiny", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("world:"), "{stdout}");
+    assert!(stdout.contains("ASes"), "{stdout}");
+    assert!(stdout.contains("ISP"), "{stdout}");
+    // Deterministic: same seed, same summary.
+    let again = clientmap()
+        .args(["stats", "--scale", "tiny", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn query_answers_for_routed_and_unrouted_prefixes() {
+    // 1.0.0.0/16 is the first allocation (Google's block) — always routed.
+    let out = clientmap()
+        .args(["query", "1.0.64.0/24", "--scale", "tiny", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1.0.64.0/24"), "{stdout}");
+    assert!(stdout.contains("AS"), "routed prefix must resolve an origin: {stdout}");
+
+    // 223.255.255.0/24 sits at the top of public space — unallocated at
+    // tiny scale.
+    let out = clientmap()
+        .args(["query", "223.255.255.0/24", "--scale", "tiny", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unrouted"), "{stdout}");
+}
+
+#[test]
+fn query_rejects_garbage_prefix() {
+    let out = clientmap()
+        .args(["query", "not-a-prefix", "--scale", "tiny"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "garbage prefix must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad prefix"), "{stderr}");
+}
+
+#[test]
+fn export_writes_shareable_csvs() {
+    let dir = std::env::temp_dir().join(format!("clientmap-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = clientmap()
+        .args([
+            "export",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    for name in [
+        "cache_probing.csv",
+        "dns_logs.csv",
+        "apnic.csv",
+        "dns_logs_by_as.csv",
+    ] {
+        let path = dir.join(name);
+        let contents = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let mut lines = contents.lines();
+        let header = lines.next().expect("non-empty CSV");
+        assert!(header.contains(','), "{name} header: {header}");
+        assert!(lines.next().is_some(), "{name} has no data rows");
+    }
+    // The deliberately-unshareable Microsoft views must not be written.
+    assert!(!dir.join("ms_clients.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = clientmap().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

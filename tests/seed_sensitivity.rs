@@ -1,0 +1,107 @@
+//! Cross-seed robustness: the paper-shape conclusions must not be an
+//! artifact of one lucky seed. Three independent tiny worlds are run
+//! end to end and every headline *ordering* is asserted on each.
+//!
+//! (Magnitude bands are looser than in `end_to_end.rs` because tiny
+//! worlds are noisy; what must never flip is who covers whom.)
+
+use clientmap::analysis::overlap::{as_matrix, volume_matrix};
+use clientmap::analysis::{dns_http_proxy, scope_precision, scope_stability_table};
+use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap::datasets::DatasetId;
+
+const AS_IDS: [DatasetId; 6] = [
+    DatasetId::CacheProbing,
+    DatasetId::DnsLogs,
+    DatasetId::Union,
+    DatasetId::Apnic,
+    DatasetId::MicrosoftClients,
+    DatasetId::MicrosoftResolvers,
+];
+
+fn outputs() -> &'static [PipelineOutput] {
+    static OUT: std::sync::OnceLock<Vec<PipelineOutput>> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| {
+        [404u64, 1337, 271828]
+            .into_iter()
+            .map(|seed| Pipeline::run(PipelineConfig::tiny(seed)))
+            .collect()
+    })
+}
+
+#[test]
+fn coverage_ordering_holds_across_seeds() {
+    for (i, o) in outputs().iter().enumerate() {
+        let m = as_matrix(&o.bundle, &AS_IDS);
+        let ms = m.size(DatasetId::MicrosoftClients).unwrap();
+        let union = m.size(DatasetId::Union).unwrap();
+        let apnic = m.size(DatasetId::Apnic).unwrap();
+        let cache = m.size(DatasetId::CacheProbing).unwrap();
+        let dns = m.size(DatasetId::DnsLogs).unwrap();
+        assert!(ms >= union, "seed {i}: MS {ms} < union {union}");
+        assert!(
+            union >= cache && union >= dns,
+            "seed {i}: union {union} below a component ({cache}/{dns})"
+        );
+        assert!(apnic < ms, "seed {i}: APNIC {apnic} not the narrowest vs MS {ms}");
+        assert!(apnic < union, "seed {i}: union {union} fails to beat APNIC {apnic}");
+    }
+}
+
+#[test]
+fn volume_coverage_exceeds_as_coverage_across_seeds() {
+    // The missed ASes are small — in every world.
+    for (i, o) in outputs().iter().enumerate() {
+        let m = as_matrix(&o.bundle, &AS_IDS);
+        let v = volume_matrix(&o.bundle, &[DatasetId::MicrosoftClients], &AS_IDS);
+        for col in [DatasetId::Union, DatasetId::Apnic, DatasetId::CacheProbing] {
+            let (_, as_pct) = m.cell(DatasetId::MicrosoftClients, col).unwrap();
+            let vol_pct = v.cell(DatasetId::MicrosoftClients, col).unwrap();
+            assert!(
+                vol_pct + 1e-9 >= as_pct,
+                "seed {i}, {col:?}: volume {vol_pct:.1}% < AS-count {as_pct:.1}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn scope_stability_and_precision_hold_across_seeds() {
+    for (i, o) in outputs().iter().enumerate() {
+        let rows = scope_stability_table(&o.cache_probe);
+        let overall = rows.last().unwrap();
+        let (exact, within2, within4) = overall.pcts();
+        assert!(exact > 75.0, "seed {i}: exact {exact:.1}%");
+        assert!(within2 >= exact && within4 >= within2, "seed {i}: buckets not nested");
+        let precision = scope_precision(&o.cache_probe, &o.bundle.ms_clients);
+        assert!(precision > 0.9, "seed {i}: precision {precision:.3}");
+    }
+}
+
+#[test]
+fn dns_http_proxy_claim_holds_across_seeds() {
+    for (i, o) in outputs().iter().enumerate() {
+        let proxy = dns_http_proxy(&o.bundle);
+        assert!(
+            proxy.dns_volume_in_http_prefixes_pct > 75.0,
+            "seed {i}: DNS-in-HTTP {:.1}%",
+            proxy.dns_volume_in_http_prefixes_pct
+        );
+        assert!(
+            proxy.http_volume_in_ecs_prefixes_pct > 50.0,
+            "seed {i}: HTTP-in-ECS {:.1}%",
+            proxy.http_volume_in_ecs_prefixes_pct
+        );
+    }
+}
+
+#[test]
+fn worlds_actually_differ_across_seeds() {
+    // Guard against the three runs accidentally sharing a world.
+    let o = outputs();
+    let counts: Vec<u64> = o.iter().map(|x| x.cache_probe.active_set().num_slash24s()).collect();
+    assert!(
+        counts[0] != counts[1] || counts[1] != counts[2],
+        "suspiciously identical active sets: {counts:?}"
+    );
+}
