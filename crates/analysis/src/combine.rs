@@ -79,7 +79,9 @@ pub fn combine_region_as(
         let Some(country) = geodb.lookup_addr(r.resolver_addr).map(|e| e.country) else {
             continue;
         };
-        let cell = cells.entry((country, asn)).or_insert_with(|| empty_cell(country, asn));
+        let cell = cells
+            .entry((country, asn))
+            .or_insert_with(|| empty_cell(country, asn));
         cell.resolver_probes += r.probes;
     }
 
@@ -95,7 +97,9 @@ pub fn combine_region_as(
         else {
             continue;
         };
-        let cell = cells.entry((country, asn)).or_insert_with(|| empty_cell(country, asn));
+        let cell = cells
+            .entry((country, asn))
+            .or_insert_with(|| empty_cell(country, asn));
         cell.active_24s += scope.num_slash24s();
         cell.active_prefixes.push(scope);
     }

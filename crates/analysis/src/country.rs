@@ -21,11 +21,7 @@ pub struct CountryCoverage {
 
 /// Computes Figure 3's points. AS→country comes from registration data
 /// (public RIR files), which the world's AS table stands in for.
-pub fn country_coverage(
-    world: &World,
-    apnic: &AsView,
-    technique: &AsView,
-) -> Vec<CountryCoverage> {
+pub fn country_coverage(world: &World, apnic: &AsView, technique: &AsView) -> Vec<CountryCoverage> {
     let mut users: HashMap<CountryCode, f64> = HashMap::new();
     let mut seen: HashMap<CountryCode, f64> = HashMap::new();
     for (asn, est) in &apnic.volume {
@@ -87,7 +83,10 @@ mod tests {
         }
         // Volume-weighted coverage must beat AS-count coverage (large
         // ASes dominate user counts).
-        let weighted: f64 = cov.iter().map(|c| c.fraction_seen * c.apnic_users).sum::<f64>()
+        let weighted: f64 = cov
+            .iter()
+            .map(|c| c.fraction_seen * c.apnic_users)
+            .sum::<f64>()
             / cov.iter().map(|c| c.apnic_users).sum::<f64>();
         let by_as = technique.len() as f64 / apnic.len() as f64;
         assert!(weighted > by_as, "weighted {weighted} vs by-AS {by_as}");
@@ -99,6 +98,9 @@ mod tests {
         let apnic = AsView::from_volumes([(Asn(999_999_999), 1.0e6)]);
         let technique = AsView::from_set([Asn(999_999_999)]);
         let cov = country_coverage(&world, &apnic, &technique);
-        assert!(cov.is_empty(), "AS without registration data must be dropped");
+        assert!(
+            cov.is_empty(),
+            "AS without registration data must be dropped"
+        );
     }
 }

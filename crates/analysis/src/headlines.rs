@@ -129,8 +129,10 @@ mod tests {
 
     #[test]
     fn proxy_headline_math() {
-        let ms_clients = PrefixView::from_volumes([(p("10.1.0.0/24"), 92.0), (p("10.2.0.0/24"), 8.0)]);
-        let cloud_ecs = PrefixView::from_volumes([(p("10.1.0.0/24"), 50.0), (p("10.3.0.0/24"), 50.0)]);
+        let ms_clients =
+            PrefixView::from_volumes([(p("10.1.0.0/24"), 92.0), (p("10.2.0.0/24"), 8.0)]);
+        let cloud_ecs =
+            PrefixView::from_volumes([(p("10.1.0.0/24"), 50.0), (p("10.3.0.0/24"), 50.0)]);
         let bundle = fake_bundle(ms_clients, cloud_ecs);
         let proxy = dns_http_proxy(&bundle);
         assert!((proxy.dns_volume_in_http_prefixes_pct - 50.0).abs() < 1e-9);

@@ -30,6 +30,7 @@ pub mod overlap;
 pub mod ranking;
 pub mod render;
 pub mod stats;
+pub mod telemetry;
 
 mod country;
 mod domains;

@@ -157,8 +157,20 @@ mod tests {
             Default::default(),
             Default::default(),
         );
-        probe.record_hit(0, 0, "10.1.0.0/22".parse().unwrap(), "10.1.0.0/22".parse().unwrap(), 1);
-        probe.record_hit(0, 0, "10.2.0.0/24".parse().unwrap(), "10.2.0.0/24".parse().unwrap(), 1);
+        probe.record_hit(
+            0,
+            0,
+            "10.1.0.0/22".parse().unwrap(),
+            "10.1.0.0/22".parse().unwrap(),
+            1,
+        );
+        probe.record_hit(
+            0,
+            0,
+            "10.2.0.0/24".parse().unwrap(),
+            "10.2.0.0/24".parse().unwrap(),
+            1,
+        );
         let dns = clientmap_chromium::DnsLogsResult {
             resolvers: vec![clientmap_chromium::ResolverActivity {
                 resolver_addr: 0x0A030035,
@@ -192,8 +204,12 @@ mod tests {
         let m = prefix_matrix(&b, &ALL);
         assert_eq!(m.size(DatasetId::CacheProbing), Some(5)); // 4 + 1
         assert_eq!(m.size(DatasetId::MicrosoftClients), Some(2));
-        let (i1, p1) = m.cell(DatasetId::CacheProbing, DatasetId::MicrosoftClients).unwrap();
-        let (i2, _) = m.cell(DatasetId::MicrosoftClients, DatasetId::CacheProbing).unwrap();
+        let (i1, p1) = m
+            .cell(DatasetId::CacheProbing, DatasetId::MicrosoftClients)
+            .unwrap();
+        let (i2, _) = m
+            .cell(DatasetId::MicrosoftClients, DatasetId::CacheProbing)
+            .unwrap();
         assert_eq!(i1, i2, "intersection must be symmetric in count");
         assert_eq!(i1, 1);
         assert!((p1 - 20.0).abs() < 1e-9, "1/5 = 20%, got {p1}");

@@ -120,10 +120,7 @@ pub fn spearman(pairs: &[(f64, f64)]) -> Option<f64> {
 /// Joins activity estimates against an external per-scope measure
 /// (e.g. ground truth in validation) and returns the Spearman rank
 /// correlation.
-pub fn rank_agreement(
-    estimates: &[ActivityEstimate],
-    truth: &HashMap<Prefix, f64>,
-) -> Option<f64> {
+pub fn rank_agreement(estimates: &[ActivityEstimate], truth: &HashMap<Prefix, f64>) -> Option<f64> {
     let pairs: Vec<(f64, f64)> = estimates
         .iter()
         .filter_map(|e| truth.get(&e.scope).map(|t| (e.lambda_hat, *t)))

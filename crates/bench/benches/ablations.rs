@@ -52,7 +52,11 @@ fn bench_redundancy(c: &mut Criterion) {
     let bound = discover(&mut sim, SimTime::ZERO);
     let b0 = bound[0];
     let domain: DomainName = "www.google.com".parse().unwrap();
-    let scopes: Vec<Prefix> = universe.iter().take(200).map(|b| b.supernet(20).unwrap_or(*b)).collect();
+    let scopes: Vec<Prefix> = universe
+        .iter()
+        .take(200)
+        .map(|b| b.supernet(20).unwrap_or(*b))
+        .collect();
 
     let mut g = c.benchmark_group("ablation_redundancy");
     for redundancy in [1u32, 5] {
@@ -84,7 +88,11 @@ fn bench_transport(c: &mut Criterion) {
     let bound = discover(&mut sim, SimTime::ZERO);
     let b0 = bound[0];
     let domain: DomainName = "www.google.com".parse().unwrap();
-    let scopes: Vec<Prefix> = universe.iter().take(200).map(|b| b.supernet(20).unwrap_or(*b)).collect();
+    let scopes: Vec<Prefix> = universe
+        .iter()
+        .take(200)
+        .map(|b| b.supernet(20).unwrap_or(*b))
+        .collect();
 
     let mut g = c.benchmark_group("ablation_tcp_udp");
     for (label, transport) in [("tcp", Transport::Tcp), ("udp", Transport::Udp)] {
@@ -110,5 +118,10 @@ fn bench_transport(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, bench_scope_reduction, bench_redundancy, bench_transport);
+criterion_group!(
+    ablations,
+    bench_scope_reduction,
+    bench_redundancy,
+    bench_transport
+);
 criterion_main!(ablations);

@@ -1,11 +1,16 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```sh
-//! repro [--scale tiny|small|paper] [--seed N] [section…]
+//! repro [--scale tiny|small|paper] [--seed N] [--metrics FILE] [section…]
 //! ```
 //!
 //! Sections: `headline table1 table2 table3 table4 table5 fig1 fig2
-//! fig3 fig4 fig5 fig6 fig7 collisions ablations all` (default `all`).
+//! fig3 fig4 fig5 fig6 fig7 collisions ablations metrics all` (default
+//! `all`).
+//!
+//! `--metrics FILE` writes the run's full telemetry snapshot as JSON.
+//! The snapshot is deterministic: two runs with the same scale and seed
+//! produce byte-identical files.
 
 use clientmap_cacheprobe::scopescan::scan_domain;
 use clientmap_cacheprobe::vantage::discover;
@@ -20,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "tiny".to_string();
     let mut seed = 2021u64;
+    let mut metrics_path: Option<String> = None;
     let mut sections: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -29,10 +35,11 @@ fn main() {
                 i += 2;
             }
             "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(2021);
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+                i += 2;
+            }
+            "--metrics" => {
+                metrics_path = args.get(i + 1).cloned();
                 i += 2;
             }
             s => {
@@ -54,12 +61,25 @@ fn main() {
     eprintln!("repro: scale={scale} seed={seed} — running pipeline…");
     let start = std::time::Instant::now();
     let out = Pipeline::run(config);
-    eprintln!("repro: pipeline done in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "repro: pipeline done in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = &metrics_path {
+        let snap = out.metrics_snapshot();
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => eprintln!("repro: wrote metrics snapshot to {path}"),
+            Err(e) => {
+                eprintln!("repro: cannot write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let report = out.report();
-    let want = |name: &str| {
-        sections.iter().any(|s| s == name) || sections.iter().any(|s| s == "all")
-    };
+    let want =
+        |name: &str| sections.iter().any(|s| s == name) || sections.iter().any(|s| s == "all");
 
     if want("headline") {
         println!("{}", report.headlines());
@@ -121,6 +141,12 @@ fn main() {
     if want("ablations") {
         println!("{}", ablations_section(&out));
     }
+    if want("metrics") {
+        println!(
+            "{}",
+            clientmap_analysis::telemetry::render_summary(&out.metrics_snapshot())
+        );
+    }
 }
 
 /// §6 future work, implemented: relative activity ranking from cache
@@ -135,7 +161,9 @@ fn ranking_section(out: &PipelineOutput) -> String {
     let world = out.sim.world();
     let pools = clientmap_sim::POOLS_PER_POP as u32;
     for (d, name) in out.cache_probe.domains.iter().enumerate() {
-        let Some(spec) = world.domains.get(name) else { continue };
+        let Some(spec) = world.domains.get(name) else {
+            continue;
+        };
         let estimates = activity_estimates(
             &out.cache_probe,
             d,
@@ -175,7 +203,8 @@ fn ranking_section(out: &PipelineOutput) -> String {
         s.push_str(&format!(
             "{name}: {probed} scopes probed, {nonzero} with activity; \
              Spearman ρ(λ̂, truth) = {}\n",
-            rho.map(|r| format!("{r:.3}")).unwrap_or_else(|| "n/a".into()),
+            rho.map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
         ));
     }
     s.push_str(
@@ -204,8 +233,10 @@ fn combine_section(out: &PipelineOutput) -> String {
         s5.prefix_only,
         100.0 * s5.joined_activity_fraction,
     ));
-    s.push_str("top cells by Chromium activity:
-");
+    s.push_str(
+        "top cells by Chromium activity:
+",
+    );
     for c in cells.iter().filter(|c| c.resolver_probes > 0.0).take(8) {
         match c.per_slash24_activity() {
             Some(per24) => s.push_str(&format!(
@@ -234,7 +265,11 @@ fn microsim_section(out: &PipelineOutput) -> String {
         .enumerate()
         .filter(|(_, p)| p.status == clientmap_sim::PopStatus::ProbedVerified)
         .map(|(i, _)| i)
-        .max_by(|a, b| sim.gpdns().pop_load(*a).total_cmp(&sim.gpdns().pop_load(*b)))
+        .max_by(|a, b| {
+            sim.gpdns()
+                .pop_load(*a)
+                .total_cmp(&sim.gpdns().pop_load(*b))
+        })
         .unwrap_or(0);
     let report = validate_liveness_model(&sim, pop, &domain, 30, 36.0, 5, 7);
     let mut s = String::from(
@@ -261,10 +296,12 @@ fn microsim_section(out: &PipelineOutput) -> String {
             c.analytic_hit_rate,
         ));
     }
-    s.push_str("(real EcsCache instances fed by Poisson arrival events through the
+    s.push_str(
+        "(real EcsCache instances fed by Poisson arrival events through the
  event queue, probed like the real prober — the fast path's closed form
  is statistically indistinguishable)
-");
+",
+    );
     s
 }
 
@@ -303,7 +340,10 @@ fn diurnal_section(out: &PipelineOutput) -> String {
             break;
         }
         if let Some(set) = out.cache_probe.pop_hit_prefixes.get(&b.pop) {
-            if let Some(scope) = marginal.iter().find(|sc| set.contains_slash24(sc.supernet(24.min(sc.len())).unwrap_or(**sc)) || set.intersects(**sc)) {
+            if let Some(scope) = marginal.iter().find(|sc| {
+                set.contains_slash24(sc.supernet(24.min(sc.len())).unwrap_or(**sc))
+                    || set.intersects(**sc)
+            }) {
                 targets.push((*b, *scope));
                 continue;
             }
@@ -316,8 +356,15 @@ fn diurnal_section(out: &PipelineOutput) -> String {
     let mut session = clientmap_sim::GpdnsSession::new();
     for (b, scope) in targets {
         let profile = probe_diurnal(
-            &sim, &mut session, &b, &domain, scope, &cfg,
-            SimTime::from_hours(24), 2, 4,
+            &sim,
+            &mut session,
+            &b,
+            &domain,
+            scope,
+            &cfg,
+            SimTime::from_hours(24),
+            2,
+            4,
         );
         let world = sim.world();
         let truth_lon = world
@@ -483,7 +530,13 @@ fn ablations_section(out: &PipelineOutput) -> String {
     scopes.truncate(400);
     if scopes.len() < 50 {
         // Fall back to any near-PoP scopes if few marginal ones exist.
-        scopes = plan.scopes.iter().filter(|s| near_pop(s)).take(400).copied().collect();
+        scopes = plan
+            .scopes
+            .iter()
+            .filter(|s| near_pop(s))
+            .take(400)
+            .copied()
+            .collect();
     }
     // Probe each scope at several local times of day (including the
     // diurnal trough, where cache entries are scarce and pool coverage
@@ -542,7 +595,9 @@ fn ablations_section(out: &PipelineOutput) -> String {
                 answered += 1;
             }
         }
-        s.push_str(&format!("{label}: {answered}/200 probes answered at 50/s\n"));
+        s.push_str(&format!(
+            "{label}: {answered}/200 probes answered at 50/s\n"
+        ));
     }
     s
 }

@@ -14,7 +14,6 @@ use clientmap_dns::DomainName;
 use clientmap_net::{Prefix, SeedMixer};
 use clientmap_sim::{pop_catalog, PopId, ProbeOutcome, Sim, SimTime};
 
-
 use crate::vantage::BoundVantage;
 use crate::ProbeConfig;
 
@@ -84,7 +83,10 @@ pub fn sample_prefixes(
             continue;
         }
         let entry = geodb.lookup(p).or_else(|| geodb.lookup_addr(p.addr()));
-        if entry.map(|e| e.error_radius_km < max_error_km).unwrap_or(false) {
+        if entry
+            .map(|e| e.error_radius_km < max_error_km)
+            .unwrap_or(false)
+        {
             out.push(p);
         }
     }
@@ -194,7 +196,10 @@ mod tests {
                 "{p} outside universe"
             );
             let geodb = &sim.world().geodb;
-            let e = geodb.lookup(*p).or_else(|| geodb.lookup_addr(p.addr())).unwrap();
+            let e = geodb
+                .lookup(*p)
+                .or_else(|| geodb.lookup_addr(p.addr()))
+                .unwrap();
             assert!(e.error_radius_km < 200.0);
         }
         // No duplicates.

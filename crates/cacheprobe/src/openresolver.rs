@@ -105,16 +105,14 @@ mod tests {
         let domains = paper_domains(&sim);
         let result = run_baseline(&sim, &domains, 5, 600, SimTime::from_hours(10));
         // Some open resolvers exist and some hit…
-        assert!(!result.open_resolvers.is_empty(), "no open resolvers at all");
+        assert!(
+            !result.open_resolvers.is_empty(),
+            "no open resolvers at all"
+        );
         assert!(result.queries_sent > 0);
         // …but coverage is a small fraction of the world's user ASes —
         // the paper's reason to reject the approach.
-        let user_ases = sim
-            .world()
-            .ases
-            .iter()
-            .filter(|a| a.users > 0.0)
-            .count();
+        let user_ases = sim.world().ases.iter().filter(|a| a.users > 0.0).count();
         assert!(
             result.num_ases() * 3 < user_ases,
             "baseline covered {}/{} ASes — implausibly global",

@@ -8,10 +8,12 @@
 //! keeping the whole run deterministic.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use clientmap_dns::{wire, DomainName, Message, Question};
 use clientmap_net::Prefix;
 use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
+use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::calibrate::{calibrate, sample_prefixes};
 use crate::results::CacheProbeResult;
@@ -95,7 +97,13 @@ pub fn probe_scope(
     let mut best = ProbeOutcome::Dropped;
     for r in 0..cfg.redundancy {
         let rt = t + SimTime::from_millis(u64::from(r));
-        let resp = sim.gpdns_query(bound.prober_key(), bound.coord(), &packet, cfg.transport, rt);
+        let resp = sim.gpdns_query(
+            bound.prober_key(),
+            bound.coord(),
+            &packet,
+            cfg.transport,
+            rt,
+        );
         let outcome = clientmap_sim::GooglePublicDns::classify_response(resp.as_deref());
         best = match (&best, &outcome) {
             (_, ProbeOutcome::Hit { .. }) => return outcome,
@@ -126,6 +134,42 @@ pub fn select_domains(sim: &Sim, cfg: &ProbeConfig) -> Vec<DomainName> {
     domains
 }
 
+/// Telemetry handles for one PoP worker: the workspace-wide probe
+/// counters (shared `Arc`s — concurrent workers bump the same atomics)
+/// plus this worker's per-PoP family. Resolved once per worker so the
+/// probing loop itself never touches the registry lock.
+///
+/// The outcome counters satisfy two reconciliation invariants checked
+/// after every end-to-end run: `probes_sent == redundancy × attempts`
+/// and `hit + scope0 + miss + dropped == attempts`.
+struct ProbeMetrics {
+    attempts: Arc<Counter>,
+    probes_sent: Arc<Counter>,
+    hit: Arc<Counter>,
+    scope0: Arc<Counter>,
+    miss: Arc<Counter>,
+    dropped: Arc<Counter>,
+    hit_ttl_secs: Arc<Histogram>,
+    pop_attempts: Arc<Counter>,
+    pop_hits: Arc<Counter>,
+}
+
+impl ProbeMetrics {
+    fn resolve(m: &MetricsRegistry, pop_code: &str) -> ProbeMetrics {
+        ProbeMetrics {
+            attempts: m.counter("cacheprobe.attempts"),
+            probes_sent: m.counter("cacheprobe.probes_sent"),
+            hit: m.counter("cacheprobe.outcome.hit"),
+            scope0: m.counter("cacheprobe.outcome.scope0"),
+            miss: m.counter("cacheprobe.outcome.miss"),
+            dropped: m.counter("cacheprobe.outcome.dropped"),
+            hit_ttl_secs: m.histogram("cacheprobe.hit.remaining_ttl_secs"),
+            pop_attempts: m.counter(&format!("cacheprobe.pop.{pop_code}.attempts")),
+            pop_hits: m.counter(&format!("cacheprobe.pop.{pop_code}.hits")),
+        }
+    }
+}
+
 /// What one PoP's worker produced.
 struct PopTally {
     pop: PopId,
@@ -147,6 +191,7 @@ fn probe_pop(
     per_domain: &[Vec<Prefix>],
     cfg: &ProbeConfig,
     t0: SimTime,
+    metrics: &ProbeMetrics,
 ) -> PopTally {
     let mut tally = PopTally {
         pop: bound.pop,
@@ -193,6 +238,9 @@ fn probe_pop(
         let scopes = &per_domain[slot.domain];
         let scope = scopes[slot.index];
         tally.probes_sent += u64::from(cfg.redundancy);
+        metrics.attempts.inc();
+        metrics.pop_attempts.inc();
+        metrics.probes_sent.add(u64::from(cfg.redundancy));
         let count = tally.counts.entry((slot.domain, scope)).or_insert((0, 0));
         count.0 += 1;
         match probe_scope_with(
@@ -209,11 +257,22 @@ fn probe_pop(
                 remaining_ttl,
             } => {
                 count.1 += 1;
-                tally.hits.push((slot.domain, scope, resp_scope, remaining_ttl));
+                metrics.hit.inc();
+                metrics.pop_hits.inc();
+                metrics.hit_ttl_secs.record(u64::from(remaining_ttl));
+                tally
+                    .hits
+                    .push((slot.domain, scope, resp_scope, remaining_ttl));
             }
-            ProbeOutcome::HitScopeZero => tally.scope0_hits += 1,
-            ProbeOutcome::Miss => {}
-            ProbeOutcome::Dropped => tally.drops += 1,
+            ProbeOutcome::HitScopeZero => {
+                metrics.scope0.inc();
+                tally.scope0_hits += 1;
+            }
+            ProbeOutcome::Miss => metrics.miss.inc(),
+            ProbeOutcome::Dropped => {
+                metrics.dropped.inc();
+                tally.drops += 1;
+            }
         }
         // Arm the stream's next slot.
         let (next_index, next_pass) = if slot.index + 1 < scopes.len() {
@@ -294,6 +353,15 @@ pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> C
 
     // 5. The probing loops, one worker per PoP over the shared core.
     let t0 = SimTime::from_hours(8);
+    let metrics = Arc::clone(sim.metrics());
+    metrics.counter("cacheprobe.runs").inc();
+    metrics
+        .counter("cacheprobe.pops_bound")
+        .add(bound.len() as u64);
+    metrics
+        .counter("cacheprobe.domains_selected")
+        .add(domains.len() as u64);
+    let assignment_sizes = metrics.histogram("cacheprobe.assignment_size");
     let mut result = CacheProbeResult::new(domains.clone(), bound.clone(), radii, scan_result);
     let view = sim.view();
     let mut tallies: Vec<PopTally> = Vec::with_capacity(bound.len());
@@ -306,12 +374,18 @@ pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> C
                 per_domain[*d].push(*scope);
             }
             result.assigned_per_pop.insert(b.pop, list.len());
+            assignment_sizes.record(list.len() as u64);
+            metrics
+                .counter(&format!("cacheprobe.pop.{}.assigned", pops[b.pop].code))
+                .add(list.len() as u64);
+            let pm = ProbeMetrics::resolve(&metrics, pops[b.pop].code);
             let domains = &domains;
             let cfg_ref = cfg;
             let view_ref = &view;
-            handles.push(scope_.spawn(move |_| {
-                probe_pop(view_ref, b, domains, &per_domain, cfg_ref, t0)
-            }));
+            handles
+                .push(scope_.spawn(move |_| {
+                    probe_pop(view_ref, b, domains, &per_domain, cfg_ref, t0, &pm)
+                }));
         }
         for h in handles {
             tallies.push(h.join().expect("probe worker panicked"));
@@ -425,11 +499,76 @@ mod tests {
 
     #[test]
     fn deterministic_run_even_across_thread_interleavings() {
-        let (_, a) = run_tiny(105);
-        let (_, b) = run_tiny(105);
+        let (sim_a, a) = run_tiny(105);
+        let (sim_b, b) = run_tiny(105);
         assert_eq!(a.probes_sent, b.probes_sent);
         assert_eq!(a.active_set().num_slash24s(), b.active_set().num_slash24s());
         assert_eq!(a.scope0_hits, b.scope0_hits);
         assert_eq!(a.hits.len(), b.hits.len());
+        // The telemetry snapshot — every counter and histogram in the
+        // registry, gpdns and probe side alike — must also agree
+        // byte-for-byte: all updates are commutative atomics, so thread
+        // scheduling must not leak into totals.
+        assert_eq!(
+            sim_a.metrics().snapshot().to_json(),
+            sim_b.metrics().snapshot().to_json()
+        );
+    }
+
+    #[test]
+    fn probe_counters_reconcile_with_result() {
+        let (sim, result) = shared_run();
+        let snap = sim.metrics().snapshot();
+        let attempts = snap.counter("cacheprobe.attempts");
+        let redundancy = u64::from(ProbeConfig::test_scale().redundancy);
+        assert_eq!(
+            snap.counter("cacheprobe.probes_sent"),
+            redundancy * attempts
+        );
+        assert_eq!(snap.counter("cacheprobe.probes_sent"), result.probes_sent);
+        assert_eq!(
+            snap.counter("cacheprobe.outcome.hit")
+                + snap.counter("cacheprobe.outcome.scope0")
+                + snap.counter("cacheprobe.outcome.miss")
+                + snap.counter("cacheprobe.outcome.dropped"),
+            attempts
+        );
+        assert_eq!(
+            snap.counter("cacheprobe.outcome.scope0"),
+            result.scope0_hits
+        );
+        assert_eq!(snap.counter("cacheprobe.outcome.dropped"), result.drops);
+        // `result.hits` aggregates by (domain, scope); sum the per-key
+        // event counts to compare against the per-event counter.
+        let hit_events: u64 = result.hits.values().map(|h| h.hits).sum();
+        assert_eq!(snap.counter("cacheprobe.outcome.hit"), hit_events);
+        // Per-PoP families sum back to the global counters.
+        let pops = clientmap_sim::pop_catalog();
+        let pop_attempts: u64 = pops
+            .iter()
+            .map(|p| snap.counter(&format!("cacheprobe.pop.{}.attempts", p.code)))
+            .sum();
+        let pop_hits: u64 = pops
+            .iter()
+            .map(|p| snap.counter(&format!("cacheprobe.pop.{}.hits", p.code)))
+            .sum();
+        assert_eq!(pop_attempts, attempts);
+        assert_eq!(pop_hits, snap.counter("cacheprobe.outcome.hit"));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+        /// Same seed ⇒ byte-identical metrics snapshots, for arbitrary
+        /// seeds: the end-to-end determinism claim, stated as a property.
+        #[test]
+        fn metrics_snapshot_reproduces_for_any_seed(seed in 200u64..240) {
+            let (sim_a, _) = run_tiny(seed);
+            let (sim_b, _) = run_tiny(seed);
+            proptest::prop_assert_eq!(
+                sim_a.metrics().snapshot().to_json(),
+                sim_b.metrics().snapshot().to_json()
+            );
+        }
     }
 }

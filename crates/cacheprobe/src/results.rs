@@ -231,7 +231,10 @@ mod tests {
 
     fn shell() -> CacheProbeResult {
         CacheProbeResult::new(
-            vec!["www.google.com".parse().unwrap(), "facebook.com".parse().unwrap()],
+            vec![
+                "www.google.com".parse().unwrap(),
+                "facebook.com".parse().unwrap(),
+            ],
             Vec::new(),
             ServiceRadii::default(),
             ScopeScan::default(),

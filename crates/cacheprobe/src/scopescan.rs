@@ -135,7 +135,10 @@ mod tests {
         // Every universe /24 is inside some scope or a scope-0 region.
         let total_24s: u64 = universe.iter().map(|b| b.num_slash24s()).sum();
         let covered: u64 = plan.scopes.iter().map(|s| s.num_slash24s()).sum();
-        assert!(covered as f64 > 0.8 * total_24s as f64, "{covered}/{total_24s}");
+        assert!(
+            covered as f64 > 0.8 * total_24s as f64,
+            "{covered}/{total_24s}"
+        );
         // The scan spends far fewer queries than one per /24 would.
         assert!(plan.queries_spent < total_24s, "no skipping happened");
         assert!(probes_saved(&universe, &plan) > 0);
@@ -144,7 +147,12 @@ mod tests {
     #[test]
     fn wikipedia_scopes_coarser_than_google() {
         let (sim, universe) = setup();
-        let g = scan_domain(&sim, &"www.google.com".parse().unwrap(), &universe, SimTime::ZERO);
+        let g = scan_domain(
+            &sim,
+            &"www.google.com".parse().unwrap(),
+            &universe,
+            SimTime::ZERO,
+        );
         let w = scan_domain(
             &sim,
             &"www.wikipedia.org".parse().unwrap(),

@@ -93,10 +93,7 @@ mod tests {
     fn paper_scale_threshold_is_about_seven() {
         // Chromium-era root traffic: ~1e9 probe queries/day hit the roots.
         let m = expected_max_multiplicity(1.0e9, 0.99);
-        assert!(
-            (5..=9).contains(&m),
-            "threshold {m} not near the paper's 7"
-        );
+        assert!((5..=9).contains(&m), "threshold {m} not near the paper's 7");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use clientmap_net::{Asn, Rib};
 use clientmap_sim::roots::RootTraceSet;
+use clientmap_telemetry::MetricsRegistry;
 
 use crate::ChromiumClassifier;
 
@@ -65,6 +66,18 @@ impl DnsLogsResult {
 /// attribute the surviving shape-matching queries to their source
 /// resolvers, scaled by the capture's sampling rate.
 pub fn crawl(traces: &RootTraceSet, classifier: &ChromiumClassifier) -> DnsLogsResult {
+    crawl_with_metrics(traces, classifier, &MetricsRegistry::new())
+}
+
+/// [`crawl`], reporting its funnel under `dnslogs.` in `metrics`.
+///
+/// The counters form their own conservation law, checked end to end:
+/// `records_examined == shape_mismatch + rejected_noise + attributed`.
+pub fn crawl_with_metrics(
+    traces: &RootTraceSet,
+    classifier: &ChromiumClassifier,
+    metrics: &MetricsRegistry,
+) -> DnsLogsResult {
     let rate = traces.sample_rate.clamp(f64::MIN_POSITIVE, 1.0);
     let threshold = classifier.effective_threshold(rate);
 
@@ -95,16 +108,20 @@ pub fn crawl(traces: &RootTraceSet, classifier: &ChromiumClassifier) -> DnsLogsR
     let mut per_resolver: HashMap<u32, f64> = HashMap::new();
     let mut rejected = 0usize;
     let mut examined = 0usize;
+    let mut shape_mismatch = 0u64;
+    let mut attributed = 0u64;
     for trace in traces.public_traces() {
         for record in &trace.records {
             examined += 1;
             if !classifier.matches_shape(&record.qname) {
+                shape_mismatch += 1;
                 continue;
             }
             if noisy.contains(&record.qname) {
                 rejected += 1;
                 continue;
             }
+            attributed += 1;
             *per_resolver.entry(record.resolver_addr).or_insert(0.0) +=
                 record.total() as f64 / rate;
         }
@@ -116,7 +133,27 @@ pub fn crawl(traces: &RootTraceSet, classifier: &ChromiumClassifier) -> DnsLogsR
             probes,
         })
         .collect();
-    resolvers.sort_by(|a, b| b.probes.total_cmp(&a.probes).then(a.resolver_addr.cmp(&b.resolver_addr)));
+    resolvers.sort_by(|a, b| {
+        b.probes
+            .total_cmp(&a.probes)
+            .then(a.resolver_addr.cmp(&b.resolver_addr))
+    });
+    metrics
+        .counter("dnslogs.records_examined")
+        .add(examined as u64);
+    metrics
+        .counter("dnslogs.shape_mismatch")
+        .add(shape_mismatch);
+    metrics
+        .counter("dnslogs.rejected_noise")
+        .add(rejected as u64);
+    metrics.counter("dnslogs.attributed").add(attributed);
+    metrics
+        .counter("dnslogs.noisy_names")
+        .add(noisy.len() as u64);
+    metrics
+        .counter("dnslogs.resolvers_detected")
+        .add(resolvers.len() as u64);
     DnsLogsResult {
         resolvers,
         rejected_noise_records: rejected,
@@ -192,6 +229,29 @@ mod tests {
         assert!(
             (0.5..2.0).contains(&ratio),
             "correction broken: {lo_total} vs {hi_total}"
+        );
+    }
+
+    #[test]
+    fn metrics_funnel_conserves_records() {
+        let sim = Sim::new(World::generate(WorldConfig::tiny(65)));
+        let traces = sim.capture_root_traces(SimTime::ZERO, 2, 0.01);
+        let m = clientmap_telemetry::MetricsRegistry::new();
+        let result = crawl_with_metrics(&traces, &ChromiumClassifier::default(), &m);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("dnslogs.records_examined"),
+            result.records_examined as u64
+        );
+        assert_eq!(
+            snap.counter("dnslogs.shape_mismatch")
+                + snap.counter("dnslogs.rejected_noise")
+                + snap.counter("dnslogs.attributed"),
+            snap.counter("dnslogs.records_examined")
+        );
+        assert_eq!(
+            snap.counter("dnslogs.resolvers_detected"),
+            result.resolvers.len() as u64
         );
     }
 

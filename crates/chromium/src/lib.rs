@@ -28,4 +28,4 @@ mod classifier;
 mod crawler;
 
 pub use classifier::ChromiumClassifier;
-pub use crawler::{crawl, DnsLogsResult, ResolverActivity};
+pub use crawler::{crawl, crawl_with_metrics, DnsLogsResult, ResolverActivity};

@@ -54,7 +54,11 @@ fn sampled_crawl_estimates_full_crawl() {
     // (c) Resolver ranking: the busiest resolvers of the full crawl
     // dominate the sampled crawl too (top-5 sets mostly overlap).
     let top = |r: &clientmap_chromium::DnsLogsResult| -> Vec<u32> {
-        r.resolvers.iter().take(5).map(|x| x.resolver_addr).collect()
+        r.resolvers
+            .iter()
+            .take(5)
+            .map(|x| x.resolver_addr)
+            .collect()
     };
     let full_top = top(&full);
     let sampled_top = top(&sampled);

@@ -1,0 +1,137 @@
+//! Counter-reconciliation invariants over a telemetry snapshot.
+//!
+//! Every instrumented subsystem obeys a conservation law: each unit of
+//! work increments exactly one terminal counter, so the terminals must
+//! sum back to the intake. [`check`] verifies all of them against a
+//! [`MetricsSnapshot`] and returns the violations (empty = healthy).
+//! [`Pipeline::run`](crate::Pipeline::run) asserts this after every
+//! end-to-end run, which makes any future instrumentation drift — a
+//! new exit path without a counter, a double-count, a missed branch —
+//! fail loudly in every test that touches the pipeline.
+
+use clientmap_telemetry::MetricsSnapshot;
+
+/// Checks every cross-counter invariant; returns human-readable
+/// violation descriptions, empty when all hold.
+pub fn check(snap: &MetricsSnapshot, redundancy: u32) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut expect = |label: &str, lhs: u64, rhs: u64| {
+        if lhs != rhs {
+            violations.push(format!("{label}: {lhs} != {rhs}"));
+        }
+    };
+
+    // Cache probing: each attempt sends `redundancy` wire probes and
+    // lands in exactly one outcome bucket.
+    let attempts = snap.counter("cacheprobe.attempts");
+    expect(
+        "cacheprobe.probes_sent == redundancy × attempts",
+        snap.counter("cacheprobe.probes_sent"),
+        u64::from(redundancy) * attempts,
+    );
+    expect(
+        "cacheprobe outcomes (hit + scope0 + miss + dropped) == attempts",
+        snap.counter("cacheprobe.outcome.hit")
+            + snap.counter("cacheprobe.outcome.scope0")
+            + snap.counter("cacheprobe.outcome.miss")
+            + snap.counter("cacheprobe.outcome.dropped"),
+        attempts,
+    );
+    expect(
+        "per-PoP attempts sum to cacheprobe.attempts",
+        sum_suffix(snap, "cacheprobe.pop.", ".attempts"),
+        attempts,
+    );
+    expect(
+        "per-PoP hits sum to cacheprobe.outcome.hit",
+        sum_suffix(snap, "cacheprobe.pop.", ".hits"),
+        snap.counter("cacheprobe.outcome.hit"),
+    );
+
+    // Google Public DNS front end: every query takes exactly one exit —
+    // dropped by the rate limiter, rejected while parsing, answered
+    // specially, refused as recursive, or resolved against one pool
+    // (`gpdns.cache.miss.` includes the non-ECS-domain misses).
+    expect(
+        "gpdns queries == all exit paths",
+        snap.counter("gpdns.queries.udp") + snap.counter("gpdns.queries.tcp"),
+        snap.counter("gpdns.rate_limited.udp")
+            + snap.counter("gpdns.rate_limited.tcp")
+            + snap.counter("gpdns.decode_errors")
+            + snap.counter("gpdns.formerr")
+            + snap.counter("gpdns.myaddr")
+            + snap.counter("gpdns.recursive")
+            + snap.sum_counters("gpdns.cache.hit.")
+            + snap.sum_counters("gpdns.cache.scope0.")
+            + snap.sum_counters("gpdns.cache.miss."),
+    );
+
+    // DNS-logs crawl: every examined record is either shape-rejected,
+    // noise-rejected, or attributed to a resolver.
+    expect(
+        "dnslogs funnel (mismatch + noise + attributed) == examined",
+        snap.counter("dnslogs.shape_mismatch")
+            + snap.counter("dnslogs.rejected_noise")
+            + snap.counter("dnslogs.attributed"),
+        snap.counter("dnslogs.records_examined"),
+    );
+
+    violations
+}
+
+/// Sums counters matching `prefix`…`suffix` (a per-PoP family).
+fn sum_suffix(snap: &MetricsSnapshot, prefix: &str, suffix: &str) -> u64 {
+    snap.counters
+        .range(prefix.to_string()..)
+        .take_while(|(name, _)| name.starts_with(prefix))
+        .filter(|(name, _)| name.ends_with(suffix))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_telemetry::MetricsRegistry;
+
+    #[test]
+    fn empty_snapshot_is_vacuously_healthy() {
+        let m = MetricsRegistry::new();
+        assert!(check(&m.snapshot(), 3).is_empty());
+    }
+
+    #[test]
+    fn consistent_counters_pass() {
+        let m = MetricsRegistry::new();
+        m.counter("cacheprobe.attempts").add(10);
+        m.counter("cacheprobe.probes_sent").add(30);
+        m.counter("cacheprobe.outcome.hit").add(4);
+        m.counter("cacheprobe.outcome.miss").add(6);
+        m.counter("cacheprobe.pop.iad.attempts").add(10);
+        m.counter("cacheprobe.pop.iad.hits").add(4);
+        assert!(check(&m.snapshot(), 3).is_empty());
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let m = MetricsRegistry::new();
+        m.counter("cacheprobe.attempts").add(10);
+        m.counter("cacheprobe.probes_sent").add(29); // should be 30
+        m.counter("cacheprobe.outcome.miss").add(10);
+        m.counter("cacheprobe.pop.iad.attempts").add(10);
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("probes_sent"), "{v:?}");
+    }
+
+    #[test]
+    fn gpdns_leak_is_caught() {
+        let m = MetricsRegistry::new();
+        m.counter("gpdns.queries.tcp").add(5);
+        m.counter("gpdns.cache.hit.pool0").add(4);
+        // One query unaccounted for.
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("gpdns"), "{v:?}");
+    }
+}

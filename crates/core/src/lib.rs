@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod invariants;
 mod pipeline;
 mod report;
 

@@ -1,11 +1,14 @@
 //! Pipeline orchestration.
 
+use std::sync::Arc;
+
 use clientmap_cacheprobe::{run_technique, CacheProbeResult, ProbeConfig};
-use clientmap_chromium::{crawl, ChromiumClassifier, DnsLogsResult};
+use clientmap_chromium::{crawl_with_metrics, ChromiumClassifier, DnsLogsResult};
 use clientmap_datasets::{ApnicConfig, ApnicDataset, DatasetBundle};
 use clientmap_net::Prefix;
 use clientmap_sim::cdn::CdnLogs;
 use clientmap_sim::{Sim, SimTime};
+use clientmap_telemetry::{MetricsRegistry, MetricsSnapshot, ScopedTimer};
 use clientmap_world::{World, WorldConfig};
 
 use crate::Report;
@@ -90,6 +93,9 @@ pub struct PipelineOutput {
     pub apnic: ApnicDataset,
     /// The comparable dataset bundle.
     pub bundle: DatasetBundle,
+    /// The run's telemetry registry (shared with [`Self::sim`]): every
+    /// counter and histogram the stages recorded, invariant-checked.
+    pub metrics: Arc<MetricsRegistry>,
     /// The configuration that produced this output.
     pub config: PipelineConfig,
 }
@@ -99,6 +105,12 @@ impl PipelineOutput {
     pub fn report(&self) -> Report<'_> {
         Report::new(self)
     }
+
+    /// A frozen copy of the run's metrics. Same-seed runs produce
+    /// byte-identical [`MetricsSnapshot::to_json`] output.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
 }
 
 /// The pipeline entry point.
@@ -107,34 +119,66 @@ pub struct Pipeline;
 
 impl Pipeline {
     /// Runs everything: world → sim → techniques → datasets.
+    ///
+    /// The run owns one [`MetricsRegistry`] (created with the [`Sim`],
+    /// so world gauges and Google-front-end counters land in the same
+    /// place) and records a **sim-time** span per stage — wall clocks
+    /// never touch the registry, keeping snapshots reproducible. After
+    /// assembly, every counter-reconciliation invariant is asserted
+    /// (see [`crate::invariants`]); a broken conservation law panics
+    /// rather than shipping silently miscounted telemetry.
     pub fn run(config: PipelineConfig) -> PipelineOutput {
         let world = World::generate(config.world.clone());
         // The probe universe: public allocation data (RIR files stand-in).
         let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
         let mut sim = Sim::new(world);
+        let metrics = Arc::clone(sim.metrics());
+        metrics.counter("pipeline.runs").inc();
 
-        // Technique 1: cache probing.
+        // Technique 1: cache probing (discovery at t=0, calibration at
+        // t=6 h, the probing window starting at t=8 h).
+        let probe_span = ScopedTimer::start(
+            metrics.histogram("pipeline.stage_ms.cache_probe"),
+            SimTime::ZERO.as_millis(),
+        );
         let cache_probe = run_technique(&mut sim, &config.probe, &universe);
+        probe_span.stop(
+            (SimTime::from_hours(8) + SimTime::from_secs_f64(config.probe.duration_hours * 3600.0))
+                .as_millis(),
+        );
 
         // Technique 2: DNS logs over a DITL capture.
+        let trace_span = ScopedTimer::start(
+            metrics.histogram("pipeline.stage_ms.dns_logs"),
+            SimTime::ZERO.as_millis(),
+        );
         let traces = sim.capture_root_traces(
             SimTime::ZERO,
             config.root_trace_days,
             config.root_trace_sample_rate,
         );
-        let dns_logs = crawl(&traces, &config.classifier);
+        let dns_logs = crawl_with_metrics(&traces, &config.classifier, &metrics);
+        trace_span.stop(SimTime::from_hours(u64::from(config.root_trace_days) * 24).as_millis());
 
         // Validation datasets.
+        let cdn_span = ScopedTimer::start(
+            metrics.histogram("pipeline.stage_ms.cdn_logs"),
+            SimTime::ZERO.as_millis(),
+        );
         let cdn_logs =
             sim.collect_cdn_logs(SimTime::ZERO, SimTime::from_hours(config.cdn_window_hours));
+        cdn_span.stop(SimTime::from_hours(config.cdn_window_hours).as_millis());
         let apnic = ApnicDataset::estimate(sim.world(), &config.apnic);
 
-        let bundle = DatasetBundle::build(
-            &cache_probe,
-            &dns_logs,
-            &cdn_logs,
-            &apnic,
-            &sim.world().rib,
+        let bundle =
+            DatasetBundle::build(&cache_probe, &dns_logs, &cdn_logs, &apnic, &sim.world().rib);
+        bundle.register_metrics(&metrics);
+
+        let violations = crate::invariants::check(&metrics.snapshot(), config.probe.redundancy);
+        assert!(
+            violations.is_empty(),
+            "telemetry invariants violated:\n  {}",
+            violations.join("\n  ")
         );
 
         PipelineOutput {
@@ -143,6 +187,7 @@ impl Pipeline {
             cdn_logs,
             apnic,
             bundle,
+            metrics,
             config,
             sim,
         }

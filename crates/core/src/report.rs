@@ -86,7 +86,10 @@ impl<'a> Report<'a> {
             t.row(["within 2", &r.domain, &fmt_count(r.within2), &fmt_pct(w2)]);
             t.row(["within 4", &r.domain, &fmt_count(r.within4), &fmt_pct(w4)]);
         }
-        format!("Table 2: query-scope vs response-scope stability\n{}", t.render())
+        format!(
+            "Table 2: query-scope vs response-scope stability\n{}",
+            t.render()
+        )
     }
 
     /// Table 3: AS-level overlap matrix.
@@ -118,7 +121,12 @@ impl<'a> Report<'a> {
     /// Table 5: per-domain cache-probing results.
     pub fn table5(&self) -> String {
         let d = domain_overlap(&self.out.cache_probe, &self.out.sim.world().rib);
-        let mut t = TextTable::new(["metric"].into_iter().map(String::from).chain(d.domains.clone()));
+        let mut t = TextTable::new(
+            ["metric"]
+                .into_iter()
+                .map(String::from)
+                .chain(d.domains.clone()),
+        );
         let row = |label: &str, vals: &[u64]| -> Vec<String> {
             std::iter::once(label.to_string())
                 .chain(vals.iter().map(|v| fmt_count(*v)))
@@ -136,7 +144,11 @@ impl<'a> Report<'a> {
                 } else {
                     0.0
                 };
-                cells.push(format!("{} ({})", fmt_count(d.pairwise[i][j]), fmt_pct(pct)));
+                cells.push(format!(
+                    "{} ({})",
+                    fmt_count(d.pairwise[i][j]),
+                    fmt_pct(pct)
+                ));
             }
             t.row(cells);
         }
@@ -155,7 +167,10 @@ impl<'a> Report<'a> {
                 fmt_count(d.active_slash24s),
             ]);
         }
-        format!("Figure 1: density of active prefixes per probed PoP\n{}", t.render())
+        format!(
+            "Figure 1: density of active prefixes per probed PoP\n{}",
+            t.render()
+        )
     }
 
     /// Figure 2: service-radius CDFs for three geographically diverse
@@ -331,11 +346,7 @@ impl<'a> Report<'a> {
         ];
         let mut t = TextTable::new(["pair", "ASes", "p10", "p50", "p90", "|diff|≤1e-5"]);
         for (label, cdf) in &pairs {
-            let small = cdf
-                .samples()
-                .iter()
-                .filter(|d| d.abs() <= 1.0e-5)
-                .count() as f64
+            let small = cdf.samples().iter().filter(|d| d.abs() <= 1.0e-5).count() as f64
                 / cdf.len().max(1) as f64;
             t.row([
                 label.to_string(),
@@ -368,7 +379,12 @@ impl<'a> Report<'a> {
         let apnic_vol = m
             .cell(DatasetId::MicrosoftClients, DatasetId::Apnic)
             .unwrap_or(0.0);
-        let prefix_vol = 100.0 * self.out.bundle.ms_clients.volume_in(&self.out.bundle.cache_probing)
+        let prefix_vol = 100.0
+            * self
+                .out
+                .bundle
+                .ms_clients
+                .volume_in(&self.out.bundle.cache_probing)
             / self.out.bundle.ms_clients.total_volume().max(1e-12);
         format!(
             "Headline validations (paper §4)\n\
@@ -445,7 +461,9 @@ mod tests {
         let fig5 = output().report().figure5();
         assert!(fig5.contains("22"));
         assert!(fig5.contains("18"));
-        assert!(fig5.lines().any(|l| l.contains("unprobed and verified") && l.contains('5')));
+        assert!(fig5
+            .lines()
+            .any(|l| l.contains("unprobed and verified") && l.contains('5')));
     }
 
     #[test]

@@ -135,10 +135,7 @@ mod tests {
             .count();
         let frac_ases = covered as f64 / user_ases.len() as f64;
         // Structural bias: far from full AS coverage…
-        assert!(
-            (0.05..0.9).contains(&frac_ases),
-            "AS coverage {frac_ases}"
-        );
+        assert!((0.05..0.9).contains(&frac_ases), "AS coverage {frac_ases}");
         // …but the covered ASes hold most of the user volume.
         let total: f64 = user_ases.iter().map(|a| a.users).sum();
         let covered_users: f64 = user_ases

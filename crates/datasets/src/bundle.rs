@@ -80,24 +80,22 @@ impl DatasetBundle {
         rib: &Rib,
     ) -> DatasetBundle {
         let cache_probing = PrefixView::from_set(cache_probe.active_set());
-        let dns_logs_view = PrefixView::from_volumes(dns_logs.resolvers.iter().map(|r| {
-            (
-                Prefix::slash24_of(r.resolver_addr),
-                r.probes,
-            )
-        }));
-        let ms_clients = PrefixView::from_volumes(
-            cdn_logs.clients.iter().map(|(p, c)| (*p, *c as f64)),
+        let dns_logs_view = PrefixView::from_volumes(
+            dns_logs
+                .resolvers
+                .iter()
+                .map(|r| (Prefix::slash24_of(r.resolver_addr), r.probes)),
         );
+        let ms_clients =
+            PrefixView::from_volumes(cdn_logs.clients.iter().map(|(p, c)| (*p, *c as f64)));
         let ms_resolvers = PrefixView::from_volumes(
             cdn_logs
                 .resolvers
                 .iter()
                 .map(|(addr, c)| (Prefix::slash24_of(*addr), *c as f64)),
         );
-        let cloud_ecs = PrefixView::from_volumes(
-            cdn_logs.ecs_prefixes.iter().map(|(p, c)| (*p, *c as f64)),
-        );
+        let cloud_ecs =
+            PrefixView::from_volumes(cdn_logs.ecs_prefixes.iter().map(|(p, c)| (*p, *c as f64)));
 
         let cache_probing_as = AsView::from_set(cache_probe.active_ases(rib));
         let dns_logs_as = AsView::from_volumes(dns_logs.by_as(rib));
@@ -117,6 +115,35 @@ impl DatasetBundle {
             ms_clients_as,
             ms_resolvers_as,
             cloud_ecs_as,
+        }
+    }
+
+    /// Registers per-dataset sizes under `datasets.` in `m` — the
+    /// headline scale of Tables 1 and 3 as machine-readable gauges, so
+    /// a snapshot diff shows at a glance which dataset grew or shrank.
+    pub fn register_metrics(&self, m: &clientmap_telemetry::MetricsRegistry) {
+        let prefix_views: [(&str, &PrefixView); 5] = [
+            ("cache_probing", &self.cache_probing),
+            ("dns_logs", &self.dns_logs),
+            ("ms_clients", &self.ms_clients),
+            ("ms_resolvers", &self.ms_resolvers),
+            ("cloud_ecs", &self.cloud_ecs),
+        ];
+        for (name, v) in prefix_views {
+            m.counter(&format!("datasets.{name}.slash24s"))
+                .add(v.num_slash24s());
+        }
+        let as_views: [(&str, &AsView); 6] = [
+            ("cache_probing", &self.cache_probing_as),
+            ("dns_logs", &self.dns_logs_as),
+            ("ms_clients", &self.ms_clients_as),
+            ("ms_resolvers", &self.ms_resolvers_as),
+            ("cloud_ecs", &self.cloud_ecs_as),
+            ("apnic", &self.apnic),
+        ];
+        for (name, v) in as_views {
+            m.counter(&format!("datasets.{name}.ases"))
+                .add(v.len() as u64);
         }
     }
 
@@ -185,12 +212,8 @@ mod tests {
             records_examined: 1,
         };
         let mut cdn_logs = CdnLogs::default();
-        cdn_logs
-            .clients
-            .insert("10.1.2.0/24".parse().unwrap(), 100);
-        cdn_logs
-            .clients
-            .insert("10.2.9.0/24".parse().unwrap(), 50);
+        cdn_logs.clients.insert("10.1.2.0/24".parse().unwrap(), 100);
+        cdn_logs.clients.insert("10.2.9.0/24".parse().unwrap(), 50);
         cdn_logs.resolvers.insert(0x0A020035, 77);
         cdn_logs
             .ecs_prefixes
@@ -225,7 +248,10 @@ mod tests {
         assert_eq!(u.num_slash24s(), 16 + 1);
         let ua = b.as_view(DatasetId::Union);
         assert!(ua.contains(Asn(100)) && ua.contains(Asn(200)));
-        assert!(b.prefix_view(DatasetId::Apnic).is_none(), "APNIC is AS-only");
+        assert!(
+            b.prefix_view(DatasetId::Apnic).is_none(),
+            "APNIC is AS-only"
+        );
     }
 
     #[test]
@@ -237,6 +263,19 @@ mod tests {
         assert_eq!(covered, 100.0);
         let frac = covered / b.ms_clients.total_volume();
         assert!((frac - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_metrics_mirrors_view_sizes() {
+        let (b, _) = mini_bundle();
+        let m = clientmap_telemetry::MetricsRegistry::new();
+        b.register_metrics(&m);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("datasets.cache_probing.slash24s"), 16);
+        assert_eq!(snap.counter("datasets.dns_logs.slash24s"), 1);
+        assert_eq!(snap.counter("datasets.ms_clients.slash24s"), 2);
+        assert_eq!(snap.counter("datasets.apnic.ases"), 1);
+        assert_eq!(snap.counter("datasets.dns_logs.ases"), 1);
     }
 
     #[test]

@@ -129,7 +129,9 @@ mod tests {
         let v = PrefixView::from_volumes([(p("10.1.2.0/24"), 3.0), (p("8.8.8.0/24"), 1.0)]);
         let csv = prefix_view_with_origins_csv(&v, &rib);
         assert!(csv.contains("10.1.2.0/24,AS55,3"), "{csv}");
-        assert!(csv.contains("8.8.8.0/24,,1"), "unrouted keeps empty ASN: {csv}");
+        assert!(
+            csv.contains("8.8.8.0/24,,1"),
+            "unrouted keeps empty ASN: {csv}"
+        );
     }
-
 }

@@ -221,10 +221,8 @@ mod tests {
 
     #[test]
     fn prefix_volume_in() {
-        let clients = PrefixView::from_volumes([
-            (p("10.1.2.0/24"), 90.0),
-            (p("10.9.0.0/24"), 10.0),
-        ]);
+        let clients =
+            PrefixView::from_volumes([(p("10.1.2.0/24"), 90.0), (p("10.9.0.0/24"), 10.0)]);
         let probing = PrefixView::from_set(PrefixSet::from_prefixes([p("10.1.0.0/16")]));
         assert_eq!(clients.volume_in(&probing), 90.0);
         assert_eq!(clients.intersection_slash24s(&probing), 1);

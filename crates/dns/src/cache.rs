@@ -172,6 +172,23 @@ impl EcsCache {
         self.stats
     }
 
+    /// Exports the running counters plus current occupancy under
+    /// `{prefix}.` in `m`. Counters accumulate across exports, so
+    /// export each cache at most once per registry (or use per-cache
+    /// prefixes, as the micro-simulation does per pool).
+    pub fn export_metrics(&self, m: &clientmap_telemetry::MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.hits")).add(self.stats.hits);
+        m.counter(&format!("{prefix}.misses"))
+            .add(self.stats.misses);
+        m.counter(&format!("{prefix}.inserts"))
+            .add(self.stats.inserts);
+        m.counter(&format!("{prefix}.evictions"))
+            .add(self.stats.evictions);
+        m.counter(&format!("{prefix}.expirations"))
+            .add(self.stats.expirations);
+        m.counter(&format!("{prefix}.entries")).add(self.len as u64);
+    }
+
     /// Inserts an answer valid for `scope`, expiring `ttl_secs` from
     /// `now_ms`. Replacing an existing `⟨key, scope⟩` entry refreshes it.
     pub fn insert(
@@ -340,9 +357,17 @@ mod tests {
     #[test]
     fn hit_within_scope_and_ttl() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 0);
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
         // Any /24 inside the /16 scope hits.
-        assert!(c.lookup(&key("a.example"), p("10.1.7.0/24"), 59_999).is_hit());
+        assert!(c
+            .lookup(&key("a.example"), p("10.1.7.0/24"), 59_999)
+            .is_hit());
         // Outside the scope: miss.
         assert!(!c.lookup(&key("a.example"), p("10.2.0.0/24"), 1).is_hit());
         // Different name: miss.
@@ -355,17 +380,39 @@ mod tests {
     #[test]
     fn expires_exactly_at_ttl() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 1_000);
-        assert!(c.lookup(&key("a.example"), p("10.1.0.0/24"), 60_999).is_hit());
-        assert!(!c.lookup(&key("a.example"), p("10.1.0.0/24"), 61_000).is_hit());
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 60)],
+            60,
+            1_000,
+        );
+        assert!(c
+            .lookup(&key("a.example"), p("10.1.0.0/24"), 60_999)
+            .is_hit());
+        assert!(!c
+            .lookup(&key("a.example"), p("10.1.0.0/24"), 61_000)
+            .is_hit());
         assert_eq!(c.len(), 0, "expired entry must be removed");
     }
 
     #[test]
     fn most_specific_scope_wins() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.0.0.0/8"), vec![rec("a.example", 60)], 60, 0);
-        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 120)], 120, 0);
+        c.insert(
+            key("a.example"),
+            p("10.0.0.0/8"),
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 120)],
+            120,
+            0,
+        );
         match c.lookup(&key("a.example"), p("10.1.2.0/24"), 10) {
             CacheLookup::Hit(e) => assert_eq!(e.scope, p("10.1.0.0/16")),
             CacheLookup::Miss => panic!("expected hit"),
@@ -380,8 +427,20 @@ mod tests {
     #[test]
     fn expired_specific_falls_back_to_live_coarse() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.0.0.0/8"), vec![rec("a.example", 600)], 600, 0);
-        c.insert(key("a.example"), p("10.1.0.0/16"), vec![rec("a.example", 10)], 10, 0);
+        c.insert(
+            key("a.example"),
+            p("10.0.0.0/8"),
+            vec![rec("a.example", 600)],
+            600,
+            0,
+        );
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 10)],
+            10,
+            0,
+        );
         // After the /16 expires, the /8 still answers.
         match c.lookup(&key("a.example"), p("10.1.2.0/24"), 20_000) {
             CacheLookup::Hit(e) => assert_eq!(e.scope, p("10.0.0.0/8")),
@@ -392,7 +451,13 @@ mod tests {
     #[test]
     fn scope_zero_answers_everyone() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), Prefix::DEFAULT, vec![rec("a.example", 60)], 60, 0);
+        c.insert(
+            key("a.example"),
+            Prefix::DEFAULT,
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
         match c.lookup(&key("a.example"), p("192.0.2.0/24"), 1) {
             CacheLookup::Hit(e) => assert!(e.scope.is_default()),
             CacheLookup::Miss => panic!("scope-0 entry must answer any prefix"),
@@ -403,8 +468,20 @@ mod tests {
     fn refresh_extends_ttl() {
         let mut c = EcsCache::new(16);
         let k = key("a.example");
-        c.insert(k.clone(), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 0);
-        c.insert(k.clone(), p("10.1.0.0/16"), vec![rec("a.example", 60)], 60, 50_000);
+        c.insert(
+            k.clone(),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
+        c.insert(
+            k.clone(),
+            p("10.1.0.0/16"),
+            vec![rec("a.example", 60)],
+            60,
+            50_000,
+        );
         assert_eq!(c.len(), 1);
         assert!(c.lookup(&k, p("10.1.0.0/24"), 100_000).is_hit());
     }
@@ -412,9 +489,27 @@ mod tests {
     #[test]
     fn capacity_evicts_earliest_expiry() {
         let mut c = EcsCache::new(2);
-        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
-        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 100)], 100, 0);
-        c.insert(key("c.example"), p("10.3.0.0/24"), vec![rec("c.example", 50)], 50, 0);
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 10)],
+            10,
+            0,
+        );
+        c.insert(
+            key("b.example"),
+            p("10.2.0.0/24"),
+            vec![rec("b.example", 100)],
+            100,
+            0,
+        );
+        c.insert(
+            key("c.example"),
+            p("10.3.0.0/24"),
+            vec![rec("c.example", 50)],
+            50,
+            0,
+        );
         assert_eq!(c.len(), 2);
         // The 10s entry (earliest expiry) must be the one evicted.
         assert!(!c.lookup(&key("a.example"), p("10.1.0.0/24"), 1).is_hit());
@@ -427,23 +522,62 @@ mod tests {
     fn refresh_does_not_leave_entry_vulnerable_to_stale_slot() {
         let mut c = EcsCache::new(2);
         let k = key("a.example");
-        c.insert(k.clone(), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
+        c.insert(
+            k.clone(),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 10)],
+            10,
+            0,
+        );
         // Refresh with a later expiry: the old heap slot is now stale.
-        c.insert(k.clone(), p("10.1.0.0/24"), vec![rec("a.example", 1000)], 1000, 0);
+        c.insert(
+            k.clone(),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 1000)],
+            1000,
+            0,
+        );
         // Fill to capacity + 1 to force eviction; the refreshed entry's
         // stale slot must be skipped, evicting by true expiry order.
-        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 20)], 20, 0);
-        c.insert(key("c.example"), p("10.3.0.0/24"), vec![rec("c.example", 30)], 30, 0);
+        c.insert(
+            key("b.example"),
+            p("10.2.0.0/24"),
+            vec![rec("b.example", 20)],
+            20,
+            0,
+        );
+        c.insert(
+            key("c.example"),
+            p("10.3.0.0/24"),
+            vec![rec("c.example", 30)],
+            30,
+            0,
+        );
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(&k, p("10.1.0.0/24"), 1).is_hit(), "refreshed entry survived");
+        assert!(
+            c.lookup(&k, p("10.1.0.0/24"), 1).is_hit(),
+            "refreshed entry survived"
+        );
         assert!(!c.lookup(&key("b.example"), p("10.2.0.0/24"), 1).is_hit());
     }
 
     #[test]
     fn purge_expired_sweeps() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 10)], 10, 0);
-        c.insert(key("b.example"), p("10.2.0.0/24"), vec![rec("b.example", 100)], 100, 0);
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 10)],
+            10,
+            0,
+        );
+        c.insert(
+            key("b.example"),
+            p("10.2.0.0/24"),
+            vec![rec("b.example", 100)],
+            100,
+            0,
+        );
         assert_eq!(c.purge_expired(50_000), 1);
         assert_eq!(c.len(), 1);
         assert_eq!(c.purge_expired(50_000), 0);
@@ -452,7 +586,13 @@ mod tests {
     #[test]
     fn remaining_ttl_reported() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 60)], 60, 0);
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
         match c.lookup(&key("a.example"), p("10.1.0.0/24"), 45_000) {
             CacheLookup::Hit(e) => {
                 assert_eq!(e.remaining_ttl_secs(45_000), 15);
@@ -465,12 +605,37 @@ mod tests {
     #[test]
     fn stats_track_operations() {
         let mut c = EcsCache::new(16);
-        c.insert(key("a.example"), p("10.1.0.0/24"), vec![rec("a.example", 60)], 60, 0);
+        c.insert(
+            key("a.example"),
+            p("10.1.0.0/24"),
+            vec![rec("a.example", 60)],
+            60,
+            0,
+        );
         let _ = c.lookup(&key("a.example"), p("10.1.0.0/24"), 1);
         let _ = c.lookup(&key("a.example"), p("10.9.0.0/24"), 1);
         let s = c.stats();
         assert_eq!(s.inserts, 1);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_stats() {
+        let mut c = EcsCache::new(4);
+        let key = CacheKey::new("www.google.com".parse().unwrap(), RrType::A);
+        let scope: Prefix = "10.0.0.0/24".parse().unwrap();
+        c.insert(key.clone(), scope, vec![], 60, 0);
+        assert!(c.lookup(&key, scope, 1_000).is_hit());
+        assert!(!c
+            .lookup(&key, "10.0.1.0/24".parse().unwrap(), 1_000)
+            .is_hit());
+        let m = clientmap_telemetry::MetricsRegistry::new();
+        c.export_metrics(&m, "cache");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("cache.hits"), 1);
+        assert_eq!(snap.counter("cache.misses"), 1);
+        assert_eq!(snap.counter("cache.inserts"), 1);
+        assert_eq!(snap.counter("cache.entries"), 1);
     }
 }

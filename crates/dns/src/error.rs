@@ -75,7 +75,10 @@ impl fmt::Display for WireError {
             WireError::BadOpt(why) => write!(f, "malformed OPT record: {why}"),
             WireError::BadEcs(why) => write!(f, "malformed ECS option: {why}"),
             WireError::RdataLengthMismatch { declared, consumed } => {
-                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+                write!(
+                    f,
+                    "rdata length mismatch: declared {declared}, consumed {consumed}"
+                )
             }
             WireError::EncodeTooLong => write!(f, "value too long to encode"),
             WireError::Unsupported(what) => write!(f, "unsupported message feature: {what}"),

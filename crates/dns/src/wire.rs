@@ -244,7 +244,7 @@ impl<'a> Cursor<'a> {
 fn decode_name(cur: &mut Cursor<'_>) -> Result<DomainName, WireError> {
     let mut labels: Vec<Label> = Vec::new();
     let mut wire_len = 1usize; // root byte
-    // After the first pointer jump we stop advancing the real cursor.
+                               // After the first pointer jump we stop advancing the real cursor.
     let mut jumped = false;
     let mut pos = cur.pos;
 
@@ -571,7 +571,11 @@ mod tests {
         assert_eq!(decode(&bytes).unwrap(), m);
         // The three repeats of www.example.com must compress to pointers:
         // a full encoding would repeat 17 bytes; allow generous slack.
-        assert!(bytes.len() < 100, "packet unexpectedly large: {}", bytes.len());
+        assert!(
+            bytes.len() < 100,
+            "packet unexpectedly large: {}",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -619,8 +623,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation_everywhere() {
-        let m = Message::query(9, Question::a("www.example.com").unwrap())
-            .with_ecs(p("10.0.0.0/24"));
+        let m =
+            Message::query(9, Question::a("www.example.com").unwrap()).with_ecs(p("10.0.0.0/24"));
         let bytes = encode(&m).unwrap();
         for cut in 0..bytes.len() {
             let r = decode(&bytes[..cut]);

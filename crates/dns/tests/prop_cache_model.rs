@@ -15,7 +15,12 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Op {
     /// Insert an entry for (name index, scope, ttl).
-    Insert { name: u8, addr: u32, len: u8, ttl: u32 },
+    Insert {
+        name: u8,
+        addr: u32,
+        len: u8,
+        ttl: u32,
+    },
     /// Advance the clock.
     Advance { ms: u32 },
     /// Lookup (name index, /24 probe).
@@ -53,7 +58,8 @@ struct Model {
 impl Model {
     fn insert(&mut self, name: u8, scope: Prefix, ttl: u32, now: u64) {
         // Replace same (name, scope).
-        self.entries.retain(|(n, s, _)| !(*n == name % 3 && *s == scope));
+        self.entries
+            .retain(|(n, s, _)| !(*n == name % 3 && *s == scope));
         self.entries
             .push((name % 3, scope, now + u64::from(ttl) * 1000));
     }

@@ -4,8 +4,7 @@
 //! scoped entries answer only addresses inside the scope).
 
 use clientmap_dns::{
-    wire, CacheKey, DomainName, EcsCache, Message, Question, RData, Rcode, Record, RrClass,
-    RrType,
+    wire, CacheKey, DomainName, EcsCache, Message, Question, RData, Rcode, Record, RrClass, RrType,
 };
 use clientmap_net::Prefix;
 use proptest::prelude::*;
@@ -15,9 +14,8 @@ fn arb_label() -> impl Strategy<Value = String> {
 }
 
 fn arb_name() -> impl Strategy<Value = DomainName> {
-    prop::collection::vec(arb_label(), 0..5).prop_map(|labels| {
-        DomainName::parse(&labels.join(".")).expect("labels are valid")
-    })
+    prop::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| DomainName::parse(&labels.join(".")).expect("labels are valid"))
 }
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
@@ -179,9 +177,7 @@ fn compression_disabled_past_pointer_range() {
     let mut m = Message::query(1, Question::a("seed.example").unwrap());
     // ~700 answers × ~40B pushes later names past 16 KiB.
     for i in 0..700u32 {
-        let name: DomainName = format!("host-{i}.tail.domain-{i}.example")
-            .parse()
-            .unwrap();
+        let name: DomainName = format!("host-{i}.tail.domain-{i}.example").parse().unwrap();
         m.answers.push(Record {
             name,
             rtype: RrType::A,
@@ -191,7 +187,10 @@ fn compression_disabled_past_pointer_range() {
         });
     }
     let bytes = wire::encode(&m).expect("encodable");
-    assert!(bytes.len() > 0x3FFF, "message too small to exercise the edge");
+    assert!(
+        bytes.len() > 0x3FFF,
+        "message too small to exercise the edge"
+    );
     let back = wire::decode(&bytes).expect("decodable");
     assert_eq!(back, m);
 }

@@ -165,6 +165,17 @@ impl GeoDb {
             .map(|e| e.error_radius_km < km)
             .unwrap_or(false)
     }
+
+    /// Registers the database shape under `geodb.` in `m`: entry count
+    /// plus a histogram of self-reported error radii (whole km) — the
+    /// quantity that gates scope→PoP assignment downstream.
+    pub fn register_metrics(&self, m: &clientmap_telemetry::MetricsRegistry) {
+        m.counter("geodb.entries").add(self.len() as u64);
+        let radii = m.histogram("geodb.error_radius_km");
+        for (_, e) in self.trie.iter() {
+            radii.record(e.error_radius_km.max(0.0).round() as u64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +246,12 @@ mod tests {
         let c1 = GeoCoord::new(0.0, 0.0).unwrap();
         let c2 = GeoCoord::new(50.0, 50.0).unwrap();
         b.add(p("10.0.0.0/8"), c1, us(), PrefixKind::Eyeball);
-        b.add(p("10.1.0.0/16"), c2, "BR".parse().unwrap(), PrefixKind::Eyeball);
+        b.add(
+            p("10.1.0.0/16"),
+            c2,
+            "BR".parse().unwrap(),
+            PrefixKind::Eyeball,
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let model = GeoAccuracyModel {
             eyeball_max_err_km: 0.001,
@@ -243,7 +259,10 @@ mod tests {
         };
         let db = b.build(&model, &mut rng);
         assert_eq!(db.len(), 2);
-        assert_eq!(db.lookup(p("10.1.2.0/24")).unwrap().country, "BR".parse().unwrap());
+        assert_eq!(
+            db.lookup(p("10.1.2.0/24")).unwrap().country,
+            "BR".parse().unwrap()
+        );
         assert_eq!(db.lookup(p("10.2.2.0/24")).unwrap().country, us());
         assert!(db.lookup(p("11.0.0.0/24")).is_none());
         assert!(db.lookup_addr(0x0A010203).is_some());
@@ -263,7 +282,10 @@ mod tests {
         let e = db.lookup(p("10.1.2.0/24")).unwrap();
         assert!(db.radius_below(p("10.1.2.0/24"), e.error_radius_km + 1.0));
         assert!(!db.radius_below(p("10.1.2.0/24"), e.error_radius_km - 1.0));
-        assert!(!db.radius_below(p("99.0.0.0/24"), 1e9), "missing prefix is never below");
+        assert!(
+            !db.radius_below(p("99.0.0.0/24"), 1e9),
+            "missing prefix is never below"
+        );
     }
 
     #[test]
@@ -271,5 +293,19 @@ mod tests {
         let e1 = build_one(PrefixKind::Infrastructure, 42);
         let e2 = build_one(PrefixKind::Infrastructure, 42);
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn register_metrics_reports_entry_shape() {
+        let mut b = GeoDbBuilder::new();
+        let c = GeoCoord::new(10.0, 20.0).unwrap();
+        b.add(p("10.0.0.0/24"), c, us(), PrefixKind::Eyeball);
+        b.add(p("10.0.1.0/24"), c, us(), PrefixKind::Infrastructure);
+        let db = b.build(&GeoAccuracyModel::default(), &mut StdRng::seed_from_u64(9));
+        let m = clientmap_telemetry::MetricsRegistry::new();
+        db.register_metrics(&m);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("geodb.entries"), 2);
+        assert_eq!(snap.histogram("geodb.error_radius_km").unwrap().count, 2);
     }
 }

@@ -159,19 +159,20 @@ mod tests {
     #[test]
     fn covers_all_continent_groups() {
         let metros = world_metros();
-        for code in ["US", "BR", "GB", "CN", "IN", "NG", "AU", "SR", "BO", "PY", "UY"] {
+        for code in [
+            "US", "BR", "GB", "CN", "IN", "NG", "AU", "SR", "BO", "PY", "UY",
+        ] {
             let c: CountryCode = code.parse().unwrap();
-            assert!(
-                metros.iter().any(|m| m.country == c),
-                "no metro in {code}"
-            );
+            assert!(metros.iter().any(|m| m.country == c), "no metro in {code}");
         }
     }
 
     #[test]
     fn south_america_well_represented() {
         let metros = world_metros();
-        let sa = ["BR", "AR", "PE", "CO", "CL", "VE", "EC", "BO", "PY", "UY", "SR"];
+        let sa = [
+            "BR", "AR", "PE", "CO", "CL", "VE", "EC", "BO", "PY", "UY", "SR",
+        ];
         let count = metros
             .iter()
             .filter(|m| sa.contains(&m.country.as_str()))

@@ -107,10 +107,7 @@ impl Rib {
         if let Some((_, e)) = self.trie.longest_match(prefix) {
             return Some(e.origin);
         }
-        self.trie
-            .covered_by(prefix)
-            .first()
-            .map(|(_, e)| e.origin)
+        self.trie.covered_by(prefix).first().map(|(_, e)| e.origin)
     }
 
     /// All origin ASes with announcements inside `prefix` (deduplicated,
@@ -145,6 +142,12 @@ impl Rib {
     /// Number of prefixes announced by an AS (0 if unknown).
     pub fn announced_prefixes(&self, asn: Asn) -> u32 {
         self.per_as_prefixes.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// Total /24 equivalents announced across every AS (the announced
+    /// address space the telemetry layer reports as a run gauge).
+    pub fn total_announced_slash24s(&self) -> u64 {
+        self.per_as_slash24s.values().sum()
     }
 
     /// All ASes with at least one announcement.
@@ -218,10 +221,12 @@ mod tests {
         assert_eq!(rib.announced_slash24s(Asn(2)), 1);
         assert_eq!(rib.announced_slash24s(Asn(3)), 0);
         assert_eq!(rib.origins(), vec![Asn(1), Asn(2)]);
+        assert_eq!(rib.total_announced_slash24s(), 258);
 
         rib.withdraw(p("10.1.0.0/16"));
         assert_eq!(rib.announced_slash24s(Asn(1)), 1);
         assert_eq!(rib.announced_prefixes(Asn(1)), 1);
+        assert_eq!(rib.total_announced_slash24s(), 2);
     }
 
     #[test]

@@ -68,8 +68,16 @@ mod tests {
     fn deterministic_and_sensitive() {
         let base = SeedMixer::new(1).mix(2).mix(3).finish();
         assert_eq!(base, SeedMixer::new(1).mix(2).mix(3).finish());
-        assert_ne!(base, SeedMixer::new(1).mix(3).mix(2).finish(), "order matters");
-        assert_ne!(base, SeedMixer::new(2).mix(2).mix(3).finish(), "seed matters");
+        assert_ne!(
+            base,
+            SeedMixer::new(1).mix(3).mix(2).finish(),
+            "order matters"
+        );
+        assert_ne!(
+            base,
+            SeedMixer::new(2).mix(2).mix(3).finish(),
+            "seed matters"
+        );
     }
 
     #[test]

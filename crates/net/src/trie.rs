@@ -245,12 +245,7 @@ impl<V> PrefixTrie<V> {
     pub fn remove_covered_by(&mut self, prefix: Prefix) -> Vec<(Prefix, V)> {
         // Walk to the subtree root, remembering the path for pruning.
         let mut removed = Vec::new();
-        fn rec<V>(
-            node: &mut Node<V>,
-            prefix: Prefix,
-            depth: u8,
-            removed: &mut Vec<(Prefix, V)>,
-        ) {
+        fn rec<V>(node: &mut Node<V>, prefix: Prefix, depth: u8, removed: &mut Vec<(Prefix, V)>) {
             if depth == prefix.len() {
                 drain(node, prefix, removed);
                 return;
@@ -310,10 +305,7 @@ fn subtree_nonempty<V>(node: &Node<V>) -> bool {
     if node.value.is_some() {
         return true;
     }
-    node.children
-        .iter()
-        .flatten()
-        .any(|c| subtree_nonempty(c))
+    node.children.iter().flatten().any(|c| subtree_nonempty(c))
 }
 
 #[cfg(test)]
@@ -396,7 +388,10 @@ mod tests {
         t.insert(p("10.2.0.0/16"), 4);
         let sub = t.covered_by(p("10.1.0.0/16"));
         let ps: Vec<Prefix> = sub.iter().map(|(q, _)| *q).collect();
-        assert_eq!(ps, vec![p("10.1.0.0/16"), p("10.1.2.0/24"), p("10.1.3.0/24")]);
+        assert_eq!(
+            ps,
+            vec![p("10.1.0.0/16"), p("10.1.2.0/24"), p("10.1.3.0/24")]
+        );
         assert!(t.any_covered_by(p("10.0.0.0/8")));
         assert!(!t.any_covered_by(p("11.0.0.0/8")));
     }

@@ -1,0 +1,516 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the subset of proptest the test suite uses: the `proptest!`
+//! macro with per-test strategy bindings and `#![proptest_config]`,
+//! `Strategy`/`prop_map`/`prop_oneof!`, `any::<T>()`, collection/option
+//! strategies, `prop::sample::Index`, and a small `string_regex`
+//! generator. Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   deterministic per-test seed; re-running reproduces it exactly.
+//! * **Deterministic seeds.** Each test derives its RNG seed from the
+//!   fully-qualified test name, so runs are reproducible and
+//!   failure-stable across machines (upstream defaults to OS entropy).
+//! * `string_regex` supports the char-class + quantifier subset the
+//!   suite actually uses, not full regex syntax.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$ty>()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::new(rng.gen::<u64>())
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T` (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bound for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of`: `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    /// An index into a not-yet-known-length collection
+    /// (`prop::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Projects onto `0..len`. Panics if `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// Error from an unsupported or malformed pattern.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One pattern element: a set of candidate chars and a repetition
+    /// bound (inclusive).
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    pub struct RegexGeneratorStrategy {
+        elements: Vec<Element>,
+    }
+
+    /// Builds a string strategy from a simplified regex: literal chars,
+    /// `[...]` classes with ranges, and `{n}`/`{n,m}`/`?`/`*`/`+`
+    /// quantifiers (`*`/`+` capped at 8 repetitions).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => {
+                    let lit = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    vec![lit]
+                }
+                '.' => (' '..='~').collect(),
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported metacharacter '{c}'")));
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            elements.push(Element {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { elements })
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated char class".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let lit = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape in class".into()))?;
+                    set.push(lit);
+                }
+                lo => {
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&']') | None => set.push(lo), // trailing '-' is literal
+                            Some(&hi) => {
+                                chars.next(); // '-'
+                                chars.next(); // hi
+                                if hi < lo {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                set.extend(lo..=hi);
+                            }
+                        }
+                    } else {
+                        set.push(lo);
+                    }
+                }
+            }
+        }
+        if set.is_empty() {
+            return Err(Error("empty char class".into()));
+        }
+        Ok(set)
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.parse().map_err(|_| Error("bad quantifier".into()))?,
+                                b.parse().map_err(|_| Error("bad quantifier".into()))?,
+                            ),
+                            None => {
+                                let n = body.parse().map_err(|_| Error("bad quantifier".into()))?;
+                                (n, n)
+                            }
+                        };
+                        if max < min {
+                            return Err(Error("quantifier max < min".into()));
+                        }
+                        return Ok((min, max));
+                    }
+                    body.push(c);
+                }
+                Err(Error("unterminated quantifier".into()))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for el in &self.elements {
+                let n = rng.gen_range(el.min..=el.max);
+                for _ in 0..n {
+                    out.push(el.chars[rng.gen_range(0..el.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The `prop::` namespace exposed by the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                            l, r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                            l, r, format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `left != right`\n  both: {:?}", l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(
+                &__proptest_cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $crate::__proptest_bindings!(__proptest_rng; $($params)*);
+                    let __proptest_result: $crate::test_runner::TestCaseResult =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    __proptest_result
+                },
+            );
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strategy:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strategy), $rng);
+    };
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+}

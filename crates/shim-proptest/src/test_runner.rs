@@ -1,0 +1,151 @@
+//! Case execution: config, RNG, and the run loop behind `proptest!`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!`/filter rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it is skipped, not failed.
+    Reject(String),
+    /// A property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The generator handed to strategies. Seeded from the test name, so
+/// every run of a given test sees the same value sequence.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// FNV-1a, used to turn a test path into a stable seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `cfg.cases` successes; panics on the first failure
+/// with enough context to replay it.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let seed = fnv1a(name);
+    let mut rng = TestRng::from_seed(seed);
+    let mut passed: u32 = 0;
+    let mut rejects: u32 = 0;
+    let mut attempts: u32 = 0;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > cfg.max_global_rejects {
+                    panic!("proptest '{name}': too many rejections ({rejects}); last: {why}");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at attempt #{attempts} \
+                     (seed {seed:#x}, {passed} cases passed):\n{msg}"
+                );
+            }
+        }
+        attempts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        let mut a = TestRng::from_seed(fnv1a("x::y"));
+        let mut b = TestRng::from_seed(fnv1a("x::y"));
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_seed(fnv1a("x::z"));
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_cases_counts_only_successes() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut calls = 0;
+        run_cases(&cfg, "t", |_rng| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("odd"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_cases_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -76,7 +76,9 @@ const VM_SPREAD: f64 = 0.4;
 impl Catchments {
     /// Computes the client catchment of every routed /24 in the world.
     pub fn compute(world: &World) -> Catchments {
-        let seed = SeedMixer::new(world.config.seed).mix_str("catchments").finish();
+        let seed = SeedMixer::new(world.config.seed)
+            .mix_str("catchments")
+            .finish();
         let by_slash24 = world
             .slash24s
             .iter()

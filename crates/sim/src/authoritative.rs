@@ -58,7 +58,9 @@ impl Authoritatives {
     /// snapshot for scope alignment.
     pub fn new(world_seed: u64, rib: Rib) -> Authoritatives {
         Authoritatives {
-            seed: SeedMixer::new(world_seed).mix_str("authoritatives").finish(),
+            seed: SeedMixer::new(world_seed)
+                .mix_str("authoritatives")
+                .finish(),
             rib,
         }
     }
@@ -233,7 +235,9 @@ mod tests {
         let mut total = 0u32;
         for i in 0..4000u32 {
             let addr = (i * 7919) << 8;
-            let Some(base) = auth.base_scope(g, addr) else { continue };
+            let Some(base) = auth.base_scope(g, addr) else {
+                continue;
+            };
             if base.is_default() {
                 continue;
             }
@@ -279,7 +283,12 @@ mod tests {
         assert!(plain.scope.is_none());
         // Unknown domains: no answer.
         assert!(auth
-            .answer(&cat, &"nonexistent.example".parse().unwrap(), None, SimTime::ZERO)
+            .answer(
+                &cat,
+                &"nonexistent.example".parse().unwrap(),
+                None,
+                SimTime::ZERO
+            )
             .is_none());
     }
 
@@ -288,8 +297,12 @@ mod tests {
         let (auth, cat) = setup();
         let name: DomainName = "facebook.com".parse().unwrap();
         let ecs: Prefix = "11.22.33.0/24".parse().unwrap();
-        let a = auth.answer(&cat, &name, Some(ecs), SimTime::from_hours(3)).unwrap();
-        let b = auth.answer(&cat, &name, Some(ecs), SimTime::from_hours(3)).unwrap();
+        let a = auth
+            .answer(&cat, &name, Some(ecs), SimTime::from_hours(3))
+            .unwrap();
+        let b = auth
+            .answer(&cat, &name, Some(ecs), SimTime::from_hours(3))
+            .unwrap();
         assert_eq!(a.records, b.records);
         assert_eq!(a.scope, b.scope);
     }

@@ -89,7 +89,9 @@ pub fn collect_logs(
     t0: SimTime,
     t1: SimTime,
 ) -> CdnLogs {
-    let seed = SeedMixer::new(world.config.seed).mix_str("cdn-logs").finish();
+    let seed = SeedMixer::new(world.config.seed)
+        .mix_str("cdn-logs")
+        .finish();
     let act = world.activity();
     let ms_spec = world.domains.microsoft_cdn();
     let ttl = f64::from(ms_spec.ttl_secs);
@@ -103,11 +105,8 @@ pub fn collect_logs(
         let h = SeedMixer::new(seed).mix(u64::from(s.prefix.addr()));
 
         // --- Microsoft clients: HTTP requests over the window ----------
-        let mean_http = act.expected_events(
-            |t| act.cdn_rate(s, t),
-            t0.as_secs_f64(),
-            t1.as_secs_f64(),
-        );
+        let mean_http =
+            act.expected_events(|t| act.cdn_rate(s, t), t0.as_secs_f64(), t1.as_secs_f64());
         let http = poisson(h.mix_str("http").finish(), mean_http);
         if http > 0 {
             *logs.clients.entry(s.prefix).or_insert(0) += http;

@@ -26,9 +26,11 @@
 //! (see the crate docs for why this is statistically faithful).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use clientmap_dns::{wire, DomainName, Message, Rcode, Record, RrType};
 use clientmap_net::{Prefix, SeedMixer};
+use clientmap_telemetry::{Counter, MetricsRegistry};
 use clientmap_world::World;
 
 use crate::anycast::Catchments;
@@ -158,6 +160,82 @@ impl GpdnsSession {
     }
 }
 
+/// Shared atomic telemetry for the service core.
+///
+/// Unlike [`GpdnsStats`] (per-session, absorbed after the fact), these
+/// counters live on the immutable [`GooglePublicDns`] and are bumped
+/// directly from every concurrent prober. All updates are commutative
+/// atomic adds, so the totals — and any [`MetricsRegistry`] snapshot of
+/// them — are identical across thread interleavings.
+///
+/// Every exit path of [`GooglePublicDns::handle_query_at_pop`] hits
+/// exactly one terminal counter, so the conservation law
+/// `queries == rate_limited + decode_errors + formerr + myaddr +
+/// recursive + hits + scope0 + misses` holds by construction (the
+/// invariant `clientmap-core` re-checks after every end-to-end run).
+#[derive(Debug)]
+pub struct GpdnsMetrics {
+    queries_udp: Arc<Counter>,
+    queries_tcp: Arc<Counter>,
+    rate_limited_udp: Arc<Counter>,
+    rate_limited_tcp: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    formerr: Arc<Counter>,
+    myaddr: Arc<Counter>,
+    recursive: Arc<Counter>,
+    /// Scoped cache hits, per pool.
+    pool_hits: [Arc<Counter>; POOLS_PER_POP],
+    /// Scope-0 cache hits, per pool.
+    pool_scope0: [Arc<Counter>; POOLS_PER_POP],
+    /// Cache misses, per pool.
+    pool_misses: [Arc<Counter>; POOLS_PER_POP],
+    /// Misses on domains Google keeps no ECS-scoped entries for (no
+    /// pool is drawn on that path).
+    miss_non_ecs: Arc<Counter>,
+}
+
+impl GpdnsMetrics {
+    /// Registers the full counter family under `gpdns.` in `m`.
+    pub fn register(m: &MetricsRegistry) -> Self {
+        let pool_family =
+            |kind: &str| std::array::from_fn(|p| m.counter(&format!("gpdns.cache.{kind}.pool{p}")));
+        GpdnsMetrics {
+            queries_udp: m.counter("gpdns.queries.udp"),
+            queries_tcp: m.counter("gpdns.queries.tcp"),
+            rate_limited_udp: m.counter("gpdns.rate_limited.udp"),
+            rate_limited_tcp: m.counter("gpdns.rate_limited.tcp"),
+            decode_errors: m.counter("gpdns.decode_errors"),
+            formerr: m.counter("gpdns.formerr"),
+            myaddr: m.counter("gpdns.myaddr"),
+            recursive: m.counter("gpdns.recursive"),
+            pool_hits: pool_family("hit"),
+            pool_scope0: pool_family("scope0"),
+            pool_misses: pool_family("miss"),
+            miss_non_ecs: m.counter("gpdns.cache.miss.non_ecs"),
+        }
+    }
+
+    /// Counters bound to a private registry — for standalone service
+    /// cores built outside a [`crate::Sim`] (tests, microbenches).
+    fn detached() -> Self {
+        GpdnsMetrics::register(&MetricsRegistry::new())
+    }
+
+    fn queries(&self, transport: Transport) -> &Counter {
+        match transport {
+            Transport::Udp => &self.queries_udp,
+            Transport::Tcp => &self.queries_tcp,
+        }
+    }
+
+    fn rate_limited(&self, transport: Transport) -> &Counter {
+        match transport {
+            Transport::Udp => &self.rate_limited_udp,
+            Transport::Tcp => &self.rate_limited_tcp,
+        }
+    }
+}
+
 /// The simulated Google Public DNS service (immutable after build).
 #[derive(Debug)]
 pub struct GooglePublicDns {
@@ -173,6 +251,8 @@ pub struct GooglePublicDns {
     diurnal_amplitude: f64,
     /// Base address for per-PoP egress (the Google /16).
     egress_base: u32,
+    /// Shared atomic telemetry (hit/miss per pool, drops by transport).
+    metrics: GpdnsMetrics,
 }
 
 /// Maps a hash to `[0, 1)`.
@@ -181,9 +261,22 @@ fn unit(h: u64) -> f64 {
 }
 
 impl GooglePublicDns {
-    /// Builds the service: aggregates every active /24's Google-bound
-    /// query rate into per-(PoP, domain, scope) loads.
+    /// Builds the service with counters on a private registry (for
+    /// standalone use; [`crate::Sim`] uses
+    /// [`GooglePublicDns::build_with_metrics`]).
     pub fn build(world: &World, catchments: &Catchments, auth: &Authoritatives) -> Self {
+        Self::build_with_metrics(world, catchments, auth, GpdnsMetrics::detached())
+    }
+
+    /// Builds the service: aggregates every active /24's Google-bound
+    /// query rate into per-(PoP, domain, scope) loads. Service-side
+    /// telemetry lands on the supplied counter family.
+    pub fn build_with_metrics(
+        world: &World,
+        catchments: &Catchments,
+        auth: &Authoritatives,
+        metrics: GpdnsMetrics,
+    ) -> Self {
         let seed = SeedMixer::new(world.config.seed).mix_str("gpdns").finish();
         let npops = pop_catalog().len();
         let specs: Vec<&clientmap_world::DomainSpec> = world
@@ -195,10 +288,12 @@ impl GooglePublicDns {
         let ecs_domains: Vec<DomainName> = specs.iter().map(|s| s.name.clone()).collect();
         let ttls: Vec<u32> = specs.iter().map(|s| s.ttl_secs).collect();
 
-        let mut scoped: Vec<Vec<HashMap<Prefix, ScopeLoad>>> =
-            (0..npops).map(|_| vec![HashMap::new(); specs.len()]).collect();
-        let mut global: Vec<Vec<ScopeLoad>> =
-            (0..npops).map(|_| vec![ScopeLoad::default(); specs.len()]).collect();
+        let mut scoped: Vec<Vec<HashMap<Prefix, ScopeLoad>>> = (0..npops)
+            .map(|_| vec![HashMap::new(); specs.len()])
+            .collect();
+        let mut global: Vec<Vec<ScopeLoad>> = (0..npops)
+            .map(|_| vec![ScopeLoad::default(); specs.len()])
+            .collect();
 
         for (i, s) in world.slash24s.iter().enumerate() {
             if !s.is_active() || s.resolver_mix.google <= 0.0 {
@@ -210,11 +305,10 @@ impl GooglePublicDns {
                 // mean (multiplier 1); the diurnal factor is re-applied
                 // at query time from the stored longitude.
                 let clients = s.users + s.machines;
-                let rate = clients
-                    * world.config.dns_queries_per_user_per_day
-                    * spec.popularity_weight
-                    / 86_400.0
-                    * s.resolver_mix.google;
+                let rate =
+                    clients * world.config.dns_queries_per_user_per_day * spec.popularity_weight
+                        / 86_400.0
+                        * s.resolver_mix.google;
                 if rate <= 0.0 {
                     continue;
                 }
@@ -223,7 +317,10 @@ impl GooglePublicDns {
                         global[pop][d].add(rate, s.coord.lon);
                     }
                     Some(scope) => {
-                        scoped[pop][d].entry(scope).or_default().add(rate, s.coord.lon);
+                        scoped[pop][d]
+                            .entry(scope)
+                            .or_default()
+                            .add(rate, s.coord.lon);
                     }
                     None => {}
                 }
@@ -240,6 +337,7 @@ impl GooglePublicDns {
             egress_base: world.blocks[world.ases[world.google_as].blocks[0]]
                 .prefix
                 .addr(),
+            metrics,
         }
     }
 
@@ -356,20 +454,25 @@ impl GooglePublicDns {
         t: SimTime,
     ) -> Option<Vec<u8>> {
         session.stats.queries += 1;
+        self.metrics.queries(transport).inc();
         if !self.admit(session, prober, pop, transport, t) {
             session.stats.rate_limited += 1;
+            self.metrics.rate_limited(transport).inc();
             return None;
         }
         let Ok(query) = wire::decode(packet) else {
+            self.metrics.decode_errors.inc();
             return None; // garbage in, silence out (like a drop)
         };
         let Some(q) = query.question.clone() else {
+            self.metrics.formerr.inc();
             let resp = Message::response_for(&query).with_rcode(Rcode::FormErr);
             return wire::encode(&resp).ok();
         };
 
         // PoP self-identification.
         if q.rtype == RrType::Txt && q.name.to_string() == MYADDR_NAME {
+            self.metrics.myaddr.inc();
             let pops = pop_catalog();
             let resp = Message::response_for(&query).with_answers(vec![Record::txt(
                 q.name.clone(),
@@ -384,6 +487,7 @@ impl GooglePublicDns {
         if query.recursion_desired {
             // Recursive path: resolve at the authoritative.
             session.stats.recursive += 1;
+            self.metrics.recursive.inc();
             // Google forwards the client's /24 as ECS (or the supplied one).
             let fwd_ecs = ecs_source.or(Some(Prefix::DEFAULT));
             return match auth.answer(&world.domains, &q.name, fwd_ecs, t) {
@@ -406,6 +510,7 @@ impl GooglePublicDns {
             // Not an ECS-cached domain: we model no global non-ECS cache
             // visibility (probing such domains is not meaningful).
             session.stats.misses += 1;
+            self.metrics.miss_non_ecs.inc();
             let resp = Message::response_for(&query);
             return wire::encode(&resp).ok();
         };
@@ -438,6 +543,7 @@ impl GooglePublicDns {
             if let Some(load) = self.scoped[pop][slot].get(&scope).copied() {
                 if self.entry_live(pop, pool, slot, scope, &load, t) {
                     session.stats.scoped_hits += 1;
+                    self.metrics.pool_hits[pool].inc();
                     let h = SeedMixer::new(self.seed)
                         .mix_str("ttl")
                         .mix(pop as u64)
@@ -448,9 +554,7 @@ impl GooglePublicDns {
                     let remaining = self.remaining_ttl(slot, h, t);
                     // The scope attached to the cached answer reflects the
                     // authoritative's (possibly churned) response scope.
-                    let resp_scope = auth
-                        .response_scope(spec, source.addr(), t)
-                        .unwrap_or(scope);
+                    let resp_scope = auth.response_scope(spec, source.addr(), t).unwrap_or(scope);
                     let resp = Message::response_for(&query)
                         .with_answers(vec![Record::a(
                             q.name.clone(),
@@ -465,10 +569,9 @@ impl GooglePublicDns {
 
         // 2. Scope-0 entry (cached for everyone).
         let gload = self.global[pop][slot];
-        if gload.rate > 0.0
-            && self.entry_live(pop, pool, slot, Prefix::DEFAULT, &gload, t)
-        {
+        if gload.rate > 0.0 && self.entry_live(pop, pool, slot, Prefix::DEFAULT, &gload, t) {
             session.stats.scope0_hits += 1;
+            self.metrics.pool_scope0[pool].inc();
             let resp = Message::response_for(&query)
                 .with_answers(vec![Record::a(
                     q.name.clone(),
@@ -481,6 +584,7 @@ impl GooglePublicDns {
 
         // 3. Miss.
         session.stats.misses += 1;
+        self.metrics.pool_misses[pool].inc();
         let resp = Message::response_for(&query).with_response_ecs(source, 0);
         wire::encode(&resp).ok()
     }
@@ -628,7 +732,14 @@ mod tests {
             for r in 0..5 {
                 let pkt = probe_packet("www.google.com", prefix, (w * 5 + r) as u16);
                 let resp = s.gpdns.handle_query_at_pop(
-                    &mut s.session, &s.world, &s.auth, 1, pop, &pkt, Transport::Tcp, t,
+                    &mut s.session,
+                    &s.world,
+                    &s.auth,
+                    1,
+                    pop,
+                    &pkt,
+                    Transport::Tcp,
+                    t,
                 );
                 attempts += 1;
                 if matches!(
@@ -639,7 +750,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits > 0, "no hits in {attempts} probes of the busiest prefix");
+        assert!(
+            hits > 0,
+            "no hits in {attempts} probes of the busiest prefix"
+        );
     }
 
     #[test]
@@ -657,9 +771,16 @@ mod tests {
         for w in 0..10u64 {
             let t = SimTime::from_secs(3600 * 10 + w * 700);
             let pkt = probe_packet("www.google.com", dark.1, w as u16);
-            let resp =
-                s.gpdns
-                    .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 2, pop, &pkt, Transport::Tcp, t);
+            let resp = s.gpdns.handle_query_at_pop(
+                &mut s.session,
+                &s.world,
+                &s.auth,
+                2,
+                pop,
+                &pkt,
+                Transport::Tcp,
+                t,
+            );
             let outcome = GooglePublicDns::classify_response(resp.as_deref());
             assert!(
                 matches!(outcome, ProbeOutcome::Miss | ProbeOutcome::HitScopeZero),
@@ -686,7 +807,14 @@ mod tests {
             let t = SimTime::from_secs(3600 * 12 + w * 600);
             let pkt = probe_packet("www.google.com", prefix, w as u16);
             let resp = s.gpdns.handle_query_at_pop(
-                &mut s.session, &s.world, &s.auth, 3, other_pop, &pkt, Transport::Tcp, t,
+                &mut s.session,
+                &s.world,
+                &s.auth,
+                3,
+                other_pop,
+                &pkt,
+                Transport::Tcp,
+                t,
             );
             if matches!(
                 GooglePublicDns::classify_response(resp.as_deref()),
@@ -710,7 +838,16 @@ mod tests {
             let pkt = probe_packet("www.google.com", prefix, i);
             // All at the same instant: exhausts the UDP burst.
             if s.gpdns
-                .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 7, pop, &pkt, Transport::Udp, t)
+                .handle_query_at_pop(
+                    &mut s.session,
+                    &s.world,
+                    &s.auth,
+                    7,
+                    pop,
+                    &pkt,
+                    Transport::Udp,
+                    t,
+                )
                 .is_none()
             {
                 udp_drops += 1;
@@ -721,7 +858,16 @@ mod tests {
         for i in 0..200u16 {
             let pkt = probe_packet("www.google.com", prefix, i);
             if s.gpdns
-                .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 8, pop, &pkt, Transport::Tcp, t)
+                .handle_query_at_pop(
+                    &mut s.session,
+                    &s.world,
+                    &s.auth,
+                    8,
+                    pop,
+                    &pkt,
+                    Transport::Tcp,
+                    t,
+                )
                 .is_none()
             {
                 tcp_drops += 1;
@@ -737,7 +883,16 @@ mod tests {
         let pkt = wire::encode(&q).unwrap();
         let resp = s
             .gpdns
-            .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 9, 3, &pkt, Transport::Udp, SimTime::ZERO)
+            .handle_query_at_pop(
+                &mut s.session,
+                &s.world,
+                &s.auth,
+                9,
+                3,
+                &pkt,
+                Transport::Udp,
+                SimTime::ZERO,
+            )
             .expect("myaddr always answers");
         let msg = wire::decode(&resp).unwrap();
         match &msg.answers[0].rdata {
@@ -759,7 +914,16 @@ mod tests {
         let pkt = wire::encode(&m).unwrap();
         let resp = s
             .gpdns
-            .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 10, 0, &pkt, Transport::Udp, SimTime::ZERO)
+            .handle_query_at_pop(
+                &mut s.session,
+                &s.world,
+                &s.auth,
+                10,
+                0,
+                &pkt,
+                Transport::Udp,
+                SimTime::ZERO,
+            )
             .expect("recursive answers");
         let msg = wire::decode(&resp).unwrap();
         assert!(msg.has_answers());
@@ -776,7 +940,16 @@ mod tests {
         let pkt = wire::encode(&m).unwrap();
         let resp = s
             .gpdns
-            .handle_query_at_pop(&mut s.session, &s.world, &s.auth, 11, 0, &pkt, Transport::Tcp, SimTime::ZERO)
+            .handle_query_at_pop(
+                &mut s.session,
+                &s.world,
+                &s.auth,
+                11,
+                0,
+                &pkt,
+                Transport::Tcp,
+                SimTime::ZERO,
+            )
             .expect("responds");
         let msg = wire::decode(&resp).unwrap();
         assert!(!msg.has_answers(), "non-ECS domain must not be snoopable");

@@ -51,7 +51,9 @@ mod time;
 pub use anycast::Catchments;
 pub use authoritative::Authoritatives;
 pub use events::{EventQueue, Scheduled};
-pub use gpdns::{GooglePublicDns, GpdnsSession, GpdnsStats, ProbeOutcome, Transport, POOLS_PER_POP};
+pub use gpdns::{
+    GooglePublicDns, GpdnsMetrics, GpdnsSession, GpdnsStats, ProbeOutcome, Transport, POOLS_PER_POP,
+};
 pub use pops::{pop_catalog, PopId, PopSite, PopStatus};
 pub use sim::{Sim, SimView};
 pub use time::SimTime;

@@ -86,7 +86,12 @@ pub fn validate_liveness_model(
         .collect();
     let lons: Vec<f64> = scopes
         .iter()
-        .map(|(p, _)| gpdns.scope_load(pop, domain, *p).map(|(_, lon)| lon).unwrap_or(0.0))
+        .map(|(p, _)| {
+            gpdns
+                .scope_load(pop, domain, *p)
+                .map(|(_, lon)| lon)
+                .unwrap_or(0.0)
+        })
         .collect();
 
     // One real cache per pool, sized to hold everything.
@@ -107,7 +112,10 @@ pub fn validate_liveness_model(
         let dt = exp_draw(&mut rng, rate.max(1e-12) * peak);
         queue.push(SimTime::from_secs_f64(dt), Event::Arrival { scope_idx: i });
         // Probes start after one TTL so caches are warm.
-        queue.push(SimTime::from_secs(u64::from(ttl)), Event::Probe { scope_idx: i });
+        queue.push(
+            SimTime::from_secs(u64::from(ttl)),
+            Event::Probe { scope_idx: i },
+        );
     }
 
     let mut hits = vec![0u32; scopes.len()];
@@ -168,6 +176,12 @@ pub fn validate_liveness_model(
         }
     }
 
+    // Pool-level cache behaviour, on the sim's registry: the reference
+    // implementation's hit/miss/expiry mix, comparable across runs.
+    for (k, pool) in pools.iter().enumerate() {
+        pool.export_metrics(sim.metrics(), &format!("microsim.pool{k}"));
+    }
+
     let comparisons: Vec<ScopeComparison> = scopes
         .iter()
         .enumerate()
@@ -209,7 +223,11 @@ mod tests {
             })
             .expect("pops exist");
         let report = validate_liveness_model(&sim, pop, &domain, 30, 36.0, 5, 7);
-        assert!(report.scopes.len() >= 10, "too few scopes: {}", report.scopes.len());
+        assert!(
+            report.scopes.len() >= 10,
+            "too few scopes: {}",
+            report.scopes.len()
+        );
         assert!(report.probes_per_scope > 100);
         // The closed form is exact for Poisson arrivals; differences are
         // sampling noise (~1/√n) plus the within-window probe-time bias.

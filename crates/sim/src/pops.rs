@@ -58,12 +58,36 @@ macro_rules! pop {
 static POPS: &[PopSite] = &[
     // --- 22 probed and verified ---------------------------------------
     // United States, seven states (paper: "seven states").
-    pop!("DLS", "The Dalles, OR, US", 45.5946, -121.1787, ProbedVerified),
-    pop!("CBF", "Council Bluffs, IA, US", 41.2619, -95.8608, ProbedVerified),
-    pop!("CHS", "Charleston, SC, US", 32.7765, -79.9311, ProbedVerified),
+    pop!(
+        "DLS",
+        "The Dalles, OR, US",
+        45.5946,
+        -121.1787,
+        ProbedVerified
+    ),
+    pop!(
+        "CBF",
+        "Council Bluffs, IA, US",
+        41.2619,
+        -95.8608,
+        ProbedVerified
+    ),
+    pop!(
+        "CHS",
+        "Charleston, SC, US",
+        32.7765,
+        -79.9311,
+        ProbedVerified
+    ),
     pop!("LNR", "Lenoir, NC, US", 35.9140, -81.5390, ProbedVerified),
     pop!("PRY", "Pryor, OK, US", 36.3084, -95.3169, ProbedVerified),
-    pop!("DGA", "Douglas County, GA, US", 33.7515, -84.7477, ProbedVerified),
+    pop!(
+        "DGA",
+        "Douglas County, GA, US",
+        33.7515,
+        -84.7477,
+        ProbedVerified
+    ),
     pop!("RNO", "Reno, NV, US", 39.5296, -119.8138, ProbedVerified),
     // Canada, two provinces.
     pop!("YUL", "Montreal, QC, CA", 45.5017, -73.5673, ProbedVerified),
@@ -75,7 +99,13 @@ static POPS: &[PopSite] = &[
     pop!("BRU", "St. Ghislain, BE", 50.4542, 3.8192, ProbedVerified),
     pop!("ZRH", "Zurich, CH", 47.3769, 8.5417, ProbedVerified),
     // Asia, five countries/regions.
-    pop!("TPE", "Changhua County, TW", 24.0518, 120.5161, ProbedVerified),
+    pop!(
+        "TPE",
+        "Changhua County, TW",
+        24.0518,
+        120.5161,
+        ProbedVerified
+    ),
     pop!("SIN", "Singapore, SG", 1.3521, 103.8198, ProbedVerified),
     pop!("NRT", "Tokyo, JP", 35.6762, 139.6503, ProbedVerified),
     pop!("KIX", "Osaka, JP", 34.6937, 135.5023, ProbedVerified),
@@ -104,9 +134,21 @@ static POPS: &[PopSite] = &[
     pop!("CGK", "Jakarta, ID", -6.2088, 106.8456, UnprobedInactive),
     pop!("MNL", "Manila, PH", 14.5995, 120.9842, UnprobedInactive),
     pop!("BKK", "Bangkok, TH", 13.7563, 100.5018, UnprobedInactive),
-    pop!("EZE", "Buenos Aires, AR", -34.6037, -58.3816, UnprobedInactive),
+    pop!(
+        "EZE",
+        "Buenos Aires, AR",
+        -34.6037,
+        -58.3816,
+        UnprobedInactive
+    ),
     pop!("BOG", "Bogota, CO", 4.7110, -74.0721, UnprobedInactive),
-    pop!("JNB", "Johannesburg, ZA", -26.2041, 28.0473, UnprobedInactive),
+    pop!(
+        "JNB",
+        "Johannesburg, ZA",
+        -26.2041,
+        28.0473,
+        UnprobedInactive
+    ),
     pop!("CAI", "Cairo, EG", 30.0444, 31.2357, UnprobedInactive),
     pop!("DXB", "Dubai, AE", 25.2048, 55.2708, UnprobedInactive),
     pop!("MEL", "Melbourne, AU", -37.8136, 144.9631, UnprobedInactive),
@@ -172,7 +214,10 @@ mod tests {
 
     #[test]
     fn unreachable_active_pops_are_in_thin_cloud_regions() {
-        for p in POPS.iter().filter(|p| p.status == PopStatus::UnprobedVerified) {
+        for p in POPS
+            .iter()
+            .filter(|p| p.status == PopStatus::UnprobedVerified)
+        {
             // All five sit in South America or Africa by construction.
             assert!(
                 p.coord.lon < -50.0 || p.location.ends_with("NG"),

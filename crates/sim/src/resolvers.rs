@@ -51,7 +51,9 @@ impl ResolverSnooping {
     /// Builds the service for a world seed.
     pub fn new(world_seed: u64) -> ResolverSnooping {
         ResolverSnooping {
-            seed: SeedMixer::new(world_seed).mix_str("open-resolvers").finish(),
+            seed: SeedMixer::new(world_seed)
+                .mix_str("open-resolvers")
+                .finish(),
         }
     }
 
@@ -159,7 +161,10 @@ mod tests {
     #[test]
     fn closed_resolvers_refuse() {
         let (world, snoop) = setup();
-        let spec = world.domains.get(&"www.google.com".parse().unwrap()).unwrap();
+        let spec = world
+            .domains
+            .get(&"www.google.com".parse().unwrap())
+            .unwrap();
         let closed = world
             .resolvers
             .iter()
@@ -176,7 +181,10 @@ mod tests {
     #[test]
     fn busy_open_resolver_hits_popular_domains() {
         let (world, snoop) = setup();
-        let spec = world.domains.get(&"www.google.com".parse().unwrap()).unwrap();
+        let spec = world
+            .domains
+            .get(&"www.google.com".parse().unwrap())
+            .unwrap();
         // Find the open ISP resolver with the most users behind it.
         let best = world
             .resolvers

@@ -298,9 +298,7 @@ mod tests {
         for trace in &set.traces {
             for r in &trace.records {
                 let name = r.qname.to_string();
-                if MISCONFIG_NAMES.contains(&name.as_str())
-                    || TYPO_NAMES.contains(&name.as_str())
-                {
+                if MISCONFIG_NAMES.contains(&name.as_str()) || TYPO_NAMES.contains(&name.as_str()) {
                     noise_seen = true;
                     assert!(r.total() >= 1);
                 } else {
@@ -340,8 +338,18 @@ mod tests {
     fn sampling_scales_volume() {
         let (_, lo) = capture(45, 0.001);
         let (_, hi) = capture(45, 0.01);
-        let lo_total: u64 = lo.traces.iter().flat_map(|t| &t.records).map(|r| r.total()).sum();
-        let hi_total: u64 = hi.traces.iter().flat_map(|t| &t.records).map(|r| r.total()).sum();
+        let lo_total: u64 = lo
+            .traces
+            .iter()
+            .flat_map(|t| &t.records)
+            .map(|r| r.total())
+            .sum();
+        let hi_total: u64 = hi
+            .traces
+            .iter()
+            .flat_map(|t| &t.records)
+            .map(|r| r.total())
+            .sum();
         assert!(
             hi_total > 4 * lo_total,
             "sampling did not scale: {lo_total} vs {hi_total}"

@@ -1,13 +1,16 @@
 //! The [`Sim`] façade tying world + services together.
 
+use std::sync::Arc;
+
 use clientmap_dns::{wire, DomainName, Message, Question, RData, ScopedAnswer};
 use clientmap_net::{GeoCoord, Prefix};
+use clientmap_telemetry::MetricsRegistry;
 use clientmap_world::World;
 
 use crate::anycast::Catchments;
 use crate::authoritative::Authoritatives;
 use crate::cdn::{collect_logs, CdnLogs};
-use crate::gpdns::{GooglePublicDns, GpdnsSession, Transport, MYADDR_NAME};
+use crate::gpdns::{GooglePublicDns, GpdnsMetrics, GpdnsSession, Transport, MYADDR_NAME};
 use crate::pops::{pop_catalog, PopId};
 use crate::resolvers::{ResolverSnooping, SnoopOutcome};
 use crate::roots::{capture_traces, RootTraceSet};
@@ -31,6 +34,7 @@ pub struct Sim {
     gpdns: GooglePublicDns,
     session: GpdnsSession,
     snooping: ResolverSnooping,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A read-only view over the simulation shared by concurrent probers;
@@ -75,11 +79,24 @@ impl<'a> SimView<'a> {
 }
 
 impl Sim {
-    /// Builds the simulation for a world.
+    /// Builds the simulation for a world, with telemetry on a fresh
+    /// registry (see [`Sim::with_metrics`]).
     pub fn new(world: World) -> Sim {
+        Sim::with_metrics(world, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Builds the simulation for a world, registering all service-side
+    /// instruments (and the world-shape gauges) on `metrics`.
+    pub fn with_metrics(world: World, metrics: Arc<MetricsRegistry>) -> Sim {
+        world.register_metrics(&metrics);
         let catchments = Catchments::compute(&world);
         let auth = Authoritatives::new(world.config.seed, world.rib.clone());
-        let gpdns = GooglePublicDns::build(&world, &catchments, &auth);
+        let gpdns = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&metrics),
+        );
         let snooping = ResolverSnooping::new(world.config.seed);
         Sim {
             world,
@@ -88,7 +105,13 @@ impl Sim {
             gpdns,
             session: GpdnsSession::new(),
             snooping,
+            metrics,
         }
+    }
+
+    /// The registry every service-side instrument reports to.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// A shareable read-only view for concurrent probers.
@@ -186,7 +209,14 @@ impl Sim {
 
     /// Collects a window of Microsoft CDN + Traffic Manager logs.
     pub fn collect_cdn_logs(&self, t0: SimTime, t1: SimTime) -> CdnLogs {
-        collect_logs(&self.world, &self.catchments, &self.auth, &self.gpdns, t0, t1)
+        collect_logs(
+            &self.world,
+            &self.catchments,
+            &self.auth,
+            &self.gpdns,
+            t0,
+            t1,
+        )
     }
 
     /// Whether a resolver (by id) answers off-net queries — what an
@@ -229,7 +259,9 @@ mod tests {
     fn discover_pop_returns_probeable_site() {
         let mut sim = Sim::new(World::generate(WorldConfig::tiny(51)));
         let nyc = GeoCoord::new(40.7, -74.0).unwrap();
-        let pop = sim.discover_pop(77, nyc, SimTime::ZERO).expect("pop discovered");
+        let pop = sim
+            .discover_pop(77, nyc, SimTime::ZERO)
+            .expect("pop discovered");
         use crate::pops::PopStatus;
         assert_eq!(pop_catalog()[pop].status, PopStatus::ProbedVerified);
         // Deterministic per prober key.

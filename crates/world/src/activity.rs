@@ -72,7 +72,9 @@ impl<'w> ActivityModel<'w> {
             ResolverChoice::IspLocal => s.resolver_mix.isp,
             ResolverChoice::Google => s.resolver_mix.google,
             ResolverChoice::OtherPublic => s.resolver_mix.other,
-            ResolverChoice::All => s.resolver_mix.isp + s.resolver_mix.google + s.resolver_mix.other,
+            ResolverChoice::All => {
+                s.resolver_mix.isp + s.resolver_mix.google + s.resolver_mix.other
+            }
         }
     }
 
@@ -133,12 +135,7 @@ impl<'w> ActivityModel<'w> {
     /// Expected events in `[t0, t1]` for a time-varying rate, by
     /// midpoint integration over hourly steps (the diurnal cycle is
     /// smooth at that scale).
-    pub fn expected_events(
-        &self,
-        rate_at: impl Fn(f64) -> f64,
-        t0_secs: f64,
-        t1_secs: f64,
-    ) -> f64 {
+    pub fn expected_events(&self, rate_at: impl Fn(f64) -> f64, t0_secs: f64, t1_secs: f64) -> f64 {
         debug_assert!(t1_secs >= t0_secs);
         let span = t1_secs - t0_secs;
         let steps = ((span / 3600.0).ceil() as usize).max(1);
@@ -197,7 +194,10 @@ mod tests {
             .max_by(|a, b| a.users.total_cmp(&b.users))
             .expect("active prefix exists");
         let google = w.domains.get(&"www.google.com".parse().unwrap()).unwrap();
-        let wiki = w.domains.get(&"www.wikipedia.org".parse().unwrap()).unwrap();
+        let wiki = w
+            .domains
+            .get(&"www.wikipedia.org".parse().unwrap())
+            .unwrap();
         let t = 12.0 * 3600.0;
         let rg = act.dns_rate(s, google, ResolverChoice::Google, t);
         let rw = act.dns_rate(s, wiki, ResolverChoice::Google, t);
@@ -223,16 +223,26 @@ mod tests {
             .map(|d| act.dns_rate(s, d, ResolverChoice::All, t))
             .sum();
         let total = act.dns_rate_all_domains(s, ResolverChoice::All, t);
-        assert!((sum - total).abs() < 1e-9 * total.max(1e-12), "{sum} vs {total}");
+        assert!(
+            (sum - total).abs() < 1e-9 * total.max(1e-12),
+            "{sum} vs {total}"
+        );
     }
 
     #[test]
     fn chromium_rate_zero_without_users() {
         let w = crate::World::generate(WorldConfig::tiny(5));
         let act = w.activity();
-        if let Some(s) = w.slash24s.iter().find(|s| s.users == 0.0 && s.machines > 0.0) {
+        if let Some(s) = w
+            .slash24s
+            .iter()
+            .find(|s| s.users == 0.0 && s.machines > 0.0)
+        {
             assert_eq!(act.chromium_probe_rate(s, 0.0), 0.0);
-            assert!(act.cdn_rate(s, 43_200.0) > 0.0, "machines still hit the CDN");
+            assert!(
+                act.cdn_rate(s, 43_200.0) > 0.0,
+                "machines still hit the CDN"
+            );
         }
     }
 

@@ -91,7 +91,12 @@ mod tests {
         }
         for i in 0..blocks.len() {
             for j in 0..i {
-                assert!(!blocks[i].overlaps(blocks[j]), "{} vs {}", blocks[i], blocks[j]);
+                assert!(
+                    !blocks[i].overlaps(blocks[j]),
+                    "{} vs {}",
+                    blocks[i],
+                    blocks[j]
+                );
             }
         }
     }
@@ -127,11 +132,15 @@ mod tests {
     fn deterministic() {
         let seq1: Vec<Prefix> = {
             let mut a = BlockAllocator::new();
-            (0..50).map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap()).collect()
+            (0..50)
+                .map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap())
+                .collect()
         };
         let seq2: Vec<Prefix> = {
             let mut a = BlockAllocator::new();
-            (0..50).map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap()).collect()
+            (0..50)
+                .map(|i| a.alloc(if i % 2 == 0 { 20 } else { 24 }).unwrap())
+                .collect()
         };
         assert_eq!(seq1, seq2);
     }

@@ -94,7 +94,14 @@ impl DomainCatalog {
             // is *more* queried by real users but unusable for probing.
             spec("www.facebook.com", 6, false, 300, (24, 24), Provider::Meta),
             spec("facebook.com", 7, true, 300, (20, 24), Provider::Meta),
-            spec("www.wikipedia.org", 13, true, 600, (16, 18), Provider::Wikimedia),
+            spec(
+                "www.wikipedia.org",
+                13,
+                true,
+                600,
+                (16, 18),
+                Provider::Wikimedia,
+            ),
             // Popular domains that FAIL the filter, so selection logic is
             // non-trivial: no ECS, or TTL ≤ 60.
             spec("www.amazon.com", 3, false, 60, (24, 24), Provider::Other),
@@ -104,16 +111,51 @@ impl DomainCatalog {
             spec("www.netflix.com", 9, false, 60, (24, 24), Provider::Other),
             spec("www.tiktok.com", 10, true, 60, (20, 24), Provider::Other),
             spec("www.reddit.com", 11, false, 300, (24, 24), Provider::Other),
-            spec("www.office.com", 12, false, 300, (24, 24), Provider::Microsoft),
+            spec(
+                "www.office.com",
+                12,
+                false,
+                300,
+                (24, 24),
+                Provider::Microsoft,
+            ),
             spec("www.bing.com", 14, true, 30, (20, 24), Provider::Microsoft),
             spec("www.yahoo.com", 15, false, 60, (24, 24), Provider::Other),
             // The Microsoft CDN validation domain: ECS, 5-minute TTL,
             // served by Azure Traffic Manager (paper §3.1.1).
-            spec("cdn.msvalidation.example", 18, true, 300, (20, 24), Provider::Microsoft),
+            spec(
+                "cdn.msvalidation.example",
+                18,
+                true,
+                300,
+                (20, 24),
+                Provider::Microsoft,
+            ),
             // A long tail of other destinations aggregated into buckets.
-            spec("tail-bucket-a.example", 50, false, 120, (24, 24), Provider::Other),
-            spec("tail-bucket-b.example", 80, false, 120, (24, 24), Provider::Other),
-            spec("tail-bucket-c.example", 120, false, 120, (24, 24), Provider::Other),
+            spec(
+                "tail-bucket-a.example",
+                50,
+                false,
+                120,
+                (24, 24),
+                Provider::Other,
+            ),
+            spec(
+                "tail-bucket-b.example",
+                80,
+                false,
+                120,
+                (24, 24),
+                Provider::Other,
+            ),
+            spec(
+                "tail-bucket-c.example",
+                120,
+                false,
+                120,
+                (24, 24),
+                Provider::Other,
+            ),
         ];
         // Normalise popularity to sum 1.
         let total: f64 = specs.iter().map(|s| s.popularity_weight).sum();
@@ -202,8 +244,14 @@ mod tests {
         let am = cat.get(&"www.amazon.com".parse().unwrap()).unwrap();
         assert!(!am.supports_ecs);
         // www.facebook.com (rank 6) fails, facebook.com (rank 7) passes.
-        assert!(!cat.get(&"www.facebook.com".parse().unwrap()).unwrap().probeable());
-        assert!(cat.get(&"facebook.com".parse().unwrap()).unwrap().probeable());
+        assert!(!cat
+            .get(&"www.facebook.com".parse().unwrap())
+            .unwrap()
+            .probeable());
+        assert!(cat
+            .get(&"facebook.com".parse().unwrap())
+            .unwrap()
+            .probeable());
     }
 
     #[test]

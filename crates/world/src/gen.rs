@@ -110,7 +110,12 @@ pub(crate) fn generate(config: WorldConfig) -> World {
             routed: true,
         });
         let coord = metros[metro].coord;
-        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        geodb_builder.add(
+            block,
+            coord,
+            metros[metro].country,
+            PrefixKind::Infrastructure,
+        );
         resolvers.push(ResolverInfo {
             addr: block.addr() | 0x0808, // the "8.8" suffix, a wink
             as_id: google_as,
@@ -145,7 +150,12 @@ pub(crate) fn generate(config: WorldConfig) -> World {
             routed: true,
         });
         let coord = metros[metro].coord;
-        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        geodb_builder.add(
+            block,
+            coord,
+            metros[metro].country,
+            PrefixKind::Infrastructure,
+        );
         ases.push(AsInfo {
             asn,
             category: AsCategory::ContentMedia,
@@ -175,7 +185,12 @@ pub(crate) fn generate(config: WorldConfig) -> World {
             routed: true,
         });
         let coord = metros[metro].coord;
-        geodb_builder.add(block, coord, metros[metro].country, PrefixKind::Infrastructure);
+        geodb_builder.add(
+            block,
+            coord,
+            metros[metro].country,
+            PrefixKind::Infrastructure,
+        );
         let resolver_id = resolvers.len();
         resolvers.push(ResolverInfo {
             addr: block.addr() | (i as u32 + 1),
@@ -206,13 +221,13 @@ pub(crate) fn generate(config: WorldConfig) -> World {
     }
     let mut drafts: Vec<Draft> = Vec::with_capacity(config.num_ases);
     let user_cap = 0.05 * config.total_users; // no AS above 5% of the world
-    // Users per AS follow a lognormal: its heavy tail gives a few huge
-    // ISPs, and its *soft minimum* gives a long tail of ASes with only
-    // tens of users — the population APNIC's ad sampling and the
-    // probing techniques genuinely miss (the paper's coverage-gap
-    // structure depends on these existing). σ is derived from the
-    // configured Pareto shape so the dial stays a single number:
-    // smaller alpha ⇒ heavier tail ⇒ larger σ.
+                                              // Users per AS follow a lognormal: its heavy tail gives a few huge
+                                              // ISPs, and its *soft minimum* gives a long tail of ASes with only
+                                              // tens of users — the population APNIC's ad sampling and the
+                                              // probing techniques genuinely miss (the paper's coverage-gap
+                                              // structure depends on these existing). σ is derived from the
+                                              // configured Pareto shape so the dial stays a single number:
+                                              // smaller alpha ⇒ heavier tail ⇒ larger σ.
     let user_sigma = 3.0 / config.as_users_pareto_alpha.max(0.5);
     for _ in 0..config.num_ases {
         let category = AsCategory::sample(&mut rng);
@@ -328,8 +343,8 @@ pub(crate) fn generate(config: WorldConfig) -> World {
         let as_id = first_regular + offset;
         let routed_24s = ((w / weight_total) * budget).round().max(1.0) as u64;
         // Total allocation includes a never-routed share.
-        let alloc_24s = (routed_24s as f64 / (1.0 - config.unrouted_alloc_fraction).max(0.1))
-            .round() as u64;
+        let alloc_24s =
+            (routed_24s as f64 / (1.0 - config.unrouted_alloc_fraction).max(0.1)).round() as u64;
         let lengths = block_lengths(alloc_24s.max(1));
         let mut routed_so_far = 0u64;
         for (bi, len) in lengths.iter().enumerate() {
@@ -358,7 +373,8 @@ pub(crate) fn generate(config: WorldConfig) -> World {
     // For each AS: choose a utilisation fraction from the mixture, mark
     // that share of eyeball /24s active, and split users among them.
     let mut slash24s: Vec<Slash24Info> = Vec::new();
-    let mut slash24_by_addr: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut slash24_by_addr: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::new();
 
     // Country → metro indices, for scattering blocks within the country.
     let country_metros = |cc: clientmap_geo::CountryCode| -> Vec<usize> {

@@ -54,6 +54,29 @@ impl World {
         crate::gen::generate(config)
     }
 
+    /// Registers the world's shape under `world.` in `m` — run-constant
+    /// gauges (expressed as counters set once) that make a metrics
+    /// snapshot self-describing: a diff between two runs immediately
+    /// shows whether the *input* universe changed, not just the
+    /// technique's behaviour. Delegates geolocation-side gauges to
+    /// [`GeoDb::register_metrics`].
+    pub fn register_metrics(&self, m: &clientmap_telemetry::MetricsRegistry) {
+        m.counter("world.ases").add(self.ases.len() as u64);
+        m.counter("world.blocks").add(self.blocks.len() as u64);
+        m.counter("world.slash24s.routed")
+            .add(self.slash24s.len() as u64);
+        m.counter("world.slash24s.active")
+            .add(self.active_slash24s().count() as u64);
+        m.counter("world.resolvers")
+            .add(self.resolvers.len() as u64);
+        m.counter("world.domains")
+            .add(self.domains.specs().len() as u64);
+        m.counter("world.rib.prefixes").add(self.rib.len() as u64);
+        m.counter("world.rib.announced_slash24s")
+            .add(self.rib.total_announced_slash24s());
+        self.geodb.register_metrics(m);
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         config: WorldConfig,
@@ -193,7 +216,10 @@ mod tests {
     fn rib_agrees_with_slash24_table() {
         let w = tiny();
         for s in w.slash24s.iter().step_by(17) {
-            let asn = w.rib.origin_of_prefix(s.prefix).expect("routed /24 must resolve");
+            let asn = w
+                .rib
+                .origin_of_prefix(s.prefix)
+                .expect("routed /24 must resolve");
             assert_eq!(w.as_id(asn), Some(s.as_id), "prefix {}", s.prefix);
         }
     }
@@ -202,7 +228,11 @@ mod tests {
     fn geodb_covers_routed_space() {
         let w = tiny();
         for s in w.slash24s.iter().step_by(13) {
-            assert!(w.geodb.lookup(s.prefix).is_some(), "no geo for {}", s.prefix);
+            assert!(
+                w.geodb.lookup(s.prefix).is_some(),
+                "no geo for {}",
+                s.prefix
+            );
         }
     }
 
@@ -263,7 +293,10 @@ mod tests {
         }
         // The Google-free population must exist but not dominate.
         assert!(google_free > 0, "no Google-free networks generated");
-        assert!(google_free * 2 < total_active, "too many Google-free prefixes");
+        assert!(
+            google_free * 2 < total_active,
+            "too many Google-free prefixes"
+        );
     }
 
     #[test]
@@ -271,7 +304,10 @@ mod tests {
         let w = tiny();
         assert_eq!(w.google_resolver().kind, ResolverKind::GooglePublic);
         assert!(w.ases[w.microsoft_as].machines > 0.0);
-        assert_eq!(w.other_public_resolvers.len(), w.config.num_other_public_resolvers);
+        assert_eq!(
+            w.other_public_resolvers.len(),
+            w.config.num_other_public_resolvers
+        );
         for &r in &w.other_public_resolvers {
             assert_eq!(w.resolvers[r].kind, ResolverKind::OtherPublic);
         }
@@ -290,7 +326,11 @@ mod tests {
     #[test]
     fn category_mix_reasonable() {
         let w = World::generate(WorldConfig::small(3));
-        let isps = w.ases.iter().filter(|a| a.category == AsCategory::Isp).count();
+        let isps = w
+            .ases
+            .iter()
+            .filter(|a| a.category == AsCategory::Isp)
+            .count();
         let frac = isps as f64 / w.ases.len() as f64;
         assert!((0.3..0.5).contains(&frac), "ISP fraction {frac}");
     }

@@ -55,7 +55,11 @@ fn main() {
             c.country.as_str(),
             c.apnic_users,
             100.0 * c.fraction_seen,
-            if blind_str.is_empty() { "-".into() } else { blind_str }
+            if blind_str.is_empty() {
+                "-".into()
+            } else {
+                blind_str
+            }
         );
     }
     println!(

@@ -61,12 +61,25 @@ fn main() {
     let (nr, med_r, p95_r) = stats(&mut err_rest);
 
     println!("geolocation placement error vs ground truth, split by activity map:");
-    println!("{:<28} {:>8} {:>12} {:>12}", "prefix class", "/24s", "median km", "p95 km");
-    println!("{:<28} {:>8} {:>12.1} {:>12.1}", "marked ACTIVE (trust geo)", na, med_a, p95_a);
-    println!("{:<28} {:>8} {:>12.1} {:>12.1}", "not marked (geo suspect)", nr, med_r, p95_r);
+    println!(
+        "{:<28} {:>8} {:>12} {:>12}",
+        "prefix class", "/24s", "median km", "p95 km"
+    );
+    println!(
+        "{:<28} {:>8} {:>12.1} {:>12.1}",
+        "marked ACTIVE (trust geo)", na, med_a, p95_a
+    );
+    println!(
+        "{:<28} {:>8} {:>12.1} {:>12.1}",
+        "not marked (geo suspect)", nr, med_r, p95_r
+    );
     println!(
         "\nverdict: prefixes the public activity map marks active are geolocated \
          {:.1}x more tightly at the median.",
-        if med_a > 0.0 { med_r / med_a } else { f64::INFINITY }
+        if med_a > 0.0 {
+            med_r / med_a
+        } else {
+            f64::INFINITY
+        }
     );
 }

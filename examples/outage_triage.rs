@@ -50,7 +50,10 @@ fn main() {
     }
 
     println!("outage-affected blocks and triage verdicts:");
-    println!("{:<20} {:>9} {:>12} {:>14}", "block", "/24s", "map verdict", "truth (users)");
+    println!(
+        "{:<20} {:>9} {:>12} {:>14}",
+        "block", "/24s", "map verdict", "truth (users)"
+    );
     let mut correct = 0usize;
     for block in &outage {
         let detected = active.intersects(*block);
@@ -67,7 +70,11 @@ fn main() {
             "{:<20} {:>9} {:>12} {:>14.0}",
             block.to_string(),
             block.num_slash24s(),
-            if detected { "USERS LIKELY" } else { "likely dark" },
+            if detected {
+                "USERS LIKELY"
+            } else {
+                "likely dark"
+            },
             true_users,
         );
     }

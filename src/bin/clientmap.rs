@@ -111,7 +111,10 @@ fn main() {
                     "cache_probing.csv",
                     export::prefix_view_with_origins_csv(&out.bundle.cache_probing, rib),
                 ),
-                ("dns_logs.csv", export::prefix_view_csv(&out.bundle.dns_logs)),
+                (
+                    "dns_logs.csv",
+                    export::prefix_view_csv(&out.bundle.dns_logs),
+                ),
                 ("apnic.csv", export::apnic_csv(&out.apnic)),
                 (
                     "dns_logs_by_as.csv",

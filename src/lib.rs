@@ -23,4 +23,5 @@ pub use clientmap_dns as dns;
 pub use clientmap_geo as geo;
 pub use clientmap_net as net;
 pub use clientmap_sim as sim;
+pub use clientmap_telemetry as telemetry;
 pub use clientmap_world as world;

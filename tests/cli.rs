@@ -16,7 +16,11 @@ fn stats_prints_world_summary() {
         .args(["stats", "--scale", "tiny", "--seed", "5"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("world:"), "{stdout}");
     assert!(stdout.contains("ASes"), "{stdout}");
@@ -39,12 +43,22 @@ fn query_answers_for_routed_and_unrouted_prefixes() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1.0.64.0/24"), "{stdout}");
-    assert!(stdout.contains("AS"), "routed prefix must resolve an origin: {stdout}");
+    assert!(
+        stdout.contains("AS"),
+        "routed prefix must resolve an origin: {stdout}"
+    );
 
     // 223.255.255.0/24 sits at the top of public space — unallocated at
     // tiny scale.
     let out = clientmap()
-        .args(["query", "223.255.255.0/24", "--scale", "tiny", "--seed", "5"])
+        .args([
+            "query",
+            "223.255.255.0/24",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -79,7 +93,11 @@ fn export_writes_shareable_csvs() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for name in [
         "cache_probing.csv",
         "dns_logs.csv",

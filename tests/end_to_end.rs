@@ -32,8 +32,14 @@ fn table3_shape_cdn_broadest_apnic_narrowest() {
     let dns = m.size(DatasetId::DnsLogs).unwrap();
     let union = m.size(DatasetId::Union).unwrap();
     // Paper: MS 64.8K > union 51.9K > DNS 39.7K ≈ cache 37.0K > APNIC 23.3K.
-    assert!(ms >= union, "CDN ({ms}) must be the broadest (union {union})");
-    assert!(union >= cache && union >= dns, "union covers both techniques");
+    assert!(
+        ms >= union,
+        "CDN ({ms}) must be the broadest (union {union})"
+    );
+    assert!(
+        union >= cache && union >= dns,
+        "union covers both techniques"
+    );
     assert!(
         apnic < ms,
         "APNIC ({apnic}) must miss a large share of CDN ASes ({ms})"
@@ -109,7 +115,10 @@ fn table2_shape_scopes_mostly_stable() {
     // Paper: 90% / 97% / 99%.
     assert!(exact > 75.0, "exact {exact:.1}%");
     assert!(within2 > exact && within2 > 88.0, "within2 {within2:.1}%");
-    assert!(within4 >= within2 && within4 > 93.0, "within4 {within4:.1}%");
+    assert!(
+        within4 >= within2 && within4 > 93.0,
+        "within4 {within4:.1}%"
+    );
 }
 
 #[test]
@@ -155,6 +164,79 @@ fn probing_is_non_recursive_and_clean() {
     );
     // TCP probing at paper rates suffers no drops.
     assert_eq!(o.cache_probe.drops, 0, "TCP probes were rate-limited");
+}
+
+#[test]
+fn headline_matches_golden_output() {
+    // The exact text `repro --scale tiny --seed 2021 headline` prints,
+    // pinned under tests/golden/. Compared modulo whitespace so
+    // reflowing or re-aligning the report is not a behaviour change —
+    // but any number moving is.
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/headline_tiny_2021.txt"
+    ))
+    .expect("golden file present");
+    let rendered = output().report().headlines();
+    let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+    assert_eq!(
+        norm(&rendered),
+        norm(&golden),
+        "headline output drifted from tests/golden/headline_tiny_2021.txt;\n\
+         regenerate with: cargo run --release -p clientmap-bench --bin repro -- \
+         --scale tiny --seed 2021 headline > tests/golden/headline_tiny_2021.txt"
+    );
+}
+
+#[test]
+fn telemetry_invariants_reconcile() {
+    let o = output();
+    let snap = o.metrics_snapshot();
+    // The pipeline already asserts these internally; re-check here so a
+    // future removal of that assertion still fails a test, and pin the
+    // counters to the independently-tracked result values.
+    let violations = clientmap::core::invariants::check(&snap, o.config.probe.redundancy);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(
+        snap.counter("cacheprobe.probes_sent"),
+        o.cache_probe.probes_sent
+    );
+    // `hits` aggregates by (domain, scope); the counter sees every event.
+    let hit_events: u64 = o.cache_probe.hits.values().map(|h| h.hits).sum();
+    assert_eq!(snap.counter("cacheprobe.outcome.hit"), hit_events);
+    assert_eq!(
+        snap.counter("dnslogs.records_examined"),
+        o.dns_logs.records_examined as u64
+    );
+    assert_eq!(
+        snap.counter("dnslogs.rejected_noise"),
+        o.dns_logs.rejected_noise_records as u64
+    );
+    assert_eq!(
+        snap.counter("world.slash24s.routed"),
+        o.sim.world().routed_slash24s()
+    );
+    assert_eq!(snap.counter("pipeline.runs"), 1);
+    // Probing ran clean (TCP at paper rates): no drops anywhere.
+    assert_eq!(snap.counter("cacheprobe.outcome.dropped"), 0);
+    // Stage spans recorded in sim time.
+    for stage in ["cache_probe", "dns_logs", "cdn_logs"] {
+        let h = snap
+            .histogram(&format!("pipeline.stage_ms.{stage}"))
+            .unwrap_or_else(|| panic!("missing span for {stage}"));
+        assert_eq!(h.count, 1);
+        assert!(h.sum > 0);
+    }
+}
+
+#[test]
+fn metrics_snapshot_deterministic_across_runs() {
+    let a = Pipeline::run(PipelineConfig::tiny(78));
+    let b = Pipeline::run(PipelineConfig::tiny(78));
+    assert_eq!(
+        a.metrics_snapshot().to_json(),
+        b.metrics_snapshot().to_json()
+    );
 }
 
 #[test]
@@ -267,5 +349,8 @@ fn dns_logs_and_cache_probing_have_imperfect_overlap() {
         only_dns > 0,
         "DNS logs must add ASes cache probing misses (resolver-only ASes)"
     );
-    assert!(only_cache > 0, "cache probing must add ASes DNS logs misses");
+    assert!(
+        only_cache > 0,
+        "cache probing must add ASes DNS logs misses"
+    );
 }

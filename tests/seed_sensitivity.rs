@@ -43,8 +43,14 @@ fn coverage_ordering_holds_across_seeds() {
             union >= cache && union >= dns,
             "seed {i}: union {union} below a component ({cache}/{dns})"
         );
-        assert!(apnic < ms, "seed {i}: APNIC {apnic} not the narrowest vs MS {ms}");
-        assert!(apnic < union, "seed {i}: union {union} fails to beat APNIC {apnic}");
+        assert!(
+            apnic < ms,
+            "seed {i}: APNIC {apnic} not the narrowest vs MS {ms}"
+        );
+        assert!(
+            apnic < union,
+            "seed {i}: union {union} fails to beat APNIC {apnic}"
+        );
     }
 }
 
@@ -72,7 +78,10 @@ fn scope_stability_and_precision_hold_across_seeds() {
         let overall = rows.last().unwrap();
         let (exact, within2, within4) = overall.pcts();
         assert!(exact > 75.0, "seed {i}: exact {exact:.1}%");
-        assert!(within2 >= exact && within4 >= within2, "seed {i}: buckets not nested");
+        assert!(
+            within2 >= exact && within4 >= within2,
+            "seed {i}: buckets not nested"
+        );
         let precision = scope_precision(&o.cache_probe, &o.bundle.ms_clients);
         assert!(precision > 0.9, "seed {i}: precision {precision:.3}");
     }
@@ -99,7 +108,10 @@ fn dns_http_proxy_claim_holds_across_seeds() {
 fn worlds_actually_differ_across_seeds() {
     // Guard against the three runs accidentally sharing a world.
     let o = outputs();
-    let counts: Vec<u64> = o.iter().map(|x| x.cache_probe.active_set().num_slash24s()).collect();
+    let counts: Vec<u64> = o
+        .iter()
+        .map(|x| x.cache_probe.active_set().num_slash24s())
+        .collect();
     assert!(
         counts[0] != counts[1] || counts[1] != counts[2],
         "suspiciously identical active sets: {counts:?}"
