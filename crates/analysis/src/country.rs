@@ -22,15 +22,20 @@ pub struct CountryCoverage {
 /// Computes Figure 3's points. AS→country comes from registration data
 /// (public RIR files), which the world's AS table stands in for.
 pub fn country_coverage(world: &World, apnic: &AsView, technique: &AsView) -> Vec<CountryCoverage> {
+    // Accumulate in ASN order — not HashMap iteration order — so the
+    // per-country float sums are bitwise reproducible across processes.
+    let mut by_asn: Vec<(clientmap_net::Asn, f64)> =
+        apnic.volume.iter().map(|(a, v)| (*a, *v)).collect();
+    by_asn.sort_unstable_by_key(|(asn, _)| *asn);
     let mut users: HashMap<CountryCode, f64> = HashMap::new();
     let mut seen: HashMap<CountryCode, f64> = HashMap::new();
-    for (asn, est) in &apnic.volume {
-        let Some(as_id) = world.as_id(*asn) else {
+    for (asn, est) in by_asn {
+        let Some(as_id) = world.as_id(asn) else {
             continue;
         };
         let country = world.ases[as_id].country;
         *users.entry(country).or_insert(0.0) += est;
-        if technique.contains(*asn) {
+        if technique.contains(asn) {
             *seen.entry(country).or_insert(0.0) += est;
         }
     }
@@ -42,7 +47,11 @@ pub fn country_coverage(world: &World, apnic: &AsView, technique: &AsView) -> Ve
             fraction_seen: seen.get(&country).copied().unwrap_or(0.0) / apnic_users.max(1e-12),
         })
         .collect();
-    out.sort_by(|a, b| b.apnic_users.total_cmp(&a.apnic_users));
+    out.sort_by(|a, b| {
+        b.apnic_users
+            .total_cmp(&a.apnic_users)
+            .then_with(|| a.country.cmp(&b.country))
+    });
     out
 }
 

@@ -1,0 +1,110 @@
+//! Hot-path microbenches for the PR 2 fast lanes: the zero-allocation
+//! probe loop vs the allocating slow path, and the borrowed wire views
+//! vs full encode/decode. The paired benches share inputs so the
+//! reported deltas are the cost of allocation + parsing alone.
+
+use clientmap_cacheprobe::probe::{probe_scope_fast, probe_scope_with, select_domains};
+use clientmap_cacheprobe::vantage::discover;
+use clientmap_cacheprobe::ProbeConfig;
+use clientmap_dns::{wire, Message, Question};
+use clientmap_net::Prefix;
+use clientmap_sim::{GpdnsSession, Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// End-to-end probe: template render → simulated Google front end →
+/// response classification, on both lanes. Scopes cycle through the
+/// world's routed blocks and timestamps advance monotonically, so the
+/// two lanes see identical query sequences.
+fn bench_probe_hot_path(c: &mut Criterion) {
+    let mut sim = Sim::new(World::generate(WorldConfig::tiny(11)));
+    let bound = discover(&mut sim, SimTime::ZERO)[0];
+    let cfg = ProbeConfig::test_scale();
+    let domain = select_domains(&sim, &cfg)
+        .into_iter()
+        .next()
+        .expect("catalog has probeable domains");
+    let template = wire::ProbeQueryTemplate::new(&domain);
+    let scopes: Vec<Prefix> = sim
+        .world()
+        .blocks
+        .iter()
+        .map(|b| b.prefix)
+        .take(64)
+        .collect();
+    let view = sim.view();
+    let t0 = SimTime::from_hours(8);
+
+    let mut session = GpdnsSession::new();
+    let mut query_buf = Vec::with_capacity(128);
+    let mut resp_buf = Vec::with_capacity(512);
+    let mut i = 0u64;
+    c.bench_function("probe_hot_path", |b| {
+        b.iter(|| {
+            let scope = scopes[i as usize % scopes.len()];
+            i += 1;
+            black_box(probe_scope_fast(
+                &view,
+                &mut session,
+                &bound,
+                &template,
+                scope,
+                &cfg,
+                t0 + SimTime::from_millis(i * 10),
+                &mut query_buf,
+                &mut resp_buf,
+            ))
+        })
+    });
+
+    let mut session = GpdnsSession::new();
+    let mut i = 0u64;
+    c.bench_function("probe_slow_path", |b| {
+        b.iter(|| {
+            let scope = scopes[i as usize % scopes.len()];
+            i += 1;
+            black_box(probe_scope_with(
+                &view,
+                &mut session,
+                &bound,
+                &domain,
+                scope,
+                &cfg,
+                t0 + SimTime::from_millis(i * 10),
+            ))
+        })
+    });
+}
+
+/// Query + response handling at the wire layer: allocation-free
+/// template render + borrowed views vs allocating encode/decode of the
+/// same packets.
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let domain: clientmap_dns::DomainName = "www.google.com".parse().unwrap();
+    let scope: Prefix = "203.0.113.0/24".parse().unwrap();
+    let probe = Message::query(0x1234, Question::a("www.google.com").unwrap())
+        .with_recursion_desired(false)
+        .with_ecs(scope);
+    let template = wire::ProbeQueryTemplate::new(&domain);
+
+    let mut buf = Vec::with_capacity(128);
+    c.bench_function("wire_roundtrip_views", |b| {
+        b.iter(|| {
+            template.render(black_box(0x1234), black_box(scope), &mut buf);
+            let v = wire::query_view(black_box(&buf)).expect("template renders valid query");
+            black_box((v.id, v.ecs.map(|e| e.source)))
+        })
+    });
+
+    c.bench_function("wire_roundtrip_alloc", |b| {
+        b.iter(|| {
+            let bytes = wire::encode(black_box(&probe)).unwrap();
+            let m = wire::decode(black_box(&bytes)).unwrap();
+            black_box((m.id, m.ecs().map(|e| e.source)))
+        })
+    });
+}
+
+criterion_group!(hotpath, bench_probe_hot_path, bench_wire_roundtrip);
+criterion_main!(hotpath);

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! repro [--scale tiny|small|paper] [--seed N] [--metrics FILE] [section…]
+//! repro [--scale …] [--seed N] bench [--json FILE]
 //! ```
 //!
 //! Sections: `headline table1 table2 table3 table4 table5 fig1 fig2
@@ -11,6 +12,10 @@
 //! `--metrics FILE` writes the run's full telemetry snapshot as JSON.
 //! The snapshot is deterministic: two runs with the same scale and seed
 //! produce byte-identical files.
+//!
+//! `bench` runs the pipeline once and reports per-stage wall times plus
+//! the executor's thread count (set `CLIENTMAP_THREADS` to pin it) as
+//! JSON, to stdout or to `--json FILE`.
 
 use clientmap_cacheprobe::scopescan::scan_domain;
 use clientmap_cacheprobe::vantage::discover;
@@ -26,6 +31,7 @@ fn main() {
     let mut scale = "tiny".to_string();
     let mut seed = 2021u64;
     let mut metrics_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut sections: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -40,6 +46,10 @@ fn main() {
             }
             "--metrics" => {
                 metrics_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
                 i += 2;
             }
             s => {
@@ -57,6 +67,11 @@ fn main() {
         "small" => PipelineConfig::small(seed),
         _ => PipelineConfig::tiny(seed),
     };
+
+    if sections.iter().any(|s| s == "bench") {
+        bench_run(&scale, seed, config, json_path.as_deref());
+        return;
+    }
 
     eprintln!("repro: scale={scale} seed={seed} — running pipeline…");
     let start = std::time::Instant::now();
@@ -146,6 +161,42 @@ fn main() {
             "{}",
             clientmap_analysis::telemetry::render_summary(&out.metrics_snapshot())
         );
+    }
+}
+
+/// `repro bench`: one timed pipeline run, reported as JSON with
+/// per-stage wall seconds and the executor's worker count.
+fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&str>) {
+    let threads = clientmap_par::thread_count();
+    eprintln!("repro bench: scale={scale} seed={seed} threads={threads} — running pipeline…");
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let start = std::time::Instant::now();
+    let out = Pipeline::run_timed(config, &mut timings);
+    let total_secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "repro bench: pipeline done in {total_secs:.1}s ({} probes sent)",
+        out.cache_probe.probes_sent
+    );
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"total_secs\": {total_secs:.3},\n"));
+    json.push_str("  \"stages\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {secs:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    match json_path {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("repro bench: wrote {path}"),
+            Err(e) => {
+                eprintln!("repro bench: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => print!("{json}"),
     }
 }
 

@@ -1,0 +1,128 @@
+//! Proves the probe fast lane performs **zero heap allocations** in
+//! steady state: a counting global allocator tracks every allocation
+//! on the test thread, and after one warm-up pass (which sizes the
+//! reusable buffers and creates the session's token bucket) a measured
+//! pass of several hundred probes must allocate nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use clientmap_cacheprobe::probe::{probe_scope_fast, select_domains};
+use clientmap_cacheprobe::vantage::discover;
+use clientmap_cacheprobe::ProbeConfig;
+use clientmap_dns::wire;
+use clientmap_net::Prefix;
+use clientmap_sim::{GpdnsSession, Sim, SimTime};
+use clientmap_world::{World, WorldConfig};
+
+thread_local! {
+    // Const-init + non-Drop payload: reading the counter from inside
+    // the allocator is a plain TLS access and can never itself
+    // allocate or recurse.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Forwards to the system allocator, counting every allocation event
+/// (alloc, alloc_zeroed, realloc) made by the current thread.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn probe_fast_lane_is_allocation_free_after_warmup() {
+    let mut sim = Sim::new(World::generate(WorldConfig::tiny(17)));
+    let bound = discover(&mut sim, SimTime::ZERO)[0];
+    let cfg = ProbeConfig::test_scale();
+    let domain = select_domains(&sim, &cfg)
+        .into_iter()
+        .next()
+        .expect("catalog has probeable domains");
+    let template = wire::ProbeQueryTemplate::new(&domain);
+    let scopes: Vec<Prefix> = sim
+        .world()
+        .blocks
+        .iter()
+        .map(|b| b.prefix)
+        .take(32)
+        .collect();
+    assert!(!scopes.is_empty(), "tiny world has routed blocks");
+    let view = sim.view();
+    let t0 = SimTime::from_hours(8);
+
+    let mut session = GpdnsSession::new();
+    // Response sizes vary by outcome (a hit carries an answer record,
+    // a miss does not); pre-reserving past the largest possible probe
+    // response means buffer growth cannot masquerade as a hot-path
+    // allocation that warm-up merely happened to hide.
+    let mut query_buf: Vec<u8> = Vec::with_capacity(128);
+    let mut resp_buf: Vec<u8> = Vec::with_capacity(512);
+
+    // Warm-up: creates the session's (prober, PoP, transport) token
+    // bucket and touches every lookup table once.
+    for (i, &scope) in scopes.iter().enumerate() {
+        probe_scope_fast(
+            &view,
+            &mut session,
+            &bound,
+            &template,
+            scope,
+            &cfg,
+            t0 + SimTime::from_millis(i as u64 * 10),
+            &mut query_buf,
+            &mut resp_buf,
+        );
+    }
+
+    let before = allocations();
+    let mut outcomes = 0u64;
+    for round in 1..=8u64 {
+        for (i, &scope) in scopes.iter().enumerate() {
+            let t = t0 + SimTime::from_millis(round * 60_000 + i as u64 * 10);
+            probe_scope_fast(
+                &view,
+                &mut session,
+                &bound,
+                &template,
+                scope,
+                &cfg,
+                t,
+                &mut query_buf,
+                &mut resp_buf,
+            );
+            outcomes += 1;
+        }
+    }
+    let allocated = allocations() - before;
+
+    assert!(outcomes >= 256, "measured pass actually probed");
+    assert_eq!(
+        allocated, 0,
+        "probe fast lane allocated {allocated} time(s) across {outcomes} probes after warm-up"
+    );
+}

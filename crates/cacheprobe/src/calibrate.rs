@@ -95,9 +95,10 @@ pub fn sample_prefixes(
 }
 
 /// Runs the calibration: probes the sample at every bound PoP for the
-/// given domains and derives per-PoP radii. PoP workers run in
-/// parallel, each with its own connection session (like independent
-/// VMs); results merge in PoP order for determinism.
+/// given domains and derives per-PoP radii. Each PoP is one work unit
+/// on the deterministic executor, with its own connection session (like
+/// independent VMs); results merge in PoP order, so the radii are
+/// identical at any thread count.
 pub fn calibrate(
     sim: &mut Sim,
     bound: &[BoundVantage],
@@ -112,51 +113,32 @@ pub fn calibrate(
         ..ServiceRadii::default()
     };
     let view = sim.view();
-    let mut per_pop: Vec<(usize, Vec<f64>, clientmap_sim::GpdnsSession)> = Vec::new();
-    crossbeam::thread::scope(|scope_| {
-        let mut handles = Vec::with_capacity(bound.len());
-        for b in bound {
-            let view_ref = &view;
-            handles.push(scope_.spawn(move |_| {
-                let mut session = clientmap_sim::GpdnsSession::new();
-                let mut distances: Vec<f64> = Vec::new();
-                for (i, prefix) in sample.iter().enumerate() {
-                    // Stagger probe times so the rate limiter behaves.
-                    let pt = t + SimTime::from_millis(i as u64 * 20);
-                    let hit = domains.iter().any(|d| {
-                        matches!(
-                            crate::probe::probe_scope_with(
-                                view_ref,
-                                &mut session,
-                                b,
-                                d,
-                                *prefix,
-                                cfg,
-                                pt
-                            ),
-                            ProbeOutcome::Hit { .. }
-                        )
-                    });
-                    if hit {
-                        let geodb = &view_ref.world.geodb;
-                        let geo = geodb
-                            .lookup(*prefix)
-                            .or_else(|| geodb.lookup_addr(prefix.addr()))
-                            .map(|e| e.coord);
-                        if let Some(coord) = geo {
-                            distances.push(coord.distance_km(&pops[b.pop].coord));
-                        }
+    let mut per_pop: Vec<(usize, Vec<f64>, clientmap_sim::GpdnsSession)> =
+        clientmap_par::par_map(bound, |_, b| {
+            let mut session = clientmap_sim::GpdnsSession::new();
+            let mut distances: Vec<f64> = Vec::new();
+            for (i, prefix) in sample.iter().enumerate() {
+                // Stagger probe times so the rate limiter behaves.
+                let pt = t + SimTime::from_millis(i as u64 * 20);
+                let hit = domains.iter().any(|d| {
+                    matches!(
+                        crate::probe::probe_scope_with(&view, &mut session, b, d, *prefix, cfg, pt),
+                        ProbeOutcome::Hit { .. }
+                    )
+                });
+                if hit {
+                    let geodb = &view.world.geodb;
+                    let geo = geodb
+                        .lookup(*prefix)
+                        .or_else(|| geodb.lookup_addr(prefix.addr()))
+                        .map(|e| e.coord);
+                    if let Some(coord) = geo {
+                        distances.push(coord.distance_km(&pops[b.pop].coord));
                     }
                 }
-                (b.pop, distances, session)
-            }));
-        }
-        for h in handles {
-            per_pop.push(h.join().expect("calibration worker panicked"));
-        }
-    })
-    .expect("calibration scope");
-    let _ = &view;
+            }
+            (b.pop, distances, session)
+        });
 
     per_pop.sort_by_key(|(pop, _, _)| *pop);
     for (pop, mut distances, session) in per_pop {

@@ -43,5 +43,5 @@ pub mod vantage;
 mod config;
 
 pub use config::ProbeConfig;
-pub use probe::run_technique;
+pub use probe::{run_technique, run_technique_timed};
 pub use results::{CacheProbeResult, ProbeCount};

@@ -1,17 +1,27 @@
 //! The probing loop (§3.1.1, "probing details") and the end-to-end
 //! technique runner.
 //!
-//! Probing is embarrassingly parallel across PoPs — each bound vantage
-//! point is an independent VM with its own connection state — so the
-//! runner fans the per-PoP streams out over threads (crossbeam scoped),
-//! sharing the immutable simulation core. Results merge in PoP order,
-//! keeping the whole run deterministic.
+//! Probing is embarrassingly parallel — each ⟨PoP, domain⟩ probe stream
+//! is an independent connection with its own session state — so the
+//! runner fans the streams out as work units over
+//! [`clientmap_par::par_map`], sharing the immutable simulation core.
+//! Results merge in work-unit order (bound-PoP order × domain order),
+//! an ordered reduction that makes the output — reports and telemetry
+//! snapshots alike — byte-identical at any thread count.
+//!
+//! The per-probe inner loop runs on the zero-allocation fast lane:
+//! queries render from a pre-built [`wire::ProbeQueryTemplate`] into a
+//! reused buffer, responses land in another, and telemetry handles are
+//! resolved once per unit, so steady-state probing never touches the
+//! allocator or the registry lock.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use clientmap_dns::{wire, DomainName, Message, Question};
 use clientmap_net::Prefix;
+use clientmap_par::par_map;
 use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
@@ -115,6 +125,49 @@ pub fn probe_scope(
     best
 }
 
+/// Zero-allocation variant of [`probe_scope_with`]: the query renders
+/// from a pre-built [`wire::ProbeQueryTemplate`] into a caller-reused
+/// buffer and the response lands in another, so the steady-state
+/// probing loop performs no heap allocation. Sends byte-for-byte the
+/// same queries — and returns the same outcome — as the slow path.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_scope_fast(
+    view: &SimView<'_>,
+    session: &mut GpdnsSession,
+    bound: &BoundVantage,
+    template: &wire::ProbeQueryTemplate,
+    scope: Prefix,
+    cfg: &ProbeConfig,
+    t: SimTime,
+    query_buf: &mut Vec<u8>,
+    resp_buf: &mut Vec<u8>,
+) -> ProbeOutcome {
+    let id = (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16;
+    template.render(id, scope, query_buf);
+    let mut best = ProbeOutcome::Dropped;
+    for r in 0..cfg.redundancy {
+        let rt = t + SimTime::from_millis(u64::from(r));
+        let got = view.gpdns_query_into(
+            session,
+            bound.prober_key(),
+            bound.coord(),
+            query_buf,
+            cfg.transport,
+            rt,
+            resp_buf,
+        );
+        let outcome =
+            clientmap_sim::GooglePublicDns::classify_response(got.then_some(resp_buf.as_slice()));
+        best = match (&best, &outcome) {
+            (_, ProbeOutcome::Hit { .. }) => return outcome,
+            (ProbeOutcome::Dropped, _) => outcome,
+            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
+            _ => best,
+        };
+    }
+    best
+}
+
 /// Selects the probing domains: the `num_alexa_domains` most popular
 /// ECS+TTL-qualified catalog domains, plus the Microsoft validation
 /// domain if configured.
@@ -152,6 +205,9 @@ struct ProbeMetrics {
     hit_ttl_secs: Arc<Histogram>,
     pop_attempts: Arc<Counter>,
     pop_hits: Arc<Counter>,
+    /// `cacheprobe.pop.<code>.assigned` — resolved here with the rest
+    /// so assignment accounting never formats a metric name inline.
+    assigned: Arc<Counter>,
 }
 
 impl ProbeMetrics {
@@ -166,35 +222,53 @@ impl ProbeMetrics {
             hit_ttl_secs: m.histogram("cacheprobe.hit.remaining_ttl_secs"),
             pop_attempts: m.counter(&format!("cacheprobe.pop.{pop_code}.attempts")),
             pop_hits: m.counter(&format!("cacheprobe.pop.{pop_code}.hits")),
+            assigned: m.counter(&format!("cacheprobe.pop.{pop_code}.assigned")),
         }
     }
 }
 
-/// What one PoP's worker produced.
-struct PopTally {
-    pop: PopId,
-    /// (domain, query scope, response scope, remaining TTL) per hit.
-    hits: Vec<(usize, Prefix, Prefix, u32)>,
-    /// (domain, query scope) → (attempts, hits) for activity ranking.
-    counts: HashMap<(usize, Prefix), (u64, u64)>,
+/// One work unit for the executor: a single domain's probe stream at
+/// one bound PoP. Units are built in bound-PoP × domain order, and the
+/// reduction consumes them in exactly that order.
+struct ProbeUnit {
+    /// Index into the bound-vantage list (and its telemetry table).
+    bound_idx: usize,
+    /// Index into the selected-domain list.
+    domain: usize,
+    /// Assigned query scopes, in assignment order.
+    scopes: Vec<Prefix>,
+}
+
+/// What one unit's worker produced.
+struct UnitTally {
+    /// (query scope, response scope, remaining TTL) per hit.
+    hits: Vec<(Prefix, Prefix, u32)>,
+    /// query scope → (attempts, hits) for activity ranking.
+    counts: HashMap<Prefix, (u64, u64)>,
     probes_sent: u64,
     scope0_hits: u64,
     drops: u64,
     session: GpdnsSession,
 }
 
-/// Probes every assigned scope at one PoP for the whole window.
-fn probe_pop(
+/// Probes one ⟨PoP, domain⟩ stream for the whole window on the
+/// zero-allocation fast lane.
+///
+/// Slot `k` of the stream fires at `t0 + k·slot_secs`; the stream makes
+/// up to nine passes over its scope list and stops at the window edge
+/// (the paper's 120 h at 50 q/s over ~2.4M prefixes ≈ 9 passes). Each
+/// stream is its own connection with its own session, so units are
+/// fully independent — the executor may run them in any order.
+fn probe_unit(
     view: &SimView<'_>,
     bound: &BoundVantage,
-    domains: &[DomainName],
-    per_domain: &[Vec<Prefix>],
+    template: &wire::ProbeQueryTemplate,
+    scopes: &[Prefix],
     cfg: &ProbeConfig,
     t0: SimTime,
     metrics: &ProbeMetrics,
-) -> PopTally {
-    let mut tally = PopTally {
-        pop: bound.pop,
+) -> UnitTally {
+    let mut tally = UnitTally {
         hits: Vec::new(),
         counts: HashMap::new(),
         probes_sent: 0,
@@ -205,94 +279,56 @@ fn probe_pop(
     let window_secs = cfg.duration_hours * 3600.0;
     let slot_secs = 1.0 / cfg.rate_per_domain;
     let total_slots = (window_secs * cfg.rate_per_domain) as u64;
-
-    // The five per-domain probe streams run concurrently on the VM and
-    // share one TCP connection's pacing, so their queries must reach the
-    // PoP in true time order (the rate limiter is stateful). An event
-    // queue k-way merges the streams: one pending event per stream,
-    // re-armed with the stream's next slot after each probe.
-    struct Slot {
-        domain: usize,
-        index: usize,
-        pass: u64,
-        loops: u64,
-    }
-    let mut queue: clientmap_sim::EventQueue<Slot> = clientmap_sim::EventQueue::new();
-    for (d, scopes) in per_domain.iter().enumerate() {
-        if scopes.is_empty() {
-            continue;
-        }
-        // The paper's 120 h at 50/s over ~2.4M prefixes ≈ 9 passes.
-        let loops = (total_slots / scopes.len() as u64).clamp(1, 9);
-        queue.push(
-            t0,
-            Slot {
-                domain: d,
-                index: 0,
-                pass: 0,
-                loops,
-            },
-        );
-    }
-    while let Some((t, slot)) = queue.pop() {
-        let scopes = &per_domain[slot.domain];
-        let scope = scopes[slot.index];
-        tally.probes_sent += u64::from(cfg.redundancy);
-        metrics.attempts.inc();
-        metrics.pop_attempts.inc();
-        metrics.probes_sent.add(u64::from(cfg.redundancy));
-        let count = tally.counts.entry((slot.domain, scope)).or_insert((0, 0));
-        count.0 += 1;
-        match probe_scope_with(
-            view,
-            &mut tally.session,
-            bound,
-            &domains[slot.domain],
-            scope,
-            cfg,
-            t,
-        ) {
-            ProbeOutcome::Hit {
-                scope: resp_scope,
-                remaining_ttl,
-            } => {
-                count.1 += 1;
-                metrics.hit.inc();
-                metrics.pop_hits.inc();
-                metrics.hit_ttl_secs.record(u64::from(remaining_ttl));
-                tally
-                    .hits
-                    .push((slot.domain, scope, resp_scope, remaining_ttl));
+    let loops = (total_slots / scopes.len() as u64).clamp(1, 9);
+    let mut query_buf = Vec::with_capacity(64);
+    let mut resp_buf = Vec::with_capacity(512);
+    let mut slot = 0u64;
+    'window: for _pass in 0..loops {
+        for &scope in scopes {
+            // The first slot always fires; later ones only inside the
+            // probing window.
+            let offset_secs = slot as f64 * slot_secs;
+            if slot > 0 && offset_secs >= window_secs {
+                break 'window;
             }
-            ProbeOutcome::HitScopeZero => {
-                metrics.scope0.inc();
-                tally.scope0_hits += 1;
-            }
-            ProbeOutcome::Miss => metrics.miss.inc(),
-            ProbeOutcome::Dropped => {
-                metrics.dropped.inc();
-                tally.drops += 1;
-            }
-        }
-        // Arm the stream's next slot.
-        let (next_index, next_pass) = if slot.index + 1 < scopes.len() {
-            (slot.index + 1, slot.pass)
-        } else {
-            (0, slot.pass + 1)
-        };
-        if next_pass < slot.loops {
-            let offset_secs =
-                (next_pass as f64 * scopes.len() as f64 + next_index as f64) * slot_secs;
-            if offset_secs < window_secs {
-                queue.push(
-                    t0 + SimTime::from_secs_f64(offset_secs),
-                    Slot {
-                        domain: slot.domain,
-                        index: next_index,
-                        pass: next_pass,
-                        loops: slot.loops,
-                    },
-                );
+            slot += 1;
+            let t = t0 + SimTime::from_secs_f64(offset_secs);
+            tally.probes_sent += u64::from(cfg.redundancy);
+            metrics.attempts.inc();
+            metrics.pop_attempts.inc();
+            metrics.probes_sent.add(u64::from(cfg.redundancy));
+            let count = tally.counts.entry(scope).or_insert((0, 0));
+            count.0 += 1;
+            match probe_scope_fast(
+                view,
+                &mut tally.session,
+                bound,
+                template,
+                scope,
+                cfg,
+                t,
+                &mut query_buf,
+                &mut resp_buf,
+            ) {
+                ProbeOutcome::Hit {
+                    scope: resp_scope,
+                    remaining_ttl,
+                } => {
+                    count.1 += 1;
+                    metrics.hit.inc();
+                    metrics.pop_hits.inc();
+                    metrics.hit_ttl_secs.record(u64::from(remaining_ttl));
+                    tally.hits.push((scope, resp_scope, remaining_ttl));
+                }
+                ProbeOutcome::HitScopeZero => {
+                    metrics.scope0.inc();
+                    tally.scope0_hits += 1;
+                }
+                ProbeOutcome::Miss => metrics.miss.inc(),
+                ProbeOutcome::Dropped => {
+                    metrics.dropped.inc();
+                    tally.drops += 1;
+                }
             }
         }
     }
@@ -304,20 +340,36 @@ fn probe_pop(
 /// `universe` is the public probe universe (RIR allocations /
 /// Routeviews blocks). Returns everything downstream analysis needs.
 pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> CacheProbeResult {
+    run_technique_timed(sim, cfg, universe, &mut Vec::new())
+}
+
+/// [`run_technique`], additionally appending `(stage, wall seconds)`
+/// pairs to `timings` — the side channel `repro bench` reports from.
+pub fn run_technique_timed(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    universe: &[Prefix],
+    timings: &mut Vec<(String, f64)>,
+) -> CacheProbeResult {
     let seed = sim.world().config.seed;
 
     // 1. Vantage discovery (optionally capped for ablations).
+    let stage = Instant::now();
     let mut bound = discover(sim, SimTime::ZERO);
     if let Some(cap) = cfg.max_pops {
         bound.truncate(cap);
     }
+    timings.push(("vantage_discovery".into(), stage.elapsed().as_secs_f64()));
 
     // 2. Domain selection + authoritative scope pre-scan.
+    let stage = Instant::now();
     let domains = select_domains(sim, cfg);
     let scan_result = scan(sim, &domains, universe, SimTime::ZERO);
+    timings.push(("scope_scan".into(), stage.elapsed().as_secs_f64()));
 
     // 3. Service-radius calibration (start a few hours in, so caches
     //    reflect steady-state client activity).
+    let stage = Instant::now();
     let sample = sample_prefixes(
         sim,
         universe,
@@ -327,6 +379,7 @@ pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> C
     );
     let t_cal = SimTime::from_hours(6);
     let radii = calibrate(sim, &bound, &domains, &sample, cfg, t_cal);
+    timings.push(("calibration".into(), stage.elapsed().as_secs_f64()));
 
     // 4. Scope → PoP assignment by service radius (MaxMind location +
     //    error radius possibly within the radius).
@@ -351,7 +404,9 @@ pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> C
         }
     }
 
-    // 5. The probing loops, one worker per PoP over the shared core.
+    // 5. The probing loops: one work unit per ⟨PoP, domain⟩ stream,
+    //    fanned out over the deterministic executor.
+    let stage = Instant::now();
     let t0 = SimTime::from_hours(8);
     let metrics = Arc::clone(sim.metrics());
     metrics.counter("cacheprobe.runs").inc();
@@ -363,53 +418,68 @@ pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> C
         .add(domains.len() as u64);
     let assignment_sizes = metrics.histogram("cacheprobe.assignment_size");
     let mut result = CacheProbeResult::new(domains.clone(), bound.clone(), radii, scan_result);
-    let view = sim.view();
-    let mut tallies: Vec<PopTally> = Vec::with_capacity(bound.len());
-    crossbeam::thread::scope(|scope_| {
-        let mut handles = Vec::with_capacity(bound.len());
-        for b in &bound {
-            let list = assigned.get(&b.pop).cloned().unwrap_or_default();
-            let mut per_domain: Vec<Vec<Prefix>> = vec![Vec::new(); domains.len()];
-            for (d, scope) in &list {
-                per_domain[*d].push(*scope);
-            }
-            result.assigned_per_pop.insert(b.pop, list.len());
-            assignment_sizes.record(list.len() as u64);
-            metrics
-                .counter(&format!("cacheprobe.pop.{}.assigned", pops[b.pop].code))
-                .add(list.len() as u64);
-            let pm = ProbeMetrics::resolve(&metrics, pops[b.pop].code);
-            let domains = &domains;
-            let cfg_ref = cfg;
-            let view_ref = &view;
-            handles
-                .push(scope_.spawn(move |_| {
-                    probe_pop(view_ref, b, domains, &per_domain, cfg_ref, t0, &pm)
-                }));
-        }
-        for h in handles {
-            tallies.push(h.join().expect("probe worker panicked"));
-        }
-    })
-    .expect("probe scope");
-    let _ = &view;
 
-    // Merge in PoP order for determinism.
-    tallies.sort_by_key(|t| t.pop);
-    for tally in tallies {
+    // Telemetry handles (one table per bound PoP) and query templates
+    // (one per domain), resolved/rendered once — nothing in the fan-out
+    // formats a metric name or encodes a domain name again.
+    let pop_metrics: Vec<ProbeMetrics> = bound
+        .iter()
+        .map(|b| ProbeMetrics::resolve(&metrics, pops[b.pop].code))
+        .collect();
+    let templates: Vec<wire::ProbeQueryTemplate> =
+        domains.iter().map(wire::ProbeQueryTemplate::new).collect();
+    let mut units: Vec<ProbeUnit> = Vec::new();
+    for (bi, b) in bound.iter().enumerate() {
+        let list = assigned.get(&b.pop).cloned().unwrap_or_default();
+        let mut per_domain: Vec<Vec<Prefix>> = vec![Vec::new(); domains.len()];
+        for (d, scope) in &list {
+            per_domain[*d].push(*scope);
+        }
+        result.assigned_per_pop.insert(b.pop, list.len());
+        assignment_sizes.record(list.len() as u64);
+        pop_metrics[bi].assigned.add(list.len() as u64);
+        for (d, scopes) in per_domain.into_iter().enumerate() {
+            if !scopes.is_empty() {
+                units.push(ProbeUnit {
+                    bound_idx: bi,
+                    domain: d,
+                    scopes,
+                });
+            }
+        }
+    }
+
+    let view = sim.view();
+    let tallies: Vec<UnitTally> = par_map(&units, |_, u| {
+        probe_unit(
+            &view,
+            &bound[u.bound_idx],
+            &templates[u.domain],
+            &u.scopes,
+            cfg,
+            t0,
+            &pop_metrics[u.bound_idx],
+        )
+    });
+
+    // Ordered reduction: merge in unit order — a pure function of the
+    // work list, never of the thread interleaving.
+    for (u, tally) in units.iter().zip(tallies) {
+        let pop = bound[u.bound_idx].pop;
         result.probes_sent += tally.probes_sent;
         result.scope0_hits += tally.scope0_hits;
         result.drops += tally.drops;
-        for (d, query_scope, resp_scope, remaining) in tally.hits {
-            result.record_hit(d, tally.pop, query_scope, resp_scope, remaining);
+        for (query_scope, resp_scope, remaining) in tally.hits {
+            result.record_hit(u.domain, pop, query_scope, resp_scope, remaining);
         }
-        for ((d, scope), (attempts, hits)) in tally.counts {
-            let c = result.probe_counts.entry((d, scope)).or_default();
+        for (scope, (attempts, hits)) in tally.counts {
+            let c = result.probe_counts.entry((u.domain, scope)).or_default();
             c.attempts += attempts;
             c.hits += hits;
         }
         sim.absorb_session(&tally.session);
     }
+    timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
     result
 }
 
@@ -513,6 +583,34 @@ mod tests {
             sim_a.metrics().snapshot().to_json(),
             sim_b.metrics().snapshot().to_json()
         );
+    }
+
+    #[test]
+    fn identical_results_at_one_two_and_eight_threads() {
+        // The executor contract: worker count changes wall time only.
+        // Results AND telemetry snapshots are byte-identical at 1, 2,
+        // and 8 threads.
+        let (sim_1, r_1) = clientmap_par::with_threads(1, || run_tiny(107));
+        let snap_1 = sim_1.metrics().snapshot().to_json();
+        for threads in [2usize, 8] {
+            let (sim_n, r_n) = clientmap_par::with_threads(threads, || run_tiny(107));
+            assert_eq!(r_1.probes_sent, r_n.probes_sent, "{threads} threads");
+            assert_eq!(r_1.scope0_hits, r_n.scope0_hits, "{threads} threads");
+            assert_eq!(r_1.drops, r_n.drops, "{threads} threads");
+            assert_eq!(r_1.hits, r_n.hits, "{threads} threads");
+            assert_eq!(r_1.probe_counts, r_n.probe_counts, "{threads} threads");
+            assert_eq!(r_1.scope_pairs, r_n.scope_pairs, "{threads} threads");
+            assert_eq!(
+                r_1.active_set().num_slash24s(),
+                r_n.active_set().num_slash24s(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                snap_1,
+                sim_n.metrics().snapshot().to_json(),
+                "telemetry diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

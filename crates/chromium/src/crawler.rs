@@ -65,6 +65,12 @@ impl DnsLogsResult {
 /// is a property of the name, not of one (resolver, root) pair; (2)
 /// attribute the surviving shape-matching queries to their source
 /// resolvers, scaled by the capture's sampling rate.
+///
+/// Both passes fan each root's trace out as one work unit on
+/// [`clientmap_par::par_map`] and merge the per-trace partials in trace
+/// order — the ordered reduction keeps the floating-point attribution
+/// sums (and therefore the resolver ranking) byte-identical at any
+/// thread count.
 pub fn crawl(traces: &RootTraceSet, classifier: &ChromiumClassifier) -> DnsLogsResult {
     crawl_with_metrics(traces, classifier, &MetricsRegistry::new())
 }
@@ -80,20 +86,39 @@ pub fn crawl_with_metrics(
 ) -> DnsLogsResult {
     let rate = traces.sample_rate.clamp(f64::MIN_POSITIVE, 1.0);
     let threshold = classifier.effective_threshold(rate);
+    let public: Vec<&clientmap_sim::roots::RootTrace> = traces.public_traces().collect();
 
-    // Pass 1: global per-name daily counts (shape-matching names only).
-    let mut global: HashMap<&clientmap_dns::DomainName, Vec<u64>> = HashMap::new();
-    for trace in traces.public_traces() {
-        for record in &trace.records {
-            if !classifier.matches_shape(&record.qname) {
-                continue;
+    // Pass 1: global per-name daily counts (shape-matching names only),
+    // one partial map per root trace, merged in trace order.
+    let partials: Vec<HashMap<&clientmap_dns::DomainName, Vec<u64>>> =
+        clientmap_par::par_map(&public, |_, trace| {
+            let mut local: HashMap<&clientmap_dns::DomainName, Vec<u64>> = HashMap::new();
+            for record in &trace.records {
+                if !classifier.matches_shape(&record.qname) {
+                    continue;
+                }
+                let days = local
+                    .entry(&record.qname)
+                    .or_insert_with(|| vec![0; traces.days as usize]);
+                for (d, c) in record.count_by_day.iter().enumerate() {
+                    if d < days.len() {
+                        days[d] += u64::from(*c);
+                    }
+                }
             }
-            let days = global
-                .entry(&record.qname)
-                .or_insert_with(|| vec![0; traces.days as usize]);
-            for (d, c) in record.count_by_day.iter().enumerate() {
-                if d < days.len() {
-                    days[d] += u64::from(*c);
+            local
+        });
+    let mut global: HashMap<&clientmap_dns::DomainName, Vec<u64>> = HashMap::new();
+    for partial in partials {
+        for (name, days) in partial {
+            match global.entry(name) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(days);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (acc, d) in e.get_mut().iter_mut().zip(days) {
+                        *acc += d;
+                    }
                 }
             }
         }
@@ -104,26 +129,55 @@ pub fn crawl_with_metrics(
         .map(|(name, _)| *name)
         .collect();
 
-    // Pass 2: per-resolver attribution of surviving probes.
+    // Pass 2: per-resolver attribution of surviving probes. Partial
+    // attribution sums are f64, so the trace-order merge below is what
+    // pins the result down (float addition does not commute with
+    // reordering).
+    struct TraceTally {
+        per_resolver: HashMap<u32, f64>,
+        rejected: usize,
+        examined: usize,
+        shape_mismatch: u64,
+        attributed: u64,
+    }
+    let tallies: Vec<TraceTally> = clientmap_par::par_map(&public, |_, trace| {
+        let mut tally = TraceTally {
+            per_resolver: HashMap::new(),
+            rejected: 0,
+            examined: 0,
+            shape_mismatch: 0,
+            attributed: 0,
+        };
+        for record in &trace.records {
+            tally.examined += 1;
+            if !classifier.matches_shape(&record.qname) {
+                tally.shape_mismatch += 1;
+                continue;
+            }
+            if noisy.contains(&record.qname) {
+                tally.rejected += 1;
+                continue;
+            }
+            tally.attributed += 1;
+            *tally
+                .per_resolver
+                .entry(record.resolver_addr)
+                .or_insert(0.0) += record.total() as f64 / rate;
+        }
+        tally
+    });
     let mut per_resolver: HashMap<u32, f64> = HashMap::new();
     let mut rejected = 0usize;
     let mut examined = 0usize;
     let mut shape_mismatch = 0u64;
     let mut attributed = 0u64;
-    for trace in traces.public_traces() {
-        for record in &trace.records {
-            examined += 1;
-            if !classifier.matches_shape(&record.qname) {
-                shape_mismatch += 1;
-                continue;
-            }
-            if noisy.contains(&record.qname) {
-                rejected += 1;
-                continue;
-            }
-            attributed += 1;
-            *per_resolver.entry(record.resolver_addr).or_insert(0.0) +=
-                record.total() as f64 / rate;
+    for tally in tallies {
+        rejected += tally.rejected;
+        examined += tally.examined;
+        shape_mismatch += tally.shape_mismatch;
+        attributed += tally.attributed;
+        for (addr, probes) in tally.per_resolver {
+            *per_resolver.entry(addr).or_insert(0.0) += probes;
         }
     }
     let mut resolvers: Vec<ResolverActivity> = per_resolver

@@ -1,8 +1,9 @@
 //! Pipeline orchestration.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use clientmap_cacheprobe::{run_technique, CacheProbeResult, ProbeConfig};
+use clientmap_cacheprobe::{run_technique_timed, CacheProbeResult, ProbeConfig};
 use clientmap_chromium::{crawl_with_metrics, ChromiumClassifier, DnsLogsResult};
 use clientmap_datasets::{ApnicConfig, ApnicDataset, DatasetBundle};
 use clientmap_net::Prefix;
@@ -128,12 +129,24 @@ impl Pipeline {
     /// (see [`crate::invariants`]); a broken conservation law panics
     /// rather than shipping silently miscounted telemetry.
     pub fn run(config: PipelineConfig) -> PipelineOutput {
+        Pipeline::run_timed(config, &mut Vec::new())
+    }
+
+    /// [`Pipeline::run`], additionally appending `(stage, wall seconds)`
+    /// pairs to `timings`: `world_gen`, the cache-probe substages
+    /// (`vantage_discovery`, `scope_scan`, `calibration`, `probing`),
+    /// `crawl`, and `analysis`. Wall clocks stay in this side channel —
+    /// the telemetry registry only ever sees sim-time spans, so metrics
+    /// snapshots remain byte-reproducible.
+    pub fn run_timed(config: PipelineConfig, timings: &mut Vec<(String, f64)>) -> PipelineOutput {
+        let stage = Instant::now();
         let world = World::generate(config.world.clone());
         // The probe universe: public allocation data (RIR files stand-in).
         let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
         let mut sim = Sim::new(world);
         let metrics = Arc::clone(sim.metrics());
         metrics.counter("pipeline.runs").inc();
+        timings.push(("world_gen".into(), stage.elapsed().as_secs_f64()));
 
         // Technique 1: cache probing (discovery at t=0, calibration at
         // t=6 h, the probing window starting at t=8 h).
@@ -141,13 +154,14 @@ impl Pipeline {
             metrics.histogram("pipeline.stage_ms.cache_probe"),
             SimTime::ZERO.as_millis(),
         );
-        let cache_probe = run_technique(&mut sim, &config.probe, &universe);
+        let cache_probe = run_technique_timed(&mut sim, &config.probe, &universe, timings);
         probe_span.stop(
             (SimTime::from_hours(8) + SimTime::from_secs_f64(config.probe.duration_hours * 3600.0))
                 .as_millis(),
         );
 
         // Technique 2: DNS logs over a DITL capture.
+        let stage = Instant::now();
         let trace_span = ScopedTimer::start(
             metrics.histogram("pipeline.stage_ms.dns_logs"),
             SimTime::ZERO.as_millis(),
@@ -159,8 +173,10 @@ impl Pipeline {
         );
         let dns_logs = crawl_with_metrics(&traces, &config.classifier, &metrics);
         trace_span.stop(SimTime::from_hours(u64::from(config.root_trace_days) * 24).as_millis());
+        timings.push(("crawl".into(), stage.elapsed().as_secs_f64()));
 
         // Validation datasets.
+        let stage = Instant::now();
         let cdn_span = ScopedTimer::start(
             metrics.histogram("pipeline.stage_ms.cdn_logs"),
             SimTime::ZERO.as_millis(),
@@ -180,6 +196,7 @@ impl Pipeline {
             "telemetry invariants violated:\n  {}",
             violations.join("\n  ")
         );
+        timings.push(("analysis".into(), stage.elapsed().as_secs_f64()));
 
         PipelineOutput {
             cache_probe,

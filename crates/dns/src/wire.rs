@@ -1,4 +1,5 @@
-//! RFC 1035 wire-format codec with name compression.
+//! RFC 1035 wire-format codec with name compression, plus a
+//! zero-allocation fast lane for the probe hot path.
 //!
 //! [`encode`] produces a compact packet (names compressed against every
 //! previously written name suffix). [`decode`] is fully bounds-checked:
@@ -11,10 +12,28 @@
 //! real prober would put on the wire — including the EDNS0 OPT record
 //! and the RFC 7871 ECS option the whole cache-probing technique relies
 //! on — and so the test suite can fuzz the parser with garbage.
+//!
+//! ## The fast lane
+//!
+//! The cache-probing sweep encodes and decodes millions of nearly
+//! identical packets. Three primitives let that path run without
+//! touching the allocator after warm-up, while staying byte-compatible
+//! with the [`Message`] codec (asserted in tests):
+//!
+//! - [`encode_into`] — [`encode`] writing into a caller-reused buffer;
+//!   the compression table is a thread-local `Vec<u16>` of buffer
+//!   offsets compared against the output bytes, so no per-suffix
+//!   `String` keys are built.
+//! - [`ProbeQueryTemplate`] / [`ProbeQueryTemplate::render`] — a
+//!   pre-rendered non-recursive `A` query per probe domain; per probe
+//!   only the transaction ID and the ECS option are patched in.
+//! - [`query_view`] / [`response_view`] / [`write_probe_response`] —
+//!   borrowing parsers for the probe-shaped packets and a direct
+//!   response writer, so the serve path neither builds a [`Message`]
+//!   nor clones a [`DomainName`].
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
-use bytes::{BufMut, BytesMut};
 use clientmap_net::Prefix;
 
 use crate::edns::{ECS_FAMILY_IPV4, OPTION_CODE_ECS};
@@ -31,12 +50,47 @@ const MAX_POINTER: usize = 0x3FFF;
 // Encoding
 // ---------------------------------------------------------------------------
 
+#[inline]
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+#[inline]
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+thread_local! {
+    /// Reused name-compression table: offsets in the output buffer where
+    /// a name suffix starts. Cleared per encode; grows once, then stays.
+    static NAME_TABLE: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Encodes a message to wire format.
 pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
-    let mut buf = BytesMut::with_capacity(512);
-    let mut names: HashMap<String, usize> = HashMap::new();
+    let mut buf = Vec::with_capacity(512);
+    encode_into(msg, &mut buf)?;
+    Ok(buf)
+}
 
-    buf.put_u16(msg.id);
+/// [`encode`] into a caller-owned buffer (cleared first). Reusing the
+/// buffer across calls keeps the steady-state encode allocation-free.
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError> {
+    out.clear();
+    NAME_TABLE.with(|t| {
+        let mut table = t.borrow_mut();
+        table.clear();
+        encode_message(msg, out, &mut table)
+    })
+}
+
+fn encode_message(msg: &Message, buf: &mut Vec<u8>, names: &mut Vec<u16>) -> Result<(), WireError> {
+    put_u16(buf, msg.id);
     let mut flags: u16 = 0;
     if msg.is_response {
         flags |= 0x8000;
@@ -55,95 +109,131 @@ pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
         flags |= 0x0080;
     }
     flags |= msg.rcode.to_u8() as u16;
-    buf.put_u16(flags);
+    put_u16(buf, flags);
 
     let qdcount = msg.question.iter().count() as u16;
     let arcount = msg.additional.len() as u16 + msg.edns.iter().count() as u16;
-    buf.put_u16(qdcount);
-    buf.put_u16(msg.answers.len() as u16);
-    buf.put_u16(msg.authority.len() as u16);
-    buf.put_u16(arcount);
+    put_u16(buf, qdcount);
+    put_u16(buf, msg.answers.len() as u16);
+    put_u16(buf, msg.authority.len() as u16);
+    put_u16(buf, arcount);
 
     if let Some(q) = &msg.question {
-        encode_name(&mut buf, &q.name, &mut names)?;
-        buf.put_u16(q.rtype.to_u16());
-        buf.put_u16(q.class.to_u16());
+        encode_name(buf, &q.name, names)?;
+        put_u16(buf, q.rtype.to_u16());
+        put_u16(buf, q.class.to_u16());
     }
     for r in &msg.answers {
-        encode_record(&mut buf, r, &mut names)?;
+        encode_record(buf, r, names)?;
     }
     for r in &msg.authority {
-        encode_record(&mut buf, r, &mut names)?;
+        encode_record(buf, r, names)?;
     }
     for r in &msg.additional {
-        encode_record(&mut buf, r, &mut names)?;
+        encode_record(buf, r, names)?;
     }
     if let Some(edns) = &msg.edns {
-        encode_opt(&mut buf, edns)?;
+        encode_opt(buf, edns)?;
     }
-    Ok(buf.to_vec())
-}
-
-/// Writes a (possibly compressed) name at the current offset.
-fn encode_name(
-    buf: &mut BytesMut,
-    name: &DomainName,
-    names: &mut HashMap<String, usize>,
-) -> Result<(), WireError> {
-    let labels = name.labels();
-    for i in 0..labels.len() {
-        let suffix: String = labels[i..]
-            .iter()
-            .map(|l| l.as_str())
-            .collect::<Vec<_>>()
-            .join(".");
-        if let Some(&off) = names.get(&suffix) {
-            if off <= MAX_POINTER {
-                buf.put_u16(0xC000 | off as u16);
-                return Ok(());
-            }
-        }
-        let here = buf.len();
-        if here <= MAX_POINTER {
-            names.insert(suffix, here);
-        }
-        let label = labels[i].as_str();
-        debug_assert!(label.len() <= 63);
-        buf.put_u8(label.len() as u8);
-        buf.put_slice(label.as_bytes());
-    }
-    buf.put_u8(0); // root
     Ok(())
 }
 
-fn encode_record(
-    buf: &mut BytesMut,
-    r: &Record,
-    names: &mut HashMap<String, usize>,
+/// Whether the name encoded in `buf` starting at `pos` (following
+/// already-written, hence backward, compression pointers) spells exactly
+/// `labels`. Used for compression lookups against the output buffer, so
+/// no suffix strings need to be materialised.
+fn name_matches_at(buf: &[u8], mut pos: usize, labels: &[Label]) -> bool {
+    let mut li = 0usize;
+    loop {
+        let Some(&len) = buf.get(pos) else {
+            return false;
+        };
+        match len & 0xC0 {
+            0x00 => {
+                if len == 0 {
+                    return li == labels.len();
+                }
+                let n = len as usize;
+                let Some(label) = labels.get(li) else {
+                    return false;
+                };
+                let text = label.as_str().as_bytes();
+                if text.len() != n || buf.get(pos + 1..pos + 1 + n) != Some(text) {
+                    return false;
+                }
+                li += 1;
+                pos += 1 + n;
+            }
+            0xC0 => {
+                let Some(&second) = buf.get(pos + 1) else {
+                    return false;
+                };
+                let target = (((len & 0x3F) as usize) << 8) | second as usize;
+                if target >= pos {
+                    return false; // we never write forward pointers
+                }
+                pos = target;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Writes a (possibly compressed) name at the current offset. The first
+/// recorded occurrence of an equal suffix wins, matching the map-based
+/// encoder this replaced byte for byte.
+fn encode_name(
+    buf: &mut Vec<u8>,
+    name: &DomainName,
+    names: &mut Vec<u16>,
 ) -> Result<(), WireError> {
+    let labels = name.labels();
+    for i in 0..labels.len() {
+        let suffix = &labels[i..];
+        if let Some(&off) = names
+            .iter()
+            .find(|&&off| name_matches_at(buf, off as usize, suffix))
+        {
+            put_u16(buf, 0xC000 | off);
+            return Ok(());
+        }
+        let here = buf.len();
+        if here <= MAX_POINTER {
+            names.push(here as u16);
+        }
+        let label = labels[i].as_str();
+        debug_assert!(label.len() <= 63);
+        put_u8(buf, label.len() as u8);
+        buf.extend_from_slice(label.as_bytes());
+    }
+    put_u8(buf, 0); // root
+    Ok(())
+}
+
+fn encode_record(buf: &mut Vec<u8>, r: &Record, names: &mut Vec<u16>) -> Result<(), WireError> {
     encode_name(buf, &r.name, names)?;
-    buf.put_u16(r.rtype.to_u16());
-    buf.put_u16(r.class.to_u16());
-    buf.put_u32(r.ttl);
+    put_u16(buf, r.rtype.to_u16());
+    put_u16(buf, r.class.to_u16());
+    put_u32(buf, r.ttl);
     // Reserve the RDLENGTH slot, then backfill.
     let len_pos = buf.len();
-    buf.put_u16(0);
+    put_u16(buf, 0);
     let start = buf.len();
     match &r.rdata {
-        RData::A(addr) => buf.put_u32(*addr),
+        RData::A(addr) => put_u32(buf, *addr),
         RData::Cname(n) | RData::Ns(n) => encode_name(buf, n, names)?,
         RData::Txt(text) => {
             let bytes = text.as_bytes();
             if bytes.is_empty() {
-                buf.put_u8(0);
+                put_u8(buf, 0);
             } else {
                 for chunk in bytes.chunks(255) {
-                    buf.put_u8(chunk.len() as u8);
-                    buf.put_slice(chunk);
+                    put_u8(buf, chunk.len() as u8);
+                    buf.extend_from_slice(chunk);
                 }
             }
         }
-        RData::Opaque(data) => buf.put_slice(data),
+        RData::Opaque(data) => buf.extend_from_slice(data),
     }
     let rdlen = buf.len() - start;
     if rdlen > u16::MAX as usize {
@@ -153,38 +243,26 @@ fn encode_record(
     Ok(())
 }
 
-fn encode_opt(buf: &mut BytesMut, edns: &Edns) -> Result<(), WireError> {
-    buf.put_u8(0); // root name
-    buf.put_u16(RrType::Opt.to_u16());
-    buf.put_u16(edns.udp_payload_size);
+fn encode_opt(buf: &mut Vec<u8>, edns: &Edns) -> Result<(), WireError> {
+    put_u8(buf, 0); // root name
+    put_u16(buf, RrType::Opt.to_u16());
+    put_u16(buf, edns.udp_payload_size);
     let ttl: u32 =
         ((edns.ext_rcode as u32) << 24) | ((edns.version as u32) << 16) | edns.flags as u32;
-    buf.put_u32(ttl);
+    put_u32(buf, ttl);
     let len_pos = buf.len();
-    buf.put_u16(0);
+    put_u16(buf, 0);
     let start = buf.len();
     for opt in &edns.options {
         match opt {
-            EdnsOption::Ecs(ecs) => {
-                // RFC 7871: family, source prefix len, scope prefix len,
-                // then ceil(source_len/8) address bytes.
-                let src_len = ecs.source.len();
-                let addr_bytes = src_len.div_ceil(8) as usize;
-                buf.put_u16(OPTION_CODE_ECS);
-                buf.put_u16(4 + addr_bytes as u16);
-                buf.put_u16(ECS_FAMILY_IPV4);
-                buf.put_u8(src_len);
-                buf.put_u8(ecs.scope_len);
-                let addr = ecs.source.addr().to_be_bytes();
-                buf.put_slice(&addr[..addr_bytes]);
-            }
+            EdnsOption::Ecs(ecs) => write_ecs_option(buf, ecs.source, ecs.scope_len),
             EdnsOption::Other { code, data } => {
                 if data.len() > u16::MAX as usize {
                     return Err(WireError::EncodeTooLong);
                 }
-                buf.put_u16(*code);
-                buf.put_u16(data.len() as u16);
-                buf.put_slice(data);
+                put_u16(buf, *code);
+                put_u16(buf, data.len() as u16);
+                buf.extend_from_slice(data);
             }
         }
     }
@@ -194,6 +272,20 @@ fn encode_opt(buf: &mut BytesMut, edns: &Edns) -> Result<(), WireError> {
     }
     buf[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
     Ok(())
+}
+
+/// RFC 7871: family, source prefix len, scope prefix len, then
+/// ceil(source_len/8) address bytes.
+fn write_ecs_option(buf: &mut Vec<u8>, source: Prefix, scope_len: u8) {
+    let src_len = source.len();
+    let addr_bytes = src_len.div_ceil(8) as usize;
+    put_u16(buf, OPTION_CODE_ECS);
+    put_u16(buf, 4 + addr_bytes as u16);
+    put_u16(buf, ECS_FAMILY_IPV4);
+    put_u8(buf, src_len);
+    put_u8(buf, scope_len);
+    let addr = source.addr().to_be_bytes();
+    buf.extend_from_slice(&addr[..addr_bytes]);
 }
 
 // ---------------------------------------------------------------------------
@@ -713,6 +805,521 @@ mod tests {
         let mut bytes = encode(&m).unwrap();
         bytes[4..6].copy_from_slice(&2u16.to_be_bytes());
         assert!(matches!(decode(&bytes), Err(WireError::Unsupported(_))));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation fast lane
+// ---------------------------------------------------------------------------
+
+/// A pre-rendered non-recursive `A`-in-`IN` probe query for one domain.
+///
+/// The cache-probing sweep sends the same query shape millions of times,
+/// varying only the transaction ID and the ECS source prefix. Rendering
+/// from a template writes the packet into a caller-reused buffer without
+/// building a [`Message`], cloning a [`DomainName`], or allocating.
+/// [`ProbeQueryTemplate::render`] is asserted byte-identical to
+/// `encode(Message::query(..).with_recursion_desired(false).with_ecs(..))`
+/// in tests.
+#[derive(Debug, Clone)]
+pub struct ProbeQueryTemplate {
+    /// Header + question + OPT record up to (and excluding) RDLEN.
+    prefix: Vec<u8>,
+    /// Length in bytes of the QNAME within `prefix` (starts at offset 12).
+    qname_len: usize,
+    name: DomainName,
+}
+
+impl ProbeQueryTemplate {
+    /// Pre-renders the query skeleton for `domain`.
+    pub fn new(domain: &DomainName) -> Self {
+        let mut prefix = Vec::with_capacity(64);
+        put_u16(&mut prefix, 0); // id, patched per render
+        put_u16(&mut prefix, 0); // flags: query, opcode 0, rd=0
+        put_u16(&mut prefix, 1); // qdcount
+        put_u16(&mut prefix, 0); // ancount
+        put_u16(&mut prefix, 0); // nscount
+        put_u16(&mut prefix, 1); // arcount (the OPT)
+        for label in domain.labels() {
+            put_u8(&mut prefix, label.as_str().len() as u8);
+            prefix.extend_from_slice(label.as_str().as_bytes());
+        }
+        put_u8(&mut prefix, 0); // root
+        let qname_len = prefix.len() - 12;
+        put_u16(&mut prefix, RrType::A.to_u16());
+        put_u16(&mut prefix, RrClass::In.to_u16());
+        // OPT pseudo-record header, mirroring `Edns::default()`.
+        let edns = Edns::default();
+        put_u8(&mut prefix, 0); // root owner name
+        put_u16(&mut prefix, RrType::Opt.to_u16());
+        put_u16(&mut prefix, edns.udp_payload_size);
+        let ttl: u32 =
+            ((edns.ext_rcode as u32) << 24) | ((edns.version as u32) << 16) | edns.flags as u32;
+        put_u32(&mut prefix, ttl);
+        ProbeQueryTemplate {
+            prefix,
+            qname_len,
+            name: domain.clone(),
+        }
+    }
+
+    /// The probe domain this template encodes.
+    pub fn name(&self) -> &DomainName {
+        &self.name
+    }
+
+    /// The uncompressed QNAME wire bytes (labels + terminal root byte).
+    pub fn qname_wire(&self) -> &[u8] {
+        &self.prefix[12..12 + self.qname_len]
+    }
+
+    /// Renders the query for one probe into `out` (cleared first).
+    pub fn render(&self, id: u16, ecs_source: Prefix, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.prefix);
+        out[0..2].copy_from_slice(&id.to_be_bytes());
+        let addr_bytes = ecs_source.len().div_ceil(8) as u16;
+        put_u16(out, 4 + (4 + addr_bytes)); // OPT RDLEN: option code+len+body
+        write_ecs_option(out, ecs_source, 0);
+    }
+}
+
+/// A borrowed view of a simple probe-shaped query packet.
+///
+/// "Simple" means: exactly one question with an uncompressed QNAME, no
+/// answer/authority records, and at most one additional record which
+/// must be a root-owned OPT. Anything else returns `None`, signalling
+/// the caller to fall back to the full [`decode`] path — so the fast
+/// lane never changes observable behaviour, only the cost of the
+/// common case.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryView<'a> {
+    /// Transaction ID.
+    pub id: u16,
+    /// Raw header flags word.
+    pub flags: u16,
+    /// Raw uncompressed QNAME bytes (labels + terminal root byte),
+    /// borrowed from the packet starting at offset 12.
+    pub qname_wire: &'a [u8],
+    /// Raw QTYPE.
+    pub rtype: u16,
+    /// Raw QCLASS.
+    pub qclass: u16,
+    /// First ECS option in the OPT record, if any.
+    pub ecs: Option<EcsOption>,
+}
+
+impl QueryView<'_> {
+    /// The QR bit.
+    pub fn is_response(&self) -> bool {
+        self.flags & 0x8000 != 0
+    }
+
+    /// The raw opcode.
+    pub fn opcode(&self) -> u8 {
+        (self.flags >> 11) as u8 & 0x0F
+    }
+
+    /// The RD bit.
+    pub fn recursion_desired(&self) -> bool {
+        self.flags & 0x0100 != 0
+    }
+}
+
+/// Parses a probe-shaped query without allocating. See [`QueryView`].
+pub fn query_view(data: &[u8]) -> Option<QueryView<'_>> {
+    if data.len() < 12 {
+        return None;
+    }
+    let be16 = |i: usize| ((data[i] as u16) << 8) | data[i + 1] as u16;
+    let (qdcount, ancount, nscount, arcount) = (be16(4), be16(6), be16(8), be16(10));
+    if qdcount != 1 || ancount != 0 || nscount != 0 || arcount > 1 {
+        return None;
+    }
+    // QNAME: plain labels only (our own probers never compress it).
+    let mut pos = 12usize;
+    loop {
+        let len = *data.get(pos)? as usize;
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len & 0xC0 != 0 {
+            return None;
+        }
+        pos += 1 + len;
+        if pos - 12 > MAX_NAME_LEN {
+            return None;
+        }
+    }
+    let qname_wire = &data[12..pos];
+    if data.len() < pos + 4 {
+        return None;
+    }
+    let rtype = be16(pos);
+    let qclass = be16(pos + 2);
+    pos += 4;
+
+    let mut ecs = None;
+    if arcount == 1 {
+        // Must be a root-owned OPT record.
+        if data.len() < pos + 11 || data[pos] != 0 || be16(pos + 1) != RrType::Opt.to_u16() {
+            return None;
+        }
+        let rdlen = be16(pos + 9) as usize;
+        pos += 11;
+        let rdata = data.get(pos..pos + rdlen)?;
+        let mut opt = 0usize;
+        while opt < rdata.len() {
+            if rdata.len() < opt + 4 {
+                return None;
+            }
+            let code = ((rdata[opt] as u16) << 8) | rdata[opt + 1] as u16;
+            let len = (((rdata[opt + 2] as u16) << 8) | rdata[opt + 3] as u16) as usize;
+            let body = rdata.get(opt + 4..opt + 4 + len)?;
+            if code == OPTION_CODE_ECS && ecs.is_none() {
+                ecs = Some(decode_ecs(body).ok()?);
+            }
+            opt += 4 + len;
+        }
+    }
+    Some(QueryView {
+        id: be16(0),
+        flags: be16(2),
+        qname_wire,
+        rtype,
+        qclass,
+        ecs,
+    })
+}
+
+/// The fields probe-outcome classification needs, parsed without
+/// building a [`Message`] (no names are materialised, record bodies are
+/// skipped). Rejects the same malformed packets [`decode`] would, as far
+/// as the skipped fields allow.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseView {
+    /// Transaction ID.
+    pub id: u16,
+    /// Raw header flags word.
+    pub flags: u16,
+    /// ANCOUNT from the header.
+    pub answer_count: u16,
+    /// TTL of the first answer record; 0 when there are no answers.
+    pub first_answer_ttl: u32,
+    /// First ECS option in the OPT record, if any.
+    pub ecs: Option<EcsOption>,
+}
+
+/// Advances past one (possibly pointer-terminated) encoded name.
+fn skip_name(data: &[u8], mut pos: usize) -> Result<usize, WireError> {
+    loop {
+        let len = *data.get(pos).ok_or(WireError::Truncated)?;
+        match len & 0xC0 {
+            0x00 => {
+                if len == 0 {
+                    return Ok(pos + 1);
+                }
+                pos += 1 + len as usize;
+            }
+            0xC0 => {
+                if pos + 2 > data.len() {
+                    return Err(WireError::Truncated);
+                }
+                return Ok(pos + 2);
+            }
+            other => return Err(WireError::BadLabelType(other)),
+        }
+    }
+}
+
+/// Parses a response for classification without allocating. See
+/// [`ResponseView`].
+pub fn response_view(data: &[u8]) -> Result<ResponseView, WireError> {
+    if data.len() < 12 {
+        return Err(WireError::Truncated);
+    }
+    let be16 = |i: usize| ((data[i] as u16) << 8) | data[i + 1] as u16;
+    let (qdcount, ancount, nscount, arcount) = (be16(4), be16(6), be16(8), be16(10));
+    let mut pos = 12usize;
+    for _ in 0..qdcount {
+        pos = skip_name(data, pos)?;
+        pos += 4; // QTYPE + QCLASS
+        if pos > data.len() {
+            return Err(WireError::Truncated);
+        }
+    }
+    let mut first_answer_ttl = 0u32;
+    let mut ecs = None;
+    for section in 0..3u8 {
+        let count = [ancount, nscount, arcount][section as usize];
+        for i in 0..count {
+            pos = skip_name(data, pos)?;
+            if pos + 10 > data.len() {
+                return Err(WireError::Truncated);
+            }
+            let rtype = be16(pos);
+            let ttl = ((be16(pos + 4) as u32) << 16) | be16(pos + 6) as u32;
+            let rdlen = be16(pos + 8) as usize;
+            pos += 10;
+            let rdata = data.get(pos..pos + rdlen).ok_or(WireError::Truncated)?;
+            if section == 0 && i == 0 {
+                first_answer_ttl = ttl;
+            }
+            if section == 2 && rtype == RrType::Opt.to_u16() {
+                let mut opt = 0usize;
+                while opt < rdata.len() {
+                    if rdata.len() < opt + 4 {
+                        return Err(WireError::Truncated);
+                    }
+                    let code = ((rdata[opt] as u16) << 8) | rdata[opt + 1] as u16;
+                    let len = (((rdata[opt + 2] as u16) << 8) | rdata[opt + 3] as u16) as usize;
+                    let body = rdata
+                        .get(opt + 4..opt + 4 + len)
+                        .ok_or(WireError::Truncated)?;
+                    if code == OPTION_CODE_ECS && ecs.is_none() {
+                        ecs = Some(decode_ecs(body)?);
+                    }
+                    opt += 4 + len;
+                }
+            }
+            pos += rdlen;
+        }
+    }
+    Ok(ResponseView {
+        id: be16(0),
+        flags: be16(2),
+        answer_count: ancount,
+        first_answer_ttl,
+        ecs,
+    })
+}
+
+/// Writes the probe response the Google Public DNS frontend sends for a
+/// non-recursive ECS probe, byte-identical to encoding the equivalent
+/// `Message::response_for(query).with_answers(..).with_response_ecs(..)`
+/// (asserted in tests).
+///
+/// `question_wire` is the query's QNAME + QTYPE + QCLASS, echoed
+/// verbatim — callers must only pass canonical (lowercase) question
+/// bytes, which holds because the fast-lane eligibility check byte-
+/// compares the QNAME against our own encoder's output. The answer name
+/// compresses to a pointer at offset 12, exactly as the [`Message`]
+/// encoder would emit. Flags are fixed at QR|RA with RD clear: the fast
+/// lane only serves non-recursive probe queries.
+pub fn write_probe_response(
+    out: &mut Vec<u8>,
+    id: u16,
+    question_wire: &[u8],
+    answer: Option<(u32, u32)>, // (ttl, A address)
+    ecs_source: Prefix,
+    ecs_scope_len: u8,
+) {
+    out.clear();
+    put_u16(out, id);
+    put_u16(out, 0x8080); // QR | RA, opcode 0, rd 0, rcode NoError
+    put_u16(out, 1); // qdcount
+    put_u16(out, answer.is_some() as u16);
+    put_u16(out, 0); // nscount
+    put_u16(out, 1); // arcount (the OPT)
+    out.extend_from_slice(question_wire);
+    if let Some((ttl, addr)) = answer {
+        put_u16(out, 0xC000 | 12); // name: pointer to the question at 12
+        put_u16(out, RrType::A.to_u16());
+        put_u16(out, RrClass::In.to_u16());
+        put_u32(out, ttl);
+        put_u16(out, 4); // RDLEN
+        put_u32(out, addr);
+    }
+    let edns = Edns::default();
+    put_u8(out, 0); // root owner name
+    put_u16(out, RrType::Opt.to_u16());
+    put_u16(out, edns.udp_payload_size);
+    let opt_ttl: u32 =
+        ((edns.ext_rcode as u32) << 24) | ((edns.version as u32) << 16) | edns.flags as u32;
+    put_u32(out, opt_ttl);
+    let addr_bytes = ecs_source.len().div_ceil(8) as u16;
+    put_u16(out, 4 + (4 + addr_bytes)); // RDLEN
+    write_ecs_option(out, ecs_source, ecs_scope_len.min(32));
+}
+
+#[cfg(test)]
+mod fast_lane_tests {
+    use super::*;
+    use crate::Question;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn probe_query(domain: &str, id: u16, scope: Prefix) -> Message {
+        Message::query(id, Question::a(domain).unwrap())
+            .with_recursion_desired(false)
+            .with_ecs(scope)
+    }
+
+    #[test]
+    fn template_render_matches_message_encoder() {
+        for domain in [
+            "www.google.com",
+            "facebook.com",
+            "cdn.msvalidation.example",
+            "a.b.c.d.example",
+        ] {
+            let tmpl = ProbeQueryTemplate::new(&domain.parse().unwrap());
+            let mut fast = Vec::new();
+            for scope in ["203.0.113.0/24", "10.32.16.0/20", "0.0.0.0/0", "1.2.3.4/32"] {
+                let scope = p(scope);
+                for id in [0u16, 0x1234, 0xFFFF] {
+                    tmpl.render(id, scope, &mut fast);
+                    let slow = encode(&probe_query(domain, id, scope)).unwrap();
+                    assert_eq!(fast, slow, "{domain} {scope} {id:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_view_agrees_with_decode() {
+        let tmpl = ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let mut buf = Vec::new();
+        tmpl.render(0xABCD, p("198.51.100.0/24"), &mut buf);
+        let view = query_view(&buf).expect("template query is simple");
+        let full = decode(&buf).unwrap();
+        assert_eq!(view.id, full.id);
+        assert_eq!(view.is_response(), full.is_response);
+        assert_eq!(view.recursion_desired(), full.recursion_desired);
+        assert_eq!(view.opcode(), full.opcode.to_u8());
+        assert_eq!(view.rtype, RrType::A.to_u16());
+        assert_eq!(view.qclass, RrClass::In.to_u16());
+        assert_eq!(view.ecs, full.ecs().copied());
+        assert_eq!(view.qname_wire, tmpl.qname_wire());
+    }
+
+    #[test]
+    fn query_view_rejects_non_simple_shapes() {
+        // A response with answers is not probe-query-shaped.
+        let q = probe_query("www.google.com", 1, p("10.0.0.0/24"));
+        let resp = Message::response_for(&q)
+            .with_answers(vec![Record::a("www.google.com".parse().unwrap(), 60, 1)])
+            .with_response_ecs(p("10.0.0.0/24"), 20);
+        assert!(query_view(&encode(&resp).unwrap()).is_none());
+        // Truncated packets are rejected, never panic.
+        let bytes = encode(&q).unwrap();
+        for cut in 0..bytes.len() {
+            let _ = query_view(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn response_view_agrees_with_decode() {
+        let q = probe_query("www.youtube.com", 77, p("203.0.113.0/24"));
+        let hit = Message::response_for(&q)
+            .with_answers(vec![Record::a(
+                "www.youtube.com".parse().unwrap(),
+                299,
+                0x60F0_0001,
+            )])
+            .with_response_ecs(p("203.0.113.0/24"), 22);
+        let scope0 = Message::response_for(&q)
+            .with_answers(vec![Record::a(
+                "www.youtube.com".parse().unwrap(),
+                1,
+                0x60F0_0001,
+            )])
+            .with_response_ecs(p("203.0.113.0/24"), 0);
+        let miss = Message::response_for(&q).with_response_ecs(p("203.0.113.0/24"), 0);
+        for msg in [&hit, &scope0, &miss] {
+            let bytes = encode(msg).unwrap();
+            let view = response_view(&bytes).unwrap();
+            let full = decode(&bytes).unwrap();
+            assert_eq!(view.id, full.id);
+            assert_eq!(view.answer_count as usize, full.answers.len());
+            if let Some(first) = full.answers.first() {
+                assert_eq!(view.first_answer_ttl, first.ttl);
+            }
+            assert_eq!(view.ecs, full.ecs().copied());
+        }
+    }
+
+    #[test]
+    fn response_view_rejects_truncation() {
+        let q = probe_query("www.google.com", 5, p("10.0.0.0/24"));
+        let resp = Message::response_for(&q)
+            .with_answers(vec![Record::a("www.google.com".parse().unwrap(), 60, 9)])
+            .with_response_ecs(p("10.0.0.0/24"), 24);
+        let bytes = encode(&resp).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                response_view(&bytes[..cut]).is_err(),
+                "accepted {cut}-byte truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn write_probe_response_matches_message_encoder() {
+        let source = p("198.51.100.0/24");
+        let q = probe_query("facebook.com", 0x5150, source);
+        let qbytes = encode(&q).unwrap();
+        let view = query_view(&qbytes).unwrap();
+        let question_wire = &qbytes[12..12 + view.qname_wire.len() + 4];
+
+        let mut fast = Vec::new();
+        // Hit with a nonzero scope.
+        write_probe_response(
+            &mut fast,
+            q.id,
+            question_wire,
+            Some((299, 0x60F0_0002)),
+            source,
+            22,
+        );
+        let slow = Message::response_for(&q)
+            .with_answers(vec![Record::a(
+                "facebook.com".parse().unwrap(),
+                299,
+                0x60F0_0002,
+            )])
+            .with_response_ecs(source, 22);
+        assert_eq!(fast, encode(&slow).unwrap());
+
+        // Scope-zero hit.
+        write_probe_response(
+            &mut fast,
+            q.id,
+            question_wire,
+            Some((1, 0x60F0_0002)),
+            source,
+            0,
+        );
+        let slow = Message::response_for(&q)
+            .with_answers(vec![Record::a(
+                "facebook.com".parse().unwrap(),
+                1,
+                0x60F0_0002,
+            )])
+            .with_response_ecs(source, 0);
+        assert_eq!(fast, encode(&slow).unwrap());
+
+        // Miss: no answers, scope-zero ECS.
+        write_probe_response(&mut fast, q.id, question_wire, None, source, 0);
+        let slow = Message::response_for(&q).with_response_ecs(source, 0);
+        assert_eq!(fast, encode(&slow).unwrap());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let msgs = [
+            probe_query("www.google.com", 1, p("10.0.0.0/24")),
+            probe_query("www.wikipedia.org", 2, p("192.0.2.0/28")),
+            Message::query(3, Question::a("www.example.com").unwrap()),
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut buf).unwrap();
+            assert_eq!(buf, encode(m).unwrap());
+        }
     }
 }
 

@@ -1,0 +1,212 @@
+//! Deterministic parallel execution for the clientmap workspace.
+//!
+//! The measurement pipeline is embarrassingly parallel (independent
+//! probe slots, independent root traces, independent ASes) but the
+//! project's contract is stronger than "parallel": same-seed runs must
+//! be **byte-identical regardless of thread count**, including telemetry
+//! snapshots. This crate provides the one primitive that makes both
+//! hold at once:
+//!
+//! [`par_map`] — a work-stealing map with an **ordered reduction**.
+//! Workers claim contiguous chunks of the input from a shared atomic
+//! cursor (cheap dynamic load balancing, so a straggler chunk does not
+//! serialize the run), but every result is placed back at its input
+//! index before [`par_map`] returns. Callers fold the output vector
+//! sequentially, so the reduction order is a pure function of the work
+//! list — never of the interleaving. As long as the per-unit closure is
+//! itself deterministic (no shared mutable state beyond commutative
+//! atomics), output at `CLIENTMAP_THREADS=1` and `=32` is identical.
+//!
+//! Worker count resolution, in priority order:
+//! 1. a scoped [`with_threads`] override (used by determinism tests —
+//!    it is race-free where `set_var` is not),
+//! 2. the `CLIENTMAP_THREADS` environment variable (parsed once),
+//! 3. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `CLIENTMAP_THREADS`, parsed once per process.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CLIENTMAP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The worker count [`par_map`] will use on this thread, ≥ 1.
+pub fn thread_count() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the worker count pinned to `n` on the current thread.
+///
+/// This is the determinism-test hook: unlike mutating the environment it
+/// cannot race with concurrently running tests, because the override is
+/// thread-local and restored on exit (including on panic-free early
+/// returns; the guard pattern also restores on unwind).
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// How many input items one cursor claim hands a worker.
+///
+/// Deliberately a pure function of the input length — chunk boundaries
+/// must not depend on the thread count, because callers key per-unit
+/// state (RNG streams, session resets) off unit identity.
+fn chunk_size(len: usize) -> usize {
+    // Small enough that skewed units still balance across workers,
+    // large enough that the cursor is not contended: at most ~256
+    // claims per run.
+    (len / 256).max(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] workers, returning results
+/// in input order.
+///
+/// `f` receives `(index, &item)` and must be deterministic per item.
+/// Work is claimed in chunks from an atomic cursor, so allocation of
+/// items to workers varies run to run — the *output* never does. With
+/// one worker (or ≤ 1 item) the map runs inline on the caller's thread,
+/// spawning nothing.
+///
+/// A panic in any worker propagates to the caller after all workers
+/// have stopped.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = chunk_size(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("par_map worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let out = with_threads(8, || par_map(&items, |i, &x| (i, x * 2)));
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn identical_output_across_thread_counts() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let run = |n| with_threads(n, || par_map(&items, |i, &x| x.wrapping_mul(i as u64 + 3)));
+        let one = run(1);
+        for n in [2, 3, 8, 17] {
+            assert_eq!(run(n), one, "diverged at {n} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        assert_eq!(with_threads(3, thread_count), 3);
+        let nested = with_threads(5, || (thread_count(), with_threads(2, thread_count)));
+        assert_eq!(nested, (5, 2));
+    }
+
+    #[test]
+    fn override_is_thread_local() {
+        with_threads(2, || {
+            let outside = std::thread::spawn(thread_count).join().unwrap();
+            // The spawned thread sees the env/parallelism default, not 2
+            // — unless the environment happens to force 2.
+            if std::env::var("CLIENTMAP_THREADS").is_err() {
+                assert_eq!(
+                    outside,
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                );
+            }
+            assert_eq!(thread_count(), 2);
+        });
+    }
+
+    #[test]
+    fn side_effects_cover_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..3_000).map(|_| AtomicU64::new(0)).collect();
+        with_threads(6, || {
+            par_map(&hits, |_, h| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

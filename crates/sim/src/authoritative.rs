@@ -53,6 +53,19 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Per-domain hash states for the scope policy, pre-mixed once so the
+/// probe hot path never stringifies the domain name. Produced by
+/// [`Authoritatives::scope_key`]; consumed by the `*_keyed` variants.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainScopeKey {
+    /// `SeedMixer(seed) · "scope" · name`, awaiting the /16 region.
+    scope: SeedMixer,
+    /// `SeedMixer(seed) · "churn" · name`, awaiting the /24 and bucket.
+    churn: SeedMixer,
+    supports_ecs: bool,
+    scope_len_range: (u8, u8),
+}
+
 impl Authoritatives {
     /// Builds the authoritative layer for a world seed, with a routing
     /// snapshot for scope alignment.
@@ -75,23 +88,38 @@ impl Authoritatives {
         self.rib.lookup_addr(addr).map(|(p, _)| p.len())
     }
 
+    /// Pre-mixes the per-domain hash states the scope policy keys on,
+    /// so the probe hot path can evaluate scopes without re-hashing the
+    /// domain name (which would stringify it — an allocation per query).
+    pub fn scope_key(&self, spec: &DomainSpec) -> DomainScopeKey {
+        let name = spec.name.to_string();
+        DomainScopeKey {
+            scope: SeedMixer::new(self.seed).mix_str("scope").mix_str(&name),
+            churn: SeedMixer::new(self.seed).mix_str("churn").mix_str(&name),
+            supports_ecs: spec.supports_ecs,
+            scope_len_range: spec.scope_len_range,
+        }
+    }
+
     /// The **base scope** the authoritative assigns for queries whose
     /// ECS address falls at `addr` — what a patient pre-scan learns.
     /// `None` if the domain does not support ECS.
     pub fn base_scope(&self, spec: &DomainSpec, addr: u32) -> Option<Prefix> {
-        if !spec.supports_ecs {
+        self.base_scope_keyed(&self.scope_key(spec), addr)
+    }
+
+    /// [`Authoritatives::base_scope`] from a pre-mixed key
+    /// (allocation-free; identical results by construction).
+    pub fn base_scope_keyed(&self, key: &DomainScopeKey, addr: u32) -> Option<Prefix> {
+        if !key.supports_ecs {
             return None;
         }
         let region = addr >> 16; // scope policy varies per /16 region
-        let h = SeedMixer::new(self.seed)
-            .mix_str("scope")
-            .mix_str(&spec.name.to_string())
-            .mix(u64::from(region))
-            .finish();
+        let h = key.scope.mix(u64::from(region)).finish();
         if unit(h) < SCOPE_ZERO_PROB {
             return Some(Prefix::DEFAULT);
         }
-        let (lo, hi) = spec.scope_len_range;
+        let (lo, hi) = key.scope_len_range;
         let span = u64::from(hi - lo) + 1;
         let mut len = lo + (SeedMixer::new(h).mix(1).finish() % span) as u8;
         // Align to the routing aggregate: never coarser than the
@@ -107,17 +135,23 @@ impl Authoritatives {
     /// keyed by (domain, /24, 6-hour bucket) so it is consistent for
     /// nearby queries but drifts over the measurement window.
     pub fn response_scope(&self, spec: &DomainSpec, addr: u32, t: SimTime) -> Option<Prefix> {
-        let base = self.base_scope(spec, addr)?;
+        self.response_scope_keyed(&self.scope_key(spec), addr, t)
+    }
+
+    /// [`Authoritatives::response_scope`] from a pre-mixed key
+    /// (allocation-free; identical results by construction).
+    pub fn response_scope_keyed(
+        &self,
+        key: &DomainScopeKey,
+        addr: u32,
+        t: SimTime,
+    ) -> Option<Prefix> {
+        let base = self.base_scope_keyed(key, addr)?;
         if base.is_default() {
             return Some(base); // scope-0 regions stay scope 0
         }
         let bucket = t.as_millis() / (6 * 3_600_000);
-        let h = SeedMixer::new(self.seed)
-            .mix_str("churn")
-            .mix_str(&spec.name.to_string())
-            .mix(u64::from(addr >> 8))
-            .mix(bucket)
-            .finish();
+        let h = key.churn.mix(u64::from(addr >> 8)).mix(bucket).finish();
         let u = unit(h);
         let delta: i8 = if u < CHURN_BEYOND_4 {
             5 + (h % 3) as i8 // 5..=7

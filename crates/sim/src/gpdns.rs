@@ -34,7 +34,7 @@ use clientmap_telemetry::{Counter, MetricsRegistry};
 use clientmap_world::World;
 
 use crate::anycast::Catchments;
-use crate::authoritative::Authoritatives;
+use crate::authoritative::{Authoritatives, DomainScopeKey};
 use crate::pops::{pop_catalog, PopId};
 use crate::SimTime;
 
@@ -242,6 +242,12 @@ pub struct GooglePublicDns {
     seed: u64,
     /// ECS-capable domains (index = domain slot used in hashing).
     ecs_domains: Vec<DomainName>,
+    /// Uncompressed QNAME wire bytes per slot — the fast lane matches
+    /// and echoes raw question bytes instead of decoding names.
+    domain_wires: Vec<Vec<u8>>,
+    /// Pre-mixed scope-policy hash states per slot, so the fast lane
+    /// never stringifies a domain name.
+    scope_keys: Vec<DomainScopeKey>,
     ttls: Vec<u32>,
     /// `[pop][domain] → scope → load` for scoped entries.
     scoped: Vec<Vec<HashMap<Prefix, ScopeLoad>>>,
@@ -258,6 +264,17 @@ pub struct GooglePublicDns {
 /// Maps a hash to `[0, 1)`.
 fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uncompressed QNAME wire bytes (labels + terminal root byte).
+fn qname_wire(name: &DomainName) -> Vec<u8> {
+    let mut v = Vec::with_capacity(32);
+    for label in name.labels() {
+        v.push(label.as_str().len() as u8);
+        v.extend_from_slice(label.as_str().as_bytes());
+    }
+    v.push(0);
+    v
 }
 
 impl GooglePublicDns {
@@ -286,6 +303,8 @@ impl GooglePublicDns {
             .filter(|s| s.supports_ecs)
             .collect();
         let ecs_domains: Vec<DomainName> = specs.iter().map(|s| s.name.clone()).collect();
+        let domain_wires: Vec<Vec<u8>> = ecs_domains.iter().map(qname_wire).collect();
+        let scope_keys: Vec<DomainScopeKey> = specs.iter().map(|s| auth.scope_key(s)).collect();
         let ttls: Vec<u32> = specs.iter().map(|s| s.ttl_secs).collect();
 
         let mut scoped: Vec<Vec<HashMap<Prefix, ScopeLoad>>> = (0..npops)
@@ -330,6 +349,8 @@ impl GooglePublicDns {
         GooglePublicDns {
             seed,
             ecs_domains,
+            domain_wires,
+            scope_keys,
             ttls,
             scoped,
             global,
@@ -589,6 +610,174 @@ impl GooglePublicDns {
         wire::encode(&resp).ok()
     }
 
+    /// [`GooglePublicDns::handle_query_at_pop`] writing the response
+    /// into a caller-reused buffer. Returns whether a response was
+    /// produced (`false` = dropped).
+    ///
+    /// Probe-shaped queries (non-recursive `A`-in-`IN` for an
+    /// ECS-cached domain) take a zero-allocation lane: the question is
+    /// matched and echoed as raw wire bytes, scope policy runs off
+    /// pre-mixed hash keys, and the response is written directly —
+    /// byte-identical to the [`Message`]-building path, with identical
+    /// session stats and telemetry (asserted in tests). Everything else
+    /// falls back to the full decode path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_query_at_pop_into(
+        &self,
+        session: &mut GpdnsSession,
+        world: &World,
+        auth: &Authoritatives,
+        prober: u64,
+        pop: PopId,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        if let Some(served) = self.serve_fast(session, auth, prober, pop, packet, transport, t, out)
+        {
+            return served;
+        }
+        match self.handle_query_at_pop(session, world, auth, prober, pop, packet, transport, t) {
+            Some(resp) => {
+                out.clear();
+                out.extend_from_slice(&resp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The zero-allocation serve lane. `None` means the packet is not
+    /// fast-eligible and nothing was counted — the caller must fall back
+    /// to [`GooglePublicDns::handle_query_at_pop`]. `Some(served)` means
+    /// the query was fully handled (counted, admitted, answered or
+    /// dropped) with `out` holding the response when `served`.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_fast(
+        &self,
+        session: &mut GpdnsSession,
+        auth: &Authoritatives,
+        prober: u64,
+        pop: PopId,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+        out: &mut Vec<u8>,
+    ) -> Option<bool> {
+        // Eligibility checks are pure: no counter moves until we commit
+        // to this lane, so the fallback path never double-counts.
+        let view = wire::query_view(packet)?;
+        if view.is_response()
+            || view.opcode() != 0
+            || view.recursion_desired()
+            || view.rtype != RrType::A.to_u16()
+            || view.qclass != clientmap_dns::RrClass::In.to_u16()
+        {
+            return None;
+        }
+        let slot = self
+            .domain_wires
+            .iter()
+            .position(|w| w[..] == *view.qname_wire)?;
+        let question_wire = &packet[12..12 + view.qname_wire.len() + 4];
+
+        session.stats.queries += 1;
+        self.metrics.queries(transport).inc();
+        if !self.admit(session, prober, pop, transport, t) {
+            session.stats.rate_limited += 1;
+            self.metrics.rate_limited(transport).inc();
+            return Some(false);
+        }
+        let source = view.ecs.map_or(Prefix::DEFAULT, |e| e.source);
+
+        // Pool draw — same mix, same seq advance as the slow path.
+        session.seq += 1;
+        let pool_h = SeedMixer::new(self.seed)
+            .mix_str("pool")
+            .mix(prober)
+            .mix(t.as_millis())
+            .mix(u64::from(source.addr()))
+            .mix(session.seq)
+            .finish();
+        let pool = (pool_h % POOLS_PER_POP as u64) as usize;
+
+        let key = &self.scope_keys[slot];
+        let candidate = auth.base_scope_keyed(key, source.addr());
+
+        // 1. Scoped entry.
+        if let Some(scope) = candidate.filter(|s| !s.is_default()) {
+            if let Some(load) = self.scoped[pop][slot].get(&scope).copied() {
+                if self.entry_live(pop, pool, slot, scope, &load, t) {
+                    session.stats.scoped_hits += 1;
+                    self.metrics.pool_hits[pool].inc();
+                    let h = SeedMixer::new(self.seed)
+                        .mix_str("ttl")
+                        .mix(pop as u64)
+                        .mix(pool as u64)
+                        .mix(u64::from(scope.addr()))
+                        .mix(t.as_millis() / (u64::from(self.ttls[slot]) * 1000))
+                        .finish();
+                    let remaining = self.remaining_ttl(slot, h, t);
+                    let resp_scope = auth
+                        .response_scope_keyed(key, source.addr(), t)
+                        .unwrap_or(scope);
+                    wire::write_probe_response(
+                        out,
+                        view.id,
+                        question_wire,
+                        Some((remaining, 0x60F0_0000 | slot as u32)),
+                        source,
+                        resp_scope.len(),
+                    );
+                    return Some(true);
+                }
+            }
+        }
+
+        // 2. Scope-0 entry.
+        let gload = self.global[pop][slot];
+        if gload.rate > 0.0 && self.entry_live(pop, pool, slot, Prefix::DEFAULT, &gload, t) {
+            session.stats.scope0_hits += 1;
+            self.metrics.pool_scope0[pool].inc();
+            wire::write_probe_response(
+                out,
+                view.id,
+                question_wire,
+                Some((self.ttls[slot].max(1), 0x60F0_0000 | slot as u32)),
+                source,
+                0,
+            );
+            return Some(true);
+        }
+
+        // 3. Miss.
+        session.stats.misses += 1;
+        self.metrics.pool_misses[pool].inc();
+        wire::write_probe_response(out, view.id, question_wire, None, source, 0);
+        Some(true)
+    }
+
+    /// [`GooglePublicDns::handle_query`] writing into a caller-reused
+    /// buffer (the zero-allocation prober call).
+    #[allow(clippy::too_many_arguments)]
+    pub fn handle_query_into(
+        &self,
+        session: &mut GpdnsSession,
+        world: &World,
+        catchments: &Catchments,
+        auth: &Authoritatives,
+        prober: u64,
+        vp_coord: clientmap_net::GeoCoord,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let pop = catchments.of_vantage(prober, vp_coord);
+        self.handle_query_at_pop_into(session, world, auth, prober, pop, packet, transport, t, out)
+    }
+
     /// Convenience wrapper: routes by vantage-point anycast, then
     /// handles the query. This is the call a prober makes.
     #[allow(clippy::too_many_arguments)]
@@ -609,23 +798,27 @@ impl GooglePublicDns {
     }
 
     /// Interprets a probe response into a [`ProbeOutcome`].
+    ///
+    /// Uses the zero-allocation [`wire::response_view`] parser — the
+    /// classification needs only the answer count, the first answer's
+    /// TTL and the ECS scope, none of which require materialising a
+    /// [`Message`].
     pub fn classify_response(resp: Option<&[u8]>) -> ProbeOutcome {
         let Some(bytes) = resp else {
             return ProbeOutcome::Dropped;
         };
-        let Ok(msg) = wire::decode(bytes) else {
+        let Ok(view) = wire::response_view(bytes) else {
             return ProbeOutcome::Dropped;
         };
-        if !msg.has_answers() {
+        if view.answer_count == 0 {
             return ProbeOutcome::Miss;
         }
-        match msg.ecs() {
+        match view.ecs {
             Some(e) if e.scope_len > 0 => ProbeOutcome::Hit {
                 scope: e.scope_prefix(),
-                remaining_ttl: msg.answers[0].ttl,
+                remaining_ttl: view.first_answer_ttl,
             },
-            Some(_) => ProbeOutcome::HitScopeZero,
-            None => ProbeOutcome::HitScopeZero,
+            _ => ProbeOutcome::HitScopeZero,
         }
     }
 
@@ -988,6 +1181,114 @@ mod tests {
         // Same window ⇒ same per-pool liveness ⇒ similar hit counts
         // (pool draws differ, so allow sampling noise).
         assert!((h1 - h2).abs() <= 12, "inconsistent liveness: {h1} vs {h2}");
+    }
+
+    #[test]
+    fn fast_lane_matches_slow_path_bytes_and_stats() {
+        let s = setup();
+        let (_, busy, pop) = busy_prefix(&s);
+        let dark = s
+            .world
+            .slash24s
+            .iter()
+            .find(|p| !p.is_active())
+            .map(|p| p.prefix)
+            .expect("dark prefix exists");
+        let mut slow_session = GpdnsSession::new();
+        let mut fast_session = GpdnsSession::new();
+        let mut out = Vec::new();
+        let mut id = 0u16;
+        // Sweep windows, domains and scopes so hits, scope-0 hits and
+        // misses all occur; both sessions see the identical sequence, so
+        // pool draws line up and every byte must match.
+        for w in 0..40u64 {
+            let t = SimTime::from_secs(3600 * 6 + w * 450);
+            for domain in ["www.google.com", "www.youtube.com"] {
+                for scope in [busy, dark] {
+                    id += 1;
+                    let pkt = probe_packet(domain, scope, id);
+                    let slow = s.gpdns.handle_query_at_pop(
+                        &mut slow_session,
+                        &s.world,
+                        &s.auth,
+                        42,
+                        pop,
+                        &pkt,
+                        Transport::Tcp,
+                        t,
+                    );
+                    let fast = s.gpdns.handle_query_at_pop_into(
+                        &mut fast_session,
+                        &s.world,
+                        &s.auth,
+                        42,
+                        pop,
+                        &pkt,
+                        Transport::Tcp,
+                        t,
+                        &mut out,
+                    );
+                    assert_eq!(fast, slow.is_some(), "drop disagreement at id {id}");
+                    if let Some(slow_bytes) = slow {
+                        assert_eq!(out, slow_bytes, "byte mismatch at id {id}");
+                    }
+                }
+            }
+        }
+        assert_eq!(slow_session.stats, fast_session.stats);
+        assert!(
+            slow_session.stats.scoped_hits > 0 && slow_session.stats.misses > 0,
+            "test did not exercise both hit and miss paths: {:?}",
+            slow_session.stats
+        );
+    }
+
+    #[test]
+    fn fast_lane_falls_back_for_non_probe_shapes() {
+        let s = setup();
+        let mut slow_session = GpdnsSession::new();
+        let mut fast_session = GpdnsSession::new();
+        let mut out = Vec::new();
+        let myaddr = wire::encode(&Message::query(1, Question::txt(MYADDR_NAME).unwrap())).unwrap();
+        let recursive = wire::encode(
+            &Message::query(2, Question::a("www.google.com").unwrap())
+                .with_ecs("10.1.2.0/24".parse().unwrap()),
+        )
+        .unwrap();
+        let unknown = wire::encode(
+            &Message::query(3, Question::a("www.amazon.com").unwrap())
+                .with_recursion_desired(false),
+        )
+        .unwrap();
+        for pkt in [&myaddr, &recursive, &unknown] {
+            let t = SimTime::from_secs(100);
+            let slow = s.gpdns.handle_query_at_pop(
+                &mut slow_session,
+                &s.world,
+                &s.auth,
+                7,
+                2,
+                pkt,
+                Transport::Tcp,
+                t,
+            );
+            let fast = s.gpdns.handle_query_at_pop_into(
+                &mut fast_session,
+                &s.world,
+                &s.auth,
+                7,
+                2,
+                pkt,
+                Transport::Tcp,
+                t,
+                &mut out,
+            );
+            assert_eq!(fast, slow.is_some());
+            if let Some(slow_bytes) = slow {
+                assert_eq!(out, slow_bytes);
+            }
+        }
+        assert_eq!(slow_session.stats, fast_session.stats);
     }
 
     #[test]

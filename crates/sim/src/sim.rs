@@ -76,6 +76,34 @@ impl<'a> SimView<'a> {
             t,
         )
     }
+
+    /// [`SimView::gpdns_query`] writing the response into a
+    /// caller-reused buffer — the zero-allocation probe call. Returns
+    /// whether a response was produced (`false` = dropped).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gpdns_query_into(
+        &self,
+        session: &mut GpdnsSession,
+        prober: u64,
+        coord: GeoCoord,
+        packet: &[u8],
+        transport: Transport,
+        t: SimTime,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        self.gpdns.handle_query_into(
+            session,
+            self.world,
+            self.catchments,
+            self.auth,
+            prober,
+            coord,
+            packet,
+            transport,
+            t,
+            out,
+        )
+    }
 }
 
 impl Sim {

@@ -372,6 +372,12 @@ pub(crate) fn generate(config: WorldConfig) -> World {
     // --- 4. Per-/24 population ------------------------------------------
     // For each AS: choose a utilisation fraction from the mixture, mark
     // that share of eyeball /24s active, and split users among them.
+    //
+    // Every AS draws from its own seed-derived RNG stream, which makes
+    // ASes independent work units for the deterministic executor; the
+    // merge below replays each unit's output (slash24 table entries and
+    // geolocation adds) in AS order, so the generated world is
+    // byte-identical at any thread count.
     let mut slash24s: Vec<Slash24Info> = Vec::new();
     let mut slash24_by_addr: std::collections::HashMap<u32, usize> =
         std::collections::HashMap::new();
@@ -386,7 +392,28 @@ pub(crate) fn generate(config: WorldConfig) -> World {
             .collect()
     };
 
-    for as_id in first_regular..ases.len() {
+    /// One AS's population result, replayed in AS order by the merge.
+    struct AsPopulation {
+        /// The AS's routed /24 entries, in address order.
+        subs: Vec<Slash24Info>,
+        /// Geolocation entries, in the order the sequential code added
+        /// them (unrouted blocks at block granularity, routed per /24).
+        geo_adds: Vec<(
+            clientmap_net::Prefix,
+            clientmap_net::GeoCoord,
+            clientmap_geo::CountryCode,
+            PrefixKind,
+        )>,
+    }
+
+    let as_ids: Vec<usize> = (first_regular..ases.len()).collect();
+    let populations: Vec<AsPopulation> = clientmap_par::par_map(&as_ids, |_, &as_id| {
+        let mut rng = StdRng::seed_from_u64(
+            SeedMixer::new(config.seed)
+                .mix_str("as-pop")
+                .mix(as_id as u64)
+                .finish(),
+        );
         let info = &ases[as_id];
         let sparse = rng.gen_bool(config.sparse_as_prob.clamp(0.0, 1.0));
         let (lo, hi) = if sparse {
@@ -397,28 +424,32 @@ pub(crate) fn generate(config: WorldConfig) -> World {
         let utilisation = rng.gen_range(lo..hi.max(lo + 1e-9));
         let eyeball_frac = eyeball_space_fraction(info.category);
         let in_country = country_metros(info.country);
+        let mut out = AsPopulation {
+            subs: Vec::new(),
+            geo_adds: Vec::new(),
+        };
 
-        // First pass: create entries, collecting active indices + weights.
+        // First pass: create entries, collecting active indices + weights
+        // (indices are local to this AS's `subs`).
         let mut active_user_slots: Vec<(usize, f64)> = Vec::new();
         let mut active_machine_slots: Vec<(usize, f64)> = Vec::new();
-        let block_ids = info.blocks.clone();
-        for block_id in block_ids {
+        for &block_id in &info.blocks {
             let block = &blocks[block_id];
             if !block.routed {
                 // Unrouted space still gets a geolocation entry (MaxMind
                 // covers allocated space), at block granularity.
-                let metro = metros[ases[as_id].home_metro];
-                geodb_builder.add(
+                let metro = metros[info.home_metro];
+                out.geo_adds.push((
                     block.prefix,
                     metro.coord,
-                    ases[as_id].country,
+                    info.country,
                     PrefixKind::Infrastructure,
-                );
+                ));
                 continue;
             }
             // Scatter the block around one in-country metro.
             let metro_idx = if in_country.is_empty() {
-                ases[as_id].home_metro
+                info.home_metro
             } else {
                 in_country[rng.gen_range(0..in_country.len())]
             };
@@ -434,7 +465,7 @@ pub(crate) fn generate(config: WorldConfig) -> World {
                 };
                 let coord =
                     block_coord.destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..40.0));
-                let idx = slash24s.len();
+                let idx = out.subs.len();
                 let active = rng.gen_bool(utilisation);
                 if active {
                     match kind {
@@ -446,8 +477,7 @@ pub(crate) fn generate(config: WorldConfig) -> World {
                         }
                     }
                 }
-                slash24_by_addr.insert(sub.addr() >> 8, idx);
-                slash24s.push(Slash24Info {
+                out.subs.push(Slash24Info {
                     prefix: sub,
                     as_id,
                     coord,
@@ -457,48 +487,48 @@ pub(crate) fn generate(config: WorldConfig) -> World {
                     resolver_mix: ResolverMix::DARK,
                     other_resolver: 0,
                 });
-                geodb_builder.add(sub, coord, ases[as_id].country, kind);
+                out.geo_adds.push((sub, coord, info.country, kind));
             }
         }
 
         // Guarantee at least one active slot when there is population.
-        let last_range = slash24s.len();
-        let as_start = last_range
-            - ases[as_id]
-                .blocks
-                .iter()
-                .filter(|b| blocks[**b].routed)
-                .map(|b| blocks[*b].prefix.num_slash24s() as usize)
-                .sum::<usize>();
-        if ases[as_id].users > 0.0 && active_user_slots.is_empty() {
+        if info.users > 0.0 && active_user_slots.is_empty() {
             // Prefer an eyeball /24; fall back to any routed /24.
-            let pick = (as_start..last_range)
-                .find(|i| slash24s[*i].kind == PrefixKind::Eyeball)
-                .or(if as_start < last_range {
-                    Some(as_start)
-                } else {
-                    None
-                });
+            let pick = (0..out.subs.len())
+                .find(|i| out.subs[*i].kind == PrefixKind::Eyeball)
+                .or(if out.subs.is_empty() { None } else { Some(0) });
             if let Some(i) = pick {
                 active_user_slots.push((i, 1.0));
             }
         }
-        if ases[as_id].machines > 0.0 && active_machine_slots.is_empty() && as_start < last_range {
-            let pick = (as_start..last_range)
-                .find(|i| slash24s[*i].kind == PrefixKind::Infrastructure)
-                .unwrap_or(as_start);
+        if info.machines > 0.0 && active_machine_slots.is_empty() && !out.subs.is_empty() {
+            let pick = (0..out.subs.len())
+                .find(|i| out.subs[*i].kind == PrefixKind::Infrastructure)
+                .unwrap_or(0);
             active_machine_slots.push((pick, 1.0));
         }
 
         // Distribute users/machines across the active slots.
         let user_weight: f64 = active_user_slots.iter().map(|(_, w)| w).sum();
         for (idx, w) in &active_user_slots {
-            slash24s[*idx].users = ases[as_id].users * w / user_weight.max(f64::MIN_POSITIVE);
+            out.subs[*idx].users = info.users * w / user_weight.max(f64::MIN_POSITIVE);
         }
         let machine_weight: f64 = active_machine_slots.iter().map(|(_, w)| w).sum();
         for (idx, w) in &active_machine_slots {
-            slash24s[*idx].machines =
-                ases[as_id].machines * w / machine_weight.max(f64::MIN_POSITIVE);
+            out.subs[*idx].machines = info.machines * w / machine_weight.max(f64::MIN_POSITIVE);
+        }
+        out
+    });
+
+    // Ordered reduction: replay per-AS output in AS order.
+    for pop in populations {
+        for (prefix, coord, country, kind) in pop.geo_adds {
+            geodb_builder.add(prefix, coord, country, kind);
+        }
+        for s in pop.subs {
+            let idx = slash24s.len();
+            slash24_by_addr.insert(s.prefix.addr() >> 8, idx);
+            slash24s.push(s);
         }
     }
 

@@ -22,6 +22,7 @@ pub use clientmap_datasets as datasets;
 pub use clientmap_dns as dns;
 pub use clientmap_geo as geo;
 pub use clientmap_net as net;
+pub use clientmap_par as par;
 pub use clientmap_sim as sim;
 pub use clientmap_telemetry as telemetry;
 pub use clientmap_world as world;

@@ -254,6 +254,39 @@ fn deterministic_end_to_end() {
 }
 
 #[test]
+fn identical_output_across_thread_counts() {
+    // The executor's ordered reduction promises the whole pipeline is
+    // reproducible at any worker count: same headline report, same
+    // result numbers, and a byte-identical telemetry snapshot.
+    let base = clientmap::par::with_threads(1, || Pipeline::run(PipelineConfig::tiny(2021)));
+    let base_headlines = base.report().headlines();
+    let base_snapshot = base.metrics_snapshot().to_json();
+    for threads in [2usize, 8] {
+        let run =
+            clientmap::par::with_threads(threads, || Pipeline::run(PipelineConfig::tiny(2021)));
+        assert_eq!(
+            run.cache_probe.probes_sent, base.cache_probe.probes_sent,
+            "probe volume drift at {threads} threads"
+        );
+        assert_eq!(
+            run.cache_probe.active_set().num_slash24s(),
+            base.cache_probe.active_set().num_slash24s(),
+            "active set drift at {threads} threads"
+        );
+        assert_eq!(
+            run.report().headlines(),
+            base_headlines,
+            "headline drift at {threads} threads"
+        );
+        assert_eq!(
+            run.metrics_snapshot().to_json(),
+            base_snapshot,
+            "telemetry snapshot drift at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn fig4_bounds_invariant_lower_leq_upper_leq_announced() {
     let o = output();
     let bounds = o.cache_probe.as_bounds(&o.sim.world().rib);
