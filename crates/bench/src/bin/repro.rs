@@ -1,8 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```sh
-//! repro [--scale tiny|small|paper] [--seed N] [--metrics FILE] [section…]
-//! repro [--scale …] [--seed N] bench [--json FILE]
+//! repro [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
+//!       [--metrics FILE] [section…]
+//! repro [--scale …] [--seed N] [--faults …] bench [--json FILE]
 //! ```
 //!
 //! Sections: `headline table1 table2 table3 table4 table5 fig1 fig2
@@ -16,12 +17,17 @@
 //! `bench` runs the pipeline once and reports per-stage wall times plus
 //! the executor's thread count (set `CLIENTMAP_THREADS` to pin it) as
 //! JSON, to stdout or to `--json FILE`.
+//!
+//! `--faults PROFILE` (`off|light|lossy|pop-churn`) runs the whole
+//! pipeline under the named deterministic fault plan; the report grows
+//! a Robustness section with the partial-result accounting.
 
 use clientmap_cacheprobe::scopescan::scan_domain;
 use clientmap_cacheprobe::vantage::discover;
 use clientmap_cacheprobe::{probe, ProbeConfig};
 use clientmap_chromium::collisions;
 use clientmap_core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap_faults::{FaultConfig, FaultProfile};
 use clientmap_net::Prefix;
 use clientmap_sim::{Sim, SimTime, Transport};
 use clientmap_world::World;
@@ -30,6 +36,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "tiny".to_string();
     let mut seed = 2021u64;
+    let mut faults = FaultProfile::Off;
+    let mut fault_seed = 0u64;
     let mut metrics_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut sections: Vec<String> = Vec::new();
@@ -42,6 +50,21 @@ fn main() {
             }
             "--seed" => {
                 seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+                i += 2;
+            }
+            "--faults" => {
+                let name = args.get(i + 1).cloned().unwrap_or_default();
+                faults = match name.parse() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("repro: bad --faults {name:?}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--fault-seed" => {
+                fault_seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
                 i += 2;
             }
             "--metrics" => {
@@ -62,20 +85,30 @@ fn main() {
         sections.push("all".into());
     }
 
-    let config = match scale.as_str() {
+    let mut config = match scale.as_str() {
         "paper" => PipelineConfig::paper_scale(seed),
         "small" => PipelineConfig::small(seed),
         _ => PipelineConfig::tiny(seed),
     };
+    config.faults = FaultConfig::profile(faults, fault_seed);
 
     if sections.iter().any(|s| s == "bench") {
         bench_run(&scale, seed, config, json_path.as_deref());
         return;
     }
 
-    eprintln!("repro: scale={scale} seed={seed} — running pipeline…");
+    eprintln!(
+        "repro: scale={scale} seed={seed} faults={} — running pipeline…",
+        faults.as_str()
+    );
     let start = std::time::Instant::now();
-    let out = Pipeline::run(config);
+    let out = match Pipeline::run(config) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("repro: pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "repro: pipeline done in {:.1}s",
         start.elapsed().as_secs_f64()
@@ -98,6 +131,11 @@ fn main() {
 
     if want("headline") {
         println!("{}", report.headlines());
+    }
+    if let Some(robustness) = report.robustness() {
+        if want("robustness") || sections.iter().any(|s| s == "all") {
+            println!("{robustness}");
+        }
     }
     if want("table1") {
         println!("{}", report.table1());
@@ -168,10 +206,20 @@ fn main() {
 /// per-stage wall seconds and the executor's worker count.
 fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&str>) {
     let threads = clientmap_par::thread_count();
-    eprintln!("repro bench: scale={scale} seed={seed} threads={threads} — running pipeline…");
+    let faults = config.faults;
+    eprintln!(
+        "repro bench: scale={scale} seed={seed} faults={} threads={threads} — running pipeline…",
+        faults.profile.as_str()
+    );
     let mut timings: Vec<(String, f64)> = Vec::new();
     let start = std::time::Instant::now();
-    let out = Pipeline::run_timed(config, &mut timings);
+    let out = match Pipeline::run_timed(config, &mut timings) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("repro bench: pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let total_secs = start.elapsed().as_secs_f64();
     eprintln!(
         "repro bench: pipeline done in {total_secs:.1}s ({} probes sent)",
@@ -180,8 +228,28 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"faults\": \"{}\",\n", faults.profile.as_str()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"total_secs\": {total_secs:.3},\n"));
+    if let Some(f) = &out.cache_probe.fault {
+        json.push_str("  \"fault_summary\": {\n");
+        json.push_str(&format!("    \"observed\": {},\n", f.observed));
+        json.push_str(&format!("    \"retries\": {},\n", f.retries));
+        json.push_str(&format!("    \"recovered\": {},\n", f.recovered));
+        json.push_str(&format!("    \"degraded\": {},\n", f.degraded));
+        json.push_str(&format!("    \"lost\": {},\n", f.lost));
+        json.push_str(&format!(
+            "    \"quarantined_pops\": {},\n",
+            f.quarantined_pops.len()
+        ));
+        json.push_str(&format!("    \"rescued_scopes\": {},\n", f.rescued_scopes));
+        json.push_str(&format!(
+            "    \"unmeasured_scopes\": {},\n",
+            f.unmeasured_scopes
+        ));
+        json.push_str(&format!("    \"assigned_scopes\": {}\n", f.assigned_scopes));
+        json.push_str("  },\n");
+    }
     json.push_str("  \"stages\": {\n");
     for (i, (name, secs)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };

@@ -18,13 +18,13 @@ use clientmap_core::{Pipeline, PipelineConfig, PipelineOutput};
 /// the benches measure the *analysis*, not the run).
 pub fn tiny_run() -> &'static PipelineOutput {
     static OUT: OnceLock<PipelineOutput> = OnceLock::new();
-    OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(0xC11E)))
+    OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(0xC11E)).expect("tiny run is healthy"))
 }
 
 /// A shared small run for heavier comparisons.
 pub fn small_run() -> &'static PipelineOutput {
     static OUT: OnceLock<PipelineOutput> = OnceLock::new();
-    OUT.get_or_init(|| Pipeline::run(PipelineConfig::small(0xC11E)))
+    OUT.get_or_init(|| Pipeline::run(PipelineConfig::small(0xC11E)).expect("small run is healthy"))
 }
 
 #[cfg(test)]

@@ -112,6 +112,13 @@ pub fn calibrate(
         sample_size: sample.len(),
         ..ServiceRadii::default()
     };
+    // Under fault injection, calibration probes ride the resilient
+    // path too — a lost calibration probe must be observed, retried,
+    // and accounted like any other, or the radii skew dark.
+    let fc = sim
+        .fault_plan()
+        .enabled()
+        .then(|| crate::resilience::FaultCounters::resolve(sim.metrics()));
     let view = sim.view();
     let mut per_pop: Vec<(usize, Vec<f64>, clientmap_sim::GpdnsSession)> =
         clientmap_par::par_map(bound, |_, b| {
@@ -121,10 +128,28 @@ pub fn calibrate(
                 // Stagger probe times so the rate limiter behaves.
                 let pt = t + SimTime::from_millis(i as u64 * 20);
                 let hit = domains.iter().any(|d| {
-                    matches!(
-                        crate::probe::probe_scope_with(&view, &mut session, b, d, *prefix, cfg, pt),
-                        ProbeOutcome::Hit { .. }
-                    )
+                    let outcome = match &fc {
+                        Some(fc) => crate::probe::probe_scope_resilient_with(
+                            &view,
+                            &mut session,
+                            b,
+                            d,
+                            *prefix,
+                            cfg,
+                            pt,
+                            fc,
+                        ),
+                        None => crate::probe::probe_scope_with(
+                            &view,
+                            &mut session,
+                            b,
+                            d,
+                            *prefix,
+                            cfg,
+                            pt,
+                        ),
+                    };
+                    matches!(outcome, ProbeOutcome::Hit { .. })
                 });
                 if hit {
                     let geodb = &view.world.geodb;

@@ -36,12 +36,13 @@ pub mod calibrate;
 pub mod diurnal;
 pub mod openresolver;
 pub mod probe;
+pub mod resilience;
 pub mod results;
 pub mod scopescan;
 pub mod vantage;
 
 mod config;
 
-pub use config::ProbeConfig;
+pub use config::{ProbeConfig, RetryPolicy};
 pub use probe::{run_technique, run_technique_timed};
-pub use results::{CacheProbeResult, ProbeCount};
+pub use results::{CacheProbeResult, FaultSummary, ProbeCount};

@@ -26,14 +26,65 @@ use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::calibrate::{calibrate, sample_prefixes};
-use crate::results::CacheProbeResult;
+use crate::resilience::{
+    attempt_id, observe_response, resilient_attempt, FaultCounters, WireObservation,
+};
+use crate::results::{CacheProbeResult, FaultSummary};
 use crate::scopescan::scan;
-use crate::vantage::{discover, BoundVantage};
+use crate::vantage::{discover_with, BoundVantage};
 use crate::ProbeConfig;
 
-/// Sends `cfg.redundancy` identical non-recursive ECS queries for
-/// ⟨PoP, prefix, domain⟩ (covering multiple cache pools) and returns
-/// the best outcome. Hit > HitScopeZero > Miss > Dropped.
+/// Merges the outcome of one redundant query into the running best:
+/// `Hit > HitScopeZero > Miss > Dropped`, first occurrence of the
+/// highest rank winning.
+pub fn merge_outcome(best: ProbeOutcome, next: ProbeOutcome) -> ProbeOutcome {
+    fn rank(o: &ProbeOutcome) -> u8 {
+        match o {
+            ProbeOutcome::Dropped => 0,
+            ProbeOutcome::Miss => 1,
+            ProbeOutcome::HitScopeZero => 2,
+            ProbeOutcome::Hit { .. } => 3,
+        }
+    }
+    if rank(&next) > rank(&best) {
+        next
+    } else {
+        best
+    }
+}
+
+/// Builds the probe query for a ⟨domain, scope⟩ pair; the ID is patched
+/// per attempt.
+fn encode_probe_query(domain: &DomainName, scope: Prefix) -> Option<Vec<u8>> {
+    let q = Message::query(
+        0,
+        Question {
+            name: domain.clone(),
+            rtype: clientmap_dns::RrType::A,
+            class: clientmap_dns::RrClass::In,
+        },
+    )
+    .with_recursion_desired(false)
+    .with_ecs(scope);
+    wire::encode(&q).ok()
+}
+
+/// Classifies a response after verifying its transaction ID and echoed
+/// question; anything unverifiable — including error rcodes, which the
+/// plain path does not retry — counts as [`ProbeOutcome::Dropped`].
+/// (The resilient path classifies through
+/// [`observe_response`] directly and counts each failure class.)
+fn classify_checked(query: &[u8], id: u16, resp: Option<&[u8]>) -> ProbeOutcome {
+    match observe_response(query, id, resp) {
+        WireObservation::Ok(outcome) => outcome,
+        _ => ProbeOutcome::Dropped,
+    }
+}
+
+/// Sends `cfg.redundancy` non-recursive ECS queries for
+/// ⟨PoP, prefix, domain⟩ (covering multiple cache pools), each with a
+/// distinct transaction ID, and returns the best verified outcome.
+/// Hit > HitScopeZero > Miss > Dropped.
 #[allow(clippy::too_many_arguments)]
 pub fn probe_scope_with(
     view: &SimView<'_>,
@@ -44,22 +95,14 @@ pub fn probe_scope_with(
     cfg: &ProbeConfig,
     t: SimTime,
 ) -> ProbeOutcome {
-    let q = Message::query(
-        (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16,
-        Question {
-            name: domain.clone(),
-            rtype: clientmap_dns::RrType::A,
-            class: clientmap_dns::RrClass::In,
-        },
-    )
-    .with_recursion_desired(false)
-    .with_ecs(scope);
-    let Ok(packet) = wire::encode(&q) else {
+    let Some(mut packet) = encode_probe_query(domain, scope) else {
         return ProbeOutcome::Dropped;
     };
     let mut best = ProbeOutcome::Dropped;
     for r in 0..cfg.redundancy {
         let rt = t + SimTime::from_millis(u64::from(r));
+        let id = attempt_id(t, scope, r, 0);
+        packet[0..2].copy_from_slice(&id.to_be_bytes());
         let resp = view.gpdns_query(
             session,
             bound.prober_key(),
@@ -68,13 +111,59 @@ pub fn probe_scope_with(
             cfg.transport,
             rt,
         );
-        let outcome = clientmap_sim::GooglePublicDns::classify_response(resp.as_deref());
-        best = match (&best, &outcome) {
-            (_, ProbeOutcome::Hit { .. }) => return outcome,
-            (ProbeOutcome::Dropped, _) => outcome,
-            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
-            _ => best,
-        };
+        best = merge_outcome(best, classify_checked(&packet, id, resp.as_deref()));
+        if matches!(best, ProbeOutcome::Hit { .. }) {
+            return best;
+        }
+    }
+    best
+}
+
+/// Fault-aware sibling of [`probe_scope_with`]: each redundant query
+/// gets bounded retries with seeded exponential backoff under the
+/// per-probe deadline budget, and a TC-truncated UDP response upgrades
+/// the retry to TCP. Used by calibration when fault injection is on.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_scope_resilient_with(
+    view: &SimView<'_>,
+    session: &mut GpdnsSession,
+    bound: &BoundVantage,
+    domain: &DomainName,
+    scope: Prefix,
+    cfg: &ProbeConfig,
+    t: SimTime,
+    fc: &FaultCounters,
+) -> ProbeOutcome {
+    let Some(mut packet) = encode_probe_query(domain, scope) else {
+        return ProbeOutcome::Dropped;
+    };
+    let mut best = ProbeOutcome::Dropped;
+    for r in 0..cfg.redundancy {
+        let rt = t + SimTime::from_millis(u64::from(r));
+        let outcome = resilient_attempt(
+            bound.prober_key(),
+            rt,
+            cfg.transport,
+            &cfg.retry,
+            fc,
+            |retry, at, transport| {
+                let id = attempt_id(t, scope, r, retry);
+                packet[0..2].copy_from_slice(&id.to_be_bytes());
+                let resp = view.gpdns_query(
+                    session,
+                    bound.prober_key(),
+                    bound.coord(),
+                    &packet,
+                    transport,
+                    at,
+                );
+                observe_response(&packet, id, resp.as_deref())
+            },
+        );
+        best = merge_outcome(best, outcome);
+        if matches!(best, ProbeOutcome::Hit { .. }) {
+            return best;
+        }
     }
     best
 }
@@ -91,22 +180,14 @@ pub fn probe_scope(
     cfg: &ProbeConfig,
     t: SimTime,
 ) -> ProbeOutcome {
-    let q = Message::query(
-        (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16,
-        Question {
-            name: domain.clone(),
-            rtype: clientmap_dns::RrType::A,
-            class: clientmap_dns::RrClass::In,
-        },
-    )
-    .with_recursion_desired(false)
-    .with_ecs(scope);
-    let Ok(packet) = wire::encode(&q) else {
+    let Some(mut packet) = encode_probe_query(domain, scope) else {
         return ProbeOutcome::Dropped;
     };
     let mut best = ProbeOutcome::Dropped;
     for r in 0..cfg.redundancy {
         let rt = t + SimTime::from_millis(u64::from(r));
+        let id = attempt_id(t, scope, r, 0);
+        packet[0..2].copy_from_slice(&id.to_be_bytes());
         let resp = sim.gpdns_query(
             bound.prober_key(),
             bound.coord(),
@@ -114,13 +195,10 @@ pub fn probe_scope(
             cfg.transport,
             rt,
         );
-        let outcome = clientmap_sim::GooglePublicDns::classify_response(resp.as_deref());
-        best = match (&best, &outcome) {
-            (_, ProbeOutcome::Hit { .. }) => return outcome,
-            (ProbeOutcome::Dropped, _) => outcome,
-            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
-            _ => best,
-        };
+        best = merge_outcome(best, classify_checked(&packet, id, resp.as_deref()));
+        if matches!(best, ProbeOutcome::Hit { .. }) {
+            return best;
+        }
     }
     best
 }
@@ -142,11 +220,11 @@ pub fn probe_scope_fast(
     query_buf: &mut Vec<u8>,
     resp_buf: &mut Vec<u8>,
 ) -> ProbeOutcome {
-    let id = (t.as_millis() as u16) ^ (scope.addr() >> 8) as u16;
-    template.render(id, scope, query_buf);
     let mut best = ProbeOutcome::Dropped;
     for r in 0..cfg.redundancy {
         let rt = t + SimTime::from_millis(u64::from(r));
+        let id = attempt_id(t, scope, r, 0);
+        template.render(id, scope, query_buf);
         let got = view.gpdns_query_into(
             session,
             bound.prober_key(),
@@ -156,14 +234,62 @@ pub fn probe_scope_fast(
             rt,
             resp_buf,
         );
-        let outcome =
-            clientmap_sim::GooglePublicDns::classify_response(got.then_some(resp_buf.as_slice()));
-        best = match (&best, &outcome) {
-            (_, ProbeOutcome::Hit { .. }) => return outcome,
-            (ProbeOutcome::Dropped, _) => outcome,
-            (ProbeOutcome::Miss, ProbeOutcome::HitScopeZero) => outcome,
-            _ => best,
-        };
+        best = merge_outcome(
+            best,
+            classify_checked(query_buf, id, got.then_some(resp_buf.as_slice())),
+        );
+        if matches!(best, ProbeOutcome::Hit { .. }) {
+            return best;
+        }
+    }
+    best
+}
+
+/// Fault-aware sibling of [`probe_scope_fast`]: retries, backoff,
+/// deadline budget, and the TC → TCP upgrade, all on the
+/// zero-allocation lane. Drives the probing sweep when fault injection
+/// is on.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_scope_resilient_fast(
+    view: &SimView<'_>,
+    session: &mut GpdnsSession,
+    bound: &BoundVantage,
+    template: &wire::ProbeQueryTemplate,
+    scope: Prefix,
+    cfg: &ProbeConfig,
+    t: SimTime,
+    fc: &FaultCounters,
+    query_buf: &mut Vec<u8>,
+    resp_buf: &mut Vec<u8>,
+) -> ProbeOutcome {
+    let mut best = ProbeOutcome::Dropped;
+    for r in 0..cfg.redundancy {
+        let rt = t + SimTime::from_millis(u64::from(r));
+        let outcome = resilient_attempt(
+            bound.prober_key(),
+            rt,
+            cfg.transport,
+            &cfg.retry,
+            fc,
+            |retry, at, transport| {
+                let id = attempt_id(t, scope, r, retry);
+                template.render(id, scope, query_buf);
+                let got = view.gpdns_query_into(
+                    session,
+                    bound.prober_key(),
+                    bound.coord(),
+                    query_buf,
+                    transport,
+                    at,
+                    resp_buf,
+                );
+                observe_response(query_buf, id, got.then_some(resp_buf.as_slice()))
+            },
+        );
+        best = merge_outcome(best, outcome);
+        if matches!(best, ProbeOutcome::Hit { .. }) {
+            return best;
+        }
     }
     best
 }
@@ -245,9 +371,14 @@ struct UnitTally {
     hits: Vec<(Prefix, Prefix, u32)>,
     /// query scope → (attempts, hits) for activity ranking.
     counts: HashMap<Prefix, (u64, u64)>,
+    attempts: u64,
     probes_sent: u64,
     scope0_hits: u64,
     drops: u64,
+    /// The unit's circuit breaker tripped: `breaker_threshold`
+    /// consecutive probes were lost and the rest of the stream was
+    /// abandoned (fault injection only).
+    tripped: bool,
     session: GpdnsSession,
 }
 
@@ -259,6 +390,7 @@ struct UnitTally {
 /// (the paper's 120 h at 50 q/s over ~2.4M prefixes ≈ 9 passes). Each
 /// stream is its own connection with its own session, so units are
 /// fully independent — the executor may run them in any order.
+#[allow(clippy::too_many_arguments)]
 fn probe_unit(
     view: &SimView<'_>,
     bound: &BoundVantage,
@@ -267,13 +399,16 @@ fn probe_unit(
     cfg: &ProbeConfig,
     t0: SimTime,
     metrics: &ProbeMetrics,
+    fc: Option<&FaultCounters>,
 ) -> UnitTally {
     let mut tally = UnitTally {
         hits: Vec::new(),
         counts: HashMap::new(),
+        attempts: 0,
         probes_sent: 0,
         scope0_hits: 0,
         drops: 0,
+        tripped: false,
         session: GpdnsSession::new(),
     };
     let window_secs = cfg.duration_hours * 3600.0;
@@ -283,6 +418,7 @@ fn probe_unit(
     let mut query_buf = Vec::with_capacity(64);
     let mut resp_buf = Vec::with_capacity(512);
     let mut slot = 0u64;
+    let mut consecutive_drops = 0u32;
     'window: for _pass in 0..loops {
         for &scope in scopes {
             // The first slot always fires; later ones only inside the
@@ -293,23 +429,39 @@ fn probe_unit(
             }
             slot += 1;
             let t = t0 + SimTime::from_secs_f64(offset_secs);
+            tally.attempts += 1;
             tally.probes_sent += u64::from(cfg.redundancy);
             metrics.attempts.inc();
             metrics.pop_attempts.inc();
             metrics.probes_sent.add(u64::from(cfg.redundancy));
             let count = tally.counts.entry(scope).or_insert((0, 0));
             count.0 += 1;
-            match probe_scope_fast(
-                view,
-                &mut tally.session,
-                bound,
-                template,
-                scope,
-                cfg,
-                t,
-                &mut query_buf,
-                &mut resp_buf,
-            ) {
+            let outcome = match fc {
+                Some(fc) => probe_scope_resilient_fast(
+                    view,
+                    &mut tally.session,
+                    bound,
+                    template,
+                    scope,
+                    cfg,
+                    t,
+                    fc,
+                    &mut query_buf,
+                    &mut resp_buf,
+                ),
+                None => probe_scope_fast(
+                    view,
+                    &mut tally.session,
+                    bound,
+                    template,
+                    scope,
+                    cfg,
+                    t,
+                    &mut query_buf,
+                    &mut resp_buf,
+                ),
+            };
+            match outcome {
                 ProbeOutcome::Hit {
                     scope: resp_scope,
                     remaining_ttl,
@@ -328,6 +480,20 @@ fn probe_unit(
                 ProbeOutcome::Dropped => {
                     metrics.dropped.inc();
                     tally.drops += 1;
+                }
+            }
+            // Circuit breaker: a PoP that eats everything we send —
+            // even after retries — is almost certainly dark; abandon
+            // the stream rather than burn the window into it.
+            if fc.is_some() {
+                if matches!(outcome, ProbeOutcome::Dropped) {
+                    consecutive_drops += 1;
+                    if consecutive_drops >= cfg.retry.breaker_threshold {
+                        tally.tripped = true;
+                        break 'window;
+                    }
+                } else {
+                    consecutive_drops = 0;
                 }
             }
         }
@@ -353,9 +519,18 @@ pub fn run_technique_timed(
 ) -> CacheProbeResult {
     let seed = sim.world().config.seed;
 
-    // 1. Vantage discovery (optionally capped for ablations).
+    // Fault-injection bookkeeping: counters resolve only when the
+    // sim's plan is enabled, so fault-free runs register nothing new
+    // and stay byte-identical to the pre-fault pipeline.
+    let fc = sim
+        .fault_plan()
+        .enabled()
+        .then(|| FaultCounters::resolve(sim.metrics()));
+
+    // 1. Vantage discovery (optionally capped for ablations). Under
+    //    fault injection each VM retries its myaddr exchange.
     let stage = Instant::now();
-    let mut bound = discover(sim, SimTime::ZERO);
+    let mut bound = discover_with(sim, SimTime::ZERO, &cfg.retry, fc.as_ref());
     if let Some(cap) = cfg.max_pops {
         bound.truncate(cap);
     }
@@ -459,13 +634,21 @@ pub fn run_technique_timed(
             cfg,
             t0,
             &pop_metrics[u.bound_idx],
+            fc.as_ref(),
         )
     });
 
     // Ordered reduction: merge in unit order — a pure function of the
-    // work list, never of the thread interleaving.
+    // work list, never of the thread interleaving. Per-PoP health
+    // (attempts, lost events, breaker trips) accumulates alongside for
+    // the quarantine decision.
+    let mut pop_health: HashMap<PopId, (u64, u64, bool)> = HashMap::new();
     for (u, tally) in units.iter().zip(tallies) {
         let pop = bound[u.bound_idx].pop;
+        let health = pop_health.entry(pop).or_default();
+        health.0 += tally.attempts;
+        health.1 += tally.drops;
+        health.2 |= tally.tripped;
         result.probes_sent += tally.probes_sent;
         result.scope0_hits += tally.scope0_hits;
         result.drops += tally.drops;
@@ -480,6 +663,141 @@ pub fn run_technique_timed(
         sim.absorb_session(&tally.session);
     }
     timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
+
+    // 6. PoP quarantine + rescue sweep (fault injection only): PoPs
+    //    whose streams tripped the circuit breaker or lost most probes
+    //    are quarantined, and scopes they alone were meant to cover are
+    //    re-probed once at the nearest healthy PoP within a relaxed
+    //    (doubled) service radius. Whatever still has no probe event
+    //    afterwards is reported as lost coverage, not silently absent.
+    if let Some(fc) = &fc {
+        let stage = Instant::now();
+        let quarantined: Vec<PopId> = bound
+            .iter()
+            .map(|b| b.pop)
+            .filter(|pop| {
+                pop_health
+                    .get(pop)
+                    .is_some_and(|&(attempts, lost, tripped)| {
+                        tripped || (attempts >= 20 && lost * 2 > attempts)
+                    })
+            })
+            .collect();
+        fc.quarantined_pops.add(quarantined.len() as u64);
+        let q_set: std::collections::HashSet<PopId> = quarantined.iter().copied().collect();
+
+        // Scopes needing rescue: assigned to at least one quarantined
+        // PoP and never measured anywhere.
+        let mut need: Vec<(usize, Prefix)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for pop in &quarantined {
+            for key in assigned.get(pop).into_iter().flatten() {
+                if !result.probe_counts.contains_key(key) && seen.insert(*key) {
+                    need.push(*key);
+                }
+            }
+        }
+        need.sort();
+
+        // Fallback: the nearest healthy bound PoP whose doubled service
+        // radius (plus the scope's geolocation error) still covers it.
+        let mut rescue: std::collections::BTreeMap<(usize, usize), Vec<Prefix>> =
+            std::collections::BTreeMap::new();
+        for (d, scope) in &need {
+            let geo = {
+                let geodb = &sim.world().geodb;
+                geodb
+                    .lookup(*scope)
+                    .or_else(|| geodb.lookup_addr(scope.addr()))
+                    .map(|e| (e.coord, e.error_radius_km))
+            };
+            let Some((coord, err_km)) = geo else { continue };
+            let mut fallback: Option<(f64, usize)> = None;
+            for (bi, b) in bound.iter().enumerate() {
+                if q_set.contains(&b.pop) {
+                    continue;
+                }
+                let dist = coord.distance_km(&pops[b.pop].coord);
+                let radius = result.service_radii.radius(b.pop, cfg.fallback_radius_km);
+                if dist <= 2.0 * radius + err_km && fallback.is_none_or(|(best, _)| dist < best) {
+                    fallback = Some((dist, bi));
+                }
+            }
+            if let Some((_, bi)) = fallback {
+                rescue.entry((bi, *d)).or_default().push(*scope);
+            }
+        }
+        let rescue_units: Vec<ProbeUnit> = rescue
+            .into_iter()
+            .map(|((bi, d), scopes)| ProbeUnit {
+                bound_idx: bi,
+                domain: d,
+                scopes,
+            })
+            .collect();
+        let t_rescue =
+            t0 + SimTime::from_secs_f64(cfg.duration_hours * 3600.0) + SimTime::from_secs(60);
+        let view = sim.view();
+        let rescue_tallies: Vec<UnitTally> = par_map(&rescue_units, |_, u| {
+            // One pass over the unit's scopes: shrink the window so the
+            // slot budget covers the list exactly once.
+            let mut one_pass = cfg.clone();
+            one_pass.duration_hours = (u.scopes.len() as f64 / cfg.rate_per_domain) / 3600.0;
+            probe_unit(
+                &view,
+                &bound[u.bound_idx],
+                &templates[u.domain],
+                &u.scopes,
+                &one_pass,
+                t_rescue,
+                &pop_metrics[u.bound_idx],
+                Some(fc),
+            )
+        });
+        let mut rescued_scopes = 0u64;
+        for (u, tally) in rescue_units.iter().zip(rescue_tallies) {
+            let pop = bound[u.bound_idx].pop;
+            rescued_scopes += tally.counts.len() as u64;
+            result.probes_sent += tally.probes_sent;
+            result.scope0_hits += tally.scope0_hits;
+            result.drops += tally.drops;
+            for (query_scope, resp_scope, remaining) in tally.hits {
+                result.record_hit(u.domain, pop, query_scope, resp_scope, remaining);
+            }
+            for (scope, (attempts, hits)) in tally.counts {
+                let c = result.probe_counts.entry((u.domain, scope)).or_default();
+                c.attempts += attempts;
+                c.hits += hits;
+            }
+            sim.absorb_session(&tally.session);
+        }
+        fc.rescued.add(rescued_scopes);
+
+        // Partial-result accounting: assigned pairs that never produced
+        // a probe event are coverage the faults cost us.
+        let mut all_assigned: std::collections::HashSet<(usize, Prefix)> =
+            std::collections::HashSet::new();
+        for list in assigned.values() {
+            all_assigned.extend(list.iter().copied());
+        }
+        let unmeasured = all_assigned
+            .iter()
+            .filter(|key| !result.probe_counts.contains_key(key))
+            .count() as u64;
+        result.fault = Some(FaultSummary {
+            profile: sim.fault_plan().profile().as_str().to_string(),
+            observed: fc.observed_total(),
+            retries: fc.retries.get(),
+            recovered: fc.recovered.get(),
+            degraded: fc.degraded.get(),
+            lost: fc.lost.get(),
+            quarantined_pops: quarantined,
+            rescued_scopes,
+            unmeasured_scopes: unmeasured,
+            assigned_scopes: all_assigned.len() as u64,
+        });
+        timings.push(("rescue".into(), stage.elapsed().as_secs_f64()));
+    }
     result
 }
 
@@ -668,5 +986,178 @@ mod tests {
                 sim_b.metrics().snapshot().to_json()
             );
         }
+    }
+
+    fn outcome_strategy() -> impl proptest::strategy::Strategy<Value = ProbeOutcome> {
+        use proptest::prelude::*;
+        prop_oneof![
+            Just(ProbeOutcome::Dropped),
+            Just(ProbeOutcome::Miss),
+            Just(ProbeOutcome::HitScopeZero),
+            Just(ProbeOutcome::Hit {
+                scope: "10.0.0.0/24".parse().unwrap(),
+                remaining_ttl: 11,
+            }),
+            Just(ProbeOutcome::Hit {
+                scope: "10.9.0.0/20".parse().unwrap(),
+                remaining_ttl: 77,
+            }),
+        ]
+    }
+
+    proptest::proptest! {
+        /// Best-of-redundancy merging respects
+        /// `Hit > HitScopeZero > Miss > Dropped` for every sequence of
+        /// outcomes, and the winning payload is the first occurrence of
+        /// the winning rank — exactly what the probe loops implement.
+        #[test]
+        fn merge_respects_outcome_ranking(
+            seq in proptest::collection::vec(outcome_strategy(), 1..12)
+        ) {
+            use proptest::prelude::*;
+            fn rank(o: &ProbeOutcome) -> u8 {
+                match o {
+                    ProbeOutcome::Dropped => 0,
+                    ProbeOutcome::Miss => 1,
+                    ProbeOutcome::HitScopeZero => 2,
+                    ProbeOutcome::Hit { .. } => 3,
+                }
+            }
+            // Fold exactly as the probe loops do, early Hit return and
+            // all.
+            let mut best = ProbeOutcome::Dropped;
+            for o in &seq {
+                best = merge_outcome(best, o.clone());
+                if matches!(best, ProbeOutcome::Hit { .. }) {
+                    break;
+                }
+            }
+            let max_rank = seq.iter().map(rank).max().unwrap();
+            prop_assert_eq!(rank(&best), max_rank);
+            let first = seq.iter().find(|o| rank(o) == max_rank).unwrap();
+            prop_assert_eq!(&best, first);
+        }
+    }
+
+    // ---- fault-injected runs -------------------------------------
+
+    use clientmap_faults::{FaultConfig, FaultProfile};
+
+    fn run_tiny_faulted(
+        seed: u64,
+        profile: FaultProfile,
+        fault_seed: u64,
+    ) -> (Sim, CacheProbeResult) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        let mut sim = Sim::with_faults(
+            world,
+            Arc::new(MetricsRegistry::new()),
+            &FaultConfig::profile(profile, fault_seed),
+        );
+        let mut cfg = ProbeConfig::test_scale();
+        cfg.duration_hours = 2.0;
+        cfg.calibration_sample = 250;
+        let result = run_technique(&mut sim, &cfg, &universe);
+        (sim, result)
+    }
+
+    fn shared_lossy_run() -> &'static (Sim, CacheProbeResult) {
+        static RUN: std::sync::OnceLock<(Sim, CacheProbeResult)> = std::sync::OnceLock::new();
+        RUN.get_or_init(|| run_tiny_faulted(101, FaultProfile::Lossy, 5))
+    }
+
+    #[test]
+    fn faulted_run_reconciles_client_and_server_counters() {
+        let (sim, result) = shared_lossy_run();
+        let summary = result.fault.as_ref().expect("fault summary present");
+        assert_eq!(summary.profile, "lossy");
+        assert!(summary.observed > 0, "lossy must inject something");
+        assert!(summary.retries > 0, "failures must be retried");
+        assert!(summary.recovered > 0, "retries must recover something");
+        // Client conservation: every observed failure settles exactly
+        // once.
+        assert_eq!(
+            summary.observed,
+            summary.recovered + summary.degraded + summary.lost
+        );
+        let snap = sim.metrics().snapshot();
+        assert_eq!(
+            snap.sum_counters("cacheprobe.fault.observed."),
+            summary.observed
+        );
+        // Client/server reconciliation: every server-injected fault is
+        // observed exactly once client-side (plus any rate-limiter
+        // drops — none over TCP).
+        assert_eq!(
+            summary.observed,
+            snap.sum_counters("faults.injected.") + snap.sum_counters("gpdns.rate_limited.")
+        );
+        // The run still produces a usable headline.
+        assert!(result.probes_sent > 0);
+        assert!(result.active_set().num_slash24s() > 0);
+    }
+
+    #[test]
+    fn faulted_headline_within_tolerance_of_fault_free() {
+        let (_, clean) = shared_run();
+        let (_, faulted) = shared_lossy_run();
+        let clean_active = clean.active_set().num_slash24s() as f64;
+        let faulted_active = faulted.active_set().num_slash24s() as f64;
+        let ratio = faulted_active / clean_active;
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "lossy active-set {faulted_active} vs clean {clean_active} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_byte_identical_across_threads() {
+        let (sim_1, r_1) =
+            clientmap_par::with_threads(1, || run_tiny_faulted(107, FaultProfile::Lossy, 9));
+        let snap_1 = sim_1.metrics().snapshot().to_json();
+        let (sim_4, r_4) =
+            clientmap_par::with_threads(4, || run_tiny_faulted(107, FaultProfile::Lossy, 9));
+        assert_eq!(r_1.probes_sent, r_4.probes_sent);
+        assert_eq!(r_1.drops, r_4.drops);
+        assert_eq!(r_1.hits, r_4.hits);
+        assert_eq!(r_1.probe_counts, r_4.probe_counts);
+        assert_eq!(r_1.fault, r_4.fault, "fault summaries must agree");
+        assert_eq!(
+            snap_1,
+            sim_4.metrics().snapshot().to_json(),
+            "faulted telemetry diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn pop_churn_quarantines_and_accounts_for_coverage() {
+        let (sim, result) = run_tiny_faulted(101, FaultProfile::PopChurn, 3);
+        let summary = result.fault.as_ref().expect("fault summary present");
+        assert_eq!(summary.profile, "pop-churn");
+        assert!(
+            !summary.quarantined_pops.is_empty(),
+            "pop-churn at this seed must trip the breaker somewhere"
+        );
+        assert_eq!(
+            summary.observed,
+            summary.recovered + summary.degraded + summary.lost
+        );
+        let snap = sim.metrics().snapshot();
+        assert_eq!(
+            snap.counter("cacheprobe.quarantine.pops"),
+            summary.quarantined_pops.len() as u64
+        );
+        assert_eq!(
+            snap.counter("cacheprobe.quarantine.rescued"),
+            summary.rescued_scopes
+        );
+        // Accounting closes: every assigned ⟨domain, scope⟩ pair is
+        // either measured (has a probe count) or reported unmeasured.
+        assert!(summary.assigned_scopes > 0);
+        assert_eq!(
+            result.probe_counts.len() as u64 + summary.unmeasured_scopes,
+            summary.assigned_scopes
+        );
     }
 }

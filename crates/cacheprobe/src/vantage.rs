@@ -8,6 +8,9 @@
 use clientmap_net::GeoCoord;
 use clientmap_sim::{PopId, Sim, SimTime};
 
+use crate::config::RetryPolicy;
+use crate::resilience::{backoff_delay_ms, FaultCounters};
+
 /// Cloud provider of a vantage point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provider {
@@ -103,10 +106,57 @@ impl BoundVantage {
 /// distinct PoP (first VM to reach it wins, as the paper keeps one VM
 /// per covered PoP).
 pub fn discover(sim: &mut Sim, t: SimTime) -> Vec<BoundVantage> {
+    discover_with(sim, t, &RetryPolicy::default(), None)
+}
+
+/// [`discover`] with bounded retries per vantage point. Under fault
+/// injection a discovery exchange can be lost or answered with an
+/// error, and an undiscovered vantage silently shrinks PoP coverage —
+/// so each VM retries its `o-o.myaddr` dance with seeded backoff up to
+/// the policy's budget. With `fc = None` (fault-free) this is the
+/// single-attempt path, byte-identical to the pre-fault [`discover`].
+pub fn discover_with(
+    sim: &mut Sim,
+    t: SimTime,
+    policy: &RetryPolicy,
+    fc: Option<&FaultCounters>,
+) -> Vec<BoundVantage> {
     let mut bound: Vec<BoundVantage> = Vec::new();
     for (i, vp) in VANTAGE_POINTS.iter().enumerate() {
         let key = i as u64 + 1;
-        if let Some(pop) = sim.discover_pop(key, vp.coord, t) {
+        let mut delay = 0u64;
+        let mut failures = 0u64;
+        let mut pop = None;
+        for retry in 0..=policy.max_retries {
+            if retry > 0 {
+                let Some(fc) = fc else { break };
+                delay += backoff_delay_ms(key, t.as_millis(), retry, policy.backoff_base_ms);
+                if delay > policy.deadline_ms {
+                    break;
+                }
+                fc.retries.inc();
+            }
+            match sim.discover_pop(key, vp.coord, t + SimTime::from_millis(delay)) {
+                Some(p) => {
+                    pop = Some(p);
+                    break;
+                }
+                None => {
+                    if let Some(fc) = fc {
+                        fc.observed_discovery.inc();
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        if let Some(fc) = fc {
+            if pop.is_none() {
+                fc.lost.add(failures);
+            } else if failures > 0 {
+                fc.recovered.add(failures);
+            }
+        }
+        if let Some(pop) = pop {
             if !bound.iter().any(|b| b.pop == pop) {
                 bound.push(BoundVantage { vp: i, pop });
             }

@@ -50,8 +50,10 @@ pub fn check(snap: &MetricsSnapshot, redundancy: u32) -> Vec<String> {
 
     // Google Public DNS front end: every query takes exactly one exit —
     // dropped by the rate limiter, rejected while parsing, answered
-    // specially, refused as recursive, or resolved against one pool
-    // (`gpdns.cache.miss.` includes the non-ECS-domain misses).
+    // specially, refused as recursive, failed by an injected fault, or
+    // resolved against one pool (`gpdns.cache.miss.` includes the
+    // non-ECS-domain misses). `faults.injected.` counters only exist
+    // when a fault plan is active; fault-free they sum to zero.
     expect(
         "gpdns queries == all exit paths",
         snap.counter("gpdns.queries.udp") + snap.counter("gpdns.queries.tcp"),
@@ -61,10 +63,40 @@ pub fn check(snap: &MetricsSnapshot, redundancy: u32) -> Vec<String> {
             + snap.counter("gpdns.formerr")
             + snap.counter("gpdns.myaddr")
             + snap.counter("gpdns.recursive")
+            + snap.sum_counters("faults.injected.")
             + snap.sum_counters("gpdns.cache.hit.")
             + snap.sum_counters("gpdns.cache.scope0.")
             + snap.sum_counters("gpdns.cache.miss."),
     );
+
+    // Resilient probing: every failed wire exchange the client observed
+    // settles into exactly one of recovered (a retry later succeeded),
+    // degraded (an answer arrived, but via a downgraded path), or lost
+    // (the retry budget ran out). Fault-free these counters are absent
+    // and the law holds vacuously.
+    let observed = snap.sum_counters("cacheprobe.fault.observed.");
+    expect(
+        "cacheprobe fault observations == recovered + degraded + lost",
+        observed,
+        snap.counter("cacheprobe.fault.recovered")
+            + snap.counter("cacheprobe.fault.degraded")
+            + snap.counter("cacheprobe.fault.lost"),
+    );
+
+    // Client and server agree on the fault volume: with injection
+    // active, every failure the prober observed was either injected by
+    // the fault plan or dropped by the (real, non-injected) rate
+    // limiter — nothing else fails, and nothing fails unobserved. Only
+    // checkable when a plan ran (fault-free, rate-limiter drops are
+    // observed as plain `outcome.dropped`, not fault observations).
+    let injected = snap.sum_counters("faults.injected.");
+    if injected > 0 {
+        expect(
+            "cacheprobe fault observations == injected + rate-limited",
+            observed,
+            injected + snap.sum_counters("gpdns.rate_limited."),
+        );
+    }
 
     // DNS-logs crawl: every examined record is either shape-rejected,
     // noise-rejected, or attributed to a resolver.
@@ -133,5 +165,44 @@ mod tests {
         let v = check(&m.snapshot(), 3);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("gpdns"), "{v:?}");
+    }
+
+    #[test]
+    fn injected_faults_are_a_gpdns_exit_path() {
+        let m = MetricsRegistry::new();
+        m.counter("gpdns.queries.udp").add(10);
+        m.counter("gpdns.cache.hit.pool0").add(7);
+        m.counter("faults.injected.loss").add(2);
+        m.counter("faults.injected.servfail").add(1);
+        // The client observed and settled every injected failure.
+        m.counter("cacheprobe.fault.observed.drop").add(2);
+        m.counter("cacheprobe.fault.observed.servfail").add(1);
+        m.counter("cacheprobe.fault.recovered").add(3);
+        // Balanced only because injections count as exits.
+        assert!(check(&m.snapshot(), 3).is_empty());
+    }
+
+    #[test]
+    fn unsettled_fault_observation_is_caught() {
+        let m = MetricsRegistry::new();
+        m.counter("cacheprobe.fault.observed.drop").add(3);
+        m.counter("cacheprobe.fault.recovered").add(2);
+        // One observed failure never settled into a terminal bucket.
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("recovered + degraded + lost"), "{v:?}");
+    }
+
+    #[test]
+    fn client_server_fault_volumes_must_agree_when_injecting() {
+        let m = MetricsRegistry::new();
+        m.counter("gpdns.queries.udp").add(5);
+        m.counter("gpdns.cache.hit.pool0").add(1);
+        m.counter("faults.injected.loss").add(4);
+        m.counter("cacheprobe.fault.observed.drop").add(3); // should be 4
+        m.counter("cacheprobe.fault.lost").add(3);
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("injected + rate-limited"), "{v:?}");
     }
 }

@@ -9,12 +9,13 @@
 //! ```no_run
 //! use clientmap_core::{Pipeline, PipelineConfig};
 //!
-//! let out = Pipeline::run(PipelineConfig::tiny(42));
+//! let out = Pipeline::run(PipelineConfig::tiny(42)).expect("healthy run");
 //! println!("{}", out.report().render_all());
 //! ```
 //!
 //! The crate deliberately keeps a thin surface: [`PipelineConfig`]
-//! (all dials), [`Pipeline::run`] (the orchestration), and
+//! (all dials), [`Pipeline::run`] (the orchestration, returning
+//! [`PipelineError`] instead of panicking), and
 //! [`PipelineOutput`]/[`Report`] (results + rendering). Each stage is
 //! individually usable through the underlying crates.
 
@@ -24,5 +25,5 @@ pub mod invariants;
 mod pipeline;
 mod report;
 
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutput};
 pub use report::Report;

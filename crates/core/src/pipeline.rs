@@ -6,6 +6,7 @@ use std::time::Instant;
 use clientmap_cacheprobe::{run_technique_timed, CacheProbeResult, ProbeConfig};
 use clientmap_chromium::{crawl_with_metrics, ChromiumClassifier, DnsLogsResult};
 use clientmap_datasets::{ApnicConfig, ApnicDataset, DatasetBundle};
+use clientmap_faults::FaultConfig;
 use clientmap_net::Prefix;
 use clientmap_sim::cdn::CdnLogs;
 use clientmap_sim::{Sim, SimTime};
@@ -31,6 +32,8 @@ pub struct PipelineConfig {
     pub root_trace_sample_rate: f64,
     /// CDN/TM log window, hours (paper compares "a full day").
     pub cdn_window_hours: u64,
+    /// Fault injection (default: off — the fault-free simulation).
+    pub faults: FaultConfig,
 }
 
 impl PipelineConfig {
@@ -49,6 +52,7 @@ impl PipelineConfig {
             root_trace_days: 2,
             root_trace_sample_rate: 0.005,
             cdn_window_hours: 24,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -114,6 +118,42 @@ impl PipelineOutput {
     }
 }
 
+/// Why an end-to-end run could not produce a trustworthy output.
+///
+/// The pipeline used to panic on these; returning them instead lets
+/// callers (the CLI, the repro harness, chaos tests) decide whether to
+/// print, retry, or fail the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A counter-reconciliation law from [`crate::invariants`] broke:
+    /// the run finished, but its telemetry is silently miscounted and
+    /// the output cannot be trusted.
+    InvariantViolations(Vec<String>),
+    /// A stage could not run at all (e.g. the generated world yielded
+    /// an empty probe universe).
+    Stage {
+        /// The stage that failed (`world_gen`, `cache_probe`, …).
+        stage: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvariantViolations(v) => {
+                write!(f, "telemetry invariants violated:\n  {}", v.join("\n  "))
+            }
+            PipelineError::Stage { stage, message } => {
+                write!(f, "pipeline stage {stage} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// The pipeline entry point.
 #[derive(Debug)]
 pub struct Pipeline;
@@ -125,26 +165,37 @@ impl Pipeline {
     /// so world gauges and Google-front-end counters land in the same
     /// place) and records a **sim-time** span per stage — wall clocks
     /// never touch the registry, keeping snapshots reproducible. After
-    /// assembly, every counter-reconciliation invariant is asserted
-    /// (see [`crate::invariants`]); a broken conservation law panics
-    /// rather than shipping silently miscounted telemetry.
-    pub fn run(config: PipelineConfig) -> PipelineOutput {
+    /// assembly, every counter-reconciliation invariant is checked
+    /// (see [`crate::invariants`]); a broken conservation law comes
+    /// back as [`PipelineError::InvariantViolations`] rather than
+    /// shipping silently miscounted telemetry.
+    pub fn run(config: PipelineConfig) -> Result<PipelineOutput, PipelineError> {
         Pipeline::run_timed(config, &mut Vec::new())
     }
 
     /// [`Pipeline::run`], additionally appending `(stage, wall seconds)`
     /// pairs to `timings`: `world_gen`, the cache-probe substages
-    /// (`vantage_discovery`, `scope_scan`, `calibration`, `probing`),
-    /// `crawl`, and `analysis`. Wall clocks stay in this side channel —
-    /// the telemetry registry only ever sees sim-time spans, so metrics
-    /// snapshots remain byte-reproducible.
-    pub fn run_timed(config: PipelineConfig, timings: &mut Vec<(String, f64)>) -> PipelineOutput {
+    /// (`vantage_discovery`, `scope_scan`, `calibration`, `probing`,
+    /// and `rescue` under faults), `crawl`, and `analysis`. Wall clocks
+    /// stay in this side channel — the telemetry registry only ever
+    /// sees sim-time spans, so metrics snapshots remain
+    /// byte-reproducible.
+    pub fn run_timed(
+        config: PipelineConfig,
+        timings: &mut Vec<(String, f64)>,
+    ) -> Result<PipelineOutput, PipelineError> {
         let stage = Instant::now();
         let world = World::generate(config.world.clone());
         // The probe universe: public allocation data (RIR files stand-in).
         let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
-        let mut sim = Sim::new(world);
-        let metrics = Arc::clone(sim.metrics());
+        if universe.is_empty() {
+            return Err(PipelineError::Stage {
+                stage: "world_gen".into(),
+                message: "generated world has no announced blocks to probe".into(),
+            });
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut sim = Sim::with_faults(world, Arc::clone(&metrics), &config.faults);
         metrics.counter("pipeline.runs").inc();
         timings.push(("world_gen".into(), stage.elapsed().as_secs_f64()));
 
@@ -191,14 +242,12 @@ impl Pipeline {
         bundle.register_metrics(&metrics);
 
         let violations = crate::invariants::check(&metrics.snapshot(), config.probe.redundancy);
-        assert!(
-            violations.is_empty(),
-            "telemetry invariants violated:\n  {}",
-            violations.join("\n  ")
-        );
+        if !violations.is_empty() {
+            return Err(PipelineError::InvariantViolations(violations));
+        }
         timings.push(("analysis".into(), stage.elapsed().as_secs_f64()));
 
-        PipelineOutput {
+        Ok(PipelineOutput {
             cache_probe,
             dns_logs,
             cdn_logs,
@@ -207,7 +256,7 @@ impl Pipeline {
             metrics,
             config,
             sim,
-        }
+        })
     }
 }
 
@@ -219,7 +268,7 @@ mod tests {
     /// One shared tiny end-to-end run for all assertions below.
     fn output() -> &'static PipelineOutput {
         static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
-        OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(7)))
+        OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(7)).expect("tiny run is healthy"))
     }
 
     #[test]
@@ -280,6 +329,45 @@ mod tests {
             "union {in_union:.1}% vs APNIC {in_apnic:.1}%"
         );
         assert!(in_union > 70.0, "union coverage too low: {in_union:.1}%");
+    }
+
+    #[test]
+    fn faulted_pipeline_completes_and_accounts_for_coverage() {
+        use clientmap_faults::{FaultConfig, FaultProfile};
+        let mut config = PipelineConfig::tiny(7);
+        config.faults = FaultConfig::profile(FaultProfile::Lossy, 5);
+        // The invariant check inside run() already enforces the fault
+        // conservation laws; reaching Ok means they reconciled.
+        let o = Pipeline::run(config).expect("lossy run completes");
+        let f = o.cache_probe.fault.as_ref().expect("fault summary");
+        assert_eq!(f.profile, "lossy");
+        assert!(f.observed > 0 && f.retries > 0);
+        assert_eq!(f.observed, f.recovered + f.degraded + f.lost);
+        assert!(o.cache_probe.active_set().num_slash24s() > 0);
+    }
+
+    #[test]
+    fn fault_free_snapshot_has_no_fault_counters() {
+        let snap = output().metrics_snapshot();
+        assert!(
+            !snap.counters.keys().any(|k| k.starts_with("faults.")
+                || k.starts_with("cacheprobe.fault.")
+                || k.starts_with("cacheprobe.quarantine.")),
+            "fault counters must not register on fault-free runs"
+        );
+        assert!(output().cache_probe.fault.is_none());
+    }
+
+    #[test]
+    fn pipeline_errors_render_readably() {
+        let e = PipelineError::InvariantViolations(vec!["a != b".into()]);
+        assert!(e.to_string().contains("a != b"));
+        let e = PipelineError::Stage {
+            stage: "world_gen".into(),
+            message: "empty universe".into(),
+        };
+        assert!(e.to_string().contains("world_gen"));
+        assert!(e.to_string().contains("empty universe"));
     }
 
     #[test]

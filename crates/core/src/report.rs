@@ -363,6 +363,38 @@ impl<'a> Report<'a> {
         )
     }
 
+    /// Robustness summary of a faulted run: what the fault plan threw
+    /// at the campaign and how the resilient prober absorbed it —
+    /// ending with the partial-result accounting ("N prefixes
+    /// unmeasured, M% of probes retried"). `None` on fault-free runs,
+    /// keeping their rendered reports byte-identical to the pre-fault
+    /// pipeline.
+    pub fn robustness(&self) -> Option<String> {
+        let f = self.out.cache_probe.fault.as_ref()?;
+        let retried_pct = 100.0 * f.retried_fraction(self.out.cache_probe.probes_sent);
+        let mut t = TextTable::new(["measure", "value"]);
+        t.row(["fault profile", &f.profile]);
+        t.row(["failures observed", &fmt_count(f.observed)]);
+        t.row(["  recovered by retry", &fmt_count(f.recovered)]);
+        t.row(["  degraded (TCP fallback)", &fmt_count(f.degraded)]);
+        t.row(["  lost (budget exhausted)", &fmt_count(f.lost)]);
+        t.row(["retries sent", &fmt_count(f.retries)]);
+        t.row(["quarantined PoPs", &format!("{}", f.quarantined_pops.len())]);
+        t.row([
+            "scopes rescued at fallback PoPs",
+            &fmt_count(f.rescued_scopes),
+        ]);
+        Some(format!(
+            "Robustness: fault injection and partial-result accounting\n{}\n\
+             {} of {} assigned prefixes unmeasured ({}); {} of probes retried\n",
+            t.render(),
+            fmt_count(f.unmeasured_scopes),
+            fmt_count(f.assigned_scopes),
+            fmt_pct(100.0 * f.unmeasured_fraction()),
+            fmt_pct(retried_pct),
+        ))
+    }
+
     /// The §4 headline validations.
     pub fn headlines(&self) -> String {
         let proxy = dns_http_proxy(&self.out.bundle);
@@ -406,10 +438,12 @@ impl<'a> Report<'a> {
         )
     }
 
-    /// Everything, in paper order.
+    /// Everything, in paper order (plus the robustness section when a
+    /// fault plan was active).
     pub fn render_all(&self) -> String {
-        [
-            self.headlines(),
+        let mut sections = vec![self.headlines()];
+        sections.extend(self.robustness());
+        sections.extend([
             self.table1(),
             self.table2(),
             self.table3(),
@@ -422,8 +456,8 @@ impl<'a> Report<'a> {
             self.figure5(),
             self.figure6(),
             self.figure7(),
-        ]
-        .join("\n")
+        ]);
+        sections.join("\n")
     }
 }
 
@@ -435,7 +469,7 @@ mod tests {
     /// assert content; these assert structure).
     fn output() -> &'static crate::PipelineOutput {
         static OUT: std::sync::OnceLock<crate::PipelineOutput> = std::sync::OnceLock::new();
-        OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(99)))
+        OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(99)).expect("tiny run is healthy"))
     }
 
     #[test]
@@ -464,6 +498,24 @@ mod tests {
         assert!(fig5
             .lines()
             .any(|l| l.contains("unprobed and verified") && l.contains('5')));
+    }
+
+    #[test]
+    fn robustness_section_only_renders_for_faulted_runs() {
+        // Fault-free: absent from render_all, keeping reports
+        // byte-identical to the pre-fault pipeline.
+        assert!(output().report().robustness().is_none());
+        assert!(!output().report().render_all().contains("Robustness"));
+
+        use clientmap_faults::{FaultConfig, FaultProfile};
+        let mut config = PipelineConfig::tiny(99);
+        config.faults = FaultConfig::profile(FaultProfile::Lossy, 5);
+        let o = Pipeline::run(config).expect("lossy run completes");
+        let section = o.report().robustness().expect("faulted run has section");
+        for needle in ["lossy", "unmeasured", "retried", "quarantined PoPs"] {
+            assert!(section.contains(needle), "robustness missing {needle:?}");
+        }
+        assert!(o.report().render_all().contains("Robustness"));
     }
 
     #[test]

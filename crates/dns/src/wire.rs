@@ -1143,6 +1143,68 @@ pub fn write_probe_response(
     write_ecs_option(out, ecs_source, ecs_scope_len.min(32));
 }
 
+/// The TC (truncation) bit in the DNS header flags word.
+pub const FLAG_TC: u16 = 0x0200;
+
+/// Mask extracting the RCODE from the header flags word.
+pub const RCODE_MASK: u16 = 0x000F;
+
+/// Writes an injected-fault error response: the question echoed
+/// verbatim, no answers, no OPT, `rcode` in the low flag bits and
+/// optionally the TC bit set. Both gpdns lanes build injected
+/// SERVFAIL / REFUSED / truncated responses through this one helper,
+/// so they are byte-identical whichever lane served the query.
+pub fn write_probe_error_response(
+    out: &mut Vec<u8>,
+    id: u16,
+    question_wire: &[u8],
+    rcode: u8,
+    truncated: bool,
+) {
+    out.clear();
+    put_u16(out, id);
+    let mut flags = 0x8080 | (u16::from(rcode) & RCODE_MASK); // QR | RA
+    if truncated {
+        flags |= FLAG_TC;
+    }
+    put_u16(out, flags);
+    put_u16(out, 1); // qdcount
+    put_u16(out, 0); // ancount
+    put_u16(out, 0); // nscount
+    put_u16(out, 0); // arcount — error responses carry no OPT
+    out.extend_from_slice(question_wire);
+}
+
+/// Whether `response` echoes `query`'s question verbatim — byte-compares
+/// the QNAME + QTYPE + QCLASS region starting at offset 12 of each
+/// packet. Used by the resilient prober to reject responses whose
+/// question does not match what was asked (counted as `Dropped`).
+pub fn question_echo_matches(query: &[u8], response: &[u8]) -> bool {
+    let Some(end) = question_end(query) else {
+        return false;
+    };
+    response.len() >= end && response[12..end] == query[12..end]
+}
+
+/// End offset (exclusive) of the first question in `pkt`, assuming an
+/// uncompressed QNAME at offset 12.
+fn question_end(pkt: &[u8]) -> Option<usize> {
+    let mut pos = 12usize;
+    loop {
+        let b = *pkt.get(pos)?;
+        if b == 0 {
+            pos += 1;
+            break;
+        }
+        if b & 0xC0 != 0 {
+            return None; // compressed question names are never emitted
+        }
+        pos += 1 + b as usize;
+    }
+    pos += 4; // QTYPE + QCLASS
+    (pos <= pkt.len()).then_some(pos)
+}
+
 #[cfg(test)]
 mod fast_lane_tests {
     use super::*;
@@ -1194,6 +1256,59 @@ mod fast_lane_tests {
         assert_eq!(view.qclass, RrClass::In.to_u16());
         assert_eq!(view.ecs, full.ecs().copied());
         assert_eq!(view.qname_wire, tmpl.qname_wire());
+    }
+
+    #[test]
+    fn error_response_parses_and_flags_read_back() {
+        let tmpl = ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let mut query = Vec::new();
+        tmpl.render(0xBEEF, p("198.51.100.0/24"), &mut query);
+        let question_wire = &query[12..12 + tmpl.qname_wire().len() + 4];
+
+        let mut resp = Vec::new();
+        write_probe_error_response(&mut resp, 0xBEEF, question_wire, 2, false);
+        let view = response_view(&resp).unwrap();
+        assert_eq!(view.id, 0xBEEF);
+        assert_eq!(view.flags & RCODE_MASK, 2); // SERVFAIL
+        assert_eq!(view.flags & FLAG_TC, 0);
+        assert_eq!(view.answer_count, 0);
+        assert!(view.ecs.is_none());
+        // Decodes through the full parser too.
+        let msg = decode(&resp).unwrap();
+        assert!(msg.is_response);
+        assert_eq!(msg.answers.len(), 0);
+
+        write_probe_error_response(&mut resp, 0xBEEF, question_wire, 0, true);
+        let view = response_view(&resp).unwrap();
+        assert_eq!(view.flags & FLAG_TC, FLAG_TC);
+        assert_eq!(view.flags & RCODE_MASK, 0);
+    }
+
+    #[test]
+    fn question_echo_matching() {
+        let tmpl = ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let mut query = Vec::new();
+        tmpl.render(7, p("203.0.113.0/24"), &mut query);
+        let question_wire = &query[12..12 + tmpl.qname_wire().len() + 4].to_vec();
+
+        // A real probe response echoes the question.
+        let mut resp = Vec::new();
+        write_probe_response(&mut resp, 7, question_wire, None, p("203.0.113.0/24"), 0);
+        assert!(question_echo_matches(&query, &resp));
+        // So does an injected error response.
+        write_probe_error_response(&mut resp, 7, question_wire, 5, false);
+        assert!(question_echo_matches(&query, &resp));
+
+        // A response to a different name does not.
+        let other = ProbeQueryTemplate::new(&"facebook.com".parse().unwrap());
+        let mut other_q = Vec::new();
+        other.render(7, p("203.0.113.0/24"), &mut other_q);
+        let other_question = other_q[12..12 + other.qname_wire().len() + 4].to_vec();
+        write_probe_response(&mut resp, 7, &other_question, None, p("203.0.113.0/24"), 0);
+        assert!(!question_echo_matches(&query, &resp));
+        // Truncated garbage never panics.
+        assert!(!question_echo_matches(&query, &resp[..8]));
+        assert!(!question_echo_matches(&[0u8; 5], &resp));
     }
 
     #[test]

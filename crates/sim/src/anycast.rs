@@ -113,6 +113,17 @@ impl Catchments {
         route(self.seed, key, coord, probeable_pops(), VM_SPREAD)
     }
 
+    /// [`Catchments::of_vantage`] with one PoP withdrawn — where a
+    /// vantage's traffic lands while an anycast flap (fault injection)
+    /// suppresses its home catchment for a routing window.
+    pub fn of_vantage_excluding(&self, key: u64, coord: GeoCoord, exclude: PopId) -> PopId {
+        let mut candidates = probeable_pops().filter(|&p| p != exclude).peekable();
+        if candidates.peek().is_none() {
+            return exclude;
+        }
+        route(self.seed, key, coord, candidates, VM_SPREAD)
+    }
+
     /// Number of /24 entries.
     pub fn len(&self) -> usize {
         self.by_slash24.len()

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use clientmap_dns::{wire, DomainName, Message, Rcode, Record, RrType};
+use clientmap_faults::{FaultMetrics, FaultPlan, QueryFault};
 use clientmap_net::{Prefix, SeedMixer};
 use clientmap_telemetry::{Counter, MetricsRegistry};
 use clientmap_world::World;
@@ -259,6 +260,20 @@ pub struct GooglePublicDns {
     egress_base: u32,
     /// Shared atomic telemetry (hit/miss per pool, drops by transport).
     metrics: GpdnsMetrics,
+    /// Fault-injection plan consulted on every admitted query (the
+    /// inert [`FaultPlan::off`] by default, which short-circuits).
+    faults: Arc<FaultPlan>,
+    /// Injection counters — `None` when the plan is off, so fault-free
+    /// metrics snapshots stay byte-identical to the pre-fault service.
+    fault_metrics: Option<FaultMetrics>,
+}
+
+/// What an injected [`QueryFault`] looks like on the wire.
+enum Injected {
+    /// No response at all (loss, latency blow-out, reset, outage).
+    Drop,
+    /// An answerless response with an error rcode and/or the TC bit.
+    Error { rcode: u8, tc: bool },
 }
 
 /// Maps a hash to `[0, 1)`.
@@ -359,7 +374,62 @@ impl GooglePublicDns {
                 .prefix
                 .addr(),
             metrics,
+            faults: Arc::new(FaultPlan::off()),
+            fault_metrics: None,
         }
+    }
+
+    /// Attaches a fault-injection plan (builder style). Injection
+    /// counters are only registered for enabled plans.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, metrics: Option<FaultMetrics>) -> Self {
+        self.fault_metrics = if plan.enabled() { metrics } else { None };
+        self.faults = plan;
+        self
+    }
+
+    /// The fault plan this service consults.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether fault injection is active — probers switch to the
+    /// resilient (retrying, accounting) query path when it is.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.enabled()
+    }
+
+    /// Consults the plan for one admitted query and counts the
+    /// injection. Both serve lanes call this at the same logical point
+    /// (after admission, before the pool-sequence draw) with the same
+    /// coordinates, so they make identical decisions.
+    fn fault_for(
+        &self,
+        prober: u64,
+        pop: PopId,
+        transport: Transport,
+        t: SimTime,
+        id: u16,
+    ) -> Option<Injected> {
+        let fault =
+            self.faults
+                .query_fault(prober, pop, transport == Transport::Udp, t.as_millis(), id)?;
+        if let Some(fm) = &self.fault_metrics {
+            fm.count_injected(fault);
+        }
+        Some(match fault {
+            QueryFault::ServFail => Injected::Error {
+                rcode: Rcode::ServFail.to_u8(),
+                tc: false,
+            },
+            QueryFault::Refused => Injected::Error {
+                rcode: Rcode::Refused.to_u8(),
+                tc: false,
+            },
+            QueryFault::Truncate => Injected::Error { rcode: 0, tc: true },
+            QueryFault::Loss | QueryFault::Latency | QueryFault::TcpReset | QueryFault::Outage => {
+                Injected::Drop
+            }
+        })
     }
 
     /// The egress address authoritatives/roots see for queries issued
@@ -491,6 +561,23 @@ impl GooglePublicDns {
             return wire::encode(&resp).ok();
         };
 
+        // Fault-injection point: the query is admitted and parsed; the
+        // plan decides whether the exchange fails before any service
+        // logic (including the pool-sequence draw) sees it.
+        if let Some(injected) = self.fault_for(prober, pop, transport, t, query.id) {
+            return match injected {
+                Injected::Drop => None,
+                Injected::Error { rcode, tc } => {
+                    let mut question_wire = qname_wire(&q.name);
+                    question_wire.extend_from_slice(&q.rtype.to_u16().to_be_bytes());
+                    question_wire.extend_from_slice(&q.class.to_u16().to_be_bytes());
+                    let mut out = Vec::new();
+                    wire::write_probe_error_response(&mut out, query.id, &question_wire, rcode, tc);
+                    Some(out)
+                }
+            };
+        }
+
         // PoP self-identification.
         if q.rtype == RrType::Txt && q.name.to_string() == MYADDR_NAME {
             self.metrics.myaddr.inc();
@@ -552,11 +639,15 @@ impl GooglePublicDns {
         let pool = (pool_h % POOLS_PER_POP as u64) as usize;
 
         // The cached entry that could answer: the scope the authoritative
-        // assigns to this address region.
-        let spec = world
-            .domains
-            .get(&q.name)
-            .expect("domain_slot implies catalog membership");
+        // assigns to this address region. A slot without a catalog entry
+        // cannot happen for a well-formed build; degrade to a plain miss
+        // rather than panicking inside the library.
+        let Some(spec) = world.domains.get(&q.name) else {
+            session.stats.misses += 1;
+            self.metrics.miss_non_ecs.inc();
+            let resp = Message::response_for(&query);
+            return wire::encode(&resp).ok();
+        };
         let candidate = auth.base_scope(spec, source.addr());
 
         // 1. Scoped entry.
@@ -691,6 +782,20 @@ impl GooglePublicDns {
         }
         let source = view.ecs.map_or(Prefix::DEFAULT, |e| e.source);
 
+        // Fault-injection point — identical decision and position
+        // (post-admission, pre-pool-draw) to the slow path, and the
+        // error bytes come from the same wire helper, so the lanes stay
+        // byte-identical under faults too.
+        if let Some(injected) = self.fault_for(prober, pop, transport, t, view.id) {
+            return Some(match injected {
+                Injected::Drop => false,
+                Injected::Error { rcode, tc } => {
+                    wire::write_probe_error_response(out, view.id, question_wire, rcode, tc);
+                    true
+                }
+            });
+        }
+
         // Pool draw — same mix, same seq advance as the slow path.
         session.seq += 1;
         let pool_h = SeedMixer::new(self.seed)
@@ -774,8 +879,28 @@ impl GooglePublicDns {
         t: SimTime,
         out: &mut Vec<u8>,
     ) -> bool {
-        let pop = catchments.of_vantage(prober, vp_coord);
+        let pop = self.route_vantage(catchments, prober, vp_coord, t);
         self.handle_query_at_pop_into(session, world, auth, prober, pop, packet, transport, t, out)
+    }
+
+    /// Anycast routing for a vantage point, including seeded catchment
+    /// flaps: during a flap window the vantage's traffic lands at its
+    /// second-choice PoP instead of its home catchment.
+    fn route_vantage(
+        &self,
+        catchments: &Catchments,
+        prober: u64,
+        coord: clientmap_net::GeoCoord,
+        t: SimTime,
+    ) -> PopId {
+        let home = catchments.of_vantage(prober, coord);
+        if self.faults.flap(prober, t.as_millis()) {
+            if let Some(fm) = &self.fault_metrics {
+                fm.flaps.inc();
+            }
+            return catchments.of_vantage_excluding(prober, coord, home);
+        }
+        home
     }
 
     /// Convenience wrapper: routes by vantage-point anycast, then
@@ -793,7 +918,7 @@ impl GooglePublicDns {
         transport: Transport,
         t: SimTime,
     ) -> Option<Vec<u8>> {
-        let pop = catchments.of_vantage(prober, vp_coord);
+        let pop = self.route_vantage(catchments, prober, vp_coord, t);
         self.handle_query_at_pop(session, world, auth, prober, pop, packet, transport, t)
     }
 
@@ -810,6 +935,13 @@ impl GooglePublicDns {
         let Ok(view) = wire::response_view(bytes) else {
             return ProbeOutcome::Dropped;
         };
+        Self::classify_view(&view)
+    }
+
+    /// [`GooglePublicDns::classify_response`] for an already-parsed
+    /// view — the resilient prober parses once to verify the response
+    /// ID and flags, then classifies from the same view.
+    pub fn classify_view(view: &wire::ResponseView) -> ProbeOutcome {
         if view.answer_count == 0 {
             return ProbeOutcome::Miss;
         }
@@ -1240,6 +1372,173 @@ mod tests {
             slow_session.stats.scoped_hits > 0 && slow_session.stats.misses > 0,
             "test did not exercise both hit and miss paths: {:?}",
             slow_session.stats
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_lane_identical_and_counted() {
+        use clientmap_faults::{FaultConfig, FaultProfile};
+
+        let world = World::generate(WorldConfig::tiny(21));
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let m = MetricsRegistry::new();
+        let plan = Arc::new(FaultPlan::new(
+            world.config.seed,
+            &FaultConfig::profile(FaultProfile::Lossy, 7),
+        ));
+        let gpdns = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&m),
+        )
+        .with_faults(Arc::clone(&plan), Some(FaultMetrics::register(&m)));
+        assert!(gpdns.faults_enabled());
+
+        let busy = world
+            .slash24s
+            .iter()
+            .find(|p| p.is_active())
+            .map(|p| p.prefix)
+            .expect("active prefix exists");
+        let mut slow_session = GpdnsSession::new();
+        let mut fast_session = GpdnsSession::new();
+        let mut out = Vec::new();
+        let (mut dropped, mut errored, mut truncated_udp, mut tc_on_tcp) = (0u64, 0u64, 0u64, 0u64);
+        // One query per second per transport keeps even UDP inside its
+        // token budget, so every lost response is an injected fault.
+        for q in 0..600u64 {
+            let t = SimTime::from_secs(3600 * 6 + q);
+            let transport = if q % 2 == 0 {
+                Transport::Udp
+            } else {
+                Transport::Tcp
+            };
+            let pkt = probe_packet("www.google.com", busy, q as u16);
+            let slow = gpdns.handle_query_at_pop(
+                &mut slow_session,
+                &world,
+                &auth,
+                42,
+                1,
+                &pkt,
+                transport,
+                t,
+            );
+            let fast = gpdns.handle_query_at_pop_into(
+                &mut fast_session,
+                &world,
+                &auth,
+                42,
+                1,
+                &pkt,
+                transport,
+                t,
+                &mut out,
+            );
+            assert_eq!(fast, slow.is_some(), "drop disagreement at query {q}");
+            match &slow {
+                None => dropped += 1,
+                Some(bytes) => {
+                    assert_eq!(out, *bytes, "byte mismatch at query {q}");
+                    let view = wire::response_view(bytes).unwrap();
+                    assert_eq!(view.id, q as u16);
+                    if view.flags & wire::RCODE_MASK != 0 {
+                        errored += 1;
+                    }
+                    if view.flags & wire::FLAG_TC != 0 {
+                        match transport {
+                            Transport::Udp => truncated_udp += 1,
+                            Transport::Tcp => tc_on_tcp += 1,
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(slow_session.stats, fast_session.stats);
+        assert_eq!(slow_session.stats.rate_limited, 0);
+        let snap = m.snapshot();
+        // Both lanes counted every injection, so the registry total is
+        // twice what one lane observed on the wire.
+        assert_eq!(
+            snap.sum_counters("faults.injected."),
+            2 * (dropped + errored + truncated_udp + tc_on_tcp)
+        );
+        assert!(
+            dropped > 0,
+            "lossy profile must drop something in 600 queries"
+        );
+        assert!(errored > 0, "lossy profile must inject an error rcode");
+        assert!(truncated_udp > 0, "lossy profile must truncate some UDP");
+        assert_eq!(tc_on_tcp, 0, "TC must never be set on TCP responses");
+        // gpdns exit-path conservation with the injected classes included:
+        // every query either rate-limits, faults, or reaches the cache.
+        let cache_exits = snap.sum_counters("gpdns.cache.hit.")
+            + snap.sum_counters("gpdns.cache.scope0.")
+            + snap.sum_counters("gpdns.cache.miss.");
+        assert_eq!(
+            snap.sum_counters("gpdns.queries."),
+            snap.sum_counters("faults.injected.") + cache_exits
+        );
+    }
+
+    #[test]
+    fn outage_window_drops_every_query_at_pop() {
+        use clientmap_faults::{FaultConfig, FaultProfile};
+
+        let world = World::generate(WorldConfig::tiny(21));
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let plan = Arc::new(FaultPlan::new(
+            world.config.seed,
+            &FaultConfig::profile(FaultProfile::PopChurn, 3),
+        ));
+        let pop = (0..pop_catalog().len())
+            .find(|p| plan.outage_window(*p).is_some())
+            .expect("pop-churn schedules at least one outage");
+        let (start, end) = plan.outage_window(pop).unwrap();
+        let gpdns =
+            GooglePublicDns::build(&world, &catchments, &auth).with_faults(Arc::clone(&plan), None);
+        let busy = world
+            .slash24s
+            .iter()
+            .find(|p| p.is_active())
+            .map(|p| p.prefix)
+            .unwrap();
+        let mut session = GpdnsSession::new();
+        for q in 0..50u64 {
+            let t = SimTime::from_millis(start + q * (end - start - 1) / 50);
+            let pkt = probe_packet("www.google.com", busy, q as u16);
+            let resp = gpdns.handle_query_at_pop(
+                &mut session,
+                &world,
+                &auth,
+                7,
+                pop,
+                &pkt,
+                Transport::Tcp,
+                t,
+            );
+            assert!(resp.is_none(), "query {q} inside the outage must drop");
+        }
+        // Before the window opens, the PoP answers again.
+        let pkt = probe_packet("www.google.com", busy, 999);
+        let resp = gpdns.handle_query_at_pop(
+            &mut session,
+            &world,
+            &auth,
+            7,
+            pop,
+            &pkt,
+            Transport::Tcp,
+            SimTime::from_millis(start - 10_000),
+        );
+        assert!(
+            resp.is_some()
+                || plan
+                    .query_fault(7, pop, false, start - 10_000, 999)
+                    .is_some()
         );
     }
 

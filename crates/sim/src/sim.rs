@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use clientmap_dns::{wire, DomainName, Message, Question, RData, ScopedAnswer};
+use clientmap_faults::{FaultConfig, FaultMetrics, FaultPlan};
 use clientmap_net::{GeoCoord, Prefix};
 use clientmap_telemetry::MetricsRegistry;
 use clientmap_world::World;
@@ -116,7 +117,17 @@ impl Sim {
     /// Builds the simulation for a world, registering all service-side
     /// instruments (and the world-shape gauges) on `metrics`.
     pub fn with_metrics(world: World, metrics: Arc<MetricsRegistry>) -> Sim {
+        Sim::with_faults(world, metrics, &FaultConfig::default())
+    }
+
+    /// [`Sim::with_metrics`] plus a fault-injection plan derived from
+    /// `(world seed, fault seed)`. With the default (off) config this
+    /// is exactly the fault-free simulation: no fault counters are
+    /// registered and every injection point short-circuits.
+    pub fn with_faults(world: World, metrics: Arc<MetricsRegistry>, faults: &FaultConfig) -> Sim {
         world.register_metrics(&metrics);
+        let plan = Arc::new(FaultPlan::new(world.config.seed, faults));
+        let fault_metrics = plan.enabled().then(|| FaultMetrics::register(&metrics));
         let catchments = Catchments::compute(&world);
         let auth = Authoritatives::new(world.config.seed, world.rib.clone());
         let gpdns = GooglePublicDns::build_with_metrics(
@@ -124,7 +135,8 @@ impl Sim {
             &catchments,
             &auth,
             GpdnsMetrics::register(&metrics),
-        );
+        )
+        .with_faults(plan, fault_metrics);
         let snooping = ResolverSnooping::new(world.config.seed);
         Sim {
             world,
@@ -135,6 +147,11 @@ impl Sim {
             snooping,
             metrics,
         }
+    }
+
+    /// The fault plan threaded through the services.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.gpdns.fault_plan()
     }
 
     /// The registry every service-side instrument reports to.

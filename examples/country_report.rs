@@ -17,7 +17,7 @@ fn main() {
         .unwrap_or(31u64);
 
     eprintln!("running the full pipeline (seed {seed})…");
-    let out = Pipeline::run(PipelineConfig::tiny(seed));
+    let out = Pipeline::run(PipelineConfig::tiny(seed)).expect("pipeline run is healthy");
     let world = out.sim.world();
 
     let union = out.bundle.as_view(clientmap::datasets::DatasetId::Union);

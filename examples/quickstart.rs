@@ -14,7 +14,7 @@ fn main() {
         .unwrap_or(42u64);
 
     eprintln!("generating world + running both techniques (seed {seed})…");
-    let out = Pipeline::run(PipelineConfig::tiny(seed));
+    let out = Pipeline::run(PipelineConfig::tiny(seed)).expect("pipeline run is healthy");
 
     let report = out.report();
     println!("{}", report.headlines());

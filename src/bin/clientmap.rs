@@ -1,7 +1,7 @@
 //! `clientmap` — the user-facing CLI.
 //!
 //! ```text
-//! clientmap run     [--scale tiny|small|paper] [--seed N]
+//! clientmap run     [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
 //! clientmap export  [--scale ...] [--seed N] --out DIR
 //! clientmap query   PREFIX [--scale ...] [--seed N]
 //! clientmap stats   [--scale ...] [--seed N]
@@ -18,13 +18,16 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use clientmap::core::{Pipeline, PipelineConfig};
+use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
 use clientmap::datasets::export;
+use clientmap::faults::{FaultConfig, FaultProfile};
 use clientmap::net::Prefix;
 
 struct Args {
     scale: String,
     seed: u64,
+    faults: FaultProfile,
+    fault_seed: u64,
     out: Option<PathBuf>,
     positional: Vec<String>,
 }
@@ -33,6 +36,8 @@ fn parse_args(argv: &[String]) -> Args {
     let mut args = Args {
         scale: "tiny".into(),
         seed: 2021,
+        faults: FaultProfile::Off,
+        fault_seed: 0,
         out: None,
         positional: Vec::new(),
     };
@@ -45,6 +50,21 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--seed" => {
                 args.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+                i += 2;
+            }
+            "--faults" => {
+                let name = argv.get(i + 1).cloned().unwrap_or_default();
+                args.faults = match name.parse() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("bad --faults {name:?}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--fault-seed" => {
+                args.fault_seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
                 i += 2;
             }
             "--out" => {
@@ -61,17 +81,29 @@ fn parse_args(argv: &[String]) -> Args {
 }
 
 fn config_for(args: &Args) -> PipelineConfig {
-    match args.scale.as_str() {
+    let mut config = match args.scale.as_str() {
         "paper" => PipelineConfig::paper_scale(args.seed),
         "small" => PipelineConfig::small(args.seed),
         _ => PipelineConfig::tiny(args.seed),
+    };
+    config.faults = FaultConfig::profile(args.faults, args.fault_seed);
+    config
+}
+
+fn run_or_exit(config: PipelineConfig) -> PipelineOutput {
+    match Pipeline::run(config) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: clientmap <run|export|query|stats> [--scale tiny|small|paper] [--seed N] \
-         [--out DIR] [PREFIX]"
+         [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] [PREFIX]"
     );
     std::process::exit(2);
 }
@@ -86,8 +118,11 @@ fn main() {
 
     match cmd.as_str() {
         "run" => {
-            let out = Pipeline::run(config_for(&args));
+            let out = run_or_exit(config_for(&args));
             println!("{}", out.report().headlines());
+            if let Some(robustness) = out.report().robustness() {
+                println!("{robustness}");
+            }
             println!(
                 "active space: {} /24s across {} hit scopes; {} resolvers with Chromium activity",
                 out.cache_probe.active_set().num_slash24s(),
@@ -104,7 +139,7 @@ fn main() {
                 eprintln!("cannot create {}: {e}", dir.display());
                 std::process::exit(1);
             }
-            let out = Pipeline::run(config_for(&args));
+            let out = run_or_exit(config_for(&args));
             let rib = &out.sim.world().rib;
             let files = [
                 (
@@ -150,7 +185,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let out = Pipeline::run(config_for(&args));
+            let out = run_or_exit(config_for(&args));
             let active = out.cache_probe.active_set();
             let dns_hit = out.bundle.dns_logs.set.intersects(prefix);
             let verdict = if active.contains_slash24(prefix) || active.intersects(prefix) {

@@ -10,7 +10,7 @@
 //! ```no_run
 //! use clientmap::core::{Pipeline, PipelineConfig};
 //!
-//! let out = Pipeline::run(PipelineConfig::tiny(42));
+//! let out = Pipeline::run(PipelineConfig::tiny(42)).expect("healthy run");
 //! println!("{}", out.report().headlines());
 //! ```
 
@@ -20,6 +20,7 @@ pub use clientmap_chromium as chromium;
 pub use clientmap_core as core;
 pub use clientmap_datasets as datasets;
 pub use clientmap_dns as dns;
+pub use clientmap_faults as faults;
 pub use clientmap_geo as geo;
 pub use clientmap_net as net;
 pub use clientmap_par as par;

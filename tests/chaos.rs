@@ -1,0 +1,159 @@
+//! Chaos end-to-end: the full pipeline under deterministic fault
+//! injection. The fault plan is derived from `(world_seed, fault_seed)`
+//! and consulted at fixed logical points, so a faulted run is exactly
+//! as reproducible as a fault-free one — including across thread
+//! counts — while the resilient prober keeps the campaign alive and
+//! accounts for what it could not measure.
+
+use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap::faults::{FaultConfig, FaultProfile};
+
+fn config(profile: FaultProfile, fault_seed: u64) -> PipelineConfig {
+    let mut c = PipelineConfig::tiny(2021);
+    c.faults = FaultConfig::profile(profile, fault_seed);
+    c
+}
+
+/// One shared lossy run for the assertions below.
+fn lossy() -> &'static PipelineOutput {
+    static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| Pipeline::run(config(FaultProfile::Lossy, 5)).expect("lossy run completes"))
+}
+
+#[test]
+fn lossy_run_completes_with_partial_result_accounting() {
+    let o = lossy();
+    // The run finished and still produced an activity map.
+    assert!(o.cache_probe.probes_sent > 0);
+    assert!(o.cache_probe.active_set().num_slash24s() > 0);
+    // Faults were genuinely injected and absorbed.
+    let f = o.cache_probe.fault.as_ref().expect("fault summary");
+    assert_eq!(f.profile, "lossy");
+    assert!(f.observed > 0, "lossy run saw no failures");
+    assert!(f.retries > 0, "no retries under ~11% failure rate");
+    assert!(f.recovered > 0, "retries never succeeded");
+    // Every observed failure settled into exactly one terminal bucket.
+    assert_eq!(f.observed, f.recovered + f.degraded + f.lost);
+}
+
+#[test]
+fn lossy_report_states_what_was_not_measured() {
+    let o = lossy();
+    let section = o.report().robustness().expect("robustness section");
+    for needle in ["lossy", "unmeasured", "retried"] {
+        assert!(section.contains(needle), "robustness missing {needle:?}");
+    }
+    let all = o.report().render_all();
+    assert!(all.contains("Robustness"), "render_all omits the section");
+}
+
+#[test]
+fn fault_free_runs_carry_no_fault_surface() {
+    let o = Pipeline::run(config(FaultProfile::Off, 5)).expect("fault-free run");
+    assert!(o.cache_probe.fault.is_none());
+    assert!(!o.report().render_all().contains("Robustness"));
+    let snap = o.metrics_snapshot();
+    assert!(!snap
+        .counters
+        .keys()
+        .any(|k| k.starts_with("faults.") || k.starts_with("cacheprobe.fault.")));
+}
+
+#[test]
+fn faulted_pipeline_is_byte_identical_across_thread_counts() {
+    let base = clientmap::par::with_threads(1, || Pipeline::run(config(FaultProfile::Lossy, 9)))
+        .expect("1-thread lossy run");
+    let base_report = base.report().render_all();
+    let base_snapshot = base.metrics_snapshot().to_json();
+    for threads in [4usize, 8] {
+        let run =
+            clientmap::par::with_threads(threads, || Pipeline::run(config(FaultProfile::Lossy, 9)))
+                .unwrap_or_else(|e| panic!("{threads}-thread lossy run failed: {e}"));
+        assert_eq!(
+            run.cache_probe.probes_sent, base.cache_probe.probes_sent,
+            "probe volume drift at {threads} threads"
+        );
+        assert_eq!(
+            run.cache_probe.fault, base.cache_probe.fault,
+            "fault accounting drift at {threads} threads"
+        );
+        assert_eq!(
+            run.report().render_all(),
+            base_report,
+            "report drift at {threads} threads"
+        );
+        assert_eq!(
+            run.metrics_snapshot().to_json(),
+            base_snapshot,
+            "telemetry snapshot drift at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fault_seed_changes_the_weather_but_not_the_climate() {
+    let a = lossy();
+    let b = Pipeline::run(config(FaultProfile::Lossy, 6)).expect("other fault seed");
+    // Different fault seeds see different faults…
+    let fa = a.cache_probe.fault.as_ref().unwrap();
+    let fb = b.cache_probe.fault.as_ref().unwrap();
+    assert_ne!(
+        (fa.observed, fa.retries),
+        (fb.observed, fb.retries),
+        "fault seed had no effect"
+    );
+    // …but the same world underneath: headline coverage stays close.
+    let clean = Pipeline::run(config(FaultProfile::Off, 0)).expect("clean run");
+    let clean_active = clean.cache_probe.active_set().num_slash24s() as f64;
+    for faulted in [a.cache_probe.active_set(), b.cache_probe.active_set()] {
+        let ratio = faulted.num_slash24s() as f64 / clean_active.max(1.0);
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "lossy active set diverged from fault-free: ratio {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn pop_churn_run_quarantines_and_reconciles_coverage() {
+    let mut c = PipelineConfig::tiny(7);
+    c.faults = FaultConfig::profile(FaultProfile::PopChurn, 3);
+    let o = Pipeline::run(c).expect("pop-churn run completes");
+    let f = o.cache_probe.fault.as_ref().expect("fault summary");
+    assert_eq!(f.profile, "pop-churn");
+    // Outage windows make whole vantages go dark; the breaker must
+    // notice and the unmeasured accounting must close the books:
+    // probed + unmeasured == assigned.
+    assert_eq!(
+        o.cache_probe.probe_counts.len() as u64 + f.unmeasured_scopes,
+        f.assigned_scopes,
+        "coverage accounting does not reconcile"
+    );
+    let snap = o.metrics_snapshot();
+    assert_eq!(
+        snap.counter("cacheprobe.quarantine.pops"),
+        f.quarantined_pops.len() as u64
+    );
+    assert_eq!(
+        snap.counter("cacheprobe.quarantine.rescued"),
+        f.rescued_scopes
+    );
+}
+
+#[test]
+fn light_profile_is_a_gentle_breeze() {
+    let o = Pipeline::run(config(FaultProfile::Light, 1)).expect("light run completes");
+    let f = o.cache_probe.fault.as_ref().expect("fault summary");
+    assert_eq!(f.profile, "light");
+    // Sub-percent fault rates: almost everything recovers, and the
+    // active set is essentially unaffected.
+    assert!(f.observed > 0, "light still injects something");
+    assert_eq!(f.observed, f.recovered + f.degraded + f.lost);
+    let clean = Pipeline::run(config(FaultProfile::Off, 0)).expect("clean run");
+    let ratio = o.cache_probe.active_set().num_slash24s() as f64
+        / clean.cache_probe.active_set().num_slash24s().max(1) as f64;
+    assert!(
+        ratio > 0.9,
+        "light profile dented coverage: ratio {ratio:.2}"
+    );
+}

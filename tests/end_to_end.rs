@@ -11,7 +11,7 @@ use clientmap::datasets::DatasetId;
 
 fn output() -> &'static PipelineOutput {
     static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
-    OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(2021)))
+    OUT.get_or_init(|| Pipeline::run(PipelineConfig::tiny(2021)).expect("tiny run is healthy"))
 }
 
 const AS_IDS: [DatasetId; 6] = [
@@ -231,8 +231,8 @@ fn telemetry_invariants_reconcile() {
 
 #[test]
 fn metrics_snapshot_deterministic_across_runs() {
-    let a = Pipeline::run(PipelineConfig::tiny(78));
-    let b = Pipeline::run(PipelineConfig::tiny(78));
+    let a = Pipeline::run(PipelineConfig::tiny(78)).expect("run a");
+    let b = Pipeline::run(PipelineConfig::tiny(78)).expect("run b");
     assert_eq!(
         a.metrics_snapshot().to_json(),
         b.metrics_snapshot().to_json()
@@ -241,8 +241,8 @@ fn metrics_snapshot_deterministic_across_runs() {
 
 #[test]
 fn deterministic_end_to_end() {
-    let a = Pipeline::run(PipelineConfig::tiny(77));
-    let b = Pipeline::run(PipelineConfig::tiny(77));
+    let a = Pipeline::run(PipelineConfig::tiny(77)).expect("run a");
+    let b = Pipeline::run(PipelineConfig::tiny(77)).expect("run b");
     assert_eq!(a.cache_probe.probes_sent, b.cache_probe.probes_sent);
     assert_eq!(
         a.cache_probe.active_set().num_slash24s(),
@@ -258,12 +258,14 @@ fn identical_output_across_thread_counts() {
     // The executor's ordered reduction promises the whole pipeline is
     // reproducible at any worker count: same headline report, same
     // result numbers, and a byte-identical telemetry snapshot.
-    let base = clientmap::par::with_threads(1, || Pipeline::run(PipelineConfig::tiny(2021)));
+    let base = clientmap::par::with_threads(1, || Pipeline::run(PipelineConfig::tiny(2021)))
+        .expect("1-thread run");
     let base_headlines = base.report().headlines();
     let base_snapshot = base.metrics_snapshot().to_json();
     for threads in [2usize, 8] {
         let run =
-            clientmap::par::with_threads(threads, || Pipeline::run(PipelineConfig::tiny(2021)));
+            clientmap::par::with_threads(threads, || Pipeline::run(PipelineConfig::tiny(2021)))
+                .unwrap_or_else(|e| panic!("{threads}-thread run failed: {e}"));
         assert_eq!(
             run.cache_probe.probes_sent, base.cache_probe.probes_sent,
             "probe volume drift at {threads} threads"

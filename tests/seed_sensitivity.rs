@@ -24,7 +24,7 @@ fn outputs() -> &'static [PipelineOutput] {
     OUT.get_or_init(|| {
         [404u64, 1337, 271828]
             .into_iter()
-            .map(|seed| Pipeline::run(PipelineConfig::tiny(seed)))
+            .map(|seed| Pipeline::run(PipelineConfig::tiny(seed)).expect("healthy run"))
             .collect()
     })
 }
