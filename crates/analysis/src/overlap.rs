@@ -35,23 +35,29 @@ impl OverlapMatrix {
 /// Table 1: /24-prefix overlap across the datasets that have a prefix
 /// view (APNIC is excluded — AS-only, which is one of the paper's
 /// points).
+///
+/// Each dataset's dense /24 bitset is materialised once; every
+/// pairwise cell is then a word-wise AND + popcount, so the matrix
+/// stays cheap even over full-universe prefix views.
 pub fn prefix_matrix(bundle: &DatasetBundle, datasets: &[DatasetId]) -> OverlapMatrix {
     let views: Vec<(DatasetId, PrefixView)> = datasets
         .iter()
         .filter_map(|id| bundle.prefix_view(*id).map(|v| (*id, v)))
         .collect();
+    let bits: Vec<clientmap_store::Slash24Bitset> =
+        views.iter().map(|(_, v)| v.slash24_bitset()).collect();
     let n = views.len();
     let mut cells = vec![vec![0u64; n]; n];
     let mut pcts = vec![vec![0f64; n]; n];
     for i in 0..n {
         for j in 0..n {
             let inter = if i == j {
-                views[i].1.num_slash24s()
+                bits[i].count()
             } else {
-                views[i].1.intersection_slash24s(&views[j].1)
+                bits[i].and_count(&bits[j])
             };
             cells[i][j] = inter;
-            pcts[i][j] = pct(inter as f64, views[i].1.num_slash24s() as f64);
+            pcts[i][j] = pct(inter as f64, bits[i].count() as f64);
         }
     }
     OverlapMatrix {

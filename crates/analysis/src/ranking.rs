@@ -192,6 +192,7 @@ mod tests {
             clientmap_cacheprobe::ProbeCount {
                 attempts: 10,
                 hits: 1,
+                ..Default::default()
             },
         );
         result.probe_counts.insert(
@@ -199,6 +200,7 @@ mod tests {
             clientmap_cacheprobe::ProbeCount {
                 attempts: 10,
                 hits: 9,
+                ..Default::default()
             },
         );
         let est = activity_estimates(&result, 0, 4, 5, 300);
@@ -214,6 +216,7 @@ mod tests {
             clientmap_cacheprobe::ProbeCount {
                 attempts: 10,
                 hits: 5,
+                ..Default::default()
             },
         );
         let est = activity_estimates(&result, 0, 4, 5, 300);

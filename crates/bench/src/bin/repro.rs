@@ -202,60 +202,135 @@ fn main() {
     }
 }
 
-/// `repro bench`: one timed pipeline run, reported as JSON with
-/// per-stage wall seconds and the executor's worker count.
+/// `repro bench`: three timed pipeline runs — cold, warm from the
+/// cold run's snapshot (nothing expired: zero probe work replanned),
+/// and warm at a 10% expiry budget — reported as JSON with per-stage
+/// wall seconds, warm-planner accounting, and the executor's worker
+/// count.
 fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&str>) {
     let threads = clientmap_par::thread_count();
     let faults = config.faults;
     eprintln!(
-        "repro bench: scale={scale} seed={seed} faults={} threads={threads} — running pipeline…",
+        "repro bench: scale={scale} seed={seed} faults={} threads={threads} — cold run…",
         faults.profile.as_str()
     );
-    let mut timings: Vec<(String, f64)> = Vec::new();
-    let start = std::time::Instant::now();
-    let out = match Pipeline::run_timed(config, &mut timings) {
-        Ok(out) => out,
-        Err(e) => {
-            eprintln!("repro bench: pipeline failed: {e}");
-            std::process::exit(1);
+    let run = |config: PipelineConfig,
+               prior: Option<clientmap_store::SweepSnapshot>,
+               timings: &mut Vec<(String, f64)>| {
+        let start = std::time::Instant::now();
+        match Pipeline::run_warm_timed(config, prior, timings) {
+            Ok(out) => (out, start.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("repro bench: pipeline failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
-    let total_secs = start.elapsed().as_secs_f64();
+
+    let mut cold_timings: Vec<(String, f64)> = Vec::new();
+    let (cold, cold_secs) = run(config.clone(), None, &mut cold_timings);
     eprintln!(
-        "repro bench: pipeline done in {total_secs:.1}s ({} probes sent)",
-        out.cache_probe.probes_sent
+        "repro bench: cold run done in {cold_secs:.1}s ({} probes sent) — warm run…",
+        cold.cache_probe.probes_sent
     );
+
+    let mut warm_timings: Vec<(String, f64)> = Vec::new();
+    let (warm, warm_secs) = run(config.clone(), Some(cold.sweep.clone()), &mut warm_timings);
+    eprintln!("repro bench: warm run done in {warm_secs:.1}s — warm run at 10% expiry…");
+
+    let mut expiry_config = config;
+    expiry_config.probe.expiry_budget = 0.10;
+    let mut expiry_timings: Vec<(String, f64)> = Vec::new();
+    let (expiry, expiry_secs) = run(expiry_config, Some(cold.sweep.clone()), &mut expiry_timings);
+    eprintln!(
+        "repro bench: 10%-expiry warm run done in {expiry_secs:.1}s — \
+         cold/warm speedup {:.1}x",
+        cold_secs / warm_secs.max(1e-9)
+    );
+
+    let stages_json = |timings: &[(String, f64)]| {
+        let mut s = String::from("    \"stages\": {\n");
+        for (i, (name, secs)) in timings.iter().enumerate() {
+            let comma = if i + 1 < timings.len() { "," } else { "" };
+            s.push_str(&format!("      \"{name}\": {secs:.3}{comma}\n"));
+        }
+        s.push_str("    }\n");
+        s
+    };
+    let planner_json = |out: &PipelineOutput| {
+        let snap = out.metrics_snapshot();
+        let c = |name: &str| snap.counter(&format!("cacheprobe.planner.{name}"));
+        format!(
+            "    \"planner\": {{\n      \"universe\": {},\n      \"planned\": {},\n      \
+             \"skipped_warm\": {},\n      \"units\": {},\n      \"new\": {},\n      \
+             \"expired\": {},\n      \"rescued\": {},\n      \"dirty\": {}\n    }},\n",
+            c("universe"),
+            c("planned"),
+            c("skipped_warm"),
+            c("units"),
+            c("new"),
+            c("expired"),
+            c("rescued"),
+            c("dirty"),
+        )
+    };
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"faults\": \"{}\",\n", faults.profile.as_str()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!("  \"total_secs\": {total_secs:.3},\n"));
-    if let Some(f) = &out.cache_probe.fault {
-        json.push_str("  \"fault_summary\": {\n");
-        json.push_str(&format!("    \"observed\": {},\n", f.observed));
-        json.push_str(&format!("    \"retries\": {},\n", f.retries));
-        json.push_str(&format!("    \"recovered\": {},\n", f.recovered));
-        json.push_str(&format!("    \"degraded\": {},\n", f.degraded));
-        json.push_str(&format!("    \"lost\": {},\n", f.lost));
+
+    json.push_str("  \"cold\": {\n");
+    json.push_str(&format!("    \"total_secs\": {cold_secs:.3},\n"));
+    if let Some(f) = &cold.cache_probe.fault {
+        json.push_str("    \"fault_summary\": {\n");
+        json.push_str(&format!("      \"observed\": {},\n", f.observed));
+        json.push_str(&format!("      \"retries\": {},\n", f.retries));
+        json.push_str(&format!("      \"recovered\": {},\n", f.recovered));
+        json.push_str(&format!("      \"degraded\": {},\n", f.degraded));
+        json.push_str(&format!("      \"lost\": {},\n", f.lost));
         json.push_str(&format!(
-            "    \"quarantined_pops\": {},\n",
+            "      \"quarantined_pops\": {},\n",
             f.quarantined_pops.len()
         ));
-        json.push_str(&format!("    \"rescued_scopes\": {},\n", f.rescued_scopes));
         json.push_str(&format!(
-            "    \"unmeasured_scopes\": {},\n",
+            "      \"rescued_scopes\": {},\n",
+            f.rescued_scopes
+        ));
+        json.push_str(&format!(
+            "      \"unmeasured_scopes\": {},\n",
             f.unmeasured_scopes
         ));
-        json.push_str(&format!("    \"assigned_scopes\": {}\n", f.assigned_scopes));
-        json.push_str("  },\n");
+        json.push_str(&format!(
+            "      \"assigned_scopes\": {}\n",
+            f.assigned_scopes
+        ));
+        json.push_str("    },\n");
     }
-    json.push_str("  \"stages\": {\n");
-    for (i, (name, secs)) in timings.iter().enumerate() {
-        let comma = if i + 1 < timings.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {secs:.3}{comma}\n"));
-    }
+    json.push_str(&stages_json(&cold_timings));
+    json.push_str("  },\n");
+
+    json.push_str("  \"warm\": {\n");
+    json.push_str(&format!("    \"total_secs\": {warm_secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"speedup_vs_cold\": {:.2},\n",
+        cold_secs / warm_secs.max(1e-9)
+    ));
+    json.push_str(&planner_json(&warm));
+    json.push_str(&stages_json(&warm_timings));
+    json.push_str("  },\n");
+
+    json.push_str("  \"warm_expiry_10pct\": {\n");
+    json.push_str(&format!("    \"total_secs\": {expiry_secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"speedup_vs_cold\": {:.2},\n",
+        cold_secs / expiry_secs.max(1e-9)
+    ));
+    json.push_str(&planner_json(&expiry));
+    json.push_str(&stages_json(&expiry_timings));
     json.push_str("  }\n}\n");
+
     match json_path {
         Some(path) => match std::fs::write(path, &json) {
             Ok(()) => eprintln!("repro bench: wrote {path}"),

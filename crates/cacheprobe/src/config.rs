@@ -66,6 +66,12 @@ pub struct ProbeConfig {
     pub max_pops: Option<usize>,
     /// Retry / backoff / breaker policy under fault injection.
     pub retry: RetryPolicy,
+    /// Warm re-sweep freshness budget: the fraction of previously
+    /// measured scopes whose records lapse per epoch (0 disables
+    /// expiry). Deliberately **excluded** from the sweep config digest —
+    /// re-sweeping the same world under a different freshness budget is
+    /// the point of warm starts.
+    pub expiry_budget: f64,
 }
 
 impl Default for ProbeConfig {
@@ -83,6 +89,7 @@ impl Default for ProbeConfig {
             fallback_radius_km: 2_000.0,
             max_pops: None,
             retry: RetryPolicy::default(),
+            expiry_budget: 0.0,
         }
     }
 }

@@ -39,10 +39,11 @@ pub mod probe;
 pub mod resilience;
 pub mod results;
 pub mod scopescan;
+pub mod sweep;
 pub mod vantage;
 
 mod config;
 
 pub use config::{ProbeConfig, RetryPolicy};
-pub use probe::{run_technique, run_technique_timed};
+pub use probe::{run_technique, run_technique_full, run_technique_timed};
 pub use results::{CacheProbeResult, FaultSummary, ProbeCount};

@@ -15,7 +15,7 @@
 //! resolved once per unit, so steady-state probing never touches the
 //! allocator or the registry lock.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +23,9 @@ use clientmap_dns::{wire, DomainName, Message, Question};
 use clientmap_net::Prefix;
 use clientmap_par::par_map;
 use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
+use clientmap_store::{
+    classify, HitEvent, PlannerStats, PriorScope, RecordKey, ScopeRecord, SweepSnapshot,
+};
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::calibrate::{calibrate, sample_prefixes};
@@ -31,6 +34,7 @@ use crate::resilience::{
 };
 use crate::results::{CacheProbeResult, FaultSummary};
 use crate::scopescan::scan;
+use crate::sweep;
 use crate::vantage::{discover_with, BoundVantage};
 use crate::ProbeConfig;
 
@@ -369,8 +373,9 @@ struct ProbeUnit {
 struct UnitTally {
     /// (query scope, response scope, remaining TTL) per hit.
     hits: Vec<(Prefix, Prefix, u32)>,
-    /// query scope → (attempts, hits) for activity ranking.
-    counts: HashMap<Prefix, (u64, u64)>,
+    /// query scope → (attempts, hits, scope0, drops) — the activity
+    /// ranking plus the sweep store's per-scope record fields.
+    counts: HashMap<Prefix, (u64, u64, u64, u64)>,
     attempts: u64,
     probes_sent: u64,
     scope0_hits: u64,
@@ -434,7 +439,7 @@ fn probe_unit(
             metrics.attempts.inc();
             metrics.pop_attempts.inc();
             metrics.probes_sent.add(u64::from(cfg.redundancy));
-            let count = tally.counts.entry(scope).or_insert((0, 0));
+            let count = tally.counts.entry(scope).or_insert((0, 0, 0, 0));
             count.0 += 1;
             let outcome = match fc {
                 Some(fc) => probe_scope_resilient_fast(
@@ -475,11 +480,13 @@ fn probe_unit(
                 ProbeOutcome::HitScopeZero => {
                     metrics.scope0.inc();
                     tally.scope0_hits += 1;
+                    count.2 += 1;
                 }
                 ProbeOutcome::Miss => metrics.miss.inc(),
                 ProbeOutcome::Dropped => {
                     metrics.dropped.inc();
                     tally.drops += 1;
+                    count.3 += 1;
                 }
             }
             // Circuit breaker: a PoP that eats everything we send —
@@ -501,12 +508,66 @@ fn probe_unit(
     tally
 }
 
+/// The snapshot key of one ⟨vantage, domain, scope⟩ stream slot.
+fn record_key(bound_idx: usize, domain: usize, scope: Prefix) -> RecordKey {
+    (bound_idx as u16, domain as u16, scope.addr(), scope.len())
+}
+
+/// Replays one stored [`ScopeRecord`] into the result (probe counts,
+/// hit families, headline totals) as if its probes had run this sweep.
+/// With `metrics` set, the client-side probe counters are bumped too —
+/// the warm-partial path, where the skipped share of the window must
+/// still land in this run's telemetry. (The full-skip path passes
+/// `None` and absorbs the snapshot's whole metrics delta instead.)
+fn replay_record(
+    result: &mut CacheProbeResult,
+    pop: PopId,
+    domain: usize,
+    scope: Prefix,
+    rec: &ScopeRecord,
+    redundancy: u32,
+    metrics: Option<&ProbeMetrics>,
+) {
+    if rec.attempts == 0 {
+        // Assigned but never reached last sweep — nothing to replay
+        // (and nothing was counted, so nothing to re-count).
+        return;
+    }
+    result.probes_sent += rec.attempts * u64::from(redundancy);
+    result.scope0_hits += rec.scope0;
+    result.drops += rec.drops;
+    let c = result.probe_counts.entry((domain, scope)).or_default();
+    c.attempts += rec.attempts;
+    c.hits += rec.hits();
+    c.scope0 += rec.scope0;
+    c.drops += rec.drops;
+    for e in &rec.hit_events {
+        let Ok(resp) = Prefix::new(e.resp_addr, e.resp_len) else {
+            continue;
+        };
+        result.record_hit(domain, pop, scope, resp, e.remaining_ttl);
+    }
+    if let Some(m) = metrics {
+        m.attempts.add(rec.attempts);
+        m.pop_attempts.add(rec.attempts);
+        m.probes_sent.add(rec.attempts * u64::from(redundancy));
+        m.hit.add(rec.hits());
+        m.pop_hits.add(rec.hits());
+        for e in &rec.hit_events {
+            m.hit_ttl_secs.record(u64::from(e.remaining_ttl));
+        }
+        m.scope0.add(rec.scope0);
+        m.miss.add(rec.misses());
+        m.dropped.add(rec.drops);
+    }
+}
+
 /// Runs the full cache-probing technique.
 ///
 /// `universe` is the public probe universe (RIR allocations /
 /// Routeviews blocks). Returns everything downstream analysis needs.
 pub fn run_technique(sim: &mut Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> CacheProbeResult {
-    run_technique_timed(sim, cfg, universe, &mut Vec::new())
+    run_technique_full(sim, cfg, universe, &mut Vec::new(), None).0
 }
 
 /// [`run_technique`], additionally appending `(stage, wall seconds)`
@@ -517,6 +578,28 @@ pub fn run_technique_timed(
     universe: &[Prefix],
     timings: &mut Vec<(String, f64)>,
 ) -> CacheProbeResult {
+    run_technique_full(sim, cfg, universe, timings, None).0
+}
+
+/// The full technique with warm-start support: runs cold when `prior`
+/// is `None`, otherwise plans an incremental re-sweep against the prior
+/// [`SweepSnapshot`] and probes only what the planner emits (new,
+/// dirty, rescue, or expired scopes), replaying the rest from the
+/// snapshot. Returns the result **and** this sweep's own snapshot.
+///
+/// Discovery, domain selection, the scope pre-scan, calibration, and
+/// PoP assignment always run live — they are cheap relative to the
+/// probing window and pin the key spaces (vantage and domain indexes)
+/// the snapshot's records are keyed by. The caller is responsible for
+/// validating `prior` against the current world seed and config digest
+/// (the pipeline layer does); this function trusts its key space.
+pub fn run_technique_full(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    universe: &[Prefix],
+    timings: &mut Vec<(String, f64)>,
+    prior: Option<&SweepSnapshot>,
+) -> (CacheProbeResult, SweepSnapshot) {
     let seed = sim.world().config.seed;
 
     // Fault-injection bookkeeping: counters resolve only when the
@@ -624,6 +707,149 @@ pub fn run_technique_timed(
         }
     }
 
+    // Warm-start planning: classify every assigned ⟨vantage, domain,
+    // scope⟩ instance against the prior snapshot. A scope is probed
+    // again only when it is new, its PoP was quarantined (dirty), its
+    // prior record is unmeasured/all-dropped (rescue), or its rotating
+    // freshness draw lapsed (expired); everything else replays from
+    // the snapshot.
+    let digest = sweep::config_digest(sim, cfg, universe);
+    let epoch = prior.map_or(1, |p| p.epoch + 1);
+    let mut snapshot = SweepSnapshot::new(seed, digest);
+    snapshot.epoch = epoch;
+    let mut skipped: Vec<(usize, usize, Prefix, ScopeRecord)> = Vec::new();
+    let mut warm_full_skip = false;
+    let units: Vec<ProbeUnit> = if let Some(prior) = prior {
+        let mut stats = PlannerStats::default();
+        let mut live_units = Vec::new();
+        for u in units {
+            let dirty = prior
+                .quarantined_pops()
+                .contains(&(bound[u.bound_idx].pop as u64));
+            let mut live_scopes = Vec::new();
+            for scope in u.scopes {
+                let prior_rec = prior.records.get(&record_key(u.bound_idx, u.domain, scope));
+                let decision = classify(
+                    prior_rec.map(|r| {
+                        (
+                            PriorScope {
+                                attempts: r.attempts,
+                                drops: r.drops,
+                            },
+                            dirty,
+                        )
+                    }),
+                    cfg.expiry_budget,
+                    epoch,
+                    sweep::expiry_hash(seed, u.domain, scope),
+                );
+                stats.count(decision);
+                match decision {
+                    Some(_) => live_scopes.push(scope),
+                    None => skipped.push((
+                        u.bound_idx,
+                        u.domain,
+                        scope,
+                        prior_rec.expect("warm skip implies a prior record").clone(),
+                    )),
+                }
+            }
+            if !live_scopes.is_empty() {
+                live_units.push(ProbeUnit {
+                    bound_idx: u.bound_idx,
+                    domain: u.domain,
+                    scopes: live_scopes,
+                });
+            }
+        }
+        // Planner accounting, warm runs only (cold runs register none
+        // of these, keeping cold telemetry byte-identical to before
+        // warm starts existed). The conservation laws — planned +
+        // skipped_warm == universe, and the reasons sum to planned —
+        // are re-checked by `clientmap-core`'s invariant layer.
+        metrics
+            .counter("cacheprobe.planner.universe")
+            .add(stats.universe);
+        metrics
+            .counter("cacheprobe.planner.planned")
+            .add(stats.planned);
+        metrics
+            .counter("cacheprobe.planner.skipped_warm")
+            .add(stats.skipped_warm);
+        metrics.counter("cacheprobe.planner.new").add(stats.new);
+        metrics.counter("cacheprobe.planner.dirty").add(stats.dirty);
+        metrics
+            .counter("cacheprobe.planner.rescued")
+            .add(stats.rescued);
+        metrics
+            .counter("cacheprobe.planner.expired")
+            .add(stats.expired);
+        metrics
+            .counter("cacheprobe.planner.units")
+            .add(live_units.len() as u64);
+        warm_full_skip = stats.planned == 0;
+        live_units
+    } else {
+        units
+    };
+
+    // The probing-window telemetry delta starts here. The preamble
+    // (discovery through assignment) and the planner counters sit
+    // outside the window — a warm run re-records them live — while
+    // replayed records, live probing, and the rescue sweep all land
+    // inside it, so absorbing a snapshot's delta reproduces exactly
+    // the window a full skip elides.
+    let pre = metrics.snapshot();
+    let gpdns_pre = sim.gpdns_stats();
+
+    if warm_full_skip {
+        let prior = prior.expect("full skip implies a prior snapshot");
+        // Nothing to probe: replay the prior sweep wholesale — records
+        // into the result, the stored metrics delta into the registry,
+        // the resolver counter deltas into the session — and carry the
+        // snapshot forward under the new epoch.
+        metrics.absorb_delta(&prior.metrics);
+        for (&(bi, d, addr, len), rec) in &prior.records {
+            let (Some(b), Ok(scope)) = (bound.get(bi as usize), Prefix::new(addr, len)) else {
+                continue;
+            };
+            replay_record(
+                &mut result,
+                b.pop,
+                d as usize,
+                scope,
+                rec,
+                cfg.redundancy,
+                None,
+            );
+        }
+        let mut session = GpdnsSession::new();
+        session.stats = sweep::gpdns_stats_from(prior.gpdns);
+        sim.absorb_session(&session);
+        result.fault = prior.fault.as_ref().map(sweep::from_fault_record);
+        snapshot.gpdns = prior.gpdns;
+        snapshot.fault = prior.fault.clone();
+        snapshot.metrics = prior.metrics.clone();
+        snapshot.records = prior.records.clone();
+        timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
+        return (result, snapshot);
+    }
+
+    // Warm-partial: the skipped share of the window replays with full
+    // client-side telemetry — this run's counters still describe the
+    // whole sweep — and only the planned share probes live.
+    for (bi, d, scope, rec) in &skipped {
+        replay_record(
+            &mut result,
+            bound[*bi].pop,
+            *d,
+            *scope,
+            rec,
+            cfg.redundancy,
+            Some(&pop_metrics[*bi]),
+        );
+    }
+
     let view = sim.view();
     let tallies: Vec<UnitTally> = par_map(&units, |_, u| {
         probe_unit(
@@ -641,7 +867,9 @@ pub fn run_technique_timed(
     // Ordered reduction: merge in unit order — a pure function of the
     // work list, never of the thread interleaving. Per-PoP health
     // (attempts, lost events, breaker trips) accumulates alongside for
-    // the quarantine decision.
+    // the quarantine decision, and the per-scope sweep records for the
+    // snapshot build alongside in the same deterministic order.
+    let mut fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
     let mut pop_health: HashMap<PopId, (u64, u64, bool)> = HashMap::new();
     for (u, tally) in units.iter().zip(tallies) {
         let pop = bound[u.bound_idx].pop;
@@ -654,11 +882,28 @@ pub fn run_technique_timed(
         result.drops += tally.drops;
         for (query_scope, resp_scope, remaining) in tally.hits {
             result.record_hit(u.domain, pop, query_scope, resp_scope, remaining);
+            fresh
+                .entry(record_key(u.bound_idx, u.domain, query_scope))
+                .or_default()
+                .hit_events
+                .push(HitEvent {
+                    resp_addr: resp_scope.addr(),
+                    resp_len: resp_scope.len(),
+                    remaining_ttl: remaining,
+                });
         }
-        for (scope, (attempts, hits)) in tally.counts {
+        for (scope, (attempts, hits, scope0, drops)) in tally.counts {
             let c = result.probe_counts.entry((u.domain, scope)).or_default();
             c.attempts += attempts;
             c.hits += hits;
+            c.scope0 += scope0;
+            c.drops += drops;
+            let rec = fresh
+                .entry(record_key(u.bound_idx, u.domain, scope))
+                .or_default();
+            rec.attempts += attempts;
+            rec.scope0 += scope0;
+            rec.drops += drops;
         }
         sim.absorb_session(&tally.session);
     }
@@ -763,11 +1008,28 @@ pub fn run_technique_timed(
             result.drops += tally.drops;
             for (query_scope, resp_scope, remaining) in tally.hits {
                 result.record_hit(u.domain, pop, query_scope, resp_scope, remaining);
+                fresh
+                    .entry(record_key(u.bound_idx, u.domain, query_scope))
+                    .or_default()
+                    .hit_events
+                    .push(HitEvent {
+                        resp_addr: resp_scope.addr(),
+                        resp_len: resp_scope.len(),
+                        remaining_ttl: remaining,
+                    });
             }
-            for (scope, (attempts, hits)) in tally.counts {
+            for (scope, (attempts, hits, scope0, drops)) in tally.counts {
                 let c = result.probe_counts.entry((u.domain, scope)).or_default();
                 c.attempts += attempts;
                 c.hits += hits;
+                c.scope0 += scope0;
+                c.drops += drops;
+                let rec = fresh
+                    .entry(record_key(u.bound_idx, u.domain, scope))
+                    .or_default();
+                rec.attempts += attempts;
+                rec.scope0 += scope0;
+                rec.drops += drops;
             }
             sim.absorb_session(&tally.session);
         }
@@ -798,7 +1060,27 @@ pub fn run_technique_timed(
         });
         timings.push(("rescue".into(), stage.elapsed().as_secs_f64()));
     }
-    result
+
+    // Snapshot assembly. Warm-skipped scopes carry their prior records
+    // forward (so the next planner still sees them as measured), and
+    // every planned scope that produced no probe event — a
+    // breaker-aborted stream — gets an explicit empty record, the
+    // planner's rescue signal for the next sweep.
+    for (bi, d, scope, rec) in skipped {
+        fresh.entry(record_key(bi, d, scope)).or_insert(rec);
+    }
+    for u in &units {
+        for &scope in &u.scopes {
+            fresh
+                .entry(record_key(u.bound_idx, u.domain, scope))
+                .or_default();
+        }
+    }
+    snapshot.records = fresh;
+    snapshot.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
+    snapshot.metrics = metrics.snapshot().delta_from(&pre);
+    snapshot.fault = result.fault.as_ref().map(sweep::to_fault_record);
+    (result, snapshot)
 }
 
 #[cfg(test)]
@@ -1037,6 +1319,110 @@ mod tests {
             let first = seq.iter().find(|o| rank(o) == max_rank).unwrap();
             prop_assert_eq!(&best, first);
         }
+    }
+
+    // ---- warm starts ---------------------------------------------
+
+    fn run_tiny_full(
+        seed: u64,
+        prior: Option<&SweepSnapshot>,
+    ) -> (Sim, CacheProbeResult, SweepSnapshot) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        let mut sim = Sim::new(world);
+        let mut cfg = ProbeConfig::test_scale();
+        cfg.duration_hours = 2.0;
+        cfg.calibration_sample = 250;
+        let (result, snap) = run_technique_full(&mut sim, &cfg, &universe, &mut Vec::new(), prior);
+        (sim, result, snap)
+    }
+
+    /// Drops the warm-only `cacheprobe.planner.*` lines so cold and
+    /// warm registries can be compared byte-for-byte.
+    fn without_planner_lines(json: &str) -> String {
+        json.lines()
+            .filter(|l| !l.contains("cacheprobe.planner."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn warm_full_skip_reproduces_the_cold_run() {
+        let (cold_sim, cold, snap) = run_tiny_full(103, None);
+        assert_eq!(snap.epoch, 1);
+        assert!(!snap.records.is_empty());
+        assert!(snap.fault.is_none());
+
+        let (warm_sim, warm, snap2) = run_tiny_full(103, Some(&snap));
+        let warm_metrics = warm_sim.metrics().snapshot();
+        // Nothing expired, nothing new, nothing dirty: zero probe work.
+        assert_eq!(warm_metrics.counter("cacheprobe.planner.planned"), 0);
+        assert_eq!(warm_metrics.counter("cacheprobe.planner.units"), 0);
+        assert_eq!(
+            warm_metrics.counter("cacheprobe.planner.skipped_warm"),
+            warm_metrics.counter("cacheprobe.planner.universe")
+        );
+
+        // The replayed result is identical to the cold one.
+        assert_eq!(warm.probes_sent, cold.probes_sent);
+        assert_eq!(warm.scope0_hits, cold.scope0_hits);
+        assert_eq!(warm.drops, cold.drops);
+        assert_eq!(warm.hits, cold.hits);
+        assert_eq!(warm.probe_counts, cold.probe_counts);
+        assert_eq!(warm.scope_pairs, cold.scope_pairs);
+        assert_eq!(warm.pop_hit_prefixes.len(), cold.pop_hit_prefixes.len());
+
+        // So is the telemetry, modulo the warm-only planner family.
+        assert_eq!(
+            without_planner_lines(&warm_sim.metrics().snapshot().to_json()),
+            without_planner_lines(&cold_sim.metrics().snapshot().to_json())
+        );
+        // And the resolver's session counters.
+        assert_eq!(warm_sim.gpdns_stats(), cold_sim.gpdns_stats());
+
+        // The carried snapshot is the prior one under the next epoch.
+        assert_eq!(snap2.epoch, 2);
+        assert_eq!(snap2.records, snap.records);
+        assert_eq!(snap2.gpdns, snap.gpdns);
+        assert_eq!(snap2.metrics, snap.metrics);
+    }
+
+    #[test]
+    fn expiry_budget_replans_a_bounded_slice() {
+        let (_, _, snap) = run_tiny_full(103, None);
+        let world = World::generate(WorldConfig::tiny(103));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        let mut sim = Sim::new(world);
+        let mut cfg = ProbeConfig::test_scale();
+        cfg.duration_hours = 2.0;
+        cfg.calibration_sample = 250;
+        cfg.expiry_budget = 0.1;
+        let (result, snap2) =
+            run_technique_full(&mut sim, &cfg, &universe, &mut Vec::new(), Some(&snap));
+        let m = sim.metrics().snapshot();
+        let universe_count = m.counter("cacheprobe.planner.universe");
+        let planned = m.counter("cacheprobe.planner.planned");
+        let expired = m.counter("cacheprobe.planner.expired");
+        assert!(planned > 0, "10% budget must expire something");
+        assert_eq!(planned, expired, "only expiry replans here");
+        assert!(
+            planned * 5 <= universe_count,
+            "10% budget must replan ≤ 20% of the universe (got {planned}/{universe_count})"
+        );
+        // Conservation, as the invariant layer states it.
+        assert_eq!(
+            m.counter("cacheprobe.planner.skipped_warm") + planned,
+            universe_count
+        );
+        // The re-swept result still measures the full universe: every
+        // measured record in the new snapshot has a probe count.
+        let measured: std::collections::HashSet<(usize, Prefix)> = snap2
+            .records
+            .iter()
+            .filter(|(_, r)| r.attempts > 0)
+            .map(|(&(_, d, addr, len), _)| (d as usize, Prefix::new(addr, len).unwrap()))
+            .collect();
+        assert_eq!(result.probe_counts.len(), measured.len());
     }
 
     // ---- fault-injected runs -------------------------------------

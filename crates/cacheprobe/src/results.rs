@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use clientmap_dns::DomainName;
 use clientmap_net::{Asn, Prefix, PrefixSet, Rib};
 use clientmap_sim::PopId;
+use clientmap_store::{Verdict, VerdictTable};
 
 use crate::calibrate::ServiceRadii;
 use crate::scopescan::ScopeScan;
@@ -30,6 +31,10 @@ pub struct ProbeCount {
     pub attempts: u64,
     /// Probe events that produced a scoped cache hit.
     pub hits: u64,
+    /// Probe events answered only with a /0 scope.
+    pub scope0: u64,
+    /// Probe events lost entirely.
+    pub drops: u64,
 }
 
 impl ProbeCount {
@@ -254,6 +259,41 @@ impl CacheProbeResult {
             .collect()
     }
 
+    /// Projects the per-scope probe accounting onto a dense per-/24
+    /// [`VerdictTable`]: each query scope contributes its best evidence
+    /// (`Hit > HitScopeZero > Miss > Dropped`) to every /24 it covers,
+    /// merged by max rank — the store-backed view the set algebra and
+    /// warm-start layers consume.
+    pub fn verdict_table(&self) -> VerdictTable {
+        let mut table = VerdictTable::new();
+        let mut spread = |scope: &Prefix, v: Verdict| {
+            let first = scope.first_addr() >> 8;
+            for idx in first..first + scope.num_slash24s() as u32 {
+                table.record(idx, v);
+            }
+        };
+        for ((_, scope), c) in &self.probe_counts {
+            let verdict = if c.hits > 0 {
+                Verdict::Hit
+            } else if c.scope0 > 0 {
+                Verdict::HitScopeZero
+            } else if c.attempts > c.drops {
+                Verdict::Miss
+            } else if c.attempts > 0 {
+                Verdict::Dropped
+            } else {
+                continue;
+            };
+            spread(scope, verdict);
+        }
+        // Response scopes can be wider than the query scope; they are
+        // hit evidence for every /24 they cover.
+        for (_, scope) in self.hits.keys() {
+            spread(scope, Verdict::Hit);
+        }
+        table
+    }
+
     /// Table 2 rows: per domain, hits with |query − response| scope
     /// difference of exactly 0, ≤ 2, ≤ 4, and the total.
     pub fn scope_stability(&self, domain: usize) -> (u64, u64, u64, u64) {
@@ -347,6 +387,60 @@ mod tests {
         assert_eq!(b200.upper_active_24s, 1);
         assert_eq!(b200.announced_24s, 1);
         assert_eq!(r.active_ases(&rib).len(), 2);
+    }
+
+    #[test]
+    fn verdict_table_ranks_probe_evidence() {
+        let mut r = shell();
+        r.probe_counts.insert(
+            (0, p("10.0.0.0/24")),
+            ProbeCount {
+                attempts: 4,
+                hits: 1,
+                scope0: 1,
+                drops: 1,
+            },
+        );
+        r.probe_counts.insert(
+            (0, p("10.0.1.0/24")),
+            ProbeCount {
+                attempts: 3,
+                hits: 0,
+                scope0: 2,
+                drops: 0,
+            },
+        );
+        r.probe_counts.insert(
+            (0, p("10.0.2.0/23")),
+            ProbeCount {
+                attempts: 3,
+                hits: 0,
+                scope0: 0,
+                drops: 1,
+            },
+        );
+        r.probe_counts.insert(
+            (0, p("10.0.4.0/24")),
+            ProbeCount {
+                attempts: 2,
+                hits: 0,
+                scope0: 0,
+                drops: 2,
+            },
+        );
+        let t = r.verdict_table();
+        assert_eq!(t.get(0x0A0000), Verdict::Hit);
+        assert_eq!(t.get(0x0A0001), Verdict::HitScopeZero);
+        assert_eq!(t.get(0x0A0002), Verdict::Miss);
+        assert_eq!(t.get(0x0A0003), Verdict::Miss);
+        assert_eq!(t.get(0x0A0004), Verdict::Dropped);
+        assert_eq!(t.get(0x0A0005), Verdict::Unmeasured);
+        assert_eq!(t.count_measured(), 5);
+        // A wide response scope upgrades everything it covers to Hit.
+        r.record_hit(0, 3, p("10.0.4.0/24"), p("10.0.4.0/23"), 60);
+        let t = r.verdict_table();
+        assert_eq!(t.get(0x0A0004), Verdict::Hit);
+        assert_eq!(t.get(0x0A0005), Verdict::Hit);
     }
 
     #[test]

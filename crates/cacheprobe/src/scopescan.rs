@@ -13,11 +13,10 @@
 //! The scan universe is built from public data — RIR allocation files /
 //! Routeviews dumps — passed in by the caller as a list of blocks.
 
-use std::collections::HashMap;
-
 use clientmap_dns::DomainName;
 use clientmap_net::Prefix;
 use clientmap_sim::{Sim, SimTime};
+use clientmap_store::{slash24_index, Slash24Table};
 
 /// The learned query plan for one domain: the distinct scopes to probe
 /// Google with, each covering one or more universe /24s.
@@ -55,6 +54,43 @@ impl ScopeScan {
     }
 }
 
+/// Scope dedup over the full /24 space: a dense [`Slash24Table`] tags
+/// the /24 holding each scope's network address with `scope length +
+/// 1` (0 = unseen), so membership is one page-indexed byte load
+/// instead of a hash probe. Scopes longer than /24 or colliding inside
+/// one /24 slot — both rare, since authoritatives answer at /24 or
+/// coarser — fall back to a small linear spill list, preserving exact
+/// set semantics.
+#[derive(Debug, Default)]
+struct SeenScopes {
+    dense: Slash24Table,
+    spill: Vec<Prefix>,
+}
+
+impl SeenScopes {
+    /// Records `s`; returns `true` the first time it is seen.
+    fn insert(&mut self, s: Prefix) -> bool {
+        if s.len() <= 24 {
+            let idx = slash24_index(s.addr());
+            let tag = s.len() + 1;
+            match self.dense.get(idx) {
+                0 => {
+                    self.dense.set(idx, tag);
+                    return true;
+                }
+                t if t == tag => return false,
+                _ => {} // different-length scope shares the /24 slot
+            }
+        }
+        if self.spill.contains(&s) {
+            false
+        } else {
+            self.spill.push(s);
+            true
+        }
+    }
+}
+
 /// Scans one domain's authoritative over `universe` blocks, walking
 /// each block /24-by-/24 but skipping ahead over each returned scope.
 pub fn scan_domain(
@@ -64,7 +100,7 @@ pub fn scan_domain(
     t: SimTime,
 ) -> DomainScopes {
     let mut scopes: Vec<Prefix> = Vec::new();
-    let mut seen: HashMap<Prefix, ()> = HashMap::new();
+    let mut seen = SeenScopes::default();
     let mut queries = 0u64;
     for block in universe {
         let mut addr = u64::from(block.first_addr());
@@ -77,7 +113,7 @@ pub fn scan_domain(
             match scope {
                 Some(s) if !s.is_default() => {
                     // Record the scope once; skip the rest of it.
-                    if seen.insert(s, ()).is_none() {
+                    if seen.insert(s) {
                         scopes.push(s);
                     }
                     addr = u64::from(s.last_addr()) + 1;
@@ -197,6 +233,27 @@ mod tests {
         assert!(s.total_queries() > 0);
         assert!(s.for_domain(&domains[0]).is_some());
         assert!(s.for_domain(&"missing.example".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn seen_scopes_match_a_set_even_under_slot_collisions() {
+        use std::collections::HashSet;
+        let mut seen = SeenScopes::default();
+        let mut reference: HashSet<Prefix> = HashSet::new();
+        // Same /24 slot under three different lengths, a /25 (spill),
+        // and a distinct /24 — inserted twice each.
+        let scopes = [
+            Prefix::new(0x0A000000, 24).unwrap(),
+            Prefix::new(0x0A000000, 20).unwrap(),
+            Prefix::new(0x0A000000, 16).unwrap(),
+            Prefix::new(0x0A000000, 25).unwrap(),
+            Prefix::new(0x0A000100, 24).unwrap(),
+        ];
+        for _ in 0..2 {
+            for s in scopes {
+                assert_eq!(seen.insert(s), reference.insert(s), "{s}");
+            }
+        }
     }
 
     #[test]

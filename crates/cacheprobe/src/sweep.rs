@@ -1,0 +1,231 @@
+//! Warm-start sweep support: the config digest that scopes a
+//! [`SweepSnapshot`](clientmap_store::SweepSnapshot)'s validity, the
+//! stable expiry hash the re-sweep planner draws from, and the
+//! conversions between this crate's [`FaultSummary`] and the store's
+//! serializable `FaultRecord`.
+//!
+//! A snapshot may only warm-start a run whose world seed **and** config
+//! digest both match — any probing-relevant dial (rate, window,
+//! redundancy, transport, domain selection, calibration, retry policy,
+//! PoP cap, fault plan) or a different probe universe invalidates it.
+//! The one deliberate exception is [`ProbeConfig::expiry_budget`]:
+//! re-sweeping the same world under a different freshness budget is the
+//! point of warm starts, so the budget stays out of the digest.
+
+use clientmap_net::{Prefix, SeedMixer};
+use clientmap_sim::{GpdnsStats, PopId, Sim, Transport};
+use clientmap_store::FaultRecord;
+
+use crate::results::FaultSummary;
+use crate::ProbeConfig;
+
+/// Digest of every probing-relevant configuration field plus the probe
+/// universe, rooted at the world seed. Stable across runs, platforms,
+/// and thread counts.
+pub fn config_digest(sim: &Sim, cfg: &ProbeConfig, universe: &[Prefix]) -> u64 {
+    let plan = sim.fault_plan();
+    let mut mixer = SeedMixer::new(sim.world().config.seed)
+        .mix_str("sweep-config")
+        .mix(cfg.rate_per_domain.to_bits())
+        .mix(cfg.duration_hours.to_bits())
+        .mix(u64::from(cfg.redundancy))
+        .mix(match cfg.transport {
+            Transport::Udp => 0,
+            Transport::Tcp => 1,
+        })
+        .mix(cfg.num_alexa_domains as u64)
+        .mix(u64::from(cfg.include_microsoft_domain))
+        .mix(cfg.calibration_sample as u64)
+        .mix(cfg.calibration_max_error_km.to_bits())
+        .mix(cfg.radius_percentile.to_bits())
+        .mix(cfg.fallback_radius_km.to_bits())
+        .mix(cfg.max_pops.map_or(u64::MAX, |cap| cap as u64))
+        .mix(u64::from(cfg.retry.max_retries))
+        .mix(cfg.retry.backoff_base_ms)
+        .mix(cfg.retry.deadline_ms)
+        .mix(u64::from(cfg.retry.breaker_threshold))
+        .mix_str(plan.profile().as_str());
+    if plan.enabled() {
+        // Off-profile plans carry whatever seed they were built with;
+        // only an *active* plan's seed shapes the sweep.
+        mixer = mixer.mix(plan.plan_seed());
+    }
+    mixer = mixer.mix(universe.len() as u64);
+    for p in universe {
+        mixer = mixer.mix(u64::from(p.addr()) << 8 | u64::from(p.len()));
+    }
+    mixer.finish()
+}
+
+/// The stable per-scope hash the planner's rotating expiry draw uses.
+/// A function of the scope's *identity* (domain + prefix), never of
+/// which vantage probes it or when — so the same scope expires in the
+/// same epoch everywhere.
+pub fn expiry_hash(world_seed: u64, domain: usize, scope: Prefix) -> u64 {
+    SeedMixer::new(world_seed)
+        .mix_str("resweep-expiry")
+        .mix(domain as u64)
+        .mix(u64::from(scope.addr()))
+        .mix(u64::from(scope.len()))
+        .finish()
+}
+
+/// [`FaultSummary`] → storable [`FaultRecord`].
+pub fn to_fault_record(summary: &FaultSummary) -> FaultRecord {
+    FaultRecord {
+        profile: summary.profile.clone(),
+        observed: summary.observed,
+        retries: summary.retries,
+        recovered: summary.recovered,
+        degraded: summary.degraded,
+        lost: summary.lost,
+        quarantined_pops: summary.quarantined_pops.iter().map(|&p| p as u64).collect(),
+        rescued_scopes: summary.rescued_scopes,
+        unmeasured_scopes: summary.unmeasured_scopes,
+        assigned_scopes: summary.assigned_scopes,
+    }
+}
+
+/// Stored [`FaultRecord`] → this crate's [`FaultSummary`].
+pub fn from_fault_record(record: &FaultRecord) -> FaultSummary {
+    FaultSummary {
+        profile: record.profile.clone(),
+        observed: record.observed,
+        retries: record.retries,
+        recovered: record.recovered,
+        degraded: record.degraded,
+        lost: record.lost,
+        quarantined_pops: record
+            .quarantined_pops
+            .iter()
+            .map(|&p| p as PopId)
+            .collect(),
+        rescued_scopes: record.rescued_scopes,
+        unmeasured_scopes: record.unmeasured_scopes,
+        assigned_scopes: record.assigned_scopes,
+    }
+}
+
+/// Flattens resolver session counters into the snapshot's fixed-order
+/// array: queries, rate-limited, scoped hits, scope0 hits, misses,
+/// recursive.
+pub fn gpdns_array(stats: GpdnsStats) -> [u64; 6] {
+    [
+        stats.queries,
+        stats.rate_limited,
+        stats.scoped_hits,
+        stats.scope0_hits,
+        stats.misses,
+        stats.recursive,
+    ]
+}
+
+/// The per-field increment between two session counter states.
+pub fn gpdns_delta(pre: GpdnsStats, post: GpdnsStats) -> [u64; 6] {
+    let pre = gpdns_array(pre);
+    let post = gpdns_array(post);
+    std::array::from_fn(|i| post[i] - pre[i])
+}
+
+/// Rebuilds session counters from the snapshot array (the inverse of
+/// [`gpdns_array`]), for replaying a skipped probing window.
+pub fn gpdns_stats_from(array: [u64; 6]) -> GpdnsStats {
+    GpdnsStats {
+        queries: array[0],
+        rate_limited: array[1],
+        scoped_hits: array[2],
+        scope0_hits: array[3],
+        misses: array[4],
+        recursive: array[5],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clientmap_sim::PopId;
+    use clientmap_world::{World, WorldConfig};
+
+    fn tiny_sim(seed: u64) -> (Sim, Vec<Prefix>) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        (Sim::new(world), universe)
+    }
+
+    #[test]
+    fn digest_is_stable_and_config_sensitive() {
+        let (sim, universe) = tiny_sim(41);
+        let cfg = ProbeConfig::test_scale();
+        let base = config_digest(&sim, &cfg, &universe);
+        assert_eq!(base, config_digest(&sim, &cfg, &universe));
+
+        let mut redundancy = cfg.clone();
+        redundancy.redundancy += 1;
+        assert_ne!(base, config_digest(&sim, &redundancy, &universe));
+
+        let mut capped = cfg.clone();
+        capped.max_pops = Some(3);
+        assert_ne!(base, config_digest(&sim, &capped, &universe));
+
+        assert_ne!(
+            base,
+            config_digest(&sim, &cfg, &universe[..universe.len() - 1]),
+            "universe is part of the digest"
+        );
+
+        // The freshness budget is deliberately NOT in the digest.
+        let mut budgeted = cfg.clone();
+        budgeted.expiry_budget = 0.1;
+        assert_eq!(base, config_digest(&sim, &budgeted, &universe));
+    }
+
+    #[test]
+    fn expiry_hash_depends_on_identity_only() {
+        let scope: Prefix = "10.1.0.0/20".parse().unwrap();
+        let other: Prefix = "10.2.0.0/20".parse().unwrap();
+        assert_eq!(expiry_hash(7, 0, scope), expiry_hash(7, 0, scope));
+        assert_ne!(expiry_hash(7, 0, scope), expiry_hash(7, 1, scope));
+        assert_ne!(expiry_hash(7, 0, scope), expiry_hash(7, 0, other));
+        assert_ne!(expiry_hash(7, 0, scope), expiry_hash(8, 0, scope));
+    }
+
+    #[test]
+    fn fault_record_round_trips() {
+        let summary = FaultSummary {
+            profile: "pop-churn".into(),
+            observed: 11,
+            retries: 14,
+            recovered: 9,
+            degraded: 1,
+            lost: 1,
+            quarantined_pops: vec![4 as PopId, 17],
+            rescued_scopes: 3,
+            unmeasured_scopes: 2,
+            assigned_scopes: 40,
+        };
+        assert_eq!(from_fault_record(&to_fault_record(&summary)), summary);
+    }
+
+    #[test]
+    fn gpdns_helpers_invert() {
+        let pre = GpdnsStats {
+            queries: 10,
+            rate_limited: 1,
+            scoped_hits: 4,
+            scope0_hits: 1,
+            misses: 4,
+            recursive: 0,
+        };
+        let post = GpdnsStats {
+            queries: 25,
+            rate_limited: 1,
+            scoped_hits: 11,
+            scope0_hits: 2,
+            misses: 11,
+            recursive: 0,
+        };
+        let delta = gpdns_delta(pre, post);
+        assert_eq!(delta, [15, 0, 7, 1, 7, 0]);
+        assert_eq!(gpdns_array(gpdns_stats_from(delta)), delta);
+    }
+}

@@ -98,6 +98,28 @@ pub fn check(snap: &MetricsSnapshot, redundancy: u32) -> Vec<String> {
         );
     }
 
+    // Warm-start planner: every ⟨vantage, domain, scope⟩ slot in the
+    // universe is either planned for live probing or replayed from the
+    // snapshot, and every planned slot has exactly one reason. The
+    // counters only exist on warm runs (cold runs never consult the
+    // planner), so the laws are gated on the universe counter.
+    if snap.counters.contains_key("cacheprobe.planner.universe") {
+        expect(
+            "planner planned + skipped_warm == universe",
+            snap.counter("cacheprobe.planner.planned")
+                + snap.counter("cacheprobe.planner.skipped_warm"),
+            snap.counter("cacheprobe.planner.universe"),
+        );
+        expect(
+            "planner reasons (new + dirty + rescued + expired) == planned",
+            snap.counter("cacheprobe.planner.new")
+                + snap.counter("cacheprobe.planner.dirty")
+                + snap.counter("cacheprobe.planner.rescued")
+                + snap.counter("cacheprobe.planner.expired"),
+            snap.counter("cacheprobe.planner.planned"),
+        );
+    }
+
     // DNS-logs crawl: every examined record is either shape-rejected,
     // noise-rejected, or attributed to a resolver.
     expect(
@@ -191,6 +213,26 @@ mod tests {
         let v = check(&m.snapshot(), 3);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("recovered + degraded + lost"), "{v:?}");
+    }
+
+    #[test]
+    fn planner_conservation_is_checked_on_warm_runs_only() {
+        let m = MetricsRegistry::new();
+        // Cold runs never register planner counters — vacuously healthy.
+        assert!(check(&m.snapshot(), 3).is_empty());
+
+        m.counter("cacheprobe.planner.universe").add(100);
+        m.counter("cacheprobe.planner.skipped_warm").add(90);
+        m.counter("cacheprobe.planner.planned").add(10);
+        m.counter("cacheprobe.planner.expired").add(8);
+        m.counter("cacheprobe.planner.new").add(2);
+        assert!(check(&m.snapshot(), 3).is_empty());
+
+        // A slot that is neither planned nor replayed is a leak.
+        m.counter("cacheprobe.planner.universe").add(1);
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("skipped_warm"), "{v:?}");
     }
 
     #[test]

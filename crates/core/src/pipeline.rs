@@ -3,13 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use clientmap_cacheprobe::{run_technique_timed, CacheProbeResult, ProbeConfig};
+use clientmap_cacheprobe::{run_technique_full, sweep, CacheProbeResult, ProbeConfig};
 use clientmap_chromium::{crawl_with_metrics, ChromiumClassifier, DnsLogsResult};
 use clientmap_datasets::{ApnicConfig, ApnicDataset, DatasetBundle};
 use clientmap_faults::FaultConfig;
 use clientmap_net::Prefix;
 use clientmap_sim::cdn::CdnLogs;
 use clientmap_sim::{Sim, SimTime};
+use clientmap_store::SweepSnapshot;
 use clientmap_telemetry::{MetricsRegistry, MetricsSnapshot, ScopedTimer};
 use clientmap_world::{World, WorldConfig};
 
@@ -101,6 +102,10 @@ pub struct PipelineOutput {
     /// The run's telemetry registry (shared with [`Self::sim`]): every
     /// counter and histogram the stages recorded, invariant-checked.
     pub metrics: Arc<MetricsRegistry>,
+    /// This run's sweep snapshot — save it (see
+    /// [`SweepSnapshot::encode`]) to warm-start a later run over the
+    /// same world and probing config.
+    pub sweep: SweepSnapshot,
     /// The configuration that produced this output.
     pub config: PipelineConfig,
 }
@@ -173,6 +178,21 @@ impl Pipeline {
         Pipeline::run_timed(config, &mut Vec::new())
     }
 
+    /// [`Pipeline::run`] warm-started from a prior run's
+    /// [`SweepSnapshot`]. The snapshot must come from the same world
+    /// seed and probing configuration (checked via the snapshot's
+    /// config digest); the planner then re-probes only scopes that are
+    /// new, expired under `probe.expiry_budget`, in need of rescue, or
+    /// dirtied by fault quarantine — everything else is replayed from
+    /// the snapshot, keeping the output byte-identical to a cold run
+    /// when nothing changed.
+    pub fn run_warm(
+        config: PipelineConfig,
+        prior: Option<SweepSnapshot>,
+    ) -> Result<PipelineOutput, PipelineError> {
+        Pipeline::run_warm_timed(config, prior, &mut Vec::new())
+    }
+
     /// [`Pipeline::run`], additionally appending `(stage, wall seconds)`
     /// pairs to `timings`: `world_gen`, the cache-probe substages
     /// (`vantage_discovery`, `scope_scan`, `calibration`, `probing`,
@@ -182,6 +202,16 @@ impl Pipeline {
     /// byte-reproducible.
     pub fn run_timed(
         config: PipelineConfig,
+        timings: &mut Vec<(String, f64)>,
+    ) -> Result<PipelineOutput, PipelineError> {
+        Pipeline::run_warm_timed(config, None, timings)
+    }
+
+    /// [`Pipeline::run_warm`] with the [`Pipeline::run_timed`] timing
+    /// side channel.
+    pub fn run_warm_timed(
+        config: PipelineConfig,
+        prior: Option<SweepSnapshot>,
         timings: &mut Vec<(String, f64)>,
     ) -> Result<PipelineOutput, PipelineError> {
         let stage = Instant::now();
@@ -199,13 +229,41 @@ impl Pipeline {
         metrics.counter("pipeline.runs").inc();
         timings.push(("world_gen".into(), stage.elapsed().as_secs_f64()));
 
+        // Warm-start validity: a snapshot only speaks for runs over the
+        // same world and probing configuration. Refusing a mismatched
+        // snapshot here (rather than silently replaying stale records)
+        // is what lets the warm path promise byte-identical output.
+        if let Some(prior) = prior.as_ref() {
+            let digest = sweep::config_digest(&sim, &config.probe, &universe);
+            if prior.world_seed != config.world.seed {
+                return Err(PipelineError::Stage {
+                    stage: "warm-start".into(),
+                    message: format!(
+                        "snapshot is from world seed {} but this run uses seed {}",
+                        prior.world_seed, config.world.seed
+                    ),
+                });
+            }
+            if prior.config_digest != digest {
+                return Err(PipelineError::Stage {
+                    stage: "warm-start".into(),
+                    message: format!(
+                        "snapshot config digest {:#x} does not match this run's {:#x} \
+                         (world or probing configuration changed)",
+                        prior.config_digest, digest
+                    ),
+                });
+            }
+        }
+
         // Technique 1: cache probing (discovery at t=0, calibration at
         // t=6 h, the probing window starting at t=8 h).
         let probe_span = ScopedTimer::start(
             metrics.histogram("pipeline.stage_ms.cache_probe"),
             SimTime::ZERO.as_millis(),
         );
-        let cache_probe = run_technique_timed(&mut sim, &config.probe, &universe, timings);
+        let (cache_probe, sweep) =
+            run_technique_full(&mut sim, &config.probe, &universe, timings, prior.as_ref());
         probe_span.stop(
             (SimTime::from_hours(8) + SimTime::from_secs_f64(config.probe.duration_hours * 3600.0))
                 .as_millis(),
@@ -254,6 +312,7 @@ impl Pipeline {
             apnic,
             bundle,
             metrics,
+            sweep,
             config,
             sim,
         })
@@ -356,6 +415,55 @@ mod tests {
             "fault counters must not register on fault-free runs"
         );
         assert!(output().cache_probe.fault.is_none());
+    }
+
+    #[test]
+    fn warm_run_reproduces_the_cold_run_byte_for_byte() {
+        let cold = output();
+        // Round-trip through the serialized form — the warm path the
+        // CLI takes (`--snapshot-out` then `--snapshot-in`).
+        let snap = SweepSnapshot::decode(&cold.sweep.encode()).expect("snapshot round-trips");
+        let warm =
+            Pipeline::run_warm(PipelineConfig::tiny(7), Some(snap)).expect("warm run is healthy");
+
+        // Nothing changed, so the planner must emit zero probe work …
+        let ws = warm.metrics_snapshot();
+        assert_eq!(ws.counter("cacheprobe.planner.planned"), 0);
+        assert_eq!(ws.counter("cacheprobe.planner.units"), 0);
+        assert_eq!(warm.sweep.epoch, cold.sweep.epoch + 1);
+
+        // … and every report byte must match the cold run.
+        assert_eq!(warm.report().render_all(), cold.report().render_all());
+        assert_eq!(warm.sweep.records, cold.sweep.records);
+
+        // Metrics match too, once the warm-only planner counters are
+        // set aside (they do not exist on the cold run).
+        let filter = |json: &str| -> String {
+            json.lines()
+                .filter(|l| !l.contains("cacheprobe.planner."))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            filter(&ws.to_json()),
+            filter(&cold.metrics_snapshot().to_json())
+        );
+    }
+
+    #[test]
+    fn warm_run_rejects_foreign_snapshots() {
+        let snap = output().sweep.clone();
+        // A different world seed is refused outright …
+        let err = Pipeline::run_warm(PipelineConfig::tiny(8), Some(snap.clone()))
+            .expect_err("seed mismatch must be rejected");
+        assert!(matches!(err, PipelineError::Stage { ref stage, .. } if stage == "warm-start"));
+
+        // … and so is the same world under a changed probing config.
+        let mut config = PipelineConfig::tiny(7);
+        config.probe.redundancy += 1;
+        let err = Pipeline::run_warm(config, Some(snap))
+            .expect_err("config digest mismatch must be rejected");
+        assert!(matches!(err, PipelineError::Stage { ref stage, .. } if stage == "warm-start"));
     }
 
     #[test]

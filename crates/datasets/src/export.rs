@@ -5,12 +5,85 @@
 //! These writers produce exactly that split: the technique outputs
 //! export cleanly; the Microsoft-derived views exist only inside the
 //! validation layer and deliberately have no exporter here.
+//!
+//! Every writer has a matching `parse_*` reader, and the pair is
+//! lossless: export → parse reproduces the view (checked by the
+//! round-trip test suite). That is what makes the shared files usable
+//! as an interchange format rather than a one-way dump.
 
 use std::fmt::Write as _;
 
-use clientmap_net::Rib;
+use clientmap_net::{Asn, Prefix, PrefixSet, Rib};
 
 use crate::{ApnicDataset, AsView, PrefixView};
+
+/// Why a CSV could not be parsed back into a dataset view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvParseError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvParseError {}
+
+/// Splits one data row into exactly `n` comma fields.
+fn fields(row: &str, n: usize, line: usize) -> Result<Vec<&str>, CsvParseError> {
+    let parts: Vec<&str> = row.split(',').collect();
+    if parts.len() != n {
+        return Err(CsvParseError {
+            line,
+            message: format!("expected {n} fields, got {}: {row:?}", parts.len()),
+        });
+    }
+    Ok(parts)
+}
+
+fn parse_err<E: std::fmt::Display>(
+    line: usize,
+    what: &str,
+) -> impl FnOnce(E) -> CsvParseError + '_ {
+    move |e| CsvParseError {
+        line,
+        message: format!("bad {what}: {e}"),
+    }
+}
+
+/// Checks the header row and returns the data rows with line numbers.
+fn data_rows<'a>(csv: &'a str, header: &str) -> Result<Vec<(usize, &'a str)>, CsvParseError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h == header => {}
+        other => {
+            return Err(CsvParseError {
+                line: 1,
+                message: format!(
+                    "expected header {header:?}, got {:?}",
+                    other.map(|(_, h)| h)
+                ),
+            })
+        }
+    }
+    Ok(lines
+        .filter(|(_, row)| !row.is_empty())
+        .map(|(i, row)| (i + 1, row))
+        .collect())
+}
+
+fn parse_asn(s: &str, line: usize) -> Result<Asn, CsvParseError> {
+    let digits = s.strip_prefix("AS").ok_or_else(|| CsvParseError {
+        line,
+        message: format!("ASN must start with 'AS': {s:?}"),
+    })?;
+    Ok(Asn(digits.parse().map_err(parse_err(line, "ASN"))?))
+}
 
 /// Exports a prefix view as `prefix,volume` rows (volume empty for
 /// set-only datasets like cache probing).
@@ -36,6 +109,22 @@ pub fn prefix_view_csv(view: &PrefixView) -> String {
     out
 }
 
+/// Parses [`prefix_view_csv`] output back into a [`PrefixView`].
+pub fn parse_prefix_view_csv(csv: &str) -> Result<PrefixView, CsvParseError> {
+    let mut set = PrefixSet::new();
+    let mut volume = std::collections::HashMap::new();
+    for (line, row) in data_rows(csv, "prefix,volume")? {
+        let parts = fields(row, 2, line)?;
+        let p: Prefix = parts[0].parse().map_err(parse_err(line, "prefix"))?;
+        set.insert(p);
+        if !parts[1].is_empty() {
+            let v: f64 = parts[1].parse().map_err(parse_err(line, "volume"))?;
+            *volume.entry(p).or_insert(0.0) += v;
+        }
+    }
+    Ok(PrefixView { set, volume })
+}
+
 /// Exports an AS view as `asn,volume` rows.
 pub fn as_view_csv(view: &AsView) -> String {
     let mut out = String::from("asn,volume\n");
@@ -47,6 +136,18 @@ pub fn as_view_csv(view: &AsView) -> String {
     out
 }
 
+/// Parses [`as_view_csv`] output back into an [`AsView`].
+pub fn parse_as_view_csv(csv: &str) -> Result<AsView, CsvParseError> {
+    let mut volume = std::collections::HashMap::new();
+    for (line, row) in data_rows(csv, "asn,volume")? {
+        let parts = fields(row, 2, line)?;
+        let asn = parse_asn(parts[0], line)?;
+        let v: f64 = parts[1].parse().map_err(parse_err(line, "volume"))?;
+        *volume.entry(asn).or_insert(0.0) += v;
+    }
+    Ok(AsView { volume })
+}
+
 /// Exports the APNIC-style estimates as `asn,estimated_users`.
 pub fn apnic_csv(apnic: &ApnicDataset) -> String {
     let mut out = String::from("asn,estimated_users\n");
@@ -56,6 +157,22 @@ pub fn apnic_csv(apnic: &ApnicDataset) -> String {
         let _ = writeln!(out, "AS{a},{v:.0}");
     }
     out
+}
+
+/// Parses [`apnic_csv`] output back into an [`ApnicDataset`].
+///
+/// The writer rounds estimates to whole users (`{v:.0}`), so the
+/// round-trip is exact for already-whole estimates and
+/// whole-number-close otherwise.
+pub fn parse_apnic_csv(csv: &str) -> Result<ApnicDataset, CsvParseError> {
+    let mut estimates = std::collections::HashMap::new();
+    for (line, row) in data_rows(csv, "asn,estimated_users")? {
+        let parts = fields(row, 2, line)?;
+        let asn = parse_asn(parts[0], line)?;
+        let v: f64 = parts[1].parse().map_err(parse_err(line, "estimate"))?;
+        estimates.insert(asn, v);
+    }
+    Ok(ApnicDataset { estimates })
 }
 
 /// Exports a prefix view joined with its origin ASes:
@@ -79,10 +196,33 @@ pub fn prefix_view_with_origins_csv(view: &PrefixView, rib: &Rib) -> String {
     out
 }
 
+/// Parses [`prefix_view_with_origins_csv`] output: the view plus the
+/// `(prefix, origin AS)` pairs the join carried (unrouted prefixes
+/// have no pair).
+pub fn parse_prefix_view_with_origins_csv(
+    csv: &str,
+) -> Result<(PrefixView, Vec<(Prefix, Asn)>), CsvParseError> {
+    let mut set = PrefixSet::new();
+    let mut volume = std::collections::HashMap::new();
+    let mut origins = Vec::new();
+    for (line, row) in data_rows(csv, "prefix,asn,volume")? {
+        let parts = fields(row, 3, line)?;
+        let p: Prefix = parts[0].parse().map_err(parse_err(line, "prefix"))?;
+        set.insert(p);
+        if !parts[1].is_empty() {
+            origins.push((p, parse_asn(parts[1], line)?));
+        }
+        if !parts[2].is_empty() {
+            let v: f64 = parts[2].parse().map_err(parse_err(line, "volume"))?;
+            *volume.entry(p).or_insert(0.0) += v;
+        }
+    }
+    Ok((PrefixView { set, volume }, origins))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clientmap_net::{Asn, Prefix, PrefixSet};
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()

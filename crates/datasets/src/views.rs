@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use clientmap_net::{Asn, Prefix, PrefixSet, Rib};
+use clientmap_store::Slash24Bitset;
 
 /// An AS-granularity view: which ASes a dataset observed, with an
 /// optional per-AS activity volume (Tables 3 & 4).
@@ -133,6 +134,14 @@ impl PrefixView {
         self.set.intersection_slash24s(&other.set)
     }
 
+    /// The dense /24 membership of this view, for word-wise set
+    /// algebra. Building the full overlap matrix materialises each
+    /// dataset's bitset once and answers every pairwise cell with an
+    /// AND + popcount instead of a trie walk per pair.
+    pub fn slash24_bitset(&self) -> Slash24Bitset {
+        Slash24Bitset::from_prefixes(self.set.prefixes().iter())
+    }
+
     /// Total volume.
     pub fn total_volume(&self) -> f64 {
         self.volume.values().sum()
@@ -217,6 +226,24 @@ mod tests {
         assert_eq!(v.num_slash24s(), 2);
         assert_eq!(v.volume[&p("10.1.2.0/24")], 8.0);
         assert_eq!(v.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn bitset_agrees_with_trie_set_algebra() {
+        let a = PrefixView::from_set(PrefixSet::from_prefixes([
+            p("10.1.0.0/16"),
+            p("10.9.0.0/24"),
+        ]));
+        let b = PrefixView::from_set(PrefixSet::from_prefixes([
+            p("10.1.128.0/17"),
+            p("172.16.0.0/24"),
+        ]));
+        assert_eq!(a.slash24_bitset().count(), a.num_slash24s());
+        assert_eq!(b.slash24_bitset().count(), b.num_slash24s());
+        assert_eq!(
+            a.slash24_bitset().and_count(&b.slash24_bitset()),
+            a.intersection_slash24s(&b)
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Export → parse round-trips for every shareable dataset writer.
+//!
+//! The CSV files are the paper's interchange format ("we are happy to
+//! share our data"); these tests prove the writers and readers in
+//! `clientmap_datasets::export` are lossless inverses, so a consumer
+//! parsing a shared file reconstructs exactly the view that was
+//! exported — including on a real end-to-end pipeline output, not just
+//! hand-built fixtures.
+
+use clientmap_datasets::export::{
+    apnic_csv, as_view_csv, parse_apnic_csv, parse_as_view_csv, parse_prefix_view_csv,
+    parse_prefix_view_with_origins_csv, prefix_view_csv, prefix_view_with_origins_csv,
+};
+use clientmap_datasets::{ApnicDataset, AsView, PrefixView};
+use clientmap_net::{Asn, Prefix, PrefixSet, Rib};
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// `PrefixSet` has no `PartialEq`; its canonical form is the sorted
+/// disjoint prefix list.
+fn assert_views_equal(a: &PrefixView, b: &PrefixView) {
+    assert_eq!(a.set.prefixes(), b.set.prefixes());
+    assert_eq!(a.num_slash24s(), b.num_slash24s());
+    let sorted = |v: &PrefixView| {
+        let mut rows: Vec<(Prefix, f64)> = v.volume.iter().map(|(p, v)| (*p, *v)).collect();
+        rows.sort_by_key(|(p, _)| *p);
+        rows
+    };
+    assert_eq!(sorted(a), sorted(b));
+}
+
+#[test]
+fn prefix_view_round_trips() {
+    let view = PrefixView::from_volumes([
+        (p("10.1.2.0/24"), 5.5),
+        (p("10.9.0.0/24"), 2.0),
+        (p("172.16.0.0/24"), 0.25),
+    ]);
+    let back = parse_prefix_view_csv(&prefix_view_csv(&view)).unwrap();
+    assert_views_equal(&view, &back);
+}
+
+#[test]
+fn set_only_prefix_view_round_trips_without_volumes() {
+    let view = PrefixView::from_set(PrefixSet::from_prefixes([
+        p("10.1.0.0/16"),
+        p("192.0.2.0/24"),
+    ]));
+    let back = parse_prefix_view_csv(&prefix_view_csv(&view)).unwrap();
+    assert_views_equal(&view, &back);
+    assert!(back.volume.is_empty());
+}
+
+#[test]
+fn as_view_round_trips() {
+    let view = AsView::from_volumes([(Asn(300), 1.5), (Asn(2), 9.5), (Asn(65000), 0.0)]);
+    let back = parse_as_view_csv(&as_view_csv(&view)).unwrap();
+    let sorted = |v: &AsView| {
+        let mut rows: Vec<(Asn, f64)> = v.volume.iter().map(|(a, v)| (*a, *v)).collect();
+        rows.sort_by_key(|(a, _)| a.0);
+        rows
+    };
+    assert_eq!(sorted(&view), sorted(&back));
+}
+
+#[test]
+fn apnic_round_trips_at_whole_user_precision() {
+    // The writer rounds to whole users, so whole-valued estimates are
+    // exact through the round-trip.
+    let apnic = ApnicDataset {
+        estimates: [(Asn(7), 1235.0), (Asn(99), 17.0)].into_iter().collect(),
+    };
+    let back = parse_apnic_csv(&apnic_csv(&apnic)).unwrap();
+    assert_eq!(back.estimates, apnic.estimates);
+
+    // Fractional estimates land on the written whole number.
+    let fractional = ApnicDataset {
+        estimates: [(Asn(7), 1234.6)].into_iter().collect(),
+    };
+    let back = parse_apnic_csv(&apnic_csv(&fractional)).unwrap();
+    assert_eq!(back.estimates[&Asn(7)], 1235.0);
+}
+
+#[test]
+fn origins_join_round_trips() {
+    let mut rib = Rib::new();
+    rib.announce(p("10.1.0.0/16"), Asn(55));
+    rib.announce(p("10.9.0.0/24"), Asn(77));
+    let view = PrefixView::from_volumes([
+        (p("10.1.2.0/24"), 3.0),
+        (p("10.9.0.0/24"), 1.0),
+        (p("8.8.8.0/24"), 4.0), // unrouted: empty ASN column
+    ]);
+    let (back, origins) =
+        parse_prefix_view_with_origins_csv(&prefix_view_with_origins_csv(&view, &rib)).unwrap();
+    assert_views_equal(&view, &back);
+    assert_eq!(
+        origins,
+        vec![(p("10.1.2.0/24"), Asn(55)), (p("10.9.0.0/24"), Asn(77))]
+    );
+}
+
+#[test]
+fn malformed_rows_are_rejected_with_line_numbers() {
+    let err = parse_prefix_view_csv("wrong,header\n").unwrap_err();
+    assert_eq!(err.line, 1);
+
+    let err = parse_prefix_view_csv("prefix,volume\n10.0.0.0/24,1\nnot-a-prefix,2\n").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().contains("prefix"), "{err}");
+
+    let err = parse_as_view_csv("asn,volume\n55,1\n").unwrap_err();
+    assert!(err.message.contains("AS"), "{err}");
+
+    let err = parse_apnic_csv("asn,estimated_users\nAS7,many\n").unwrap_err();
+    assert!(err.message.contains("estimate"), "{err}");
+}
+
+#[test]
+fn pipeline_exports_round_trip() {
+    // The real thing: a tiny end-to-end run's shareable views survive
+    // export → parse unchanged.
+    use clientmap_core::{Pipeline, PipelineConfig};
+    use clientmap_datasets::DatasetId;
+    let out = Pipeline::run(PipelineConfig::tiny(11)).expect("tiny run is healthy");
+
+    let probing = out.bundle.prefix_view(DatasetId::CacheProbing).unwrap();
+    let back = parse_prefix_view_csv(&prefix_view_csv(&probing)).unwrap();
+    assert_views_equal(&probing, &back);
+
+    let dns = out.bundle.as_view(DatasetId::DnsLogs);
+    let back = parse_as_view_csv(&as_view_csv(&dns)).unwrap();
+    assert_eq!(back.len(), dns.len());
+    assert!(dns.set().iter().all(|a| back.contains(*a)));
+
+    let (joined, origins) = parse_prefix_view_with_origins_csv(&prefix_view_with_origins_csv(
+        &probing,
+        &out.sim.world().rib,
+    ))
+    .unwrap();
+    assert_views_equal(&probing, &joined);
+    assert!(!origins.is_empty());
+}

@@ -285,6 +285,14 @@ impl FaultPlan {
         self.profile
     }
 
+    /// The derived plan seed — a stable function of
+    /// `(world_seed, fault_seed)`. Sweep snapshots mix it into their
+    /// config digest so a warm start never replays state recorded
+    /// under a different fault plan.
+    pub fn plan_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The fault (if any) suffered by one wire query, identified by
     /// its stable coordinates: prober key, serving PoP, transport
     /// (`udp`), send time in sim-milliseconds, and DNS query ID.

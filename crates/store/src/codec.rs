@@ -1,0 +1,249 @@
+//! Fixed little-endian wire codec for sweep snapshots.
+//!
+//! Deliberately boring: every integer is fixed-width little-endian,
+//! strings and sequences carry a `u32` length prefix, and the whole
+//! buffer ends in a [`checksum`] of everything before it. No field is
+//! optional at the byte level (options encode an explicit flag byte),
+//! so equal values encode to byte-identical buffers — the property the
+//! warm-start determinism tests pin.
+
+use clientmap_net::splitmix64;
+
+/// Decode-side failures. Corruption is detected *before* any field is
+/// interpreted (magic → version → checksum, then parse), so a bad
+/// snapshot can never half-load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is newer (or older) than this build reads.
+    BadVersion(u16),
+    /// The trailing checksum does not match the payload.
+    BadChecksum,
+    /// The buffer ended mid-field.
+    Truncated,
+    /// A field decoded to an impossible value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a sweep snapshot (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::BadChecksum => write!(f, "snapshot checksum mismatch (corrupt file)"),
+            CodecError::Truncated => write!(f, "snapshot truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Seeded checksum over `bytes`: splitmix64 folded over 8-byte
+/// little-endian chunks (zero-padded tail) with the length mixed in
+/// first, so permutations, truncations, and bit flips all disturb it.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut acc = splitmix64(0xC5EC_5EED ^ bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = splitmix64(acc ^ u64::from_le_bytes(word));
+    }
+    acc
+}
+
+/// Little-endian append-only encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Seals the buffer: appends the [`checksum`] of everything
+    /// written so far and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = checksum(&self.buf);
+        self.u64(sum);
+        self.buf
+    }
+
+    /// Bytes written so far (pre-checksum).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian cursor decoder over a checksum-verified payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Verifies the trailing [`checksum`] of `data` and returns a
+    /// reader over the payload before it.
+    pub fn verified(data: &'a [u8]) -> Result<ByteReader<'a>, CodecError> {
+        if data.len() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let (payload, tail) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if checksum(payload) != stored {
+            return Err(CodecError::BadChecksum);
+        }
+        Ok(ByteReader {
+            data: payload,
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Malformed("utf-8 string"))
+    }
+
+    /// Whether the payload is fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Fails unless the payload is fully consumed — trailing garbage
+    /// means a layout mismatch even when the checksum passes.
+    pub fn expect_done(&self) -> Result<(), CodecError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_strings() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.str("scope/24");
+        let bytes = w.finish();
+        let mut r = ByteReader::verified(&bytes).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str().unwrap(), "scope/24");
+        assert!(r.expect_done().is_ok());
+    }
+
+    #[test]
+    fn any_flipped_byte_fails_the_checksum() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        w.str("payload");
+        let bytes = w.finish();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                ByteReader::verified(&bad).err(),
+                Some(CodecError::BadChecksum),
+                "flip at byte {i} went undetected"
+            );
+        }
+        assert_eq!(
+            ByteReader::verified(&bytes[..bytes.len() - 1]).err(),
+            Some(CodecError::BadChecksum)
+        );
+        assert_eq!(
+            ByteReader::verified(&[1, 2, 3]).err(),
+            Some(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn reads_past_the_end_are_truncated_not_panics() {
+        let bytes = ByteWriter::new().finish();
+        let mut r = ByteReader::verified(&bytes).unwrap();
+        assert_eq!(r.u8().err(), Some(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,198 @@
+//! The incremental re-sweep planner: given a prior sweep's record for
+//! a scope, decide whether the new sweep must probe it again.
+//!
+//! Classification is a pure function of `(prior record, dirty flag,
+//! expiry budget, epoch, stable hash)`, so plans are byte-identical at
+//! any thread count and across machines. Reasons carry a strict
+//! precedence so each planned scope is counted exactly once — the
+//! conservation laws `planned + skipped_warm == universe` and
+//! `new + dirty + rescued + expired == planned` are enforced by
+//! `clientmap-core`'s invariant layer after every warm run.
+
+/// Why the planner re-probes a scope, in precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanReason {
+    /// No prior record: the scope (or its assignment) is new.
+    New,
+    /// The scope's PoP was quarantined last sweep — its data is
+    /// suspect regardless of what the record says.
+    Dirty,
+    /// The prior sweep never measured it (zero attempts, or every
+    /// attempt dropped): rescue it.
+    Rescue,
+    /// The record's freshness lapsed under the rotating TTL budget.
+    Expired,
+}
+
+impl PlanReason {
+    /// The counter-name suffix for this reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanReason::New => "new",
+            PlanReason::Dirty => "dirty",
+            PlanReason::Rescue => "rescued",
+            PlanReason::Expired => "expired",
+        }
+    }
+}
+
+/// The planner's view of one prior scope record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorScope {
+    /// Probe events the prior sweep sent for this scope.
+    pub attempts: u64,
+    /// Events lost entirely.
+    pub drops: u64,
+}
+
+/// Decides whether one scope needs probing this sweep.
+///
+/// * `prior` — the previous record, if any (with `dirty` true when its
+///   PoP was quarantined).
+/// * `expiry_budget` — fraction of records that lapse per epoch
+///   (0 disables expiry). Budget `b` partitions scopes into
+///   `K = round(1/b)` stable classes by `expiry_hash`; epoch `e`
+///   refreshes class `e mod K`, so every scope is re-measured at least
+///   once every `K` warm sweeps — rolling freshness, not a stampede.
+/// * `epoch` — the epoch of the sweep being planned.
+/// * `expiry_hash` — a stable hash of the scope's identity (never of
+///   execution order).
+pub fn classify(
+    prior: Option<(PriorScope, bool)>,
+    expiry_budget: f64,
+    epoch: u32,
+    expiry_hash: u64,
+) -> Option<PlanReason> {
+    let Some((record, dirty)) = prior else {
+        return Some(PlanReason::New);
+    };
+    if dirty {
+        return Some(PlanReason::Dirty);
+    }
+    if record.attempts == record.drops {
+        // Zero attempts (never reached) or all attempts dropped: the
+        // prior sweep learned nothing about this scope.
+        return Some(PlanReason::Rescue);
+    }
+    if expiry_budget > 0.0 {
+        let classes = (1.0 / expiry_budget).round().max(1.0) as u64;
+        if expiry_hash % classes == u64::from(epoch) % classes {
+            return Some(PlanReason::Expired);
+        }
+    }
+    None
+}
+
+/// Planner accounting for one warm sweep; mirrors the
+/// `cacheprobe.planner.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Assigned ⟨vantage, domain, scope⟩ instances considered.
+    pub universe: u64,
+    /// Instances emitted as probe work.
+    pub planned: u64,
+    /// Instances skipped thanks to the warm snapshot.
+    pub skipped_warm: u64,
+    /// Planned because no prior record existed.
+    pub new: u64,
+    /// Planned because the prior PoP was quarantined.
+    pub dirty: u64,
+    /// Planned as rescues of unmeasured/fully-dropped scopes.
+    pub rescued: u64,
+    /// Planned because freshness lapsed.
+    pub expired: u64,
+}
+
+impl PlannerStats {
+    /// Tallies one decision.
+    pub fn count(&mut self, decision: Option<PlanReason>) {
+        self.universe += 1;
+        match decision {
+            None => self.skipped_warm += 1,
+            Some(reason) => {
+                self.planned += 1;
+                match reason {
+                    PlanReason::New => self.new += 1,
+                    PlanReason::Dirty => self.dirty += 1,
+                    PlanReason::Rescue => self.rescued += 1,
+                    PlanReason::Expired => self.expired += 1,
+                }
+            }
+        }
+    }
+
+    /// The conservation laws the invariant layer re-checks.
+    pub fn conserved(&self) -> bool {
+        self.planned + self.skipped_warm == self.universe
+            && self.new + self.dirty + self.rescued + self.expired == self.planned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEASURED: PriorScope = PriorScope {
+        attempts: 9,
+        drops: 1,
+    };
+
+    #[test]
+    fn precedence_new_dirty_rescue_expired() {
+        assert_eq!(classify(None, 1.0, 0, 0), Some(PlanReason::New));
+        let unmeasured = PriorScope {
+            attempts: 0,
+            drops: 0,
+        };
+        assert_eq!(
+            classify(Some((unmeasured, true)), 0.0, 1, 0),
+            Some(PlanReason::Dirty),
+            "dirty outranks rescue"
+        );
+        assert_eq!(
+            classify(Some((unmeasured, false)), 0.0, 1, 0),
+            Some(PlanReason::Rescue)
+        );
+        let all_dropped = PriorScope {
+            attempts: 5,
+            drops: 5,
+        };
+        assert_eq!(
+            classify(Some((all_dropped, false)), 0.0, 1, 0),
+            Some(PlanReason::Rescue)
+        );
+        // hash 0 matches epoch 10 mod 10.
+        assert_eq!(
+            classify(Some((MEASURED, false)), 0.1, 10, 0),
+            Some(PlanReason::Expired)
+        );
+        assert_eq!(classify(Some((MEASURED, false)), 0.1, 10, 1), None);
+        assert_eq!(classify(Some((MEASURED, false)), 0.0, 10, 0), None);
+    }
+
+    #[test]
+    fn expiry_rotates_through_every_class() {
+        // Over K consecutive epochs, a measured scope expires exactly
+        // once, whatever its hash.
+        for hash in [0u64, 3, 7, 9, 1234567] {
+            let expirations = (1..=10u32)
+                .filter(|&e| classify(Some((MEASURED, false)), 0.1, e, hash).is_some())
+                .count();
+            assert_eq!(expirations, 1, "hash {hash}");
+        }
+    }
+
+    #[test]
+    fn stats_conserve() {
+        let mut stats = PlannerStats::default();
+        stats.count(Some(PlanReason::New));
+        stats.count(Some(PlanReason::Dirty));
+        stats.count(Some(PlanReason::Rescue));
+        stats.count(Some(PlanReason::Expired));
+        stats.count(None);
+        assert_eq!(stats.universe, 5);
+        assert_eq!(stats.planned, 4);
+        assert_eq!(stats.skipped_warm, 1);
+        assert!(stats.conserved());
+    }
+}

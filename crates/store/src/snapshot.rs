@@ -1,0 +1,439 @@
+//! The serialized state of one probing sweep — everything a later run
+//! needs to warm-start instead of re-probing the world.
+
+use std::collections::BTreeMap;
+
+use clientmap_telemetry::{HistogramDelta, MetricsDelta};
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+
+/// File magic: "CMSS" — ClientMap Sweep Snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CMSS";
+
+/// Current format version. Policy: the version bumps on **any** layout
+/// change; decoders accept exactly the versions they were built for
+/// and reject everything else up front (a warm start from a stale
+/// snapshot must fail loudly, never half-load).
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Key of one per-scope probe record:
+/// `(bound-vantage index, domain index, scope address, scope length)`.
+///
+/// Bound-vantage and domain indexes are stable across runs of the same
+/// config digest (discovery order and domain selection are
+/// deterministic), so the key space lines up exactly between the run
+/// that wrote the snapshot and the run that warm-starts from it.
+pub type RecordKey = (u16, u16, u32, u8);
+
+/// One cache hit observed for a scope: the response scope Google
+/// returned and the remaining TTL it carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HitEvent {
+    /// Response scope network address.
+    pub resp_addr: u32,
+    /// Response scope prefix length.
+    pub resp_len: u8,
+    /// Remaining TTL seconds on the cached answer.
+    pub remaining_ttl: u32,
+}
+
+/// What probing one ⟨vantage, domain, scope⟩ stream slot produced over
+/// the whole sweep. `attempts == 0` marks a scope that was assigned
+/// but never reached (breaker-aborted stream) — the planner's rescue
+/// signal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScopeRecord {
+    /// Probe events sent (each `redundancy` wire queries).
+    pub attempts: u64,
+    /// Events answered only with a /0 scope.
+    pub scope0: u64,
+    /// Events lost entirely.
+    pub drops: u64,
+    /// Cache hits, in observation order.
+    pub hit_events: Vec<HitEvent>,
+}
+
+impl ScopeRecord {
+    /// Events that hit the cache with a usable scope.
+    pub fn hits(&self) -> u64 {
+        self.hit_events.len() as u64
+    }
+
+    /// Events that were answered but found nothing cached.
+    pub fn misses(&self) -> u64 {
+        self.attempts - self.hits() - self.scope0 - self.drops
+    }
+}
+
+/// Fault accounting carried in a snapshot — the storable mirror of
+/// `cacheprobe`'s `FaultSummary` (this crate sits below `cacheprobe`,
+/// so it keeps its own struct).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultRecord {
+    /// Fault profile name (`light`, `lossy`, `pop-churn`).
+    pub profile: String,
+    /// Failures observed client-side.
+    pub observed: u64,
+    /// Retry sends beyond first queries.
+    pub retries: u64,
+    /// Failures recovered by retry.
+    pub recovered: u64,
+    /// Failures recovered only via TCP upgrade.
+    pub degraded: u64,
+    /// Failures never recovered.
+    pub lost: u64,
+    /// PoP ids quarantined by the circuit breaker — the planner's
+    /// dirty set for the next warm run.
+    pub quarantined_pops: Vec<u64>,
+    /// Scopes re-probed at fallback PoPs.
+    pub rescued_scopes: u64,
+    /// Assigned scopes that stayed unmeasured.
+    pub unmeasured_scopes: u64,
+    /// Total assigned ⟨domain, scope⟩ pairs.
+    pub assigned_scopes: u64,
+}
+
+/// A versioned, checksummed, byte-stable record of one sweep.
+///
+/// Holds four things: (1) per-scope [`ScopeRecord`]s keyed by
+/// [`RecordKey`] — enough to replay the sweep's results exactly;
+/// (2) the [`MetricsDelta`] of the probing window, so a warm run that
+/// skips probing can absorb the skipped telemetry; (3) the resolver
+/// session counter deltas (`gpdns`) for the same reason; (4) the
+/// fault accounting, whose quarantine list seeds the next planner's
+/// dirty set. `world_seed` + `config_digest` scope validity: a warm
+/// start under any other world or probing config is rejected.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepSnapshot {
+    /// Sweep generation: 1 for a cold sweep, prior + 1 for each warm
+    /// re-sweep. Drives the rotating expiry draw.
+    pub epoch: u32,
+    /// Seed of the world this sweep measured.
+    pub world_seed: u64,
+    /// Digest of every probing-relevant config field (see
+    /// `cacheprobe`'s sweep module). The expiry budget is deliberately
+    /// excluded — re-sweeping the same world under a different
+    /// freshness budget is the point of warm starts.
+    pub config_digest: u64,
+    /// Probing-window deltas of the six resolver session counters
+    /// (queries, rate-limited, scoped hits, scope0 hits, misses,
+    /// recursive), in that order.
+    pub gpdns: [u64; 6],
+    /// Fault accounting, when the sweep ran under fault injection.
+    pub fault: Option<FaultRecord>,
+    /// Telemetry recorded inside the probing window (probing + rescue
+    /// stages), as a replayable delta.
+    pub metrics: MetricsDelta,
+    /// Per-scope probe records, ordered by key.
+    pub records: BTreeMap<RecordKey, ScopeRecord>,
+}
+
+impl SweepSnapshot {
+    /// An empty epoch-0 snapshot scoped to `(world_seed, digest)`.
+    /// (Sweeps write epoch ≥ 1; epoch 0 only ever appears as a
+    /// just-constructed value.)
+    pub fn new(world_seed: u64, config_digest: u64) -> SweepSnapshot {
+        SweepSnapshot {
+            world_seed,
+            config_digest,
+            ..SweepSnapshot::default()
+        }
+    }
+
+    /// The PoPs the recorded sweep quarantined — dirty for replanning.
+    pub fn quarantined_pops(&self) -> &[u64] {
+        self.fault
+            .as_ref()
+            .map_or(&[], |f| f.quarantined_pops.as_slice())
+    }
+
+    /// Serializes to the versioned, checksummed byte layout. Equal
+    /// snapshots encode byte-identically (all maps are ordered).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u16(SNAPSHOT_VERSION);
+        w.u32(self.epoch);
+        w.u64(self.world_seed);
+        w.u64(self.config_digest);
+        for v in self.gpdns {
+            w.u64(v);
+        }
+        match &self.fault {
+            None => w.u8(0),
+            Some(f) => {
+                w.u8(1);
+                w.str(&f.profile);
+                w.u64(f.observed);
+                w.u64(f.retries);
+                w.u64(f.recovered);
+                w.u64(f.degraded);
+                w.u64(f.lost);
+                w.u32(f.quarantined_pops.len() as u32);
+                for pop in &f.quarantined_pops {
+                    w.u64(*pop);
+                }
+                w.u64(f.rescued_scopes);
+                w.u64(f.unmeasured_scopes);
+                w.u64(f.assigned_scopes);
+            }
+        }
+        w.u32(self.metrics.counters.len() as u32);
+        for (name, inc) in &self.metrics.counters {
+            w.str(name);
+            w.u64(*inc);
+        }
+        w.u32(self.metrics.histograms.len() as u32);
+        for (name, h) in &self.metrics.histograms {
+            w.str(name);
+            w.u64(h.count);
+            w.u64(h.sum);
+            w.u64(h.min);
+            w.u64(h.max);
+            w.u32(h.buckets.len() as u32);
+            for (le, c) in &h.buckets {
+                w.u64(*le);
+                w.u64(*c);
+            }
+        }
+        w.u32(self.records.len() as u32);
+        for ((bound, domain, addr, len), rec) in &self.records {
+            w.u16(*bound);
+            w.u16(*domain);
+            w.u32(*addr);
+            w.u8(*len);
+            w.u64(rec.attempts);
+            w.u64(rec.scope0);
+            w.u64(rec.drops);
+            w.u32(rec.hit_events.len() as u32);
+            for e in &rec.hit_events {
+                w.u32(e.resp_addr);
+                w.u8(e.resp_len);
+                w.u32(e.remaining_ttl);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes and fully validates a snapshot: magic, version, and
+    /// checksum are checked before any field is interpreted, and the
+    /// payload must parse to exhaustion.
+    pub fn decode(bytes: &[u8]) -> Result<SweepSnapshot, CodecError> {
+        if bytes.len() < 6 || bytes[..4] != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let mut r = ByteReader::verified(bytes)?;
+        // Re-consume the already-validated header through the cursor.
+        for expected in SNAPSHOT_MAGIC {
+            if r.u8()? != expected {
+                return Err(CodecError::BadMagic);
+            }
+        }
+        let _version = r.u16()?;
+        let epoch = r.u32()?;
+        let world_seed = r.u64()?;
+        let config_digest = r.u64()?;
+        let mut gpdns = [0u64; 6];
+        for slot in &mut gpdns {
+            *slot = r.u64()?;
+        }
+        let fault = match r.u8()? {
+            0 => None,
+            1 => {
+                let profile = r.str()?;
+                let observed = r.u64()?;
+                let retries = r.u64()?;
+                let recovered = r.u64()?;
+                let degraded = r.u64()?;
+                let lost = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut quarantined_pops = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    quarantined_pops.push(r.u64()?);
+                }
+                Some(FaultRecord {
+                    profile,
+                    observed,
+                    retries,
+                    recovered,
+                    degraded,
+                    lost,
+                    quarantined_pops,
+                    rescued_scopes: r.u64()?,
+                    unmeasured_scopes: r.u64()?,
+                    assigned_scopes: r.u64()?,
+                })
+            }
+            _ => return Err(CodecError::Malformed("fault flag")),
+        };
+        let mut metrics = MetricsDelta::default();
+        let n_counters = r.u32()? as usize;
+        for _ in 0..n_counters {
+            let name = r.str()?;
+            let inc = r.u64()?;
+            metrics.counters.insert(name, inc);
+        }
+        let n_hists = r.u32()? as usize;
+        for _ in 0..n_hists {
+            let name = r.str()?;
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let min = r.u64()?;
+            let max = r.u64()?;
+            let n_buckets = r.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n_buckets.min(65));
+            for _ in 0..n_buckets {
+                let le = r.u64()?;
+                let c = r.u64()?;
+                buckets.push((le, c));
+            }
+            metrics.histograms.insert(
+                name,
+                HistogramDelta {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                },
+            );
+        }
+        let n_records = r.u32()? as usize;
+        let mut records = BTreeMap::new();
+        for _ in 0..n_records {
+            let bound = r.u16()?;
+            let domain = r.u16()?;
+            let addr = r.u32()?;
+            let len = r.u8()?;
+            if len > 32 {
+                return Err(CodecError::Malformed("scope length"));
+            }
+            let attempts = r.u64()?;
+            let scope0 = r.u64()?;
+            let drops = r.u64()?;
+            let n_events = r.u32()? as usize;
+            let mut hit_events = Vec::with_capacity(n_events.min(65536));
+            for _ in 0..n_events {
+                hit_events.push(HitEvent {
+                    resp_addr: r.u32()?,
+                    resp_len: r.u8()?,
+                    remaining_ttl: r.u32()?,
+                });
+            }
+            let rec = ScopeRecord {
+                attempts,
+                scope0,
+                drops,
+                hit_events,
+            };
+            if rec.hits() + rec.scope0 + rec.drops > rec.attempts {
+                return Err(CodecError::Malformed("record outcome counts"));
+            }
+            records.insert((bound, domain, addr, len), rec);
+        }
+        r.expect_done()?;
+        Ok(SweepSnapshot {
+            epoch,
+            world_seed,
+            config_digest,
+            gpdns,
+            fault,
+            metrics,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepSnapshot {
+        let mut s = SweepSnapshot::new(2021, 0xD16E57);
+        s.epoch = 3;
+        s.gpdns = [100, 1, 40, 2, 57, 0];
+        s.fault = Some(FaultRecord {
+            profile: "lossy".into(),
+            observed: 11,
+            retries: 14,
+            recovered: 9,
+            degraded: 1,
+            lost: 1,
+            quarantined_pops: vec![4, 17],
+            rescued_scopes: 3,
+            unmeasured_scopes: 2,
+            assigned_scopes: 40,
+        });
+        s.metrics.counters.insert("cacheprobe.attempts".into(), 55);
+        s.metrics.histograms.insert(
+            "cacheprobe.hit.remaining_ttl_secs".into(),
+            HistogramDelta {
+                count: 2,
+                sum: 130,
+                min: 30,
+                max: 100,
+                buckets: vec![(31, 1), (127, 1)],
+            },
+        );
+        s.records.insert(
+            (0, 1, 0x0A000000, 24),
+            ScopeRecord {
+                attempts: 9,
+                scope0: 1,
+                drops: 2,
+                hit_events: vec![HitEvent {
+                    resp_addr: 0x0A000000,
+                    resp_len: 24,
+                    remaining_ttl: 99,
+                }],
+            },
+        );
+        s.records
+            .insert((2, 0, 0xC0000200, 20), ScopeRecord::default());
+        s
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let s = sample();
+        let bytes = s.encode();
+        let back = SweepSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // encode(decode(bytes)) is also byte-stable.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn rejects_magic_version_and_corruption() {
+        let bytes = sample().encode();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::BadMagic)
+        );
+        let mut bad = bytes.clone();
+        bad[4] = SNAPSHOT_VERSION as u8 + 1;
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::BadVersion(SNAPSHOT_VERSION + 1))
+        );
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(SweepSnapshot::decode(&bad).is_err());
+        assert!(SweepSnapshot::decode(&bytes[..bytes.len() - 3]).is_err());
+        assert!(SweepSnapshot::decode(b"CM").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = SweepSnapshot::new(7, 9);
+        assert_eq!(SweepSnapshot::decode(&s.encode()).unwrap(), s);
+        assert!(s.quarantined_pops().is_empty());
+    }
+}

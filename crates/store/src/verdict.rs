@@ -1,0 +1,124 @@
+//! Per-/24 probe verdicts with the technique's merge ranking.
+
+use crate::Slash24Table;
+
+/// The best probing evidence seen for one /24, ordered by the same
+/// ranking the probe loops use to merge redundant queries:
+/// `Hit > HitScopeZero > Miss > Dropped` (> `Unmeasured`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum Verdict {
+    /// Never probed (or assigned but never reached).
+    #[default]
+    Unmeasured = 0,
+    /// Probed, every attempt lost.
+    Dropped = 1,
+    /// Probed, answered, never present in any cache.
+    Miss = 2,
+    /// Answered only with a /0 scope (cached, location unusable).
+    HitScopeZero = 3,
+    /// Cached with a usable scope — active client space.
+    Hit = 4,
+}
+
+impl Verdict {
+    /// All verdicts, ascending by rank.
+    pub const ALL: [Verdict; 5] = [
+        Verdict::Unmeasured,
+        Verdict::Dropped,
+        Verdict::Miss,
+        Verdict::HitScopeZero,
+        Verdict::Hit,
+    ];
+
+    /// The verdict encoded by `v`, if valid.
+    pub fn from_u8(v: u8) -> Option<Verdict> {
+        Verdict::ALL.get(v as usize).copied()
+    }
+}
+
+/// A dense per-/24 [`Verdict`] map over the whole IPv4 space.
+///
+/// Recording merges by max rank, so the table converges to the best
+/// evidence regardless of insertion order — exactly the commutativity
+/// the deterministic executor's ordered reduction relies on.
+#[derive(Debug, Clone, Default)]
+pub struct VerdictTable {
+    table: Slash24Table,
+}
+
+impl VerdictTable {
+    /// An all-[`Verdict::Unmeasured`] table.
+    pub fn new() -> VerdictTable {
+        VerdictTable::default()
+    }
+
+    /// The verdict for /24 index `idx`.
+    pub fn get(&self, idx: u32) -> Verdict {
+        Verdict::from_u8(self.table.get(idx)).unwrap_or(Verdict::Unmeasured)
+    }
+
+    /// Merges `v` into /24 index `idx` by max rank; returns the
+    /// resulting verdict.
+    pub fn record(&mut self, idx: u32, v: Verdict) -> Verdict {
+        let best = self.get(idx).max(v);
+        if best != Verdict::Unmeasured {
+            self.table.set(idx, best as u8);
+        }
+        best
+    }
+
+    /// Folds every measured entry of `other` into `self`.
+    pub fn merge_from(&mut self, other: &VerdictTable) {
+        for (idx, v) in other.iter_measured() {
+            self.record(idx, v);
+        }
+    }
+
+    /// Number of /24s with any verdict above [`Verdict::Unmeasured`].
+    pub fn count_measured(&self) -> u64 {
+        self.table.count_nonzero()
+    }
+
+    /// `(index, verdict)` for every measured /24, ascending by index.
+    pub fn iter_measured(&self) -> impl Iterator<Item = (u32, Verdict)> + '_ {
+        self.table
+            .iter_nonzero()
+            .map(|(idx, v)| (idx, Verdict::from_u8(v).unwrap_or(Verdict::Unmeasured)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merges_by_rank() {
+        let mut t = VerdictTable::new();
+        assert_eq!(t.record(7, Verdict::Miss), Verdict::Miss);
+        assert_eq!(t.record(7, Verdict::Dropped), Verdict::Miss);
+        assert_eq!(t.record(7, Verdict::Hit), Verdict::Hit);
+        assert_eq!(t.get(7), Verdict::Hit);
+        assert_eq!(t.get(8), Verdict::Unmeasured);
+        assert_eq!(t.count_measured(), 1);
+    }
+
+    #[test]
+    fn merge_from_is_max_per_slot() {
+        let mut a = VerdictTable::new();
+        a.record(1, Verdict::Miss);
+        a.record(2, Verdict::Hit);
+        let mut b = VerdictTable::new();
+        b.record(1, Verdict::HitScopeZero);
+        b.record(3, Verdict::Dropped);
+        a.merge_from(&b);
+        assert_eq!(
+            a.iter_measured().collect::<Vec<_>>(),
+            vec![
+                (1, Verdict::HitScopeZero),
+                (2, Verdict::Hit),
+                (3, Verdict::Dropped)
+            ]
+        );
+    }
+}

@@ -350,6 +350,142 @@ impl MetricsSnapshot {
     }
 }
 
+/// The difference between two snapshots of one histogram: additive
+/// fields carry the post − pre increment; `min`/`max` (which are not
+/// additive) carry the **post** state, which is safe to absorb because
+/// `fetch_min`/`fetch_max` only widen the receiver's extrema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramDelta {
+    /// Observations recorded inside the window.
+    pub count: u64,
+    /// Sum increment inside the window.
+    pub sum: u64,
+    /// Post-window minimum (valid: deltas are only kept when
+    /// `count > 0`, so the post state has a real minimum).
+    pub min: u64,
+    /// Post-window maximum.
+    pub max: u64,
+    /// Per-bucket count increments as `(inclusive upper bound,
+    /// increment)`, ascending, non-zero entries only.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The difference between two [`MetricsSnapshot`]s of the same
+/// registry — everything that was recorded between `pre` and `post`.
+///
+/// A delta can be replayed into another registry with
+/// [`MetricsRegistry::absorb_delta`]; because every instrument update
+/// is a commutative atomic, `pre + delta == post` holds exactly, and
+/// absorbing a stored delta reproduces the skipped work's telemetry
+/// byte-for-byte. This is how warm-started sweeps account for probing
+/// they did not repeat.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsDelta {
+    /// Counter increments by name, non-zero entries only.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram increments by name, recorded-in-window entries only.
+    pub histograms: BTreeMap<String, HistogramDelta>,
+}
+
+impl MetricsDelta {
+    /// True when the window recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl MetricsSnapshot {
+    /// The increments recorded between `pre` (earlier) and `self`
+    /// (later). Counters absent from `pre` count from zero; entries
+    /// with no change are dropped, so a quiet window yields an empty
+    /// delta regardless of how many instruments exist.
+    pub fn delta_from(&self, pre: &MetricsSnapshot) -> MetricsDelta {
+        let mut counters = BTreeMap::new();
+        for (name, post) in &self.counters {
+            let before = pre.counter(name);
+            if *post > before {
+                counters.insert(name.clone(), post - before);
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, post) in &self.histograms {
+            let empty = HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
+            };
+            let before = pre.histogram(name).unwrap_or(&empty);
+            if post.count <= before.count {
+                continue;
+            }
+            let pre_buckets: BTreeMap<u64, u64> = before.buckets.iter().copied().collect();
+            let buckets = post
+                .buckets
+                .iter()
+                .filter_map(|&(le, c)| {
+                    let inc = c - pre_buckets.get(&le).copied().unwrap_or(0);
+                    (inc > 0).then_some((le, inc))
+                })
+                .collect();
+            histograms.insert(
+                name.clone(),
+                HistogramDelta {
+                    count: post.count - before.count,
+                    sum: post.sum - before.sum,
+                    min: post.min,
+                    max: post.max,
+                    buckets,
+                },
+            );
+        }
+        MetricsDelta {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl Histogram {
+    /// Folds a stored window delta into this histogram. Bucket bounds
+    /// map back to indices by bit length (the inverse of
+    /// [`Histogram::snapshot`]'s encoding); extrema widen via
+    /// `fetch_min`/`fetch_max`.
+    fn absorb(&self, d: &HistogramDelta) {
+        for &(le, inc) in &d.buckets {
+            let bucket = if le == 0 {
+                0
+            } else if le == u64::MAX {
+                64
+            } else {
+                (64 - le.leading_zeros()) as usize
+            };
+            self.buckets[bucket].fetch_add(inc, Ordering::Relaxed);
+        }
+        self.count.fetch_add(d.count, Ordering::Relaxed);
+        self.sum.fetch_add(d.sum, Ordering::Relaxed);
+        if d.count > 0 {
+            self.min.fetch_min(d.min, Ordering::Relaxed);
+            self.max.fetch_max(d.max, Ordering::Relaxed);
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Replays a stored window delta into this registry, creating any
+    /// missing instruments. Absorbing the delta of a skipped stage
+    /// leaves the registry exactly as if the stage had run.
+    pub fn absorb_delta(&self, d: &MetricsDelta) {
+        for (name, inc) in &d.counters {
+            self.counter(name).add(*inc);
+        }
+        for (name, hd) in &d.histograms {
+            self.histogram(name).absorb(hd);
+        }
+    }
+}
+
 /// Appends `s` as a JSON string literal (metric names are ASCII, but
 /// escape the structural characters anyway).
 fn push_json_string(out: &mut String, s: &str) {
@@ -465,6 +601,70 @@ mod tests {
         assert_eq!(s.sum_counters("x."), 3);
         assert_eq!(s.sum_counters("y."), 10);
         assert_eq!(s.sum_counters("z."), 0);
+    }
+
+    #[test]
+    fn delta_captures_only_the_window() {
+        let m = MetricsRegistry::new();
+        m.counter("before").add(7);
+        m.histogram("h").record(3);
+        let pre = m.snapshot();
+        m.counter("before").add(2);
+        m.counter("during").add(5);
+        m.histogram("h").record(100);
+        let d = m.snapshot().delta_from(&pre);
+        assert_eq!(d.counters.get("before"), Some(&2));
+        assert_eq!(d.counters.get("during"), Some(&5));
+        assert!(!d.counters.contains_key("quiet"));
+        let hd = &d.histograms["h"];
+        assert_eq!((hd.count, hd.sum), (1, 100));
+        assert_eq!(hd.buckets, vec![(127, 1)]);
+    }
+
+    #[test]
+    fn quiet_window_yields_empty_delta() {
+        let m = MetricsRegistry::new();
+        m.counter("a").add(1);
+        m.histogram("h").record(9);
+        let pre = m.snapshot();
+        assert!(m.snapshot().delta_from(&pre).is_empty());
+    }
+
+    #[test]
+    fn absorbing_a_delta_reproduces_the_skipped_window() {
+        // Run a "cold" registry through a window, capture the delta,
+        // then absorb it into a registry that skipped the window: the
+        // snapshots must be byte-identical.
+        let cold = MetricsRegistry::new();
+        cold.counter("shared").add(3);
+        cold.histogram("ttl").record(0);
+        let pre = cold.snapshot();
+        cold.counter("shared").add(10);
+        cold.counter("window.only").add(4);
+        for v in [1u64, 2, 2, 900, u64::MAX] {
+            cold.histogram("ttl").record(v);
+        }
+        let delta = cold.snapshot().delta_from(&pre);
+
+        let warm = MetricsRegistry::new();
+        warm.counter("shared").add(3);
+        warm.histogram("ttl").record(0);
+        warm.absorb_delta(&delta);
+        assert_eq!(warm.snapshot().to_json(), cold.snapshot().to_json());
+    }
+
+    #[test]
+    fn absorb_into_fresh_histogram_keeps_extrema() {
+        let src = MetricsRegistry::new();
+        let pre = src.snapshot();
+        src.histogram("h").record(17);
+        src.histogram("h").record(4);
+        let delta = src.snapshot().delta_from(&pre);
+        let dst = MetricsRegistry::new();
+        dst.absorb_delta(&delta);
+        let h = dst.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 21, 4, 17));
+        assert_eq!(h.buckets, vec![(7, 1), (31, 1)]);
     }
 
     #[test]

@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! clientmap run     [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
+//!                   [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F]
 //! clientmap export  [--scale ...] [--seed N] --out DIR
 //! clientmap query   PREFIX [--scale ...] [--seed N]
 //! clientmap stats   [--scale ...] [--seed N]
 //! ```
 //!
 //! `run` executes the full pipeline and prints the headline numbers;
+//! `--snapshot-out` saves the sweep's warm-start snapshot, and a later
+//! run with `--snapshot-in` replays everything the snapshot already
+//! knows, probing only what `--expiry-budget` (fraction of scopes
+//! refreshed per sweep, e.g. `0.1`) or fault quarantine marks stale.
 //! `export` writes the *shareable* datasets (technique outputs + the
 //! APNIC-style estimates) as CSV; `query` answers the paper's title
 //! question for one prefix ("does this network have clients?") from
-//! the public activity map; `stats` summarises the generated world.
-//! (The evaluation harness regenerating every paper table/figure is
-//! the separate `repro` binary in `clientmap-bench`.)
+//! the public activity map; `stats` summarises the generated world and
+//! the most-active networks. (The evaluation harness regenerating
+//! every paper table/figure is the separate `repro` binary in
+//! `clientmap-bench`.)
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -22,6 +28,7 @@ use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
 use clientmap::datasets::export;
 use clientmap::faults::{FaultConfig, FaultProfile};
 use clientmap::net::Prefix;
+use clientmap::store::{AsBitsets, Slash24Bitset, SweepSnapshot};
 
 struct Args {
     scale: String,
@@ -29,6 +36,9 @@ struct Args {
     faults: FaultProfile,
     fault_seed: u64,
     out: Option<PathBuf>,
+    snapshot_in: Option<PathBuf>,
+    snapshot_out: Option<PathBuf>,
+    expiry_budget: f64,
     positional: Vec<String>,
 }
 
@@ -39,6 +49,9 @@ fn parse_args(argv: &[String]) -> Args {
         faults: FaultProfile::Off,
         fault_seed: 0,
         out: None,
+        snapshot_in: None,
+        snapshot_out: None,
+        expiry_budget: 0.0,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -71,6 +84,24 @@ fn parse_args(argv: &[String]) -> Args {
                 args.out = argv.get(i + 1).map(PathBuf::from);
                 i += 2;
             }
+            "--snapshot-in" => {
+                args.snapshot_in = argv.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            "--snapshot-out" => {
+                args.snapshot_out = argv.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            "--expiry-budget" => {
+                args.expiry_budget =
+                    argv.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--expiry-budget needs a fraction, e.g. 0.1");
+                            std::process::exit(2);
+                        });
+                i += 2;
+            }
             other => {
                 args.positional.push(other.to_string());
                 i += 1;
@@ -87,11 +118,29 @@ fn config_for(args: &Args) -> PipelineConfig {
         _ => PipelineConfig::tiny(args.seed),
     };
     config.faults = FaultConfig::profile(args.faults, args.fault_seed);
+    config.probe.expiry_budget = args.expiry_budget;
     config
 }
 
-fn run_or_exit(config: PipelineConfig) -> PipelineOutput {
-    match Pipeline::run(config) {
+fn load_snapshot(path: &std::path::Path) -> SweepSnapshot {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read snapshot {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match SweepSnapshot::decode(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snapshot {} is not usable: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_or_exit(config: PipelineConfig, prior: Option<SweepSnapshot>) -> PipelineOutput {
+    match Pipeline::run_warm(config, prior) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("pipeline failed: {e}");
@@ -103,7 +152,8 @@ fn run_or_exit(config: PipelineConfig) -> PipelineOutput {
 fn usage() -> ! {
     eprintln!(
         "usage: clientmap <run|export|query|stats> [--scale tiny|small|paper] [--seed N] \
-         [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] [PREFIX]"
+         [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] \
+         [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] [PREFIX]"
     );
     std::process::exit(2);
 }
@@ -118,7 +168,9 @@ fn main() {
 
     match cmd.as_str() {
         "run" => {
-            let out = run_or_exit(config_for(&args));
+            let prior = args.snapshot_in.as_deref().map(load_snapshot);
+            let warm = prior.is_some();
+            let out = run_or_exit(config_for(&args), prior);
             println!("{}", out.report().headlines());
             if let Some(robustness) = out.report().robustness() {
                 println!("{robustness}");
@@ -129,6 +181,33 @@ fn main() {
                 out.cache_probe.hit_prefixes().len(),
                 out.dns_logs.resolvers.len(),
             );
+            if warm {
+                let snap = out.metrics_snapshot();
+                println!(
+                    "warm start: {} of {} slots replayed from snapshot, {} probed live \
+                     ({} new, {} expired, {} rescue, {} quarantine-dirty)",
+                    snap.counter("cacheprobe.planner.skipped_warm"),
+                    snap.counter("cacheprobe.planner.universe"),
+                    snap.counter("cacheprobe.planner.planned"),
+                    snap.counter("cacheprobe.planner.new"),
+                    snap.counter("cacheprobe.planner.expired"),
+                    snap.counter("cacheprobe.planner.rescued"),
+                    snap.counter("cacheprobe.planner.dirty"),
+                );
+            }
+            if let Some(path) = args.snapshot_out.as_deref() {
+                match std::fs::write(path, out.sweep.encode()) {
+                    Ok(()) => println!(
+                        "wrote snapshot {} (epoch {})",
+                        path.display(),
+                        out.sweep.epoch
+                    ),
+                    Err(e) => {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         "export" => {
             let Some(dir) = args.out.clone() else {
@@ -139,7 +218,7 @@ fn main() {
                 eprintln!("cannot create {}: {e}", dir.display());
                 std::process::exit(1);
             }
-            let out = run_or_exit(config_for(&args));
+            let out = run_or_exit(config_for(&args), None);
             let rib = &out.sim.world().rib;
             let files = [
                 (
@@ -185,7 +264,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let out = run_or_exit(config_for(&args));
+            let out = run_or_exit(config_for(&args), None);
             let active = out.cache_probe.active_set();
             let dns_hit = out.bundle.dns_logs.set.intersects(prefix);
             let verdict = if active.contains_slash24(prefix) || active.intersects(prefix) {
@@ -220,6 +299,20 @@ fn main() {
             }
             for (cat, n) in by_cat {
                 println!("  {cat:<14} {n}");
+            }
+            // Per-AS activity: one AND+popcount per AS between its
+            // announced space and the technique's active /24 set.
+            let out = run_or_exit(config_for(&args), None);
+            let active = Slash24Bitset::from_prefixes(&out.cache_probe.active_set().prefixes());
+            let mut per_as = AsBitsets::from_rib(&out.sim.world().rib).active_slash24s(&active);
+            per_as.sort_by_key(|(asn, n)| (std::cmp::Reverse(*n), asn.0));
+            println!(
+                "client activity (cache probing): {} active /24s across {} ASes; top networks:",
+                active.count(),
+                per_as.len(),
+            );
+            for (asn, n) in per_as.iter().take(10) {
+                println!("  {asn:<10} {n} active /24s");
             }
         }
         _ => usage(),

@@ -25,5 +25,6 @@ pub use clientmap_geo as geo;
 pub use clientmap_net as net;
 pub use clientmap_par as par;
 pub use clientmap_sim as sim;
+pub use clientmap_store as store;
 pub use clientmap_telemetry as telemetry;
 pub use clientmap_world as world;

@@ -7,6 +7,7 @@
 
 use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
 use clientmap::faults::{FaultConfig, FaultProfile};
+use clientmap::store::SweepSnapshot;
 
 fn config(profile: FaultProfile, fault_seed: u64) -> PipelineConfig {
     let mut c = PipelineConfig::tiny(2021);
@@ -138,6 +139,121 @@ fn pop_churn_run_quarantines_and_reconciles_coverage() {
         snap.counter("cacheprobe.quarantine.rescued"),
         f.rescued_scopes
     );
+}
+
+/// Planner counters exist only on warm runs; cold/warm comparisons
+/// set them aside.
+fn without_planner_lines(json: &str) -> String {
+    json.lines()
+        .filter(|l| !l.contains("cacheprobe.planner."))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn warm_restart_is_byte_identical_at_any_thread_count() {
+    let cold = clientmap::par::with_threads(1, || Pipeline::run(config(FaultProfile::Off, 0)))
+        .expect("cold run");
+    let cold_report = cold.report().render_all();
+    let cold_metrics = without_planner_lines(&cold.metrics_snapshot().to_json());
+    let snapshot_bytes = cold.sweep.encode();
+
+    let mut warm_snapshots: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let prior = SweepSnapshot::decode(&snapshot_bytes).expect("snapshot round-trips");
+        let warm = clientmap::par::with_threads(threads, || {
+            Pipeline::run_warm(config(FaultProfile::Off, 0), Some(prior))
+        })
+        .unwrap_or_else(|e| panic!("{threads}-thread warm run failed: {e}"));
+        // Nothing expired ⇒ the planner replays everything…
+        let snap = warm.metrics_snapshot();
+        assert_eq!(snap.counter("cacheprobe.planner.planned"), 0);
+        assert_eq!(snap.counter("cacheprobe.planner.units"), 0);
+        // …and the output is the cold run's, byte for byte.
+        assert_eq!(
+            warm.report().render_all(),
+            cold_report,
+            "warm report drift at {threads} threads"
+        );
+        assert_eq!(
+            without_planner_lines(&snap.to_json()),
+            cold_metrics,
+            "warm telemetry drift at {threads} threads"
+        );
+        assert_eq!(warm.sweep.records, cold.sweep.records);
+        assert_eq!(warm.sweep.epoch, cold.sweep.epoch + 1);
+        warm_snapshots.push(warm.sweep.encode());
+    }
+    // The re-emitted snapshot itself is thread-count independent.
+    assert!(
+        warm_snapshots.windows(2).all(|w| w[0] == w[1]),
+        "warm snapshot bytes drift across thread counts"
+    );
+}
+
+#[test]
+fn pop_churn_quarantine_dirties_the_next_warm_sweep() {
+    let mut c = PipelineConfig::tiny(7);
+    c.faults = FaultConfig::profile(FaultProfile::PopChurn, 3);
+    let cold = Pipeline::run(c.clone()).expect("pop-churn cold run");
+    let f = cold.cache_probe.fault.as_ref().expect("fault summary");
+    assert!(
+        !f.quarantined_pops.is_empty(),
+        "this profile/seed is expected to trip the breaker"
+    );
+    let quarantined = f.quarantined_pops.len() as u64;
+    assert_eq!(
+        cold.sweep
+            .fault
+            .as_ref()
+            .map(|fr| fr.quarantined_pops.len() as u64),
+        Some(quarantined),
+        "snapshot must carry the quarantine list"
+    );
+
+    // Warm restart under the same weather: everything a quarantined
+    // vantage measured is dirty and gets re-probed live; reaching Ok
+    // means the planner conservation laws reconciled too.
+    let warm = Pipeline::run_warm(c, Some(cold.sweep.clone())).expect("warm run completes");
+    let snap = warm.metrics_snapshot();
+    assert!(
+        snap.counter("cacheprobe.planner.dirty") > 0,
+        "quarantined-PoP slots must be replanned"
+    );
+    assert!(snap.counter("cacheprobe.planner.planned") > 0);
+    assert_eq!(
+        snap.counter("cacheprobe.planner.planned")
+            + snap.counter("cacheprobe.planner.skipped_warm"),
+        snap.counter("cacheprobe.planner.universe"),
+    );
+    assert!(warm.cache_probe.active_set().num_slash24s() > 0);
+}
+
+#[test]
+fn lossy_warm_restart_replans_only_the_stale_slice() {
+    let cold = lossy();
+    // Same config, nothing expired: only rescue/dirty signals replan,
+    // and the run still passes every invariant (checked inside run).
+    let warm = Pipeline::run_warm(config(FaultProfile::Lossy, 5), Some(cold.sweep.clone()))
+        .expect("lossy warm run completes");
+    let snap = warm.metrics_snapshot();
+    let universe = snap.counter("cacheprobe.planner.universe");
+    let planned = snap.counter("cacheprobe.planner.planned");
+    assert!(universe > 0);
+    assert!(
+        planned * 5 <= universe,
+        "warm lossy restart replanned {planned} of {universe} slots"
+    );
+    assert_eq!(
+        planned + snap.counter("cacheprobe.planner.skipped_warm"),
+        universe
+    );
+    // The warm run keeps a usable activity map and its own closed
+    // fault books.
+    assert!(warm.cache_probe.active_set().num_slash24s() > 0);
+    if let Some(f) = warm.cache_probe.fault.as_ref() {
+        assert_eq!(f.observed, f.recovered + f.degraded + f.lost);
+    }
 }
 
 #[test]
