@@ -1,17 +1,54 @@
-//! Hot-path microbenches for the PR 2 fast lanes: the zero-allocation
-//! probe loop vs the allocating slow path, and the borrowed wire views
-//! vs full encode/decode. The paired benches share inputs so the
-//! reported deltas are the cost of allocation + parsing alone.
+//! Hot-path microbenches for the probe fast lanes: the zero-allocation
+//! scalar loop vs the allocating slow path, the batched serve kernel vs
+//! both, and the borrowed wire views vs full encode/decode. The paired
+//! benches share inputs so the reported deltas are the cost of
+//! allocation + parsing + per-probe routing alone.
+//!
+//! The batched bench doubles as an allocation regression gate: before
+//! timing, a counted steady-state pass through the kernel must perform
+//! zero heap allocations, or the harness aborts.
 
 use clientmap_cacheprobe::probe::{probe_scope_fast, probe_scope_with, select_domains};
 use clientmap_cacheprobe::vantage::discover;
 use clientmap_cacheprobe::ProbeConfig;
 use clientmap_dns::{wire, Message, Question};
 use clientmap_net::Prefix;
-use clientmap_sim::{GpdnsSession, Sim, SimTime};
+use clientmap_sim::{GpdnsSession, ProbeOutcome, ScopeLane, Sim, SimTime};
 use clientmap_world::{World, WorldConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting allocation events — the
+/// regression gate for the batched kernel's steady state.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// End-to-end probe: template render → simulated Google front end →
 /// response classification, on both lanes. Scopes cycle through the
@@ -77,6 +114,120 @@ fn bench_probe_hot_path(c: &mut Criterion) {
     });
 }
 
+/// The batched serve kernel over the same world: routing, admission,
+/// and cache lanes hoisted once, then whole 64-probe arenas served per
+/// iteration. Divide the per-iteration time by 64 to compare with the
+/// per-probe lanes above. Gated: a counted steady-state pass must not
+/// allocate before the timed bench may run.
+fn bench_probe_hot_path_batched(c: &mut Criterion) {
+    let mut sim = Sim::new(World::generate(WorldConfig::tiny(11)));
+    let bound = discover(&mut sim, SimTime::ZERO)[0];
+    let cfg = ProbeConfig::test_scale();
+    let domain = select_domains(&sim, &cfg)
+        .into_iter()
+        .next()
+        .expect("catalog has probeable domains");
+    let template = wire::ProbeQueryTemplate::new(&domain);
+    let scopes: Vec<Prefix> = sim
+        .world()
+        .blocks
+        .iter()
+        .map(|b| b.prefix)
+        .take(64)
+        .collect();
+    let view = sim.view();
+    let t0 = SimTime::from_hours(8);
+
+    let session = GpdnsSession::new();
+    let mut conn = view
+        .gpdns
+        .open_batch(
+            view.catchments,
+            &session,
+            bound.prober_key(),
+            bound.coord(),
+            cfg.transport,
+        )
+        .expect("fault-free core opens a batch connection");
+    let dom = view
+        .gpdns
+        .batch_domain(&conn, template.qname_wire())
+        .expect("selected domain is probeable");
+    let lanes: Vec<ScopeLane> = scopes
+        .iter()
+        .map(|&s| view.gpdns.scope_lane(view.auth, &dom, s))
+        .collect();
+    let mut batch = wire::ProbeBatch::new();
+    let mut events: Vec<(u32, SimTime)> = Vec::with_capacity(scopes.len());
+    let mut out: Vec<ProbeOutcome> = Vec::with_capacity(scopes.len());
+
+    let fill = |batch: &mut wire::ProbeBatch, events: &mut Vec<(u32, SimTime)>, round: u64| {
+        batch.clear();
+        events.clear();
+        for (i, &scope) in scopes.iter().enumerate() {
+            batch.push(&template, 0x1234, scope);
+            events.push((
+                i as u32,
+                t0 + SimTime::from_millis(round * 60_000 + i as u64 * 10),
+            ));
+        }
+    };
+
+    // Warm-up (sizes the arena, creates the token bucket), then the
+    // allocation regression gate over a counted steady-state pass.
+    fill(&mut batch, &mut events, 0);
+    assert!(view.gpdns.serve_batch(
+        &mut conn,
+        &dom,
+        view.auth,
+        &lanes,
+        &batch,
+        &events,
+        cfg.redundancy,
+        &mut out
+    ));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 1..=4u64 {
+        fill(&mut batch, &mut events, round);
+        out.clear();
+        assert!(view.gpdns.serve_batch(
+            &mut conn,
+            &dom,
+            view.auth,
+            &lanes,
+            &batch,
+            &events,
+            cfg.redundancy,
+            &mut out
+        ));
+    }
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "batched kernel allocated {allocated} time(s) in steady state — regression"
+    );
+
+    let mut round = 4u64;
+    c.bench_function("probe_hot_path_batched_64", |b| {
+        b.iter(|| {
+            round += 1;
+            fill(&mut batch, &mut events, round);
+            out.clear();
+            view.gpdns.serve_batch(
+                &mut conn,
+                &dom,
+                view.auth,
+                &lanes,
+                &batch,
+                &events,
+                cfg.redundancy,
+                &mut out,
+            );
+            black_box(out.len())
+        })
+    });
+}
+
 /// Query + response handling at the wire layer: allocation-free
 /// template render + borrowed views vs allocating encode/decode of the
 /// same packets.
@@ -106,5 +257,10 @@ fn bench_wire_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(hotpath, bench_probe_hot_path, bench_wire_roundtrip);
+criterion_group!(
+    hotpath,
+    bench_probe_hot_path,
+    bench_probe_hot_path_batched,
+    bench_wire_roundtrip
+);
 criterion_main!(hotpath);

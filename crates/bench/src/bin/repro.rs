@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! repro [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
-//!       [--metrics FILE] [section…]
+//!       [--scalar-probing] [--metrics FILE] [section…]
 //! repro [--scale …] [--seed N] [--faults …] bench [--json FILE]
 //! ```
 //!
@@ -21,6 +21,11 @@
 //! `--faults PROFILE` (`off|light|lossy|pop-churn`) runs the whole
 //! pipeline under the named deterministic fault plan; the report grows
 //! a Robustness section with the partial-result accounting.
+//!
+//! `--scalar-probing` forces the per-probe scalar lane instead of the
+//! default batched kernels. Both lanes are byte-identical in every
+//! report and metric (CI diffs them); the flag exists to prove exactly
+//! that, and to time the lanes against each other.
 
 use clientmap_cacheprobe::scopescan::scan_domain;
 use clientmap_cacheprobe::vantage::discover;
@@ -38,6 +43,7 @@ fn main() {
     let mut seed = 2021u64;
     let mut faults = FaultProfile::Off;
     let mut fault_seed = 0u64;
+    let mut scalar_probing = false;
     let mut metrics_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut sections: Vec<String> = Vec::new();
@@ -67,6 +73,10 @@ fn main() {
                 fault_seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
                 i += 2;
             }
+            "--scalar-probing" => {
+                scalar_probing = true;
+                i += 1;
+            }
             "--metrics" => {
                 metrics_path = args.get(i + 1).cloned();
                 i += 2;
@@ -91,6 +101,9 @@ fn main() {
         _ => PipelineConfig::tiny(seed),
     };
     config.faults = FaultConfig::profile(faults, fault_seed);
+    if scalar_probing {
+        config.probe.batched_probing = false;
+    }
 
     if sections.iter().any(|s| s == "bench") {
         bench_run(&scale, seed, config, json_path.as_deref());

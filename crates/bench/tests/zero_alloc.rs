@@ -12,7 +12,7 @@ use clientmap_cacheprobe::vantage::discover;
 use clientmap_cacheprobe::ProbeConfig;
 use clientmap_dns::wire;
 use clientmap_net::Prefix;
-use clientmap_sim::{GpdnsSession, Sim, SimTime};
+use clientmap_sim::{GpdnsSession, ProbeOutcome, ScopeLane, Sim, SimTime};
 use clientmap_world::{World, WorldConfig};
 
 thread_local! {
@@ -124,5 +124,100 @@ fn probe_fast_lane_is_allocation_free_after_warmup() {
     assert_eq!(
         allocated, 0,
         "probe fast lane allocated {allocated} time(s) across {outcomes} probes after warm-up"
+    );
+}
+
+#[test]
+fn batched_lane_is_allocation_free_after_warmup() {
+    let mut sim = Sim::new(World::generate(WorldConfig::tiny(17)));
+    let bound = discover(&mut sim, SimTime::ZERO)[0];
+    let cfg = ProbeConfig::test_scale();
+    let domain = select_domains(&sim, &cfg)
+        .into_iter()
+        .next()
+        .expect("catalog has probeable domains");
+    let template = wire::ProbeQueryTemplate::new(&domain);
+    let scopes: Vec<Prefix> = sim
+        .world()
+        .blocks
+        .iter()
+        .map(|b| b.prefix)
+        .take(32)
+        .collect();
+    assert!(!scopes.is_empty(), "tiny world has routed blocks");
+    let view = sim.view();
+    let t0 = SimTime::from_hours(8);
+
+    // Per-unit state, built once: connection, domain tables, lanes.
+    let session = GpdnsSession::new();
+    let mut conn = view
+        .gpdns
+        .open_batch(
+            view.catchments,
+            &session,
+            bound.prober_key(),
+            bound.coord(),
+            cfg.transport,
+        )
+        .expect("fault-free core opens a batch connection");
+    let dom = view
+        .gpdns
+        .batch_domain(&conn, template.qname_wire())
+        .expect("selected domain is probeable");
+    let lanes: Vec<ScopeLane> = scopes
+        .iter()
+        .map(|&s| view.gpdns.scope_lane(view.auth, &dom, s))
+        .collect();
+    let mut batch = wire::ProbeBatch::new();
+    let mut events: Vec<(u32, SimTime)> = Vec::with_capacity(scopes.len());
+    let mut out: Vec<ProbeOutcome> = Vec::with_capacity(scopes.len());
+
+    // Warm-up pass: sizes the arena and the event/outcome vectors and
+    // creates the connection's token bucket.
+    for (i, &scope) in scopes.iter().enumerate() {
+        batch.push(&template, 0x1234, scope);
+        events.push((i as u32, t0 + SimTime::from_millis(i as u64 * 10)));
+    }
+    assert!(view.gpdns.serve_batch(
+        &mut conn,
+        &dom,
+        view.auth,
+        &lanes,
+        &batch,
+        &events,
+        cfg.redundancy,
+        &mut out
+    ));
+
+    let before = allocations();
+    let mut outcomes = 0u64;
+    for round in 1..=8u64 {
+        batch.clear();
+        events.clear();
+        out.clear();
+        for (i, &scope) in scopes.iter().enumerate() {
+            let t = t0 + SimTime::from_millis(round * 60_000 + i as u64 * 10);
+            batch.push(&template, 0x1234, scope);
+            events.push((i as u32, t));
+        }
+        let served = view.gpdns.serve_batch(
+            &mut conn,
+            &dom,
+            view.auth,
+            &lanes,
+            &batch,
+            &events,
+            cfg.redundancy,
+            &mut out,
+        );
+        assert!(served, "steady-state batch failed validation");
+        outcomes += out.len() as u64;
+    }
+    let allocated = allocations() - before;
+
+    assert!(outcomes >= 256, "measured pass actually probed");
+    assert_eq!(
+        allocated, 0,
+        "batched lane allocated {allocated} time(s) across {outcomes} probes after warm-up"
     );
 }

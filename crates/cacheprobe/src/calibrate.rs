@@ -10,9 +10,12 @@
 
 use std::collections::HashMap;
 
-use clientmap_dns::DomainName;
+use clientmap_dns::{wire, DomainName};
 use clientmap_net::{Prefix, SeedMixer};
-use clientmap_sim::{pop_catalog, PopId, ProbeOutcome, Sim, SimTime};
+use clientmap_sim::{
+    pop_catalog, BatchStats, GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, Transport,
+};
+use clientmap_store::CalibrationRecord;
 
 use crate::vantage::BoundVantage;
 use crate::ProbeConfig;
@@ -168,15 +171,218 @@ pub fn calibrate(
     per_pop.sort_by_key(|(pop, _, _)| *pop);
     for (pop, mut distances, session) in per_pop {
         sim.absorb_session(&session);
-        if !distances.is_empty() {
-            distances.sort_by(f64::total_cmp);
-            let idx = ((distances.len() as f64 - 1.0) * cfg.radius_percentile).round() as usize;
-            radii
-                .radius_km
-                .insert(pop, distances[idx.min(distances.len() - 1)]);
+        if let Some(r) = percentile_radius(&mut distances, cfg.radius_percentile) {
+            radii.radius_km.insert(pop, r);
         }
         radii.hit_distances_km.insert(pop, distances);
     }
+    radii
+}
+
+/// Everything one calibration pass produced: the derived radii plus the
+/// per-PoP storable records that let a warm re-sweep replay the pass
+/// instead of re-probing the whole sample.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CalibrationOutcome {
+    pub radii: ServiceRadii,
+    /// Per-PoP records, sorted by PoP id (the snapshot codec's order).
+    pub records: Vec<CalibrationRecord>,
+}
+
+/// Derives the percentile radius from a PoP's hit distances, sorting
+/// them in place (the order [`ServiceRadii`] stores). `None` when the
+/// PoP saw no hits.
+fn percentile_radius(distances: &mut [f64], percentile: f64) -> Option<f64> {
+    if distances.is_empty() {
+        return None;
+    }
+    distances.sort_by(f64::total_cmp);
+    let idx = ((distances.len() as f64 - 1.0) * percentile).round() as usize;
+    Some(distances[idx.min(distances.len() - 1)])
+}
+
+/// Batched sibling of [`calibrate`]: each PoP worker opens one batch
+/// connection, hoists routing and per-domain scope tables out of the
+/// probe loop, and serves every sample probe through the batch kernel —
+/// capturing the per-PoP [`CalibrationRecord`]s a later warm sweep can
+/// replay. Byte-identical to the scalar lane in radii, session stats,
+/// and resolver telemetry. Returns `None` under fault injection (the
+/// core refuses batch connections), where the scalar resilient lane
+/// must run instead.
+pub(crate) fn calibrate_batched(
+    sim: &mut Sim,
+    bound: &[BoundVantage],
+    domains: &[DomainName],
+    sample: &[Prefix],
+    cfg: &ProbeConfig,
+    t: SimTime,
+) -> Option<CalibrationOutcome> {
+    if sim.fault_plan().enabled() {
+        return None;
+    }
+    let pops = pop_catalog();
+    let templates: Vec<wire::ProbeQueryTemplate> =
+        domains.iter().map(wire::ProbeQueryTemplate::new).collect();
+    let view = sim.view();
+    let mut per_pop: Vec<(PopId, Vec<f64>, GpdnsSession, BatchStats)> =
+        clientmap_par::par_map(bound, |_, b| {
+            let mut session = GpdnsSession::new();
+            let mut conn = view
+                .gpdns
+                .open_batch(
+                    view.catchments,
+                    &session,
+                    b.prober_key(),
+                    b.coord(),
+                    cfg.transport,
+                )
+                .expect("fault-free cores always open batch connections");
+            let doms: Vec<_> = templates
+                .iter()
+                .map(|tm| {
+                    view.gpdns
+                        .batch_domain(&conn, tm.qname_wire())
+                        .expect("selected domains are probeable")
+                })
+                .collect();
+            let mut batch = wire::ProbeBatch::new();
+            let mut out: Vec<ProbeOutcome> = Vec::with_capacity(1);
+            let mut distances: Vec<f64> = Vec::new();
+            for (i, prefix) in sample.iter().enumerate() {
+                // Stagger probe times so the rate limiter behaves.
+                let pt = t + SimTime::from_millis(i as u64 * 20);
+                // Same short-circuit as the scalar lane: stop at the
+                // first domain whose caches hold the prefix. The
+                // outcome gates the next serve, so probes go one event
+                // at a time — the win here is the hoisted connection
+                // and scope-table state, not arena size.
+                let mut hit = false;
+                for (d, dom) in doms.iter().enumerate() {
+                    let lane = view.gpdns.scope_lane(view.auth, dom, *prefix);
+                    batch.clear();
+                    batch.push(
+                        &templates[d],
+                        crate::resilience::attempt_id(pt, *prefix, 0, 0),
+                        *prefix,
+                    );
+                    out.clear();
+                    let ok = view.gpdns.serve_batch(
+                        &mut conn,
+                        dom,
+                        view.auth,
+                        std::slice::from_ref(&lane),
+                        &batch,
+                        &[(0, pt)],
+                        cfg.redundancy,
+                        &mut out,
+                    );
+                    debug_assert!(ok, "template-rendered batches always validate");
+                    if ok && matches!(out.first(), Some(ProbeOutcome::Hit { .. })) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    let geodb = &view.world.geodb;
+                    let geo = geodb
+                        .lookup(*prefix)
+                        .or_else(|| geodb.lookup_addr(prefix.addr()))
+                        .map(|e| e.coord);
+                    if let Some(coord) = geo {
+                        distances.push(coord.distance_km(&pops[b.pop].coord));
+                    }
+                }
+            }
+            let stats = view.gpdns.close_batch(conn, &mut session);
+            (b.pop, distances, session, stats)
+        });
+
+    per_pop.sort_by_key(|(pop, ..)| *pop);
+    let mut outcome = CalibrationOutcome {
+        radii: ServiceRadii {
+            sample_size: sample.len(),
+            ..ServiceRadii::default()
+        },
+        records: Vec::with_capacity(per_pop.len()),
+    };
+    for (pop, mut distances, session, stats) in per_pop {
+        sim.absorb_session(&session);
+        let radius = percentile_radius(&mut distances, cfg.radius_percentile);
+        if let Some(r) = radius {
+            outcome.radii.radius_km.insert(pop, r);
+        }
+        outcome
+            .radii
+            .hit_distances_km
+            .insert(pop, distances.clone());
+        // Duplicate-bound PoPs (not expected from discovery, but the
+        // codec requires strictly ascending records): stats accumulate,
+        // the later worker's distances win — matching the map inserts.
+        match outcome.records.last_mut() {
+            Some(last) if last.pop == pop as u64 => {
+                last.radius_km = radius;
+                last.hit_distances_km = distances;
+                last.queries += stats.queries;
+                last.rate_limited += stats.rate_limited;
+                for p in 0..4 {
+                    last.pool_hits[p] += stats.pool_hits[p];
+                    last.pool_scope0[p] += stats.pool_scope0[p];
+                    last.pool_misses[p] += stats.pool_misses[p];
+                }
+            }
+            _ => outcome.records.push(CalibrationRecord {
+                pop: pop as u64,
+                radius_km: radius,
+                hit_distances_km: distances,
+                queries: stats.queries,
+                rate_limited: stats.rate_limited,
+                pool_hits: stats.pool_hits,
+                pool_scope0: stats.pool_scope0,
+                pool_misses: stats.pool_misses,
+            }),
+        }
+    }
+    Some(outcome)
+}
+
+/// Replays stored [`CalibrationRecord`]s as if their probes had run
+/// this sweep: rebuilds the [`ServiceRadii`] and re-applies each PoP's
+/// captured resolver tallies to the session counters and the metrics
+/// registry — leaving both exactly where a live calibration pass would
+/// have left them, without serving a single probe.
+pub(crate) fn replay_calibration(
+    sim: &mut Sim,
+    records: &[CalibrationRecord],
+    sample_size: u64,
+    transport: Transport,
+) -> ServiceRadii {
+    let mut radii = ServiceRadii {
+        sample_size: sample_size as usize,
+        ..ServiceRadii::default()
+    };
+    let mut session = GpdnsSession::new();
+    {
+        let view = sim.view();
+        for rec in records {
+            let stats = BatchStats {
+                queries: rec.queries,
+                rate_limited: rec.rate_limited,
+                pool_hits: rec.pool_hits,
+                pool_scope0: rec.pool_scope0,
+                pool_misses: rec.pool_misses,
+            };
+            view.gpdns
+                .replay_batch_stats(&mut session, &stats, transport);
+            let pop = rec.pop as PopId;
+            if let Some(r) = rec.radius_km {
+                radii.radius_km.insert(pop, r);
+            }
+            radii
+                .hit_distances_km
+                .insert(pop, rec.hit_distances_km.clone());
+        }
+    }
+    sim.absorb_session(&session);
     radii
 }
 

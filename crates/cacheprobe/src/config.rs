@@ -72,6 +72,17 @@ pub struct ProbeConfig {
     /// re-sweeping the same world under a different freshness budget is
     /// the point of warm starts.
     pub expiry_budget: f64,
+    /// Probe fault-free streams on the batched serve lane (scope lanes
+    /// precomputed per unit, probes resolved batch-wise, telemetry
+    /// flushed in bulk). Proven byte-identical to the scalar lane by
+    /// the differential test suite, so it is **excluded** from the
+    /// sweep config digest — flipping it never invalidates a snapshot.
+    /// Faulted streams always take the scalar resilient lane.
+    pub batched_probing: bool,
+    /// Probes per [`clientmap_dns::wire::ProbeBatch`] on the batched
+    /// lane; `0` batches a whole unit pass at once. Also
+    /// digest-excluded: chunking changes execution, never results.
+    pub batch_size: usize,
 }
 
 impl Default for ProbeConfig {
@@ -90,6 +101,8 @@ impl Default for ProbeConfig {
             max_pops: None,
             retry: RetryPolicy::default(),
             expiry_budget: 0.0,
+            batched_probing: true,
+            batch_size: 0,
         }
     }
 }
@@ -122,5 +135,7 @@ mod tests {
         assert_eq!(c.calibration_sample, 78_637);
         assert_eq!(c.calibration_max_error_km, 200.0);
         assert_eq!(c.radius_percentile, 0.90);
+        assert!(c.batched_probing);
+        assert_eq!(c.batch_size, 0);
     }
 }

@@ -22,13 +22,16 @@ use std::time::Instant;
 use clientmap_dns::{wire, DomainName, Message, Question};
 use clientmap_net::Prefix;
 use clientmap_par::par_map;
-use clientmap_sim::{GpdnsSession, PopId, ProbeOutcome, Sim, SimTime, SimView};
+use clientmap_sim::{
+    BatchConn, BatchDomain, GpdnsSession, PopId, ProbeOutcome, ScopeLane, Sim, SimTime, SimView,
+};
 use clientmap_store::{
-    classify, HitEvent, PlannerStats, PriorScope, RecordKey, ScopeRecord, SweepSnapshot,
+    classify, CalibrationRecord, HitEvent, PlannerStats, PriorScope, RecordKey, ScopeRecord,
+    SweepSnapshot,
 };
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
-use crate::calibrate::{calibrate, sample_prefixes};
+use crate::calibrate::{calibrate, calibrate_batched, replay_calibration, sample_prefixes};
 use crate::resilience::{
     attempt_id, observe_response, resilient_attempt, FaultCounters, WireObservation,
 };
@@ -508,6 +511,186 @@ fn probe_unit(
     tally
 }
 
+/// Serves one accumulated batch and folds its outcomes into the tally —
+/// the bulk classifier of the batched lane. Counts follow the scalar
+/// loop exactly (per-slot attempts, per-scope tuple bumps, hits in slot
+/// order); the shared metric counters are left to the caller's
+/// end-of-unit flush. `false` means the batch failed the kernel's
+/// validation pass, which leaves the connection untouched so the caller
+/// can abandon the lane without any global side effects.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    view: &SimView<'_>,
+    conn: &mut BatchConn,
+    dom: &BatchDomain<'_>,
+    lanes: &[ScopeLane],
+    batch: &wire::ProbeBatch,
+    events: &[(u32, SimTime)],
+    scopes: &[Prefix],
+    redundancy: u32,
+    outcomes: &mut Vec<ProbeOutcome>,
+    tally: &mut UnitTally,
+) -> bool {
+    outcomes.clear();
+    if !view.gpdns.serve_batch(
+        conn, dom, view.auth, lanes, batch, events, redundancy, outcomes,
+    ) {
+        return false;
+    }
+    for (&(lane, _), outcome) in events.iter().zip(outcomes.iter()) {
+        let scope = scopes[lane as usize];
+        tally.attempts += 1;
+        tally.probes_sent += u64::from(redundancy);
+        let count = tally.counts.entry(scope).or_insert((0, 0, 0, 0));
+        count.0 += 1;
+        match *outcome {
+            ProbeOutcome::Hit {
+                scope: resp_scope,
+                remaining_ttl,
+            } => {
+                count.1 += 1;
+                tally.hits.push((scope, resp_scope, remaining_ttl));
+            }
+            ProbeOutcome::HitScopeZero => {
+                tally.scope0_hits += 1;
+                count.2 += 1;
+            }
+            ProbeOutcome::Miss => {}
+            ProbeOutcome::Dropped => {
+                tally.drops += 1;
+                count.3 += 1;
+            }
+        }
+    }
+    true
+}
+
+/// Batched sibling of [`probe_unit`]: the same ⟨PoP, domain⟩ stream,
+/// served through the simulator's batch kernel. Routing, admission
+/// state, and the per-scope cache lanes hoist out of the per-probe
+/// loop; queries render into one reused [`wire::ProbeBatch`] arena
+/// (`cfg.batch_size` events per serve, `0` = the whole stream at once);
+/// outcomes fold in bulk; and the shared probe counters flush once per
+/// unit — an `add(n)` for every `inc()` the scalar lane performs, so
+/// the registry lands byte-identical.
+///
+/// Returns `None` — before any session or registry effect — when the
+/// core refuses a batch connection (fault injection enabled) or a batch
+/// fails validation; the caller falls back to the scalar lane.
+fn probe_unit_batched(
+    view: &SimView<'_>,
+    bound: &BoundVantage,
+    template: &wire::ProbeQueryTemplate,
+    scopes: &[Prefix],
+    cfg: &ProbeConfig,
+    t0: SimTime,
+    metrics: &ProbeMetrics,
+) -> Option<UnitTally> {
+    let mut tally = UnitTally {
+        hits: Vec::new(),
+        counts: HashMap::new(),
+        attempts: 0,
+        probes_sent: 0,
+        scope0_hits: 0,
+        drops: 0,
+        tripped: false,
+        session: GpdnsSession::new(),
+    };
+    let mut conn = view.gpdns.open_batch(
+        view.catchments,
+        &tally.session,
+        bound.prober_key(),
+        bound.coord(),
+        cfg.transport,
+    )?;
+    let dom = view.gpdns.batch_domain(&conn, template.qname_wire())?;
+    let lanes: Vec<ScopeLane> = scopes
+        .iter()
+        .map(|&s| view.gpdns.scope_lane(view.auth, &dom, s))
+        .collect();
+
+    let window_secs = cfg.duration_hours * 3600.0;
+    let slot_secs = 1.0 / cfg.rate_per_domain;
+    let total_slots = (window_secs * cfg.rate_per_domain) as u64;
+    let loops = (total_slots / scopes.len() as u64).clamp(1, 9);
+    let chunk = if cfg.batch_size == 0 {
+        usize::MAX
+    } else {
+        cfg.batch_size
+    };
+    let mut batch = wire::ProbeBatch::new();
+    let mut events: Vec<(u32, SimTime)> = Vec::new();
+    let mut outcomes: Vec<ProbeOutcome> = Vec::new();
+    let mut slot = 0u64;
+    'window: for _pass in 0..loops {
+        for (li, &scope) in scopes.iter().enumerate() {
+            // The first slot always fires; later ones only inside the
+            // probing window.
+            let offset_secs = slot as f64 * slot_secs;
+            if slot > 0 && offset_secs >= window_secs {
+                break 'window;
+            }
+            slot += 1;
+            let t = t0 + SimTime::from_secs_f64(offset_secs);
+            batch.push(template, attempt_id(t, scope, 0, 0), scope);
+            events.push((li as u32, t));
+            if events.len() >= chunk {
+                if !flush_batch(
+                    view,
+                    &mut conn,
+                    &dom,
+                    &lanes,
+                    &batch,
+                    &events,
+                    scopes,
+                    cfg.redundancy,
+                    &mut outcomes,
+                    &mut tally,
+                ) {
+                    return None;
+                }
+                batch.clear();
+                events.clear();
+            }
+        }
+    }
+    if !events.is_empty()
+        && !flush_batch(
+            view,
+            &mut conn,
+            &dom,
+            &lanes,
+            &batch,
+            &events,
+            scopes,
+            cfg.redundancy,
+            &mut outcomes,
+            &mut tally,
+        )
+    {
+        return None;
+    }
+    view.gpdns.close_batch(conn, &mut tally.session);
+
+    // Bulk telemetry flush: the counters are shared atomics, so one
+    // `add(n)` per unit is indistinguishable from the scalar lane's n
+    // `inc()`s once every unit lands.
+    let hits = tally.hits.len() as u64;
+    let misses = tally.attempts - hits - tally.scope0_hits - tally.drops;
+    metrics.attempts.add(tally.attempts);
+    metrics.pop_attempts.add(tally.attempts);
+    metrics.probes_sent.add(tally.probes_sent);
+    metrics.hit.add(hits);
+    metrics.pop_hits.add(hits);
+    for &(_, _, remaining) in &tally.hits {
+        metrics.hit_ttl_secs.record(u64::from(remaining));
+    }
+    metrics.scope0.add(tally.scope0_hits);
+    metrics.miss.add(misses);
+    metrics.dropped.add(tally.drops);
+    Some(tally)
+}
+
 /// The snapshot key of one ⟨vantage, domain, scope⟩ stream slot.
 fn record_key(bound_idx: usize, domain: usize, scope: Prefix) -> RecordKey {
     (bound_idx as u16, domain as u16, scope.addr(), scope.len())
@@ -626,17 +809,87 @@ pub fn run_technique_full(
     timings.push(("scope_scan".into(), stage.elapsed().as_secs_f64()));
 
     // 3. Service-radius calibration (start a few hours in, so caches
-    //    reflect steady-state client activity).
+    //    reflect steady-state client activity). Fault-free batched runs
+    //    capture per-PoP calibration records for the snapshot, and a
+    //    warm re-sweep replays the prior run's records for every clean
+    //    PoP — re-sampling and re-probing only PoPs the prior sweep
+    //    quarantined (or never calibrated).
     let stage = Instant::now();
-    let sample = sample_prefixes(
-        sim,
-        universe,
-        cfg.calibration_sample,
-        cfg.calibration_max_error_km,
-        seed ^ 0xCA11,
-    );
     let t_cal = SimTime::from_hours(6);
-    let radii = calibrate(sim, &bound, &domains, &sample, cfg, t_cal);
+    let use_batched_cal = cfg.batched_probing && !sim.fault_plan().enabled();
+    let mut calibration_records: Vec<CalibrationRecord> = Vec::new();
+    let mut calibration_sample: u64 = 0;
+    let draw_sample = |sim: &Sim| {
+        sample_prefixes(
+            sim,
+            universe,
+            cfg.calibration_sample,
+            cfg.calibration_max_error_km,
+            seed ^ 0xCA11,
+        )
+    };
+    let radii = 'cal: {
+        if use_batched_cal {
+            if let Some(prior) = prior.filter(|p| !p.calibration.is_empty()) {
+                // A prior record covers its PoP unless that PoP was
+                // quarantined last sweep (its radius is then suspect).
+                let covered: std::collections::HashSet<u64> = prior
+                    .calibration
+                    .iter()
+                    .map(|r| r.pop)
+                    .filter(|p| !prior.quarantined_pops().contains(p))
+                    .collect();
+                let dirty: Vec<BoundVantage> = bound
+                    .iter()
+                    .filter(|b| !covered.contains(&(b.pop as u64)))
+                    .cloned()
+                    .collect();
+                let replayed: Vec<CalibrationRecord> = prior
+                    .calibration
+                    .iter()
+                    .filter(|r| {
+                        covered.contains(&r.pop) && bound.iter().any(|b| b.pop as u64 == r.pop)
+                    })
+                    .cloned()
+                    .collect();
+                if dirty.is_empty() {
+                    // Every bound PoP replays: skip the sample draw
+                    // entirely — its size rides along in the snapshot.
+                    calibration_sample = prior.calibration_sample;
+                    calibration_records = replayed;
+                    break 'cal replay_calibration(
+                        sim,
+                        &calibration_records,
+                        calibration_sample,
+                        cfg.transport,
+                    );
+                }
+                let sample = draw_sample(sim);
+                if let Some(live) = calibrate_batched(sim, &dirty, &domains, &sample, cfg, t_cal) {
+                    let mut radii =
+                        replay_calibration(sim, &replayed, sample.len() as u64, cfg.transport);
+                    radii.radius_km.extend(live.radii.radius_km);
+                    radii.hit_distances_km.extend(live.radii.hit_distances_km);
+                    calibration_records = replayed;
+                    calibration_records.extend(live.records);
+                    calibration_records.sort_by_key(|r| r.pop);
+                    calibration_sample = sample.len() as u64;
+                    break 'cal radii;
+                }
+            }
+            let sample = draw_sample(sim);
+            if let Some(out) = calibrate_batched(sim, &bound, &domains, &sample, cfg, t_cal) {
+                calibration_records = out.records;
+                calibration_sample = sample.len() as u64;
+                break 'cal out.radii;
+            }
+        }
+        // Scalar lane: faulted runs (which must ride the resilient
+        // path) and `batched_probing = false`. No records are captured,
+        // so the next warm sweep calibrates live again.
+        let sample = draw_sample(sim);
+        calibrate(sim, &bound, &domains, &sample, cfg, t_cal)
+    };
     timings.push(("calibration".into(), stage.elapsed().as_secs_f64()));
 
     // 4. Scope → PoP assignment by service radius (MaxMind location +
@@ -717,6 +970,11 @@ pub fn run_technique_full(
     let epoch = prior.map_or(1, |p| p.epoch + 1);
     let mut snapshot = SweepSnapshot::new(seed, digest);
     snapshot.epoch = epoch;
+    // This sweep's calibration (captured live or replayed forward)
+    // persists with the snapshot, so the next warm run can skip the
+    // sample draw and the probing behind it.
+    snapshot.calibration = calibration_records;
+    snapshot.calibration_sample = calibration_sample;
     let mut skipped: Vec<(usize, usize, Prefix, ScopeRecord)> = Vec::new();
     let mut warm_full_skip = false;
     let units: Vec<ProbeUnit> = if let Some(prior) = prior {
@@ -852,6 +1110,22 @@ pub fn run_technique_full(
 
     let view = sim.view();
     let tallies: Vec<UnitTally> = par_map(&units, |_, u| {
+        // Fault-free streams ride the batch kernel when enabled; the
+        // kernel refuses faulted cores, so the resilient scalar lane
+        // keeps fault accounting untouched by construction.
+        if cfg.batched_probing && fc.is_none() {
+            if let Some(tally) = probe_unit_batched(
+                &view,
+                &bound[u.bound_idx],
+                &templates[u.domain],
+                &u.scopes,
+                cfg,
+                t0,
+                &pop_metrics[u.bound_idx],
+            ) {
+                return tally;
+            }
+        }
         probe_unit(
             &view,
             &bound[u.bound_idx],

@@ -8,9 +8,11 @@
 //! digest both match — any probing-relevant dial (rate, window,
 //! redundancy, transport, domain selection, calibration, retry policy,
 //! PoP cap, fault plan) or a different probe universe invalidates it.
-//! The one deliberate exception is [`ProbeConfig::expiry_budget`]:
+//! The deliberate exceptions are [`ProbeConfig::expiry_budget`] —
 //! re-sweeping the same world under a different freshness budget is the
-//! point of warm starts, so the budget stays out of the digest.
+//! point of warm starts — and the batched-lane knobs
+//! ([`ProbeConfig::batched_probing`], [`ProbeConfig::batch_size`]),
+//! whose scalar/batched equivalence the differential suite proves.
 
 use clientmap_net::{Prefix, SeedMixer};
 use clientmap_sim::{GpdnsStats, PopId, Sim, Transport};
@@ -177,6 +179,16 @@ mod tests {
         let mut budgeted = cfg.clone();
         budgeted.expiry_budget = 0.1;
         assert_eq!(base, config_digest(&sim, &budgeted, &universe));
+
+        // Neither are the batched-lane knobs: the differential suite
+        // proves scalar and batched sweeps byte-identical, so flipping
+        // them must not invalidate a snapshot.
+        let mut scalar = cfg.clone();
+        scalar.batched_probing = !scalar.batched_probing;
+        assert_eq!(base, config_digest(&sim, &scalar, &universe));
+        let mut chunked = cfg.clone();
+        chunked.batch_size = 7;
+        assert_eq!(base, config_digest(&sim, &chunked, &universe));
     }
 
     #[test]

@@ -882,6 +882,77 @@ impl ProbeQueryTemplate {
         put_u16(out, 4 + (4 + addr_bytes)); // OPT RDLEN: option code+len+body
         write_ecs_option(out, ecs_source, 0);
     }
+
+    /// Appends the rendered query to `out` without clearing it; returns
+    /// the byte offset the packet starts at. Bytes written are identical
+    /// to [`ProbeQueryTemplate::render`] for the same `(id, ecs_source)`.
+    pub fn render_append(&self, id: u16, ecs_source: Prefix, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.extend_from_slice(&self.prefix);
+        out[start..start + 2].copy_from_slice(&id.to_be_bytes());
+        let addr_bytes = ecs_source.len().div_ceil(8) as u16;
+        put_u16(out, 4 + (4 + addr_bytes));
+        write_ecs_option(out, ecs_source, 0);
+        start
+    }
+}
+
+/// An arena of rendered probe queries: many [`ProbeQueryTemplate`]
+/// renders packed back-to-back in one reused buffer.
+///
+/// The batched probing lane renders a whole unit's worth of queries up
+/// front and hands the arena to the resolver in one call, so per-probe
+/// costs (buffer clears, bounds setup, dispatch) are paid once per
+/// batch. After the first few batches the arena reaches steady state
+/// and `clear` + `push` cycles allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeBatch {
+    /// All rendered packets, concatenated.
+    buf: Vec<u8>,
+    /// `(start, len)` of each packet within `buf`.
+    spans: Vec<(u32, u32)>,
+}
+
+impl ProbeBatch {
+    /// An empty arena.
+    pub fn new() -> ProbeBatch {
+        ProbeBatch::default()
+    }
+
+    /// Forgets every rendered query but keeps the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.spans.clear();
+    }
+
+    /// Renders one query into the arena; returns its index.
+    pub fn push(&mut self, template: &ProbeQueryTemplate, id: u16, ecs_source: Prefix) -> usize {
+        let start = template.render_append(id, ecs_source, &mut self.buf);
+        self.spans
+            .push((start as u32, (self.buf.len() - start) as u32));
+        self.spans.len() - 1
+    }
+
+    /// The rendered packet at `index`.
+    pub fn query(&self, index: usize) -> &[u8] {
+        let (start, len) = self.spans[index];
+        &self.buf[start as usize..(start + len) as usize]
+    }
+
+    /// Number of rendered queries.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The rendered packets, in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(move |i| self.query(i))
+    }
 }
 
 /// A borrowed view of a simple probe-shaped query packet.
@@ -1239,6 +1310,65 @@ mod fast_lane_tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_entries_match_scalar_renders() {
+        let domains = ["www.google.com", "facebook.com", "a.b.c.d.example"];
+        let templates: Vec<ProbeQueryTemplate> = domains
+            .iter()
+            .map(|d| ProbeQueryTemplate::new(&d.parse().unwrap()))
+            .collect();
+        let mut batch = ProbeBatch::new();
+        let mut scalar = Vec::new();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for (i, scope) in ["203.0.113.0/24", "10.32.16.0/20", "0.0.0.0/0", "1.2.3.4/32"]
+            .iter()
+            .enumerate()
+        {
+            let scope = p(scope);
+            for (j, tmpl) in templates.iter().enumerate() {
+                let id = (i * 7 + j) as u16 ^ 0x5AA5;
+                let idx = batch.push(tmpl, id, scope);
+                assert_eq!(idx, expected.len());
+                tmpl.render(id, scope, &mut scalar);
+                expected.push(scalar.clone());
+            }
+        }
+        assert_eq!(batch.len(), expected.len());
+        assert!(!batch.is_empty());
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(batch.query(i), &want[..], "entry {i}");
+        }
+        assert_eq!(
+            batch.iter().map(<[u8]>::len).sum::<usize>(),
+            expected.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn batch_clear_reuses_capacity() {
+        let tmpl = ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let mut batch = ProbeBatch::new();
+        for i in 0..32u16 {
+            batch.push(&tmpl, i, p("203.0.113.0/24"));
+        }
+        let cap = batch.buf.capacity();
+        let spans_cap = batch.spans.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        for i in 0..32u16 {
+            batch.push(&tmpl, i, p("203.0.113.0/24"));
+        }
+        assert_eq!(batch.buf.capacity(), cap, "buffer capacity not reused");
+        assert_eq!(
+            batch.spans.capacity(),
+            spans_cap,
+            "span capacity not reused"
+        );
+        let mut scalar = Vec::new();
+        tmpl.render(31, p("203.0.113.0/24"), &mut scalar);
+        assert_eq!(batch.query(31), &scalar[..]);
     }
 
     #[test]

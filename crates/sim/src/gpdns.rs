@@ -31,6 +31,7 @@ use std::sync::Arc;
 use clientmap_dns::{wire, DomainName, Message, Rcode, Record, RrType};
 use clientmap_faults::{FaultMetrics, FaultPlan, QueryFault};
 use clientmap_net::{Prefix, SeedMixer};
+use clientmap_store::Slash24Bitset;
 use clientmap_telemetry::{Counter, MetricsRegistry};
 use clientmap_world::World;
 
@@ -996,6 +997,413 @@ impl GooglePublicDns {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batched serve lane
+// ---------------------------------------------------------------------------
+
+/// Counter deltas accumulated by one [`BatchConn`], flushed wholesale
+/// at [`GooglePublicDns::close_batch`]. Returned to the caller so warm
+/// starts can replay a batch's exact telemetry without re-serving it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Queries that reached the PoP (one per redundant attempt).
+    pub queries: u64,
+    /// Queries dropped by the rate limiter.
+    pub rate_limited: u64,
+    /// Scoped cache hits, per pool.
+    pub pool_hits: [u64; POOLS_PER_POP],
+    /// Scope-0 cache hits, per pool.
+    pub pool_scope0: [u64; POOLS_PER_POP],
+    /// Cache misses, per pool.
+    pub pool_misses: [u64; POOLS_PER_POP],
+}
+
+impl BatchStats {
+    /// Folds another batch's counters into this one.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.queries += other.queries;
+        self.rate_limited += other.rate_limited;
+        for p in 0..POOLS_PER_POP {
+            self.pool_hits[p] += other.pool_hits[p];
+            self.pool_scope0[p] += other.pool_scope0[p];
+            self.pool_misses[p] += other.pool_misses[p];
+        }
+    }
+
+    /// Scoped hits across pools.
+    pub fn scoped_hits(&self) -> u64 {
+        self.pool_hits.iter().sum()
+    }
+
+    /// Scope-0 hits across pools.
+    pub fn scope0_hits(&self) -> u64 {
+        self.pool_scope0.iter().sum()
+    }
+
+    /// Misses across pools.
+    pub fn misses(&self) -> u64 {
+        self.pool_misses.iter().sum()
+    }
+}
+
+/// One batched probing connection: the per-(prober, PoP, transport)
+/// state a whole batch of probes shares.
+///
+/// Opened from a [`GpdnsSession`] (anycast route, token bucket, and
+/// pool sequence are read once), driven through
+/// [`GooglePublicDns::serve_batch`], and closed back into the session —
+/// at which point the session state and the shared telemetry are
+/// exactly what the scalar lane would have produced for the same probe
+/// stream. Between open and close, nothing touches the session's hash
+/// map, the registry atomics, or the allocator.
+#[derive(Debug)]
+pub struct BatchConn {
+    prober: u64,
+    pop: PopId,
+    transport: Transport,
+    /// Local copy of the session's token bucket (created lazily at the
+    /// first admission, exactly like the scalar `admit`).
+    bucket: Option<Bucket>,
+    /// Local copy of the session's pool-draw sequence.
+    seq: u64,
+    stats: BatchStats,
+}
+
+impl BatchConn {
+    /// The PoP this connection's probes land at.
+    pub fn pop(&self) -> PopId {
+        self.pop
+    }
+
+    /// Token-bucket admission on the local bucket copy — the same
+    /// arithmetic as the scalar `admit`, without the hash-map probe.
+    fn admit(&mut self, t: SimTime) -> bool {
+        let (rate, burst) = match self.transport {
+            Transport::Udp => (UDP_RATE, UDP_BURST),
+            Transport::Tcp => (TCP_RATE, TCP_BURST),
+        };
+        let b = self.bucket.get_or_insert(Bucket {
+            tokens: burst,
+            last: t,
+        });
+        let dt = (t - b.last).as_secs_f64();
+        b.tokens = (b.tokens + dt * rate).min(burst);
+        b.last = t;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One probed domain's slice of the service, resolved once per batch:
+/// domain slot, pre-mixed scope-policy keys, cache-load tables, and a
+/// [`Slash24Bitset`] prefilter over the /24s that hold scoped entries
+/// at this PoP — so per-scope lane setup rejects cold scopes with a
+/// word-indexed bit probe instead of a hash-map lookup.
+#[derive(Debug)]
+pub struct BatchDomain<'a> {
+    slot: usize,
+    key: DomainScopeKey,
+    scoped: &'a HashMap<Prefix, ScopeLoad>,
+    global: ScopeLoad,
+    prefilter: Slash24Bitset,
+}
+
+/// The time-independent part of serving one query scope, hoisted out
+/// of the per-attempt loop: the scope-policy candidate entry and its
+/// cached load. Scalar serving recomputes this (a RIB walk plus a
+/// hash-map probe) for every redundant attempt; the batched lane pays
+/// it once per scope per batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeLane {
+    /// The probed (ECS source) scope.
+    scope: Prefix,
+    /// `(candidate entry scope, its load)` when this PoP holds a scoped
+    /// entry that could answer; `None` means only scope-0/miss paths
+    /// remain possible.
+    hit_path: Option<(Prefix, ScopeLoad)>,
+}
+
+impl ScopeLane {
+    /// The probed scope this lane serves.
+    pub fn scope(&self) -> Prefix {
+        self.scope
+    }
+}
+
+impl GooglePublicDns {
+    /// Opens a batched probing connection for `prober` over `transport`.
+    ///
+    /// Returns `None` when fault injection is active: faulted exchanges
+    /// need per-query injection decisions, retries, and fault
+    /// accounting, so probers must stay on the scalar resilient lane —
+    /// falling back here keeps fault behaviour identical by
+    /// construction.
+    pub fn open_batch(
+        &self,
+        catchments: &Catchments,
+        session: &GpdnsSession,
+        prober: u64,
+        coord: clientmap_net::GeoCoord,
+        transport: Transport,
+    ) -> Option<BatchConn> {
+        if self.faults.enabled() {
+            return None;
+        }
+        // No flap faults possible: the home catchment is the route.
+        let pop = catchments.of_vantage(prober, coord);
+        Some(BatchConn {
+            prober,
+            pop,
+            transport,
+            bucket: session.buckets.get(&(prober, pop, transport)).copied(),
+            seq: session.seq,
+            stats: BatchStats::default(),
+        })
+    }
+
+    /// Resolves one probed domain (by uncompressed QNAME wire bytes)
+    /// against the connection's PoP. `None` means Google keeps no
+    /// ECS-scoped entries for the name — the caller falls back to the
+    /// scalar lane, which models that case.
+    pub fn batch_domain(&self, conn: &BatchConn, qname_wire: &[u8]) -> Option<BatchDomain<'_>> {
+        let slot = self
+            .domain_wires
+            .iter()
+            .position(|w| w[..] == *qname_wire)?;
+        let scoped = &self.scoped[conn.pop][slot];
+        let mut prefilter = Slash24Bitset::new();
+        for scope in scoped.keys() {
+            prefilter.insert(scope.addr() >> 8);
+        }
+        Some(BatchDomain {
+            slot,
+            key: self.scope_keys[slot],
+            scoped,
+            global: self.global[conn.pop][slot],
+            prefilter,
+        })
+    }
+
+    /// Precomputes the serve lane for one query scope: the scope-policy
+    /// candidate (a RIB-backed computation) and, when the prefilter
+    /// shows its /24 can hold an entry at this PoP, the entry's load.
+    pub fn scope_lane(
+        &self,
+        auth: &Authoritatives,
+        dom: &BatchDomain<'_>,
+        scope: Prefix,
+    ) -> ScopeLane {
+        let hit_path = auth
+            .base_scope_keyed(&dom.key, scope.addr())
+            .filter(|s| !s.is_default())
+            .and_then(|cand| {
+                if !dom.prefilter.contains_addr(cand.addr()) {
+                    return None;
+                }
+                dom.scoped.get(&cand).map(|load| (cand, *load))
+            });
+        ScopeLane { scope, hit_path }
+    }
+
+    /// Serves a rendered probe batch in one pass: `redundancy` pool
+    /// draws per event with Hit-early-exit, folding each event to its
+    /// best outcome (`Hit > HitScopeZero > Miss > Dropped` — the
+    /// prober's merge order). Appends one outcome per event to `out`.
+    ///
+    /// `batch` holds one rendered query per event; `events` pairs each
+    /// with `(lane index, event time)`. Every packet is validated
+    /// (pure, before any state moves) to be a probe-shaped query for
+    /// `dom`'s name carrying its lane's scope; any mismatch returns
+    /// `false` with the connection untouched, so the caller can replay
+    /// the same packets through the scalar lane without double
+    /// counting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_batch(
+        &self,
+        conn: &mut BatchConn,
+        dom: &BatchDomain<'_>,
+        auth: &Authoritatives,
+        lanes: &[ScopeLane],
+        batch: &wire::ProbeBatch,
+        events: &[(u32, SimTime)],
+        redundancy: u32,
+        out: &mut Vec<ProbeOutcome>,
+    ) -> bool {
+        if batch.len() != events.len() {
+            return false;
+        }
+        for (i, &(lane, _)) in events.iter().enumerate() {
+            let Some(lane) = lanes.get(lane as usize) else {
+                return false;
+            };
+            let Some(view) = wire::query_view(batch.query(i)) else {
+                return false;
+            };
+            if view.is_response()
+                || view.opcode() != 0
+                || view.recursion_desired()
+                || view.rtype != RrType::A.to_u16()
+                || view.qclass != clientmap_dns::RrClass::In.to_u16()
+                || view.qname_wire != &self.domain_wires[dom.slot][..]
+                || view.ecs.map_or(Prefix::DEFAULT, |e| e.source) != lane.scope
+            {
+                return false;
+            }
+        }
+        for &(lane_idx, t) in events {
+            let outcome =
+                self.serve_batch_event(conn, dom, auth, &lanes[lane_idx as usize], t, redundancy);
+            out.push(outcome);
+        }
+        true
+    }
+
+    /// One probe event on the batched lane: the exact scalar attempt
+    /// sequence (admission → pool draw → scoped entry → scope-0 → miss)
+    /// minus everything attempt-invariant, classified in place instead
+    /// of through response bytes. Fault-free only — `open_batch`
+    /// guarantees the plan is off, which is also why transaction IDs
+    /// play no part here (they only ever feed fault decisions and the
+    /// response echo).
+    fn serve_batch_event(
+        &self,
+        conn: &mut BatchConn,
+        dom: &BatchDomain<'_>,
+        auth: &Authoritatives,
+        lane: &ScopeLane,
+        t: SimTime,
+        redundancy: u32,
+    ) -> ProbeOutcome {
+        // Outcome rank mirrors the prober's merge order; `Hit` is an
+        // early exit, so the fold needs only the other three.
+        const RANK_DROPPED: u8 = 0;
+        const RANK_MISS: u8 = 1;
+        const RANK_SCOPE0: u8 = 2;
+        let mut best = RANK_DROPPED;
+        for r in 0..redundancy {
+            let rt = t + SimTime::from_millis(u64::from(r));
+            conn.stats.queries += 1;
+            if !conn.admit(rt) {
+                conn.stats.rate_limited += 1;
+                continue; // Dropped: never upgrades `best`.
+            }
+            conn.seq += 1;
+            let pool_h = SeedMixer::new(self.seed)
+                .mix_str("pool")
+                .mix(conn.prober)
+                .mix(rt.as_millis())
+                .mix(u64::from(lane.scope.addr()))
+                .mix(conn.seq)
+                .finish();
+            let pool = (pool_h % POOLS_PER_POP as u64) as usize;
+
+            // 1. Scoped entry.
+            if let Some((cand, load)) = &lane.hit_path {
+                if self.entry_live(conn.pop, pool, dom.slot, *cand, load, rt) {
+                    conn.stats.pool_hits[pool] += 1;
+                    let h = SeedMixer::new(self.seed)
+                        .mix_str("ttl")
+                        .mix(conn.pop as u64)
+                        .mix(pool as u64)
+                        .mix(u64::from(cand.addr()))
+                        .mix(rt.as_millis() / (u64::from(self.ttls[dom.slot]) * 1000))
+                        .finish();
+                    let remaining = self.remaining_ttl(dom.slot, h, rt);
+                    let resp_scope = auth
+                        .response_scope_keyed(&dom.key, lane.scope.addr(), rt)
+                        .unwrap_or(*cand);
+                    if resp_scope.len() > 0 {
+                        return ProbeOutcome::Hit {
+                            // The classifier reads the scope off the
+                            // response ECS: source address masked to the
+                            // response scope length.
+                            scope: Prefix::new(lane.scope.addr(), resp_scope.len())
+                                .expect("scope length validated <= 32"),
+                            remaining_ttl: remaining,
+                        };
+                    }
+                    best = best.max(RANK_SCOPE0);
+                    continue;
+                }
+            }
+
+            // 2. Scope-0 entry.
+            if dom.global.rate > 0.0
+                && self.entry_live(conn.pop, pool, dom.slot, Prefix::DEFAULT, &dom.global, rt)
+            {
+                conn.stats.pool_scope0[pool] += 1;
+                best = best.max(RANK_SCOPE0);
+                continue;
+            }
+
+            // 3. Miss.
+            conn.stats.pool_misses[pool] += 1;
+            best = best.max(RANK_MISS);
+        }
+        match best {
+            RANK_SCOPE0 => ProbeOutcome::HitScopeZero,
+            RANK_MISS => ProbeOutcome::Miss,
+            _ => ProbeOutcome::Dropped,
+        }
+    }
+
+    /// Closes a batched connection: writes the bucket and sequence back
+    /// into the session, folds the batch tallies into the session stats,
+    /// and flushes the shared telemetry in one atomic add per counter.
+    /// Returns the batch's counter deltas.
+    pub fn close_batch(&self, conn: BatchConn, session: &mut GpdnsSession) -> BatchStats {
+        let s = conn.stats;
+        if let Some(b) = conn.bucket {
+            session
+                .buckets
+                .insert((conn.prober, conn.pop, conn.transport), b);
+        }
+        session.seq = conn.seq;
+        session.stats.queries += s.queries;
+        session.stats.rate_limited += s.rate_limited;
+        session.stats.scoped_hits += s.scoped_hits();
+        session.stats.scope0_hits += s.scope0_hits();
+        session.stats.misses += s.misses();
+        self.metrics.queries(conn.transport).add(s.queries);
+        self.metrics
+            .rate_limited(conn.transport)
+            .add(s.rate_limited);
+        for p in 0..POOLS_PER_POP {
+            self.metrics.pool_hits[p].add(s.pool_hits[p]);
+            self.metrics.pool_scope0[p].add(s.pool_scope0[p]);
+            self.metrics.pool_misses[p].add(s.pool_misses[p]);
+        }
+        s
+    }
+
+    /// Re-applies a previously captured batch's telemetry (session
+    /// stats and shared counters) without serving anything — the warm
+    /// path's calibration replay.
+    pub fn replay_batch_stats(
+        &self,
+        session: &mut GpdnsSession,
+        s: &BatchStats,
+        transport: Transport,
+    ) {
+        session.stats.queries += s.queries;
+        session.stats.rate_limited += s.rate_limited;
+        session.stats.scoped_hits += s.scoped_hits();
+        session.stats.scope0_hits += s.scope0_hits();
+        session.stats.misses += s.misses();
+        self.metrics.queries(transport).add(s.queries);
+        self.metrics.rate_limited(transport).add(s.rate_limited);
+        for p in 0..POOLS_PER_POP {
+            self.metrics.pool_hits[p].add(s.pool_hits[p]);
+            self.metrics.pool_scope0[p].add(s.pool_scope0[p]);
+            self.metrics.pool_misses[p].add(s.pool_misses[p]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1372,6 +1780,265 @@ mod tests {
             slow_session.stats.scoped_hits > 0 && slow_session.stats.misses > 0,
             "test did not exercise both hit and miss paths: {:?}",
             slow_session.stats
+        );
+    }
+
+    /// Replays one probe event (redundant attempts, Hit-early-exit,
+    /// merge by rank) through the scalar lane — the oracle the batched
+    /// lane must reproduce exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_probe_event(
+        gpdns: &GooglePublicDns,
+        session: &mut GpdnsSession,
+        world: &World,
+        catchments: &Catchments,
+        auth: &Authoritatives,
+        template: &wire::ProbeQueryTemplate,
+        prober: u64,
+        coord: clientmap_net::GeoCoord,
+        scope: Prefix,
+        transport: Transport,
+        t: SimTime,
+        redundancy: u32,
+        query_buf: &mut Vec<u8>,
+        resp_buf: &mut Vec<u8>,
+    ) -> ProbeOutcome {
+        fn rank(o: &ProbeOutcome) -> u8 {
+            match o {
+                ProbeOutcome::Dropped => 0,
+                ProbeOutcome::Miss => 1,
+                ProbeOutcome::HitScopeZero => 2,
+                ProbeOutcome::Hit { .. } => 3,
+            }
+        }
+        let mut best = ProbeOutcome::Dropped;
+        for r in 0..redundancy {
+            let rt = t + SimTime::from_millis(u64::from(r));
+            template.render(0x5151, scope, query_buf);
+            let got = gpdns.handle_query_into(
+                session, world, catchments, auth, prober, coord, query_buf, transport, rt, resp_buf,
+            );
+            let outcome = GooglePublicDns::classify_response(got.then_some(resp_buf.as_slice()));
+            if rank(&outcome) > rank(&best) {
+                best = outcome;
+            }
+            if matches!(best, ProbeOutcome::Hit { .. }) {
+                break;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn batched_lane_matches_the_scalar_lane_exactly() {
+        let world = World::generate(WorldConfig::tiny(21));
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let reg_scalar = MetricsRegistry::new();
+        let gp_scalar = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&reg_scalar),
+        );
+        let reg_batch = MetricsRegistry::new();
+        let gp_batch = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&reg_batch),
+        );
+
+        let template = wire::ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let prober = 11u64;
+        let coord = pop_catalog()[3].coord;
+        let redundancy = 5u32;
+        // Busy prefixes homed at the prober's own PoP (hit candidates)
+        // plus a spread of others (scope-0/miss candidates).
+        let home = catchments.of_vantage(prober, coord);
+        let mut scopes: Vec<Prefix> = {
+            let mut busiest: Vec<(f64, Prefix)> = world
+                .slash24s
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| p.is_active() && catchments.of_slash24(*i) == home)
+                .map(|(_, p)| (p.users + p.machines, p.prefix))
+                .collect();
+            busiest.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            busiest.into_iter().take(16).map(|(_, p)| p).collect()
+        };
+        scopes.extend(world.slash24s.iter().step_by(11).take(8).map(|s| s.prefix));
+
+        // Three passes over the scopes; TCP paces events out and
+        // exercises the hit/scope-0/miss paths, UDP packs them tight so
+        // the token bucket runs dry and admission-drop parity is
+        // covered too.
+        let stream = |event_gap_ms: u64, pass_gap_ms: u64| -> Vec<(u32, SimTime)> {
+            let mut events = Vec::new();
+            for pass in 0..3u64 {
+                for i in 0..scopes.len() as u64 {
+                    let t = SimTime::from_secs(3600 * 9)
+                        + SimTime::from_millis(pass * pass_gap_ms + i * event_gap_ms);
+                    events.push((i as u32, t));
+                }
+            }
+            events
+        };
+
+        for transport in [Transport::Tcp, Transport::Udp] {
+            let events = match transport {
+                Transport::Tcp => stream(250, 40_000),
+                Transport::Udp => stream(5, 125),
+            };
+            let mut scalar_session = GpdnsSession::new();
+            let mut batch_session = GpdnsSession::new();
+            let (mut query_buf, mut resp_buf) = (Vec::new(), Vec::new());
+            let scalar_outcomes: Vec<ProbeOutcome> = events
+                .iter()
+                .map(|&(lane, t)| {
+                    scalar_probe_event(
+                        &gp_scalar,
+                        &mut scalar_session,
+                        &world,
+                        &catchments,
+                        &auth,
+                        &template,
+                        prober,
+                        coord,
+                        scopes[lane as usize],
+                        transport,
+                        t,
+                        redundancy,
+                        &mut query_buf,
+                        &mut resp_buf,
+                    )
+                })
+                .collect();
+
+            let mut conn = gp_batch
+                .open_batch(&catchments, &batch_session, prober, coord, transport)
+                .expect("fault-free core opens a batch");
+            let dom = gp_batch
+                .batch_domain(&conn, template.qname_wire())
+                .expect("probed domain is ECS-cached");
+            let lanes: Vec<ScopeLane> = scopes
+                .iter()
+                .map(|&s| gp_batch.scope_lane(&auth, &dom, s))
+                .collect();
+            let mut arena = wire::ProbeBatch::new();
+            for &(lane, _) in &events {
+                arena.push(&template, 0x5151, scopes[lane as usize]);
+            }
+            let mut batch_outcomes = Vec::new();
+            assert!(gp_batch.serve_batch(
+                &mut conn,
+                &dom,
+                &auth,
+                &lanes,
+                &arena,
+                &events,
+                redundancy,
+                &mut batch_outcomes,
+            ));
+            let stats = gp_batch.close_batch(conn, &mut batch_session);
+
+            assert_eq!(
+                batch_outcomes, scalar_outcomes,
+                "{transport:?} outcome drift"
+            );
+            assert_eq!(
+                batch_session.stats, scalar_session.stats,
+                "{transport:?} session stats drift"
+            );
+            // The returned capture mirrors the fresh session's stats.
+            assert_eq!(stats.queries, batch_session.stats.queries);
+            assert_eq!(stats.scoped_hits(), batch_session.stats.scoped_hits);
+            assert_eq!(stats.scope0_hits(), batch_session.stats.scope0_hits);
+            assert_eq!(stats.misses(), batch_session.stats.misses);
+            assert_eq!(stats.rate_limited, batch_session.stats.rate_limited);
+            if transport == Transport::Tcp {
+                assert!(
+                    batch_session.stats.scoped_hits > 0 && batch_session.stats.misses > 0,
+                    "test did not exercise both hit and miss paths: {:?}",
+                    batch_session.stats
+                );
+            } else {
+                assert!(
+                    batch_session.stats.rate_limited > 0,
+                    "UDP stream never hit the rate limit"
+                );
+            }
+        }
+        // Shared telemetry is identical counter for counter.
+        assert_eq!(
+            reg_batch.snapshot().to_json(),
+            reg_scalar.snapshot().to_json(),
+            "registry snapshot drift"
+        );
+    }
+
+    #[test]
+    fn batch_open_refuses_faulted_cores_and_rejects_mismatched_packets() {
+        use clientmap_faults::{FaultConfig, FaultProfile};
+
+        let world = World::generate(WorldConfig::tiny(21));
+        let catchments = Catchments::compute(&world);
+        let auth = Authoritatives::new(world.config.seed, world.rib.clone());
+        let m = MetricsRegistry::new();
+        let faulted = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&m),
+        )
+        .with_faults(
+            Arc::new(FaultPlan::new(
+                world.config.seed,
+                &FaultConfig::profile(FaultProfile::Lossy, 7),
+            )),
+            Some(FaultMetrics::register(&m)),
+        );
+        let session = GpdnsSession::new();
+        let coord = pop_catalog()[0].coord;
+        assert!(
+            faulted
+                .open_batch(&catchments, &session, 1, coord, Transport::Tcp)
+                .is_none(),
+            "faulted cores must force the scalar resilient lane"
+        );
+
+        // A clean core rejects a batch whose packets do not carry the
+        // lane's scope — with no state moved.
+        let reg = MetricsRegistry::new();
+        let gpdns = GooglePublicDns::build_with_metrics(
+            &world,
+            &catchments,
+            &auth,
+            GpdnsMetrics::register(&reg),
+        );
+        let before = reg.snapshot().to_json();
+        let mut batch_session = GpdnsSession::new();
+        let mut conn = gpdns
+            .open_batch(&catchments, &batch_session, 1, coord, Transport::Tcp)
+            .unwrap();
+        let template = wire::ProbeQueryTemplate::new(&"www.google.com".parse().unwrap());
+        let dom = gpdns.batch_domain(&conn, template.qname_wire()).unwrap();
+        let scope: Prefix = world.slash24s[0].prefix;
+        let other: Prefix = world.slash24s[1].prefix;
+        let lanes = [gpdns.scope_lane(&auth, &dom, scope)];
+        let mut arena = wire::ProbeBatch::new();
+        arena.push(&template, 1, other); // wrong scope for lane 0
+        let mut out = Vec::new();
+        let events = [(0u32, SimTime::from_secs(3600))];
+        assert!(!gpdns.serve_batch(&mut conn, &dom, &auth, &lanes, &arena, &events, 5, &mut out));
+        assert!(out.is_empty());
+        let stats = gpdns.close_batch(conn, &mut batch_session);
+        assert_eq!(stats, BatchStats::default());
+        assert_eq!(batch_session.stats, GpdnsStats::default());
+        assert_eq!(
+            reg.snapshot().to_json(),
+            before,
+            "rejected batch moved telemetry"
         );
     }
 

@@ -52,7 +52,8 @@ pub use anycast::Catchments;
 pub use authoritative::Authoritatives;
 pub use events::{EventQueue, Scheduled};
 pub use gpdns::{
-    GooglePublicDns, GpdnsMetrics, GpdnsSession, GpdnsStats, ProbeOutcome, Transport, POOLS_PER_POP,
+    BatchConn, BatchDomain, BatchStats, GooglePublicDns, GpdnsMetrics, GpdnsSession, GpdnsStats,
+    ProbeOutcome, ScopeLane, Transport, POOLS_PER_POP,
 };
 pub use pops::{pop_catalog, PopId, PopSite, PopStatus};
 pub use sim::{Sim, SimView};

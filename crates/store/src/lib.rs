@@ -61,7 +61,8 @@ pub use bitset::{AsBitsets, Slash24Bitset, SLASH24_SPACE};
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use planner::{classify, PlanReason, PlannerStats, PriorScope};
 pub use snapshot::{
-    FaultRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    CalibrationRecord, FaultRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use table::Slash24Table;
 pub use verdict::{Verdict, VerdictTable};

@@ -14,7 +14,16 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CMSS";
 /// change; decoders accept exactly the versions they were built for
 /// and reject everything else up front (a warm start from a stale
 /// snapshot must fail loudly, never half-load).
-pub const SNAPSHOT_VERSION: u16 = 1;
+///
+/// Version 2 appends the per-PoP calibration section after the scope
+/// records. Version-1 snapshots (no calibration section) still decode —
+/// they simply carry no calibration captures, so a warm start from one
+/// re-calibrates live.
+pub const SNAPSHOT_VERSION: u16 = 2;
+
+/// Cache pools per PoP — fixed by the resolver model; the calibration
+/// record stores one counter per pool.
+const CALIBRATION_POOLS: usize = 4;
 
 /// Key of one per-scope probe record:
 /// `(bound-vantage index, domain index, scope address, scope length)`.
@@ -93,6 +102,32 @@ pub struct FaultRecord {
     pub assigned_scopes: u64,
 }
 
+/// One PoP's calibration capture: the measured service radius, the raw
+/// hit distances behind it, and the exact resolver-side counter deltas
+/// the calibration queries produced — everything a warm run needs to
+/// replay calibration for a clean PoP without re-probing it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CalibrationRecord {
+    /// The calibrated PoP id.
+    pub pop: u64,
+    /// The radius estimate (percentile of hit distances), if any hit
+    /// landed.
+    pub radius_km: Option<f64>,
+    /// Geodesic distances of every calibration hit, in observation
+    /// order.
+    pub hit_distances_km: Vec<f64>,
+    /// Resolver queries this PoP's calibration stream sent.
+    pub queries: u64,
+    /// Queries dropped by the rate limiter.
+    pub rate_limited: u64,
+    /// Scoped cache hits, per pool.
+    pub pool_hits: [u64; CALIBRATION_POOLS],
+    /// Scope-0 cache hits, per pool.
+    pub pool_scope0: [u64; CALIBRATION_POOLS],
+    /// Cache misses, per pool.
+    pub pool_misses: [u64; CALIBRATION_POOLS],
+}
+
 /// A versioned, checksummed, byte-stable record of one sweep.
 ///
 /// Holds four things: (1) per-scope [`ScopeRecord`]s keyed by
@@ -126,6 +161,13 @@ pub struct SweepSnapshot {
     pub metrics: MetricsDelta,
     /// Per-scope probe records, ordered by key.
     pub records: BTreeMap<RecordKey, ScopeRecord>,
+    /// Per-PoP calibration captures, ordered by PoP id. Empty when the
+    /// recorded sweep could not capture calibration (faulted run, or a
+    /// version-1 snapshot).
+    pub calibration: Vec<CalibrationRecord>,
+    /// Size of the calibration prefix sample the captures were measured
+    /// against.
+    pub calibration_sample: u64,
 }
 
 impl SweepSnapshot {
@@ -212,6 +254,30 @@ impl SweepSnapshot {
                 w.u32(e.remaining_ttl);
             }
         }
+        // Version-2 calibration section.
+        w.u64(self.calibration_sample);
+        w.u32(self.calibration.len() as u32);
+        for c in &self.calibration {
+            w.u64(c.pop);
+            match c.radius_km {
+                None => w.u8(0),
+                Some(r) => {
+                    w.u8(1);
+                    w.u64(r.to_bits());
+                }
+            }
+            w.u32(c.hit_distances_km.len() as u32);
+            for d in &c.hit_distances_km {
+                w.u64(d.to_bits());
+            }
+            w.u64(c.queries);
+            w.u64(c.rate_limited);
+            for pool in 0..CALIBRATION_POOLS {
+                w.u64(c.pool_hits[pool]);
+                w.u64(c.pool_scope0[pool]);
+                w.u64(c.pool_misses[pool]);
+            }
+        }
         w.finish()
     }
 
@@ -223,7 +289,7 @@ impl SweepSnapshot {
             return Err(CodecError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != SNAPSHOT_VERSION {
+        if version != 1 && version != SNAPSHOT_VERSION {
             return Err(CodecError::BadVersion(version));
         }
         let mut r = ByteReader::verified(bytes)?;
@@ -335,6 +401,69 @@ impl SweepSnapshot {
             }
             records.insert((bound, domain, addr, len), rec);
         }
+        // Version 1 ends here; version 2 carries the calibration
+        // section. A v1 warm start simply re-calibrates live.
+        let mut calibration = Vec::new();
+        let mut calibration_sample = 0u64;
+        if version >= 2 {
+            calibration_sample = r.u64()?;
+            let n_cal = r.u32()? as usize;
+            calibration.reserve(n_cal.min(4096));
+            let mut last_pop = None;
+            for _ in 0..n_cal {
+                let pop = r.u64()?;
+                if last_pop.is_some_and(|prev| prev >= pop) {
+                    return Err(CodecError::Malformed("calibration pop order"));
+                }
+                last_pop = Some(pop);
+                let radius_km = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let radius = f64::from_bits(r.u64()?);
+                        if !radius.is_finite() || radius < 0.0 {
+                            return Err(CodecError::Malformed("calibration radius value"));
+                        }
+                        Some(radius)
+                    }
+                    _ => return Err(CodecError::Malformed("calibration radius flag")),
+                };
+                let n_distances = r.u32()? as usize;
+                let mut hit_distances_km = Vec::with_capacity(n_distances.min(65536));
+                for _ in 0..n_distances {
+                    let d = f64::from_bits(r.u64()?);
+                    if !d.is_finite() || d < 0.0 {
+                        return Err(CodecError::Malformed("calibration hit distance"));
+                    }
+                    hit_distances_km.push(d);
+                }
+                let queries = r.u64()?;
+                let rate_limited = r.u64()?;
+                let mut pool_hits = [0u64; CALIBRATION_POOLS];
+                let mut pool_scope0 = [0u64; CALIBRATION_POOLS];
+                let mut pool_misses = [0u64; CALIBRATION_POOLS];
+                for pool in 0..CALIBRATION_POOLS {
+                    pool_hits[pool] = r.u64()?;
+                    pool_scope0[pool] = r.u64()?;
+                    pool_misses[pool] = r.u64()?;
+                }
+                let served: u64 = pool_hits.iter().sum::<u64>()
+                    + pool_scope0.iter().sum::<u64>()
+                    + pool_misses.iter().sum::<u64>();
+                if served + rate_limited > queries {
+                    return Err(CodecError::Malformed("calibration outcome counts"));
+                }
+                calibration.push(CalibrationRecord {
+                    pop,
+                    radius_km,
+                    hit_distances_km,
+                    queries,
+                    rate_limited,
+                    pool_hits,
+                    pool_scope0,
+                    pool_misses,
+                });
+            }
+        }
         r.expect_done()?;
         Ok(SweepSnapshot {
             epoch,
@@ -344,6 +473,8 @@ impl SweepSnapshot {
             fault,
             metrics,
             records,
+            calibration,
+            calibration_sample,
         })
     }
 }
@@ -394,7 +525,121 @@ mod tests {
         );
         s.records
             .insert((2, 0, 0xC0000200, 20), ScopeRecord::default());
+        s.calibration_sample = 800;
+        s.calibration = vec![
+            CalibrationRecord {
+                pop: 2,
+                radius_km: Some(1450.5),
+                hit_distances_km: vec![10.0, 1450.5, 2200.25],
+                queries: 40,
+                rate_limited: 0,
+                pool_hits: [1, 0, 2, 0],
+                pool_scope0: [0, 1, 0, 0],
+                pool_misses: [9, 9, 9, 9],
+            },
+            CalibrationRecord {
+                pop: 9,
+                radius_km: None,
+                hit_distances_km: Vec::new(),
+                queries: 12,
+                rate_limited: 2,
+                pool_hits: [0; 4],
+                pool_scope0: [0; 4],
+                pool_misses: [3, 3, 2, 2],
+            },
+        ];
         s
+    }
+
+    /// Re-encodes a snapshot in the version-1 layout (no calibration
+    /// section) — the bytes a pre-calibration-persistence build wrote.
+    fn encode_v1(s: &SweepSnapshot) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u16(1);
+        w.u32(s.epoch);
+        w.u64(s.world_seed);
+        w.u64(s.config_digest);
+        for v in s.gpdns {
+            w.u64(v);
+        }
+        match &s.fault {
+            None => w.u8(0),
+            Some(f) => {
+                w.u8(1);
+                w.str(&f.profile);
+                w.u64(f.observed);
+                w.u64(f.retries);
+                w.u64(f.recovered);
+                w.u64(f.degraded);
+                w.u64(f.lost);
+                w.u32(f.quarantined_pops.len() as u32);
+                for pop in &f.quarantined_pops {
+                    w.u64(*pop);
+                }
+                w.u64(f.rescued_scopes);
+                w.u64(f.unmeasured_scopes);
+                w.u64(f.assigned_scopes);
+            }
+        }
+        w.u32(s.metrics.counters.len() as u32);
+        for (name, inc) in &s.metrics.counters {
+            w.str(name);
+            w.u64(*inc);
+        }
+        w.u32(s.metrics.histograms.len() as u32);
+        for (name, h) in &s.metrics.histograms {
+            w.str(name);
+            w.u64(h.count);
+            w.u64(h.sum);
+            w.u64(h.min);
+            w.u64(h.max);
+            w.u32(h.buckets.len() as u32);
+            for (le, c) in &h.buckets {
+                w.u64(*le);
+                w.u64(*c);
+            }
+        }
+        w.u32(s.records.len() as u32);
+        for ((bound, domain, addr, len), rec) in &s.records {
+            w.u16(*bound);
+            w.u16(*domain);
+            w.u32(*addr);
+            w.u8(*len);
+            w.u64(rec.attempts);
+            w.u64(rec.scope0);
+            w.u64(rec.drops);
+            w.u32(rec.hit_events.len() as u32);
+            for e in &rec.hit_events {
+                w.u32(e.resp_addr);
+                w.u8(e.resp_len);
+                w.u32(e.remaining_ttl);
+            }
+        }
+        w.finish()
+    }
+
+    /// A hand-built v2 snapshot whose single calibration record is
+    /// produced by `write_record` — for field-level corruption tests
+    /// that must survive the checksum.
+    fn craft_with_calibration(write_record: impl Fn(&mut ByteWriter)) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u16(SNAPSHOT_VERSION);
+        w.u32(1); // epoch
+        w.u64(7); // world seed
+        w.u64(9); // config digest
+        for _ in 0..6 {
+            w.u64(0); // gpdns counters
+        }
+        w.u8(0); // no fault record
+        w.u32(0); // no metric counters
+        w.u32(0); // no histograms
+        w.u32(0); // no scope records
+        w.u64(800); // calibration sample
+        w.u32(1); // one calibration record
+        write_record(&mut w);
+        w.finish()
     }
 
     #[test]
@@ -435,5 +680,138 @@ mod tests {
         let s = SweepSnapshot::new(7, 9);
         assert_eq!(SweepSnapshot::decode(&s.encode()).unwrap(), s);
         assert!(s.quarantined_pops().is_empty());
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_without_calibration() {
+        let s = sample();
+        let v1 = encode_v1(&s);
+        let back = SweepSnapshot::decode(&v1).expect("v1 layout must keep decoding");
+        // Everything a v1 snapshot carried survives…
+        assert_eq!(back.records, s.records);
+        assert_eq!(back.metrics, s.metrics);
+        assert_eq!(back.fault, s.fault);
+        assert_eq!(back.gpdns, s.gpdns);
+        assert_eq!(
+            (back.epoch, back.world_seed, back.config_digest),
+            (s.epoch, s.world_seed, s.config_digest)
+        );
+        // …and the calibration section reads back empty: the warm run
+        // re-calibrates live.
+        assert!(back.calibration.is_empty());
+        assert_eq!(back.calibration_sample, 0);
+        // Re-encoding a v1-decoded snapshot writes the current version.
+        let bytes = back.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), SNAPSHOT_VERSION);
+        assert_eq!(SweepSnapshot::decode(&bytes).unwrap(), back);
+    }
+
+    /// A well-formed calibration record for the crafted-buffer tests.
+    fn write_good_record(w: &mut ByteWriter) {
+        w.u64(3); // pop
+        w.u8(1); // radius present
+        w.u64(1000.0f64.to_bits());
+        w.u32(1); // one hit distance
+        w.u64(1000.0f64.to_bits());
+        w.u64(10); // queries
+        w.u64(1); // rate limited
+        for _ in 0..4 {
+            w.u64(1); // pool hits
+            w.u64(0); // pool scope0
+            w.u64(1); // pool misses
+        }
+    }
+
+    #[test]
+    fn crafted_calibration_sections_parse_or_name_the_bad_field() {
+        // The well-formed record decodes.
+        let good = craft_with_calibration(write_good_record);
+        let s = SweepSnapshot::decode(&good).expect("good crafted record decodes");
+        assert_eq!(s.calibration.len(), 1);
+        assert_eq!(s.calibration[0].pop, 3);
+        assert_eq!(s.calibration[0].radius_km, Some(1000.0));
+        assert_eq!(s.calibration_sample, 800);
+
+        // Radius flag outside {0, 1}.
+        let bad = craft_with_calibration(|w| {
+            w.u64(3);
+            w.u8(9); // bad flag
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("calibration radius flag"))
+        );
+
+        // Non-finite radius.
+        let bad = craft_with_calibration(|w| {
+            w.u64(3);
+            w.u8(1);
+            w.u64(f64::NAN.to_bits());
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("calibration radius value"))
+        );
+
+        // Negative hit distance.
+        let bad = craft_with_calibration(|w| {
+            w.u64(3);
+            w.u8(0);
+            w.u32(1);
+            w.u64((-4.0f64).to_bits());
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("calibration hit distance"))
+        );
+
+        // Outcome counts exceeding the query count.
+        let bad = craft_with_calibration(|w| {
+            w.u64(3);
+            w.u8(0);
+            w.u32(0);
+            w.u64(1); // queries
+            w.u64(0); // rate limited
+            for _ in 0..4 {
+                w.u64(1);
+                w.u64(1);
+                w.u64(1);
+            }
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("calibration outcome counts"))
+        );
+    }
+
+    #[test]
+    fn calibration_records_must_come_in_pop_order() {
+        let mut s = sample();
+        s.calibration.swap(0, 1); // descending pop order
+        assert_eq!(
+            SweepSnapshot::decode(&s.encode()).err(),
+            Some(CodecError::Malformed("calibration pop order"))
+        );
+    }
+
+    #[test]
+    fn truncated_or_flipped_calibration_is_rejected() {
+        let bytes = sample().encode();
+        // Any truncation inside the calibration section fails loudly
+        // (checksum covers the whole payload).
+        for cut in 1..60 {
+            assert!(
+                SweepSnapshot::decode(&bytes[..bytes.len() - cut]).is_err(),
+                "truncation by {cut} bytes went unnoticed"
+            );
+        }
+        // A bit flip inside the calibration section trips the checksum.
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 20] ^= 0x01;
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::BadChecksum)
+        );
     }
 }

@@ -1,0 +1,231 @@
+//! Scalar-vs-batch differential suite: the batched probe kernels
+//! (`ProbeBatch` arenas + `serve_batch` + bulk outcome folding) are a
+//! pure execution strategy. Every observable — reports, probe counts,
+//! telemetry snapshots, sweep records, fault books — must land byte-
+//! identical to the scalar oracle (`batched_probing = false`), across
+//! seeds, batch sizes, thread counts, and fault profiles. This suite is
+//! what lets the batch knobs stay out of the sweep config digest.
+
+use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap::faults::{FaultConfig, FaultProfile};
+use proptest::prelude::*;
+
+/// A tiny pipeline config with the batch knobs dialed explicitly.
+fn config(seed: u64, batched: bool, batch_size: usize) -> PipelineConfig {
+    let mut c = PipelineConfig::tiny(seed);
+    c.probe.batched_probing = batched;
+    c.probe.batch_size = batch_size;
+    c
+}
+
+fn run(c: PipelineConfig) -> PipelineOutput {
+    Pipeline::run(c).expect("pipeline run completes")
+}
+
+/// Everything the two lanes must agree on, byte for byte. The one
+/// *intended* divergence — `sweep.calibration`, which only the batched
+/// lane captures — is asserted separately where it matters.
+fn assert_outputs_match(a: &PipelineOutput, b: &PipelineOutput, ctx: &str) {
+    assert_eq!(
+        a.cache_probe.probes_sent, b.cache_probe.probes_sent,
+        "{ctx}: probe volume diverged"
+    );
+    assert_eq!(
+        a.cache_probe.scope0_hits, b.cache_probe.scope0_hits,
+        "{ctx}: scope-0 hits diverged"
+    );
+    assert_eq!(
+        a.cache_probe.drops, b.cache_probe.drops,
+        "{ctx}: drop counts diverged"
+    );
+    assert_eq!(
+        a.cache_probe.probe_counts, b.cache_probe.probe_counts,
+        "{ctx}: per-scope probe counts diverged"
+    );
+    assert_eq!(
+        a.cache_probe.fault, b.cache_probe.fault,
+        "{ctx}: fault accounting diverged"
+    );
+    assert_eq!(
+        a.cache_probe.active_set().num_slash24s(),
+        b.cache_probe.active_set().num_slash24s(),
+        "{ctx}: active-set size diverged"
+    );
+    assert_eq!(
+        a.sweep.records, b.sweep.records,
+        "{ctx}: sweep records diverged"
+    );
+    assert_eq!(
+        a.sweep.gpdns, b.sweep.gpdns,
+        "{ctx}: resolver deltas diverged"
+    );
+    assert_eq!(
+        a.sweep.metrics, b.sweep.metrics,
+        "{ctx}: metric deltas diverged"
+    );
+    assert_eq!(
+        a.sweep.fault, b.sweep.fault,
+        "{ctx}: stored fault record diverged"
+    );
+    assert_eq!(
+        a.report().render_all(),
+        b.report().render_all(),
+        "{ctx}: report diverged"
+    );
+    assert_eq!(
+        a.metrics_snapshot().to_json(),
+        b.metrics_snapshot().to_json(),
+        "{ctx}: telemetry snapshot diverged"
+    );
+}
+
+/// One shared batched run and its scalar oracle (seed 2021), reused by
+/// every read-only comparison below.
+fn shared() -> &'static (PipelineOutput, PipelineOutput) {
+    static RUNS: std::sync::OnceLock<(PipelineOutput, PipelineOutput)> = std::sync::OnceLock::new();
+    RUNS.get_or_init(|| (run(config(2021, true, 0)), run(config(2021, false, 0))))
+}
+
+#[test]
+fn batched_lane_matches_the_scalar_oracle_end_to_end() {
+    let (batched, scalar) = shared();
+    assert_outputs_match(batched, scalar, "seed 2021");
+    // The one intended divergence: only the batched lane captures
+    // per-PoP calibration records for the next warm sweep.
+    assert!(
+        !batched.sweep.calibration.is_empty(),
+        "batched sweep must persist calibration records"
+    );
+    assert!(batched.sweep.calibration_sample > 0);
+    assert!(
+        scalar.sweep.calibration.is_empty(),
+        "scalar sweeps do not capture calibration"
+    );
+
+    // A second world, so agreement is not a fixed-point accident.
+    let batched2 = run(config(3, true, 0));
+    let scalar2 = run(config(3, false, 0));
+    assert_outputs_match(&batched2, &scalar2, "seed 3");
+    assert_ne!(
+        batched.cache_probe.probes_sent, batched2.cache_probe.probes_sent,
+        "seeds 2021 and 3 unexpectedly probed identically"
+    );
+}
+
+#[test]
+fn every_batch_size_lands_the_same_bytes() {
+    let (full, _) = shared();
+    for size in [1usize, 7, 64] {
+        let chunked = run(config(2021, true, size));
+        assert_outputs_match(&chunked, full, &format!("batch_size {size}"));
+        // All-batched runs agree on the calibration records too.
+        assert_eq!(
+            chunked.sweep.calibration, full.sweep.calibration,
+            "batch_size {size}: calibration records diverged"
+        );
+        assert_eq!(
+            chunked.sweep.calibration_sample,
+            full.sweep.calibration_sample
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_at_one_and_four_threads() {
+    for threads in [1usize, 4] {
+        let batched = clientmap::par::with_threads(threads, || run(config(2021, true, 0)));
+        let scalar = clientmap::par::with_threads(threads, || run(config(2021, false, 0)));
+        assert_outputs_match(&batched, &scalar, &format!("{threads} threads"));
+        // And the batched lane itself is thread-count independent,
+        // snapshot bytes included.
+        let (reference, _) = shared();
+        assert_outputs_match(&batched, reference, &format!("{threads} vs shared threads"));
+        assert_eq!(
+            batched.sweep.encode(),
+            reference.sweep.encode(),
+            "{threads}-thread batched snapshot bytes drifted"
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_take_the_scalar_lane_with_identical_accounting() {
+    for profile in [FaultProfile::Light, FaultProfile::Lossy] {
+        let mut on = config(2021, true, 0);
+        on.faults = FaultConfig::profile(profile, 5);
+        let mut off = config(2021, false, 0);
+        off.faults = FaultConfig::profile(profile, 5);
+        let a = run(on);
+        let b = run(off);
+        let ctx = format!("{profile:?} faults");
+        assert_outputs_match(&a, &b, &ctx);
+        // Both rode the resilient scalar lane: same fault books, and
+        // neither captured calibration (a faulted pass must not seed
+        // the next warm sweep's radii).
+        let fa = a.cache_probe.fault.as_ref().expect("fault summary");
+        assert!(fa.observed > 0, "{ctx}: no faults observed");
+        assert!(
+            a.sweep.calibration.is_empty(),
+            "{ctx}: faulted run captured calibration"
+        );
+        assert!(b.sweep.calibration.is_empty());
+    }
+}
+
+#[test]
+fn warm_restart_from_a_scalar_snapshot_matches_the_scalar_warm_run() {
+    // A scalar cold sweep leaves no calibration records; a batched warm
+    // restart over it must live-calibrate and still land on the scalar
+    // warm run's bytes.
+    let (_, scalar_cold) = shared();
+    let warm_batched = Pipeline::run_warm(config(2021, true, 0), Some(scalar_cold.sweep.clone()))
+        .expect("batched warm run completes");
+    let warm_scalar = Pipeline::run_warm(config(2021, false, 0), Some(scalar_cold.sweep.clone()))
+        .expect("scalar warm run completes");
+    assert_outputs_match(&warm_batched, &warm_scalar, "warm over scalar snapshot");
+    // The batched warm run starts the calibration-record chain.
+    assert!(!warm_batched.sweep.calibration.is_empty());
+}
+
+#[test]
+fn warm_restart_replays_the_stored_calibration() {
+    let (batched_cold, _) = shared();
+    let warm = Pipeline::run_warm(config(2021, true, 0), Some(batched_cold.sweep.clone()))
+        .expect("warm run completes");
+    // No quarantine, so every PoP replays: the records ride forward
+    // unchanged and the replayed pass reproduces the cold bytes.
+    assert_eq!(warm.sweep.calibration, batched_cold.sweep.calibration);
+    assert_eq!(
+        warm.sweep.calibration_sample,
+        batched_cold.sweep.calibration_sample
+    );
+    assert_eq!(
+        warm.cache_probe.service_radii.radius_km, batched_cold.cache_probe.service_radii.radius_km,
+        "replayed radii diverged from the calibrated ones"
+    );
+    assert_eq!(
+        warm.cache_probe.service_radii.sample_size,
+        batched_cold.cache_probe.service_radii.sample_size
+    );
+    assert_eq!(
+        warm.report().render_all(),
+        batched_cold.report().render_all()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any chunking of the probe stream — including sizes that leave
+    /// ragged final batches — reproduces the full-unit arena's bytes.
+    #[test]
+    fn random_batch_sizes_are_equivalent(size in 1usize..=128) {
+        let chunked = run(config(2021, true, size));
+        let (full, _) = shared();
+        prop_assert_eq!(chunked.cache_probe.probes_sent, full.cache_probe.probes_sent);
+        prop_assert_eq!(&chunked.cache_probe.probe_counts, &full.cache_probe.probe_counts);
+        prop_assert_eq!(chunked.report().render_all(), full.report().render_all());
+        prop_assert_eq!(chunked.metrics_snapshot().to_json(), full.metrics_snapshot().to_json());
+        prop_assert_eq!(chunked.sweep.encode(), full.sweep.encode());
+    }
+}

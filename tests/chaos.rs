@@ -257,6 +257,47 @@ fn lossy_warm_restart_replans_only_the_stale_slice() {
 }
 
 #[test]
+fn batching_never_touches_the_fault_books() {
+    // The batch kernel refuses faulted cores, so a faulted run with
+    // batching enabled rides the scalar resilient lane end to end:
+    // identical fault conservation, identical bytes. Pop-churn is the
+    // nastiest profile — outages, flaps, breaker trips, rescues.
+    for (profile, fault_seed, world_seed) in [
+        (FaultProfile::Lossy, 5, 2021),
+        (FaultProfile::PopChurn, 3, 7),
+    ] {
+        let mut batched = PipelineConfig::tiny(world_seed);
+        batched.faults = FaultConfig::profile(profile, fault_seed);
+        batched.probe.batched_probing = true;
+        let mut scalar = batched.clone();
+        scalar.probe.batched_probing = false;
+        let a = Pipeline::run(batched).expect("faulted batched run completes");
+        let b = Pipeline::run(scalar).expect("faulted scalar run completes");
+        let fa = a.cache_probe.fault.as_ref().expect("fault summary");
+        let fb = b.cache_probe.fault.as_ref().expect("fault summary");
+        assert_eq!(
+            fa, fb,
+            "{profile:?}: fault accounting diverged under batching"
+        );
+        // The conservation laws hold on the batched-config run…
+        assert!(fa.observed > 0, "{profile:?} injected nothing");
+        assert_eq!(fa.observed, fa.recovered + fa.degraded + fa.lost);
+        assert_eq!(
+            a.cache_probe.probe_counts.len() as u64 + fa.unmeasured_scopes,
+            fa.assigned_scopes,
+            "{profile:?}: coverage books do not reconcile under batching"
+        );
+        // …and everything else is byte-identical to the scalar run.
+        assert_eq!(a.report().render_all(), b.report().render_all());
+        assert_eq!(
+            a.metrics_snapshot().to_json(),
+            b.metrics_snapshot().to_json()
+        );
+        assert_eq!(a.sweep.encode(), b.sweep.encode());
+    }
+}
+
+#[test]
 fn light_profile_is_a_gentle_breeze() {
     let o = Pipeline::run(config(FaultProfile::Light, 1)).expect("light run completes");
     let f = o.cache_probe.fault.as_ref().expect("fault summary");
