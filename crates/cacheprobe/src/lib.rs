@@ -45,5 +45,8 @@ pub mod vantage;
 mod config;
 
 pub use config::{ProbeConfig, RetryPolicy};
-pub use probe::{run_technique, run_technique_full, run_technique_timed};
+pub use probe::{
+    execute_sweep, merge_shards, prepare_sweep, probe_shard, run_technique, run_technique_full,
+    run_technique_timed, ShardMergeError, SweepPrep,
+};
 pub use results::{CacheProbeResult, FaultSummary, ProbeCount};

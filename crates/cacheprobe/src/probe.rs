@@ -783,6 +783,88 @@ pub fn run_technique_full(
     timings: &mut Vec<(String, f64)>,
     prior: Option<&SweepSnapshot>,
 ) -> (CacheProbeResult, SweepSnapshot) {
+    let prep = prepare_sweep(sim, cfg, universe, timings, prior);
+    execute_sweep(sim, cfg, prep, timings)
+}
+
+/// The sweep's preamble, paused at the start of the probing window:
+/// bound vantages, calibration, scope→PoP assignment, the (warm)
+/// planner's live unit list, and the skipped-record replay set.
+///
+/// Everything in here is a pure function of ⟨world seed, probing
+/// config, universe, prior snapshot⟩, so two processes that prepare the
+/// same sweep hold identical prep state. That is the property the
+/// distributed driver/worker split builds on: a worker can probe any
+/// unit shard ([`probe_shard`]) and ship back a delta that the driver
+/// merges ([`merge_shards`]) into output byte-identical to a
+/// single-process [`execute_sweep`].
+pub struct SweepPrep {
+    fc: Option<FaultCounters>,
+    bound: Vec<BoundVantage>,
+    templates: Vec<wire::ProbeQueryTemplate>,
+    pop_metrics: Vec<ProbeMetrics>,
+    assigned: HashMap<PopId, Vec<(usize, Prefix)>>,
+    units: Vec<ProbeUnit>,
+    skipped: Vec<(usize, usize, Prefix, ScopeRecord)>,
+    warm_full_skip: bool,
+    /// The prior snapshot, kept whole when the planner emitted zero
+    /// probe work — the full-skip finish replays it wholesale.
+    full_skip_prior: Option<SweepSnapshot>,
+    result: CacheProbeResult,
+    snapshot: SweepSnapshot,
+    t0: SimTime,
+    stage: Instant,
+    /// Registry state at the probing-window start; the sweep's stored
+    /// metrics delta is measured from here.
+    pre: clientmap_telemetry::MetricsSnapshot,
+    gpdns_pre: clientmap_sim::GpdnsStats,
+}
+
+impl SweepPrep {
+    /// Live probe units the planner emitted (the shardable work list).
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Scopes in unit `idx` (labels shard work; empty when out of range).
+    pub fn unit_len(&self, idx: usize) -> usize {
+        self.units.get(idx).map_or(0, |u| u.scopes.len())
+    }
+
+    /// True when a warm plan skipped everything — nothing to shard.
+    pub fn warm_full_skip(&self) -> bool {
+        self.warm_full_skip
+    }
+
+    /// Seed of the world this sweep measures.
+    pub fn world_seed(&self) -> u64 {
+        self.snapshot.world_seed
+    }
+
+    /// Digest of the probing-relevant configuration.
+    pub fn config_digest(&self) -> u64 {
+        self.snapshot.config_digest
+    }
+
+    /// True when the sweep runs under fault injection. Faulted sweeps
+    /// need global quarantine/rescue state and cannot be sharded.
+    pub fn faulted(&self) -> bool {
+        self.fc.is_some()
+    }
+}
+
+/// Runs discovery, domain selection, the scope pre-scan, calibration,
+/// PoP assignment, unit building, and warm planning — everything up to
+/// (but not including) the probing window — and returns the paused
+/// [`SweepPrep`]. `run_technique_full` is exactly
+/// [`prepare_sweep`] + [`execute_sweep`].
+pub fn prepare_sweep(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    universe: &[Prefix],
+    timings: &mut Vec<(String, f64)>,
+    prior: Option<&SweepSnapshot>,
+) -> SweepPrep {
     let seed = sim.world().config.seed;
 
     // Fault-injection bookkeeping: counters resolve only when the
@@ -1051,6 +1133,12 @@ pub fn run_technique_full(
         units
     };
 
+    let full_skip_prior = if warm_full_skip {
+        Some(prior.expect("full skip implies a prior snapshot").clone())
+    } else {
+        None
+    };
+
     // The probing-window telemetry delta starts here. The preamble
     // (discovery through assignment) and the planner counters sit
     // outside the window — a warm run re-records them live — while
@@ -1060,37 +1148,58 @@ pub fn run_technique_full(
     let pre = metrics.snapshot();
     let gpdns_pre = sim.gpdns_stats();
 
+    SweepPrep {
+        fc,
+        bound,
+        templates,
+        pop_metrics,
+        assigned,
+        units,
+        skipped,
+        warm_full_skip,
+        full_skip_prior,
+        result,
+        snapshot,
+        t0,
+        stage,
+        pre,
+        gpdns_pre,
+    }
+}
+
+/// Runs the probing window (and, under fault injection, the rescue
+/// sweep) for a prepared sweep in this process, then assembles the
+/// sweep's snapshot — the tail of `run_technique_full`.
+pub fn execute_sweep(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    prep: SweepPrep,
+    timings: &mut Vec<(String, f64)>,
+) -> (CacheProbeResult, SweepSnapshot) {
+    let SweepPrep {
+        fc,
+        bound,
+        templates,
+        pop_metrics,
+        assigned,
+        units,
+        skipped,
+        warm_full_skip,
+        full_skip_prior,
+        mut result,
+        mut snapshot,
+        t0,
+        stage,
+        pre,
+        gpdns_pre,
+    } = prep;
+    let metrics = Arc::clone(sim.metrics());
+
     if warm_full_skip {
-        let prior = prior.expect("full skip implies a prior snapshot");
-        // Nothing to probe: replay the prior sweep wholesale — records
-        // into the result, the stored metrics delta into the registry,
-        // the resolver counter deltas into the session — and carry the
-        // snapshot forward under the new epoch.
-        metrics.absorb_delta(&prior.metrics);
-        for (&(bi, d, addr, len), rec) in &prior.records {
-            let (Some(b), Ok(scope)) = (bound.get(bi as usize), Prefix::new(addr, len)) else {
-                continue;
-            };
-            replay_record(
-                &mut result,
-                b.pop,
-                d as usize,
-                scope,
-                rec,
-                cfg.redundancy,
-                None,
-            );
-        }
-        let mut session = GpdnsSession::new();
-        session.stats = sweep::gpdns_stats_from(prior.gpdns);
-        sim.absorb_session(&session);
-        result.fault = prior.fault.as_ref().map(sweep::from_fault_record);
-        snapshot.gpdns = prior.gpdns;
-        snapshot.fault = prior.fault.clone();
-        snapshot.metrics = prior.metrics.clone();
-        snapshot.records = prior.records.clone();
-        timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
-        return (result, snapshot);
+        let prior = full_skip_prior.expect("full skip implies a prior snapshot");
+        return finish_full_skip(
+            sim, cfg, &metrics, &bound, result, snapshot, prior, stage, timings,
+        );
     }
 
     // Warm-partial: the skipped share of the window replays with full
@@ -1191,6 +1300,7 @@ pub fn run_technique_full(
     //    afterwards is reported as lost coverage, not silently absent.
     if let Some(fc) = &fc {
         let stage = Instant::now();
+        let pops = clientmap_sim::pop_catalog();
         let quarantined: Vec<PopId> = bound
             .iter()
             .map(|b| b.pop)
@@ -1355,6 +1465,339 @@ pub fn run_technique_full(
     snapshot.metrics = metrics.snapshot().delta_from(&pre);
     snapshot.fault = result.fault.as_ref().map(sweep::to_fault_record);
     (result, snapshot)
+}
+
+/// Nothing to probe: replay the prior sweep wholesale — records into
+/// the result, the stored metrics delta into the registry, the resolver
+/// counter deltas into the session — and carry the snapshot forward
+/// under the new epoch. Shared by [`execute_sweep`] and
+/// [`merge_shards`], whose full-skip windows are the same.
+#[allow(clippy::too_many_arguments)]
+fn finish_full_skip(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    metrics: &MetricsRegistry,
+    bound: &[BoundVantage],
+    mut result: CacheProbeResult,
+    mut snapshot: SweepSnapshot,
+    prior: SweepSnapshot,
+    stage: Instant,
+    timings: &mut Vec<(String, f64)>,
+) -> (CacheProbeResult, SweepSnapshot) {
+    metrics.absorb_delta(&prior.metrics);
+    for (&(bi, d, addr, len), rec) in &prior.records {
+        let (Some(b), Ok(scope)) = (bound.get(bi as usize), Prefix::new(addr, len)) else {
+            continue;
+        };
+        replay_record(
+            &mut result,
+            b.pop,
+            d as usize,
+            scope,
+            rec,
+            cfg.redundancy,
+            None,
+        );
+    }
+    let mut session = GpdnsSession::new();
+    session.stats = sweep::gpdns_stats_from(prior.gpdns);
+    sim.absorb_session(&session);
+    result.fault = prior.fault.as_ref().map(sweep::from_fault_record);
+    snapshot.gpdns = prior.gpdns;
+    snapshot.fault = prior.fault;
+    snapshot.metrics = prior.metrics;
+    snapshot.records = prior.records;
+    timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
+    (result, snapshot)
+}
+
+/// Probes one contiguous shard of a prepared sweep's unit list and
+/// returns the shard's delta as a [`SweepSnapshot`] — the payload a
+/// fleet worker streams back to its driver, riding the snapshot byte
+/// codec as the wire format. The shard id travels in the snapshot's
+/// `epoch` field.
+///
+/// Record keys are disjoint across disjoint shards (units partition
+/// the key space by ⟨vantage, domain⟩ and scopes never repeat within a
+/// unit list), so a driver can merge any cover of the unit list with
+/// no key conflicts. Fleet sweeps are fault-free by construction —
+/// quarantine and rescue need global cross-shard state — so this
+/// refuses faulted preps.
+pub fn probe_shard(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    prep: &SweepPrep,
+    shard: std::ops::Range<usize>,
+    shard_id: u32,
+) -> SweepSnapshot {
+    assert!(
+        prep.fc.is_none(),
+        "sharded sweeps do not support fault injection"
+    );
+    let metrics = Arc::clone(sim.metrics());
+    let hi = prep.units.len();
+    let units = &prep.units[shard.start.min(hi)..shard.end.min(hi)];
+    let pre = metrics.snapshot();
+    let gpdns_pre = sim.gpdns_stats();
+
+    let view = sim.view();
+    let tallies: Vec<UnitTally> = par_map(units, |_, u| {
+        if cfg.batched_probing {
+            if let Some(tally) = probe_unit_batched(
+                &view,
+                &prep.bound[u.bound_idx],
+                &prep.templates[u.domain],
+                &u.scopes,
+                cfg,
+                prep.t0,
+                &prep.pop_metrics[u.bound_idx],
+            ) {
+                return tally;
+            }
+        }
+        probe_unit(
+            &view,
+            &prep.bound[u.bound_idx],
+            &prep.templates[u.domain],
+            &u.scopes,
+            cfg,
+            prep.t0,
+            &prep.pop_metrics[u.bound_idx],
+            None,
+        )
+    });
+
+    // Shard-local ordered reduction mirroring `execute_sweep`'s merge
+    // loop: per-record state is a pure function of the unit list, so
+    // the driver's merge reproduces the single-process sweep exactly.
+    let mut fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
+    for (u, tally) in units.iter().zip(tallies) {
+        for (query_scope, resp_scope, remaining) in tally.hits {
+            fresh
+                .entry(record_key(u.bound_idx, u.domain, query_scope))
+                .or_default()
+                .hit_events
+                .push(HitEvent {
+                    resp_addr: resp_scope.addr(),
+                    resp_len: resp_scope.len(),
+                    remaining_ttl: remaining,
+                });
+        }
+        for (scope, (attempts, _hits, scope0, drops)) in tally.counts {
+            let rec = fresh
+                .entry(record_key(u.bound_idx, u.domain, scope))
+                .or_default();
+            rec.attempts += attempts;
+            rec.scope0 += scope0;
+            rec.drops += drops;
+        }
+        sim.absorb_session(&tally.session);
+    }
+    // Planned scopes with no probe event still get explicit empty
+    // records: the driver's completeness check (and the next warm
+    // planner) must see them as measured-but-empty, not missing.
+    for u in units {
+        for &scope in &u.scopes {
+            fresh
+                .entry(record_key(u.bound_idx, u.domain, scope))
+                .or_default();
+        }
+    }
+
+    let mut delta = SweepSnapshot::new(prep.snapshot.world_seed, prep.snapshot.config_digest);
+    delta.epoch = shard_id;
+    delta.records = fresh;
+    delta.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
+    delta.metrics = metrics.snapshot().delta_from(&pre);
+    delta
+}
+
+/// Why a set of shard deltas could not be merged into a sweep. The
+/// merge validates every delta before committing anything, so an `Err`
+/// leaves no partial-merge corruption behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMergeError {
+    /// The prep ran under fault injection; fleet sweeps are fault-free.
+    Faulted,
+    /// A delta was produced against a different world seed or config
+    /// digest than this driver's prep.
+    ForeignDelta {
+        /// Shard id the offending delta carried.
+        shard: u32,
+        /// World seed the delta was produced against.
+        world_seed: u64,
+        /// Config digest the delta was produced against.
+        config_digest: u64,
+    },
+    /// Two deltas claimed the same record slot — shards overlapped, or
+    /// one shard's delta was merged twice.
+    OverlappingShards {
+        /// Shard id of the second delta to claim the slot.
+        shard: u32,
+    },
+    /// After staging every delta, this many planned scopes still had
+    /// no record — a shard was never probed or its delta never arrived.
+    MissingScopes {
+        /// Number of planned scopes with no record.
+        missing: u64,
+    },
+}
+
+impl std::fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Faulted => write!(f, "sharded sweeps do not support fault injection"),
+            Self::ForeignDelta {
+                shard,
+                world_seed,
+                config_digest,
+            } => write!(
+                f,
+                "shard {shard} delta was produced for a different sweep \
+                 (world seed {world_seed:#x}, config digest {config_digest:#x})"
+            ),
+            Self::OverlappingShards { shard } => {
+                write!(f, "shard {shard} delta overlaps records already staged")
+            }
+            Self::MissingScopes { missing } => {
+                write!(f, "{missing} planned scopes missing from shard deltas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardMergeError {}
+
+/// Driver-side merge: folds checksummed per-shard deltas into the
+/// prepared sweep, producing the same `(result, snapshot)` pair —
+/// byte-for-byte — as a single-process [`execute_sweep`] at any
+/// (worker, thread) combination.
+///
+/// Deltas are staged and fully validated (provenance, disjointness,
+/// completeness) before anything commits, then folded in shard order:
+/// telemetry and resolver deltas absorb additively, and the merged
+/// record table replays into the result aggregates in record-key
+/// order — the same replay the warm-start path already proves
+/// byte-identical to a live run.
+pub fn merge_shards(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    prep: SweepPrep,
+    deltas: Vec<SweepSnapshot>,
+    timings: &mut Vec<(String, f64)>,
+) -> Result<(CacheProbeResult, SweepSnapshot), ShardMergeError> {
+    if prep.fc.is_some() {
+        return Err(ShardMergeError::Faulted);
+    }
+    let SweepPrep {
+        bound,
+        pop_metrics,
+        units,
+        skipped,
+        warm_full_skip,
+        full_skip_prior,
+        mut result,
+        mut snapshot,
+        stage,
+        pre,
+        gpdns_pre,
+        ..
+    } = prep;
+    let metrics = Arc::clone(sim.metrics());
+
+    if warm_full_skip {
+        let prior = full_skip_prior.expect("full skip implies a prior snapshot");
+        return Ok(finish_full_skip(
+            sim, cfg, &metrics, &bound, result, snapshot, prior, stage, timings,
+        ));
+    }
+
+    // Stage + validate. Shard order is canonical: sort by shard id so
+    // the merge is a pure function of the delta *set*, not the arrival
+    // order over the wire.
+    let mut deltas = deltas;
+    deltas.sort_by_key(|d| d.epoch);
+    let mut fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
+    for delta in &deltas {
+        if delta.world_seed != snapshot.world_seed || delta.config_digest != snapshot.config_digest
+        {
+            return Err(ShardMergeError::ForeignDelta {
+                shard: delta.epoch,
+                world_seed: delta.world_seed,
+                config_digest: delta.config_digest,
+            });
+        }
+        for (key, rec) in &delta.records {
+            if fresh.insert(*key, rec.clone()).is_some() {
+                return Err(ShardMergeError::OverlappingShards { shard: delta.epoch });
+            }
+        }
+    }
+    let missing = units
+        .iter()
+        .flat_map(|u| {
+            u.scopes
+                .iter()
+                .map(move |s| record_key(u.bound_idx, u.domain, *s))
+        })
+        .filter(|k| !fresh.contains_key(k))
+        .count() as u64;
+    if missing > 0 {
+        return Err(ShardMergeError::MissingScopes { missing });
+    }
+
+    // Warm-partial: the skipped share of the window replays with full
+    // client-side telemetry on the driver, exactly as `execute_sweep`
+    // does before its own probing loop.
+    for (bi, d, scope, rec) in &skipped {
+        replay_record(
+            &mut result,
+            bound[*bi].pop,
+            *d,
+            *scope,
+            rec,
+            cfg.redundancy,
+            Some(&pop_metrics[*bi]),
+        );
+    }
+
+    // Commit. Probe-side counters were bumped on the workers and ride
+    // in each delta's metrics block, so records replay with `None`
+    // here (the full-skip pattern); resolver counters absorb as one
+    // session per shard.
+    for delta in &deltas {
+        metrics.absorb_delta(&delta.metrics);
+        let mut session = GpdnsSession::new();
+        session.stats = sweep::gpdns_stats_from(delta.gpdns);
+        sim.absorb_session(&session);
+    }
+    for (&(bi, d, addr, len), rec) in &fresh {
+        let (Some(b), Ok(scope)) = (bound.get(bi as usize), Prefix::new(addr, len)) else {
+            continue;
+        };
+        replay_record(
+            &mut result,
+            b.pop,
+            d as usize,
+            scope,
+            rec,
+            cfg.redundancy,
+            None,
+        );
+    }
+
+    // Snapshot assembly, mirroring `execute_sweep`: warm-skipped
+    // scopes carry their prior records forward alongside the merged
+    // fresh table.
+    for (bi, d, scope, rec) in skipped {
+        fresh.entry(record_key(bi, d, scope)).or_insert(rec);
+    }
+    snapshot.records = fresh;
+    snapshot.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
+    snapshot.metrics = metrics.snapshot().delta_from(&pre);
+    snapshot.fault = result.fault.as_ref().map(sweep::to_fault_record);
+    timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
+    Ok((result, snapshot))
 }
 
 #[cfg(test)]
@@ -1819,5 +2262,129 @@ mod tests {
             result.probe_counts.len() as u64 + summary.unmeasured_scopes,
             summary.assigned_scopes
         );
+    }
+
+    /// Shared config for the sharded-equivalence tests.
+    fn fleet_cfg() -> ProbeConfig {
+        let mut cfg = ProbeConfig::test_scale();
+        cfg.duration_hours = 2.0;
+        cfg.calibration_sample = 250;
+        cfg
+    }
+
+    fn fleet_sim(seed: u64) -> (Sim, Vec<Prefix>) {
+        let world = World::generate(WorldConfig::tiny(seed));
+        let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+        (Sim::new(world), universe)
+    }
+
+    /// The fleet contract in miniature, no sockets: preparing the same
+    /// sweep in three sims (one driver, two workers), probing half the
+    /// unit list in each worker, and merging the deltas on the driver
+    /// must reproduce the single-process run exactly — result
+    /// aggregates, telemetry, and the stored snapshot.
+    #[test]
+    fn sharded_sweep_matches_single_process() {
+        let cfg = fleet_cfg();
+        let (mut sim_ref, universe) = fleet_sim(77);
+        let (res_ref, snap_ref) =
+            run_technique_full(&mut sim_ref, &cfg, &universe, &mut Vec::new(), None);
+
+        let (mut driver, _) = fleet_sim(77);
+        let prep = prepare_sweep(&mut driver, &cfg, &universe, &mut Vec::new(), None);
+        let n = prep.num_units();
+        assert!(n >= 2, "need at least two units to shard");
+        let mid = n / 2;
+        let mut deltas = Vec::new();
+        for (id, range) in [(0u32, 0..mid), (1u32, mid..n)] {
+            let (mut worker, w_universe) = fleet_sim(77);
+            let w_prep = prepare_sweep(&mut worker, &cfg, &w_universe, &mut Vec::new(), None);
+            assert_eq!(w_prep.num_units(), n, "worker prep diverged from driver");
+            assert_eq!(w_prep.config_digest(), prep.config_digest());
+            deltas.push(probe_shard(&mut worker, &cfg, &w_prep, range, id));
+        }
+        // Merge in reverse arrival order on purpose: the merge must be
+        // a function of the delta set, not the wire order.
+        deltas.reverse();
+        let (res, snap) =
+            merge_shards(&mut driver, &cfg, prep, deltas, &mut Vec::new()).expect("merge");
+
+        assert_eq!(snap, snap_ref, "merged snapshot diverged");
+        assert_eq!(res.probes_sent, res_ref.probes_sent);
+        assert_eq!(res.scope0_hits, res_ref.scope0_hits);
+        assert_eq!(res.drops, res_ref.drops);
+        assert_eq!(res.hits, res_ref.hits);
+        assert_eq!(res.probe_counts, res_ref.probe_counts);
+        assert_eq!(res.scope_pairs, res_ref.scope_pairs);
+        let pop_sets = |r: &CacheProbeResult| -> BTreeMap<PopId, Vec<Prefix>> {
+            r.pop_hit_prefixes
+                .iter()
+                .map(|(pop, set)| (*pop, set.prefixes()))
+                .collect()
+        };
+        assert_eq!(pop_sets(&res), pop_sets(&res_ref));
+        assert_eq!(res.fault, res_ref.fault);
+        assert_eq!(
+            driver.metrics().snapshot().to_json(),
+            sim_ref.metrics().snapshot().to_json(),
+            "driver telemetry diverged from the single-process run"
+        );
+        assert_eq!(driver.gpdns_stats(), sim_ref.gpdns_stats());
+    }
+
+    /// A duplicated shard delta or a hole in the cover must be rejected
+    /// before anything commits — no partial-merge corruption.
+    #[test]
+    fn merge_rejects_overlapping_and_incomplete_covers() {
+        let cfg = fleet_cfg();
+        let (_, universe) = fleet_sim(77);
+
+        let shard_delta = |range: std::ops::Range<usize>, id: u32| {
+            let (mut worker, w_universe) = fleet_sim(77);
+            let w_prep = prepare_sweep(&mut worker, &cfg, &w_universe, &mut Vec::new(), None);
+            probe_shard(&mut worker, &cfg, &w_prep, range, id)
+        };
+
+        let (mut driver, _) = fleet_sim(77);
+        let prep = prepare_sweep(&mut driver, &cfg, &universe, &mut Vec::new(), None);
+        let n = prep.num_units();
+        let d0 = shard_delta(0..n, 0);
+        let mut dup = d0.clone();
+        dup.epoch = 1;
+        assert_eq!(
+            merge_shards(
+                &mut driver,
+                &cfg,
+                prep,
+                vec![d0.clone(), dup],
+                &mut Vec::new()
+            )
+            .err(),
+            Some(ShardMergeError::OverlappingShards { shard: 1 })
+        );
+
+        let (mut driver, _) = fleet_sim(77);
+        let prep = prepare_sweep(&mut driver, &cfg, &universe, &mut Vec::new(), None);
+        let err = merge_shards(
+            &mut driver,
+            &cfg,
+            prep,
+            vec![shard_delta(0..n / 2, 0)],
+            &mut Vec::new(),
+        )
+        .err();
+        assert!(
+            matches!(err, Some(ShardMergeError::MissingScopes { missing }) if missing > 0),
+            "incomplete cover accepted: {err:?}"
+        );
+
+        let (mut driver, _) = fleet_sim(77);
+        let prep = prepare_sweep(&mut driver, &cfg, &universe, &mut Vec::new(), None);
+        let mut foreign = d0;
+        foreign.world_seed ^= 1;
+        assert!(matches!(
+            merge_shards(&mut driver, &cfg, prep, vec![foreign], &mut Vec::new()).err(),
+            Some(ShardMergeError::ForeignDelta { shard: 0, .. })
+        ));
     }
 }

@@ -25,5 +25,7 @@ pub mod invariants;
 mod pipeline;
 mod report;
 
-pub use pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutput};
+pub use pipeline::{
+    LocalSweep, Pipeline, PipelineConfig, PipelineError, PipelineOutput, SweepExecutor,
+};
 pub use report::Report;

@@ -142,6 +142,26 @@ pub enum PipelineError {
         /// What went wrong.
         message: String,
     },
+    /// A distributed sweep lost its worker fleet: every worker
+    /// disconnected or crashed with shards still unprobed, so the
+    /// merged output could not be assembled. Shards probed so far are
+    /// discarded whole — a fleet failure never ships a partial merge.
+    Fleet {
+        /// The last worker (address) the driver lost, or the merge
+        /// stage itself.
+        worker: String,
+        /// What went wrong, including per-worker failure detail.
+        message: String,
+    },
+    /// The run was interrupted (SIGINT on the driver) before every
+    /// shard completed. In-flight shards were drained and workers told
+    /// to exit cleanly; no partial output was produced.
+    Interrupted {
+        /// Shards fully probed and collected before the interrupt.
+        completed: usize,
+        /// Total shards the sweep was partitioned into.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -153,11 +173,58 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Stage { stage, message } => {
                 write!(f, "pipeline stage {stage} failed: {message}")
             }
+            PipelineError::Fleet { worker, message } => {
+                write!(f, "fleet sweep failed ({worker}): {message}")
+            }
+            PipelineError::Interrupted { completed, total } => {
+                write!(
+                    f,
+                    "interrupted with {completed}/{total} shards complete; \
+                     in-flight shards drained, no output written"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+/// How the pipeline runs its probing window. The default
+/// ([`LocalSweep`]) executes everything in-process via
+/// [`run_technique_full`]; the fleet driver substitutes an executor
+/// that prepares the sweep locally, shards the unit list over TCP
+/// workers, and merges their deltas — the contract being that any
+/// executor returns the same `(result, snapshot)` bytes the local one
+/// would.
+pub trait SweepExecutor {
+    /// Runs the sweep stage: everything `run_technique_full` does,
+    /// with the same warm-start semantics.
+    fn run_sweep(
+        &mut self,
+        sim: &mut Sim,
+        cfg: &ProbeConfig,
+        universe: &[Prefix],
+        timings: &mut Vec<(String, f64)>,
+        prior: Option<&SweepSnapshot>,
+    ) -> Result<(CacheProbeResult, SweepSnapshot), PipelineError>;
+}
+
+/// The in-process executor: [`run_technique_full`], verbatim.
+#[derive(Debug, Default)]
+pub struct LocalSweep;
+
+impl SweepExecutor for LocalSweep {
+    fn run_sweep(
+        &mut self,
+        sim: &mut Sim,
+        cfg: &ProbeConfig,
+        universe: &[Prefix],
+        timings: &mut Vec<(String, f64)>,
+        prior: Option<&SweepSnapshot>,
+    ) -> Result<(CacheProbeResult, SweepSnapshot), PipelineError> {
+        Ok(run_technique_full(sim, cfg, universe, timings, prior))
+    }
+}
 
 /// The pipeline entry point.
 #[derive(Debug)]
@@ -214,6 +281,19 @@ impl Pipeline {
         prior: Option<SweepSnapshot>,
         timings: &mut Vec<(String, f64)>,
     ) -> Result<PipelineOutput, PipelineError> {
+        Pipeline::run_warm_timed_with(config, prior, timings, &mut LocalSweep)
+    }
+
+    /// [`Pipeline::run_warm_timed`] with a pluggable probing-window
+    /// executor — the seam the distributed fleet driver plugs into.
+    /// Every stage outside the sweep (world generation, crawl, CDN
+    /// logs, APNIC, analysis, invariants) runs in-process regardless.
+    pub fn run_warm_timed_with(
+        config: PipelineConfig,
+        prior: Option<SweepSnapshot>,
+        timings: &mut Vec<(String, f64)>,
+        executor: &mut dyn SweepExecutor,
+    ) -> Result<PipelineOutput, PipelineError> {
         let stage = Instant::now();
         let world = World::generate(config.world.clone());
         // The probe universe: public allocation data (RIR files stand-in).
@@ -263,7 +343,7 @@ impl Pipeline {
             SimTime::ZERO.as_millis(),
         );
         let (cache_probe, sweep) =
-            run_technique_full(&mut sim, &config.probe, &universe, timings, prior.as_ref());
+            executor.run_sweep(&mut sim, &config.probe, &universe, timings, prior.as_ref())?;
         probe_span.stop(
             (SimTime::from_hours(8) + SimTime::from_secs_f64(config.probe.duration_hours * 3600.0))
                 .as_millis(),

@@ -1,0 +1,332 @@
+//! The fleet driver: shards a prepared sweep over TCP workers and
+//! merges their deltas into byte-identical single-process output.
+//!
+//! The driver is a [`SweepExecutor`]: the pipeline runs every stage
+//! in-process as usual, and only the probing window fans out. Shards
+//! live in a shared work queue; each worker connection pulls the next
+//! shard, and a worker that disconnects or crashes mid-shard has its
+//! in-flight shard pushed back for the survivors — the sweep completes
+//! as long as one worker remains. Nothing merges until every shard
+//! delta is in, so a failed fleet never ships a partial merge.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use clientmap_cacheprobe::{merge_shards, prepare_sweep, CacheProbeResult, ProbeConfig, SweepPrep};
+use clientmap_core::{PipelineError, SweepExecutor};
+use clientmap_net::Prefix;
+use clientmap_sim::Sim;
+use clientmap_store::SweepSnapshot;
+
+use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::proto::{decode_shard_result, JobAck, JobSpec};
+use crate::shutdown;
+
+/// How the driver reaches and partitions its fleet.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Worker addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// Shards to partition the unit list into; `0` picks 4 × workers
+    /// (clamped to the unit count) so re-queues stay balanced.
+    pub num_shards: u32,
+    /// Budget for the initial connect to each worker (retried within).
+    pub connect_timeout: Duration,
+    /// Per-frame read/write timeout once connected; an expiry counts
+    /// as a lost worker and re-queues the in-flight shard.
+    pub io_timeout: Duration,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            workers: Vec::new(),
+            num_shards: 0,
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// The fleet [`SweepExecutor`]: prepare locally, probe remotely,
+/// merge in shard order.
+#[derive(Debug, Clone)]
+pub struct FleetSweep {
+    /// Fleet topology and timeouts.
+    pub opts: FleetOptions,
+    /// The scale preset name (`tiny`, `small`, `paper`) workers use to
+    /// regenerate the same world.
+    pub scale: String,
+}
+
+impl FleetSweep {
+    /// A driver over `opts` for worlds of the named scale preset.
+    pub fn new(opts: FleetOptions, scale: impl Into<String>) -> FleetSweep {
+        FleetSweep {
+            opts,
+            scale: scale.into(),
+        }
+    }
+}
+
+impl SweepExecutor for FleetSweep {
+    fn run_sweep(
+        &mut self,
+        sim: &mut Sim,
+        cfg: &ProbeConfig,
+        universe: &[Prefix],
+        timings: &mut Vec<(String, f64)>,
+        prior: Option<&SweepSnapshot>,
+    ) -> Result<(CacheProbeResult, SweepSnapshot), PipelineError> {
+        if sim.fault_plan().enabled() {
+            return Err(PipelineError::Fleet {
+                worker: "driver".into(),
+                message: "fleet sweeps do not support fault injection \
+                          (quarantine/rescue need global cross-shard state)"
+                    .into(),
+            });
+        }
+        if self.opts.workers.is_empty() {
+            return Err(PipelineError::Fleet {
+                worker: "driver".into(),
+                message: "no worker addresses given".into(),
+            });
+        }
+
+        let prep = prepare_sweep(sim, cfg, universe, timings, prior);
+        let n = prep.num_units();
+        let deltas = if prep.warm_full_skip() || n == 0 {
+            // Nothing to probe anywhere: the merge finishes from the
+            // prior (or from zero units) without touching the fleet.
+            Vec::new()
+        } else {
+            let auto = 4 * self.opts.workers.len() as u32;
+            let shards = if self.opts.num_shards == 0 {
+                auto
+            } else {
+                self.opts.num_shards
+            }
+            .clamp(1, n as u32);
+            let spec = JobSpec {
+                scale: self.scale.clone(),
+                seed: sim.world().config.seed,
+                duration_hours: cfg.duration_hours,
+                expiry_budget: cfg.expiry_budget,
+                batched_probing: cfg.batched_probing,
+                batch_size: cfg.batch_size as u64,
+                num_shards: shards,
+                config_digest: prep.config_digest(),
+                prior: prior.map(SweepSnapshot::encode),
+            };
+            dispatch(&self.opts, &spec, &prep, shards)?
+        };
+        merge_shards(sim, cfg, prep, deltas, timings).map_err(|e| PipelineError::Fleet {
+            worker: "merge".into(),
+            message: e.to_string(),
+        })
+    }
+}
+
+/// Cross-thread dispatch state: the shard queue, the result slots,
+/// and the completion count.
+struct Shared {
+    total: usize,
+    queue: Mutex<VecDeque<u32>>,
+    results: Mutex<Vec<Option<SweepSnapshot>>>,
+    done: AtomicUsize,
+}
+
+fn dispatch(
+    opts: &FleetOptions,
+    spec: &JobSpec,
+    prep: &SweepPrep,
+    num_shards: u32,
+) -> Result<Vec<SweepSnapshot>, PipelineError> {
+    let total = num_shards as usize;
+    let shared = Shared {
+        total,
+        queue: Mutex::new((0..num_shards).collect()),
+        results: Mutex::new(vec![None; total]),
+        done: AtomicUsize::new(0),
+    };
+    let errors: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    let num_units = prep.num_units() as u64;
+
+    std::thread::scope(|scope| {
+        for addr in &opts.workers {
+            let shared = &shared;
+            let errors = &errors;
+            scope.spawn(move || {
+                if let Err(e) = serve_worker(addr, opts, spec, num_units, shared) {
+                    eprintln!("driver: worker {addr} lost: {e}");
+                    errors.lock().expect("errors lock").push((addr.clone(), e));
+                }
+            });
+        }
+    });
+
+    let done = shared.done.load(Ordering::SeqCst);
+    if done < total {
+        if shutdown::requested() {
+            return Err(PipelineError::Interrupted {
+                completed: done,
+                total,
+            });
+        }
+        let errs = errors.into_inner().expect("errors lock");
+        let worker = errs
+            .last()
+            .map(|(a, _)| a.clone())
+            .unwrap_or_else(|| "fleet".into());
+        let message = if errs.is_empty() {
+            format!("{done}/{total} shards completed and no workers remain")
+        } else {
+            errs.iter()
+                .map(|(a, e)| format!("{a}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        return Err(PipelineError::Fleet { worker, message });
+    }
+    Ok(shared
+        .results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|slot| slot.expect("all shards complete"))
+        .collect())
+}
+
+/// One worker connection: handshake, then pull shards until the sweep
+/// completes, an interrupt drains, or the worker is lost. Returns
+/// `Err` only when the worker itself failed (its in-flight shard, if
+/// any, is already back in the queue).
+fn serve_worker(
+    addr: &str,
+    opts: &FleetOptions,
+    spec: &JobSpec,
+    num_units: u64,
+    shared: &Shared,
+) -> Result<(), String> {
+    let stream = connect_with_retry(addr, opts.connect_timeout)?;
+    stream.set_read_timeout(Some(opts.io_timeout)).ok();
+    stream.set_write_timeout(Some(opts.io_timeout)).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+
+    write_frame(&mut writer, &Frame::new(FrameKind::Job, spec.encode()))
+        .map_err(|e| e.to_string())?;
+    let reply = read_frame(&mut reader).map_err(|e| e.to_string())?;
+    match reply.kind {
+        FrameKind::JobAck => {
+            let ack = JobAck::decode(&reply.payload).map_err(|e| format!("bad job ack: {e}"))?;
+            if ack.num_units != num_units || ack.config_digest != spec.config_digest {
+                return Err(format!(
+                    "worker prep diverged: {} units / digest {:#x} vs driver {} / {:#x}",
+                    ack.num_units, ack.config_digest, num_units, spec.config_digest
+                ));
+            }
+        }
+        FrameKind::JobErr => {
+            return Err(format!(
+                "job refused: {}",
+                String::from_utf8_lossy(&reply.payload)
+            ));
+        }
+        other => return Err(format!("unexpected {other:?} reply to job")),
+    }
+
+    loop {
+        if shutdown::requested() || shared.done.load(Ordering::SeqCst) >= shared.total {
+            break;
+        }
+        let shard = shared.queue.lock().expect("queue lock").pop_front();
+        let Some(shard) = shard else {
+            // Queue drained but shards are still in flight elsewhere;
+            // stay alive in case one gets re-queued.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        match request_shard(&mut reader, &mut writer, shard) {
+            Ok(delta) => {
+                shared.results.lock().expect("results lock")[shard as usize] = Some(delta);
+                let done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
+                eprintln!(
+                    "driver: shard {shard} done on {addr} ({done}/{})",
+                    shared.total
+                );
+            }
+            Err(e) => {
+                // Put the in-flight shard back first, so survivors can
+                // pick it up the moment this thread reports the loss.
+                shared.queue.lock().expect("queue lock").push_front(shard);
+                eprintln!("driver: re-queued shard {shard} after losing {addr}");
+                return Err(e);
+            }
+        }
+    }
+
+    // Clean exit (sweep complete or interrupt drained): tell the
+    // worker to hang up. Failures here are harmless — the sweep
+    // already has every delta it needs from this connection.
+    let _ = write_frame(&mut writer, &Frame::new(FrameKind::Shutdown, Vec::new()));
+    let _ = read_frame(&mut reader);
+    Ok(())
+}
+
+fn request_shard(
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    shard: u32,
+) -> Result<SweepSnapshot, String> {
+    write_frame(
+        writer,
+        &Frame::new(FrameKind::ShardRequest, shard.to_le_bytes().to_vec()),
+    )
+    .map_err(|e| e.to_string())?;
+    let frame = read_frame(reader).map_err(|e| e.to_string())?;
+    if frame.kind != FrameKind::ShardResult {
+        return Err(format!(
+            "unexpected {:?} reply to shard request",
+            frame.kind
+        ));
+    }
+    let (id, delta) =
+        decode_shard_result(&frame.payload).map_err(|e| format!("bad shard result: {e}"))?;
+    if id != shard {
+        return Err(format!("shard id mismatch: asked {shard}, got {id}"));
+    }
+    Ok(delta)
+}
+
+fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + budget;
+    let attempt_timeout = Duration::from_secs(2)
+        .min(budget)
+        .max(Duration::from_millis(100));
+    loop {
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+            .collect();
+        let mut last: Option<std::io::Error> = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, attempt_timeout) {
+                Ok(s) => return Ok(s),
+                Err(e) => last = Some(e),
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "cannot connect to {addr}: {}",
+                last.map(|e| e.to_string())
+                    .unwrap_or_else(|| "no addresses resolved".into())
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

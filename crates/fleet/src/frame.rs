@@ -1,0 +1,235 @@
+//! The fleet's wire framing: length-prefixed, checksummed frames over
+//! a TCP stream.
+//!
+//! ```text
+//! ┌───────┬──────┬─────────┬────────────┬────────────┐
+//! │ magic │ kind │ len u32 │ payload    │ sum u64 LE │
+//! │ CMFR  │ u8   │ LE      │ len bytes  │ splitmix64 │
+//! └───────┴──────┴─────────┴────────────┴────────────┘
+//! ```
+//!
+//! The trailing checksum is `clientmap_store::codec::checksum` over
+//! `kind ‖ len ‖ payload` — the same seeded splitmix64 fold the
+//! snapshot codec uses — so truncations, reorderings, and bit flips on
+//! the wire are all rejected before a payload is interpreted. Frames
+//! larger than [`MAX_FRAME_PAYLOAD`] are refused *before* any payload
+//! allocation, so a corrupt length prefix cannot balloon memory.
+
+use std::io::{Read, Write};
+
+use clientmap_store::checksum;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"CMFR";
+
+/// Hard ceiling on a frame payload (256 MiB) — far above any real
+/// shard delta, far below a corrupt length prefix.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 28;
+
+/// What a frame means. The numeric values are the wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// driver → worker: sweep job description ([`crate::proto::JobSpec`]).
+    Job = 1,
+    /// worker → driver: job accepted; payload is a
+    /// [`crate::proto::JobAck`].
+    JobAck = 2,
+    /// worker → driver: job refused; payload is a UTF-8 reason.
+    JobErr = 3,
+    /// driver → worker: probe one shard; payload is the shard id (u32
+    /// LE).
+    ShardRequest = 4,
+    /// worker → driver: a shard's delta; payload is shard id (u32 LE)
+    /// followed by `SweepSnapshot::encode` bytes.
+    ShardResult = 5,
+    /// driver → worker: sweep complete (or aborted) — exit cleanly.
+    Shutdown = 6,
+    /// worker → driver: acknowledged shutdown, closing.
+    Bye = 7,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Job,
+            2 => FrameKind::JobAck,
+            3 => FrameKind::JobErr,
+            4 => FrameKind::ShardRequest,
+            5 => FrameKind::ShardResult,
+            6 => FrameKind::Shutdown,
+            7 => FrameKind::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The frame's payload (interpretation depends on `kind`).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame of `kind` carrying `payload`.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended mid-frame (a clean EOF *between* frames is
+    /// reported as `Io` with `UnexpectedEof` by `read_frame_opt`'s
+    /// `None` instead).
+    ShortRead,
+    /// The first four bytes were not the frame magic.
+    BadMagic([u8; 4]),
+    /// The kind byte was not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The length prefix exceeded [`MAX_FRAME_PAYLOAD`].
+    Oversized(usize),
+    /// The trailing checksum did not match the frame body.
+    BadChecksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::ShortRead => write!(f, "stream ended mid-frame"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::ShortRead
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// The bytes the checksum covers: kind, length prefix, payload.
+fn body_checksum(kind: u8, payload: &[u8]) -> u64 {
+    let mut body = Vec::with_capacity(5 + payload.len());
+    body.push(kind);
+    body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    body.extend_from_slice(payload);
+    checksum(&body)
+}
+
+/// Writes one frame to `w` (buffered by the caller's stream; a frame
+/// is a single `write_all`).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(17 + frame.payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(frame.kind as u8);
+    buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.payload);
+    buf.extend_from_slice(&body_checksum(frame.kind as u8, &frame.payload).to_le_bytes());
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`, validating magic, kind, size, and
+/// checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    read_frame_after_header(r, header)
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean EOF at a frame
+/// boundary — how a worker distinguishes "driver hung up" from a
+/// corrupt stream.
+pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; 9];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::ShortRead),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    read_frame_after_header(r, header).map(Some)
+}
+
+fn read_frame_after_header(r: &mut impl Read, header: [u8; 9]) -> Result<Frame, FrameError> {
+    let magic: [u8; 4] = header[..4].try_into().expect("4-byte magic");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let kind_byte = header[4];
+    let kind = FrameKind::from_u8(kind_byte).ok_or(FrameError::UnknownKind(kind_byte))?;
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4-byte len")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    if u64::from_le_bytes(sum) != body_checksum(kind_byte, &payload) {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(Frame { kind, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(kind, payload)).unwrap();
+        read_frame(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for (kind, payload) in [
+            (FrameKind::Job, vec![]),
+            (FrameKind::ShardRequest, 7u32.to_le_bytes().to_vec()),
+            (FrameKind::ShardResult, vec![0xAB; 4096]),
+            (FrameKind::Bye, vec![1, 2, 3]),
+        ] {
+            let f = roundtrip(kind, payload.clone());
+            assert_eq!(f.kind, kind);
+            assert_eq!(f.payload, payload);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_midframe_is_error() {
+        assert!(read_frame_opt(&mut [].as_slice()).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(FrameKind::Job, vec![9; 100])).unwrap();
+        for cut in [1, 5, 9, 30, buf.len() - 1] {
+            let err = read_frame_opt(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::ShortRead),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # clientmap-fleet
+//!
+//! Distributed sweep sharding: a driver/worker fleet over TCP.
+//!
+//! One process (`clientmap driver`) prepares the sweep exactly as a
+//! single-process run would — discovery, calibration, assignment, the
+//! warm planner — then partitions the planner's live unit list into
+//! deterministic contiguous shards and distributes them to N worker
+//! processes (`clientmap worker`) over a length-prefixed, checksummed
+//! TCP protocol ([`frame`]). Each worker prepares the *same* sweep
+//! from the same `(seed, config)` — preparation is a pure function of
+//! those — probes its assigned shards with the existing
+//! `clientmap-par` executor and batched kernels, and streams back each
+//! shard's delta encoded with the `SweepSnapshot` byte codec
+//! ([`proto`]).
+//!
+//! The driver merges deltas in shard order
+//! (`clientmap_cacheprobe::merge_shards`), making the merged report,
+//! metrics snapshot, and snapshot file **byte-identical** to a
+//! single-process run at any ⟨worker, thread⟩ combination. A worker
+//! that disconnects or crashes mid-shard has its shard re-queued onto
+//! the survivors ([`driver`]); a SIGINT on the driver drains in-flight
+//! shards and tells workers to exit cleanly ([`shutdown`]).
+//!
+//! Fleet sweeps are fault-free by construction: fault quarantine and
+//! the rescue sweep need global cross-shard state, so the driver
+//! refuses fault profiles other than `off`.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod frame;
+pub mod proto;
+pub mod shutdown;
+pub mod worker;
+
+pub use driver::{FleetOptions, FleetSweep};
+pub use frame::{read_frame, write_frame, Frame, FrameError, FrameKind, MAX_FRAME_PAYLOAD};
+pub use proto::{shard_range, JobAck, JobSpec, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerOptions};

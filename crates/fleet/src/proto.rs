@@ -1,0 +1,220 @@
+//! Frame payloads: the job handshake and shard partitioning.
+//!
+//! A job names the sweep by `(scale, seed, probing knobs, prior
+//! snapshot)` — the worker rebuilds the *same* world and prep from
+//! those (preparation is a pure function of them) rather than
+//! shipping the world over the wire. The driver's config digest rides
+//! along, and the worker's ack echoes its own digest and unit count,
+//! so a version or configuration skew between binaries is caught at
+//! the handshake, never as a corrupt merge.
+
+use clientmap_core::PipelineConfig;
+use clientmap_faults::FaultConfig;
+use clientmap_store::{ByteReader, ByteWriter, CodecError, SweepSnapshot};
+
+/// Bumped whenever the frame layout or payload encodings change; a
+/// worker refuses a job from a different protocol version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// driver → worker: everything needed to rebuild the sweep and its
+/// prep deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// World scale preset (`tiny`, `small`, `paper`).
+    pub scale: String,
+    /// World seed.
+    pub seed: u64,
+    /// Probing-window length in (sim) hours.
+    pub duration_hours: f64,
+    /// Warm-start expiry budget (fraction of scopes refreshed).
+    pub expiry_budget: f64,
+    /// Whether the batched probe kernels are enabled.
+    pub batched_probing: bool,
+    /// Batch arena size for the batched kernels.
+    pub batch_size: u64,
+    /// How many shards the driver partitioned the unit list into.
+    pub num_shards: u32,
+    /// The driver's config digest, for handshake validation.
+    pub config_digest: u64,
+    /// Encoded prior [`SweepSnapshot`] for warm fleet sweeps.
+    pub prior: Option<Vec<u8>>,
+}
+
+impl JobSpec {
+    /// Encodes the spec (with trailing checksum) as a Job payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(PROTOCOL_VERSION);
+        w.str(&self.scale);
+        w.u64(self.seed);
+        w.u64(self.duration_hours.to_bits());
+        w.u64(self.expiry_budget.to_bits());
+        w.u8(u8::from(self.batched_probing));
+        w.u64(self.batch_size);
+        w.u32(self.num_shards);
+        w.u64(self.config_digest);
+        match &self.prior {
+            None => w.u8(0),
+            Some(bytes) => {
+                w.u8(1);
+                w.u32(bytes.len() as u32);
+                w.bytes(bytes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a Job payload, verifying the checksum and protocol
+    /// version.
+    pub fn decode(bytes: &[u8]) -> Result<JobSpec, CodecError> {
+        let mut r = ByteReader::verified(bytes)?;
+        let version = r.u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(CodecError::BadVersion(version as u16));
+        }
+        let scale = r.str()?;
+        let seed = r.u64()?;
+        let duration_hours = f64::from_bits(r.u64()?);
+        let expiry_budget = f64::from_bits(r.u64()?);
+        let batched_probing = r.u8()? != 0;
+        let batch_size = r.u64()?;
+        let num_shards = r.u32()?;
+        let config_digest = r.u64()?;
+        let prior = match r.u8()? {
+            0 => None,
+            _ => {
+                let len = r.u32()? as usize;
+                Some(r.raw(len)?.to_vec())
+            }
+        };
+        r.expect_done()?;
+        Ok(JobSpec {
+            scale,
+            seed,
+            duration_hours,
+            expiry_budget,
+            batched_probing,
+            batch_size,
+            num_shards,
+            config_digest,
+            prior,
+        })
+    }
+
+    /// The pipeline configuration this job describes — the same
+    /// mapping the CLI's `--scale`/`--seed` flags use, with the
+    /// probing knobs overridden from the spec. Fleet jobs are always
+    /// fault-free.
+    pub fn config(&self) -> PipelineConfig {
+        let mut config = match self.scale.as_str() {
+            "paper" => PipelineConfig::paper_scale(self.seed),
+            "small" => PipelineConfig::small(self.seed),
+            _ => PipelineConfig::tiny(self.seed),
+        };
+        config.faults = FaultConfig::default();
+        config.probe.duration_hours = self.duration_hours;
+        config.probe.expiry_budget = self.expiry_budget;
+        config.probe.batched_probing = self.batched_probing;
+        config.probe.batch_size = self.batch_size as usize;
+        config
+    }
+
+    /// Decodes the job's prior snapshot, if any.
+    pub fn prior_snapshot(&self) -> Result<Option<SweepSnapshot>, CodecError> {
+        self.prior.as_deref().map(SweepSnapshot::decode).transpose()
+    }
+}
+
+/// worker → driver: the worker rebuilt the sweep and is ready for
+/// shard requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobAck {
+    /// Units in the worker's prepared sweep (must match the driver's).
+    pub num_units: u64,
+    /// The worker's own config digest (must match the driver's).
+    pub config_digest: u64,
+    /// The worker's world seed.
+    pub world_seed: u64,
+    /// Whether the worker's warm plan skipped everything.
+    pub warm_full_skip: bool,
+}
+
+impl JobAck {
+    /// Encodes the ack (with trailing checksum) as a JobAck payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.num_units);
+        w.u64(self.config_digest);
+        w.u64(self.world_seed);
+        w.u8(u8::from(self.warm_full_skip));
+        w.finish()
+    }
+
+    /// Decodes a JobAck payload.
+    pub fn decode(bytes: &[u8]) -> Result<JobAck, CodecError> {
+        let mut r = ByteReader::verified(bytes)?;
+        let ack = JobAck {
+            num_units: r.u64()?,
+            config_digest: r.u64()?,
+            world_seed: r.u64()?,
+            warm_full_skip: r.u8()? != 0,
+        };
+        r.expect_done()?;
+        Ok(ack)
+    }
+}
+
+/// The deterministic shard partition: contiguous ranges over the unit
+/// list, sizes differing by at most one (the remainder spread over the
+/// first shards). Every ⟨unit count, shard count⟩ pair yields the same
+/// partition in every process — the invariant that lets workers probe
+/// shards the driver never sent them explicitly.
+pub fn shard_range(num_units: usize, num_shards: u32, shard: u32) -> std::ops::Range<usize> {
+    let k = (num_shards as usize).max(1);
+    let s = (shard as usize).min(k - 1);
+    let base = num_units / k;
+    let extra = num_units % k;
+    let start = s * base + s.min(extra);
+    let len = base + usize::from(s < extra);
+    start..(start + len).min(num_units)
+}
+
+/// Encodes a ShardResult payload: shard id, then the delta snapshot's
+/// own checksummed encoding.
+pub fn encode_shard_result(shard: u32, delta: &SweepSnapshot) -> Vec<u8> {
+    let mut out = shard.to_le_bytes().to_vec();
+    out.extend_from_slice(&delta.encode());
+    out
+}
+
+/// Decodes a ShardResult payload back into `(shard id, delta)`.
+pub fn decode_shard_result(payload: &[u8]) -> Result<(u32, SweepSnapshot), CodecError> {
+    if payload.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (id, rest) = payload.split_at(4);
+    let shard = u32::from_le_bytes(id.try_into().expect("4-byte shard id"));
+    Ok((shard, SweepSnapshot::decode(rest)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_unit_list() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for k in [1u32, 2, 3, 4, 7, 16] {
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for s in 0..k {
+                    let r = shard_range(n, k, s);
+                    assert_eq!(r.start, expected_start, "n={n} k={k} s={s}");
+                    expected_start = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n, "n={n} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The fleet worker: a TCP server that rebuilds a sweep from a
+//! [`JobSpec`], then answers shard requests with checksummed deltas.
+//!
+//! The worker never sees the driver's world over the wire — it
+//! regenerates the same world and runs the same preparation from the
+//! job's `(scale, seed, probing knobs, prior)`, which is what makes a
+//! shard delta mergeable byte-for-byte. The handshake cross-checks the
+//! config digest and unit count, so a skewed binary or configuration
+//! fails loudly at job time instead of corrupting a merge.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use clientmap_cacheprobe::{prepare_sweep, probe_shard, SweepPrep};
+use clientmap_core::PipelineConfig;
+use clientmap_net::Prefix;
+use clientmap_sim::Sim;
+use clientmap_telemetry::MetricsRegistry;
+use clientmap_world::World;
+
+use crate::frame::{read_frame_opt, write_frame, Frame, FrameKind};
+use crate::proto::{encode_shard_result, shard_range, JobAck, JobSpec};
+
+/// How a worker process runs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Address to listen on (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Exit after serving one driver connection (tests, benches).
+    pub once: bool,
+    /// Deterministic crash injection: serve this many shard requests,
+    /// then exit the process without replying to the next one — the
+    /// chaos lever for the driver's re-queue path.
+    pub fail_after: Option<u32>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            listen: "127.0.0.1:0".into(),
+            once: false,
+            fail_after: None,
+        }
+    }
+}
+
+/// A prepared job: the worker-side sweep, paused before probing.
+struct JobState {
+    config: PipelineConfig,
+    sim: Sim,
+    prep: SweepPrep,
+    num_shards: u32,
+}
+
+fn build_job(spec: &JobSpec) -> Result<JobState, String> {
+    let config = spec.config();
+    let world = World::generate(config.world.clone());
+    let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+    if universe.is_empty() {
+        return Err("generated world has no announced blocks to probe".into());
+    }
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut sim = Sim::with_faults(world, Arc::clone(&metrics), &config.faults);
+    let prior = spec
+        .prior_snapshot()
+        .map_err(|e| format!("prior snapshot unusable: {e}"))?;
+    let prep = prepare_sweep(
+        &mut sim,
+        &config.probe,
+        &universe,
+        &mut Vec::new(),
+        prior.as_ref(),
+    );
+    if prep.config_digest() != spec.config_digest {
+        return Err(format!(
+            "config digest mismatch: driver {:#x}, worker {:#x} \
+             (binary or configuration skew)",
+            spec.config_digest,
+            prep.config_digest()
+        ));
+    }
+    if spec.num_shards == 0 {
+        return Err("job with zero shards".into());
+    }
+    Ok(JobState {
+        config,
+        sim,
+        prep,
+        num_shards: spec.num_shards,
+    })
+}
+
+fn serve_connection(stream: TcpStream, opts: &WorkerOptions) -> std::io::Result<()> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut job: Option<JobState> = None;
+    let mut served: u32 = 0;
+
+    loop {
+        let frame = match read_frame_opt(&mut reader) {
+            Ok(Some(f)) => f,
+            // Clean EOF: the driver hung up (e.g. it was interrupted
+            // after draining) — not an error.
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(std::io::Error::other(e.to_string())),
+        };
+        match frame.kind {
+            FrameKind::Job => {
+                let reply = JobSpec::decode(&frame.payload)
+                    .map_err(|e| format!("bad job payload: {e}"))
+                    .and_then(|spec| build_job(&spec));
+                match reply {
+                    Ok(state) => {
+                        let ack = JobAck {
+                            num_units: state.prep.num_units() as u64,
+                            config_digest: state.prep.config_digest(),
+                            world_seed: state.prep.world_seed(),
+                            warm_full_skip: state.prep.warm_full_skip(),
+                        };
+                        eprintln!(
+                            "worker: job from {peer} accepted ({} units, {} shards)",
+                            state.prep.num_units(),
+                            state.num_shards
+                        );
+                        job = Some(state);
+                        write_frame(&mut writer, &Frame::new(FrameKind::JobAck, ack.encode()))?;
+                    }
+                    Err(reason) => {
+                        eprintln!("worker: job from {peer} refused: {reason}");
+                        write_frame(
+                            &mut writer,
+                            &Frame::new(FrameKind::JobErr, reason.into_bytes()),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::ShardRequest => {
+                let Some(state) = job.as_mut() else {
+                    write_frame(
+                        &mut writer,
+                        &Frame::new(FrameKind::JobErr, b"shard request before job".to_vec()),
+                    )?;
+                    continue;
+                };
+                if frame.payload.len() != 4 {
+                    write_frame(
+                        &mut writer,
+                        &Frame::new(FrameKind::JobErr, b"bad shard request payload".to_vec()),
+                    )?;
+                    continue;
+                }
+                let shard =
+                    u32::from_le_bytes(frame.payload[..4].try_into().expect("4-byte shard id"));
+                if opts.fail_after.is_some_and(|n| served >= n) {
+                    // Chaos lever: die mid-request, leaving the driver
+                    // with an in-flight shard to re-queue.
+                    eprintln!("worker: injected crash before shard {shard}");
+                    std::process::exit(17);
+                }
+                served += 1;
+                let range = shard_range(state.prep.num_units(), state.num_shards, shard);
+                eprintln!(
+                    "worker: probing shard {shard} (units {}..{})",
+                    range.start, range.end
+                );
+                let delta = probe_shard(
+                    &mut state.sim,
+                    &state.config.probe,
+                    &state.prep,
+                    range,
+                    shard,
+                );
+                write_frame(
+                    &mut writer,
+                    &Frame::new(FrameKind::ShardResult, encode_shard_result(shard, &delta)),
+                )?;
+            }
+            FrameKind::Shutdown => {
+                write_frame(&mut writer, &Frame::new(FrameKind::Bye, Vec::new()))?;
+                return Ok(());
+            }
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "unexpected frame {other:?} from driver"
+                )));
+            }
+        }
+    }
+}
+
+/// Runs the worker: binds `opts.listen`, announces the bound address
+/// on stdout (`clientmap worker listening on <addr>` — scripts parse
+/// this to discover ephemeral ports), and serves drivers until killed
+/// (or after one connection with `opts.once`).
+pub fn run_worker(opts: &WorkerOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let local = listener.local_addr()?;
+    println!("clientmap worker listening on {local}");
+    std::io::stdout().flush()?;
+
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if let Err(e) = serve_connection(stream, opts) {
+            eprintln!("worker: connection failed: {e}");
+        }
+        if opts.once {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! Wire-protocol tests for the fleet frame codec and job protocol:
+//! round-trip properties over randomized frames and job specs, and the
+//! rejection paths a hostile or truncated byte stream must hit
+//! (short reads, oversized frames, corrupted checksums, bad magic,
+//! unknown kinds) — each surfaced as its own typed [`FrameError`], so
+//! the driver can tell a lost worker from a protocol bug.
+
+use std::io::Cursor;
+
+use clientmap_fleet::{
+    read_frame, shard_range, write_frame, Frame, FrameError, FrameKind, JobAck, JobSpec,
+    MAX_FRAME_PAYLOAD,
+};
+use proptest::prelude::*;
+
+fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame).expect("in-memory write");
+    buf
+}
+
+fn kind_strategy() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Job),
+        Just(FrameKind::JobAck),
+        Just(FrameKind::JobErr),
+        Just(FrameKind::ShardRequest),
+        Just(FrameKind::ShardResult),
+        Just(FrameKind::Shutdown),
+        Just(FrameKind::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any frame survives an encode/decode round trip, and back-to-back
+    /// frames on one stream decode in order.
+    #[test]
+    fn frames_roundtrip_any_payload(
+        kind in kind_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        kind2 in kind_strategy(),
+        payload2 in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let a = Frame::new(kind, payload);
+        let b = Frame::new(kind2, payload2);
+        let mut buf = encode_frame(&a);
+        buf.extend_from_slice(&encode_frame(&b));
+        let mut cur = Cursor::new(buf);
+        let got_a = read_frame(&mut cur).expect("first frame");
+        let got_b = read_frame(&mut cur).expect("second frame");
+        prop_assert_eq!(got_a.kind, a.kind);
+        prop_assert_eq!(got_a.payload, a.payload);
+        prop_assert_eq!(got_b.kind, b.kind);
+        prop_assert_eq!(got_b.payload, b.payload);
+    }
+
+    /// Truncating an encoded frame anywhere short of its full length
+    /// yields `ShortRead` — never a bogus frame, never a hang.
+    #[test]
+    fn any_truncation_is_a_short_read(
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let buf = encode_frame(&Frame::new(FrameKind::ShardResult, payload));
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        let mut cur = Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut cur) {
+            Err(FrameError::ShortRead) => {}
+            other => prop_assert!(false, "expected ShortRead, got {other:?}"),
+        }
+    }
+
+    /// Flipping any single bit of an encoded frame never yields the
+    /// original frame back: either a typed error, or (when the flip
+    /// lands in the length field in a way that still parses) a frame
+    /// whose content differs.
+    #[test]
+    fn any_single_bitflip_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        pos_frac in 0.0..1.0f64,
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::new(FrameKind::Job, payload);
+        let mut buf = encode_frame(&frame);
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        let mut cur = Cursor::new(buf);
+        match read_frame(&mut cur) {
+            Err(_) => {}
+            Ok(got) => prop_assert!(
+                got.kind != frame.kind || got.payload != frame.payload,
+                "bitflip at byte {pos} bit {bit} went unnoticed"
+            ),
+        }
+    }
+
+    /// `shard_range` partitions `0..num_units` exactly: contiguous,
+    /// disjoint, covering, and balanced to within one unit.
+    #[test]
+    fn shard_ranges_are_a_balanced_partition(num_units in 0usize..5000, num_shards in 1u32..64) {
+        let mut next = 0usize;
+        let (mut min_len, mut max_len) = (usize::MAX, 0usize);
+        for shard in 0..num_shards {
+            let r = shard_range(num_units, num_shards, shard);
+            prop_assert_eq!(r.start, next, "shard {} not contiguous", shard);
+            next = r.end;
+            min_len = min_len.min(r.len());
+            max_len = max_len.max(r.len());
+        }
+        prop_assert_eq!(next, num_units);
+        prop_assert!(max_len - min_len <= 1, "unbalanced: {min_len}..{max_len}");
+    }
+
+    /// `JobSpec` and `JobAck` survive their codec round trip for any
+    /// field values, including an embedded prior-snapshot byte blob.
+    #[test]
+    fn job_messages_roundtrip(
+        seed in any::<u64>(),
+        duration in 0.0..100.0f64,
+        budget in 0.0..1.0f64,
+        batched in any::<bool>(),
+        batch_size in 1u64..10_000,
+        num_shards in 1u32..256,
+        digest in any::<u64>(),
+        prior in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..128)),
+        num_units in any::<u64>(),
+        world_seed in any::<u64>(),
+        warm in any::<bool>(),
+    ) {
+        let spec = JobSpec {
+            scale: "small".into(),
+            seed,
+            duration_hours: duration,
+            expiry_budget: budget,
+            batched_probing: batched,
+            batch_size,
+            num_shards,
+            config_digest: digest,
+            prior,
+        };
+        let got = JobSpec::decode(&spec.encode()).expect("spec round trip");
+        prop_assert_eq!(got, spec);
+
+        let ack = JobAck {
+            num_units,
+            config_digest: digest,
+            world_seed,
+            warm_full_skip: warm,
+        };
+        let got = JobAck::decode(&ack.encode()).expect("ack round trip");
+        prop_assert_eq!(got, ack);
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation() {
+    // Hand-build a header claiming a payload just past the cap; the
+    // reader must fail on the length field without trying to read (or
+    // allocate) the body.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"CMFR");
+    buf.push(FrameKind::ShardResult as u8);
+    buf.extend_from_slice(&((MAX_FRAME_PAYLOAD + 1) as u32).to_le_bytes());
+    match read_frame(&mut Cursor::new(buf)) {
+        Err(FrameError::Oversized(n)) => assert_eq!(n, MAX_FRAME_PAYLOAD + 1),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_checksum_is_rejected() {
+    let mut buf = encode_frame(&Frame::new(FrameKind::JobAck, vec![1, 2, 3]));
+    let last = buf.len() - 1;
+    buf[last] ^= 0x40; // flip a checksum bit only
+    match read_frame(&mut Cursor::new(buf)) {
+        Err(FrameError::BadChecksum) => {}
+        other => panic!("expected BadChecksum, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_and_unknown_kind_are_rejected() {
+    let mut buf = encode_frame(&Frame::new(FrameKind::Shutdown, Vec::new()));
+    buf[0] = b'X';
+    match read_frame(&mut Cursor::new(buf.clone())) {
+        Err(FrameError::BadMagic(m)) => assert_eq!(&m, b"XMFR"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+
+    let mut buf = encode_frame(&Frame::new(FrameKind::Shutdown, Vec::new()));
+    buf[4] = 0xEE; // kind byte — checked before the checksum
+    match read_frame(&mut Cursor::new(buf)) {
+        Err(FrameError::UnknownKind(0xEE)) => {}
+        other => panic!("expected UnknownKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_bitflips_hit_the_checksum() {
+    // Deterministic complement of the proptest: every single-bit flip
+    // in the payload region specifically lands on BadChecksum.
+    let frame = Frame::new(FrameKind::ShardResult, (0u8..32).collect::<Vec<u8>>());
+    let clean = encode_frame(&frame);
+    let payload_start = 4 + 1 + 4;
+    let payload_end = payload_start + frame.payload.len();
+    for pos in payload_start..payload_end {
+        for bit in 0..8 {
+            let mut buf = clean.clone();
+            buf[pos] ^= 1 << bit;
+            match read_frame(&mut Cursor::new(buf)) {
+                Err(FrameError::BadChecksum) => {}
+                other => panic!("flip at {pos}/{bit}: expected BadChecksum, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn job_spec_rejects_truncation_and_checksum_damage() {
+    let spec = JobSpec {
+        scale: "tiny".into(),
+        seed: 7,
+        duration_hours: 4.0,
+        expiry_budget: 0.0,
+        batched_probing: true,
+        batch_size: 64,
+        num_shards: 8,
+        config_digest: 0xDEAD_BEEF,
+        prior: Some(vec![9; 40]),
+    };
+    let clean = spec.encode();
+    assert!(JobSpec::decode(&clean[..clean.len() - 3]).is_err());
+    let mut bad = clean.clone();
+    bad[10] ^= 1;
+    assert!(JobSpec::decode(&bad).is_err());
+}

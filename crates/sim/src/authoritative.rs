@@ -66,6 +66,16 @@ pub struct DomainScopeKey {
     scope_len_range: (u8, u8),
 }
 
+impl DomainScopeKey {
+    /// The domain's configured `(lo, hi)` ECS scope-length range. The
+    /// scope policy never assigns below `lo` (routing alignment only
+    /// ever *lengthens*), which is what lets prefilters bound how far
+    /// up the prefix tree a candidate entry can sit.
+    pub fn scope_len_range(&self) -> (u8, u8) {
+        self.scope_len_range
+    }
+}
+
 impl Authoritatives {
     /// Builds the authoritative layer for a world seed, with a routing
     /// snapshot for scope alignment.

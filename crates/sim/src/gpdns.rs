@@ -1110,6 +1110,11 @@ pub struct BatchDomain<'a> {
     scoped: &'a HashMap<Prefix, ScopeLoad>,
     global: ScopeLoad,
     prefilter: Slash24Bitset,
+    /// Ancestor depth for the admission prefilter: a candidate entry is
+    /// never shorter than the domain's minimum scope length, so its
+    /// base /24 index is the probed /24's index with at most this many
+    /// low bits cleared.
+    anc_clear: u8,
 }
 
 /// The time-independent part of serving one query scope, hoisted out
@@ -1179,12 +1184,14 @@ impl GooglePublicDns {
         for scope in scoped.keys() {
             prefilter.insert(scope.addr() >> 8);
         }
+        let (lo, _) = self.scope_keys[slot].scope_len_range();
         Some(BatchDomain {
             slot,
             key: self.scope_keys[slot],
             scoped,
             global: self.global[conn.pop][slot],
             prefilter,
+            anc_clear: 24u8.saturating_sub(lo.min(24)),
         })
     }
 
@@ -1197,6 +1204,19 @@ impl GooglePublicDns {
         dom: &BatchDomain<'_>,
         scope: Prefix,
     ) -> ScopeLane {
+        // Admission pass: any candidate the scope policy could assign
+        // is at least the domain's minimum length, so its base /24 is
+        // an aligned ancestor of the probed /24. If none of those /24s
+        // holds a scoped entry at this PoP, the lane cannot hit — skip
+        // the per-probe scope-policy walk (a hash chain plus RIB
+        // lookup) entirely. Whole admission-empty pages reduce to one
+        // word probe per lane.
+        if !dom.prefilter.ancestor_hit(scope.addr() >> 8, dom.anc_clear) {
+            return ScopeLane {
+                scope,
+                hit_path: None,
+            };
+        }
         let hit_path = auth
             .base_scope_keyed(&dom.key, scope.addr())
             .filter(|s| !s.is_default())

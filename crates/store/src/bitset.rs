@@ -84,6 +84,41 @@ impl Slash24Bitset {
         self.contains(addr >> 8)
     }
 
+    /// Whether `idx` or any of its *aligned ancestors* — the indexes
+    /// obtained by clearing the low `k` bits of `idx`, `k` in
+    /// `0..=max_clear` — is set. When the set holds the base /24 of
+    /// every prefix in some collection, this answers "could a prefix of
+    /// length ≥ 24 − max_clear cover this /24?" without walking the
+    /// candidate lengths through a map: ancestors with `k ≤ 6` all land
+    /// in one 64-bit word and collapse to a single mask test, and the
+    /// at-most 18 coarser ones fall back to indexed probes.
+    pub fn ancestor_hit(&self, idx: u32, max_clear: u8) -> bool {
+        if self.ones == 0 || idx as usize >= SLASH24_SPACE {
+            return false;
+        }
+        if let Some(page) = self.pages.get(&(idx >> 12)) {
+            let word = page[((idx & 4095) / 64) as usize];
+            if word & ancestor_word_mask(idx & 63, max_clear.min(6)) != 0 {
+                return true;
+            }
+        }
+        // Coarser ancestors leave the word (and eventually the page).
+        // Clearing an already-zero bit repeats the previous index, so
+        // consecutive duplicates are skipped.
+        let mut prev = idx & !63;
+        for k in 7..=u32::from(max_clear.min(24)) {
+            let anc = idx & !((1u32 << k) - 1);
+            if anc == prev {
+                continue;
+            }
+            if self.contains(anc) {
+                return true;
+            }
+            prev = anc;
+        }
+        false
+    }
+
     /// Number of set /24s.
     pub fn count(&self) -> u64 {
         self.ones
@@ -148,6 +183,17 @@ impl Slash24Bitset {
     pub fn pages_allocated(&self) -> usize {
         self.pages.len().min(PAGES)
     }
+}
+
+/// The in-word positions of `bit`'s cleared-low-`k` ancestors for `k`
+/// in `0..=kmax` (`kmax ≤ 6` keeps every ancestor inside the word), as
+/// one mask.
+fn ancestor_word_mask(bit: u32, kmax: u8) -> u64 {
+    let mut mask = 0u64;
+    for k in 0..=u32::from(kmax) {
+        mask |= 1u64 << (bit & !((1u32 << k) - 1));
+    }
+    mask
 }
 
 /// Iterates the set bit positions of one word, ascending.
@@ -257,6 +303,38 @@ mod tests {
         u.union_with(&b);
         assert_eq!(u.count(), a.or_count(&b));
         assert_eq!(u.iter().collect::<Vec<_>>().len() as u64, u.count());
+    }
+
+    #[test]
+    fn ancestor_hit_matches_per_level_contains() {
+        // A mix of dense low indexes (in-word ancestors), page-boundary
+        // indexes, and coarse-aligned indexes reachable only by the
+        // k ≥ 7 fallback.
+        let mut s = Slash24Bitset::new();
+        for idx in [
+            0u32, 1, 37, 63, 64, 4095, 4096, 0x123400, 0x800000, 0xFFFFFF,
+        ] {
+            s.insert(idx);
+        }
+        let reference = |s: &Slash24Bitset, idx: u32, max_clear: u8| -> bool {
+            (0..=u32::from(max_clear.min(24))).any(|k| s.contains(idx & !((1u32 << k) - 1)))
+        };
+        let probes: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) & 0xFF_FFFF)
+            .chain([
+                0, 1, 37, 63, 64, 65, 4095, 4097, 0x1234FF, 0x80_0001, 0xFFFFFF,
+            ])
+            .collect();
+        for &idx in &probes {
+            for max_clear in [0u8, 1, 3, 6, 7, 8, 12, 24, 31] {
+                assert_eq!(
+                    s.ancestor_hit(idx, max_clear),
+                    reference(&s, idx, max_clear),
+                    "idx {idx:#x} max_clear {max_clear}"
+                );
+            }
+        }
+        assert!(!Slash24Bitset::new().ancestor_hit(0, 24));
     }
 
     #[test]

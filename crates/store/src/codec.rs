@@ -150,6 +150,11 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
+    /// Reads `n` raw bytes (e.g. a nested encoded structure).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])

@@ -58,7 +58,7 @@ mod table;
 mod verdict;
 
 pub use bitset::{AsBitsets, Slash24Bitset, SLASH24_SPACE};
-pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use codec::{checksum, ByteReader, ByteWriter, CodecError};
 pub use planner::{classify, PlanReason, PlannerStats, PriorScope};
 pub use snapshot::{
     CalibrationRecord, FaultRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot,

@@ -3,9 +3,15 @@
 //! ```text
 //! clientmap run     [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
 //!                   [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F]
+//!                   [--duration-hours F] [--metrics FILE]
 //! clientmap export  [--scale ...] [--seed N] --out DIR
 //! clientmap query   PREFIX [--scale ...] [--seed N]
 //! clientmap stats   [--scale ...] [--seed N]
+//! clientmap worker  [--listen ADDR] [--once] [--fail-after N]
+//! clientmap driver  --workers a:p,b:p,... [--shards N] [--connect-timeout S]
+//!                   [run flags except --faults]
+//! clientmap fleet-bench [--scale ...] [--seed N] [--threads-per-worker N]
+//!                   [--workers-list 1,2,4] [--duration-hours F] [--json FILE]
 //! ```
 //!
 //! `run` executes the full pipeline and prints the headline numbers;
@@ -20,13 +26,23 @@
 //! the most-active networks. (The evaluation harness regenerating
 //! every paper table/figure is the separate `repro` binary in
 //! `clientmap-bench`.)
+//!
+//! `worker` and `driver` run the same pipeline as `run`, but with the
+//! probing window sharded across worker processes over TCP: the driver
+//! prepares the sweep, deals contiguous unit shards to its workers,
+//! and merges their checksummed deltas in shard order, so driver
+//! output is **byte-identical** to `run` at any ⟨worker, thread⟩
+//! combination. `fleet-bench` spawns a local fleet at several sizes
+//! and writes the scaling curve as JSON.
 
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
-use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap::core::{Pipeline, PipelineConfig, PipelineError, PipelineOutput};
 use clientmap::datasets::export;
 use clientmap::faults::{FaultConfig, FaultProfile};
+use clientmap::fleet::{run_worker, FleetOptions, FleetSweep, WorkerOptions};
 use clientmap::net::Prefix;
 use clientmap::store::{AsBitsets, Slash24Bitset, SweepSnapshot};
 
@@ -39,6 +55,17 @@ struct Args {
     snapshot_in: Option<PathBuf>,
     snapshot_out: Option<PathBuf>,
     expiry_budget: f64,
+    duration_hours: Option<f64>,
+    metrics: Option<PathBuf>,
+    listen: String,
+    once: bool,
+    fail_after: Option<u32>,
+    workers: Vec<String>,
+    shards: u32,
+    connect_timeout_secs: u64,
+    threads_per_worker: usize,
+    workers_list: Vec<usize>,
+    json: Option<PathBuf>,
     positional: Vec<String>,
 }
 
@@ -52,6 +79,17 @@ fn parse_args(argv: &[String]) -> Args {
         snapshot_in: None,
         snapshot_out: None,
         expiry_budget: 0.0,
+        duration_hours: None,
+        metrics: None,
+        listen: "127.0.0.1:0".into(),
+        once: false,
+        fail_after: None,
+        workers: Vec::new(),
+        shards: 0,
+        connect_timeout_secs: 10,
+        threads_per_worker: 1,
+        workers_list: vec![1, 2, 4],
+        json: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -102,6 +140,83 @@ fn parse_args(argv: &[String]) -> Args {
                         });
                 i += 2;
             }
+            "--duration-hours" => {
+                args.duration_hours = Some(
+                    argv.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--duration-hours needs a number, e.g. 8");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
+            "--metrics" => {
+                args.metrics = argv.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            "--listen" => {
+                args.listen = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--listen needs an address, e.g. 127.0.0.1:7801");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--once" => {
+                args.once = true;
+                i += 1;
+            }
+            "--fail-after" => {
+                args.fail_after = Some(
+                    argv.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--fail-after needs a shard count");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
+            "--workers" => {
+                let list = argv.get(i + 1).cloned().unwrap_or_default();
+                args.workers
+                    .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from));
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
+                i += 2;
+            }
+            "--connect-timeout" => {
+                args.connect_timeout_secs =
+                    argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
+                i += 2;
+            }
+            "--threads-per-worker" => {
+                args.threads_per_worker = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(1);
+                i += 2;
+            }
+            "--workers-list" => {
+                let list = argv.get(i + 1).cloned().unwrap_or_default();
+                args.workers_list = list
+                    .split(',')
+                    .filter_map(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .collect();
+                if args.workers_list.is_empty() {
+                    eprintln!("--workers-list needs counts, e.g. 1,2,4");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--json" => {
+                args.json = argv.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
             other => {
                 args.positional.push(other.to_string());
                 i += 1;
@@ -119,6 +234,9 @@ fn config_for(args: &Args) -> PipelineConfig {
     };
     config.faults = FaultConfig::profile(args.faults, args.fault_seed);
     config.probe.expiry_budget = args.expiry_budget;
+    if let Some(hours) = args.duration_hours {
+        config.probe.duration_hours = hours;
+    }
     config
 }
 
@@ -149,11 +267,283 @@ fn run_or_exit(config: PipelineConfig, prior: Option<SweepSnapshot>) -> Pipeline
     }
 }
 
+/// The `run` subcommand's stdout, shared verbatim by `driver` (and the
+/// fleet-bench identity check) so a fleet run is byte-identical to a
+/// single-process run — fleet progress goes to stderr only.
+fn run_report_string(out: &PipelineOutput, warm: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, "{}", out.report().headlines()).expect("string write");
+    if let Some(robustness) = out.report().robustness() {
+        writeln!(s, "{robustness}").expect("string write");
+    }
+    writeln!(
+        s,
+        "active space: {} /24s across {} hit scopes; {} resolvers with Chromium activity",
+        out.cache_probe.active_set().num_slash24s(),
+        out.cache_probe.hit_prefixes().len(),
+        out.dns_logs.resolvers.len(),
+    )
+    .expect("string write");
+    if warm {
+        let snap = out.metrics_snapshot();
+        writeln!(
+            s,
+            "warm start: {} of {} slots replayed from snapshot, {} probed live \
+             ({} new, {} expired, {} rescue, {} quarantine-dirty)",
+            snap.counter("cacheprobe.planner.skipped_warm"),
+            snap.counter("cacheprobe.planner.universe"),
+            snap.counter("cacheprobe.planner.planned"),
+            snap.counter("cacheprobe.planner.new"),
+            snap.counter("cacheprobe.planner.expired"),
+            snap.counter("cacheprobe.planner.rescued"),
+            snap.counter("cacheprobe.planner.dirty"),
+        )
+        .expect("string write");
+    }
+    s
+}
+
+fn print_run_report(out: &PipelineOutput, warm: bool) {
+    print!("{}", run_report_string(out, warm));
+}
+
+/// The `run`/`driver` output files: optional warm-start snapshot and
+/// metrics JSON dump.
+fn write_run_outputs(out: &PipelineOutput, args: &Args) {
+    if let Some(path) = args.snapshot_out.as_deref() {
+        match std::fs::write(path, out.sweep.encode()) {
+            Ok(()) => println!(
+                "wrote snapshot {} (epoch {})",
+                path.display(),
+                out.sweep.epoch
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = args.metrics.as_deref() {
+        if let Err(e) = std::fs::write(path, out.metrics_snapshot().to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Spawns a local `clientmap worker --once` child pinned to `threads`
+/// probing threads, and parses the bound address off its first stdout
+/// line (`clientmap worker listening on {addr}`).
+fn spawn_local_worker(threads: usize) -> (std::process::Child, String) {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    let mut child = match std::process::Command::new(exe)
+        .args(["worker", "--listen", "127.0.0.1:0", "--once"])
+        .env("CLIENTMAP_THREADS", threads.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot spawn worker: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdout = child.stdout.take().expect("worker stdout is piped");
+    let mut line = String::new();
+    let got = std::io::BufReader::new(stdout).read_line(&mut line);
+    if got.is_err() || line.trim().is_empty() {
+        eprintln!("worker did not announce a listen address");
+        let _ = child.kill();
+        std::process::exit(1);
+    }
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .unwrap_or_default()
+        .to_string();
+    (child, addr)
+}
+
+/// `fleet-bench`: a cold single-process baseline and a warm re-sweep,
+/// then the same cold sweep fanned over each fleet size in
+/// `--workers-list` — every process pinned to `--threads-per-worker`
+/// probing threads so the curve isolates the fleet dimension. Verifies
+/// every fleet report is byte-identical to the baseline and writes the
+/// scaling curve as JSON (stdout, or `--json FILE`).
+fn fleet_bench(args: &Args) {
+    if args.faults != FaultProfile::Off {
+        eprintln!("fleet-bench requires --faults off");
+        std::process::exit(2);
+    }
+    let tpw = args.threads_per_worker;
+    fn stage_secs(timings: &[(String, f64)], name: &str) -> f64 {
+        timings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    }
+
+    eprintln!("fleet-bench: single-process cold baseline ({tpw} threads)");
+    let mut cold_timings = Vec::new();
+    let t0 = Instant::now();
+    let baseline = clientmap::par::with_threads(tpw, || {
+        Pipeline::run_warm_timed(config_for(args), None, &mut cold_timings)
+    });
+    let baseline = match baseline {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cold_total = t0.elapsed().as_secs_f64();
+    let cold_probing = stage_secs(&cold_timings, "probing");
+    let report_ref = run_report_string(&baseline, false);
+
+    eprintln!("fleet-bench: single-process warm re-sweep");
+    let mut warm_timings = Vec::new();
+    let t0 = Instant::now();
+    let warm = clientmap::par::with_threads(tpw, || {
+        Pipeline::run_warm_timed(
+            config_for(args),
+            Some(baseline.sweep.clone()),
+            &mut warm_timings,
+        )
+    });
+    if let Err(e) = warm {
+        eprintln!("warm re-sweep failed: {e}");
+        std::process::exit(1);
+    }
+    let warm_total = t0.elapsed().as_secs_f64();
+    let warm_probing = stage_secs(&warm_timings, "probing");
+
+    let mut identical = true;
+    let mut rows = Vec::new();
+    for &w in &args.workers_list {
+        eprintln!("fleet-bench: cold sweep over {w} worker(s) x {tpw} thread(s)");
+        let mut children = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..w {
+            let (child, addr) = spawn_local_worker(tpw);
+            children.push(child);
+            addrs.push(addr);
+        }
+        let shards = if args.shards == 0 {
+            4 * w as u32
+        } else {
+            args.shards
+        };
+        let opts = FleetOptions {
+            workers: addrs,
+            num_shards: args.shards,
+            connect_timeout: Duration::from_secs(args.connect_timeout_secs),
+            ..FleetOptions::default()
+        };
+        let mut fleet = FleetSweep::new(opts, args.scale.clone());
+        let mut timings = Vec::new();
+        let t0 = Instant::now();
+        let out = clientmap::par::with_threads(tpw, || {
+            Pipeline::run_warm_timed_with(config_for(args), None, &mut timings, &mut fleet)
+        });
+        let out = match out {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("fleet run with {w} workers failed: {e}");
+                for mut child in children {
+                    let _ = child.kill();
+                }
+                std::process::exit(1);
+            }
+        };
+        let total = t0.elapsed().as_secs_f64();
+        for mut child in children {
+            let _ = child.wait();
+        }
+        if run_report_string(&out, false) != report_ref {
+            identical = false;
+            eprintln!("fleet-bench: report MISMATCH at {w} workers");
+        }
+        rows.push((w, shards, total, stage_secs(&timings, "probing")));
+    }
+
+    use std::fmt::Write as _;
+    let cfg = config_for(args);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"scale\": \"{}\",", args.scale).expect("string write");
+    writeln!(json, "  \"seed\": {},", args.seed).expect("string write");
+    writeln!(json, "  \"faults\": \"off\",").expect("string write");
+    writeln!(json, "  \"host_cores\": {cores},").expect("string write");
+    writeln!(json, "  \"threads_per_worker\": {tpw},").expect("string write");
+    writeln!(json, "  \"duration_hours\": {},", cfg.probe.duration_hours).expect("string write");
+    writeln!(
+        json,
+        "  \"single_process\": {{\n    \"cold\": {{ \"total_secs\": {cold_total:.3}, \
+         \"probing_secs\": {cold_probing:.3} }},\n    \"warm\": {{ \"total_secs\": \
+         {warm_total:.3}, \"probing_secs\": {warm_probing:.3}, \"speedup_vs_cold\": {:.2} }}\n  }},",
+        cold_total / warm_total.max(1e-9)
+    )
+    .expect("string write");
+    writeln!(json, "  \"fleet_cold\": [").expect("string write");
+    let base_total = rows.first().map(|&(_, _, t, _)| t).unwrap_or(0.0);
+    for (i, &(w, shards, total, probing)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{ \"workers\": {w}, \"shards\": {shards}, \"total_secs\": {total:.3}, \
+             \"probing_secs\": {probing:.3}, \"speedup_vs_1_worker\": {:.2} }}{comma}",
+            base_total / total.max(1e-9)
+        )
+        .expect("string write");
+    }
+    writeln!(json, "  ],").expect("string write");
+    writeln!(json, "  \"identical_reports\": {identical},").expect("string write");
+    let monotone = rows.windows(2).all(|w| w[1].2 < w[0].2);
+    writeln!(json, "  \"monotonic_decreasing\": {monotone},").expect("string write");
+    let note = if cores == 1 {
+        "single-core host: workers time-slice one CPU and each duplicates world prep, \
+         so the fleet curve measures overhead, not scaling"
+    } else {
+        "threads pinned per process so the curve isolates the worker dimension"
+    };
+    writeln!(json, "  \"note\": \"{note}\"").expect("string write");
+    json.push_str("}\n");
+
+    match args.json.as_deref() {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("fleet-bench: wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: clientmap <run|export|query|stats> [--scale tiny|small|paper] [--seed N] \
+        "usage: clientmap <run|export|query|stats|worker|driver|fleet-bench> \
+         [--scale tiny|small|paper] [--seed N] \
          [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] \
-         [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] [PREFIX]"
+         [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] \
+         [--duration-hours F] [--metrics FILE] [PREFIX]\n\
+         \x20      clientmap worker [--listen ADDR] [--once] [--fail-after N]\n\
+         \x20      clientmap driver --workers host:port[,host:port...] [--shards N] \
+         [--connect-timeout S] [run flags except --faults]\n\
+         \x20      clientmap fleet-bench [--threads-per-worker N] [--workers-list 1,2,4] \
+         [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -171,43 +561,66 @@ fn main() {
             let prior = args.snapshot_in.as_deref().map(load_snapshot);
             let warm = prior.is_some();
             let out = run_or_exit(config_for(&args), prior);
-            println!("{}", out.report().headlines());
-            if let Some(robustness) = out.report().robustness() {
-                println!("{robustness}");
+            print_run_report(&out, warm);
+            write_run_outputs(&out, &args);
+        }
+        "worker" => {
+            let opts = WorkerOptions {
+                listen: args.listen.clone(),
+                once: args.once,
+                fail_after: args.fail_after,
+            };
+            if let Err(e) = run_worker(&opts) {
+                eprintln!("worker failed: {e}");
+                std::process::exit(1);
             }
-            println!(
-                "active space: {} /24s across {} hit scopes; {} resolvers with Chromium activity",
-                out.cache_probe.active_set().num_slash24s(),
-                out.cache_probe.hit_prefixes().len(),
-                out.dns_logs.resolvers.len(),
-            );
-            if warm {
-                let snap = out.metrics_snapshot();
-                println!(
-                    "warm start: {} of {} slots replayed from snapshot, {} probed live \
-                     ({} new, {} expired, {} rescue, {} quarantine-dirty)",
-                    snap.counter("cacheprobe.planner.skipped_warm"),
-                    snap.counter("cacheprobe.planner.universe"),
-                    snap.counter("cacheprobe.planner.planned"),
-                    snap.counter("cacheprobe.planner.new"),
-                    snap.counter("cacheprobe.planner.expired"),
-                    snap.counter("cacheprobe.planner.rescued"),
-                    snap.counter("cacheprobe.planner.dirty"),
+        }
+        "driver" => {
+            clientmap::fleet::shutdown::install_sigint_handler();
+            if args.faults != FaultProfile::Off {
+                eprintln!(
+                    "driver requires --faults off: fleet sweeps do not support fault injection"
                 );
+                std::process::exit(2);
             }
-            if let Some(path) = args.snapshot_out.as_deref() {
-                match std::fs::write(path, out.sweep.encode()) {
-                    Ok(()) => println!(
-                        "wrote snapshot {} (epoch {})",
-                        path.display(),
-                        out.sweep.epoch
-                    ),
-                    Err(e) => {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        std::process::exit(1);
-                    }
+            if args.workers.is_empty() {
+                eprintln!("driver requires --workers host:port[,host:port...]");
+                std::process::exit(2);
+            }
+            let prior = args.snapshot_in.as_deref().map(load_snapshot);
+            let warm = prior.is_some();
+            let opts = FleetOptions {
+                workers: args.workers.clone(),
+                num_shards: args.shards,
+                connect_timeout: Duration::from_secs(args.connect_timeout_secs),
+                ..FleetOptions::default()
+            };
+            let mut fleet = FleetSweep::new(opts, args.scale.clone());
+            let mut timings = Vec::new();
+            let out = match Pipeline::run_warm_timed_with(
+                config_for(&args),
+                prior,
+                &mut timings,
+                &mut fleet,
+            ) {
+                Ok(out) => out,
+                Err(PipelineError::Interrupted { completed, total }) => {
+                    eprintln!(
+                        "interrupted: {completed}/{total} shards complete; in-flight shards \
+                         drained and workers released; no output written"
+                    );
+                    std::process::exit(130);
                 }
-            }
+                Err(e) => {
+                    eprintln!("pipeline failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            print_run_report(&out, warm);
+            write_run_outputs(&out, &args);
+        }
+        "fleet-bench" => {
+            fleet_bench(&args);
         }
         "export" => {
             let Some(dir) = args.out.clone() else {

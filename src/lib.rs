@@ -21,6 +21,7 @@ pub use clientmap_core as core;
 pub use clientmap_datasets as datasets;
 pub use clientmap_dns as dns;
 pub use clientmap_faults as faults;
+pub use clientmap_fleet as fleet;
 pub use clientmap_geo as geo;
 pub use clientmap_net as net;
 pub use clientmap_par as par;

@@ -1,0 +1,348 @@
+//! End-to-end fleet tests over real processes: the driver/worker
+//! binaries talk over loopback TCP exactly as deployed, and every
+//! fleet run's stdout, metrics dump, and snapshot file must be
+//! byte-identical to the single-process `clientmap run` — at any
+//! ⟨worker, thread⟩ combination, across a warm start, and through a
+//! worker crash mid-sweep. Failure paths (no workers reachable,
+//! SIGINT) must exit with their documented codes and leave no output.
+
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_clientmap");
+
+/// A scratch directory unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clientmap-fleet-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    /// Spawns `clientmap worker --once` pinned to `threads`, reading
+    /// the bound address off its announcement line.
+    fn spawn(threads: usize, extra: &[&str]) -> Worker {
+        let mut child = Command::new(BIN)
+            .args(["worker", "--listen", "127.0.0.1:0", "--once"])
+            .args(extra)
+            .env("CLIENTMAP_THREADS", threads.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn worker");
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announcement");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address on announcement line")
+            .to_string();
+        assert!(addr.contains(':'), "bad worker announcement: {line:?}");
+        Worker { child, addr }
+    }
+
+    fn wait_success(mut self) {
+        let status = self.child.wait().expect("wait worker");
+        assert!(status.success(), "worker exited with {status}");
+    }
+}
+
+struct RunOutput {
+    stdout: String,
+    stderr: String,
+    status: std::process::ExitStatus,
+}
+
+fn run_cli(args: &[&str], envs: &[(&str, &str)]) -> RunOutput {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("run clientmap");
+    RunOutput {
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        status: out.status,
+    }
+}
+
+/// Drops the `wrote snapshot <path>` line (paths differ per run by
+/// design); everything else must match byte-for-byte.
+fn without_snapshot_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.starts_with("wrote snapshot "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn read_bytes(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs the single-process reference and returns its (stdout, metrics
+/// bytes, snapshot bytes).
+fn reference_run(dir: &Path, extra: &[&str]) -> (String, Vec<u8>, Vec<u8>) {
+    let snap = dir.join("ref.snap");
+    let metrics = dir.join("ref.metrics");
+    let mut args = vec![
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--snapshot-out",
+        snap.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = run_cli(&args, &[("CLIENTMAP_THREADS", "4")]);
+    assert!(out.status.success(), "reference run failed: {}", out.stderr);
+    (out.stdout, read_bytes(&metrics), read_bytes(&snap))
+}
+
+/// Runs a driver over `workers` and asserts stdout/metrics/snapshot
+/// are byte-identical to the reference triple. Returns driver stderr.
+fn assert_fleet_matches(
+    dir: &Path,
+    tag: &str,
+    workers: &[&Worker],
+    extra: &[&str],
+    reference: &(String, Vec<u8>, Vec<u8>),
+) -> String {
+    let snap = dir.join(format!("{tag}.snap"));
+    let metrics = dir.join(format!("{tag}.metrics"));
+    let addrs = workers
+        .iter()
+        .map(|w| w.addr.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut args = vec![
+        "driver",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--workers",
+        &addrs,
+        "--snapshot-out",
+        snap.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = run_cli(&args, &[]);
+    assert!(
+        out.status.success(),
+        "driver ({tag}) failed: {}",
+        out.stderr
+    );
+    assert_eq!(
+        without_snapshot_line(&out.stdout),
+        without_snapshot_line(&reference.0),
+        "stdout diverged ({tag})"
+    );
+    assert_eq!(
+        read_bytes(&metrics),
+        reference.1,
+        "metrics snapshot diverged ({tag})"
+    );
+    assert_eq!(
+        read_bytes(&snap),
+        reference.2,
+        "sweep snapshot diverged ({tag})"
+    );
+    out.stderr
+}
+
+#[test]
+fn fleet_reports_are_byte_identical_across_worker_thread_combos() {
+    let dir = scratch("combos");
+    let reference = reference_run(&dir, &[]);
+
+    for (num_workers, threads) in [(1usize, 4usize), (2, 2), (3, 1)] {
+        let workers: Vec<Worker> = (0..num_workers)
+            .map(|_| Worker::spawn(threads, &[]))
+            .collect();
+        let refs: Vec<&Worker> = workers.iter().collect();
+        let tag = format!("w{num_workers}t{threads}");
+        assert_fleet_matches(&dir, &tag, &refs, &[], &reference);
+        for w in workers {
+            w.wait_success();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_start_fleet_matches_single_process_warm_run() {
+    let dir = scratch("warm");
+    let cold = reference_run(&dir, &[]);
+    let cold_snap = dir.join("cold.snap");
+    std::fs::write(&cold_snap, &cold.2).expect("stash cold snapshot");
+
+    let warm_flags = [
+        "--snapshot-in",
+        cold_snap.to_str().unwrap(),
+        "--expiry-budget",
+        "0.25",
+    ];
+    let reference = reference_run(&dir, &warm_flags);
+    assert!(
+        reference.0.contains("warm start:"),
+        "reference warm run did not report a warm start"
+    );
+
+    let workers: Vec<Worker> = (0..2).map(|_| Worker::spawn(2, &[])).collect();
+    let refs: Vec<&Worker> = workers.iter().collect();
+    assert_fleet_matches(&dir, "warm2", &refs, &warm_flags, &reference);
+    for w in workers {
+        w.wait_success();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn driver_requeues_shards_from_a_crashed_worker() {
+    let dir = scratch("chaos");
+    let reference = reference_run(&dir, &[]);
+
+    // One healthy worker plus one that serves a single shard and then
+    // dies mid-protocol; with four shards the driver must re-queue the
+    // crashed worker's in-flight shard onto the survivor.
+    let good = Worker::spawn(2, &[]);
+    let mut bad = Worker::spawn(2, &["--fail-after", "1"]);
+    let addrs = format!("{},{}", good.addr, bad.addr);
+    let snap = dir.join("chaos.snap");
+    let metrics = dir.join("chaos.metrics");
+    let out = run_cli(
+        &[
+            "driver",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--workers",
+            &addrs,
+            "--shards",
+            "4",
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(
+        out.status.success(),
+        "driver failed despite a surviving worker: {}",
+        out.stderr
+    );
+    assert!(
+        out.stderr.contains("re-queued shard"),
+        "driver never re-queued the crashed worker's shard:\n{}",
+        out.stderr
+    );
+    assert_eq!(
+        without_snapshot_line(&out.stdout),
+        without_snapshot_line(&reference.0),
+        "stdout diverged after worker crash"
+    );
+    assert_eq!(read_bytes(&metrics), reference.1, "metrics diverged");
+    assert_eq!(read_bytes(&snap), reference.2, "snapshot diverged");
+
+    good.wait_success();
+    let crash = bad.child.wait().expect("reap crashed worker");
+    assert_eq!(crash.code(), Some(17), "crash exit code is deterministic");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn driver_fails_cleanly_when_no_worker_is_reachable() {
+    let out = run_cli(
+        &[
+            "driver",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--workers",
+            "127.0.0.1:1",
+            "--connect-timeout",
+            "1",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", out.stderr);
+    assert!(out.stdout.is_empty(), "failed driver must write no report");
+    assert!(
+        out.stderr.contains("cannot connect") || out.stderr.contains("fleet"),
+        "unhelpful failure message:\n{}",
+        out.stderr
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_in_flight_shards_and_exits_130() {
+    let dir = scratch("sigint");
+    let worker = Worker::spawn(1, &[]);
+    let snap = dir.join("sigint.snap");
+    // Small scale keeps the sweep comfortably longer than the signal
+    // delay on any machine; many shards keep each one short, so the
+    // drain itself stays quick.
+    let driver = Command::new(BIN)
+        .args([
+            "driver",
+            "--scale",
+            "small",
+            "--seed",
+            "2021",
+            "--workers",
+            &worker.addr,
+            "--shards",
+            "32",
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn driver");
+    std::thread::sleep(Duration::from_millis(250));
+    let interrupted = Command::new("kill")
+        .args(["-INT", &driver.id().to_string()])
+        .status()
+        .expect("send SIGINT")
+        .success();
+    assert!(interrupted, "kill -INT failed");
+
+    let out = driver.wait_with_output().expect("wait driver");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(130), "stderr: {stderr}");
+    assert!(
+        stderr.contains("interrupted:"),
+        "driver did not report the drain:\n{stderr}"
+    );
+    assert!(
+        !snap.exists(),
+        "interrupted driver must not write a snapshot"
+    );
+    // The drain must release the worker: `--once` exits cleanly after
+    // its connection closes instead of wedging on a half-read frame.
+    worker.wait_success();
+    std::fs::remove_dir_all(&dir).ok();
+}
