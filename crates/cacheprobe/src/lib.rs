@@ -35,6 +35,7 @@
 pub mod calibrate;
 pub mod diurnal;
 pub mod openresolver;
+pub mod plan;
 pub mod probe;
 pub mod resilience;
 pub mod results;
@@ -45,8 +46,9 @@ pub mod vantage;
 mod config;
 
 pub use config::{ProbeConfig, RetryPolicy};
+pub use plan::{plan_units, ExhaustivePlan, PlanOutcome, PlanSlot, ProbePlan, WarmStartPlan};
 pub use probe::{
     execute_sweep, merge_shards, prepare_sweep, probe_shard, run_technique, run_technique_full,
-    run_technique_timed, ShardMergeError, SweepPrep,
+    run_technique_timed, ProbeUnit, ShardMergeError, SweepPrep,
 };
 pub use results::{CacheProbeResult, FaultSummary, ProbeCount};

@@ -1,0 +1,245 @@
+//! The [`ProbePlan`] seam: how a sweep decides which assigned
+//! ⟨vantage, domain, scope⟩ slots to probe live and which to replay
+//! from a prior snapshot.
+//!
+//! `prepare_sweep` used to hard-code two planners — "probe everything"
+//! for cold runs and an inline warm-start classification loop — which
+//! coupled the planner to the runner and left no seam for the
+//! cluster-based predictive planner on the roadmap. Now every planner
+//! is a [`ProbePlan`]: [`plan_units`] walks the assigned unit list
+//! once, asks the plan about each slot, and splits the work into live
+//! probe units and replayable skips, tallying [`PlannerStats`] as it
+//! goes. Plans are pure functions of the slot and the sweep's identity
+//! (seed, epoch, budget), so any plan is byte-deterministic at any
+//! thread count by construction.
+
+use clientmap_net::Prefix;
+use clientmap_store::{classify, PlanReason, PlannerStats, PriorScope, ScopeRecord, SweepSnapshot};
+
+use crate::probe::{record_key, ProbeUnit};
+use crate::sweep::expiry_hash;
+use crate::vantage::BoundVantage;
+
+/// One planning decision's input: an assigned ⟨vantage, domain, scope⟩
+/// slot and what the prior sweep knew about it.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanSlot<'a> {
+    /// Index into the sweep's bound-vantage list.
+    pub bound_idx: usize,
+    /// Index into the sweep's selected-domain list.
+    pub domain: usize,
+    /// The query scope.
+    pub scope: Prefix,
+    /// The prior sweep's record for this slot, if any.
+    pub prior: Option<&'a ScopeRecord>,
+    /// Whether the slot's PoP was quarantined last sweep (its prior
+    /// data is suspect regardless of the record).
+    pub dirty: bool,
+}
+
+/// A sweep planner: decides, slot by slot, what to probe live.
+///
+/// Implementations must be pure functions of the slot and their own
+/// configuration — never of execution order — so plans stay
+/// byte-identical at any thread count and across driver/worker
+/// processes (the fleet handshake depends on both sides planning
+/// identically).
+pub trait ProbePlan {
+    /// The planner's name (telemetry and report labels).
+    fn name(&self) -> &'static str;
+
+    /// `Some(reason)` = probe the slot live; `None` = replay its prior
+    /// record (the caller guarantees `slot.prior` is `Some` before
+    /// honouring a replay).
+    fn decide(&self, slot: &PlanSlot<'_>) -> Option<PlanReason>;
+
+    /// Whether this plan's [`PlannerStats`] belong in the run's
+    /// telemetry. Cold exhaustive sweeps return `false` so their
+    /// metrics stay byte-identical to the pre-warm-start era.
+    fn records_stats(&self) -> bool {
+        true
+    }
+}
+
+/// The cold-sweep plan: probe every assigned slot, replay nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustivePlan;
+
+impl ProbePlan for ExhaustivePlan {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn decide(&self, _slot: &PlanSlot<'_>) -> Option<PlanReason> {
+        Some(PlanReason::New)
+    }
+
+    fn records_stats(&self) -> bool {
+        false
+    }
+}
+
+/// The warm-start plan: probe only slots that are new, quarantine-
+/// dirty, in need of rescue, or expired under the rotating TTL budget;
+/// replay everything else from the snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStartPlan {
+    /// The world seed (keys the stable expiry hash).
+    pub world_seed: u64,
+    /// The epoch being planned.
+    pub epoch: u32,
+    /// Fraction of measured slots refreshed per epoch (0 = none).
+    pub expiry_budget: f64,
+}
+
+impl ProbePlan for WarmStartPlan {
+    fn name(&self) -> &'static str {
+        "warm-start"
+    }
+
+    fn decide(&self, slot: &PlanSlot<'_>) -> Option<PlanReason> {
+        classify(
+            slot.prior.map(|r| {
+                (
+                    PriorScope {
+                        attempts: r.attempts,
+                        drops: r.drops,
+                    },
+                    slot.dirty,
+                )
+            }),
+            self.expiry_budget,
+            self.epoch,
+            expiry_hash(self.world_seed, slot.domain, slot.scope),
+        )
+    }
+}
+
+/// What [`plan_units`] produced from one assigned unit list.
+#[derive(Debug, Default)]
+pub struct PlanOutcome {
+    /// Units (with only their live scopes) the sweep must probe.
+    pub live_units: Vec<ProbeUnit>,
+    /// `(bound_idx, domain, scope, prior record)` for every slot the
+    /// plan replays instead of probing.
+    pub skipped: Vec<(usize, usize, Prefix, ScopeRecord)>,
+    /// The plan's accounting; conservation
+    /// (`planned + skipped_warm == universe`) holds by construction.
+    pub stats: PlannerStats,
+}
+
+/// Runs `plan` over every slot of `units`, splitting the work into
+/// live probe units and replayable skips. Unit and scope order are
+/// preserved, so the same plan over the same units yields the same
+/// shardable work list everywhere.
+pub fn plan_units(
+    plan: &dyn ProbePlan,
+    units: Vec<ProbeUnit>,
+    prior: Option<&SweepSnapshot>,
+    bound: &[BoundVantage],
+) -> PlanOutcome {
+    let mut outcome = PlanOutcome::default();
+    for u in units {
+        let dirty = prior.is_some_and(|p| {
+            p.quarantined_pops()
+                .contains(&(bound[u.bound_idx].pop as u64))
+        });
+        let mut live_scopes = Vec::new();
+        for scope in u.scopes {
+            let prior_rec =
+                prior.and_then(|p| p.records.get(&record_key(u.bound_idx, u.domain, scope)));
+            let decision = plan.decide(&PlanSlot {
+                bound_idx: u.bound_idx,
+                domain: u.domain,
+                scope,
+                prior: prior_rec,
+                dirty,
+            });
+            outcome.stats.count(decision);
+            match decision {
+                Some(_) => live_scopes.push(scope),
+                None => outcome.skipped.push((
+                    u.bound_idx,
+                    u.domain,
+                    scope,
+                    prior_rec
+                        .expect("a replay decision implies a prior record")
+                        .clone(),
+                )),
+            }
+        }
+        if !live_scopes.is_empty() {
+            outcome.live_units.push(ProbeUnit {
+                bound_idx: u.bound_idx,
+                domain: u.domain,
+                scopes: live_scopes,
+            });
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(bound_idx: usize, domain: usize, scopes: &[&str]) -> ProbeUnit {
+        ProbeUnit {
+            bound_idx,
+            domain,
+            scopes: scopes.iter().map(|s| s.parse().unwrap()).collect(),
+        }
+    }
+
+    #[test]
+    fn exhaustive_plan_passes_everything_through() {
+        let units = vec![
+            unit(0, 0, &["10.0.0.0/24", "10.0.1.0/24"]),
+            unit(0, 1, &["10.0.2.0/24"]),
+        ];
+        let out = plan_units(&ExhaustivePlan, units.clone(), None, &[]);
+        assert_eq!(out.live_units, units);
+        assert!(out.skipped.is_empty());
+        assert_eq!(out.stats.universe, 3);
+        assert_eq!(out.stats.planned, 3);
+        assert!(out.stats.conserved());
+        assert!(!ExhaustivePlan.records_stats());
+    }
+
+    #[test]
+    fn warm_plan_splits_live_and_replay() {
+        // A prior snapshot covering one of two scopes: the covered one
+        // replays, the uncovered one is planned as New.
+        let mut prior = SweepSnapshot::new(7, 1);
+        prior.records.insert(
+            record_key(0, 0, "10.0.0.0/24".parse().unwrap()),
+            ScopeRecord {
+                attempts: 5,
+                ..ScopeRecord::default()
+            },
+        );
+        let bound = vec![BoundVantage { vp: 0, pop: 0 }];
+        let plan = WarmStartPlan {
+            world_seed: 7,
+            epoch: 2,
+            expiry_budget: 0.0,
+        };
+        let out = plan_units(
+            &plan,
+            vec![unit(0, 0, &["10.0.0.0/24", "10.0.1.0/24"])],
+            Some(&prior),
+            &bound,
+        );
+        assert_eq!(out.live_units.len(), 1);
+        assert_eq!(
+            out.live_units[0].scopes,
+            vec!["10.0.1.0/24".parse().unwrap()]
+        );
+        assert_eq!(out.skipped.len(), 1);
+        assert_eq!(out.stats.planned, 1);
+        assert_eq!(out.stats.skipped_warm, 1);
+        assert_eq!(out.stats.new, 1);
+        assert!(out.stats.conserved());
+        assert!(plan.records_stats());
+    }
+}

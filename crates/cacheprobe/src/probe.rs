@@ -25,13 +25,11 @@ use clientmap_par::par_map;
 use clientmap_sim::{
     BatchConn, BatchDomain, GpdnsSession, PopId, ProbeOutcome, ScopeLane, Sim, SimTime, SimView,
 };
-use clientmap_store::{
-    classify, CalibrationRecord, HitEvent, PlannerStats, PriorScope, RecordKey, ScopeRecord,
-    SweepSnapshot,
-};
+use clientmap_store::{CalibrationRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot};
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::calibrate::{calibrate, calibrate_batched, replay_calibration, sample_prefixes};
+use crate::plan::{plan_units, ExhaustivePlan, PlanOutcome, ProbePlan, WarmStartPlan};
 use crate::resilience::{
     attempt_id, observe_response, resilient_attempt, FaultCounters, WireObservation,
 };
@@ -363,13 +361,17 @@ impl ProbeMetrics {
 /// One work unit for the executor: a single domain's probe stream at
 /// one bound PoP. Units are built in bound-PoP × domain order, and the
 /// reduction consumes them in exactly that order.
-struct ProbeUnit {
+/// One shardable probe work unit: a ⟨PoP, domain⟩ stream and its
+/// assigned scopes. Public so [`crate::plan::ProbePlan`] implementors
+/// can build and split unit lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeUnit {
     /// Index into the bound-vantage list (and its telemetry table).
-    bound_idx: usize,
+    pub bound_idx: usize,
     /// Index into the selected-domain list.
-    domain: usize,
+    pub domain: usize,
     /// Assigned query scopes, in assignment order.
-    scopes: Vec<Prefix>,
+    pub scopes: Vec<Prefix>,
 }
 
 /// What one unit's worker produced.
@@ -692,7 +694,7 @@ fn probe_unit_batched(
 }
 
 /// The snapshot key of one ⟨vantage, domain, scope⟩ stream slot.
-fn record_key(bound_idx: usize, domain: usize, scope: Prefix) -> RecordKey {
+pub(crate) fn record_key(bound_idx: usize, domain: usize, scope: Prefix) -> RecordKey {
     (bound_idx as u16, domain as u16, scope.addr(), scope.len())
 }
 
@@ -1042,12 +1044,12 @@ pub fn prepare_sweep(
         }
     }
 
-    // Warm-start planning: classify every assigned ⟨vantage, domain,
-    // scope⟩ instance against the prior snapshot. A scope is probed
-    // again only when it is new, its PoP was quarantined (dirty), its
-    // prior record is unmeasured/all-dropped (rescue), or its rotating
-    // freshness draw lapsed (expired); everything else replays from
-    // the snapshot.
+    // Planning: pick the [`ProbePlan`] for this sweep — warm starts
+    // classify every assigned ⟨vantage, domain, scope⟩ instance against
+    // the prior snapshot (probe again only when new, quarantine-dirty,
+    // rescue-worthy, or expired under the rotating freshness budget);
+    // cold runs take the exhaustive pass-through. Both ride the same
+    // `plan_units` seam a future clustered planner plugs into.
     let digest = sweep::config_digest(sim, cfg, universe);
     let epoch = prior.map_or(1, |p| p.epoch + 1);
     let mut snapshot = SweepSnapshot::new(seed, digest);
@@ -1057,51 +1059,23 @@ pub fn prepare_sweep(
     // sample draw and the probing behind it.
     snapshot.calibration = calibration_records;
     snapshot.calibration_sample = calibration_sample;
-    let mut skipped: Vec<(usize, usize, Prefix, ScopeRecord)> = Vec::new();
+    let warm_plan = WarmStartPlan {
+        world_seed: seed,
+        epoch,
+        expiry_budget: cfg.expiry_budget,
+    };
+    let plan: &dyn ProbePlan = if prior.is_some() {
+        &warm_plan
+    } else {
+        &ExhaustivePlan
+    };
+    let PlanOutcome {
+        live_units: units,
+        skipped,
+        stats,
+    } = plan_units(plan, units, prior, &bound);
     let mut warm_full_skip = false;
-    let units: Vec<ProbeUnit> = if let Some(prior) = prior {
-        let mut stats = PlannerStats::default();
-        let mut live_units = Vec::new();
-        for u in units {
-            let dirty = prior
-                .quarantined_pops()
-                .contains(&(bound[u.bound_idx].pop as u64));
-            let mut live_scopes = Vec::new();
-            for scope in u.scopes {
-                let prior_rec = prior.records.get(&record_key(u.bound_idx, u.domain, scope));
-                let decision = classify(
-                    prior_rec.map(|r| {
-                        (
-                            PriorScope {
-                                attempts: r.attempts,
-                                drops: r.drops,
-                            },
-                            dirty,
-                        )
-                    }),
-                    cfg.expiry_budget,
-                    epoch,
-                    sweep::expiry_hash(seed, u.domain, scope),
-                );
-                stats.count(decision);
-                match decision {
-                    Some(_) => live_scopes.push(scope),
-                    None => skipped.push((
-                        u.bound_idx,
-                        u.domain,
-                        scope,
-                        prior_rec.expect("warm skip implies a prior record").clone(),
-                    )),
-                }
-            }
-            if !live_scopes.is_empty() {
-                live_units.push(ProbeUnit {
-                    bound_idx: u.bound_idx,
-                    domain: u.domain,
-                    scopes: live_scopes,
-                });
-            }
-        }
+    if plan.records_stats() {
         // Planner accounting, warm runs only (cold runs register none
         // of these, keeping cold telemetry byte-identical to before
         // warm starts existed). The conservation laws — planned +
@@ -1126,12 +1100,9 @@ pub fn prepare_sweep(
             .add(stats.expired);
         metrics
             .counter("cacheprobe.planner.units")
-            .add(live_units.len() as u64);
+            .add(units.len() as u64);
         warm_full_skip = stats.planned == 0;
-        live_units
-    } else {
-        units
-    };
+    }
 
     let full_skip_prior = if warm_full_skip {
         Some(prior.expect("full skip implies a prior snapshot").clone())

@@ -284,6 +284,38 @@ impl Pipeline {
         Pipeline::run_warm_timed_with(config, prior, timings, &mut LocalSweep)
     }
 
+    /// Runs `sweeps` successive warm-chained runs on a sim-time
+    /// cadence: sweep 1 starts from `prior` (cold when `None`), and
+    /// each later sweep warm-starts from the snapshot the previous one
+    /// produced, so the planner re-probes only what
+    /// `config.probe.expiry_budget` expires (plus anything new, dirty,
+    /// or in need of rescue). After each sweep the `observer` receives
+    /// the 1-based sweep number and owns the full [`PipelineOutput`] —
+    /// the seam `clientmap serve` uses to diff verdict tables into its
+    /// event log and publish a fresh store generation. An observer
+    /// error aborts the cadence and is returned as-is.
+    ///
+    /// The chain is deterministic: the same `(config, prior, sweeps)`
+    /// produces byte-identical snapshots and reports at every step, at
+    /// any thread count.
+    pub fn run_cadence<F>(
+        config: PipelineConfig,
+        prior: Option<SweepSnapshot>,
+        sweeps: u32,
+        mut observer: F,
+    ) -> Result<(), PipelineError>
+    where
+        F: FnMut(u32, PipelineOutput) -> Result<(), PipelineError>,
+    {
+        let mut prior = prior;
+        for sweep_no in 1..=sweeps {
+            let out = Pipeline::run_warm(config.clone(), prior.take())?;
+            prior = Some(out.sweep.clone());
+            observer(sweep_no, out)?;
+        }
+        Ok(())
+    }
+
     /// [`Pipeline::run_warm_timed`] with a pluggable probing-window
     /// executor — the seam the distributed fleet driver plugs into.
     /// Every stage outside the sweep (world generation, crawl, CDN
@@ -528,6 +560,39 @@ mod tests {
             filter(&ws.to_json()),
             filter(&cold.metrics_snapshot().to_json())
         );
+    }
+
+    #[test]
+    fn cadence_chains_warm_sweeps_in_order() {
+        let cold = output();
+        let mut seen = Vec::new();
+        Pipeline::run_cadence(
+            PipelineConfig::tiny(7),
+            Some(cold.sweep.clone()),
+            3,
+            |sweep_no, out| {
+                seen.push((sweep_no, out.sweep.epoch));
+                // Every chained sweep replays the same stable world.
+                assert_eq!(out.report().render_all(), cold.report().render_all());
+                Ok(())
+            },
+        )
+        .expect("cadence completes");
+        let base = cold.sweep.epoch;
+        assert_eq!(seen, vec![(1, base + 1), (2, base + 2), (3, base + 3)]);
+
+        // An observer error aborts the chain immediately.
+        let mut calls = 0;
+        let err = Pipeline::run_cadence(PipelineConfig::tiny(7), None, 3, |_, _| {
+            calls += 1;
+            Err(PipelineError::Stage {
+                stage: "observer".into(),
+                message: "stop".into(),
+            })
+        })
+        .expect_err("observer error propagates");
+        assert_eq!(calls, 1);
+        assert!(matches!(err, PipelineError::Stage { ref stage, .. } if stage == "observer"));
     }
 
     #[test]

@@ -274,7 +274,7 @@ fn serve_worker(
     // worker to hang up. Failures here are harmless — the sweep
     // already has every delta it needs from this connection.
     let _ = write_frame(&mut writer, &Frame::new(FrameKind::Shutdown, Vec::new()));
-    let _ = read_frame(&mut reader);
+    let _ = read_frame::<FrameKind>(&mut reader);
     Ok(())
 }
 
@@ -288,7 +288,7 @@ fn request_shard(
         &Frame::new(FrameKind::ShardRequest, shard.to_le_bytes().to_vec()),
     )
     .map_err(|e| e.to_string())?;
-    let frame = read_frame(reader).map_err(|e| e.to_string())?;
+    let frame: Frame = read_frame(reader).map_err(|e| e.to_string())?;
     if frame.kind != FrameKind::ShardResult {
         return Err(format!(
             "unexpected {:?} reply to shard request",

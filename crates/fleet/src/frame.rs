@@ -14,6 +14,12 @@
 //! the wire are all rejected before a payload is interpreted. Frames
 //! larger than [`MAX_FRAME_PAYLOAD`] are refused *before* any payload
 //! allocation, so a corrupt length prefix cannot balloon memory.
+//!
+//! The framing is generic over its kind byte via [`WireKind`]: the
+//! fleet protocol's [`FrameKind`] is the default, and other `CMFR`
+//! speakers (the serve query protocol) define their own kind enums
+//! while sharing the exact same framing, checksum, and error
+//! discipline — one wire format, audited once.
 
 use std::io::{Read, Write};
 
@@ -26,7 +32,18 @@ pub const MAGIC: [u8; 4] = *b"CMFR";
 /// shard delta, far below a corrupt length prefix.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 28;
 
-/// What a frame means. The numeric values are the wire encoding.
+/// A frame-kind vocabulary: one byte on the wire, one enum in code.
+/// Implementors get the whole `CMFR` framing stack
+/// ([`write_frame`]/[`read_frame`]/[`read_frame_opt`]) for free.
+pub trait WireKind: Copy {
+    /// The wire encoding of this kind.
+    fn to_byte(self) -> u8;
+    /// Decodes a kind byte, `None` for bytes outside the vocabulary
+    /// (surfaced as [`FrameError::UnknownKind`]).
+    fn from_byte(b: u8) -> Option<Self>;
+}
+
+/// What a fleet frame means. The numeric values are the wire encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameKind {
@@ -49,8 +66,12 @@ pub enum FrameKind {
     Bye = 7,
 }
 
-impl FrameKind {
-    fn from_u8(v: u8) -> Option<FrameKind> {
+impl WireKind for FrameKind {
+    fn to_byte(self) -> u8 {
+        self as u8
+    }
+
+    fn from_byte(v: u8) -> Option<FrameKind> {
         Some(match v {
             1 => FrameKind::Job,
             2 => FrameKind::JobAck,
@@ -64,18 +85,18 @@ impl FrameKind {
     }
 }
 
-/// One decoded frame.
+/// One decoded frame (of the fleet vocabulary by default).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Frame {
+pub struct Frame<K = FrameKind> {
     /// What the frame means.
-    pub kind: FrameKind,
+    pub kind: K,
     /// The frame's payload (interpretation depends on `kind`).
     pub payload: Vec<u8>,
 }
 
-impl Frame {
+impl<K: WireKind> Frame<K> {
     /// A frame of `kind` carrying `payload`.
-    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+    pub fn new(kind: K, payload: Vec<u8>) -> Frame<K> {
         Frame { kind, payload }
     }
 }
@@ -91,7 +112,7 @@ pub enum FrameError {
     ShortRead,
     /// The first four bytes were not the frame magic.
     BadMagic([u8; 4]),
-    /// The kind byte was not a known [`FrameKind`].
+    /// The kind byte was outside the protocol's [`WireKind`] vocabulary.
     UnknownKind(u8),
     /// The length prefix exceeded [`MAX_FRAME_PAYLOAD`].
     Oversized(usize),
@@ -137,29 +158,30 @@ fn body_checksum(kind: u8, payload: &[u8]) -> u64 {
 
 /// Writes one frame to `w` (buffered by the caller's stream; a frame
 /// is a single `write_all`).
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+pub fn write_frame<K: WireKind>(w: &mut impl Write, frame: &Frame<K>) -> std::io::Result<()> {
+    let kind = frame.kind.to_byte();
     let mut buf = Vec::with_capacity(17 + frame.payload.len());
     buf.extend_from_slice(&MAGIC);
-    buf.push(frame.kind as u8);
+    buf.push(kind);
     buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&frame.payload);
-    buf.extend_from_slice(&body_checksum(frame.kind as u8, &frame.payload).to_le_bytes());
+    buf.extend_from_slice(&body_checksum(kind, &frame.payload).to_le_bytes());
     w.write_all(&buf)?;
     w.flush()
 }
 
 /// Reads one frame from `r`, validating magic, kind, size, and
 /// checksum.
-pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+pub fn read_frame<K: WireKind>(r: &mut impl Read) -> Result<Frame<K>, FrameError> {
     let mut header = [0u8; 9];
     r.read_exact(&mut header)?;
     read_frame_after_header(r, header)
 }
 
 /// Reads one frame, returning `Ok(None)` on a clean EOF at a frame
-/// boundary — how a worker distinguishes "driver hung up" from a
+/// boundary — how a server distinguishes "peer hung up" from a
 /// corrupt stream.
-pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+pub fn read_frame_opt<K: WireKind>(r: &mut impl Read) -> Result<Option<Frame<K>>, FrameError> {
     let mut header = [0u8; 9];
     let mut got = 0;
     while got < header.len() {
@@ -174,13 +196,16 @@ pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
     read_frame_after_header(r, header).map(Some)
 }
 
-fn read_frame_after_header(r: &mut impl Read, header: [u8; 9]) -> Result<Frame, FrameError> {
+fn read_frame_after_header<K: WireKind>(
+    r: &mut impl Read,
+    header: [u8; 9],
+) -> Result<Frame<K>, FrameError> {
     let magic: [u8; 4] = header[..4].try_into().expect("4-byte magic");
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
     let kind_byte = header[4];
-    let kind = FrameKind::from_u8(kind_byte).ok_or(FrameError::UnknownKind(kind_byte))?;
+    let kind = K::from_byte(kind_byte).ok_or(FrameError::UnknownKind(kind_byte))?;
     let len = u32::from_le_bytes(header[5..9].try_into().expect("4-byte len")) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Oversized(len));
@@ -221,11 +246,13 @@ mod tests {
 
     #[test]
     fn clean_eof_is_none_midframe_is_error() {
-        assert!(read_frame_opt(&mut [].as_slice()).unwrap().is_none());
+        assert!(read_frame_opt::<FrameKind>(&mut [].as_slice())
+            .unwrap()
+            .is_none());
         let mut buf = Vec::new();
         write_frame(&mut buf, &Frame::new(FrameKind::Job, vec![9; 100])).unwrap();
         for cut in [1, 5, 9, 30, buf.len() - 1] {
-            let err = read_frame_opt(&mut &buf[..cut]).unwrap_err();
+            let err = read_frame_opt::<FrameKind>(&mut &buf[..cut]).unwrap_err();
             assert!(
                 matches!(err, FrameError::ShortRead),
                 "cut at {cut}: {err:?}"

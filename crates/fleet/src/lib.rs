@@ -35,6 +35,9 @@ pub mod shutdown;
 pub mod worker;
 
 pub use driver::{FleetOptions, FleetSweep};
-pub use frame::{read_frame, write_frame, Frame, FrameError, FrameKind, MAX_FRAME_PAYLOAD};
+pub use frame::{
+    read_frame, read_frame_opt, write_frame, Frame, FrameError, FrameKind, WireKind,
+    MAX_FRAME_PAYLOAD,
+};
 pub use proto::{shard_range, JobAck, JobSpec, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerOptions};

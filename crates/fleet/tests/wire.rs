@@ -48,8 +48,8 @@ proptest! {
         let mut buf = encode_frame(&a);
         buf.extend_from_slice(&encode_frame(&b));
         let mut cur = Cursor::new(buf);
-        let got_a = read_frame(&mut cur).expect("first frame");
-        let got_b = read_frame(&mut cur).expect("second frame");
+        let got_a = read_frame::<FrameKind>(&mut cur).expect("first frame");
+        let got_b = read_frame::<FrameKind>(&mut cur).expect("second frame");
         prop_assert_eq!(got_a.kind, a.kind);
         prop_assert_eq!(got_a.payload, a.payload);
         prop_assert_eq!(got_b.kind, b.kind);
@@ -66,7 +66,7 @@ proptest! {
         let buf = encode_frame(&Frame::new(FrameKind::ShardResult, payload));
         let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
         let mut cur = Cursor::new(buf[..cut].to_vec());
-        match read_frame(&mut cur) {
+        match read_frame::<FrameKind>(&mut cur) {
             Err(FrameError::ShortRead) => {}
             other => prop_assert!(false, "expected ShortRead, got {other:?}"),
         }
@@ -87,7 +87,7 @@ proptest! {
         let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
         buf[pos] ^= 1 << bit;
         let mut cur = Cursor::new(buf);
-        match read_frame(&mut cur) {
+        match read_frame::<FrameKind>(&mut cur) {
             Err(_) => {}
             Ok(got) => prop_assert!(
                 got.kind != frame.kind || got.payload != frame.payload,
@@ -163,7 +163,7 @@ fn oversized_frames_are_rejected_before_allocation() {
     buf.extend_from_slice(b"CMFR");
     buf.push(FrameKind::ShardResult as u8);
     buf.extend_from_slice(&((MAX_FRAME_PAYLOAD + 1) as u32).to_le_bytes());
-    match read_frame(&mut Cursor::new(buf)) {
+    match read_frame::<FrameKind>(&mut Cursor::new(buf)) {
         Err(FrameError::Oversized(n)) => assert_eq!(n, MAX_FRAME_PAYLOAD + 1),
         other => panic!("expected Oversized, got {other:?}"),
     }
@@ -174,7 +174,7 @@ fn corrupted_checksum_is_rejected() {
     let mut buf = encode_frame(&Frame::new(FrameKind::JobAck, vec![1, 2, 3]));
     let last = buf.len() - 1;
     buf[last] ^= 0x40; // flip a checksum bit only
-    match read_frame(&mut Cursor::new(buf)) {
+    match read_frame::<FrameKind>(&mut Cursor::new(buf)) {
         Err(FrameError::BadChecksum) => {}
         other => panic!("expected BadChecksum, got {other:?}"),
     }
@@ -184,14 +184,14 @@ fn corrupted_checksum_is_rejected() {
 fn bad_magic_and_unknown_kind_are_rejected() {
     let mut buf = encode_frame(&Frame::new(FrameKind::Shutdown, Vec::new()));
     buf[0] = b'X';
-    match read_frame(&mut Cursor::new(buf.clone())) {
+    match read_frame::<FrameKind>(&mut Cursor::new(buf.clone())) {
         Err(FrameError::BadMagic(m)) => assert_eq!(&m, b"XMFR"),
         other => panic!("expected BadMagic, got {other:?}"),
     }
 
     let mut buf = encode_frame(&Frame::new(FrameKind::Shutdown, Vec::new()));
     buf[4] = 0xEE; // kind byte — checked before the checksum
-    match read_frame(&mut Cursor::new(buf)) {
+    match read_frame::<FrameKind>(&mut Cursor::new(buf)) {
         Err(FrameError::UnknownKind(0xEE)) => {}
         other => panic!("expected UnknownKind, got {other:?}"),
     }
@@ -209,7 +209,7 @@ fn payload_bitflips_hit_the_checksum() {
         for bit in 0..8 {
             let mut buf = clean.clone();
             buf[pos] ^= 1 << bit;
-            match read_frame(&mut Cursor::new(buf)) {
+            match read_frame::<FrameKind>(&mut Cursor::new(buf)) {
                 Err(FrameError::BadChecksum) => {}
                 other => panic!("flip at {pos}/{bit}: expected BadChecksum, got {other:?}"),
             }

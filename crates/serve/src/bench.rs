@@ -1,0 +1,148 @@
+//! A seeded synthetic query storm against a running serve instance.
+//!
+//! The storm draws its query stream deterministically from a seed
+//! (splitmix64 over the query index), so two benches of the same
+//! build send byte-identical query sequences; only the wall-clock
+//! numbers differ. Each point of the curve runs the same total query
+//! count over a different number of concurrent connections, giving a
+//! queries/sec scaling curve for `BENCH_PR8.json`.
+
+use std::time::Instant;
+
+use clientmap_geo::CountryCode;
+use clientmap_net::{splitmix64, Asn, Prefix};
+
+use crate::client::{ClientError, QueryClient};
+use crate::proto::Query;
+
+/// What to throw at the service.
+#[derive(Debug, Clone)]
+pub struct StormOptions {
+    /// The serve instance (`host:port`).
+    pub addr: String,
+    /// Seed of the deterministic query stream.
+    pub seed: u64,
+    /// Total queries per curve point.
+    pub queries: u64,
+    /// Concurrent connections per curve point.
+    pub connections: Vec<u32>,
+}
+
+impl Default for StormOptions {
+    fn default() -> StormOptions {
+        StormOptions {
+            addr: String::new(),
+            seed: 1,
+            queries: 2_000,
+            connections: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// One point of the queries/sec curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormPoint {
+    /// Concurrent connections.
+    pub connections: u32,
+    /// Queries actually sent (splits evenly; the remainder lands on
+    /// the first connection).
+    pub queries: u64,
+    /// Wall-clock seconds for the whole point.
+    pub wall_secs: f64,
+    /// Aggregate queries per second.
+    pub qps: f64,
+}
+
+/// The `i`-th query of the storm stream for `seed` — a fixed mix of
+/// cheap introspection, point lookups, rankings, and ECDFs.
+pub fn storm_query(seed: u64, i: u64) -> Query {
+    let h = splitmix64(seed ^ splitmix64(i));
+    match h % 6 {
+        0 => Query::Info,
+        1 => Query::As(Asn((h >> 8) as u32 % 100_000)),
+        2 => {
+            let a = b'A' + ((h >> 16) % 26) as u8;
+            let b = b'A' + ((h >> 24) % 26) as u8;
+            Query::Country(CountryCode::new(a, b))
+        }
+        3 => {
+            let len = 8 + ((h >> 32) % 17) as u8; // /8 … /24
+            let addr = ((h >> 8) as u32) & (u32::MAX << (32 - len));
+            Query::Prefix(Prefix::new(addr, len).expect("masked to length"))
+        }
+        4 => Query::TopK(1 + ((h >> 40) % 20) as u32),
+        _ => Query::Ecdf(1 + ((h >> 48) % 64) as u32),
+    }
+}
+
+/// Runs the full storm: one [`StormPoint`] per connection count.
+/// Every reply is fully read and decoded (errors included — an
+/// unknown AS is a valid, answerable query), so qps measures complete
+/// round trips.
+pub fn query_storm(opts: &StormOptions) -> Result<Vec<StormPoint>, ClientError> {
+    let mut curve = Vec::with_capacity(opts.connections.len());
+    for &conns in &opts.connections {
+        let conns = conns.max(1);
+        let per = opts.queries / u64::from(conns);
+        let start = Instant::now();
+        let mut failure: Option<ClientError> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..conns {
+                let extra = if c == 0 {
+                    opts.queries - per * u64::from(conns)
+                } else {
+                    0
+                };
+                let addr = &opts.addr;
+                let seed = opts.seed;
+                handles.push(scope.spawn(move || -> Result<(), ClientError> {
+                    let mut client = QueryClient::connect(addr)?;
+                    // Disjoint index ranges per connection keep the
+                    // union of sent queries identical at any split.
+                    let base = u64::from(c) * per;
+                    for i in 0..per + extra {
+                        client.request(&storm_query(seed, base + i))?;
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join().expect("storm thread") {
+                    failure.get_or_insert(e);
+                }
+            }
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        curve.push(StormPoint {
+            connections: conns,
+            queries: opts.queries,
+            wall_secs: wall,
+            qps: opts.queries as f64 / wall.max(1e-9),
+        });
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_stream_is_deterministic_and_mixed() {
+        let a: Vec<Query> = (0..64).map(|i| storm_query(7, i)).collect();
+        let b: Vec<Query> = (0..64).map(|i| storm_query(7, i)).collect();
+        assert_eq!(a, b);
+        let infos = a.iter().filter(|q| matches!(q, Query::Info)).count();
+        assert!(infos > 0 && infos < 64, "mix is degenerate: {infos} infos");
+        // Prefix queries always construct valid prefixes.
+        for q in (0..4096).map(|i| storm_query(9, i)) {
+            if let Query::Prefix(p) = q {
+                assert_eq!(p.addr() & !(p.netmask()), 0);
+            }
+        }
+    }
+}

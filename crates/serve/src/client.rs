@@ -1,0 +1,250 @@
+//! The query client: a blocking request/reply connection to a running
+//! `clientmap serve`, plus the text trace format the determinism
+//! harness replays.
+//!
+//! A trace is a newline-separated script, one query per line:
+//!
+//! ```text
+//! gen 2            # block until generation 2 is published
+//! info             # introspect the latest generation
+//! as 64500         # one AS's activity row
+//! country DE       # one country's aggregate
+//! prefix 10.0.0.0/16
+//! top 5            # top-5 ASes by active /24s
+//! ecdf 16          # 16-point active-fraction ECDF
+//! stop             # ask the service to finish
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. Every reply renders to a
+//! stable, locale-free text form ([`render_reply`]), so the same seed
+//! and trace produce byte-identical transcripts — the property the
+//! `serve-determinism` CI job diffs.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+use clientmap_fleet::{read_frame, write_frame, Frame, FrameError};
+use clientmap_net::Asn;
+use clientmap_store::Verdict;
+
+use crate::proto::{verdict_name, Query, QueryKind, Reply};
+
+/// Why a query round trip failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or the stream itself failed.
+    Io(std::io::Error),
+    /// The reply frame was corrupt or unreadable.
+    Frame(FrameError),
+    /// The reply payload did not decode.
+    Codec(String),
+    /// A trace line was not a valid query.
+    BadTrace(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "query i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "query frame error: {e}"),
+            ClientError::Codec(e) => write!(f, "query reply malformed: {e}"),
+            ClientError::BadTrace(line) => write!(f, "bad trace line: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+/// One blocking connection to a serve instance.
+#[derive(Debug)]
+pub struct QueryClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl QueryClient {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<QueryClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(QueryClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one query and blocks for its reply.
+    pub fn request(&mut self, query: &Query) -> Result<Reply, ClientError> {
+        write_frame(&mut self.writer, &Frame::new(query.kind(), query.encode()))?;
+        let frame: Frame<QueryKind> = read_frame(&mut self.reader)?;
+        Reply::decode(frame.kind, &frame.payload).map_err(|e| ClientError::Codec(e.to_string()))
+    }
+}
+
+/// Parses one trace line into a query (`None` for blanks/comments).
+pub fn parse_trace_line(line: &str) -> Result<Option<Query>, ClientError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let bad = || ClientError::BadTrace(line.to_string());
+    let mut words = line.split_whitespace();
+    let cmd = words.next().ok_or_else(bad)?;
+    let arg = words.next();
+    if words.next().is_some() {
+        return Err(bad());
+    }
+    let query = match (cmd, arg) {
+        ("info", None) => Query::Info,
+        ("stop", None) => Query::Stop,
+        ("gen", Some(n)) => Query::WaitGen(n.parse().map_err(|_| bad())?),
+        ("as", Some(n)) => Query::As(Asn(n.parse().map_err(|_| bad())?)),
+        ("country", Some(cc)) => Query::Country(cc.parse().map_err(|_| bad())?),
+        ("prefix", Some(p)) => Query::Prefix(p.parse().map_err(|_| bad())?),
+        ("top", Some(k)) => Query::TopK(k.parse().map_err(|_| bad())?),
+        ("ecdf", Some(n)) => Query::Ecdf(n.parse().map_err(|_| bad())?),
+        _ => return Err(bad()),
+    };
+    Ok(Some(query))
+}
+
+/// Renders a reply as stable text — the transcript line(s) the
+/// determinism harness diffs byte for byte.
+pub fn render_reply(reply: &Reply) -> String {
+    match reply {
+        Reply::Info(i) => format!(
+            "info gen={} epoch={} log_offset={} seed={} digest={:#018x} \
+             measured={} active_ases={} countries={}",
+            i.generation,
+            i.epoch,
+            i.log_offset,
+            i.world_seed,
+            i.config_digest,
+            i.measured_slash24s,
+            i.active_ases,
+            i.countries
+        ),
+        Reply::As(a) => format!(
+            "as AS{} country={} announced={} active={} {}",
+            a.asn.0,
+            a.country,
+            a.announced_slash24s,
+            a.active_slash24s,
+            render_verdicts(&a.verdicts)
+        ),
+        Reply::Country(c) => format!(
+            "country {} ases={} announced={} active={}",
+            c.country, c.ases, c.announced_slash24s, c.active_slash24s
+        ),
+        Reply::Prefix(p) => format!(
+            "prefix {} origins=[{}] {}",
+            p.prefix,
+            p.origins
+                .iter()
+                .map(|a| format!("AS{}", a.0))
+                .collect::<Vec<_>>()
+                .join(","),
+            render_verdicts(&p.verdicts)
+        ),
+        Reply::TopK(rows) => {
+            let body = rows
+                .iter()
+                .map(|(asn, active, announced)| format!("AS{}:{active}/{announced}", asn.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("top {}", if body.is_empty() { "-" } else { &body })
+        }
+        Reply::Ecdf(points) => {
+            let body = points
+                .iter()
+                .map(|(x, y)| format!("({x:.6},{y:.6})"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("ecdf {}", if body.is_empty() { "-" } else { &body })
+        }
+        Reply::Bye => "bye".to_string(),
+        Reply::Err(msg) => format!("error: {msg}"),
+    }
+}
+
+fn render_verdicts(counts: &[u64; 5]) -> String {
+    Verdict::ALL
+        .iter()
+        .filter(|v| **v != Verdict::Unmeasured || counts[0] > 0)
+        .map(|v| format!("{}={}", verdict_name(*v), counts[*v as usize]))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Replays a trace against `addr`, writing one rendered reply line per
+/// query to `out`. Returns the number of queries sent.
+pub fn run_trace(addr: &str, trace: &str, out: &mut impl Write) -> Result<u64, ClientError> {
+    let mut client = QueryClient::connect(addr)?;
+    let mut sent = 0;
+    for line in trace.lines() {
+        let Some(query) = parse_trace_line(line)? else {
+            continue;
+        };
+        let reply = client.request(&query)?;
+        sent += 1;
+        writeln!(out, "{}", render_reply(&reply))?;
+        if matches!(query, Query::Stop) {
+            break;
+        }
+    }
+    Ok(sent)
+}
+
+/// Reads a trace from a file or, for `-`, from `input`.
+pub fn load_trace(path: &str, input: &mut impl Read) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        input.read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_lines_parse() {
+        assert_eq!(parse_trace_line("").unwrap(), None);
+        assert_eq!(parse_trace_line("  # comment").unwrap(), None);
+        assert_eq!(parse_trace_line("info").unwrap(), Some(Query::Info));
+        assert_eq!(parse_trace_line("gen 3").unwrap(), Some(Query::WaitGen(3)));
+        assert_eq!(
+            parse_trace_line("as 64500 # with comment").unwrap(),
+            Some(Query::As(Asn(64500)))
+        );
+        assert_eq!(parse_trace_line("top 5").unwrap(), Some(Query::TopK(5)));
+        assert!(parse_trace_line("as").is_err());
+        assert!(parse_trace_line("prefix notaprefix").is_err());
+        assert!(parse_trace_line("info extra").is_err());
+    }
+
+    #[test]
+    fn rendered_replies_are_stable() {
+        let r = Reply::TopK(vec![(Asn(7), 3, 10)]);
+        assert_eq!(render_reply(&r), "top AS7:3/10");
+        assert_eq!(render_reply(&Reply::TopK(Vec::new())), "top -");
+        assert_eq!(render_reply(&Reply::Bye), "bye");
+        let e = Reply::Ecdf(vec![(0.25, 0.5)]);
+        assert_eq!(render_reply(&e), "ecdf (0.250000,0.500000)");
+    }
+}

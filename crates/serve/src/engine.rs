@@ -1,0 +1,230 @@
+//! The query engine: one immutable [`Generation`] per completed
+//! sweep, answering every query without locks.
+//!
+//! A generation is built once, on the sweep thread, from a finished
+//! [`PipelineOutput`]: the dense per-/24 verdict table, per-AS and
+//! per-country activity rollups, the routed-block table for prefix →
+//! origin lookups, and the per-AS active-fraction ECDF. It is then
+//! published into a `GenerationCell` and never mutated — readers on
+//! query connections clone an `Arc` and answer from a consistent
+//! snapshot while the next sweep is still probing.
+//!
+//! Everything here is a pure function of the pipeline output, so the
+//! same seed produces byte-identical replies at any thread count and
+//! any interleaving of queries with sweeps.
+
+use std::collections::BTreeMap;
+
+use clientmap_analysis::stats::Ecdf;
+use clientmap_core::PipelineOutput;
+use clientmap_geo::CountryCode;
+use clientmap_net::{Asn, Prefix};
+use clientmap_store::{Verdict, VerdictTable};
+
+use crate::proto::{
+    AsReply, CountryReply, InfoReply, PrefixReply, Query, Reply, QUERY_PROTOCOL_VERSION,
+};
+
+/// One AS's rollup inside a generation.
+#[derive(Debug, Clone)]
+pub struct AsActivity {
+    /// Registration country.
+    pub country: CountryCode,
+    /// /24s the AS announces.
+    pub announced_slash24s: u64,
+    /// Measured /24s per verdict, indexed by `Verdict as u8`.
+    pub verdicts: [u64; 5],
+}
+
+impl AsActivity {
+    /// /24s with a full `Hit` verdict.
+    pub fn active_slash24s(&self) -> u64 {
+        self.verdicts[Verdict::Hit as usize]
+    }
+}
+
+/// One immutable published store generation: everything the query
+/// engine needs, precomputed.
+#[derive(Debug)]
+pub struct Generation {
+    /// 1-based generation number (sweep number within this serve run).
+    pub seq: u64,
+    /// Sweep epoch of the snapshot that produced this generation.
+    pub epoch: u32,
+    /// Event-log length in bytes right after this sweep's event.
+    pub log_offset: u64,
+    /// World seed of the sweep chain.
+    pub world_seed: u64,
+    /// Probing-config digest of the sweep chain.
+    pub config_digest: u64,
+    /// Dense per-/24 verdicts.
+    pub verdicts: VerdictTable,
+    /// Per-AS rollups, keyed by ASN (sorted — BTreeMap iteration is
+    /// the deterministic order every ranked reply uses).
+    pub ases: BTreeMap<Asn, AsActivity>,
+    /// Per-country rollups.
+    pub countries: BTreeMap<CountryCode, CountryReply>,
+    /// Routed blocks `(prefix, origin)`, sorted by address then
+    /// length — the prefix-query lookup table.
+    pub blocks: Vec<(Prefix, Asn)>,
+    /// ECDF of per-AS active fraction (active / announced, ASes with
+    /// announced space only).
+    pub ecdf: Ecdf,
+}
+
+impl Generation {
+    /// Builds a generation from a finished pipeline run. `seq` is the
+    /// 1-based sweep number; `log_offset` the event-log length after
+    /// this sweep's event was appended.
+    pub fn build(seq: u64, log_offset: u64, out: &PipelineOutput) -> Generation {
+        let world = out.sim.world();
+        let rib = &world.rib;
+        let verdicts = out.cache_probe.verdict_table();
+
+        // Per-AS verdict rollups: every measured /24 is attributed to
+        // the AS announcing it (unrouted measured space — possible
+        // when a response scope overhangs the RIB — is dropped, same
+        // as the analysis layer does).
+        let registry: BTreeMap<Asn, CountryCode> =
+            world.ases.iter().map(|a| (a.asn, a.country)).collect();
+        let mut ases: BTreeMap<Asn, AsActivity> = BTreeMap::new();
+        for asn in rib.origins() {
+            let country = registry
+                .get(&asn)
+                .copied()
+                .unwrap_or(CountryCode::new(b'Z', b'Z'));
+            ases.insert(
+                asn,
+                AsActivity {
+                    country,
+                    announced_slash24s: rib.announced_slash24s(asn),
+                    verdicts: [0; 5],
+                },
+            );
+        }
+        for (idx, v) in verdicts.iter_measured() {
+            if let Some(asn) = rib.origin_of_addr(idx << 8) {
+                if let Some(row) = ases.get_mut(&asn) {
+                    row.verdicts[v as usize] += 1;
+                }
+            }
+        }
+
+        let mut countries: BTreeMap<CountryCode, CountryReply> = BTreeMap::new();
+        for row in ases.values() {
+            let c = countries.entry(row.country).or_insert(CountryReply {
+                country: row.country,
+                ases: 0,
+                announced_slash24s: 0,
+                active_slash24s: 0,
+            });
+            c.ases += 1;
+            c.announced_slash24s += row.announced_slash24s;
+            c.active_slash24s += row.active_slash24s();
+        }
+
+        let mut blocks: Vec<(Prefix, Asn)> = rib
+            .routes()
+            .into_iter()
+            .map(|(p, e)| (p, e.origin))
+            .collect();
+        blocks.sort_by_key(|(p, _)| (p.addr(), p.len()));
+
+        let fractions: Vec<f64> = ases
+            .values()
+            .filter(|r| r.announced_slash24s > 0)
+            .map(|r| r.active_slash24s() as f64 / r.announced_slash24s as f64)
+            .collect();
+
+        Generation {
+            seq,
+            epoch: out.sweep.epoch,
+            log_offset,
+            world_seed: out.sweep.world_seed,
+            config_digest: out.sweep.config_digest,
+            verdicts,
+            ases,
+            countries,
+            blocks,
+            ecdf: Ecdf::new(fractions),
+        }
+    }
+
+    /// The introspection row describing this generation.
+    pub fn info(&self) -> InfoReply {
+        InfoReply {
+            protocol: QUERY_PROTOCOL_VERSION,
+            generation: self.seq,
+            epoch: self.epoch,
+            log_offset: self.log_offset,
+            world_seed: self.world_seed,
+            config_digest: self.config_digest,
+            measured_slash24s: self.verdicts.count_measured(),
+            active_ases: self
+                .ases
+                .values()
+                .filter(|r| r.active_slash24s() > 0)
+                .count() as u32,
+            countries: self.countries.len() as u32,
+        }
+    }
+
+    /// Answers one query against this generation. `WaitGen` and `Stop`
+    /// are connection-level concerns and must be handled before this.
+    pub fn answer(&self, query: &Query) -> Reply {
+        match query {
+            Query::Info => Reply::Info(self.info()),
+            Query::As(asn) => match self.ases.get(asn) {
+                Some(row) => Reply::As(AsReply {
+                    asn: *asn,
+                    country: row.country,
+                    announced_slash24s: row.announced_slash24s,
+                    active_slash24s: row.active_slash24s(),
+                    verdicts: row.verdicts,
+                }),
+                None => Reply::Err(format!("AS{} announces nothing in this world", asn.0)),
+            },
+            Query::Country(cc) => match self.countries.get(cc) {
+                Some(row) => Reply::Country(row.clone()),
+                None => Reply::Err(format!("no AS is registered in {cc}")),
+            },
+            Query::Prefix(p) => {
+                let mut origins: Vec<Asn> = self
+                    .blocks
+                    .iter()
+                    .filter(|(b, _)| p.contains(*b) || b.contains(*p))
+                    .map(|(_, asn)| *asn)
+                    .collect();
+                origins.sort_unstable();
+                origins.dedup();
+                let mut verdicts = [0u64; 5];
+                let first = p.first_addr() >> 8;
+                for idx in first..first + p.num_slash24s() as u32 {
+                    verdicts[self.verdicts.get(idx) as usize] += 1;
+                }
+                Reply::Prefix(PrefixReply {
+                    prefix: *p,
+                    origins,
+                    verdicts,
+                })
+            }
+            Query::TopK(k) => {
+                let mut rows: Vec<(Asn, u64, u64)> = self
+                    .ases
+                    .iter()
+                    .filter(|(_, r)| r.active_slash24s() > 0)
+                    .map(|(asn, r)| (*asn, r.active_slash24s(), r.announced_slash24s))
+                    .collect();
+                // Most active first; ties break toward the lower ASN
+                // (the BTreeMap order), keeping rankings deterministic.
+                rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                rows.truncate(*k as usize);
+                Reply::TopK(rows)
+            }
+            Query::Ecdf(points) => Reply::Ecdf(self.ecdf.series(*points as usize)),
+            Query::WaitGen(_) | Query::Stop => {
+                Reply::Err("connection-level query reached the engine".into())
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The resident sweep service: cadenced warm re-sweeps on one thread,
+//! lock-free query answering on the rest.
+//!
+//! `serve` owns the sweep store for its lifetime. A dedicated sweep
+//! thread drives [`Pipeline::run_cadence`]; after each sweep it diffs
+//! the new verdict table against the previous one, appends the delta
+//! to the append-only event log ([`clientmap_store::eventlog`]),
+//! builds an immutable [`Generation`], and publishes it into a
+//! [`GenerationCell`] with one atomic store. Query connections never
+//! take a lock: each request clones the `Arc` of whatever generation
+//! is current (or the specific generation it asked for) and answers
+//! from that consistent snapshot while the next sweep is still
+//! probing.
+//!
+//! Shutdown is cooperative: a client sends [`Query::Stop`]; the
+//! service finishes its remaining sweeps, drains connections, and
+//! returns a [`ServeSummary`]. Determinism: the same seed, sweep
+//! count, and query trace produce a byte-identical event log,
+//! byte-identical responses, and a byte-identical final snapshot —
+//! regardless of thread count or query/sweep interleaving.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use clientmap_core::{Pipeline, PipelineConfig, PipelineError};
+use clientmap_fleet::{read_frame_opt, write_frame, Frame, FrameError};
+use clientmap_store::{
+    verdict_delta, EventLog, GenerationCell, SweepEvent, SweepSnapshot, VerdictTable,
+};
+
+use crate::engine::Generation;
+use crate::proto::{Query, QueryKind, Reply};
+
+/// Everything `clientmap serve` needs to run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// The pipeline configuration every sweep runs under.
+    pub config: PipelineConfig,
+    /// Warm-chained sweeps to run before the service idles.
+    pub sweeps: u32,
+    /// Snapshot to warm-start sweep 1 from (`None` = cold).
+    pub prior: Option<SweepSnapshot>,
+    /// Event-log path. Created fresh; an existing file is an error —
+    /// the log is this run's authoritative history.
+    pub log_path: PathBuf,
+    /// Compact the log (write a base snapshot, rewind the tail) after
+    /// every N sweeps; `0` never compacts.
+    pub compact_every: u32,
+    /// Where to write the final sweep snapshot, if anywhere.
+    pub snapshot_out: Option<PathBuf>,
+    /// Told the bound address right after binding — how an in-process
+    /// harness (`serve-bench`, tests) finds a port-0 listener without
+    /// scraping stdout.
+    pub ready: Option<std::sync::mpsc::Sender<std::net::SocketAddr>>,
+}
+
+/// What a completed serve run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sweeps completed (= generations published).
+    pub sweeps: u32,
+    /// Final sweep epoch.
+    pub final_epoch: u32,
+    /// Event-log length in bytes at shutdown.
+    pub log_len: u64,
+    /// Event records in the log at shutdown (post-compaction tail).
+    pub log_records: usize,
+    /// Queries answered across all connections.
+    pub queries_answered: u64,
+}
+
+/// Why the service could not run (or finish).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or accepting on the listen address failed.
+    Io(std::io::Error),
+    /// A sweep failed; the service shut down without a partial
+    /// generation.
+    Pipeline(PipelineError),
+    /// The event log refused an append or compaction.
+    Log(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Pipeline(e) => write!(f, "serve sweep failed: {e}"),
+            ServeError::Log(e) => write!(f, "serve event log failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Cross-thread service state: the published generations and the
+/// wait/stop machinery.
+struct ServerState {
+    generations: GenerationCell<Generation>,
+    /// Guards nothing but the condvar; the published count lives in
+    /// the cell itself.
+    wake: Mutex<()>,
+    cond: Condvar,
+    sweeps_done: AtomicBool,
+    stop: AtomicBool,
+    queries: std::sync::atomic::AtomicU64,
+}
+
+impl ServerState {
+    /// Blocks until generation `seq` exists, all sweeps ended, or the
+    /// service is stopping — whichever comes first.
+    fn wait_for(&self, seq: u64) -> Option<Arc<Generation>> {
+        let mut guard = self.wake.lock().expect("wake lock");
+        loop {
+            if let Some(g) = self.generations.get(seq) {
+                return Some(g);
+            }
+            if self.sweeps_done.load(Ordering::SeqCst) || self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (g, _) = self
+                .cond
+                .wait_timeout(guard, Duration::from_millis(100))
+                .expect("wake lock");
+            guard = g;
+        }
+    }
+
+    fn notify(&self) {
+        let _guard = self.wake.lock().expect("wake lock");
+        self.cond.notify_all();
+    }
+}
+
+/// Runs the service to completion: binds `opts.addr`, announces
+/// `clientmap serve listening on <addr>` on stdout, sweeps
+/// `opts.sweeps` times while answering queries, and returns once the
+/// sweeps are done and a client has asked it to stop.
+pub fn serve(opts: ServeOptions) -> Result<ServeSummary, ServeError> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    println!("clientmap serve listening on {local}");
+    std::io::stdout().flush().ok();
+    if let Some(ready) = &opts.ready {
+        ready.send(local).ok();
+    }
+
+    let state = Arc::new(ServerState {
+        generations: GenerationCell::with_capacity(opts.sweeps as usize),
+        wake: Mutex::new(()),
+        cond: Condvar::new(),
+        sweeps_done: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        queries: std::sync::atomic::AtomicU64::new(0),
+    });
+
+    if opts.log_path.exists() {
+        return Err(ServeError::Log(format!(
+            "event log {} already exists; serve writes a fresh log per run",
+            opts.log_path.display()
+        )));
+    }
+
+    let mut sweep_result: Result<(EventLog, Option<SweepSnapshot>), ServeError> =
+        Err(ServeError::Log("sweep thread never ran".into()));
+
+    std::thread::scope(|scope| {
+        // The sweep thread: the only writer of the event log and the
+        // only publisher of generations.
+        let sweep_state = Arc::clone(&state);
+        let sweep_opts = &opts;
+        let sweep_result = &mut sweep_result;
+        scope.spawn(move || {
+            *sweep_result = run_sweeps(sweep_opts, &sweep_state);
+            sweep_state.sweeps_done.store(true, Ordering::SeqCst);
+            if sweep_result.is_err() {
+                // A dead sweep chain can never satisfy a stop request;
+                // release waiting clients and the accept loop.
+                sweep_state.stop.store(true, Ordering::SeqCst);
+            }
+            sweep_state.notify();
+        });
+
+        // The accept loop: every connection gets its own scoped
+        // thread; readers never block the sweep thread.
+        while !(state.stop.load(Ordering::SeqCst) && state.sweeps_done.load(Ordering::SeqCst)) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn_state = Arc::clone(&state);
+                    scope.spawn(move || {
+                        let _ = handle_connection(stream, &conn_state);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    });
+
+    let (log, last) = sweep_result?;
+    if let (Some(path), Some(snap)) = (&opts.snapshot_out, &last) {
+        std::fs::write(path, snap.encode())?;
+    }
+    Ok(ServeSummary {
+        sweeps: opts.sweeps,
+        final_epoch: last.map(|s| s.epoch).unwrap_or(0),
+        log_len: log.len(),
+        log_records: log.offsets().len(),
+        queries_answered: state.queries.load(Ordering::SeqCst),
+    })
+}
+
+/// The sweep cadence: run, diff, append, publish — once per sweep.
+fn run_sweeps(
+    opts: &ServeOptions,
+    state: &ServerState,
+) -> Result<(EventLog, Option<SweepSnapshot>), ServeError> {
+    let mut log: Option<EventLog> = None;
+    let mut prev_table: Option<VerdictTable> = None;
+    let mut last_snapshot: Option<SweepSnapshot> = None;
+
+    let result = Pipeline::run_cadence(
+        opts.config.clone(),
+        opts.prior.clone(),
+        opts.sweeps,
+        |sweep_no, out| {
+            // The log is created lazily on sweep 1: its header pins
+            // the (world seed, config digest) pair, which only the
+            // first finished sweep can vouch for.
+            if log.is_none() {
+                let created = EventLog::create(
+                    &opts.log_path,
+                    out.sweep.world_seed,
+                    out.sweep.config_digest,
+                )
+                .map_err(|e| PipelineError::Stage {
+                    stage: "serve-eventlog".into(),
+                    message: e.to_string(),
+                })?;
+                log = Some(created);
+            }
+            let log = log.as_mut().expect("just created");
+
+            let table = out.cache_probe.verdict_table();
+            let changes = verdict_delta(prev_table.as_ref(), &table);
+            let event = SweepEvent {
+                epoch: out.sweep.epoch,
+                generation: u64::from(sweep_no),
+                measured_slash24s: table.count_measured(),
+                changes,
+            };
+            log.append(&event).map_err(|e| PipelineError::Stage {
+                stage: "serve-eventlog".into(),
+                message: e.to_string(),
+            })?;
+            if opts.compact_every > 0 && sweep_no % opts.compact_every == 0 {
+                log.compact(&out.sweep).map_err(|e| PipelineError::Stage {
+                    stage: "serve-compaction".into(),
+                    message: e.to_string(),
+                })?;
+            }
+
+            let generation = Generation::build(u64::from(sweep_no), log.len(), &out);
+            prev_table = Some(table);
+            last_snapshot = Some(out.sweep.clone());
+            state
+                .generations
+                .publish(generation)
+                .expect("generation capacity = sweep count");
+            state.notify();
+            eprintln!(
+                "serve: sweep {sweep_no}/{} published (epoch {}, log {} bytes)",
+                opts.sweeps,
+                out.sweep.epoch,
+                log.len()
+            );
+            Ok(())
+        },
+    );
+    match result {
+        Ok(()) => match log {
+            Some(log) => Ok((log, last_snapshot)),
+            None => Err(ServeError::Log("no sweeps ran (sweeps = 0)".into())),
+        },
+        Err(e) => Err(ServeError::Pipeline(e)),
+    }
+}
+
+/// One client connection: read queries until EOF, `Stop`, or service
+/// shutdown. The read timeout only fires *between* frames on an idle
+/// connection (clients write whole frames at once), where it is the
+/// chance to notice the service stopping under us.
+fn handle_connection(stream: TcpStream, state: &ServerState) -> Result<(), FrameError> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(FrameError::Io)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame_opt::<QueryKind>(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean hang-up
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.stop.load(Ordering::SeqCst) && state.sweeps_done.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match Query::decode(frame.kind, &frame.payload) {
+            Ok(Query::Stop) => {
+                state.stop.store(true, Ordering::SeqCst);
+                state.notify();
+                state.queries.fetch_add(1, Ordering::SeqCst);
+                write_frame(
+                    &mut writer,
+                    &Frame::new(QueryKind::RespBye, Reply::Bye.encode()),
+                )?;
+                return Ok(());
+            }
+            Ok(Query::WaitGen(seq)) => match state.wait_for(seq) {
+                Some(g) => Reply::Info(g.info()),
+                None => Reply::Err(format!(
+                    "generation {seq} will never be published ({} of {} sweeps ran)",
+                    state.generations.published(),
+                    state.generations.capacity()
+                )),
+            },
+            Ok(q) => match state.generations.current() {
+                Some(g) => g.answer(&q),
+                None => Reply::Err("no generation published yet".into()),
+            },
+            Err(e) => Reply::Err(format!("bad query: {e}")),
+        };
+        state.queries.fetch_add(1, Ordering::SeqCst);
+        write_frame(&mut writer, &Frame::new(reply.kind(), reply.encode()))?;
+    }
+}

@@ -1,0 +1,129 @@
+//! Swap-on-publish generation cell: lock-free reads over immutable
+//! published values.
+//!
+//! The serve mode's read path must never block on the sweep thread —
+//! query throughput has to scale with cores while a cadenced re-sweep
+//! builds the next store generation. [`GenerationCell`] gets that
+//! without a single unsafe block: every published generation is an
+//! immutable `Arc<T>` in a pre-allocated slot (`OnceLock`, written
+//! exactly once), and publication is one release-store of the
+//! published count. Readers do an acquire-load, index the slot array,
+//! and clone the `Arc` — no mutex anywhere on the read path, and old
+//! generations stay alive (and queryable by sequence number) for as
+//! long as the cell does, so a reader can never observe a freed value.
+//!
+//! The capacity is fixed at construction: a serve process knows its
+//! sweep schedule, so the slot array never reallocates (reallocation
+//! under concurrent readers is exactly the hazard this design removes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A fixed-capacity, lock-free-on-read publication cell.
+///
+/// One writer publishes immutable generations in sequence; any number
+/// of readers fetch the current (or any past) generation without
+/// locking. Sequence numbers are 1-based: generation 0 means "nothing
+/// published yet".
+#[derive(Debug)]
+pub struct GenerationCell<T> {
+    slots: Vec<OnceLock<Arc<T>>>,
+    published: AtomicU64,
+}
+
+impl<T> GenerationCell<T> {
+    /// A cell with room for `capacity` generations.
+    pub fn with_capacity(capacity: usize) -> GenerationCell<T> {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, OnceLock::new);
+        GenerationCell {
+            slots,
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// How many generations this cell can ever hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The latest published sequence number (0 = none yet).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Publishes the next generation and returns its sequence number.
+    /// Intended for a single publisher thread; returns `None` when the
+    /// cell is full.
+    pub fn publish(&self, value: T) -> Option<u64> {
+        let seq = self.published.load(Ordering::Relaxed);
+        let slot = self.slots.get(seq as usize)?;
+        slot.set(Arc::new(value)).ok()?;
+        // The release-store is the publication point: a reader that
+        // acquires `seq + 1` sees the fully initialised slot.
+        self.published.store(seq + 1, Ordering::Release);
+        Some(seq + 1)
+    }
+
+    /// The current generation, if any — an acquire-load plus an `Arc`
+    /// clone, never a lock.
+    pub fn current(&self) -> Option<Arc<T>> {
+        self.get(self.published())
+    }
+
+    /// Generation `seq` (1-based), if published. Past generations stay
+    /// retrievable forever — the introspection queries rely on it.
+    pub fn get(&self, seq: u64) -> Option<Arc<T>> {
+        if seq == 0 || seq > self.published() {
+            return None;
+        }
+        self.slots
+            .get((seq - 1) as usize)
+            .and_then(|s| s.get())
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_read_in_order() {
+        let cell = GenerationCell::with_capacity(3);
+        assert!(cell.current().is_none());
+        assert_eq!(cell.publish("a"), Some(1));
+        assert_eq!(cell.publish("b"), Some(2));
+        assert_eq!(*cell.current().unwrap(), "b");
+        assert_eq!(*cell.get(1).unwrap(), "a");
+        assert!(cell.get(3).is_none());
+        assert_eq!(cell.publish("c"), Some(3));
+        assert_eq!(cell.publish("d"), None, "capacity exhausted");
+        assert_eq!(cell.published(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotone_generations() {
+        let cell = Arc::new(GenerationCell::with_capacity(64));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while last < 64 {
+                        if let Some(g) = cell.current() {
+                            assert!(*g >= last, "generation went backwards");
+                            last = *g;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for g in 1..=64u64 {
+            assert_eq!(cell.publish(g), Some(g));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -52,6 +52,8 @@
 
 mod bitset;
 mod codec;
+pub mod eventlog;
+mod generation;
 pub mod planner;
 mod snapshot;
 mod table;
@@ -59,6 +61,11 @@ mod verdict;
 
 pub use bitset::{AsBitsets, Slash24Bitset, SLASH24_SPACE};
 pub use codec::{checksum, ByteReader, ByteWriter, CodecError};
+pub use eventlog::{
+    verdict_delta, EventLog, EventLogError, Recovery, SweepEvent, VerdictChange, EVENTLOG_MAGIC,
+    EVENTLOG_VERSION,
+};
+pub use generation::GenerationCell;
 pub use planner::{classify, PlanReason, PlannerStats, PriorScope};
 pub use snapshot::{
     CalibrationRecord, FaultRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot,

@@ -68,6 +68,15 @@ impl VerdictTable {
         best
     }
 
+    /// Overwrites /24 index `idx` with `v`, rank regardless —
+    /// [`Verdict::Unmeasured`] clears the slot. This is the event-log
+    /// replay primitive: a later generation's verdict *replaces* the
+    /// earlier one (activity can lapse), unlike [`VerdictTable::record`]
+    /// which merges redundant probes of one sweep by max rank.
+    pub fn set(&mut self, idx: u32, v: Verdict) {
+        self.table.set(idx, v as u8);
+    }
+
     /// Folds every measured entry of `other` into `self`.
     pub fn merge_from(&mut self, other: &VerdictTable) {
         for (idx, v) in other.iter_measured() {

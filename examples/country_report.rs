@@ -7,8 +7,8 @@
 //! cargo run --release --example country_report [seed]
 //! ```
 
-use clientmap::analysis::country_coverage;
-use clientmap::core::{Pipeline, PipelineConfig};
+use clientmap::country_coverage;
+use clientmap::{Pipeline, PipelineConfig};
 
 fn main() {
     let seed = std::env::args()
@@ -20,7 +20,7 @@ fn main() {
     let out = Pipeline::run(PipelineConfig::tiny(seed)).expect("pipeline run is healthy");
     let world = out.sim.world();
 
-    let union = out.bundle.as_view(clientmap::datasets::DatasetId::Union);
+    let union = out.bundle.as_view(clientmap::DatasetId::Union);
     let coverage = country_coverage(world, &out.bundle.apnic, &union);
 
     println!(
@@ -29,7 +29,7 @@ fn main() {
     );
     for c in coverage.iter().take(20) {
         // Largest APNIC-listed ASes in this country missed by the union.
-        let mut blind: Vec<(clientmap::net::Asn, f64)> = out
+        let mut blind: Vec<(clientmap::Asn, f64)> = out
             .bundle
             .apnic
             .volume

@@ -12,10 +12,10 @@
 //! cargo run --release --example geolocation_trust [seed]
 //! ```
 
-use clientmap::cacheprobe::{run_technique, ProbeConfig};
-use clientmap::net::Prefix;
-use clientmap::sim::Sim;
-use clientmap::world::{World, WorldConfig};
+use clientmap::Prefix;
+use clientmap::Sim;
+use clientmap::{run_technique, ProbeConfig};
+use clientmap::{World, WorldConfig};
 
 fn main() {
     let seed = std::env::args()

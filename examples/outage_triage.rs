@@ -10,10 +10,10 @@
 //! cargo run --release --example outage_triage [seed]
 //! ```
 
-use clientmap::cacheprobe::{run_technique, ProbeConfig};
-use clientmap::net::{Prefix, SeedMixer};
-use clientmap::sim::Sim;
-use clientmap::world::{World, WorldConfig};
+use clientmap::Sim;
+use clientmap::{run_technique, ProbeConfig};
+use clientmap::{Prefix, SeedMixer};
+use clientmap::{World, WorldConfig};
 
 fn main() {
     let seed = std::env::args()
@@ -42,7 +42,7 @@ fn main() {
         .collect();
     let mut outage: Vec<Prefix> = Vec::new();
     while outage.len() < 12 && outage.len() < routed.len() {
-        rng = clientmap::net::splitmix64(rng);
+        rng = clientmap::splitmix64(rng);
         let p = routed[(rng as usize) % routed.len()];
         if !outage.contains(&p) {
             outage.push(p);

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart [seed]
 //! ```
 
-use clientmap::core::{Pipeline, PipelineConfig};
+use clientmap::{Pipeline, PipelineConfig};
 
 fn main() {
     let seed = std::env::args()

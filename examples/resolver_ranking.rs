@@ -8,9 +8,9 @@
 //! cargo run --release --example resolver_ranking [seed]
 //! ```
 
-use clientmap::chromium::{crawl, ChromiumClassifier};
-use clientmap::sim::{Sim, SimTime};
-use clientmap::world::{World, WorldConfig};
+use clientmap::{crawl, ChromiumClassifier};
+use clientmap::{Sim, SimTime};
+use clientmap::{World, WorldConfig};
 
 fn main() {
     let seed = std::env::args()

@@ -6,12 +6,17 @@
 //!                   [--duration-hours F] [--metrics FILE]
 //! clientmap export  [--scale ...] [--seed N] --out DIR
 //! clientmap query   PREFIX [--scale ...] [--seed N]
+//! clientmap query   --connect ADDR [--trace FILE | QUERY...]
 //! clientmap stats   [--scale ...] [--seed N]
 //! clientmap worker  [--listen ADDR] [--once] [--fail-after N]
 //! clientmap driver  --workers a:p,b:p,... [--shards N] [--connect-timeout S]
 //!                   [run flags except --faults]
 //! clientmap fleet-bench [--scale ...] [--seed N] [--threads-per-worker N]
 //!                   [--workers-list 1,2,4] [--duration-hours F] [--json FILE]
+//! clientmap serve   [--listen ADDR] [--sweeps N] [--event-log FILE]
+//!                   [--compact-every N] [run flags]
+//! clientmap serve-bench [--sweeps N] [--storm-queries N]
+//!                   [--connections-list 1,2,4] [--json FILE] [run flags]
 //! ```
 //!
 //! `run` executes the full pipeline and prints the headline numbers;
@@ -34,9 +39,20 @@
 //! output is **byte-identical** to `run` at any ⟨worker, thread⟩
 //! combination. `fleet-bench` spawns a local fleet at several sizes
 //! and writes the scaling curve as JSON.
+//!
+//! `serve` keeps the sweep store resident: it chains `--sweeps` warm
+//! re-sweeps, appends each sweep's verdict delta to an append-only
+//! checksummed event log (`--event-log`), publishes an immutable store
+//! generation per sweep, and answers per-AS / per-country / per-prefix
+//! activity queries, top-K rankings, ECDFs, and generation
+//! introspection over TCP while sweeping. `query --connect` is the
+//! matching client (one query per argument line, or a `--trace` file);
+//! `serve-bench` runs an in-process service and storms it with a
+//! seeded synthetic query mix, writing the queries/sec curve as JSON.
 
 use std::io::{BufRead as _, Write as _};
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 use clientmap::core::{Pipeline, PipelineConfig, PipelineError, PipelineOutput};
@@ -44,19 +60,74 @@ use clientmap::datasets::export;
 use clientmap::faults::{FaultConfig, FaultProfile};
 use clientmap::fleet::{run_worker, FleetOptions, FleetSweep, WorkerOptions};
 use clientmap::net::Prefix;
+use clientmap::serve::{
+    query_storm, run_trace, serve, Query, QueryClient, ServeOptions, StormOptions,
+};
 use clientmap::store::{AsBitsets, Slash24Bitset, SweepSnapshot};
 
-struct Args {
+/// One typed reason the command line could not be used. Every parse
+/// failure funnels through here (and then through [`usage`]) — no
+/// subcommand rolls its own `eprintln!`/`exit` pair.
+#[derive(Debug)]
+enum CliError {
+    /// A flag was given without its value.
+    MissingValue(&'static str, &'static str),
+    /// A flag's value did not parse.
+    BadValue(&'static str, String, &'static str),
+    /// A subcommand-level constraint failed (missing required flag,
+    /// forbidden combination).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingValue(flag, hint) => {
+                write!(f, "{flag} needs a value, e.g. {flag} {hint}")
+            }
+            CliError::BadValue(flag, got, hint) => {
+                write!(f, "bad {flag} {got:?}, expected e.g. {hint}")
+            }
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The flags shared by every pipeline-running subcommand (`run`,
+/// `driver`, `serve`, `fleet-bench`, `serve-bench`, `export`, `query`,
+/// `stats`): which world, which probing knobs, which outputs.
+struct CommonOpts {
     scale: String,
     seed: u64,
     faults: FaultProfile,
     fault_seed: u64,
-    out: Option<PathBuf>,
     snapshot_in: Option<PathBuf>,
     snapshot_out: Option<PathBuf>,
     expiry_budget: f64,
     duration_hours: Option<f64>,
     metrics: Option<PathBuf>,
+}
+
+impl CommonOpts {
+    /// The pipeline configuration these flags describe.
+    fn config(&self) -> PipelineConfig {
+        let mut config = match self.scale.as_str() {
+            "paper" => PipelineConfig::paper_scale(self.seed),
+            "small" => PipelineConfig::small(self.seed),
+            _ => PipelineConfig::tiny(self.seed),
+        };
+        config.faults = FaultConfig::profile(self.faults, self.fault_seed);
+        config.probe.expiry_budget = self.expiry_budget;
+        if let Some(hours) = self.duration_hours {
+            config.probe.duration_hours = hours;
+        }
+        config
+    }
+}
+
+struct Args {
+    common: CommonOpts,
+    out: Option<PathBuf>,
     listen: String,
     once: bool,
     fail_after: Option<u32>,
@@ -66,21 +137,33 @@ struct Args {
     threads_per_worker: usize,
     workers_list: Vec<usize>,
     json: Option<PathBuf>,
+    sweeps: u32,
+    event_log: Option<PathBuf>,
+    compact_every: u32,
+    connect: Option<String>,
+    trace: Option<String>,
+    storm_queries: u64,
+    connections_list: Vec<u32>,
     positional: Vec<String>,
 }
 
-fn parse_args(argv: &[String]) -> Args {
+/// The one flag parser every subcommand shares. Unknown tokens land in
+/// `positional` (prefix/query words); every malformed value is a typed
+/// [`CliError`].
+fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     let mut args = Args {
-        scale: "tiny".into(),
-        seed: 2021,
-        faults: FaultProfile::Off,
-        fault_seed: 0,
+        common: CommonOpts {
+            scale: "tiny".into(),
+            seed: 2021,
+            faults: FaultProfile::Off,
+            fault_seed: 0,
+            snapshot_in: None,
+            snapshot_out: None,
+            expiry_budget: 0.0,
+            duration_hours: None,
+            metrics: None,
+        },
         out: None,
-        snapshot_in: None,
-        snapshot_out: None,
-        expiry_budget: 0.0,
-        duration_hours: None,
-        metrics: None,
         listen: "127.0.0.1:0".into(),
         once: false,
         fail_after: None,
@@ -90,154 +173,123 @@ fn parse_args(argv: &[String]) -> Args {
         threads_per_worker: 1,
         workers_list: vec![1, 2, 4],
         json: None,
+        sweeps: 3,
+        event_log: None,
+        compact_every: 0,
+        connect: None,
+        trace: None,
+        storm_queries: 2_000,
+        connections_list: vec![1, 2, 4, 8],
         positional: Vec::new(),
     };
+
+    /// `argv[i + 1]` as the raw value of `flag`, or the typed error.
+    fn raw<'a>(
+        argv: &'a [String],
+        i: usize,
+        flag: &'static str,
+        hint: &'static str,
+    ) -> Result<&'a str, CliError> {
+        argv.get(i + 1)
+            .map(String::as_str)
+            .ok_or(CliError::MissingValue(flag, hint))
+    }
+
+    /// `argv[i + 1]` parsed as `T`, or the typed error.
+    fn val<T: FromStr>(
+        argv: &[String],
+        i: usize,
+        flag: &'static str,
+        hint: &'static str,
+    ) -> Result<T, CliError> {
+        let s = raw(argv, i, flag, hint)?;
+        s.parse()
+            .map_err(|_| CliError::BadValue(flag, s.to_string(), hint))
+    }
+
+    /// A comma-separated list parsed as `Vec<T>` (empty = error).
+    fn list<T: FromStr>(
+        argv: &[String],
+        i: usize,
+        flag: &'static str,
+        hint: &'static str,
+    ) -> Result<Vec<T>, CliError> {
+        let s = raw(argv, i, flag, hint)?;
+        let parsed: Vec<T> = s
+            .split(',')
+            .filter(|w| !w.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| CliError::BadValue(flag, s.to_string(), hint))?;
+        if parsed.is_empty() {
+            return Err(CliError::BadValue(flag, s.to_string(), hint));
+        }
+        Ok(parsed)
+    }
+
     let mut i = 0;
     while i < argv.len() {
+        let mut consumed = 2;
         match argv[i].as_str() {
-            "--scale" => {
-                args.scale = argv.get(i + 1).cloned().unwrap_or_default();
-                i += 2;
-            }
-            "--seed" => {
-                args.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2021);
-                i += 2;
-            }
-            "--faults" => {
-                let name = argv.get(i + 1).cloned().unwrap_or_default();
-                args.faults = match name.parse() {
-                    Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("bad --faults {name:?}: {e}");
-                        std::process::exit(2);
-                    }
-                };
-                i += 2;
-            }
-            "--fault-seed" => {
-                args.fault_seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
-                i += 2;
-            }
-            "--out" => {
-                args.out = argv.get(i + 1).map(PathBuf::from);
-                i += 2;
-            }
+            "--scale" => args.common.scale = raw(argv, i, "--scale", "tiny")?.to_string(),
+            "--seed" => args.common.seed = val(argv, i, "--seed", "2021")?,
+            "--faults" => args.common.faults = val(argv, i, "--faults", "lossy")?,
+            "--fault-seed" => args.common.fault_seed = val(argv, i, "--fault-seed", "7")?,
+            "--out" => args.out = Some(PathBuf::from(raw(argv, i, "--out", "DIR")?)),
             "--snapshot-in" => {
-                args.snapshot_in = argv.get(i + 1).map(PathBuf::from);
-                i += 2;
+                args.common.snapshot_in =
+                    Some(PathBuf::from(raw(argv, i, "--snapshot-in", "FILE")?))
             }
             "--snapshot-out" => {
-                args.snapshot_out = argv.get(i + 1).map(PathBuf::from);
-                i += 2;
+                args.common.snapshot_out =
+                    Some(PathBuf::from(raw(argv, i, "--snapshot-out", "FILE")?))
             }
             "--expiry-budget" => {
-                args.expiry_budget =
-                    argv.get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--expiry-budget needs a fraction, e.g. 0.1");
-                            std::process::exit(2);
-                        });
-                i += 2;
+                args.common.expiry_budget = val(argv, i, "--expiry-budget", "0.1")?
             }
             "--duration-hours" => {
-                args.duration_hours = Some(
-                    argv.get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--duration-hours needs a number, e.g. 8");
-                            std::process::exit(2);
-                        }),
-                );
-                i += 2;
+                args.common.duration_hours = Some(val(argv, i, "--duration-hours", "8")?)
             }
             "--metrics" => {
-                args.metrics = argv.get(i + 1).map(PathBuf::from);
-                i += 2;
+                args.common.metrics = Some(PathBuf::from(raw(argv, i, "--metrics", "FILE")?))
             }
-            "--listen" => {
-                args.listen = argv.get(i + 1).cloned().unwrap_or_else(|| {
-                    eprintln!("--listen needs an address, e.g. 127.0.0.1:7801");
-                    std::process::exit(2);
-                });
-                i += 2;
-            }
+            "--listen" => args.listen = raw(argv, i, "--listen", "127.0.0.1:7801")?.to_string(),
             "--once" => {
                 args.once = true;
-                i += 1;
+                consumed = 1;
             }
-            "--fail-after" => {
-                args.fail_after = Some(
-                    argv.get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--fail-after needs a shard count");
-                            std::process::exit(2);
-                        }),
-                );
-                i += 2;
-            }
-            "--workers" => {
-                let list = argv.get(i + 1).cloned().unwrap_or_default();
-                args.workers
-                    .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from));
-                i += 2;
-            }
-            "--shards" => {
-                args.shards = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
-                i += 2;
-            }
+            "--fail-after" => args.fail_after = Some(val(argv, i, "--fail-after", "2")?),
+            "--workers" => args.workers = list(argv, i, "--workers", "host:port,host:port")?,
+            "--shards" => args.shards = val(argv, i, "--shards", "8")?,
             "--connect-timeout" => {
-                args.connect_timeout_secs =
-                    argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(10);
-                i += 2;
+                args.connect_timeout_secs = val(argv, i, "--connect-timeout", "10")?
             }
             "--threads-per-worker" => {
-                args.threads_per_worker = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or(1);
-                i += 2;
+                args.threads_per_worker = val::<usize>(argv, i, "--threads-per-worker", "2")?.max(1)
             }
-            "--workers-list" => {
-                let list = argv.get(i + 1).cloned().unwrap_or_default();
-                args.workers_list = list
-                    .split(',')
-                    .filter_map(|s| s.parse().ok())
-                    .filter(|&n: &usize| n > 0)
-                    .collect();
-                if args.workers_list.is_empty() {
-                    eprintln!("--workers-list needs counts, e.g. 1,2,4");
-                    std::process::exit(2);
-                }
-                i += 2;
+            "--workers-list" => args.workers_list = list(argv, i, "--workers-list", "1,2,4")?,
+            "--json" => args.json = Some(PathBuf::from(raw(argv, i, "--json", "FILE")?)),
+            "--sweeps" => args.sweeps = val(argv, i, "--sweeps", "3")?,
+            "--event-log" => {
+                args.event_log = Some(PathBuf::from(raw(argv, i, "--event-log", "FILE")?))
             }
-            "--json" => {
-                args.json = argv.get(i + 1).map(PathBuf::from);
-                i += 2;
+            "--compact-every" => args.compact_every = val(argv, i, "--compact-every", "4")?,
+            "--connect" => {
+                args.connect = Some(raw(argv, i, "--connect", "127.0.0.1:7900")?.to_string())
+            }
+            "--trace" => args.trace = Some(raw(argv, i, "--trace", "FILE")?.to_string()),
+            "--storm-queries" => args.storm_queries = val(argv, i, "--storm-queries", "2000")?,
+            "--connections-list" => {
+                args.connections_list = list(argv, i, "--connections-list", "1,2,4,8")?
             }
             other => {
                 args.positional.push(other.to_string());
-                i += 1;
+                consumed = 1;
             }
         }
+        i += consumed;
     }
-    args
-}
-
-fn config_for(args: &Args) -> PipelineConfig {
-    let mut config = match args.scale.as_str() {
-        "paper" => PipelineConfig::paper_scale(args.seed),
-        "small" => PipelineConfig::small(args.seed),
-        _ => PipelineConfig::tiny(args.seed),
-    };
-    config.faults = FaultConfig::profile(args.faults, args.fault_seed);
-    config.probe.expiry_budget = args.expiry_budget;
-    if let Some(hours) = args.duration_hours {
-        config.probe.duration_hours = hours;
-    }
-    config
+    Ok(args)
 }
 
 fn load_snapshot(path: &std::path::Path) -> SweepSnapshot {
@@ -310,8 +362,8 @@ fn print_run_report(out: &PipelineOutput, warm: bool) {
 
 /// The `run`/`driver` output files: optional warm-start snapshot and
 /// metrics JSON dump.
-fn write_run_outputs(out: &PipelineOutput, args: &Args) {
-    if let Some(path) = args.snapshot_out.as_deref() {
+fn write_run_outputs(out: &PipelineOutput, common: &CommonOpts) {
+    if let Some(path) = common.snapshot_out.as_deref() {
         match std::fs::write(path, out.sweep.encode()) {
             Ok(()) => println!(
                 "wrote snapshot {} (epoch {})",
@@ -324,7 +376,7 @@ fn write_run_outputs(out: &PipelineOutput, args: &Args) {
             }
         }
     }
-    if let Some(path) = args.metrics.as_deref() {
+    if let Some(path) = common.metrics.as_deref() {
         if let Err(e) = std::fs::write(path, out.metrics_snapshot().to_json()) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -377,10 +429,6 @@ fn spawn_local_worker(threads: usize) -> (std::process::Child, String) {
 /// every fleet report is byte-identical to the baseline and writes the
 /// scaling curve as JSON (stdout, or `--json FILE`).
 fn fleet_bench(args: &Args) {
-    if args.faults != FaultProfile::Off {
-        eprintln!("fleet-bench requires --faults off");
-        std::process::exit(2);
-    }
     let tpw = args.threads_per_worker;
     fn stage_secs(timings: &[(String, f64)], name: &str) -> f64 {
         timings
@@ -394,7 +442,7 @@ fn fleet_bench(args: &Args) {
     let mut cold_timings = Vec::new();
     let t0 = Instant::now();
     let baseline = clientmap::par::with_threads(tpw, || {
-        Pipeline::run_warm_timed(config_for(args), None, &mut cold_timings)
+        Pipeline::run_warm_timed(args.common.config(), None, &mut cold_timings)
     });
     let baseline = match baseline {
         Ok(b) => b,
@@ -412,7 +460,7 @@ fn fleet_bench(args: &Args) {
     let t0 = Instant::now();
     let warm = clientmap::par::with_threads(tpw, || {
         Pipeline::run_warm_timed(
-            config_for(args),
+            args.common.config(),
             Some(baseline.sweep.clone()),
             &mut warm_timings,
         )
@@ -446,11 +494,11 @@ fn fleet_bench(args: &Args) {
             connect_timeout: Duration::from_secs(args.connect_timeout_secs),
             ..FleetOptions::default()
         };
-        let mut fleet = FleetSweep::new(opts, args.scale.clone());
+        let mut fleet = FleetSweep::new(opts, args.common.scale.clone());
         let mut timings = Vec::new();
         let t0 = Instant::now();
         let out = clientmap::par::with_threads(tpw, || {
-            Pipeline::run_warm_timed_with(config_for(args), None, &mut timings, &mut fleet)
+            Pipeline::run_warm_timed_with(args.common.config(), None, &mut timings, &mut fleet)
         });
         let out = match out {
             Ok(out) => out,
@@ -474,12 +522,12 @@ fn fleet_bench(args: &Args) {
     }
 
     use std::fmt::Write as _;
-    let cfg = config_for(args);
+    let cfg = args.common.config();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    writeln!(json, "  \"scale\": \"{}\",", args.scale).expect("string write");
-    writeln!(json, "  \"seed\": {},", args.seed).expect("string write");
+    writeln!(json, "  \"scale\": \"{}\",", args.common.scale).expect("string write");
+    writeln!(json, "  \"seed\": {},", args.common.seed).expect("string write");
     writeln!(json, "  \"faults\": \"off\",").expect("string write");
     writeln!(json, "  \"host_cores\": {cores},").expect("string write");
     writeln!(json, "  \"threads_per_worker\": {tpw},").expect("string write");
@@ -517,24 +565,196 @@ fn fleet_bench(args: &Args) {
     writeln!(json, "  \"note\": \"{note}\"").expect("string write");
     json.push_str("}\n");
 
-    match args.json.as_deref() {
+    write_json_output(&json, args.json.as_deref(), "fleet-bench");
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
+/// `serve`: the resident sweep service (see `clientmap-serve`).
+fn cmd_serve(args: &Args) {
+    let prior = args.common.snapshot_in.as_deref().map(load_snapshot);
+    let log_path = args
+        .event_log
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("clientmap-events.cmel"));
+    let opts = ServeOptions {
+        addr: args.listen.clone(),
+        config: args.common.config(),
+        sweeps: args.sweeps,
+        prior,
+        log_path: log_path.clone(),
+        compact_every: args.compact_every,
+        snapshot_out: args.common.snapshot_out.clone(),
+        ready: None,
+    };
+    match serve(opts) {
+        Ok(s) => println!(
+            "serve: {} sweeps published (final epoch {}); event log {} holds {} records \
+             in {} bytes; {} queries answered",
+            s.sweeps,
+            s.final_epoch,
+            log_path.display(),
+            s.log_records,
+            s.log_len,
+            s.queries_answered
+        ),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `serve-bench`: an in-process service stormed with a seeded query
+/// mix; writes the queries/sec curve as JSON.
+fn cmd_serve_bench(args: &Args) {
+    let log_path =
+        std::env::temp_dir().join(format!("clientmap-serve-bench-{}.cmel", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        config: args.common.config(),
+        sweeps: args.sweeps.max(1),
+        prior: None,
+        log_path: log_path.clone(),
+        compact_every: args.compact_every,
+        snapshot_out: None,
+        ready: Some(ready_tx),
+    };
+    let sweeps = opts.sweeps;
+    let server = std::thread::spawn(move || serve(opts));
+    let Ok(addr) = ready_rx.recv() else {
+        eprintln!("serve-bench: service never bound");
+        std::process::exit(1);
+    };
+    let addr = addr.to_string();
+
+    // Storm only once every generation is published, so each curve
+    // point queries the same (final) generation.
+    let mut control = match QueryClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve-bench: cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = control.request(&Query::WaitGen(u64::from(sweeps))) {
+        eprintln!("serve-bench: waiting for final generation failed: {e}");
+        std::process::exit(1);
+    }
+
+    let storm = StormOptions {
+        addr: addr.clone(),
+        seed: args.common.seed,
+        queries: args.storm_queries,
+        connections: args.connections_list.clone(),
+    };
+    let t0 = Instant::now();
+    let curve = match query_storm(&storm) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve-bench: query storm failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let storm_secs = t0.elapsed().as_secs_f64();
+    let _ = control.request(&Query::Stop);
+    let summary = match server.join().expect("serve thread") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve-bench: service failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_file(&log_path);
+
+    use std::fmt::Write as _;
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"scale\": \"{}\",", args.common.scale).expect("string write");
+    writeln!(json, "  \"seed\": {},", args.common.seed).expect("string write");
+    writeln!(json, "  \"sweeps\": {},", summary.sweeps).expect("string write");
+    writeln!(json, "  \"final_epoch\": {},", summary.final_epoch).expect("string write");
+    writeln!(json, "  \"event_log_bytes\": {},", summary.log_len).expect("string write");
+    writeln!(json, "  \"event_log_records\": {},", summary.log_records).expect("string write");
+    writeln!(
+        json,
+        "  \"storm_queries_per_point\": {},",
+        args.storm_queries
+    )
+    .expect("string write");
+    writeln!(json, "  \"storm_total_secs\": {storm_secs:.3},").expect("string write");
+    writeln!(
+        json,
+        "  \"queries_answered\": {},",
+        summary.queries_answered
+    )
+    .expect("string write");
+    writeln!(json, "  \"qps_curve\": [").expect("string write");
+    for (i, p) in curve.iter().enumerate() {
+        let comma = if i + 1 < curve.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{ \"connections\": {}, \"queries\": {}, \"wall_secs\": {:.4}, \
+             \"qps\": {:.1} }}{comma}",
+            p.connections, p.queries, p.wall_secs, p.qps
+        )
+        .expect("string write");
+    }
+    writeln!(json, "  ],").expect("string write");
+    writeln!(
+        json,
+        "  \"note\": \"seeded query mix over immutable generations; responses are \
+         byte-deterministic, only the wall clock varies\""
+    )
+    .expect("string write");
+    json.push_str("}\n");
+
+    write_json_output(&json, args.json.as_deref(), "serve-bench");
+}
+
+/// Writes bench JSON to `path` (or stdout when `None`).
+fn write_json_output(json: &str, path: Option<&std::path::Path>, what: &str) {
+    match path {
         Some(path) => {
-            if let Err(e) = std::fs::write(path, &json) {
+            if let Err(e) = std::fs::write(path, json) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
-            eprintln!("fleet-bench: wrote {}", path.display());
+            eprintln!("{what}: wrote {}", path.display());
         }
         None => print!("{json}"),
     }
-    if !identical {
+}
+
+/// `query --connect`: the remote client against a running serve.
+fn cmd_query_remote(args: &Args, addr: &str) {
+    let trace = match &args.trace {
+        Some(path) => match clientmap::serve::load_trace(path, &mut std::io::stdin().lock()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read trace {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None if !args.positional.is_empty() => args.positional.join(" "),
+        None => {
+            eprintln!("query --connect needs a --trace FILE or an inline query, e.g. `top 5`");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = run_trace(addr, &trace, &mut stdout) {
+        eprintln!("query failed: {e}");
         std::process::exit(1);
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: clientmap <run|export|query|stats|worker|driver|fleet-bench> \
+        "usage: clientmap <run|export|query|stats|worker|driver|fleet-bench|serve|serve-bench> \
          [--scale tiny|small|paper] [--seed N] \
          [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] \
          [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] \
@@ -543,7 +763,12 @@ fn usage() -> ! {
          \x20      clientmap driver --workers host:port[,host:port...] [--shards N] \
          [--connect-timeout S] [run flags except --faults]\n\
          \x20      clientmap fleet-bench [--threads-per-worker N] [--workers-list 1,2,4] \
-         [--json FILE]"
+         [--json FILE]\n\
+         \x20      clientmap serve [--listen ADDR] [--sweeps N] [--event-log FILE] \
+         [--compact-every N] [run flags]\n\
+         \x20      clientmap query --connect ADDR [--trace FILE | QUERY...]\n\
+         \x20      clientmap serve-bench [--sweeps N] [--storm-queries N] \
+         [--connections-list 1,2,4] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -554,15 +779,25 @@ fn main() {
         usage();
     }
     let cmd = argv[0].clone();
-    let args = parse_args(&argv[1..]);
+    let args = match parse_args(&argv[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("clientmap {cmd}: {e}");
+            usage();
+        }
+    };
+    if let Err(e) = check_subcommand_constraints(&cmd, &args) {
+        eprintln!("clientmap {cmd}: {e}");
+        usage();
+    }
 
     match cmd.as_str() {
         "run" => {
-            let prior = args.snapshot_in.as_deref().map(load_snapshot);
+            let prior = args.common.snapshot_in.as_deref().map(load_snapshot);
             let warm = prior.is_some();
-            let out = run_or_exit(config_for(&args), prior);
+            let out = run_or_exit(args.common.config(), prior);
             print_run_report(&out, warm);
-            write_run_outputs(&out, &args);
+            write_run_outputs(&out, &args.common);
         }
         "worker" => {
             let opts = WorkerOptions {
@@ -577,17 +812,7 @@ fn main() {
         }
         "driver" => {
             clientmap::fleet::shutdown::install_sigint_handler();
-            if args.faults != FaultProfile::Off {
-                eprintln!(
-                    "driver requires --faults off: fleet sweeps do not support fault injection"
-                );
-                std::process::exit(2);
-            }
-            if args.workers.is_empty() {
-                eprintln!("driver requires --workers host:port[,host:port...]");
-                std::process::exit(2);
-            }
-            let prior = args.snapshot_in.as_deref().map(load_snapshot);
+            let prior = args.common.snapshot_in.as_deref().map(load_snapshot);
             let warm = prior.is_some();
             let opts = FleetOptions {
                 workers: args.workers.clone(),
@@ -595,10 +820,10 @@ fn main() {
                 connect_timeout: Duration::from_secs(args.connect_timeout_secs),
                 ..FleetOptions::default()
             };
-            let mut fleet = FleetSweep::new(opts, args.scale.clone());
+            let mut fleet = FleetSweep::new(opts, args.common.scale.clone());
             let mut timings = Vec::new();
             let out = match Pipeline::run_warm_timed_with(
-                config_for(&args),
+                args.common.config(),
                 prior,
                 &mut timings,
                 &mut fleet,
@@ -617,10 +842,16 @@ fn main() {
                 }
             };
             print_run_report(&out, warm);
-            write_run_outputs(&out, &args);
+            write_run_outputs(&out, &args.common);
         }
         "fleet-bench" => {
             fleet_bench(&args);
+        }
+        "serve" => {
+            cmd_serve(&args);
+        }
+        "serve-bench" => {
+            cmd_serve_bench(&args);
         }
         "export" => {
             let Some(dir) = args.out.clone() else {
@@ -631,7 +862,7 @@ fn main() {
                 eprintln!("cannot create {}: {e}", dir.display());
                 std::process::exit(1);
             }
-            let out = run_or_exit(config_for(&args), None);
+            let out = run_or_exit(args.common.config(), None);
             let rib = &out.sim.world().rib;
             let files = [
                 (
@@ -666,8 +897,12 @@ fn main() {
             );
         }
         "query" => {
+            if let Some(addr) = args.connect.clone() {
+                cmd_query_remote(&args, &addr);
+                return;
+            }
             let Some(prefix_s) = args.positional.first() else {
-                eprintln!("query requires a PREFIX argument, e.g. 1.2.3.0/24");
+                eprintln!("query requires a PREFIX argument (or --connect ADDR), e.g. 1.2.3.0/24");
                 std::process::exit(2);
             };
             let prefix: Prefix = match prefix_s.parse() {
@@ -677,7 +912,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let out = run_or_exit(config_for(&args), None);
+            let out = run_or_exit(args.common.config(), None);
             let active = out.cache_probe.active_set();
             let dns_hit = out.bundle.dns_logs.set.intersects(prefix);
             let verdict = if active.contains_slash24(prefix) || active.intersects(prefix) {
@@ -697,7 +932,7 @@ fn main() {
             println!("{prefix} ({asn}): {verdict}");
         }
         "stats" => {
-            let world = clientmap::world::World::generate(config_for(&args).world);
+            let world = clientmap::world::World::generate(args.common.config().world);
             println!(
                 "world: {} ASes, {} routed /24s, {:.1}M users, {} resolvers, {} blocks",
                 world.ases.len(),
@@ -715,7 +950,7 @@ fn main() {
             }
             // Per-AS activity: one AND+popcount per AS between its
             // announced space and the technique's active /24 set.
-            let out = run_or_exit(config_for(&args), None);
+            let out = run_or_exit(args.common.config(), None);
             let active = Slash24Bitset::from_prefixes(&out.cache_probe.active_set().prefixes());
             let mut per_as = AsBitsets::from_rib(&out.sim.world().rib).active_slash24s(&active);
             per_as.sort_by_key(|(asn, n)| (std::cmp::Reverse(*n), asn.0));
@@ -730,4 +965,34 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// The subcommand-level constraints that used to be scattered inline
+/// `eprintln!`/`exit` pairs — one typed path, checked before any work.
+fn check_subcommand_constraints(cmd: &str, args: &Args) -> Result<(), CliError> {
+    match cmd {
+        "driver" => {
+            if args.common.faults != FaultProfile::Off {
+                return Err(CliError::Invalid(
+                    "driver requires --faults off: fleet sweeps do not support fault injection"
+                        .into(),
+                ));
+            }
+            if args.workers.is_empty() {
+                return Err(CliError::Invalid(
+                    "driver requires --workers host:port[,host:port...]".into(),
+                ));
+            }
+        }
+        "fleet-bench" if args.common.faults != FaultProfile::Off => {
+            return Err(CliError::Invalid(
+                "fleet-bench requires --faults off".into(),
+            ));
+        }
+        "serve" | "serve-bench" if args.sweeps == 0 => {
+            return Err(CliError::Invalid(format!("{cmd} needs --sweeps >= 1")));
+        }
+        _ => {}
+    }
+    Ok(())
 }
