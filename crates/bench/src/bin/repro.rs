@@ -251,7 +251,7 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
     let (warm, warm_secs) = run(config.clone(), Some(cold.sweep.clone()), &mut warm_timings);
     eprintln!("repro bench: warm run done in {warm_secs:.1}s — warm run at 10% expiry…");
 
-    let mut expiry_config = config;
+    let mut expiry_config = config.clone();
     expiry_config.probe.expiry_budget = 0.10;
     let mut expiry_timings: Vec<(String, f64)> = Vec::new();
     let (expiry, expiry_secs) = run(expiry_config, Some(cold.sweep.clone()), &mut expiry_timings);
@@ -342,7 +342,9 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
     ));
     json.push_str(&planner_json(&expiry));
     json.push_str(&stages_json(&expiry_timings));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&fleet_fault_overhead_json(scale, config, threads));
+    json.push_str("}\n");
 
     match json_path {
         Some(path) => match std::fs::write(path, &json) {
@@ -354,6 +356,128 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
         },
         None => print!("{json}"),
     }
+}
+
+/// The `fleet_fault_overhead` bench entry: one lossy sweep single-
+/// process versus the same seed on a 2-worker fleet, timing what the
+/// distributed quarantine/rescue protocol costs on top of the local
+/// path. The snapshots must be byte-identical — the overhead is pure
+/// transport and merge, never a different answer. Skipped (with a
+/// reason in the JSON) when the `clientmap` binary is not built next
+/// to `repro`.
+fn fleet_fault_overhead_json(scale: &str, base: PipelineConfig, threads: usize) -> String {
+    use clientmap_fleet::{FleetOptions, FleetSweep};
+
+    const WORKERS: usize = 2;
+    const FAULT_SEED: u64 = 7;
+    let mut config = base;
+    config.faults = FaultConfig::profile(FaultProfile::Lossy, FAULT_SEED);
+
+    eprintln!("repro bench: fleet fault overhead — single-process lossy run…");
+    let mut timings = Vec::new();
+    let start = std::time::Instant::now();
+    let single = match Pipeline::run_warm_timed(config.clone(), None, &mut timings) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("repro bench: single-process lossy run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let single_secs = start.elapsed().as_secs_f64();
+
+    let (mut children, addrs) = match spawn_fleet_workers(WORKERS, threads) {
+        Ok(pair) => pair,
+        Err(why) => {
+            eprintln!("repro bench: fleet fault overhead skipped: {why}");
+            return format!("  \"fleet_fault_overhead\": {{ \"skipped\": \"{why}\" }}\n");
+        }
+    };
+    eprintln!("repro bench: fleet fault overhead — {WORKERS}-worker lossy run…");
+    let opts = FleetOptions {
+        workers: addrs,
+        num_shards: 0,
+        ..FleetOptions::default()
+    };
+    let mut fleet = FleetSweep::new(opts, scale.to_string());
+    let mut fleet_timings = Vec::new();
+    let start = std::time::Instant::now();
+    let result = Pipeline::run_warm_timed_with(config, None, &mut fleet_timings, &mut fleet);
+    let fleet_secs = start.elapsed().as_secs_f64();
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("repro bench: 2-worker lossy run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let identical = out.sweep.encode() == single.sweep.encode();
+    if !identical {
+        eprintln!("repro bench: WARNING: fleet lossy snapshot differs from single-process");
+    }
+    format!(
+        "  \"fleet_fault_overhead\": {{\n    \"profile\": \"lossy\",\n    \
+         \"fault_seed\": {FAULT_SEED},\n    \"workers\": {WORKERS},\n    \
+         \"single_process_secs\": {single_secs:.3},\n    \"fleet_secs\": {fleet_secs:.3},\n    \
+         \"overhead_vs_single\": {:.2},\n    \"identical_snapshots\": {identical}\n  }}\n",
+        fleet_secs / single_secs.max(1e-9)
+    )
+}
+
+/// Spawns `n` one-shot `clientmap worker` processes beside this binary
+/// and collects their announced listen addresses.
+fn spawn_fleet_workers(
+    n: usize,
+    threads: usize,
+) -> Result<(Vec<std::process::Child>, Vec<String>), String> {
+    use std::io::BufRead as _;
+
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let clientmap = exe.with_file_name("clientmap");
+    if !clientmap.exists() {
+        return Err(format!("{} is not built", clientmap.display()));
+    }
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let mut addrs = Vec::new();
+    let fail = |children: &mut Vec<std::process::Child>, why: String| {
+        for child in children {
+            let _ = child.kill();
+        }
+        why
+    };
+    for _ in 0..n {
+        let mut child = std::process::Command::new(&clientmap)
+            .args(["worker", "--listen", "127.0.0.1:0", "--once"])
+            .env("CLIENTMAP_THREADS", threads.to_string())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        let stdout = child.stdout.take().expect("worker stdout is piped");
+        let mut line = String::new();
+        if std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .is_err()
+            || line.trim().is_empty()
+        {
+            let _ = child.kill();
+            return Err(fail(
+                &mut children,
+                "worker announced no listen address".into(),
+            ));
+        }
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        children.push(child);
+        addrs.push(addr);
+    }
+    Ok((children, addrs))
 }
 
 /// §6 future work, implemented: relative activity ranking from cache

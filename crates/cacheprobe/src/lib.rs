@@ -48,7 +48,8 @@ mod config;
 pub use config::{ProbeConfig, RetryPolicy};
 pub use plan::{plan_units, ExhaustivePlan, PlanOutcome, PlanSlot, ProbePlan, WarmStartPlan};
 pub use probe::{
-    execute_sweep, merge_shards, prepare_sweep, probe_shard, run_technique, run_technique_full,
-    run_technique_timed, ProbeUnit, ShardMergeError, SweepPrep,
+    execute_sweep, merge_fault_books, merge_shards, prepare_sweep, probe_rescue_shard, probe_shard,
+    run_technique, run_technique_full, run_technique_timed, PopHealth, ProbeUnit, ShardMergeError,
+    SweepPrep,
 };
 pub use results::{CacheProbeResult, FaultSummary, ProbeCount};

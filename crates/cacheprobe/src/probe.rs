@@ -848,10 +848,23 @@ impl SweepPrep {
         self.snapshot.config_digest
     }
 
-    /// True when the sweep runs under fault injection. Faulted sweeps
-    /// need global quarantine/rescue state and cannot be sharded.
+    /// True when the sweep runs under fault injection. Faulted shards
+    /// ship per-PoP fault books alongside their deltas so the driver
+    /// can quarantine globally and plan the rescue phase.
     pub fn faulted(&self) -> bool {
         self.fc.is_some()
+    }
+
+    /// Bound vantages in this prep — the valid `bound_idx` range for
+    /// wire-decoded rescue units.
+    pub fn num_bound(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// Selected domains in this prep — the valid `domain` range for
+    /// wire-decoded rescue units.
+    pub fn num_domains(&self) -> usize {
+        self.templates.len()
     }
 }
 
@@ -1271,89 +1284,20 @@ pub fn execute_sweep(
     //    afterwards is reported as lost coverage, not silently absent.
     if let Some(fc) = &fc {
         let stage = Instant::now();
-        let pops = clientmap_sim::pop_catalog();
-        let quarantined: Vec<PopId> = bound
-            .iter()
-            .map(|b| b.pop)
-            .filter(|pop| {
-                pop_health
-                    .get(pop)
-                    .is_some_and(|&(attempts, lost, tripped)| {
-                        tripped || (attempts >= 20 && lost * 2 > attempts)
-                    })
-            })
-            .collect();
+        let quarantined = quarantined_pops(&bound, &pop_health);
         fc.quarantined_pops.add(quarantined.len() as u64);
-        let q_set: std::collections::HashSet<PopId> = quarantined.iter().copied().collect();
-
-        // Scopes needing rescue: assigned to at least one quarantined
-        // PoP and never measured anywhere.
-        let mut need: Vec<(usize, Prefix)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for pop in &quarantined {
-            for key in assigned.get(pop).into_iter().flatten() {
-                if !result.probe_counts.contains_key(key) && seen.insert(*key) {
-                    need.push(*key);
-                }
-            }
-        }
-        need.sort();
-
-        // Fallback: the nearest healthy bound PoP whose doubled service
-        // radius (plus the scope's geolocation error) still covers it.
-        let mut rescue: std::collections::BTreeMap<(usize, usize), Vec<Prefix>> =
-            std::collections::BTreeMap::new();
-        for (d, scope) in &need {
-            let geo = {
-                let geodb = &sim.world().geodb;
-                geodb
-                    .lookup(*scope)
-                    .or_else(|| geodb.lookup_addr(scope.addr()))
-                    .map(|e| (e.coord, e.error_radius_km))
-            };
-            let Some((coord, err_km)) = geo else { continue };
-            let mut fallback: Option<(f64, usize)> = None;
-            for (bi, b) in bound.iter().enumerate() {
-                if q_set.contains(&b.pop) {
-                    continue;
-                }
-                let dist = coord.distance_km(&pops[b.pop].coord);
-                let radius = result.service_radii.radius(b.pop, cfg.fallback_radius_km);
-                if dist <= 2.0 * radius + err_km && fallback.is_none_or(|(best, _)| dist < best) {
-                    fallback = Some((dist, bi));
-                }
-            }
-            if let Some((_, bi)) = fallback {
-                rescue.entry((bi, *d)).or_default().push(*scope);
-            }
-        }
-        let rescue_units: Vec<ProbeUnit> = rescue
-            .into_iter()
-            .map(|((bi, d), scopes)| ProbeUnit {
-                bound_idx: bi,
-                domain: d,
-                scopes,
-            })
-            .collect();
-        let t_rescue =
-            t0 + SimTime::from_secs_f64(cfg.duration_hours * 3600.0) + SimTime::from_secs(60);
+        let rescue_units = plan_rescue_units(sim, cfg, &bound, &assigned, &result, &quarantined);
         let view = sim.view();
-        let rescue_tallies: Vec<UnitTally> = par_map(&rescue_units, |_, u| {
-            // One pass over the unit's scopes: shrink the window so the
-            // slot budget covers the list exactly once.
-            let mut one_pass = cfg.clone();
-            one_pass.duration_hours = (u.scopes.len() as f64 / cfg.rate_per_domain) / 3600.0;
-            probe_unit(
-                &view,
-                &bound[u.bound_idx],
-                &templates[u.domain],
-                &u.scopes,
-                &one_pass,
-                t_rescue,
-                &pop_metrics[u.bound_idx],
-                Some(fc),
-            )
-        });
+        let rescue_tallies = run_rescue_tallies(
+            &view,
+            cfg,
+            &bound,
+            &templates,
+            &pop_metrics,
+            t0,
+            fc,
+            &rescue_units,
+        );
         let mut rescued_scopes = 0u64;
         for (u, tally) in rescue_units.iter().zip(rescue_tallies) {
             let pop = bound[u.bound_idx].pop;
@@ -1482,6 +1426,172 @@ fn finish_full_skip(
     (result, snapshot)
 }
 
+/// The deterministic quarantine rule, shared by the single-process
+/// sweep and the fleet driver's merged fault books: a PoP is
+/// quarantined when any stream through it tripped the circuit breaker,
+/// or when it lost most of a meaningful probe volume. Evaluated in
+/// `bound` order so duplicate vantages quarantine identically
+/// everywhere.
+fn quarantined_pops(
+    bound: &[BoundVantage],
+    pop_health: &HashMap<PopId, (u64, u64, bool)>,
+) -> Vec<PopId> {
+    bound
+        .iter()
+        .map(|b| b.pop)
+        .filter(|pop| {
+            pop_health
+                .get(pop)
+                .is_some_and(|&(attempts, lost, tripped)| {
+                    tripped || (attempts >= 20 && lost * 2 > attempts)
+                })
+        })
+        .collect()
+}
+
+/// Plans the rescue phase for a quarantine set: scopes assigned to a
+/// quarantined PoP and never measured anywhere are re-probed once at
+/// the nearest healthy bound PoP whose doubled service radius (plus
+/// the scope's geolocation error) still covers them. A pure function
+/// of the probe result and the quarantine set, so the driver and a
+/// single-process sweep plan byte-identical rescues.
+fn plan_rescue_units(
+    sim: &Sim,
+    cfg: &ProbeConfig,
+    bound: &[BoundVantage],
+    assigned: &HashMap<PopId, Vec<(usize, Prefix)>>,
+    result: &CacheProbeResult,
+    quarantined: &[PopId],
+) -> Vec<ProbeUnit> {
+    let pops = clientmap_sim::pop_catalog();
+    let q_set: std::collections::HashSet<PopId> = quarantined.iter().copied().collect();
+
+    // Scopes needing rescue: assigned to at least one quarantined
+    // PoP and never measured anywhere.
+    let mut need: Vec<(usize, Prefix)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for pop in quarantined {
+        for key in assigned.get(pop).into_iter().flatten() {
+            if !result.probe_counts.contains_key(key) && seen.insert(*key) {
+                need.push(*key);
+            }
+        }
+    }
+    need.sort();
+
+    // Fallback: the nearest healthy bound PoP whose doubled service
+    // radius (plus the scope's geolocation error) still covers it.
+    let mut rescue: BTreeMap<(usize, usize), Vec<Prefix>> = BTreeMap::new();
+    for (d, scope) in &need {
+        let geo = {
+            let geodb = &sim.world().geodb;
+            geodb
+                .lookup(*scope)
+                .or_else(|| geodb.lookup_addr(scope.addr()))
+                .map(|e| (e.coord, e.error_radius_km))
+        };
+        let Some((coord, err_km)) = geo else { continue };
+        let mut fallback: Option<(f64, usize)> = None;
+        for (bi, b) in bound.iter().enumerate() {
+            if q_set.contains(&b.pop) {
+                continue;
+            }
+            let dist = coord.distance_km(&pops[b.pop].coord);
+            let radius = result.service_radii.radius(b.pop, cfg.fallback_radius_km);
+            if dist <= 2.0 * radius + err_km && fallback.is_none_or(|(best, _)| dist < best) {
+                fallback = Some((dist, bi));
+            }
+        }
+        if let Some((_, bi)) = fallback {
+            rescue.entry((bi, *d)).or_default().push(*scope);
+        }
+    }
+    rescue
+        .into_iter()
+        .map(|((bi, d), scopes)| ProbeUnit {
+            bound_idx: bi,
+            domain: d,
+            scopes,
+        })
+        .collect()
+}
+
+/// Probes a rescue unit list on the resilient scalar lane. Each unit
+/// gets a one-pass window — its slot budget covers the scope list
+/// exactly once — starting one minute after the main probing window
+/// closes.
+#[allow(clippy::too_many_arguments)]
+fn run_rescue_tallies(
+    view: &SimView<'_>,
+    cfg: &ProbeConfig,
+    bound: &[BoundVantage],
+    templates: &[wire::ProbeQueryTemplate],
+    pop_metrics: &[ProbeMetrics],
+    t0: SimTime,
+    fc: &FaultCounters,
+    units: &[ProbeUnit],
+) -> Vec<UnitTally> {
+    let t_rescue =
+        t0 + SimTime::from_secs_f64(cfg.duration_hours * 3600.0) + SimTime::from_secs(60);
+    par_map(units, |_, u| {
+        // One pass over the unit's scopes: shrink the window so the
+        // slot budget covers the list exactly once.
+        let mut one_pass = cfg.clone();
+        one_pass.duration_hours = (u.scopes.len() as f64 / cfg.rate_per_domain) / 3600.0;
+        probe_unit(
+            view,
+            &bound[u.bound_idx],
+            &templates[u.domain],
+            &u.scopes,
+            &one_pass,
+            t_rescue,
+            &pop_metrics[u.bound_idx],
+            Some(fc),
+        )
+    })
+}
+
+/// One PoP's entry in a shard's fault book — the per-PoP stream
+/// accounting a faulted shard ships back to its driver so quarantine
+/// can be decided globally. Canonical form is one entry per PoP,
+/// sorted by PoP id (see [`merge_fault_books`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopHealth {
+    /// PoP the entry describes.
+    pub pop: PopId,
+    /// Probe slots attempted through this PoP's streams.
+    pub attempts: u64,
+    /// Probe slots lost after all retries — the quarantine loss signal.
+    pub drops: u64,
+    /// Whether any stream through this PoP tripped its circuit breaker.
+    pub tripped: bool,
+}
+
+/// Folds any number of (possibly partial, possibly unsorted) fault
+/// books into canonical form: one entry per PoP sorted by PoP id,
+/// attempts and drops summed, breaker trips OR-ed. The fold is
+/// associative and order-invariant, so merging per-shard books in any
+/// grouping yields the same global book — the driver's quarantine
+/// decision cannot depend on delta arrival order.
+pub fn merge_fault_books(books: &[PopHealth]) -> Vec<PopHealth> {
+    let mut merged: BTreeMap<PopId, (u64, u64, bool)> = BTreeMap::new();
+    for h in books {
+        let e = merged.entry(h.pop).or_default();
+        e.0 += h.attempts;
+        e.1 += h.drops;
+        e.2 |= h.tripped;
+    }
+    merged
+        .into_iter()
+        .map(|(pop, (attempts, drops, tripped))| PopHealth {
+            pop,
+            attempts,
+            drops,
+            tripped,
+        })
+        .collect()
+}
+
 /// Probes one contiguous shard of a prepared sweep's unit list and
 /// returns the shard's delta as a [`SweepSnapshot`] — the payload a
 /// fleet worker streams back to its driver, riding the snapshot byte
@@ -1491,20 +1601,17 @@ fn finish_full_skip(
 /// Record keys are disjoint across disjoint shards (units partition
 /// the key space by ⟨vantage, domain⟩ and scopes never repeat within a
 /// unit list), so a driver can merge any cover of the unit list with
-/// no key conflicts. Fleet sweeps are fault-free by construction —
-/// quarantine and rescue need global cross-shard state — so this
-/// refuses faulted preps.
+/// no key conflicts. Under fault injection the shard also returns its
+/// fault book — the per-PoP health its own units observed — which the
+/// driver folds across shards ([`merge_fault_books`]) to take the
+/// global quarantine decision; fault-free shards return an empty book.
 pub fn probe_shard(
     sim: &mut Sim,
     cfg: &ProbeConfig,
     prep: &SweepPrep,
     shard: std::ops::Range<usize>,
     shard_id: u32,
-) -> SweepSnapshot {
-    assert!(
-        prep.fc.is_none(),
-        "sharded sweeps do not support fault injection"
-    );
+) -> (SweepSnapshot, Vec<PopHealth>) {
     let metrics = Arc::clone(sim.metrics());
     let hi = prep.units.len();
     let units = &prep.units[shard.start.min(hi)..shard.end.min(hi)];
@@ -1513,7 +1620,10 @@ pub fn probe_shard(
 
     let view = sim.view();
     let tallies: Vec<UnitTally> = par_map(units, |_, u| {
-        if cfg.batched_probing {
+        // Fault-free streams ride the batch kernel when enabled; the
+        // kernel refuses faulted cores, so the resilient scalar lane
+        // keeps fault accounting untouched by construction.
+        if cfg.batched_probing && prep.fc.is_none() {
             if let Some(tally) = probe_unit_batched(
                 &view,
                 &prep.bound[u.bound_idx],
@@ -1534,15 +1644,22 @@ pub fn probe_shard(
             cfg,
             prep.t0,
             &prep.pop_metrics[u.bound_idx],
-            None,
+            prep.fc.as_ref(),
         )
     });
 
     // Shard-local ordered reduction mirroring `execute_sweep`'s merge
     // loop: per-record state is a pure function of the unit list, so
     // the driver's merge reproduces the single-process sweep exactly.
+    // Per-PoP health accumulates alongside, exactly as the single-
+    // process reduction accumulates it for the quarantine decision.
     let mut fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
+    let mut pop_health: HashMap<PopId, (u64, u64, bool)> = HashMap::new();
     for (u, tally) in units.iter().zip(tallies) {
+        let health = pop_health.entry(prep.bound[u.bound_idx].pop).or_default();
+        health.0 += tally.attempts;
+        health.1 += tally.drops;
+        health.2 |= tally.tripped;
         for (query_scope, resp_scope, remaining) in tally.hits {
             fresh
                 .entry(record_key(u.bound_idx, u.domain, query_scope))
@@ -1580,6 +1697,85 @@ pub fn probe_shard(
     delta.records = fresh;
     delta.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
     delta.metrics = metrics.snapshot().delta_from(&pre);
+    let book = if prep.fc.is_some() {
+        let raw: Vec<PopHealth> = pop_health
+            .into_iter()
+            .map(|(pop, (attempts, drops, tripped))| PopHealth {
+                pop,
+                attempts,
+                drops,
+                tripped,
+            })
+            .collect();
+        merge_fault_books(&raw)
+    } else {
+        Vec::new()
+    };
+    (delta, book)
+}
+
+/// Probes a driver-planned rescue shard — a slice of the global rescue
+/// unit list — and returns its delta in the same snapshot codec as
+/// [`probe_shard`], shard id in `epoch`. Rescue units target the
+/// *fallback* vantage of scopes nothing measured, so their record keys
+/// only ever collide with all-zero main-phase records and the driver
+/// can fold rescue deltas additively. Unlike the main phase, unprobed
+/// rescue scopes get no empty fill: the single-process rescue loop
+/// records only what its tallies produced, and the merged snapshot
+/// must match it byte-for-byte.
+pub fn probe_rescue_shard(
+    sim: &mut Sim,
+    cfg: &ProbeConfig,
+    prep: &SweepPrep,
+    units: &[ProbeUnit],
+    shard_id: u32,
+) -> SweepSnapshot {
+    let fc = prep
+        .fc
+        .as_ref()
+        .expect("rescue shards only exist under fault injection");
+    let metrics = Arc::clone(sim.metrics());
+    let pre = metrics.snapshot();
+    let gpdns_pre = sim.gpdns_stats();
+    let view = sim.view();
+    let tallies = run_rescue_tallies(
+        &view,
+        cfg,
+        &prep.bound,
+        &prep.templates,
+        &prep.pop_metrics,
+        prep.t0,
+        fc,
+        units,
+    );
+    let mut fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
+    for (u, tally) in units.iter().zip(tallies) {
+        for (query_scope, resp_scope, remaining) in tally.hits {
+            fresh
+                .entry(record_key(u.bound_idx, u.domain, query_scope))
+                .or_default()
+                .hit_events
+                .push(HitEvent {
+                    resp_addr: resp_scope.addr(),
+                    resp_len: resp_scope.len(),
+                    remaining_ttl: remaining,
+                });
+        }
+        for (scope, (attempts, _hits, scope0, drops)) in tally.counts {
+            let rec = fresh
+                .entry(record_key(u.bound_idx, u.domain, scope))
+                .or_default();
+            rec.attempts += attempts;
+            rec.scope0 += scope0;
+            rec.drops += drops;
+        }
+        sim.absorb_session(&tally.session);
+    }
+    let mut delta = SweepSnapshot::new(prep.snapshot.world_seed, prep.snapshot.config_digest);
+    delta.epoch = shard_id;
+    delta.records = fresh;
+    delta.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
+    delta.metrics = metrics.snapshot().delta_from(&pre);
     delta
 }
 
@@ -1588,8 +1784,6 @@ pub fn probe_shard(
 /// leaves no partial-merge corruption behind.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShardMergeError {
-    /// The prep ran under fault injection; fleet sweeps are fault-free.
-    Faulted,
     /// A delta was produced against a different world seed or config
     /// digest than this driver's prep.
     ForeignDelta {
@@ -1612,12 +1806,14 @@ pub enum ShardMergeError {
         /// Number of planned scopes with no record.
         missing: u64,
     },
+    /// The rescue dispatch failed: the driver could not get the
+    /// planned rescue units probed (worker loss, transport failure).
+    Rescue(String),
 }
 
 impl std::fmt::Display for ShardMergeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Faulted => write!(f, "sharded sweeps do not support fault injection"),
             Self::ForeignDelta {
                 shard,
                 world_seed,
@@ -1633,6 +1829,7 @@ impl std::fmt::Display for ShardMergeError {
             Self::MissingScopes { missing } => {
                 write!(f, "{missing} planned scopes missing from shard deltas")
             }
+            Self::Rescue(msg) => write!(f, "rescue phase failed: {msg}"),
         }
     }
 }
@@ -1650,19 +1847,30 @@ impl std::error::Error for ShardMergeError {}
 /// record table replays into the result aggregates in record-key
 /// order — the same replay the warm-start path already proves
 /// byte-identical to a live run.
+///
+/// Under fault injection the workers' fault books fold into a global
+/// book ([`merge_fault_books`]), the driver takes the same quarantine
+/// decision the single-process sweep would, and — when any scope needs
+/// rescuing — the `rescue` callback dispatches the planned rescue
+/// units back to the fleet (returning one delta per rescue shard,
+/// typically from [`probe_rescue_shard`]). Rescue deltas replay after
+/// the main table, mirroring the single-process phase order, and the
+/// PR 4 conservation laws hold on the merged result exactly as they do
+/// in-process.
 pub fn merge_shards(
     sim: &mut Sim,
     cfg: &ProbeConfig,
     prep: SweepPrep,
     deltas: Vec<SweepSnapshot>,
+    books: Vec<PopHealth>,
+    mut rescue: impl FnMut(Vec<ProbeUnit>) -> Result<Vec<SweepSnapshot>, String>,
     timings: &mut Vec<(String, f64)>,
 ) -> Result<(CacheProbeResult, SweepSnapshot), ShardMergeError> {
-    if prep.fc.is_some() {
-        return Err(ShardMergeError::Faulted);
-    }
     let SweepPrep {
+        fc,
         bound,
         pop_metrics,
+        assigned,
         units,
         skipped,
         warm_full_skip,
@@ -1756,6 +1964,109 @@ pub fn merge_shards(
             None,
         );
     }
+    timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
+
+    // Distributed quarantine + rescue, mirroring `execute_sweep`'s
+    // fault block: the global fault book decides quarantine exactly as
+    // live per-PoP health would, the rescue plan is a pure function of
+    // the merged result, and rescue deltas replay *after* the main
+    // table — the same phase order as the single-process sweep.
+    if let Some(fc) = &fc {
+        let stage = Instant::now();
+        let mut pop_health: HashMap<PopId, (u64, u64, bool)> = HashMap::new();
+        for h in merge_fault_books(&books) {
+            pop_health.insert(h.pop, (h.attempts, h.drops, h.tripped));
+        }
+        let quarantined = quarantined_pops(&bound, &pop_health);
+        fc.quarantined_pops.add(quarantined.len() as u64);
+        let rescue_units = plan_rescue_units(sim, cfg, &bound, &assigned, &result, &quarantined);
+        let mut rescue_deltas = if rescue_units.is_empty() {
+            Vec::new()
+        } else {
+            rescue(rescue_units).map_err(ShardMergeError::Rescue)?
+        };
+        rescue_deltas.sort_by_key(|d| d.epoch);
+        let mut rescue_fresh: BTreeMap<RecordKey, ScopeRecord> = BTreeMap::new();
+        for delta in &rescue_deltas {
+            if delta.world_seed != snapshot.world_seed
+                || delta.config_digest != snapshot.config_digest
+            {
+                return Err(ShardMergeError::ForeignDelta {
+                    shard: delta.epoch,
+                    world_seed: delta.world_seed,
+                    config_digest: delta.config_digest,
+                });
+            }
+            for (key, rec) in &delta.records {
+                if rescue_fresh.insert(*key, rec.clone()).is_some() {
+                    return Err(ShardMergeError::OverlappingShards { shard: delta.epoch });
+                }
+            }
+        }
+        for delta in &rescue_deltas {
+            metrics.absorb_delta(&delta.metrics);
+            let mut session = GpdnsSession::new();
+            session.stats = sweep::gpdns_stats_from(delta.gpdns);
+            sim.absorb_session(&session);
+        }
+        for (&(bi, d, addr, len), rec) in &rescue_fresh {
+            let (Some(b), Ok(scope)) = (bound.get(bi as usize), Prefix::new(addr, len)) else {
+                continue;
+            };
+            replay_record(
+                &mut result,
+                b.pop,
+                d as usize,
+                scope,
+                rec,
+                cfg.redundancy,
+                None,
+            );
+        }
+        // Every rescue record is one rescued scope: the workers record
+        // exactly the scopes their rescue tallies touched, keyed by a
+        // fallback vantage unique within the rescue plan.
+        let rescued_scopes = rescue_fresh.len() as u64;
+        fc.rescued.add(rescued_scopes);
+
+        // Partial-result accounting: assigned pairs that never produced
+        // a probe event are coverage the faults cost us.
+        let mut all_assigned: std::collections::HashSet<(usize, Prefix)> =
+            std::collections::HashSet::new();
+        for list in assigned.values() {
+            all_assigned.extend(list.iter().copied());
+        }
+        let unmeasured = all_assigned
+            .iter()
+            .filter(|key| !result.probe_counts.contains_key(key))
+            .count() as u64;
+        result.fault = Some(FaultSummary {
+            profile: sim.fault_plan().profile().as_str().to_string(),
+            observed: fc.observed_total(),
+            retries: fc.retries.get(),
+            recovered: fc.recovered.get(),
+            degraded: fc.degraded.get(),
+            lost: fc.lost.get(),
+            quarantined_pops: quarantined,
+            rescued_scopes,
+            unmeasured_scopes: unmeasured,
+            assigned_scopes: all_assigned.len() as u64,
+        });
+        timings.push(("rescue".into(), stage.elapsed().as_secs_f64()));
+
+        // Fold rescue records into the snapshot table additively —
+        // `execute_sweep` accumulates them into the same entries its
+        // main loop built, and rescue keys only ever collide with
+        // all-zero records (a rescued scope was measured nowhere, so
+        // any planned record at its fallback vantage stayed empty).
+        for (key, rec) in rescue_fresh {
+            let slot = fresh.entry(key).or_default();
+            slot.attempts += rec.attempts;
+            slot.scope0 += rec.scope0;
+            slot.drops += rec.drops;
+            slot.hit_events.extend(rec.hit_events);
+        }
+    }
 
     // Snapshot assembly, mirroring `execute_sweep`: warm-skipped
     // scopes carry their prior records forward alongside the merged
@@ -1767,7 +2078,6 @@ pub fn merge_shards(
     snapshot.gpdns = sweep::gpdns_delta(gpdns_pre, sim.gpdns_stats());
     snapshot.metrics = metrics.snapshot().delta_from(&pre);
     snapshot.fault = result.fault.as_ref().map(sweep::to_fault_record);
-    timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
     Ok((result, snapshot))
 }
 
@@ -2272,13 +2582,23 @@ mod tests {
             let w_prep = prepare_sweep(&mut worker, &cfg, &w_universe, &mut Vec::new(), None);
             assert_eq!(w_prep.num_units(), n, "worker prep diverged from driver");
             assert_eq!(w_prep.config_digest(), prep.config_digest());
-            deltas.push(probe_shard(&mut worker, &cfg, &w_prep, range, id));
+            let (delta, book) = probe_shard(&mut worker, &cfg, &w_prep, range, id);
+            assert!(book.is_empty(), "fault-free shards carry no fault book");
+            deltas.push(delta);
         }
         // Merge in reverse arrival order on purpose: the merge must be
         // a function of the delta set, not the wire order.
         deltas.reverse();
-        let (res, snap) =
-            merge_shards(&mut driver, &cfg, prep, deltas, &mut Vec::new()).expect("merge");
+        let (res, snap) = merge_shards(
+            &mut driver,
+            &cfg,
+            prep,
+            deltas,
+            Vec::new(),
+            |_| Ok(Vec::new()),
+            &mut Vec::new(),
+        )
+        .expect("merge");
 
         assert_eq!(snap, snap_ref, "merged snapshot diverged");
         assert_eq!(res.probes_sent, res_ref.probes_sent);
@@ -2313,7 +2633,7 @@ mod tests {
         let shard_delta = |range: std::ops::Range<usize>, id: u32| {
             let (mut worker, w_universe) = fleet_sim(77);
             let w_prep = prepare_sweep(&mut worker, &cfg, &w_universe, &mut Vec::new(), None);
-            probe_shard(&mut worker, &cfg, &w_prep, range, id)
+            probe_shard(&mut worker, &cfg, &w_prep, range, id).0
         };
 
         let (mut driver, _) = fleet_sim(77);
@@ -2322,12 +2642,15 @@ mod tests {
         let d0 = shard_delta(0..n, 0);
         let mut dup = d0.clone();
         dup.epoch = 1;
+        let no_rescue = |_: Vec<ProbeUnit>| Ok(Vec::new());
         assert_eq!(
             merge_shards(
                 &mut driver,
                 &cfg,
                 prep,
                 vec![d0.clone(), dup],
+                Vec::new(),
+                no_rescue,
                 &mut Vec::new()
             )
             .err(),
@@ -2341,6 +2664,8 @@ mod tests {
             &cfg,
             prep,
             vec![shard_delta(0..n / 2, 0)],
+            Vec::new(),
+            no_rescue,
             &mut Vec::new(),
         )
         .err();
@@ -2354,8 +2679,169 @@ mod tests {
         let mut foreign = d0;
         foreign.world_seed ^= 1;
         assert!(matches!(
-            merge_shards(&mut driver, &cfg, prep, vec![foreign], &mut Vec::new()).err(),
+            merge_shards(
+                &mut driver,
+                &cfg,
+                prep,
+                vec![foreign],
+                Vec::new(),
+                no_rescue,
+                &mut Vec::new()
+            )
+            .err(),
             Some(ShardMergeError::ForeignDelta { shard: 0, .. })
         ));
+    }
+
+    /// The lifted fault gate in miniature, no sockets: a faulted sweep
+    /// probed in two worker shards, per-shard fault books folded on the
+    /// driver, and the rescue phase dispatched back to a surviving
+    /// worker must reproduce the single-process faulted run exactly —
+    /// result aggregates, fault summary, telemetry, and snapshot.
+    #[test]
+    fn faulted_sharded_sweep_matches_single_process() {
+        for (profile, fault_seed) in [(FaultProfile::Lossy, 5), (FaultProfile::PopChurn, 3)] {
+            let cfg = fleet_cfg();
+            let faulted = |seed: u64| {
+                let world = World::generate(WorldConfig::tiny(seed));
+                let universe: Vec<Prefix> = world.blocks.iter().map(|b| b.prefix).collect();
+                let sim = Sim::with_faults(
+                    world,
+                    Arc::new(MetricsRegistry::new()),
+                    &FaultConfig::profile(profile, fault_seed),
+                );
+                (sim, universe)
+            };
+            let (mut sim_ref, universe) = faulted(101);
+            let (res_ref, snap_ref) =
+                run_technique_full(&mut sim_ref, &cfg, &universe, &mut Vec::new(), None);
+            let summary_ref = res_ref
+                .fault
+                .clone()
+                .expect("faulted run carries a summary");
+            assert_eq!(
+                summary_ref.observed,
+                summary_ref.recovered + summary_ref.degraded + summary_ref.lost,
+                "single-process conservation violated at {profile}"
+            );
+
+            let (mut driver, _) = faulted(101);
+            let prep = prepare_sweep(&mut driver, &cfg, &universe, &mut Vec::new(), None);
+            assert!(prep.faulted(), "driver prep must carry the fault plan");
+            let n = prep.num_units();
+            let mid = n / 2;
+            let mut workers = Vec::new();
+            let mut deltas = Vec::new();
+            let mut books = Vec::new();
+            for (id, range) in [(0u32, 0..mid), (1u32, mid..n)] {
+                let (mut worker, w_universe) = faulted(101);
+                let w_prep = prepare_sweep(&mut worker, &cfg, &w_universe, &mut Vec::new(), None);
+                let (delta, book) = probe_shard(&mut worker, &cfg, &w_prep, range, id);
+                deltas.push(delta);
+                books.extend(book);
+                workers.push((worker, w_prep));
+            }
+            // Merge in reverse arrival order on purpose: neither the
+            // delta set nor the fault-book fold may depend on wire
+            // order.
+            deltas.reverse();
+            books.reverse();
+            let (res, snap) = merge_shards(
+                &mut driver,
+                &cfg,
+                prep,
+                deltas,
+                books,
+                |units| {
+                    // The whole rescue phase lands on one surviving
+                    // worker, exactly as a driver with one live peer
+                    // would dispatch it.
+                    let (worker, w_prep) = &mut workers[0];
+                    Ok(vec![probe_rescue_shard(worker, &cfg, w_prep, &units, 0)])
+                },
+                &mut Vec::new(),
+            )
+            .expect("faulted merge");
+
+            assert_eq!(
+                snap, snap_ref,
+                "merged faulted snapshot diverged at {profile}"
+            );
+            assert_eq!(
+                res.fault, res_ref.fault,
+                "fault summaries diverged at {profile}"
+            );
+            assert_eq!(res.probes_sent, res_ref.probes_sent);
+            assert_eq!(res.drops, res_ref.drops);
+            assert_eq!(res.hits, res_ref.hits);
+            assert_eq!(res.probe_counts, res_ref.probe_counts);
+            assert_eq!(res.scope_pairs, res_ref.scope_pairs);
+            assert_eq!(
+                driver.metrics().snapshot().to_json(),
+                sim_ref.metrics().snapshot().to_json(),
+                "driver telemetry diverged from the single-process faulted run at {profile}"
+            );
+            assert_eq!(driver.gpdns_stats(), sim_ref.gpdns_stats());
+        }
+    }
+
+    /// Fault-book folding is associative and order-invariant: any
+    /// grouping of any permutation reaches the same canonical book.
+    #[test]
+    fn fault_book_merge_is_order_invariant() {
+        let books = [
+            PopHealth {
+                pop: 3,
+                attempts: 40,
+                drops: 25,
+                tripped: false,
+            },
+            PopHealth {
+                pop: 1,
+                attempts: 10,
+                drops: 0,
+                tripped: true,
+            },
+            PopHealth {
+                pop: 3,
+                attempts: 5,
+                drops: 1,
+                tripped: true,
+            },
+            PopHealth {
+                pop: 1,
+                attempts: 7,
+                drops: 2,
+                tripped: false,
+            },
+        ];
+        let canonical = merge_fault_books(&books);
+        assert_eq!(
+            canonical,
+            vec![
+                PopHealth {
+                    pop: 1,
+                    attempts: 17,
+                    drops: 2,
+                    tripped: true,
+                },
+                PopHealth {
+                    pop: 3,
+                    attempts: 45,
+                    drops: 26,
+                    tripped: true,
+                },
+            ]
+        );
+        // Reversed input, and a fold of partial folds, agree.
+        let mut rev = books;
+        rev.reverse();
+        assert_eq!(merge_fault_books(&rev), canonical);
+        let left = merge_fault_books(&books[..2]);
+        let right = merge_fault_books(&books[2..]);
+        let refold: Vec<PopHealth> = left.into_iter().chain(right).collect();
+        assert_eq!(merge_fault_books(&refold), canonical);
+        // Canonical form is a fixed point.
+        assert_eq!(merge_fault_books(&canonical), canonical);
     }
 }

@@ -153,6 +153,16 @@ pub enum PipelineError {
         /// What went wrong, including per-worker failure detail.
         message: String,
     },
+    /// Every live transport peer blew its per-frame i/o deadline: the
+    /// fleet's sockets all stalled mid-frame past `--io-timeout`, so
+    /// the sweep could not make progress. Distinct from [`Self::Fleet`]
+    /// so callers can tell "peers crashed" from "peers hung".
+    Timeout {
+        /// The last peer whose socket stalled.
+        peer: String,
+        /// The expired deadline, in seconds.
+        seconds: u64,
+    },
     /// The run was interrupted (SIGINT on the driver) before every
     /// shard completed. In-flight shards were drained and workers told
     /// to exit cleanly; no partial output was produced.
@@ -175,6 +185,9 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::Fleet { worker, message } => {
                 write!(f, "fleet sweep failed ({worker}): {message}")
+            }
+            PipelineError::Timeout { peer, seconds } => {
+                write!(f, "i/o deadline of {seconds}s expired talking to {peer}")
             }
             PipelineError::Interrupted { completed, total } => {
                 write!(

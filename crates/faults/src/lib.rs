@@ -246,6 +246,7 @@ fn unit(h: u64) -> f64 {
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
+    fault_seed: u64,
     profile: FaultProfile,
     rates: Rates,
 }
@@ -259,6 +260,7 @@ impl FaultPlan {
             .finish();
         FaultPlan {
             seed,
+            fault_seed: config.fault_seed,
             profile: config.profile,
             rates: config.profile.rates(),
         }
@@ -283,6 +285,18 @@ impl FaultPlan {
     /// The profile this plan was built from.
     pub fn profile(&self) -> FaultProfile {
         self.profile
+    }
+
+    /// The raw fault seed this plan was built from — what a fleet
+    /// driver ships to workers so they derive the *same* plan from the
+    /// same `(world_seed, fault_seed)` pair.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
+    }
+
+    /// The `(profile, fault_seed)` config this plan was built from.
+    pub fn config(&self) -> FaultConfig {
+        FaultConfig::profile(self.profile, self.fault_seed)
     }
 
     /// The derived plan seed — a stable function of

@@ -8,22 +8,36 @@
 //! in-flight shard pushed back for the survivors — the sweep completes
 //! as long as one worker remains. Nothing merges until every shard
 //! delta is in, so a failed fleet never ships a partial merge.
+//!
+//! Fault-injected sweeps add a second, driver-coordinated phase: each
+//! shard result carries the shard's per-PoP fault book, the merge
+//! folds the books into the global quarantine decision, and the
+//! driver dispatches the resulting rescue units back to the (still
+//! connected) workers as rescue shards. The two phases ride one
+//! persistent connection per worker, so quarantine sees exactly the
+//! evidence a single-process sweep would — and produces exactly its
+//! bytes.
 
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use clientmap_cacheprobe::{merge_shards, prepare_sweep, CacheProbeResult, ProbeConfig, SweepPrep};
+use clientmap_cacheprobe::resilience::backoff_delay_ms;
+use clientmap_cacheprobe::{
+    merge_shards, prepare_sweep, CacheProbeResult, PopHealth, ProbeConfig, ProbeUnit,
+    ShardMergeError,
+};
 use clientmap_core::{PipelineError, SweepExecutor};
 use clientmap_net::Prefix;
 use clientmap_sim::Sim;
-use clientmap_store::SweepSnapshot;
+use clientmap_store::{checksum, SweepSnapshot};
 
-use crate::frame::{read_frame, write_frame, Frame, FrameKind};
-use crate::proto::{decode_shard_result, JobAck, JobSpec};
+use crate::frame::{read_frame, write_frame, Frame, FrameError, FrameKind};
+use crate::proto::{
+    decode_rescue_result, decode_shard_result, encode_rescue_request, shard_range, JobAck, JobSpec,
+};
 use crate::shutdown;
 
 /// How the driver reaches and partitions its fleet.
@@ -34,10 +48,13 @@ pub struct FleetOptions {
     /// Shards to partition the unit list into; `0` picks 4 × workers
     /// (clamped to the unit count) so re-queues stay balanced.
     pub num_shards: u32,
-    /// Budget for the initial connect to each worker (retried within).
+    /// Budget for the initial connect to each worker (retried within,
+    /// under seeded exponential backoff).
     pub connect_timeout: Duration,
     /// Per-frame read/write timeout once connected; an expiry counts
-    /// as a lost worker and re-queues the in-flight shard.
+    /// as a lost worker and re-queues the in-flight shard. A fleet
+    /// that loses *every* worker to deadline expiries surfaces as
+    /// [`PipelineError::Timeout`] instead of a generic fleet failure.
     pub io_timeout: Duration,
 }
 
@@ -73,6 +90,13 @@ impl FleetSweep {
     }
 }
 
+fn merge_err(e: ShardMergeError) -> PipelineError {
+    PipelineError::Fleet {
+        worker: "merge".into(),
+        message: e.to_string(),
+    }
+}
+
 impl SweepExecutor for FleetSweep {
     fn run_sweep(
         &mut self,
@@ -82,14 +106,6 @@ impl SweepExecutor for FleetSweep {
         timings: &mut Vec<(String, f64)>,
         prior: Option<&SweepSnapshot>,
     ) -> Result<(CacheProbeResult, SweepSnapshot), PipelineError> {
-        if sim.fault_plan().enabled() {
-            return Err(PipelineError::Fleet {
-                worker: "driver".into(),
-                message: "fleet sweeps do not support fault injection \
-                          (quarantine/rescue need global cross-shard state)"
-                    .into(),
-            });
-        }
         if self.opts.workers.is_empty() {
             return Err(PipelineError::Fleet {
                 worker: "driver".into(),
@@ -99,173 +115,401 @@ impl SweepExecutor for FleetSweep {
 
         let prep = prepare_sweep(sim, cfg, universe, timings, prior);
         let n = prep.num_units();
-        let deltas = if prep.warm_full_skip() || n == 0 {
+        if prep.warm_full_skip() || n == 0 {
             // Nothing to probe anywhere: the merge finishes from the
             // prior (or from zero units) without touching the fleet.
-            Vec::new()
+            return merge_shards(
+                sim,
+                cfg,
+                prep,
+                Vec::new(),
+                Vec::new(),
+                |_| Ok(Vec::new()),
+                timings,
+            )
+            .map_err(merge_err);
+        }
+
+        let auto = 4 * self.opts.workers.len() as u32;
+        let shards = if self.opts.num_shards == 0 {
+            auto
         } else {
-            let auto = 4 * self.opts.workers.len() as u32;
-            let shards = if self.opts.num_shards == 0 {
-                auto
-            } else {
-                self.opts.num_shards
+            self.opts.num_shards
+        }
+        .clamp(1, n as u32);
+        let spec = JobSpec {
+            scale: self.scale.clone(),
+            seed: sim.world().config.seed,
+            duration_hours: cfg.duration_hours,
+            expiry_budget: cfg.expiry_budget,
+            batched_probing: cfg.batched_probing,
+            batch_size: cfg.batch_size as u64,
+            num_shards: shards,
+            config_digest: prep.config_digest(),
+            faults: sim.fault_plan().config(),
+            prior: prior.map(SweepSnapshot::encode),
+        };
+
+        let total = shards as usize;
+        let num_workers = self.opts.workers.len();
+        let shared = Shared {
+            main_total: total,
+            cond: Condvar::new(),
+            state: Mutex::new(State {
+                queue: (0..shards).map(Task::Shard).collect(),
+                deltas: vec![None; total],
+                books: Vec::new(),
+                main_done: 0,
+                rescue_units: Arc::new(Vec::new()),
+                rescue_shards: 0,
+                rescue_deltas: Vec::new(),
+                rescue_done: 0,
+                rescue_pending: 0,
+                shutdown: false,
+                alive: num_workers,
+                losses: Vec::new(),
+            }),
+        };
+        let opts = &self.opts;
+        let num_units = n as u64;
+
+        let out = std::thread::scope(|scope| {
+            for addr in &opts.workers {
+                let shared = &shared;
+                let spec = &spec;
+                scope.spawn(move || {
+                    let res = serve_worker(addr, opts, spec, num_units, shared);
+                    let mut st = shared.state.lock().expect("state lock");
+                    st.alive -= 1;
+                    if let Err(loss) = res {
+                        eprintln!("driver: worker {addr} lost: {}", loss.message);
+                        st.losses.push(loss);
+                    }
+                    drop(st);
+                    shared.cond.notify_all();
+                });
             }
-            .clamp(1, n as u32);
-            let spec = JobSpec {
-                scale: self.scale.clone(),
-                seed: sim.world().config.seed,
-                duration_hours: cfg.duration_hours,
-                expiry_budget: cfg.expiry_budget,
-                batched_probing: cfg.batched_probing,
-                batch_size: cfg.batch_size as u64,
-                num_shards: shards,
-                config_digest: prep.config_digest(),
-                prior: prior.map(SweepSnapshot::encode),
-            };
-            dispatch(&self.opts, &spec, &prep, shards)?
-        };
-        merge_shards(sim, cfg, prep, deltas, timings).map_err(|e| PipelineError::Fleet {
-            worker: "merge".into(),
-            message: e.to_string(),
-        })
+            let merged = wait_main_phase(&shared).and_then(|()| {
+                let (deltas, books) = {
+                    let mut st = shared.state.lock().expect("state lock");
+                    let deltas = st
+                        .deltas
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("all shards complete"))
+                        .collect();
+                    (deltas, std::mem::take(&mut st.books))
+                };
+                merge_shards(
+                    sim,
+                    cfg,
+                    prep,
+                    deltas,
+                    books,
+                    |units| run_rescue(&shared, num_workers, units),
+                    timings,
+                )
+                .map_err(merge_err)
+            });
+            // Merge done (or failed): release every worker thread so
+            // the scope can join them.
+            shared.state.lock().expect("state lock").shutdown = true;
+            shared.cond.notify_all();
+            merged
+        });
+
+        // A fleet whose every loss was a deadline expiry failed on
+        // time, not on protocol — surface the typed deadline error.
+        let losses = shared.state.into_inner().expect("state lock").losses;
+        match out {
+            Err(PipelineError::Fleet { .. })
+                if !losses.is_empty() && losses.iter().all(|l| l.timed_out) =>
+            {
+                Err(PipelineError::Timeout {
+                    peer: losses.last().expect("non-empty losses").addr.clone(),
+                    seconds: self.opts.io_timeout.as_secs(),
+                })
+            }
+            other => other,
+        }
     }
 }
 
-/// Cross-thread dispatch state: the shard queue, the result slots,
-/// and the completion count.
+/// A unit of fleet work: a main-phase shard or a rescue-phase shard.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    Shard(u32),
+    Rescue(u32),
+}
+
+/// Why a worker connection ended in failure.
+struct Loss {
+    addr: String,
+    message: String,
+    /// Whether the loss was a socket-deadline expiry (drives the
+    /// all-timeouts → [`PipelineError::Timeout`] upgrade).
+    timed_out: bool,
+}
+
+/// Cross-thread dispatch state, guarded by one mutex: the task queue,
+/// both phases' result slots, and fleet liveness.
+struct State {
+    queue: VecDeque<Task>,
+    deltas: Vec<Option<SweepSnapshot>>,
+    books: Vec<PopHealth>,
+    main_done: usize,
+    rescue_units: Arc<Vec<ProbeUnit>>,
+    rescue_shards: u32,
+    rescue_deltas: Vec<Option<SweepSnapshot>>,
+    rescue_done: usize,
+    rescue_pending: usize,
+    shutdown: bool,
+    alive: usize,
+    losses: Vec<Loss>,
+}
+
 struct Shared {
-    total: usize,
-    queue: Mutex<VecDeque<u32>>,
-    results: Mutex<Vec<Option<SweepSnapshot>>>,
-    done: AtomicUsize,
+    main_total: usize,
+    state: Mutex<State>,
+    cond: Condvar,
 }
 
-fn dispatch(
-    opts: &FleetOptions,
-    spec: &JobSpec,
-    prep: &SweepPrep,
-    num_shards: u32,
-) -> Result<Vec<SweepSnapshot>, PipelineError> {
-    let total = num_shards as usize;
-    let shared = Shared {
-        total,
-        queue: Mutex::new((0..num_shards).collect()),
-        results: Mutex::new(vec![None; total]),
-        done: AtomicUsize::new(0),
-    };
-    let errors: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
-    let num_units = prep.num_units() as u64;
-
-    std::thread::scope(|scope| {
-        for addr in &opts.workers {
-            let shared = &shared;
-            let errors = &errors;
-            scope.spawn(move || {
-                if let Err(e) = serve_worker(addr, opts, spec, num_units, shared) {
-                    eprintln!("driver: worker {addr} lost: {e}");
-                    errors.lock().expect("errors lock").push((addr.clone(), e));
-                }
-            });
+/// Blocks until every main-phase shard delta is in, or the fleet is
+/// out of workers.
+fn wait_main_phase(shared: &Shared) -> Result<(), PipelineError> {
+    let total = shared.main_total;
+    let mut st = shared.state.lock().expect("state lock");
+    loop {
+        if st.main_done >= total {
+            return Ok(());
         }
-    });
-
-    let done = shared.done.load(Ordering::SeqCst);
-    if done < total {
-        if shutdown::requested() {
-            return Err(PipelineError::Interrupted {
-                completed: done,
-                total,
-            });
+        if st.alive == 0 {
+            if shutdown::requested() {
+                return Err(PipelineError::Interrupted {
+                    completed: st.main_done,
+                    total,
+                });
+            }
+            return Err(fleet_error(&st.losses, st.main_done, total));
         }
-        let errs = errors.into_inner().expect("errors lock");
-        let worker = errs
-            .last()
-            .map(|(a, _)| a.clone())
-            .unwrap_or_else(|| "fleet".into());
-        let message = if errs.is_empty() {
-            format!("{done}/{total} shards completed and no workers remain")
-        } else {
-            errs.iter()
-                .map(|(a, e)| format!("{a}: {e}"))
-                .collect::<Vec<_>>()
-                .join("; ")
-        };
-        return Err(PipelineError::Fleet { worker, message });
+        st = shared
+            .cond
+            .wait_timeout(st, Duration::from_millis(50))
+            .expect("state lock")
+            .0;
     }
-    Ok(shared
-        .results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|slot| slot.expect("all shards complete"))
-        .collect())
 }
 
-/// One worker connection: handshake, then pull shards until the sweep
-/// completes, an interrupt drains, or the worker is lost. Returns
-/// `Err` only when the worker itself failed (its in-flight shard, if
-/// any, is already back in the queue).
+fn fleet_error(losses: &[Loss], done: usize, total: usize) -> PipelineError {
+    let worker = losses
+        .last()
+        .map(|l| l.addr.clone())
+        .unwrap_or_else(|| "fleet".into());
+    let message = if losses.is_empty() {
+        format!("{done}/{total} shards completed and no workers remain")
+    } else {
+        describe_losses(losses)
+    };
+    PipelineError::Fleet { worker, message }
+}
+
+fn describe_losses(losses: &[Loss]) -> String {
+    losses
+        .iter()
+        .map(|l| format!("{}: {}", l.addr, l.message))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// The merge's rescue callback: partitions the planned rescue units
+/// over the configured worker count (deterministically — the split
+/// never changes the merged bytes, because rescue record keys are
+/// disjoint across units), enqueues the rescue shards, and blocks
+/// until the surviving workers return every delta.
+fn run_rescue(
+    shared: &Shared,
+    num_workers: usize,
+    units: Vec<ProbeUnit>,
+) -> Result<Vec<SweepSnapshot>, String> {
+    let shards = (num_workers as u32).min(units.len() as u32).max(1);
+    {
+        let mut st = shared.state.lock().expect("state lock");
+        if st.alive == 0 {
+            return Err(format!(
+                "no workers remain for the rescue phase ({})",
+                describe_losses(&st.losses)
+            ));
+        }
+        let units = Arc::new(units);
+        st.rescue_deltas = vec![None; shards as usize];
+        st.rescue_done = 0;
+        let mut queued = 0;
+        for s in 0..shards {
+            if !shard_range(units.len(), shards, s).is_empty() {
+                st.queue.push_back(Task::Rescue(s));
+                queued += 1;
+            }
+        }
+        st.rescue_units = units;
+        st.rescue_shards = shards;
+        st.rescue_pending = queued;
+    }
+    shared.cond.notify_all();
+
+    let mut st = shared.state.lock().expect("state lock");
+    loop {
+        if st.rescue_done >= st.rescue_pending {
+            return Ok(st
+                .rescue_deltas
+                .iter_mut()
+                .filter_map(Option::take)
+                .collect());
+        }
+        if shutdown::requested() {
+            return Err("interrupted during the rescue phase".into());
+        }
+        if st.alive == 0 {
+            return Err(format!(
+                "every worker was lost during the rescue phase ({})",
+                describe_losses(&st.losses)
+            ));
+        }
+        st = shared
+            .cond
+            .wait_timeout(st, Duration::from_millis(50))
+            .expect("state lock")
+            .0;
+    }
+}
+
+/// Pulls the next task off the shared queue, waiting through quiet
+/// stretches (merge in progress, shards in flight elsewhere) until the
+/// driver flags shutdown.
+fn next_task(shared: &Shared) -> Option<Task> {
+    let mut st = shared.state.lock().expect("state lock");
+    loop {
+        if st.shutdown || shutdown::requested() {
+            return None;
+        }
+        if let Some(task) = st.queue.pop_front() {
+            return Some(task);
+        }
+        st = shared
+            .cond
+            .wait_timeout(st, Duration::from_millis(50))
+            .expect("state lock")
+            .0;
+    }
+}
+
+/// One worker connection: handshake, then pull tasks (main shards,
+/// then any rescue shards) until the driver flags shutdown or the
+/// worker is lost. Returns `Err` only when the worker itself failed
+/// (its in-flight task, if any, is already back in the queue).
 fn serve_worker(
     addr: &str,
     opts: &FleetOptions,
     spec: &JobSpec,
     num_units: u64,
     shared: &Shared,
-) -> Result<(), String> {
-    let stream = connect_with_retry(addr, opts.connect_timeout)?;
+) -> Result<(), Loss> {
+    let loss = |message: String, timed_out: bool| Loss {
+        addr: addr.to_string(),
+        message,
+        timed_out,
+    };
+    let stream = connect_with_retry(addr, opts.connect_timeout).map_err(|e| loss(e, false))?;
     stream.set_read_timeout(Some(opts.io_timeout)).ok();
     stream.set_write_timeout(Some(opts.io_timeout)).ok();
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| loss(e.to_string(), false))?);
     let mut writer = stream;
 
-    write_frame(&mut writer, &Frame::new(FrameKind::Job, spec.encode()))
-        .map_err(|e| e.to_string())?;
-    let reply = read_frame(&mut reader).map_err(|e| e.to_string())?;
+    write_frame(&mut writer, &Frame::new(FrameKind::Job, spec.encode())).map_err(|e| {
+        let e = FrameError::from(e);
+        let timed_out = matches!(e, FrameError::TimedOut);
+        loss(format!("sending job: {e}"), timed_out)
+    })?;
+    let reply = read_frame(&mut reader).map_err(|e| {
+        let timed_out = matches!(e, FrameError::TimedOut);
+        loss(format!("awaiting job ack: {e}"), timed_out)
+    })?;
     match reply.kind {
         FrameKind::JobAck => {
-            let ack = JobAck::decode(&reply.payload).map_err(|e| format!("bad job ack: {e}"))?;
+            let ack = JobAck::decode(&reply.payload)
+                .map_err(|e| loss(format!("bad job ack: {e}"), false))?;
             if ack.num_units != num_units || ack.config_digest != spec.config_digest {
-                return Err(format!(
-                    "worker prep diverged: {} units / digest {:#x} vs driver {} / {:#x}",
-                    ack.num_units, ack.config_digest, num_units, spec.config_digest
+                return Err(loss(
+                    format!(
+                        "worker prep diverged: {} units / digest {:#x} vs driver {} / {:#x}",
+                        ack.num_units, ack.config_digest, num_units, spec.config_digest
+                    ),
+                    false,
                 ));
             }
         }
         FrameKind::JobErr => {
-            return Err(format!(
-                "job refused: {}",
-                String::from_utf8_lossy(&reply.payload)
+            return Err(loss(
+                format!("job refused: {}", String::from_utf8_lossy(&reply.payload)),
+                false,
             ));
         }
-        other => return Err(format!("unexpected {other:?} reply to job")),
+        other => return Err(loss(format!("unexpected {other:?} reply to job"), false)),
     }
 
-    loop {
-        if shutdown::requested() || shared.done.load(Ordering::SeqCst) >= shared.total {
-            break;
-        }
-        let shard = shared.queue.lock().expect("queue lock").pop_front();
-        let Some(shard) = shard else {
-            // Queue drained but shards are still in flight elsewhere;
-            // stay alive in case one gets re-queued.
-            std::thread::sleep(Duration::from_millis(5));
-            continue;
-        };
-        match request_shard(&mut reader, &mut writer, shard) {
-            Ok(delta) => {
-                shared.results.lock().expect("results lock")[shard as usize] = Some(delta);
-                let done = shared.done.fetch_add(1, Ordering::SeqCst) + 1;
-                eprintln!(
-                    "driver: shard {shard} done on {addr} ({done}/{})",
-                    shared.total
-                );
-            }
-            Err(e) => {
-                // Put the in-flight shard back first, so survivors can
-                // pick it up the moment this thread reports the loss.
-                shared.queue.lock().expect("queue lock").push_front(shard);
-                eprintln!("driver: re-queued shard {shard} after losing {addr}");
-                return Err(e);
+    while let Some(task) = next_task(shared) {
+        match task {
+            Task::Shard(shard) => match request_shard(&mut reader, &mut writer, shard) {
+                Ok((delta, book)) => {
+                    let mut st = shared.state.lock().expect("state lock");
+                    st.deltas[shard as usize] = Some(delta);
+                    st.books.extend(book);
+                    st.main_done += 1;
+                    let done = st.main_done;
+                    drop(st);
+                    shared.cond.notify_all();
+                    eprintln!(
+                        "driver: shard {shard} done on {addr} ({done}/{})",
+                        shared.main_total
+                    );
+                }
+                Err((message, timed_out)) => {
+                    // Put the in-flight shard back first, so survivors
+                    // can pick it up the moment this thread reports
+                    // the loss.
+                    let mut st = shared.state.lock().expect("state lock");
+                    st.queue.push_front(Task::Shard(shard));
+                    drop(st);
+                    shared.cond.notify_all();
+                    eprintln!("driver: re-queued shard {shard} after losing {addr}");
+                    return Err(loss(message, timed_out));
+                }
+            },
+            Task::Rescue(shard) => {
+                let (units, range) = {
+                    let st = shared.state.lock().expect("state lock");
+                    let units = Arc::clone(&st.rescue_units);
+                    let range = shard_range(units.len(), st.rescue_shards, shard);
+                    (units, range)
+                };
+                match request_rescue(&mut reader, &mut writer, shard, &units[range]) {
+                    Ok(delta) => {
+                        let mut st = shared.state.lock().expect("state lock");
+                        st.rescue_deltas[shard as usize] = Some(delta);
+                        st.rescue_done += 1;
+                        let done = st.rescue_done;
+                        let pending = st.rescue_pending;
+                        drop(st);
+                        shared.cond.notify_all();
+                        eprintln!("driver: rescue shard {shard} done on {addr} ({done}/{pending})");
+                    }
+                    Err((message, timed_out)) => {
+                        let mut st = shared.state.lock().expect("state lock");
+                        st.queue.push_front(Task::Rescue(shard));
+                        drop(st);
+                        shared.cond.notify_all();
+                        eprintln!("driver: re-queued rescue shard {shard} after losing {addr}");
+                        return Err(loss(message, timed_out));
+                    }
+                }
             }
         }
     }
@@ -278,36 +522,98 @@ fn serve_worker(
     Ok(())
 }
 
+fn wire_err(ctx: &str, e: FrameError) -> (String, bool) {
+    let timed_out = matches!(e, FrameError::TimedOut);
+    (format!("{ctx}: {e}"), timed_out)
+}
+
 fn request_shard(
     reader: &mut impl std::io::Read,
     writer: &mut impl std::io::Write,
     shard: u32,
-) -> Result<SweepSnapshot, String> {
+) -> Result<(SweepSnapshot, Vec<PopHealth>), (String, bool)> {
     write_frame(
         writer,
         &Frame::new(FrameKind::ShardRequest, shard.to_le_bytes().to_vec()),
     )
-    .map_err(|e| e.to_string())?;
-    let frame: Frame = read_frame(reader).map_err(|e| e.to_string())?;
-    if frame.kind != FrameKind::ShardResult {
-        return Err(format!(
-            "unexpected {:?} reply to shard request",
-            frame.kind
-        ));
+    .map_err(|e| wire_err("sending shard request", e.into()))?;
+    let frame: Frame = read_frame(reader).map_err(|e| wire_err("awaiting shard result", e))?;
+    match frame.kind {
+        FrameKind::ShardResult => {
+            let (id, delta, book) = decode_shard_result(&frame.payload)
+                .map_err(|e| (format!("bad shard result: {e}"), false))?;
+            if id != shard {
+                return Err((format!("shard id mismatch: asked {shard}, got {id}"), false));
+            }
+            Ok((delta, book))
+        }
+        FrameKind::JobErr => Err((
+            format!(
+                "shard request refused: {}",
+                String::from_utf8_lossy(&frame.payload)
+            ),
+            false,
+        )),
+        other => Err((
+            format!("unexpected {other:?} reply to shard request"),
+            false,
+        )),
     }
-    let (id, delta) =
-        decode_shard_result(&frame.payload).map_err(|e| format!("bad shard result: {e}"))?;
-    if id != shard {
-        return Err(format!("shard id mismatch: asked {shard}, got {id}"));
-    }
-    Ok(delta)
 }
 
+fn request_rescue(
+    reader: &mut impl std::io::Read,
+    writer: &mut impl std::io::Write,
+    shard: u32,
+    units: &[ProbeUnit],
+) -> Result<SweepSnapshot, (String, bool)> {
+    write_frame(
+        writer,
+        &Frame::new(
+            FrameKind::RescueRequest,
+            encode_rescue_request(shard, units),
+        ),
+    )
+    .map_err(|e| wire_err("sending rescue request", e.into()))?;
+    let frame: Frame = read_frame(reader).map_err(|e| wire_err("awaiting rescue result", e))?;
+    match frame.kind {
+        FrameKind::RescueResult => {
+            let (id, delta) = decode_rescue_result(&frame.payload)
+                .map_err(|e| (format!("bad rescue result: {e}"), false))?;
+            if id != shard {
+                return Err((
+                    format!("rescue shard id mismatch: asked {shard}, got {id}"),
+                    false,
+                ));
+            }
+            Ok(delta)
+        }
+        FrameKind::JobErr => Err((
+            format!(
+                "rescue refused: {}",
+                String::from_utf8_lossy(&frame.payload)
+            ),
+            false,
+        )),
+        other => Err((
+            format!("unexpected {other:?} reply to rescue request"),
+            false,
+        )),
+    }
+}
+
+/// Connects within `budget`, sleeping between attempts under the same
+/// seeded exponential-backoff discipline the probe retries use — the
+/// address seeds the jitter, so a fleet of drivers hammering one
+/// recovering worker spreads its retries deterministically.
 fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
-    let deadline = Instant::now() + budget;
+    let start = Instant::now();
+    let deadline = start + budget;
     let attempt_timeout = Duration::from_secs(2)
         .min(budget)
         .max(Duration::from_millis(100));
+    let seed = checksum(addr.as_bytes());
+    let mut retry: u32 = 0;
     loop {
         let addrs: Vec<_> = addr
             .to_socket_addrs()
@@ -327,6 +633,9 @@ fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String>
                     .unwrap_or_else(|| "no addresses resolved".into())
             ));
         }
-        std::thread::sleep(Duration::from_millis(50));
+        retry += 1;
+        let delay =
+            backoff_delay_ms(seed, start.elapsed().as_millis() as u64, retry.min(6), 25).min(2_000);
+        std::thread::sleep(Duration::from_millis(delay));
     }
 }

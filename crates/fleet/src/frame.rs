@@ -64,6 +64,12 @@ pub enum FrameKind {
     Shutdown = 6,
     /// worker → driver: acknowledged shutdown, closing.
     Bye = 7,
+    /// driver → worker: probe a rescue shard; payload is a
+    /// [`crate::proto`] rescue request (shard id + rescue units).
+    RescueRequest = 8,
+    /// worker → driver: a rescue shard's delta; payload is shard id
+    /// (u32 LE) followed by `SweepSnapshot::encode` bytes.
+    RescueResult = 9,
 }
 
 impl WireKind for FrameKind {
@@ -80,6 +86,8 @@ impl WireKind for FrameKind {
             5 => FrameKind::ShardResult,
             6 => FrameKind::Shutdown,
             7 => FrameKind::Bye,
+            8 => FrameKind::RescueRequest,
+            9 => FrameKind::RescueResult,
             _ => return None,
         })
     }
@@ -118,6 +126,11 @@ pub enum FrameError {
     Oversized(usize),
     /// The trailing checksum did not match the frame body.
     BadChecksum,
+    /// A socket deadline expired while a frame was in flight — the
+    /// peer stalled mid-frame past the configured `--io-timeout`.
+    /// (A deadline expiring *between* frames is not an error; see
+    /// [`read_frame_deadline`].)
+    TimedOut,
 }
 
 impl std::fmt::Display for FrameError {
@@ -131,16 +144,28 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
             }
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::TimedOut => write!(f, "i/o deadline expired mid-frame"),
         }
     }
 }
 
 impl std::error::Error for FrameError {}
 
+/// Whether an i/o error is a socket-deadline expiry. Unix surfaces
+/// these as `WouldBlock`, Windows as `TimedOut`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl From<std::io::Error> for FrameError {
     fn from(e: std::io::Error) -> FrameError {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             FrameError::ShortRead
+        } else if is_timeout(&e) {
+            FrameError::TimedOut
         } else {
             FrameError::Io(e)
         }
@@ -194,6 +219,41 @@ pub fn read_frame_opt<K: WireKind>(r: &mut impl Read) -> Result<Option<Frame<K>>
         }
     }
     read_frame_after_header(r, header).map(Some)
+}
+
+/// What a deadline-aware read produced.
+#[derive(Debug)]
+pub enum FrameRead<K = FrameKind> {
+    /// A complete, validated frame.
+    Frame(Frame<K>),
+    /// Clean EOF at a frame boundary — the peer hung up.
+    Eof,
+    /// The socket deadline expired with *no* frame in flight. Idle is
+    /// not an error: servers use it to poll a stop flag (or simply
+    /// keep waiting) between frames, while a deadline expiring
+    /// mid-frame still fails hard as [`FrameError::TimedOut`].
+    Idle,
+}
+
+/// Reads one frame from a socket with a read deadline set,
+/// distinguishing the three healthy outcomes (frame, EOF, idle
+/// deadline) from transport failure. A deadline expiring after the
+/// frame header started arriving means the peer stalled mid-frame and
+/// is reported as [`FrameError::TimedOut`].
+pub fn read_frame_deadline<K: WireKind>(r: &mut impl Read) -> Result<FrameRead<K>, FrameError> {
+    let mut header = [0u8; 9];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => return Err(FrameError::ShortRead),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && got == 0 => return Ok(FrameRead::Idle),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    read_frame_after_header(r, header).map(FrameRead::Frame)
 }
 
 fn read_frame_after_header<K: WireKind>(

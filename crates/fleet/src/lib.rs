@@ -22,9 +22,16 @@
 //! the survivors ([`driver`]); a SIGINT on the driver drains in-flight
 //! shards and tells workers to exit cleanly ([`shutdown`]).
 //!
-//! Fleet sweeps are fault-free by construction: fault quarantine and
-//! the rescue sweep need global cross-shard state, so the driver
-//! refuses fault profiles other than `off`.
+//! Fault-injected fleets run a second, driver-coordinated phase:
+//! every shard result carries its per-PoP fault book, the driver's
+//! merge folds the books into the *global* quarantine decision
+//! (identical to a single-process sweep's, because the merged books
+//! are), and the planned rescue units go back out to the surviving
+//! workers as rescue shards over the same connections. Per-frame
+//! socket deadlines bound every transport wait, idle gaps between
+//! frames are explicitly healthy ([`frame::FrameRead::Idle`]), and a
+//! fleet that loses every worker to deadline expiries reports a typed
+//! timeout instead of a generic failure.
 
 #![warn(missing_docs)]
 
@@ -36,8 +43,12 @@ pub mod worker;
 
 pub use driver::{FleetOptions, FleetSweep};
 pub use frame::{
-    read_frame, read_frame_opt, write_frame, Frame, FrameError, FrameKind, WireKind,
-    MAX_FRAME_PAYLOAD,
+    read_frame, read_frame_deadline, read_frame_opt, write_frame, Frame, FrameError, FrameKind,
+    FrameRead, WireKind, MAX_FRAME_PAYLOAD,
 };
-pub use proto::{shard_range, JobAck, JobSpec, PROTOCOL_VERSION};
+pub use proto::{
+    decode_fault_book, decode_rescue_request, decode_rescue_result, decode_shard_result,
+    encode_fault_book, encode_rescue_request, encode_rescue_result, encode_shard_result,
+    shard_range, JobAck, JobSpec, PROTOCOL_VERSION,
+};
 pub use worker::{run_worker, WorkerOptions};

@@ -8,13 +8,17 @@
 //! so a version or configuration skew between binaries is caught at
 //! the handshake, never as a corrupt merge.
 
+use clientmap_cacheprobe::{PopHealth, ProbeUnit};
 use clientmap_core::PipelineConfig;
-use clientmap_faults::FaultConfig;
+use clientmap_faults::{FaultConfig, FaultProfile};
+use clientmap_net::Prefix;
 use clientmap_store::{ByteReader, ByteWriter, CodecError, SweepSnapshot};
 
 /// Bumped whenever the frame layout or payload encodings change; a
 /// worker refuses a job from a different protocol version.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added fault injection to the job spec, per-PoP fault
+/// books on shard results, and the rescue request/result frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// driver → worker: everything needed to rebuild the sweep and its
 /// prep deterministically.
@@ -36,6 +40,10 @@ pub struct JobSpec {
     pub num_shards: u32,
     /// The driver's config digest, for handshake validation.
     pub config_digest: u64,
+    /// Fault-injection profile and seed — workers rebuild the same
+    /// fault plan so their shard probes fail exactly where the
+    /// single-process sweep's would.
+    pub faults: FaultConfig,
     /// Encoded prior [`SweepSnapshot`] for warm fleet sweeps.
     pub prior: Option<Vec<u8>>,
 }
@@ -53,6 +61,8 @@ impl JobSpec {
         w.u64(self.batch_size);
         w.u32(self.num_shards);
         w.u64(self.config_digest);
+        w.str(self.faults.profile.as_str());
+        w.u64(self.faults.fault_seed);
         match &self.prior {
             None => w.u8(0),
             Some(bytes) => {
@@ -80,6 +90,11 @@ impl JobSpec {
         let batch_size = r.u64()?;
         let num_shards = r.u32()?;
         let config_digest = r.u64()?;
+        let profile: FaultProfile = r
+            .str()?
+            .parse()
+            .map_err(|_| CodecError::Malformed("unknown fault profile"))?;
+        let faults = FaultConfig::profile(profile, r.u64()?);
         let prior = match r.u8()? {
             0 => None,
             _ => {
@@ -97,21 +112,21 @@ impl JobSpec {
             batch_size,
             num_shards,
             config_digest,
+            faults,
             prior,
         })
     }
 
     /// The pipeline configuration this job describes — the same
     /// mapping the CLI's `--scale`/`--seed` flags use, with the
-    /// probing knobs overridden from the spec. Fleet jobs are always
-    /// fault-free.
+    /// probing knobs and fault plan overridden from the spec.
     pub fn config(&self) -> PipelineConfig {
         let mut config = match self.scale.as_str() {
             "paper" => PipelineConfig::paper_scale(self.seed),
             "small" => PipelineConfig::small(self.seed),
             _ => PipelineConfig::tiny(self.seed),
         };
-        config.faults = FaultConfig::default();
+        config.faults = self.faults;
         config.probe.duration_hours = self.duration_hours;
         config.probe.expiry_budget = self.expiry_budget;
         config.probe.batched_probing = self.batched_probing;
@@ -179,16 +194,132 @@ pub fn shard_range(num_units: usize, num_shards: u32, shard: u32) -> std::ops::R
     start..(start + len).min(num_units)
 }
 
-/// Encodes a ShardResult payload: shard id, then the delta snapshot's
-/// own checksummed encoding.
-pub fn encode_shard_result(shard: u32, delta: &SweepSnapshot) -> Vec<u8> {
+/// Encodes a shard's per-PoP fault book as a standalone checksummed
+/// record: entry count, then `(pop, attempts, drops, tripped)` per
+/// entry. Fault-free shards encode an empty book (a fixed 12-byte
+/// blob), so the wire cost of the fault machinery is near zero when
+/// it's off.
+pub fn encode_fault_book(book: &[PopHealth]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(book.len() as u32);
+    for h in book {
+        w.u32(h.pop as u32);
+        w.u64(h.attempts);
+        w.u64(h.drops);
+        w.u8(u8::from(h.tripped));
+    }
+    w.finish()
+}
+
+/// Decodes a checksummed fault book.
+pub fn decode_fault_book(bytes: &[u8]) -> Result<Vec<PopHealth>, CodecError> {
+    let mut r = ByteReader::verified(bytes)?;
+    let n = r.u32()? as usize;
+    let mut book = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        book.push(PopHealth {
+            pop: r.u32()? as usize,
+            attempts: r.u64()?,
+            drops: r.u64()?,
+            tripped: r.u8()? != 0,
+        });
+    }
+    r.expect_done()?;
+    Ok(book)
+}
+
+/// Encodes a ShardResult payload: shard id, the shard's fault book
+/// (length-prefixed), then the delta snapshot's own checksummed
+/// encoding.
+pub fn encode_shard_result(shard: u32, delta: &SweepSnapshot, book: &[PopHealth]) -> Vec<u8> {
+    let mut out = shard.to_le_bytes().to_vec();
+    let book = encode_fault_book(book);
+    out.extend_from_slice(&(book.len() as u32).to_le_bytes());
+    out.extend_from_slice(&book);
+    out.extend_from_slice(&delta.encode());
+    out
+}
+
+/// Decodes a ShardResult payload back into `(shard id, delta, fault
+/// book)`.
+pub fn decode_shard_result(
+    payload: &[u8],
+) -> Result<(u32, SweepSnapshot, Vec<PopHealth>), CodecError> {
+    if payload.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let shard = u32::from_le_bytes(payload[..4].try_into().expect("4-byte shard id"));
+    let book_len = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte book len")) as usize;
+    let rest = &payload[8..];
+    if rest.len() < book_len {
+        return Err(CodecError::Truncated);
+    }
+    let (book, delta) = rest.split_at(book_len);
+    Ok((
+        shard,
+        SweepSnapshot::decode(delta)?,
+        decode_fault_book(book)?,
+    ))
+}
+
+/// Encodes a RescueRequest payload: the rescue shard id and the
+/// driver-planned rescue units that shard covers, as one checksummed
+/// record.
+pub fn encode_rescue_request(shard: u32, units: &[ProbeUnit]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(shard);
+    w.u32(units.len() as u32);
+    for u in units {
+        w.u32(u.bound_idx as u32);
+        w.u32(u.domain as u32);
+        w.u32(u.scopes.len() as u32);
+        for s in &u.scopes {
+            w.u32(s.addr());
+            w.u8(s.len());
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a RescueRequest payload back into `(shard id, units)`.
+/// Index validity (vantage and domain in the prep's range) is the
+/// *worker's* check — the codec only guarantees well-formed prefixes.
+pub fn decode_rescue_request(bytes: &[u8]) -> Result<(u32, Vec<ProbeUnit>), CodecError> {
+    let mut r = ByteReader::verified(bytes)?;
+    let shard = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut units = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let bound_idx = r.u32()? as usize;
+        let domain = r.u32()? as usize;
+        let k = r.u32()? as usize;
+        let mut scopes = Vec::with_capacity(k.min(65536));
+        for _ in 0..k {
+            let addr = r.u32()?;
+            let len = r.u8()?;
+            scopes.push(Prefix::new(addr, len).map_err(|_| CodecError::Malformed("bad prefix"))?);
+        }
+        units.push(ProbeUnit {
+            bound_idx,
+            domain,
+            scopes,
+        });
+    }
+    r.expect_done()?;
+    Ok((shard, units))
+}
+
+/// Encodes a RescueResult payload: rescue shard id, then the delta
+/// snapshot's own checksummed encoding (no fault book — the rescue
+/// phase runs after quarantine is already decided).
+pub fn encode_rescue_result(shard: u32, delta: &SweepSnapshot) -> Vec<u8> {
     let mut out = shard.to_le_bytes().to_vec();
     out.extend_from_slice(&delta.encode());
     out
 }
 
-/// Decodes a ShardResult payload back into `(shard id, delta)`.
-pub fn decode_shard_result(payload: &[u8]) -> Result<(u32, SweepSnapshot), CodecError> {
+/// Decodes a RescueResult payload back into `(shard id, delta)`.
+pub fn decode_rescue_result(payload: &[u8]) -> Result<(u32, SweepSnapshot), CodecError> {
     if payload.len() < 4 {
         return Err(CodecError::Truncated);
     }

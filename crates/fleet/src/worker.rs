@@ -11,16 +11,19 @@
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
-use clientmap_cacheprobe::{prepare_sweep, probe_shard, SweepPrep};
+use clientmap_cacheprobe::{prepare_sweep, probe_rescue_shard, probe_shard, SweepPrep};
 use clientmap_core::PipelineConfig;
 use clientmap_net::Prefix;
 use clientmap_sim::Sim;
 use clientmap_telemetry::MetricsRegistry;
 use clientmap_world::World;
 
-use crate::frame::{read_frame_opt, write_frame, Frame, FrameKind};
-use crate::proto::{encode_shard_result, shard_range, JobAck, JobSpec};
+use crate::frame::{read_frame_deadline, write_frame, Frame, FrameKind, FrameRead};
+use crate::proto::{
+    decode_rescue_request, encode_rescue_result, encode_shard_result, shard_range, JobAck, JobSpec,
+};
 
 /// How a worker process runs.
 #[derive(Debug, Clone)]
@@ -33,6 +36,10 @@ pub struct WorkerOptions {
     /// then exit the process without replying to the next one — the
     /// chaos lever for the driver's re-queue path.
     pub fail_after: Option<u32>,
+    /// Per-frame socket deadline. A driver that goes silent *between*
+    /// frames is fine (it may be merging, or waiting on other
+    /// workers); one that stalls *mid-frame* for this long is dropped.
+    pub io_timeout: Duration,
 }
 
 impl Default for WorkerOptions {
@@ -41,6 +48,7 @@ impl Default for WorkerOptions {
             listen: "127.0.0.1:0".into(),
             once: false,
             fail_after: None,
+            io_timeout: Duration::from_secs(600),
         }
     }
 }
@@ -96,17 +104,22 @@ fn serve_connection(stream: TcpStream, opts: &WorkerOptions) -> std::io::Result<
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "?".into());
+    stream.set_read_timeout(Some(opts.io_timeout)).ok();
+    stream.set_write_timeout(Some(opts.io_timeout)).ok();
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut job: Option<JobState> = None;
     let mut served: u32 = 0;
 
     loop {
-        let frame = match read_frame_opt(&mut reader) {
-            Ok(Some(f)) => f,
+        let frame = match read_frame_deadline(&mut reader) {
+            Ok(FrameRead::Frame(f)) => f,
             // Clean EOF: the driver hung up (e.g. it was interrupted
             // after draining) — not an error.
-            Ok(None) => return Ok(()),
+            Ok(FrameRead::Eof) => return Ok(()),
+            // Idle deadline between frames: the driver is merging or
+            // waiting on other workers. Keep listening.
+            Ok(FrameRead::Idle) => continue,
             Err(e) => return Err(std::io::Error::other(e.to_string())),
         };
         match frame.kind {
@@ -168,7 +181,7 @@ fn serve_connection(stream: TcpStream, opts: &WorkerOptions) -> std::io::Result<
                     "worker: probing shard {shard} (units {}..{})",
                     range.start, range.end
                 );
-                let delta = probe_shard(
+                let (delta, book) = probe_shard(
                     &mut state.sim,
                     &state.config.probe,
                     &state.prep,
@@ -177,7 +190,77 @@ fn serve_connection(stream: TcpStream, opts: &WorkerOptions) -> std::io::Result<
                 );
                 write_frame(
                     &mut writer,
-                    &Frame::new(FrameKind::ShardResult, encode_shard_result(shard, &delta)),
+                    &Frame::new(
+                        FrameKind::ShardResult,
+                        encode_shard_result(shard, &delta, &book),
+                    ),
+                )?;
+            }
+            FrameKind::RescueRequest => {
+                let Some(state) = job.as_mut() else {
+                    write_frame(
+                        &mut writer,
+                        &Frame::new(FrameKind::JobErr, b"rescue request before job".to_vec()),
+                    )?;
+                    continue;
+                };
+                if !state.prep.faulted() {
+                    write_frame(
+                        &mut writer,
+                        &Frame::new(
+                            FrameKind::JobErr,
+                            b"rescue request on a fault-free job".to_vec(),
+                        ),
+                    )?;
+                    continue;
+                }
+                let (shard, units) = match decode_rescue_request(&frame.payload) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        write_frame(
+                            &mut writer,
+                            &Frame::new(
+                                FrameKind::JobErr,
+                                format!("bad rescue request: {e}").into_bytes(),
+                            ),
+                        )?;
+                        continue;
+                    }
+                };
+                // Wire-decoded indices must land inside this prep —
+                // anything else is a driver/worker skew, refused before
+                // it can index out of bounds.
+                if units.iter().any(|u| {
+                    u.bound_idx >= state.prep.num_bound() || u.domain >= state.prep.num_domains()
+                }) {
+                    write_frame(
+                        &mut writer,
+                        &Frame::new(
+                            FrameKind::JobErr,
+                            b"rescue unit outside prepared sweep".to_vec(),
+                        ),
+                    )?;
+                    continue;
+                }
+                if opts.fail_after.is_some_and(|n| served >= n) {
+                    eprintln!("worker: injected crash before rescue shard {shard}");
+                    std::process::exit(17);
+                }
+                served += 1;
+                eprintln!(
+                    "worker: probing rescue shard {shard} ({} units)",
+                    units.len()
+                );
+                let delta = probe_rescue_shard(
+                    &mut state.sim,
+                    &state.config.probe,
+                    &state.prep,
+                    &units,
+                    shard,
+                );
+                write_frame(
+                    &mut writer,
+                    &Frame::new(FrameKind::RescueResult, encode_rescue_result(shard, &delta)),
                 )?;
             }
             FrameKind::Shutdown => {

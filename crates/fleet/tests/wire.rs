@@ -7,10 +7,14 @@
 
 use std::io::Cursor;
 
+use clientmap_cacheprobe::{merge_fault_books, PopHealth, ProbeUnit};
+use clientmap_faults::{FaultConfig, FaultProfile};
 use clientmap_fleet::{
-    read_frame, shard_range, write_frame, Frame, FrameError, FrameKind, JobAck, JobSpec,
-    MAX_FRAME_PAYLOAD,
+    decode_fault_book, decode_rescue_request, decode_rescue_result, decode_shard_result,
+    encode_fault_book, encode_rescue_request, read_frame, shard_range, write_frame, Frame,
+    FrameError, FrameKind, JobAck, JobSpec, MAX_FRAME_PAYLOAD,
 };
+use clientmap_net::Prefix;
 use proptest::prelude::*;
 
 fn encode_frame(frame: &Frame) -> Vec<u8> {
@@ -28,7 +32,51 @@ fn kind_strategy() -> impl Strategy<Value = FrameKind> {
         Just(FrameKind::ShardResult),
         Just(FrameKind::Shutdown),
         Just(FrameKind::Bye),
+        Just(FrameKind::RescueRequest),
+        Just(FrameKind::RescueResult),
     ]
+}
+
+fn profile_strategy() -> impl Strategy<Value = FaultProfile> {
+    prop_oneof![
+        Just(FaultProfile::Off),
+        Just(FaultProfile::Light),
+        Just(FaultProfile::Lossy),
+        Just(FaultProfile::PopChurn),
+    ]
+}
+
+fn health_strategy() -> impl Strategy<Value = PopHealth> {
+    // Attempt/drop counts stay well under u64::MAX so summing any
+    // number of generated books cannot overflow — as in a real fleet.
+    (0usize..32, 0u64..1 << 40, 0u64..1 << 40, any::<bool>()).prop_map(
+        |(pop, attempts, drops, tripped)| PopHealth {
+            pop,
+            attempts,
+            drops,
+            tripped,
+        },
+    )
+}
+
+fn book_strategy() -> impl Strategy<Value = Vec<PopHealth>> {
+    proptest::collection::vec(health_strategy(), 0..24)
+}
+
+fn unit_strategy() -> impl Strategy<Value = ProbeUnit> {
+    (
+        0usize..64,
+        0usize..8,
+        proptest::collection::vec((any::<u32>(), 0u8..=32), 1..12),
+    )
+        .prop_map(|(bound_idx, domain, scopes)| ProbeUnit {
+            bound_idx,
+            domain,
+            scopes: scopes
+                .into_iter()
+                .map(|(addr, len)| Prefix::new(addr, len).expect("len <= 32"))
+                .collect(),
+        })
 }
 
 proptest! {
@@ -124,6 +172,8 @@ proptest! {
         batch_size in 1u64..10_000,
         num_shards in 1u32..256,
         digest in any::<u64>(),
+        profile in profile_strategy(),
+        fault_seed in any::<u64>(),
         prior in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..128)),
         num_units in any::<u64>(),
         world_seed in any::<u64>(),
@@ -138,6 +188,7 @@ proptest! {
             batch_size,
             num_shards,
             config_digest: digest,
+            faults: FaultConfig::profile(profile, fault_seed),
             prior,
         };
         let got = JobSpec::decode(&spec.encode()).expect("spec round trip");
@@ -152,6 +203,118 @@ proptest! {
         let got = JobAck::decode(&ack.encode()).expect("ack round trip");
         prop_assert_eq!(got, ack);
     }
+
+    /// Fault books survive their codec round trip for any contents,
+    /// and any single bit flip in the encoding is rejected — the book
+    /// record is checksummed end to end.
+    #[test]
+    fn fault_books_roundtrip_and_reject_bitflips(
+        book in book_strategy(),
+        pos_frac in 0.0..1.0f64,
+        bit in 0u8..8,
+    ) {
+        let clean = encode_fault_book(&book);
+        prop_assert_eq!(decode_fault_book(&clean).expect("book round trip"), book);
+
+        let mut bad = clean.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            decode_fault_book(&bad).is_err(),
+            "bitflip at byte {} bit {} went unnoticed", pos, bit
+        );
+        prop_assert!(decode_fault_book(&clean[..clean.len() - 2]).is_err());
+    }
+
+    /// Rescue requests survive their codec round trip (the prefixes
+    /// come back exactly, already masked by construction), and any
+    /// single bit flip is rejected by the trailing checksum.
+    #[test]
+    fn rescue_requests_roundtrip_and_reject_bitflips(
+        shard in any::<u32>(),
+        units in proptest::collection::vec(unit_strategy(), 0..6),
+        pos_frac in 0.0..1.0f64,
+        bit in 0u8..8,
+    ) {
+        let clean = encode_rescue_request(shard, &units);
+        let (got_shard, got_units) =
+            decode_rescue_request(&clean).expect("rescue request round trip");
+        prop_assert_eq!(got_shard, shard);
+        prop_assert_eq!(got_units, units);
+
+        let mut bad = clean.clone();
+        let pos = ((bad.len() - 1) as f64 * pos_frac) as usize;
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            decode_rescue_request(&bad).is_err(),
+            "bitflip at byte {} bit {} went unnoticed", pos, bit
+        );
+        prop_assert!(decode_rescue_request(&clean[..clean.len() - 1]).is_err());
+    }
+
+    /// Folding fleet fault books is associative and shard-order
+    /// invariant up to the canonical (sorted, one-entry-per-PoP) form:
+    /// however the driver interleaves worker completions, the merged
+    /// book — and therefore the quarantine decision — is the same.
+    #[test]
+    fn fault_book_merge_is_associative_and_order_invariant(
+        a in book_strategy(),
+        b in book_strategy(),
+        c in book_strategy(),
+    ) {
+        let concat: Vec<PopHealth> =
+            a.iter().chain(&b).chain(&c).copied().collect();
+        let canonical = merge_fault_books(&concat);
+
+        // Shard-order invariance: any permutation of shard books (and
+        // of entries within) folds to the same canonical book.
+        let reversed: Vec<PopHealth> =
+            c.iter().chain(&b).chain(&a).rev().copied().collect();
+        prop_assert_eq!(merge_fault_books(&reversed), canonical.clone());
+
+        // Associativity: folding partial folds equals folding once.
+        let ab = merge_fault_books(&a.iter().chain(&b).copied().collect::<Vec<_>>());
+        let partial: Vec<PopHealth> = ab.iter().chain(&merge_fault_books(&c)).copied().collect();
+        prop_assert_eq!(merge_fault_books(&partial), canonical.clone());
+
+        // The canonical form is a fixed point.
+        prop_assert_eq!(merge_fault_books(&canonical), canonical);
+    }
+}
+
+#[test]
+fn shard_and_rescue_results_roundtrip() {
+    use clientmap_store::SweepSnapshot;
+
+    let mut delta = SweepSnapshot::new(42, 0xFEED);
+    delta.epoch = 7;
+    delta.gpdns = [1, 2, 3, 4, 5, 6];
+    let book = vec![
+        PopHealth {
+            pop: 3,
+            attempts: 40,
+            drops: 21,
+            tripped: false,
+        },
+        PopHealth {
+            pop: 9,
+            attempts: 8,
+            drops: 0,
+            tripped: true,
+        },
+    ];
+    let payload = clientmap_fleet::encode_shard_result(7, &delta, &book);
+    let (shard, got_delta, got_book) = decode_shard_result(&payload).expect("shard result");
+    assert_eq!(shard, 7);
+    assert_eq!(got_delta, delta);
+    assert_eq!(got_book, book);
+    assert!(decode_shard_result(&payload[..6]).is_err());
+
+    let payload = clientmap_fleet::encode_rescue_result(9, &delta);
+    let (shard, got_delta) = decode_rescue_result(&payload).expect("rescue result");
+    assert_eq!(shard, 9);
+    assert_eq!(got_delta, delta);
+    assert!(decode_rescue_result(&payload[..3]).is_err());
 }
 
 #[test]
@@ -228,6 +391,7 @@ fn job_spec_rejects_truncation_and_checksum_damage() {
         batch_size: 64,
         num_shards: 8,
         config_digest: 0xDEAD_BEEF,
+        faults: FaultConfig::profile(FaultProfile::Lossy, 3),
         prior: Some(vec![9; 40]),
     };
     let clean = spec.encode();

@@ -97,7 +97,8 @@ pub fn query_storm(opts: &StormOptions) -> Result<Vec<StormPoint>, ClientError> 
                 let addr = &opts.addr;
                 let seed = opts.seed;
                 handles.push(scope.spawn(move || -> Result<(), ClientError> {
-                    let mut client = QueryClient::connect(addr)?;
+                    let mut client =
+                        QueryClient::connect(addr, std::time::Duration::from_secs(60))?;
                     // Disjoint index ranges per connection keep the
                     // union of sent queries identical at any split.
                     let base = u64::from(c) * per;

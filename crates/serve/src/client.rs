@@ -21,7 +21,8 @@
 //! `serve-determinism` CI job diffs.
 
 use std::io::{BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use clientmap_fleet::{read_frame, write_frame, Frame, FrameError};
 use clientmap_net::Asn;
@@ -75,10 +76,20 @@ pub struct QueryClient {
 }
 
 impl QueryClient {
-    /// Connects to `addr` (`host:port`).
-    pub fn connect(addr: &str) -> Result<QueryClient, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+    /// Connects to `addr` (`host:port`). Every phase is bounded by
+    /// `io_timeout`: connecting, and each frame read or write after —
+    /// a dead or stalled server yields a typed [`ClientError`], never
+    /// a hang.
+    pub fn connect(addr: &str, io_timeout: Duration) -> Result<QueryClient, ClientError> {
+        let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(std::io::Error::other(format!(
+                "{addr} resolved to no address"
+            )))
+        })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, io_timeout)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
         Ok(QueryClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -126,7 +137,7 @@ pub fn render_reply(reply: &Reply) -> String {
     match reply {
         Reply::Info(i) => format!(
             "info gen={} epoch={} log_offset={} seed={} digest={:#018x} \
-             measured={} active_ases={} countries={}",
+             measured={} active_ases={} countries={} degraded={}",
             i.generation,
             i.epoch,
             i.log_offset,
@@ -134,7 +145,8 @@ pub fn render_reply(reply: &Reply) -> String {
             i.config_digest,
             i.measured_slash24s,
             i.active_ases,
-            i.countries
+            i.countries,
+            u8::from(i.degraded)
         ),
         Reply::As(a) => format!(
             "as AS{} country={} announced={} active={} {}",
@@ -190,8 +202,13 @@ fn render_verdicts(counts: &[u64; 5]) -> String {
 
 /// Replays a trace against `addr`, writing one rendered reply line per
 /// query to `out`. Returns the number of queries sent.
-pub fn run_trace(addr: &str, trace: &str, out: &mut impl Write) -> Result<u64, ClientError> {
-    let mut client = QueryClient::connect(addr)?;
+pub fn run_trace(
+    addr: &str,
+    trace: &str,
+    io_timeout: Duration,
+    out: &mut impl Write,
+) -> Result<u64, ClientError> {
+    let mut client = QueryClient::connect(addr, io_timeout)?;
     let mut sent = 0;
     for line in trace.lines() {
         let Some(query) = parse_trace_line(line)? else {

@@ -166,6 +166,9 @@ impl Generation {
                 .filter(|r| r.active_slash24s() > 0)
                 .count() as u32,
             countries: self.countries.len() as u32,
+            // A generation cannot know service health; the connection
+            // handler overwrites this from the live degraded flag.
+            degraded: false,
         }
     }
 

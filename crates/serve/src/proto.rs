@@ -21,7 +21,10 @@ use clientmap_net::{Asn, Prefix};
 use clientmap_store::{ByteReader, ByteWriter, CodecError, Verdict};
 
 /// Protocol version, echoed in [`Reply::Info`].
-pub const QUERY_PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added the `degraded` flag to [`InfoReply`] — whether the
+/// service's sweep chain has died and it is answering from its last
+/// published generation.
+pub const QUERY_PROTOCOL_VERSION: u16 = 2;
 
 /// Frame kinds of the query protocol. Values 1–15 are client → server
 /// queries, 16–31 server → client replies; the numeric value is the
@@ -198,6 +201,10 @@ pub struct InfoReply {
     pub active_ases: u32,
     /// Countries covered by those ASes.
     pub countries: u32,
+    /// Whether the service is degraded: its sweep chain failed, so the
+    /// described generation is the last it will ever publish — but
+    /// queries keep being answered from it.
+    pub degraded: bool,
 }
 
 /// One AS's client-activity row.
@@ -291,6 +298,7 @@ impl Reply {
                 w.u64(i.measured_slash24s);
                 w.u32(i.active_ases);
                 w.u32(i.countries);
+                w.u8(u8::from(i.degraded));
             }
             Reply::As(a) => {
                 w.u32(a.asn.0);
@@ -353,6 +361,7 @@ impl Reply {
                 measured_slash24s: r.u64()?,
                 active_ases: r.u32()?,
                 countries: r.u32()?,
+                degraded: r.u8()? != 0,
             }),
             QueryKind::RespAs => {
                 let asn = Asn(r.u32()?);
@@ -478,6 +487,7 @@ mod tests {
                 measured_slash24s: 99,
                 active_ases: 12,
                 countries: 3,
+                degraded: true,
             }),
             Reply::As(AsReply {
                 asn: Asn(64501),

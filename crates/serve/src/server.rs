@@ -27,9 +27,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use clientmap_core::{Pipeline, PipelineConfig, PipelineError};
-use clientmap_fleet::{read_frame_opt, write_frame, Frame, FrameError};
+use clientmap_fleet::{read_frame_deadline, write_frame, Frame, FrameError, FrameRead};
 use clientmap_store::{
-    verdict_delta, EventLog, GenerationCell, SweepEvent, SweepSnapshot, VerdictTable,
+    verdict_delta, EventLog, FailureEvent, GenerationCell, SweepEvent, SweepSnapshot, VerdictTable,
 };
 
 use crate::engine::Generation;
@@ -54,6 +54,13 @@ pub struct ServeOptions {
     pub compact_every: u32,
     /// Where to write the final sweep snapshot, if anywhere.
     pub snapshot_out: Option<PathBuf>,
+    /// Per-frame write deadline on query connections: a client that
+    /// stalls mid-reply for this long is dropped, never the service.
+    pub io_timeout: Duration,
+    /// Chaos lever: fail sweep N with a typed `PipelineError` instead
+    /// of running it — the injected death that drives the service into
+    /// degraded mode (see [`run_sweeps`]).
+    pub fail_sweep: Option<u32>,
     /// Told the bound address right after binding — how an in-process
     /// harness (`serve-bench`, tests) finds a port-0 listener without
     /// scraping stdout.
@@ -73,6 +80,10 @@ pub struct ServeSummary {
     pub log_records: usize,
     /// Queries answered across all connections.
     pub queries_answered: u64,
+    /// Whether the run ended degraded: the sweep chain died after at
+    /// least one generation, and the service kept answering from the
+    /// last one (the death is a typed failure record in the log).
+    pub degraded: bool,
 }
 
 /// Why the service could not run (or finish).
@@ -115,6 +126,10 @@ struct ServerState {
     cond: Condvar,
     sweeps_done: AtomicBool,
     stop: AtomicBool,
+    /// Set (before `sweeps_done`) when the sweep chain died after
+    /// publishing at least one generation; every `Info` reply carries
+    /// it so clients can see they are reading stale truth.
+    degraded: AtomicBool,
     queries: std::sync::atomic::AtomicU64,
 }
 
@@ -164,6 +179,7 @@ pub fn serve(opts: ServeOptions) -> Result<ServeSummary, ServeError> {
         cond: Condvar::new(),
         sweeps_done: AtomicBool::new(false),
         stop: AtomicBool::new(false),
+        degraded: AtomicBool::new(false),
         queries: std::sync::atomic::AtomicU64::new(0),
     });
 
@@ -174,21 +190,31 @@ pub fn serve(opts: ServeOptions) -> Result<ServeSummary, ServeError> {
         )));
     }
 
-    let mut sweep_result: Result<(EventLog, Option<SweepSnapshot>), ServeError> =
+    let mut sweep_result: Result<(EventLog, Option<SweepSnapshot>, bool), ServeError> =
         Err(ServeError::Log("sweep thread never ran".into()));
 
     std::thread::scope(|scope| {
         // The sweep thread: the only writer of the event log and the
-        // only publisher of generations.
+        // only publisher of generations. A chain that dies *after*
+        // publishing comes back `Ok` with the degraded flag — the
+        // service keeps serving the last generation instead of dying
+        // with it.
         let sweep_state = Arc::clone(&state);
         let sweep_opts = &opts;
         let sweep_result = &mut sweep_result;
         scope.spawn(move || {
             *sweep_result = run_sweeps(sweep_opts, &sweep_state);
+            if matches!(&*sweep_result, Ok((_, _, true))) {
+                // Degraded must be visible before sweeps_done releases
+                // WaitGen waiters, so no reply can claim healthy truth
+                // from a dead chain.
+                sweep_state.degraded.store(true, Ordering::SeqCst);
+            }
             sweep_state.sweeps_done.store(true, Ordering::SeqCst);
             if sweep_result.is_err() {
-                // A dead sweep chain can never satisfy a stop request;
-                // release waiting clients and the accept loop.
+                // A chain that died before any generation can never
+                // satisfy a stop request; release waiting clients and
+                // the accept loop.
                 sweep_state.stop.store(true, Ordering::SeqCst);
             }
             sweep_state.notify();
@@ -200,8 +226,9 @@ pub fn serve(opts: ServeOptions) -> Result<ServeSummary, ServeError> {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let conn_state = Arc::clone(&state);
+                    let io_timeout = opts.io_timeout;
                     scope.spawn(move || {
-                        let _ = handle_connection(stream, &conn_state);
+                        let _ = handle_connection(stream, &conn_state, io_timeout);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -215,124 +242,183 @@ pub fn serve(opts: ServeOptions) -> Result<ServeSummary, ServeError> {
         }
     });
 
-    let (log, last) = sweep_result?;
+    let (log, last, degraded) = sweep_result?;
     if let (Some(path), Some(snap)) = (&opts.snapshot_out, &last) {
         std::fs::write(path, snap.encode())?;
     }
     Ok(ServeSummary {
-        sweeps: opts.sweeps,
+        sweeps: state.generations.published() as u32,
         final_epoch: last.map(|s| s.epoch).unwrap_or(0),
         log_len: log.len(),
         log_records: log.offsets().len(),
         queries_answered: state.queries.load(Ordering::SeqCst),
+        degraded,
     })
 }
 
 /// The sweep cadence: run, diff, append, publish — once per sweep.
+///
+/// The chain is supervised. A sweep that fails (`PipelineError`) or
+/// panics *after* at least one generation was published does not kill
+/// the service: the failure is appended to the event log as a typed
+/// [`FailureEvent`] and the call returns `Ok` with the degraded flag
+/// set, leaving every published generation answerable. Only a chain
+/// that dies before its first generation is a hard [`ServeError`].
 fn run_sweeps(
     opts: &ServeOptions,
     state: &ServerState,
-) -> Result<(EventLog, Option<SweepSnapshot>), ServeError> {
+) -> Result<(EventLog, Option<SweepSnapshot>, bool), ServeError> {
     let mut log: Option<EventLog> = None;
     let mut prev_table: Option<VerdictTable> = None;
     let mut last_snapshot: Option<SweepSnapshot> = None;
+    let mut published: u64 = 0;
 
-    let result = Pipeline::run_cadence(
-        opts.config.clone(),
-        opts.prior.clone(),
-        opts.sweeps,
-        |sweep_no, out| {
-            // The log is created lazily on sweep 1: its header pins
-            // the (world seed, config digest) pair, which only the
-            // first finished sweep can vouch for.
-            if log.is_none() {
-                let created = EventLog::create(
-                    &opts.log_path,
-                    out.sweep.world_seed,
-                    out.sweep.config_digest,
-                )
-                .map_err(|e| PipelineError::Stage {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Pipeline::run_cadence(
+            opts.config.clone(),
+            opts.prior.clone(),
+            opts.sweeps,
+            |sweep_no, out| {
+                if opts.fail_sweep == Some(sweep_no) {
+                    return Err(PipelineError::Stage {
+                        stage: "injected-failure".into(),
+                        message: format!("sweep {sweep_no} failed by --fail-sweep"),
+                    });
+                }
+                // The log is created lazily on sweep 1: its header pins
+                // the (world seed, config digest) pair, which only the
+                // first finished sweep can vouch for.
+                if log.is_none() {
+                    let created = EventLog::create(
+                        &opts.log_path,
+                        out.sweep.world_seed,
+                        out.sweep.config_digest,
+                    )
+                    .map_err(|e| PipelineError::Stage {
+                        stage: "serve-eventlog".into(),
+                        message: e.to_string(),
+                    })?;
+                    log = Some(created);
+                }
+                let log = log.as_mut().expect("just created");
+
+                let table = out.cache_probe.verdict_table();
+                let changes = verdict_delta(prev_table.as_ref(), &table);
+                let event = SweepEvent {
+                    epoch: out.sweep.epoch,
+                    generation: u64::from(sweep_no),
+                    measured_slash24s: table.count_measured(),
+                    changes,
+                };
+                log.append(&event).map_err(|e| PipelineError::Stage {
                     stage: "serve-eventlog".into(),
                     message: e.to_string(),
                 })?;
-                log = Some(created);
-            }
-            let log = log.as_mut().expect("just created");
+                if opts.compact_every > 0 && sweep_no % opts.compact_every == 0 {
+                    log.compact(&out.sweep).map_err(|e| PipelineError::Stage {
+                        stage: "serve-compaction".into(),
+                        message: e.to_string(),
+                    })?;
+                }
 
-            let table = out.cache_probe.verdict_table();
-            let changes = verdict_delta(prev_table.as_ref(), &table);
-            let event = SweepEvent {
-                epoch: out.sweep.epoch,
-                generation: u64::from(sweep_no),
-                measured_slash24s: table.count_measured(),
-                changes,
-            };
-            log.append(&event).map_err(|e| PipelineError::Stage {
-                stage: "serve-eventlog".into(),
-                message: e.to_string(),
-            })?;
-            if opts.compact_every > 0 && sweep_no % opts.compact_every == 0 {
-                log.compact(&out.sweep).map_err(|e| PipelineError::Stage {
-                    stage: "serve-compaction".into(),
-                    message: e.to_string(),
-                })?;
-            }
-
-            let generation = Generation::build(u64::from(sweep_no), log.len(), &out);
-            prev_table = Some(table);
-            last_snapshot = Some(out.sweep.clone());
-            state
-                .generations
-                .publish(generation)
-                .expect("generation capacity = sweep count");
-            state.notify();
-            eprintln!(
-                "serve: sweep {sweep_no}/{} published (epoch {}, log {} bytes)",
-                opts.sweeps,
-                out.sweep.epoch,
-                log.len()
-            );
-            Ok(())
-        },
-    );
+                let generation = Generation::build(u64::from(sweep_no), log.len(), &out);
+                prev_table = Some(table);
+                last_snapshot = Some(out.sweep.clone());
+                state
+                    .generations
+                    .publish(generation)
+                    .expect("generation capacity = sweep count");
+                published = u64::from(sweep_no);
+                state.notify();
+                eprintln!(
+                    "serve: sweep {sweep_no}/{} published (epoch {}, log {} bytes)",
+                    opts.sweeps,
+                    out.sweep.epoch,
+                    log.len()
+                );
+                Ok(())
+            },
+        )
+    }));
+    let result = match result {
+        Ok(r) => r,
+        // A panicking sweep is the same failure as a returned error:
+        // typed, logged, survivable.
+        Err(payload) => Err(PipelineError::Stage {
+            stage: "sweep-panic".into(),
+            message: panic_message(payload),
+        }),
+    };
     match result {
         Ok(()) => match log {
-            Some(log) => Ok((log, last_snapshot)),
+            Some(log) => Ok((log, last_snapshot, false)),
             None => Err(ServeError::Log("no sweeps ran (sweeps = 0)".into())),
         },
-        Err(e) => Err(ServeError::Pipeline(e)),
+        Err(e) => match log {
+            // At least one generation is published: record the death
+            // in the log and keep serving, degraded.
+            Some(mut log) => {
+                let failure = FailureEvent {
+                    generation: published + 1,
+                    message: e.to_string(),
+                };
+                log.append_failure(&failure)
+                    .map_err(|io| ServeError::Log(io.to_string()))?;
+                eprintln!(
+                    "serve: sweep {} failed ({e}); serving degraded from generation {published}",
+                    published + 1
+                );
+                Ok((log, last_snapshot, true))
+            }
+            None => Err(ServeError::Pipeline(e)),
+        },
+    }
+}
+
+/// Best-effort text of a panic payload — `&str` and `String` cover
+/// everything `panic!` produces in practice.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "sweep thread panicked".to_string()
     }
 }
 
 /// One client connection: read queries until EOF, `Stop`, or service
-/// shutdown. The read timeout only fires *between* frames on an idle
+/// shutdown. The 200ms read deadline fires *between* frames on an idle
 /// connection (clients write whole frames at once), where it is the
-/// chance to notice the service stopping under us.
-fn handle_connection(stream: TcpStream, state: &ServerState) -> Result<(), FrameError> {
+/// chance to notice the service stopping under us; a peer that stalls
+/// mid-frame or mid-reply past `io_timeout` is dropped — never the
+/// service.
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    io_timeout: Duration,
+) -> Result<(), FrameError> {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(200)))
         .map_err(FrameError::Io)?;
+    stream
+        .set_write_timeout(Some(io_timeout))
+        .map_err(FrameError::Io)?;
     let mut reader = std::io::BufReader::new(stream.try_clone().map_err(FrameError::Io)?);
     let mut writer = stream;
     loop {
-        let frame = match read_frame_opt::<QueryKind>(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return Ok(()), // clean hang-up
-            Err(FrameError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
+        let frame = match read_frame_deadline::<QueryKind>(&mut reader)? {
+            FrameRead::Frame(frame) => frame,
+            FrameRead::Eof => return Ok(()), // clean hang-up
+            FrameRead::Idle => {
                 if state.stop.load(Ordering::SeqCst) && state.sweeps_done.load(Ordering::SeqCst) {
                     return Ok(());
                 }
                 continue;
             }
-            Err(e) => return Err(e),
         };
-        let reply = match Query::decode(frame.kind, &frame.payload) {
+        let mut reply = match Query::decode(frame.kind, &frame.payload) {
             Ok(Query::Stop) => {
                 state.stop.store(true, Ordering::SeqCst);
                 state.notify();
@@ -357,6 +443,12 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> Result<(), Frame
             },
             Err(e) => Reply::Err(format!("bad query: {e}")),
         };
+        // A generation cannot know service health: the live flag is
+        // patched into every Info reply at answer time, wherever the
+        // reply came from.
+        if let Reply::Info(ref mut info) = reply {
+            info.degraded = state.degraded.load(Ordering::SeqCst);
+        }
         state.queries.fetch_add(1, Ordering::SeqCst);
         write_frame(&mut writer, &Frame::new(reply.kind(), reply.encode()))?;
     }

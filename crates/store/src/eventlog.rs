@@ -57,6 +57,11 @@ pub const EVENTLOG_HEADER_LEN: u64 = 4 + 2 + 8 + 8;
 /// Record kind: one sweep's verdict delta ([`SweepEvent`]).
 pub const RECORD_SWEEP: u8 = 1;
 
+/// Record kind: a sweep chain failure ([`FailureEvent`]) — the typed
+/// mark a degraded-mode service leaves in its durable history when a
+/// sweep dies but serving continues from the last good generation.
+pub const RECORD_FAILURE: u8 = 2;
+
 /// One per-/24 verdict transition between consecutive generations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VerdictChange {
@@ -127,6 +132,51 @@ impl SweepEvent {
             changes,
         })
     }
+}
+
+/// A sweep chain failure: the generation that was *being* produced
+/// when the chain died, and why. Appending one of these is how a
+/// degraded service records "history ends here because of X" instead
+/// of silently stopping its log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureEvent {
+    /// The 1-based sweep number that failed (= last published
+    /// generation + 1).
+    pub generation: u64,
+    /// Human-readable failure cause (a `PipelineError` rendering or a
+    /// panic message).
+    pub message: String,
+}
+
+impl FailureEvent {
+    /// Encodes the failure payload (with trailing checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.generation);
+        w.str(&self.message);
+        w.finish()
+    }
+
+    /// Decodes a failure payload, verifying its checksum.
+    pub fn decode(bytes: &[u8]) -> Result<FailureEvent, CodecError> {
+        let mut r = ByteReader::verified(bytes)?;
+        let generation = r.u64()?;
+        let message = r.str()?;
+        r.expect_done()?;
+        Ok(FailureEvent {
+            generation,
+            message,
+        })
+    }
+}
+
+/// Any record an event log can hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventRecord {
+    /// A completed sweep's verdict delta.
+    Sweep(SweepEvent),
+    /// A sweep chain failure.
+    Failure(FailureEvent),
 }
 
 /// Diffs two verdict tables into the event log's change list:
@@ -401,15 +451,14 @@ impl EventLog {
         PathBuf::from(name)
     }
 
-    /// Appends one event as a single framed, checksummed record and
-    /// flushes. Returns the record's byte offset.
-    pub fn append(&mut self, event: &SweepEvent) -> std::io::Result<u64> {
-        let payload = event.encode();
+    /// Appends one raw record (kind + payload) as a single framed,
+    /// checksummed write and flushes. Returns the record's byte offset.
+    fn append_record(&mut self, kind: u8, payload: &[u8]) -> std::io::Result<u64> {
         let mut buf = Vec::with_capacity(13 + payload.len());
-        buf.push(RECORD_SWEEP);
+        buf.push(kind);
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&payload);
-        buf.extend_from_slice(&record_checksum(RECORD_SWEEP, &payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&record_checksum(kind, payload).to_le_bytes());
         let offset = self.len;
         self.file.write_all(&buf)?;
         self.file.flush()?;
@@ -418,9 +467,22 @@ impl EventLog {
         Ok(offset)
     }
 
+    /// Appends one sweep event. Returns the record's byte offset.
+    pub fn append(&mut self, event: &SweepEvent) -> std::io::Result<u64> {
+        self.append_record(RECORD_SWEEP, &event.encode())
+    }
+
+    /// Appends one failure event — the durable mark of a sweep chain
+    /// dying under a service that keeps answering queries. Returns the
+    /// record's byte offset.
+    pub fn append_failure(&mut self, event: &FailureEvent) -> std::io::Result<u64> {
+        self.append_record(RECORD_FAILURE, &event.encode())
+    }
+
     /// Reads the record at `offset` (which must be one of
-    /// [`EventLog::offsets`] — i.e. an intact record boundary).
-    pub fn read_at(&mut self, offset: u64) -> Result<SweepEvent, EventLogError> {
+    /// [`EventLog::offsets`] — i.e. an intact record boundary),
+    /// whatever its kind.
+    pub fn read_record_at(&mut self, offset: u64) -> Result<EventRecord, EventLogError> {
         if !self.offsets.contains(&offset) {
             return Err(EventLogError::BadOffset(offset));
         }
@@ -429,7 +491,7 @@ impl EventLog {
         self.file.read_exact(&mut head)?;
         let kind = head[0];
         let len = u32::from_le_bytes(head[1..5].try_into().expect("4-byte len")) as usize;
-        if kind != RECORD_SWEEP || len > MAX_EVENT_PAYLOAD {
+        if !matches!(kind, RECORD_SWEEP | RECORD_FAILURE) || len > MAX_EVENT_PAYLOAD {
             return Err(EventLogError::BadOffset(offset));
         }
         let mut payload = vec![0u8; len];
@@ -440,13 +502,44 @@ impl EventLog {
         if u64::from_le_bytes(sum) != record_checksum(kind, &payload) {
             return Err(EventLogError::Codec(CodecError::BadChecksum));
         }
-        Ok(SweepEvent::decode(&payload)?)
+        Ok(match kind {
+            RECORD_SWEEP => EventRecord::Sweep(SweepEvent::decode(&payload)?),
+            _ => EventRecord::Failure(FailureEvent::decode(&payload)?),
+        })
     }
 
-    /// Every intact event, append order.
-    pub fn events(&mut self) -> Result<Vec<SweepEvent>, EventLogError> {
+    /// Reads the sweep event at `offset`. A failure record at that
+    /// offset is a caller error ([`EventLog::read_record_at`] reads
+    /// either kind).
+    pub fn read_at(&mut self, offset: u64) -> Result<SweepEvent, EventLogError> {
+        match self.read_record_at(offset)? {
+            EventRecord::Sweep(e) => Ok(e),
+            EventRecord::Failure(_) => Err(EventLogError::Codec(CodecError::Malformed(
+                "record at offset is a failure event, not a sweep event",
+            ))),
+        }
+    }
+
+    /// Every intact record, append order, whatever the kind.
+    pub fn records(&mut self) -> Result<Vec<EventRecord>, EventLogError> {
         let offsets = self.offsets.clone();
-        offsets.into_iter().map(|o| self.read_at(o)).collect()
+        offsets
+            .into_iter()
+            .map(|o| self.read_record_at(o))
+            .collect()
+    }
+
+    /// Every intact *sweep* event, append order (failure records are
+    /// skipped; see [`EventLog::records`] for the full history).
+    pub fn events(&mut self) -> Result<Vec<SweepEvent>, EventLogError> {
+        Ok(self
+            .records()?
+            .into_iter()
+            .filter_map(|r| match r {
+                EventRecord::Sweep(e) => Some(e),
+                EventRecord::Failure(_) => None,
+            })
+            .collect())
     }
 
     /// Compacts the log: atomically replaces the `<path>.base` sibling
@@ -485,7 +578,7 @@ fn scan_record(bytes: &[u8]) -> Option<usize> {
         return None;
     }
     let kind = bytes[0];
-    if kind != RECORD_SWEEP {
+    if !matches!(kind, RECORD_SWEEP | RECORD_FAILURE) {
         return None;
     }
     let len = u32::from_le_bytes(bytes[1..5].try_into().expect("4-byte len")) as usize;
@@ -640,6 +733,54 @@ mod tests {
         let (mut log, rec) = EventLog::open(&path).unwrap();
         assert_eq!(rec.records, 1);
         assert_eq!(log.events().unwrap()[0].generation, 5);
+    }
+
+    #[test]
+    fn failure_records_interleave_survive_reopen_and_stay_typed() {
+        let path = scratch("failure");
+        let mut log = EventLog::create(&path, 2021, 0xD16E57).unwrap();
+        log.append(&event(1, 3)).unwrap();
+        let failure = FailureEvent {
+            generation: 2,
+            message: "probe stage failed: injected".into(),
+        };
+        let f_off = log.append_failure(&failure).unwrap();
+        log.append(&event(3, 2)).unwrap();
+
+        // The typed read sees all three; the sweep-only view skips the
+        // failure; the sweep-typed read refuses the failure offset.
+        assert_eq!(
+            log.records().unwrap(),
+            vec![
+                EventRecord::Sweep(event(1, 3)),
+                EventRecord::Failure(failure.clone()),
+                EventRecord::Sweep(event(3, 2)),
+            ]
+        );
+        assert_eq!(log.events().unwrap(), vec![event(1, 3), event(3, 2)]);
+        assert!(matches!(
+            log.read_at(f_off),
+            Err(EventLogError::Codec(CodecError::Malformed(_)))
+        ));
+        drop(log);
+
+        // Reopen scans both kinds as intact records.
+        let (mut back, rec) = EventLog::open(&path).unwrap();
+        assert_eq!(rec.records, 3);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(
+            back.read_record_at(f_off).unwrap(),
+            EventRecord::Failure(failure.clone())
+        );
+
+        // The failure payload codec rejects damage like any other.
+        let bytes = failure.encode();
+        assert_eq!(FailureEvent::decode(&bytes).unwrap(), failure);
+        for i in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert!(FailureEvent::decode(&bad).is_err(), "flip at {i}");
+        }
     }
 
     #[test]

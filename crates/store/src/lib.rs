@@ -62,8 +62,8 @@ mod verdict;
 pub use bitset::{AsBitsets, Slash24Bitset, SLASH24_SPACE};
 pub use codec::{checksum, ByteReader, ByteWriter, CodecError};
 pub use eventlog::{
-    verdict_delta, EventLog, EventLogError, Recovery, SweepEvent, VerdictChange, EVENTLOG_MAGIC,
-    EVENTLOG_VERSION,
+    verdict_delta, EventLog, EventLogError, EventRecord, FailureEvent, Recovery, SweepEvent,
+    VerdictChange, EVENTLOG_MAGIC, EVENTLOG_VERSION,
 };
 pub use generation::GenerationCell;
 pub use planner::{classify, PlanReason, PlannerStats, PriorScope};

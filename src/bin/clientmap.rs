@@ -134,6 +134,8 @@ struct Args {
     workers: Vec<String>,
     shards: u32,
     connect_timeout_secs: u64,
+    io_timeout_secs: u64,
+    fail_sweep: Option<u32>,
     threads_per_worker: usize,
     workers_list: Vec<usize>,
     json: Option<PathBuf>,
@@ -170,6 +172,8 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         workers: Vec::new(),
         shards: 0,
         connect_timeout_secs: 10,
+        io_timeout_secs: 600,
+        fail_sweep: None,
         threads_per_worker: 1,
         workers_list: vec![1, 2, 4],
         json: None,
@@ -264,6 +268,10 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             "--connect-timeout" => {
                 args.connect_timeout_secs = val(argv, i, "--connect-timeout", "10")?
             }
+            "--io-timeout" => {
+                args.io_timeout_secs = val::<u64>(argv, i, "--io-timeout", "600")?.max(1)
+            }
+            "--fail-sweep" => args.fail_sweep = Some(val(argv, i, "--fail-sweep", "2")?),
             "--threads-per-worker" => {
                 args.threads_per_worker = val::<usize>(argv, i, "--threads-per-worker", "2")?.max(1)
             }
@@ -492,7 +500,7 @@ fn fleet_bench(args: &Args) {
             workers: addrs,
             num_shards: args.shards,
             connect_timeout: Duration::from_secs(args.connect_timeout_secs),
-            ..FleetOptions::default()
+            io_timeout: Duration::from_secs(args.io_timeout_secs),
         };
         let mut fleet = FleetSweep::new(opts, args.common.scale.clone());
         let mut timings = Vec::new();
@@ -528,7 +536,7 @@ fn fleet_bench(args: &Args) {
     json.push_str("{\n");
     writeln!(json, "  \"scale\": \"{}\",", args.common.scale).expect("string write");
     writeln!(json, "  \"seed\": {},", args.common.seed).expect("string write");
-    writeln!(json, "  \"faults\": \"off\",").expect("string write");
+    writeln!(json, "  \"faults\": \"{}\",", args.common.faults.as_str()).expect("string write");
     writeln!(json, "  \"host_cores\": {cores},").expect("string write");
     writeln!(json, "  \"threads_per_worker\": {tpw},").expect("string write");
     writeln!(json, "  \"duration_hours\": {},", cfg.probe.duration_hours).expect("string write");
@@ -586,18 +594,25 @@ fn cmd_serve(args: &Args) {
         log_path: log_path.clone(),
         compact_every: args.compact_every,
         snapshot_out: args.common.snapshot_out.clone(),
+        io_timeout: Duration::from_secs(args.io_timeout_secs),
+        fail_sweep: args.fail_sweep,
         ready: None,
     };
     match serve(opts) {
         Ok(s) => println!(
             "serve: {} sweeps published (final epoch {}); event log {} holds {} records \
-             in {} bytes; {} queries answered",
+             in {} bytes; {} queries answered{}",
             s.sweeps,
             s.final_epoch,
             log_path.display(),
             s.log_records,
             s.log_len,
-            s.queries_answered
+            s.queries_answered,
+            if s.degraded {
+                "; DEGRADED: the sweep chain died mid-run (see the failure record in the log)"
+            } else {
+                ""
+            }
         ),
         Err(e) => {
             eprintln!("serve failed: {e}");
@@ -621,6 +636,8 @@ fn cmd_serve_bench(args: &Args) {
         log_path: log_path.clone(),
         compact_every: args.compact_every,
         snapshot_out: None,
+        io_timeout: Duration::from_secs(args.io_timeout_secs),
+        fail_sweep: None,
         ready: Some(ready_tx),
     };
     let sweeps = opts.sweeps;
@@ -633,7 +650,7 @@ fn cmd_serve_bench(args: &Args) {
 
     // Storm only once every generation is published, so each curve
     // point queries the same (final) generation.
-    let mut control = match QueryClient::connect(&addr) {
+    let mut control = match QueryClient::connect(&addr, Duration::from_secs(args.io_timeout_secs)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("serve-bench: cannot connect: {e}");
@@ -746,7 +763,12 @@ fn cmd_query_remote(args: &Args, addr: &str) {
         }
     };
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) = run_trace(addr, &trace, &mut stdout) {
+    if let Err(e) = run_trace(
+        addr,
+        &trace,
+        Duration::from_secs(args.io_timeout_secs),
+        &mut stdout,
+    ) {
         eprintln!("query failed: {e}");
         std::process::exit(1);
     }
@@ -759,14 +781,14 @@ fn usage() -> ! {
          [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] \
          [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] \
          [--duration-hours F] [--metrics FILE] [PREFIX]\n\
-         \x20      clientmap worker [--listen ADDR] [--once] [--fail-after N]\n\
+         \x20      clientmap worker [--listen ADDR] [--once] [--fail-after N] [--io-timeout S]\n\
          \x20      clientmap driver --workers host:port[,host:port...] [--shards N] \
-         [--connect-timeout S] [run flags except --faults]\n\
+         [--connect-timeout S] [--io-timeout S] [run flags]\n\
          \x20      clientmap fleet-bench [--threads-per-worker N] [--workers-list 1,2,4] \
          [--json FILE]\n\
          \x20      clientmap serve [--listen ADDR] [--sweeps N] [--event-log FILE] \
-         [--compact-every N] [run flags]\n\
-         \x20      clientmap query --connect ADDR [--trace FILE | QUERY...]\n\
+         [--compact-every N] [--fail-sweep N] [--io-timeout S] [run flags]\n\
+         \x20      clientmap query --connect ADDR [--trace FILE | QUERY...] [--io-timeout S]\n\
          \x20      clientmap serve-bench [--sweeps N] [--storm-queries N] \
          [--connections-list 1,2,4] [--json FILE]"
     );
@@ -804,6 +826,7 @@ fn main() {
                 listen: args.listen.clone(),
                 once: args.once,
                 fail_after: args.fail_after,
+                io_timeout: Duration::from_secs(args.io_timeout_secs),
             };
             if let Err(e) = run_worker(&opts) {
                 eprintln!("worker failed: {e}");
@@ -818,7 +841,7 @@ fn main() {
                 workers: args.workers.clone(),
                 num_shards: args.shards,
                 connect_timeout: Duration::from_secs(args.connect_timeout_secs),
-                ..FleetOptions::default()
+                io_timeout: Duration::from_secs(args.io_timeout_secs),
             };
             let mut fleet = FleetSweep::new(opts, args.common.scale.clone());
             let mut timings = Vec::new();
@@ -971,22 +994,9 @@ fn main() {
 /// `eprintln!`/`exit` pairs — one typed path, checked before any work.
 fn check_subcommand_constraints(cmd: &str, args: &Args) -> Result<(), CliError> {
     match cmd {
-        "driver" => {
-            if args.common.faults != FaultProfile::Off {
-                return Err(CliError::Invalid(
-                    "driver requires --faults off: fleet sweeps do not support fault injection"
-                        .into(),
-                ));
-            }
-            if args.workers.is_empty() {
-                return Err(CliError::Invalid(
-                    "driver requires --workers host:port[,host:port...]".into(),
-                ));
-            }
-        }
-        "fleet-bench" if args.common.faults != FaultProfile::Off => {
+        "driver" if args.workers.is_empty() => {
             return Err(CliError::Invalid(
-                "fleet-bench requires --faults off".into(),
+                "driver requires --workers host:port[,host:port...]".into(),
             ));
         }
         "serve" | "serve-bench" if args.sweeps == 0 => {

@@ -270,6 +270,96 @@ fn driver_requeues_shards_from_a_crashed_worker() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The tentpole acceptance check: a *faulted* sweep distributed over
+/// a fleet is byte-identical to the same faulted sweep in one process
+/// — per-PoP fault books merge in shard order, the driver computes
+/// the same quarantine set, and the rescue phase replays identically.
+#[test]
+fn lossy_fleet_matches_single_process_lossy_run() {
+    let dir = scratch("lossy");
+    let fault_flags = ["--faults", "lossy", "--fault-seed", "7"];
+    let reference = reference_run(&dir, &fault_flags);
+    assert!(
+        reference.0.contains("Robustness"),
+        "lossy reference run reported no fault accounting:\n{}",
+        reference.0
+    );
+
+    for (num_workers, threads) in [(2usize, 2usize), (3, 1)] {
+        let workers: Vec<Worker> = (0..num_workers)
+            .map(|_| Worker::spawn(threads, &[]))
+            .collect();
+        let refs: Vec<&Worker> = workers.iter().collect();
+        let tag = format!("lossy-w{num_workers}t{threads}");
+        assert_fleet_matches(&dir, &tag, &refs, &fault_flags, &reference);
+        for w in workers {
+            w.wait_success();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The chaos-fleet combo: deterministic fault injection in the
+/// technique *and* a worker crashing mid-protocol in the same run.
+/// The surviving worker absorbs the re-queued shard and the output is
+/// still byte-identical to the single-process lossy reference.
+#[test]
+fn lossy_fleet_survives_a_worker_crash_mid_sweep() {
+    let dir = scratch("lossy-chaos");
+    let fault_flags = ["--faults", "lossy", "--fault-seed", "7"];
+    let reference = reference_run(&dir, &fault_flags);
+
+    let good = Worker::spawn(2, &[]);
+    let mut bad = Worker::spawn(2, &["--fail-after", "1"]);
+    let addrs = format!("{},{}", good.addr, bad.addr);
+    let snap = dir.join("lossy-chaos.snap");
+    let metrics = dir.join("lossy-chaos.metrics");
+    let out = run_cli(
+        &[
+            "driver",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--faults",
+            "lossy",
+            "--fault-seed",
+            "7",
+            "--workers",
+            &addrs,
+            "--shards",
+            "4",
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(
+        out.status.success(),
+        "lossy driver failed despite a surviving worker: {}",
+        out.stderr
+    );
+    assert!(
+        out.stderr.contains("re-queued shard"),
+        "driver never re-queued the crashed worker's shard:\n{}",
+        out.stderr
+    );
+    assert_eq!(
+        without_snapshot_line(&out.stdout),
+        without_snapshot_line(&reference.0),
+        "stdout diverged in the lossy crash run"
+    );
+    assert_eq!(read_bytes(&metrics), reference.1, "metrics diverged");
+    assert_eq!(read_bytes(&snap), reference.2, "snapshot diverged");
+
+    good.wait_success();
+    let crash = bad.child.wait().expect("reap crashed worker");
+    assert_eq!(crash.code(), Some(17), "crash exit code is deterministic");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn driver_fails_cleanly_when_no_worker_is_reachable() {
     let out = run_cli(

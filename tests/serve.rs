@@ -12,10 +12,14 @@
 use std::io::{BufRead as _, Read as _};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
 
 use clientmap::serve::{Query, QueryClient, Reply};
 
 const BIN: &str = env!("CARGO_BIN_EXE_clientmap");
+
+/// Frame deadline generous enough for CI, far below a hung test.
+const IO: Duration = Duration::from_secs(60);
 
 /// A scratch directory unique to this test process.
 fn scratch(tag: &str) -> PathBuf {
@@ -190,7 +194,7 @@ fn queries_are_answered_concurrently_with_sweeps() {
     // Two clients race the sweep thread from different generations.
     let addr = serve.addr.clone();
     let early = std::thread::spawn(move || {
-        let mut c = QueryClient::connect(&addr).expect("connect early");
+        let mut c = QueryClient::connect(&addr, IO).expect("connect early");
         // Block until the first generation exists, then query it.
         let Reply::Info(gen1) = c.request(&Query::WaitGen(1)).expect("wait gen 1") else {
             panic!("WaitGen must answer with that generation's info");
@@ -199,7 +203,7 @@ fn queries_are_answered_concurrently_with_sweeps() {
         assert!(matches!(c.request(&Query::TopK(3)), Ok(Reply::TopK(_))));
         gen1.log_offset
     });
-    let mut c = QueryClient::connect(&serve.addr).expect("connect");
+    let mut c = QueryClient::connect(&serve.addr, IO).expect("connect");
     let Reply::Info(last) = c.request(&Query::WaitGen(3)).expect("wait gen 3") else {
         panic!("WaitGen must answer with that generation's info");
     };
@@ -242,7 +246,7 @@ fn compaction_leaves_a_base_and_a_short_tail() {
             "2",
         ],
     );
-    let mut c = QueryClient::connect(&serve.addr).expect("connect");
+    let mut c = QueryClient::connect(&serve.addr, IO).expect("connect");
     assert!(matches!(c.request(&Query::WaitGen(4)), Ok(Reply::Info(_))));
     assert!(matches!(c.request(&Query::Stop), Ok(Reply::Bye)));
     serve.wait_success();
@@ -272,9 +276,136 @@ fn serve_uncompacted_len(dir: &Path) -> usize {
         dir,
         &["--sweeps", "4", "--event-log", log.to_str().unwrap()],
     );
-    let mut c = QueryClient::connect(&serve.addr).expect("connect");
+    let mut c = QueryClient::connect(&serve.addr, IO).expect("connect");
     assert!(matches!(c.request(&Query::WaitGen(4)), Ok(Reply::Info(_))));
     assert!(matches!(c.request(&Query::Stop), Ok(Reply::Bye)));
     serve.wait_success();
     read_bytes(&log).len()
+}
+
+/// The degraded-mode acceptance check: a sweep failure injected
+/// mid-service (`--fail-sweep 2` of 3) must leave the query API alive
+/// and answering from generation 1 — with every `info` reply flagged
+/// degraded — and the service must still shut down cleanly (exit 0).
+#[test]
+fn injected_sweep_failure_leaves_queries_answering_degraded() {
+    let dir = scratch("degraded");
+    let log = dir.join("degraded.cmel");
+    let serve = Serve::spawn(
+        &dir,
+        &[
+            "--sweeps",
+            "3",
+            "--fail-sweep",
+            "2",
+            "--event-log",
+            log.to_str().unwrap(),
+        ],
+    );
+
+    let mut c = QueryClient::connect(&serve.addr, IO).expect("connect");
+    // Generation 1 publishes, then sweep 2 dies; waiting on the final
+    // generation must resolve to a typed error, not a hang.
+    assert!(matches!(c.request(&Query::WaitGen(1)), Ok(Reply::Info(_))));
+    match c.request(&Query::WaitGen(3)).expect("wait gen 3") {
+        Reply::Err(e) => assert!(e.contains("never be published"), "unexpected error: {e}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    // The chain is dead, the API is not: answers still come from the
+    // last published generation, flagged degraded.
+    let Reply::Info(info) = c.request(&Query::Info).expect("info") else {
+        panic!("info must answer");
+    };
+    assert_eq!(info.generation, 1, "answers must come from generation 1");
+    assert!(
+        info.degraded,
+        "info after the sweep death must be flagged degraded"
+    );
+    assert!(matches!(c.request(&Query::TopK(3)), Ok(Reply::TopK(_))));
+
+    // The deployed client renders the flag too.
+    let out = Command::new(BIN)
+        .args(["query", "--connect", &serve.addr, "info"])
+        .output()
+        .expect("run query client");
+    assert!(out.status.success());
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        rendered.contains("degraded=1"),
+        "rendered info must carry degraded=1: {rendered}"
+    );
+
+    assert!(matches!(c.request(&Query::Stop), Ok(Reply::Bye)));
+    let summary = serve.wait_success();
+    assert!(
+        summary.contains("DEGRADED"),
+        "summary must report the degraded run: {summary}"
+    );
+    assert!(
+        summary.contains("serve: 1 sweeps published"),
+        "summary must count published generations, not requested sweeps: {summary}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `query --connect` against a dead address: a typed single-line error
+/// on stderr, a non-zero exit, and nothing rendered on stdout.
+#[test]
+fn query_client_fails_fast_against_a_dead_server() {
+    // Bind-then-drop reserves an address nothing listens on.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let out = Command::new(BIN)
+        .args(["query", "--connect", &dead, "--io-timeout", "2", "info"])
+        .output()
+        .expect("run query client");
+    assert!(!out.status.success(), "a dead server must be an error exit");
+    assert!(out.stdout.is_empty(), "no partial render on failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "one typed line, got: {stderr}"
+    );
+    assert!(
+        stderr.starts_with("query failed:"),
+        "untyped error: {stderr}"
+    );
+}
+
+/// `query --connect` against a server that drops the connection
+/// mid-handshake (accepts, then closes without replying): same
+/// contract — typed single-line error, non-zero exit, empty stdout.
+#[test]
+fn query_client_reports_a_mid_handshake_drop() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        // Accept, read a few bytes of the query frame, hang up.
+        let (mut s, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 8];
+        let _ = std::io::Read::read(&mut s, &mut buf);
+    });
+    let out = Command::new(BIN)
+        .args(["query", "--connect", &addr, "--io-timeout", "5", "info"])
+        .output()
+        .expect("run query client");
+    server.join().expect("drop server");
+    assert!(
+        !out.status.success(),
+        "a dropped handshake must be an error exit"
+    );
+    assert!(out.stdout.is_empty(), "no partial render on failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "one typed line, got: {stderr}"
+    );
+    assert!(
+        stderr.starts_with("query failed:"),
+        "untyped error: {stderr}"
+    );
 }
