@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod combine;
 pub mod overlap;
 pub mod ranking;
@@ -37,6 +38,10 @@ mod domains;
 mod figures;
 mod headlines;
 
+pub use cluster::{
+    confidence_summary, extrapolation_agreement, verdict_precision_recall, ConfidenceSummary,
+    PrecisionRecall,
+};
 pub use country::{country_coverage, CountryCoverage};
 pub use domains::{domain_overlap, DomainOverlap};
 pub use figures::{

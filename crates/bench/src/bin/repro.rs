@@ -343,6 +343,12 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
     json.push_str(&planner_json(&expiry));
     json.push_str(&stages_json(&expiry_timings));
     json.push_str("  },\n");
+    json.push_str(&clustered_sweep_json(
+        config.clone(),
+        &cold,
+        cold_secs,
+        &cold_timings,
+    ));
     json.push_str(&fleet_fault_overhead_json(scale, config, threads));
     json.push_str("}\n");
 
@@ -356,6 +362,112 @@ fn bench_run(scale: &str, seed: u64, config: PipelineConfig, json_path: Option<&
         },
         None => print!("{json}"),
     }
+}
+
+/// The `clustered_sweep` bench entry: the cost and quality of
+/// cluster-based predictive probing.
+///
+/// * **Cost** — a cold clustered run against the cold exhaustive run
+///   `bench_run` already timed: total and probing-stage seconds, plus
+///   the planner's live-probe ratio (representatives + escalations
+///   over the planned universe).
+/// * **Quality** — the warm differential the equivalence suite pins: a
+///   full-expiry warm exhaustive re-sweep versus a full-expiry warm
+///   clustered re-sweep from the *same* cold snapshot, compared on the
+///   /24 `Hit` verdict tables as precision/recall.
+fn clustered_sweep_json(
+    base: PipelineConfig,
+    cold: &PipelineOutput,
+    cold_secs: f64,
+    cold_timings: &[(String, f64)],
+) -> String {
+    use clientmap_analysis::verdict_precision_recall;
+    use clientmap_store::Verdict;
+
+    let stage = |timings: &[(String, f64)], name: &str| {
+        timings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    };
+    let run = |config: PipelineConfig,
+               prior: Option<clientmap_store::SweepSnapshot>,
+               what: &str|
+     -> (PipelineOutput, f64, Vec<(String, f64)>) {
+        let mut timings = Vec::new();
+        let start = std::time::Instant::now();
+        match Pipeline::run_warm_timed(config, prior, &mut timings) {
+            Ok(out) => (out, start.elapsed().as_secs_f64(), timings),
+            Err(e) => {
+                eprintln!("repro bench: {what} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let mut clustered_cfg = base.clone();
+    clustered_cfg.probe.clustered_probing = true;
+
+    eprintln!("repro bench: clustered sweep — cold clustered run…");
+    let (cold_clustered, clustered_secs, clustered_timings) =
+        run(clustered_cfg.clone(), None, "cold clustered run");
+    let snap = cold_clustered.metrics_snapshot();
+    let c = |name: &str| snap.counter(&format!("cacheprobe.cluster.{name}"));
+    let universe = c("planned_universe");
+    let reps = c("representatives");
+    let escalated = c("escalated");
+    let live_ratio = (reps + escalated) as f64 / universe.max(1) as f64;
+
+    eprintln!("repro bench: clustered sweep — full-expiry warm differential…");
+    let mut warm_ex_cfg = base;
+    warm_ex_cfg.probe.expiry_budget = 1.0;
+    clustered_cfg.probe.expiry_budget = 1.0;
+    let (warm_ex, _, _) = run(
+        warm_ex_cfg,
+        Some(cold.sweep.clone()),
+        "full-expiry warm exhaustive run",
+    );
+    let (warm_cl, _, _) = run(
+        clustered_cfg,
+        Some(cold.sweep.clone()),
+        "full-expiry warm clustered run",
+    );
+    let pr = verdict_precision_recall(
+        &warm_cl.cache_probe.verdict_table(),
+        &warm_ex.cache_probe.verdict_table(),
+        Verdict::Hit,
+    );
+    eprintln!(
+        "repro bench: clustered sweep done — live-probe ratio {live_ratio:.3}, \
+         warm Hit precision {:.4} recall {:.4}",
+        pr.precision(),
+        pr.recall()
+    );
+
+    format!(
+        "  \"clustered_sweep\": {{\n    \
+         \"cold_exhaustive_secs\": {cold_secs:.3},\n    \
+         \"cold_clustered_secs\": {clustered_secs:.3},\n    \
+         \"sweep_time_ratio\": {:.3},\n    \
+         \"probing_secs_exhaustive\": {:.3},\n    \
+         \"probing_secs_clustered\": {:.3},\n    \
+         \"planned_universe\": {universe},\n    \
+         \"representatives\": {reps},\n    \
+         \"extrapolated\": {},\n    \
+         \"escalated\": {escalated},\n    \
+         \"clusters\": {},\n    \
+         \"live_probe_ratio\": {live_ratio:.4},\n    \
+         \"warm_hit_precision\": {:.4},\n    \
+         \"warm_hit_recall\": {:.4}\n  }},\n",
+        clustered_secs / cold_secs.max(1e-9),
+        stage(cold_timings, "probing"),
+        stage(&clustered_timings, "probing"),
+        c("extrapolated"),
+        c("clusters"),
+        pr.precision(),
+        pr.recall(),
+    )
 }
 
 /// The `fleet_fault_overhead` bench entry: one lossy sweep single-

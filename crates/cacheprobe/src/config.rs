@@ -83,6 +83,24 @@ pub struct ProbeConfig {
     /// lane; `0` batches a whole unit pass at once. Also
     /// digest-excluded: chunking changes execution, never results.
     pub batch_size: usize,
+    /// Cluster-based predictive probing: greedily epsilon-cluster the
+    /// planned slots on cheap features, probe one representative per
+    /// cluster live, and extrapolate its record to the members under a
+    /// confidence tag. **Excluded** from the sweep config digest so
+    /// exhaustive and clustered sweeps can warm-start each other — the
+    /// ablation the report's precision/recall section depends on.
+    pub clustered_probing: bool,
+    /// Greedy clustering radius in feature-distance units; a candidate
+    /// joins the first cluster whose representative sits within this
+    /// distance. `0` degenerates to the inner (exhaustive/warm) plan.
+    /// Digest-excluded alongside `clustered_probing`.
+    pub cluster_epsilon: f64,
+    /// Escalation floor on the `0..=1` confidence scale: members whose
+    /// copy confidence would fall below it are probed live instead, and
+    /// previously tagged slots below it (or whose verdict flipped) are
+    /// re-probed next warm sweep. Digest-excluded alongside
+    /// `clustered_probing`.
+    pub cluster_escalate_below: f64,
 }
 
 impl Default for ProbeConfig {
@@ -103,6 +121,9 @@ impl Default for ProbeConfig {
             expiry_budget: 0.0,
             batched_probing: true,
             batch_size: 0,
+            clustered_probing: false,
+            cluster_epsilon: 0.25,
+            cluster_escalate_below: 0.5,
         }
     }
 }
@@ -137,5 +158,8 @@ mod tests {
         assert_eq!(c.radius_percentile, 0.90);
         assert!(c.batched_probing);
         assert_eq!(c.batch_size, 0);
+        assert!(!c.clustered_probing);
+        assert_eq!(c.cluster_epsilon, 0.25);
+        assert_eq!(c.cluster_escalate_below, 0.5);
     }
 }

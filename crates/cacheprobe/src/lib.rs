@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod cluster;
 pub mod diurnal;
 pub mod openresolver;
 pub mod plan;
@@ -45,8 +46,14 @@ pub mod vantage;
 
 mod config;
 
+pub use cluster::{
+    feature_distance, verdict_rank, ClusterFeatures, ClusterStats, ClusteredPlan,
+};
 pub use config::{ProbeConfig, RetryPolicy};
-pub use plan::{plan_units, ExhaustivePlan, PlanOutcome, PlanSlot, ProbePlan, WarmStartPlan};
+pub use plan::{
+    plan_units, ExhaustivePlan, ExtrapolatedSlot, PlanDecision, PlanOutcome, PlanSlot, ProbePlan,
+    WarmStartPlan,
+};
 pub use probe::{
     execute_sweep, merge_fault_books, merge_shards, prepare_sweep, probe_rescue_shard, probe_shard,
     run_technique, run_technique_full, run_technique_timed, PopHealth, ProbeUnit, ShardMergeError,

@@ -14,8 +14,11 @@
 //! thread count by construction.
 
 use clientmap_net::Prefix;
-use clientmap_store::{classify, PlanReason, PlannerStats, PriorScope, ScopeRecord, SweepSnapshot};
+use clientmap_store::{
+    classify, PlanReason, PlannerStats, PriorScope, RecordKey, ScopeRecord, SweepSnapshot,
+};
 
+use crate::cluster::{verdict_rank, ClusterStats};
 use crate::probe::{record_key, ProbeUnit};
 use crate::sweep::expiry_hash;
 use crate::vantage::BoundVantage;
@@ -37,6 +40,25 @@ pub struct PlanSlot<'a> {
     pub dirty: bool,
 }
 
+/// What a plan wants done with one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDecision {
+    /// Probe the slot live.
+    Probe(PlanReason),
+    /// Replay the slot's prior record (the caller guarantees
+    /// `slot.prior` is `Some` before honouring a replay).
+    Replay,
+    /// Skip probing and copy the cluster representative's fresh record
+    /// onto this slot after the probing window, tagged with the
+    /// planner's confidence in the copy.
+    Extrapolate {
+        /// The representative slot whose record this slot inherits.
+        rep: RecordKey,
+        /// Feature-distance confidence, `1..=255`.
+        confidence: u8,
+    },
+}
+
 /// A sweep planner: decides, slot by slot, what to probe live.
 ///
 /// Implementations must be pure functions of the slot and their own
@@ -48,16 +70,22 @@ pub trait ProbePlan {
     /// The planner's name (telemetry and report labels).
     fn name(&self) -> &'static str;
 
-    /// `Some(reason)` = probe the slot live; `None` = replay its prior
-    /// record (the caller guarantees `slot.prior` is `Some` before
-    /// honouring a replay).
-    fn decide(&self, slot: &PlanSlot<'_>) -> Option<PlanReason>;
+    /// What to do with `slot`.
+    fn decide(&self, slot: &PlanSlot<'_>) -> PlanDecision;
 
     /// Whether this plan's [`PlannerStats`] belong in the run's
     /// telemetry. Cold exhaustive sweeps return `false` so their
-    /// metrics stay byte-identical to the pre-warm-start era.
+    /// metrics stay byte-identical to the pre-warm-start era. (The
+    /// clustered plan also returns `false`: its accounting rides in
+    /// [`ProbePlan::cluster_stats`] instead.)
     fn records_stats(&self) -> bool {
         true
+    }
+
+    /// Cluster accounting, for planners that extrapolate. `None` for
+    /// plans that probe or replay everything.
+    fn cluster_stats(&self) -> Option<ClusterStats> {
+        None
     }
 }
 
@@ -70,8 +98,8 @@ impl ProbePlan for ExhaustivePlan {
         "exhaustive"
     }
 
-    fn decide(&self, _slot: &PlanSlot<'_>) -> Option<PlanReason> {
-        Some(PlanReason::New)
+    fn decide(&self, _slot: &PlanSlot<'_>) -> PlanDecision {
+        PlanDecision::Probe(PlanReason::New)
     }
 
     fn records_stats(&self) -> bool {
@@ -97,8 +125,8 @@ impl ProbePlan for WarmStartPlan {
         "warm-start"
     }
 
-    fn decide(&self, slot: &PlanSlot<'_>) -> Option<PlanReason> {
-        classify(
+    fn decide(&self, slot: &PlanSlot<'_>) -> PlanDecision {
+        match classify(
             slot.prior.map(|r| {
                 (
                     PriorScope {
@@ -111,8 +139,32 @@ impl ProbePlan for WarmStartPlan {
             self.expiry_budget,
             self.epoch,
             expiry_hash(self.world_seed, slot.domain, slot.scope),
-        )
+        ) {
+            Some(reason) => PlanDecision::Probe(reason),
+            None => PlanDecision::Replay,
+        }
     }
+}
+
+/// One slot a plan extrapolates instead of probing: after the probing
+/// window, the representative's fresh record is copied onto the slot
+/// under the given confidence tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtrapolatedSlot {
+    /// Index into the sweep's bound-vantage list.
+    pub bound_idx: usize,
+    /// Index into the sweep's selected-domain list.
+    pub domain: usize,
+    /// The member scope.
+    pub scope: Prefix,
+    /// The representative slot to copy from.
+    pub rep: RecordKey,
+    /// Planner confidence in the copy, `1..=255`.
+    pub confidence: u8,
+    /// Verdict rank the member held in the prior sweep (0 = none) —
+    /// stored with the confidence tag so the *next* planner can detect
+    /// verdict flips.
+    pub prior_verdict: u8,
 }
 
 /// What [`plan_units`] produced from one assigned unit list.
@@ -123,8 +175,13 @@ pub struct PlanOutcome {
     /// `(bound_idx, domain, scope, prior record)` for every slot the
     /// plan replays instead of probing.
     pub skipped: Vec<(usize, usize, Prefix, ScopeRecord)>,
+    /// Slots the plan extrapolates from a cluster representative after
+    /// the probing window, in slot order.
+    pub extrapolated: Vec<ExtrapolatedSlot>,
     /// The plan's accounting; conservation
-    /// (`planned + skipped_warm == universe`) holds by construction.
+    /// (`planned + skipped_warm == universe`) holds by construction
+    /// (extrapolated slots count as warm skips here — their own
+    /// accounting is [`ClusterStats`]).
     pub stats: PlannerStats,
 }
 
@@ -155,17 +212,33 @@ pub fn plan_units(
                 prior: prior_rec,
                 dirty,
             });
-            outcome.stats.count(decision);
             match decision {
-                Some(_) => live_scopes.push(scope),
-                None => outcome.skipped.push((
-                    u.bound_idx,
-                    u.domain,
-                    scope,
-                    prior_rec
-                        .expect("a replay decision implies a prior record")
-                        .clone(),
-                )),
+                PlanDecision::Probe(reason) => {
+                    outcome.stats.count(Some(reason));
+                    live_scopes.push(scope);
+                }
+                PlanDecision::Replay => {
+                    outcome.stats.count(None);
+                    outcome.skipped.push((
+                        u.bound_idx,
+                        u.domain,
+                        scope,
+                        prior_rec
+                            .expect("a replay decision implies a prior record")
+                            .clone(),
+                    ));
+                }
+                PlanDecision::Extrapolate { rep, confidence } => {
+                    outcome.stats.count(None);
+                    outcome.extrapolated.push(ExtrapolatedSlot {
+                        bound_idx: u.bound_idx,
+                        domain: u.domain,
+                        scope,
+                        rep,
+                        confidence,
+                        prior_verdict: prior_rec.map_or(0, verdict_rank),
+                    });
+                }
             }
         }
         if !live_scopes.is_empty() {

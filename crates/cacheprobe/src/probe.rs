@@ -25,11 +25,16 @@ use clientmap_par::par_map;
 use clientmap_sim::{
     BatchConn, BatchDomain, GpdnsSession, PopId, ProbeOutcome, ScopeLane, Sim, SimTime, SimView,
 };
-use clientmap_store::{CalibrationRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot};
+use clientmap_store::{
+    CalibrationRecord, ConfidenceRecord, HitEvent, RecordKey, ScopeRecord, SweepSnapshot,
+};
 use clientmap_telemetry::{Counter, Histogram, MetricsRegistry};
 
 use crate::calibrate::{calibrate, calibrate_batched, replay_calibration, sample_prefixes};
-use crate::plan::{plan_units, ExhaustivePlan, PlanOutcome, ProbePlan, WarmStartPlan};
+use crate::cluster::{synthesize_member_record, ClusteredPlan};
+use crate::plan::{
+    plan_units, ExhaustivePlan, ExtrapolatedSlot, PlanOutcome, ProbePlan, WarmStartPlan,
+};
 use crate::resilience::{
     attempt_id, observe_response, resilient_attempt, FaultCounters, WireObservation,
 };
@@ -747,6 +752,50 @@ fn replay_record(
     }
 }
 
+/// Folds a clustered plan's extrapolated slots into the sweep: each
+/// member inherits a synthesized copy of its representative's fresh
+/// record (replayed through the normal record path so headline totals
+/// and client telemetry include it) plus a [`ConfidenceRecord`] in the
+/// snapshot's provenance column. Runs after the ordered reduction, so
+/// visiting `extrapolated` in plan order keeps the fold byte-identical
+/// at any thread or shard count. A representative whose stream never
+/// produced a probe event copies as an empty record — the next
+/// planner's escalation signal, exactly like a breaker-aborted live
+/// slot.
+fn fold_extrapolated(
+    result: &mut CacheProbeResult,
+    fresh: &mut BTreeMap<RecordKey, ScopeRecord>,
+    confidence: &mut BTreeMap<RecordKey, ConfidenceRecord>,
+    extrapolated: &[ExtrapolatedSlot],
+    bound: &[BoundVantage],
+    pop_metrics: &[ProbeMetrics],
+    redundancy: u32,
+) {
+    for e in extrapolated {
+        let rep_rec = fresh.get(&e.rep).cloned().unwrap_or_default();
+        let synth = synthesize_member_record(&rep_rec, e.scope);
+        replay_record(
+            result,
+            bound[e.bound_idx].pop,
+            e.domain,
+            e.scope,
+            &synth,
+            redundancy,
+            Some(&pop_metrics[e.bound_idx]),
+        );
+        let key = record_key(e.bound_idx, e.domain, e.scope);
+        confidence.insert(
+            key,
+            ConfidenceRecord {
+                rep: e.rep,
+                confidence: e.confidence,
+                prior_verdict: e.prior_verdict,
+            },
+        );
+        fresh.insert(key, synth);
+    }
+}
+
 /// Runs the full cache-probing technique.
 ///
 /// `universe` is the public probe universe (RIR allocations /
@@ -808,6 +857,7 @@ pub struct SweepPrep {
     assigned: HashMap<PopId, Vec<(usize, Prefix)>>,
     units: Vec<ProbeUnit>,
     skipped: Vec<(usize, usize, Prefix, ScopeRecord)>,
+    extrapolated: Vec<ExtrapolatedSlot>,
     warm_full_skip: bool,
     /// The prior snapshot, kept whole when the planner emitted zero
     /// probe work — the full-skip finish replays it wholesale.
@@ -1077,14 +1127,18 @@ pub fn prepare_sweep(
         epoch,
         expiry_budget: cfg.expiry_budget,
     };
-    let plan: &dyn ProbePlan = if prior.is_some() {
-        &warm_plan
-    } else {
-        &ExhaustivePlan
+    let clustered = cfg
+        .clustered_probing
+        .then(|| ClusteredPlan::build(sim.world(), cfg, seed, epoch, &units, prior, &bound));
+    let plan: &dyn ProbePlan = match &clustered {
+        Some(c) => c,
+        None if prior.is_some() => &warm_plan,
+        None => &ExhaustivePlan,
     };
     let PlanOutcome {
         live_units: units,
         skipped,
+        extrapolated,
         stats,
     } = plan_units(plan, units, prior, &bound);
     let mut warm_full_skip = false;
@@ -1116,6 +1170,31 @@ pub fn prepare_sweep(
             .add(units.len() as u64);
         warm_full_skip = stats.planned == 0;
     }
+    if let Some(cs) = plan.cluster_stats() {
+        // Cluster accounting, clustered sweeps only (exhaustive and
+        // warm runs register none of these, keeping their telemetry
+        // byte-identical). Like the planner counters this sits outside
+        // the probing-window delta below: plan accounting describes
+        // this run, never the window a snapshot replays. The
+        // conservation law — representatives + extrapolated +
+        // escalated == planned_universe — is re-checked by
+        // `clientmap-core`'s invariant layer.
+        metrics
+            .counter("cacheprobe.cluster.planned_universe")
+            .add(cs.planned_universe);
+        metrics
+            .counter("cacheprobe.cluster.representatives")
+            .add(cs.representatives);
+        metrics
+            .counter("cacheprobe.cluster.extrapolated")
+            .add(cs.extrapolated);
+        metrics
+            .counter("cacheprobe.cluster.escalated")
+            .add(cs.escalated);
+        metrics
+            .counter("cacheprobe.cluster.clusters")
+            .add(cs.clusters);
+    }
 
     let full_skip_prior = if warm_full_skip {
         Some(prior.expect("full skip implies a prior snapshot").clone())
@@ -1140,6 +1219,7 @@ pub fn prepare_sweep(
         assigned,
         units,
         skipped,
+        extrapolated,
         warm_full_skip,
         full_skip_prior,
         result,
@@ -1168,6 +1248,7 @@ pub fn execute_sweep(
         assigned,
         units,
         skipped,
+        extrapolated,
         warm_full_skip,
         full_skip_prior,
         mut result,
@@ -1274,6 +1355,15 @@ pub fn execute_sweep(
         }
         sim.absorb_session(&tally.session);
     }
+    fold_extrapolated(
+        &mut result,
+        &mut fresh,
+        &mut snapshot.confidence,
+        &extrapolated,
+        &bound,
+        &pop_metrics,
+        cfg.redundancy,
+    );
     timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
 
     // 6. PoP quarantine + rescue sweep (fault injection only): PoPs
@@ -1422,6 +1512,10 @@ fn finish_full_skip(
     snapshot.fault = prior.fault;
     snapshot.metrics = prior.metrics;
     snapshot.records = prior.records;
+    // Confidence tags ride through full skips too: the provenance of a
+    // copied verdict (and its escalation trigger) must survive however
+    // many all-replay epochs sit between clustered sweeps.
+    snapshot.confidence = prior.confidence;
     timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
     (result, snapshot)
 }
@@ -1873,6 +1967,7 @@ pub fn merge_shards(
         assigned,
         units,
         skipped,
+        extrapolated,
         warm_full_skip,
         full_skip_prior,
         mut result,
@@ -1964,6 +2059,20 @@ pub fn merge_shards(
             None,
         );
     }
+    // Extrapolation fold, exactly as `execute_sweep` after its own
+    // reduction. Members were never shipped to workers, so their
+    // synthesized replays bump client telemetry here on the driver
+    // (`Some`), keeping the merged counters byte-identical to the
+    // single-process sweep.
+    fold_extrapolated(
+        &mut result,
+        &mut fresh,
+        &mut snapshot.confidence,
+        &extrapolated,
+        &bound,
+        &pop_metrics,
+        cfg.redundancy,
+    );
     timings.push(("probing".into(), stage.elapsed().as_secs_f64()));
 
     // Distributed quarantine + rescue, mirroring `execute_sweep`'s

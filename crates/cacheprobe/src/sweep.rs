@@ -10,9 +10,14 @@
 //! PoP cap, fault plan) or a different probe universe invalidates it.
 //! The deliberate exceptions are [`ProbeConfig::expiry_budget`] —
 //! re-sweeping the same world under a different freshness budget is the
-//! point of warm starts — and the batched-lane knobs
+//! point of warm starts — the batched-lane knobs
 //! ([`ProbeConfig::batched_probing`], [`ProbeConfig::batch_size`]),
-//! whose scalar/batched equivalence the differential suite proves.
+//! whose scalar/batched equivalence the differential suite proves, and
+//! the clustered-planner knobs ([`ProbeConfig::clustered_probing`],
+//! [`ProbeConfig::cluster_epsilon`],
+//! [`ProbeConfig::cluster_escalate_below`]) — the precision/recall
+//! ablation warm-starts a clustered sweep from an exhaustive snapshot
+//! and vice versa, which a digest-included knob would forbid.
 
 use clientmap_net::{Prefix, SeedMixer};
 use clientmap_sim::{GpdnsStats, PopId, Sim, Transport};
@@ -189,6 +194,19 @@ mod tests {
         let mut chunked = cfg.clone();
         chunked.batch_size = 7;
         assert_eq!(base, config_digest(&sim, &chunked, &universe));
+
+        // Nor the clustered-planner knobs: exhaustive and clustered
+        // sweeps must be able to warm-start each other (the ablation's
+        // whole premise), so flipping them keeps snapshots valid.
+        let mut clustered = cfg.clone();
+        clustered.clustered_probing = true;
+        assert_eq!(base, config_digest(&sim, &clustered, &universe));
+        let mut wide = cfg.clone();
+        wide.cluster_epsilon = 0.6;
+        assert_eq!(base, config_digest(&sim, &wide, &universe));
+        let mut strict = cfg.clone();
+        strict.cluster_escalate_below = 0.9;
+        assert_eq!(base, config_digest(&sim, &strict, &universe));
     }
 
     #[test]

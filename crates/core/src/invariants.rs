@@ -120,6 +120,29 @@ pub fn check(snap: &MetricsSnapshot, redundancy: u32) -> Vec<String> {
         );
     }
 
+    // Clustered planner: every slot it was asked to probe live is
+    // either a probed representative, extrapolated from one, or
+    // escalated to live probing — nothing falls between the clusters.
+    // The counters only exist on clustered sweeps, so the law is gated
+    // on the universe counter like the warm planner's.
+    if snap
+        .counters
+        .contains_key("cacheprobe.cluster.planned_universe")
+    {
+        expect(
+            "cluster representatives + extrapolated + escalated == planned_universe",
+            snap.counter("cacheprobe.cluster.representatives")
+                + snap.counter("cacheprobe.cluster.extrapolated")
+                + snap.counter("cacheprobe.cluster.escalated"),
+            snap.counter("cacheprobe.cluster.planned_universe"),
+        );
+        expect(
+            "cluster count == representative count",
+            snap.counter("cacheprobe.cluster.clusters"),
+            snap.counter("cacheprobe.cluster.representatives"),
+        );
+    }
+
     // DNS-logs crawl: every examined record is either shape-rejected,
     // noise-rejected, or attributed to a resolver.
     expect(
@@ -233,6 +256,26 @@ mod tests {
         let v = check(&m.snapshot(), 3);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("skipped_warm"), "{v:?}");
+    }
+
+    #[test]
+    fn cluster_conservation_is_checked_on_clustered_runs_only() {
+        let m = MetricsRegistry::new();
+        // Non-clustered runs never register cluster counters.
+        assert!(check(&m.snapshot(), 3).is_empty());
+
+        m.counter("cacheprobe.cluster.planned_universe").add(100);
+        m.counter("cacheprobe.cluster.representatives").add(30);
+        m.counter("cacheprobe.cluster.extrapolated").add(65);
+        m.counter("cacheprobe.cluster.escalated").add(5);
+        m.counter("cacheprobe.cluster.clusters").add(30);
+        assert!(check(&m.snapshot(), 3).is_empty());
+
+        // A slot that is neither probed nor extrapolated is a leak.
+        m.counter("cacheprobe.cluster.planned_universe").add(1);
+        let v = check(&m.snapshot(), 3);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("planned_universe"), "{v:?}");
     }
 
     #[test]

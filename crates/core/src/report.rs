@@ -9,9 +9,9 @@
 use clientmap_analysis::overlap::{as_matrix, prefix_matrix, volume_matrix, OverlapMatrix};
 use clientmap_analysis::render::{fmt_count, fmt_pct, TextTable};
 use clientmap_analysis::{
-    country_coverage, dns_http_proxy, domain_overlap, fraction_active_cdf, groundtruth_recall,
-    pop_density, relative_volume_cdf, relative_volume_differences, scope_precision,
-    scope_stability_table, service_radius_cdfs,
+    confidence_summary, country_coverage, dns_http_proxy, domain_overlap, extrapolation_agreement,
+    fraction_active_cdf, groundtruth_recall, pop_density, relative_volume_cdf,
+    relative_volume_differences, scope_precision, scope_stability_table, service_radius_cdfs,
 };
 use clientmap_datasets::DatasetId;
 use clientmap_sim::{pop_catalog, PopStatus};
@@ -395,6 +395,57 @@ impl<'a> Report<'a> {
         ))
     }
 
+    /// Cluster-based predictive probing ablation: how much live probing
+    /// the clustered planner saved and how well its extrapolated
+    /// verdicts agreed with what the member slots held in the prior
+    /// sweep. `None` on non-clustered runs, keeping their rendered
+    /// reports byte-identical to the pre-clustering pipeline. (The
+    /// full clustered-vs-exhaustive precision/recall needs a reference
+    /// run and lives in the differential suite and `repro bench`.)
+    pub fn cluster_ablation(&self) -> Option<String> {
+        let snap = self.out.metrics_snapshot();
+        if !snap
+            .counters
+            .contains_key("cacheprobe.cluster.planned_universe")
+        {
+            return None;
+        }
+        let universe = snap.counter("cacheprobe.cluster.planned_universe");
+        let reps = snap.counter("cacheprobe.cluster.representatives");
+        let extrapolated = snap.counter("cacheprobe.cluster.extrapolated");
+        let escalated = snap.counter("cacheprobe.cluster.escalated");
+        let clusters = snap.counter("cacheprobe.cluster.clusters");
+        let live = reps + escalated;
+        let live_ratio = live as f64 / universe.max(1) as f64;
+        let conf = confidence_summary(&self.out.sweep);
+        let agreement = extrapolation_agreement(&self.out.sweep);
+        let mut t = TextTable::new(["measure", "value"]);
+        t.row(["slots planned for live probing", &fmt_count(universe)]);
+        t.row(["  probed as representatives", &fmt_count(reps)]);
+        t.row(["  extrapolated from a representative", &fmt_count(extrapolated)]);
+        t.row(["  escalated to live probing", &fmt_count(escalated)]);
+        t.row(["clusters", &fmt_count(clusters)]);
+        t.row([
+            "live-probe ratio vs exhaustive",
+            &format!("{live_ratio:.3}"),
+        ]);
+        t.row([
+            "confidence tags (min / mean / max of 255)",
+            &format!("{} / {:.0} / {}", conf.min, conf.mean, conf.max),
+        ]);
+        Some(format!(
+            "Cluster ablation: predictive probing vs the prior sweep\n{}\n\
+             extrapolated-Hit agreement with prior: precision {} recall {} \
+             (TP {} FP {} FN {})\n",
+            t.render(),
+            fmt_pct(100.0 * agreement.precision()),
+            fmt_pct(100.0 * agreement.recall()),
+            fmt_count(agreement.true_positives),
+            fmt_count(agreement.false_positives),
+            fmt_count(agreement.false_negatives),
+        ))
+    }
+
     /// The §4 headline validations.
     pub fn headlines(&self) -> String {
         let proxy = dns_http_proxy(&self.out.bundle);
@@ -439,10 +490,12 @@ impl<'a> Report<'a> {
     }
 
     /// Everything, in paper order (plus the robustness section when a
-    /// fault plan was active).
+    /// fault plan was active, and the cluster ablation when the sweep
+    /// ran the clustered planner).
     pub fn render_all(&self) -> String {
         let mut sections = vec![self.headlines()];
         sections.extend(self.robustness());
+        sections.extend(self.cluster_ablation());
         sections.extend([
             self.table1(),
             self.table2(),
@@ -516,6 +569,36 @@ mod tests {
             assert!(section.contains(needle), "robustness missing {needle:?}");
         }
         assert!(o.report().render_all().contains("Robustness"));
+    }
+
+    #[test]
+    fn cluster_ablation_only_renders_for_clustered_runs() {
+        // Non-clustered: absent from render_all, keeping reports
+        // byte-identical to the pre-clustering pipeline.
+        assert!(output().report().cluster_ablation().is_none());
+        assert!(!output().report().render_all().contains("Cluster ablation"));
+
+        let mut config = PipelineConfig::tiny(99);
+        config.probe.clustered_probing = true;
+        let o = Pipeline::run(config).expect("clustered run is healthy");
+        let section = o
+            .report()
+            .cluster_ablation()
+            .expect("clustered run has section");
+        for needle in [
+            "representatives",
+            "extrapolated",
+            "escalated",
+            "live-probe ratio",
+            "agreement with prior",
+        ] {
+            assert!(section.contains(needle), "ablation missing {needle:?}");
+        }
+        assert!(o.report().render_all().contains("Cluster ablation"));
+        // The clustered plan probed a real subset, not everything.
+        let snap = o.metrics_snapshot();
+        assert!(snap.counter("cacheprobe.cluster.extrapolated") > 0);
+        assert!(!o.sweep.confidence.is_empty());
     }
 
     #[test]

@@ -144,6 +144,9 @@ impl SweepExecutor for FleetSweep {
             expiry_budget: cfg.expiry_budget,
             batched_probing: cfg.batched_probing,
             batch_size: cfg.batch_size as u64,
+            clustered_probing: cfg.clustered_probing,
+            cluster_epsilon: cfg.cluster_epsilon,
+            cluster_escalate_below: cfg.cluster_escalate_below,
             num_shards: shards,
             config_digest: prep.config_digest(),
             faults: sim.fault_plan().config(),

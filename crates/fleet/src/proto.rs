@@ -18,7 +18,10 @@ use clientmap_store::{ByteReader, ByteWriter, CodecError, SweepSnapshot};
 /// worker refuses a job from a different protocol version.
 /// Version 2 added fault injection to the job spec, per-PoP fault
 /// books on shard results, and the rescue request/result frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added the clustered-planner knobs to the job spec —
+/// driver and workers must cluster identically or the shard handshake
+/// would pass while the planned unit lists silently diverged.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// driver → worker: everything needed to rebuild the sweep and its
 /// prep deterministically.
@@ -36,6 +39,12 @@ pub struct JobSpec {
     pub batched_probing: bool,
     /// Batch arena size for the batched kernels.
     pub batch_size: u64,
+    /// Whether the clustered predictive planner is enabled.
+    pub clustered_probing: bool,
+    /// Greedy clustering radius in feature-distance units.
+    pub cluster_epsilon: f64,
+    /// Escalation floor on the `0..=1` confidence scale.
+    pub cluster_escalate_below: f64,
     /// How many shards the driver partitioned the unit list into.
     pub num_shards: u32,
     /// The driver's config digest, for handshake validation.
@@ -59,6 +68,9 @@ impl JobSpec {
         w.u64(self.expiry_budget.to_bits());
         w.u8(u8::from(self.batched_probing));
         w.u64(self.batch_size);
+        w.u8(u8::from(self.clustered_probing));
+        w.u64(self.cluster_epsilon.to_bits());
+        w.u64(self.cluster_escalate_below.to_bits());
         w.u32(self.num_shards);
         w.u64(self.config_digest);
         w.str(self.faults.profile.as_str());
@@ -88,6 +100,9 @@ impl JobSpec {
         let expiry_budget = f64::from_bits(r.u64()?);
         let batched_probing = r.u8()? != 0;
         let batch_size = r.u64()?;
+        let clustered_probing = r.u8()? != 0;
+        let cluster_epsilon = f64::from_bits(r.u64()?);
+        let cluster_escalate_below = f64::from_bits(r.u64()?);
         let num_shards = r.u32()?;
         let config_digest = r.u64()?;
         let profile: FaultProfile = r
@@ -110,6 +125,9 @@ impl JobSpec {
             expiry_budget,
             batched_probing,
             batch_size,
+            clustered_probing,
+            cluster_epsilon,
+            cluster_escalate_below,
             num_shards,
             config_digest,
             faults,
@@ -131,6 +149,9 @@ impl JobSpec {
         config.probe.expiry_budget = self.expiry_budget;
         config.probe.batched_probing = self.batched_probing;
         config.probe.batch_size = self.batch_size as usize;
+        config.probe.clustered_probing = self.clustered_probing;
+        config.probe.cluster_epsilon = self.cluster_epsilon;
+        config.probe.cluster_escalate_below = self.cluster_escalate_below;
         config
     }
 

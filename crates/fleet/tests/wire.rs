@@ -170,6 +170,9 @@ proptest! {
         budget in 0.0..1.0f64,
         batched in any::<bool>(),
         batch_size in 1u64..10_000,
+        clustered in any::<bool>(),
+        epsilon in 0.0..1.0f64,
+        escalate in 0.0..1.0f64,
         num_shards in 1u32..256,
         digest in any::<u64>(),
         profile in profile_strategy(),
@@ -186,6 +189,9 @@ proptest! {
             expiry_budget: budget,
             batched_probing: batched,
             batch_size,
+            clustered_probing: clustered,
+            cluster_epsilon: epsilon,
+            cluster_escalate_below: escalate,
             num_shards,
             config_digest: digest,
             faults: FaultConfig::profile(profile, fault_seed),
@@ -389,6 +395,9 @@ fn job_spec_rejects_truncation_and_checksum_damage() {
         expiry_budget: 0.0,
         batched_probing: true,
         batch_size: 64,
+        clustered_probing: false,
+        cluster_epsilon: 0.25,
+        cluster_escalate_below: 0.5,
         num_shards: 8,
         config_digest: 0xDEAD_BEEF,
         faults: FaultConfig::profile(FaultProfile::Lossy, 3),

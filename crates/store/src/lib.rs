@@ -52,6 +52,7 @@
 
 mod bitset;
 mod codec;
+mod confidence;
 pub mod eventlog;
 mod generation;
 pub mod planner;
@@ -61,6 +62,7 @@ mod verdict;
 
 pub use bitset::{AsBitsets, Slash24Bitset, SLASH24_SPACE};
 pub use codec::{checksum, ByteReader, ByteWriter, CodecError};
+pub use confidence::{ConfidenceRecord, ConfidenceTable, CONFIDENCE_MAX};
 pub use eventlog::{
     verdict_delta, EventLog, EventLogError, EventRecord, FailureEvent, Recovery, SweepEvent,
     VerdictChange, EVENTLOG_MAGIC, EVENTLOG_VERSION,

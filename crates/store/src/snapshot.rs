@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use clientmap_telemetry::{HistogramDelta, MetricsDelta};
 
 use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::confidence::ConfidenceRecord;
 
 /// File magic: "CMSS" — ClientMap Sweep Snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CMSS";
@@ -16,10 +17,12 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CMSS";
 /// snapshot must fail loudly, never half-load).
 ///
 /// Version 2 appends the per-PoP calibration section after the scope
-/// records. Version-1 snapshots (no calibration section) still decode —
-/// they simply carry no calibration captures, so a warm start from one
-/// re-calibrates live.
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// records. Version 3 appends the extrapolation-confidence section
+/// after calibration. Older snapshots (no calibration and/or no
+/// confidence section) still decode — a v1 warm start re-calibrates
+/// live, and a v1/v2 warm start simply carries no confidence tags, so
+/// the clustered planner has nothing to escalate from.
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// Cache pools per PoP — fixed by the resolver model; the calibration
 /// record stores one counter per pool.
@@ -168,6 +171,11 @@ pub struct SweepSnapshot {
     /// Size of the calibration prefix sample the captures were measured
     /// against.
     pub calibration_sample: u64,
+    /// Extrapolation provenance, keyed by the **member** slot: which
+    /// representative each extrapolated record was copied from, with
+    /// what confidence, against what prior verdict. Empty for
+    /// exhaustive sweeps (and for snapshots older than version 3).
+    pub confidence: BTreeMap<RecordKey, ConfidenceRecord>,
 }
 
 impl SweepSnapshot {
@@ -278,6 +286,20 @@ impl SweepSnapshot {
                 w.u64(c.pool_misses[pool]);
             }
         }
+        // Version-3 confidence section.
+        w.u32(self.confidence.len() as u32);
+        for ((bound, domain, addr, len), c) in &self.confidence {
+            w.u16(*bound);
+            w.u16(*domain);
+            w.u32(*addr);
+            w.u8(*len);
+            w.u16(c.rep.0);
+            w.u16(c.rep.1);
+            w.u32(c.rep.2);
+            w.u8(c.rep.3);
+            w.u8(c.confidence);
+            w.u8(c.prior_verdict);
+        }
         w.finish()
     }
 
@@ -289,7 +311,7 @@ impl SweepSnapshot {
             return Err(CodecError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != 1 && version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version));
         }
         let mut r = ByteReader::verified(bytes)?;
@@ -464,6 +486,44 @@ impl SweepSnapshot {
                 });
             }
         }
+        // Versions 1-2 end here; version 3 carries the confidence
+        // section. Older snapshots warm-start with no extrapolation
+        // provenance to escalate from.
+        let mut confidence = BTreeMap::new();
+        if version >= 3 {
+            let n_conf = r.u32()? as usize;
+            let mut last_key: Option<RecordKey> = None;
+            for _ in 0..n_conf {
+                let key = (r.u16()?, r.u16()?, r.u32()?, r.u8()?);
+                if key.3 > 32 {
+                    return Err(CodecError::Malformed("confidence member scope length"));
+                }
+                if last_key.is_some_and(|prev| prev >= key) {
+                    return Err(CodecError::Malformed("confidence key order"));
+                }
+                last_key = Some(key);
+                let rep = (r.u16()?, r.u16()?, r.u32()?, r.u8()?);
+                if rep.3 > 32 {
+                    return Err(CodecError::Malformed("confidence rep scope length"));
+                }
+                let conf = r.u8()?;
+                if conf == 0 {
+                    return Err(CodecError::Malformed("confidence value"));
+                }
+                let prior_verdict = r.u8()?;
+                if prior_verdict > 4 {
+                    return Err(CodecError::Malformed("confidence prior verdict"));
+                }
+                confidence.insert(
+                    key,
+                    ConfidenceRecord {
+                        rep,
+                        confidence: conf,
+                        prior_verdict,
+                    },
+                );
+            }
+        }
         r.expect_done()?;
         Ok(SweepSnapshot {
             epoch,
@@ -475,6 +535,7 @@ impl SweepSnapshot {
             records,
             calibration,
             calibration_sample,
+            confidence,
         })
     }
 }
@@ -482,6 +543,7 @@ impl SweepSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::checksum;
 
     fn sample() -> SweepSnapshot {
         let mut s = SweepSnapshot::new(2021, 0xD16E57);
@@ -525,6 +587,22 @@ mod tests {
         );
         s.records
             .insert((2, 0, 0xC0000200, 20), ScopeRecord::default());
+        s.confidence.insert(
+            (0, 1, 0x0A000100, 24),
+            ConfidenceRecord {
+                rep: (0, 1, 0x0A000000, 24),
+                confidence: 240,
+                prior_verdict: 4,
+            },
+        );
+        s.confidence.insert(
+            (2, 0, 0xC0000300, 24),
+            ConfidenceRecord {
+                rep: (2, 0, 0xC0000200, 20),
+                confidence: 12,
+                prior_verdict: 0,
+            },
+        );
         s.calibration_sample = 800;
         s.calibration = vec![
             CalibrationRecord {
@@ -619,6 +697,22 @@ mod tests {
         w.finish()
     }
 
+    /// Re-encodes a snapshot in the version-2 layout (calibration
+    /// section, no confidence section) — the bytes a
+    /// pre-clustered-probing build wrote.
+    fn encode_v2(s: &SweepSnapshot) -> Vec<u8> {
+        let current = s.encode();
+        // v2 is the current layout minus the trailing confidence
+        // section (count + fixed-width entries) and with the version
+        // stamped 2; rebuild from scratch so the checksum is right.
+        let mut w = ByteWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u16(2);
+        let body_end = current.len() - 8 - 4 - 20 * s.confidence.len();
+        w.bytes(&current[6..body_end]);
+        w.finish()
+    }
+
     /// A hand-built v2 snapshot whose single calibration record is
     /// produced by `write_record` — for field-level corruption tests
     /// that must survive the checksum.
@@ -638,6 +732,31 @@ mod tests {
         w.u32(0); // no scope records
         w.u64(800); // calibration sample
         w.u32(1); // one calibration record
+        write_record(&mut w);
+        w.u32(0); // no confidence records
+        w.finish()
+    }
+
+    /// A hand-built v3 snapshot whose single confidence record is
+    /// produced by `write_record` — for field-level corruption tests
+    /// that must survive the checksum.
+    fn craft_with_confidence(write_record: impl Fn(&mut ByteWriter)) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&SNAPSHOT_MAGIC);
+        w.u16(SNAPSHOT_VERSION);
+        w.u32(1); // epoch
+        w.u64(7); // world seed
+        w.u64(9); // config digest
+        for _ in 0..6 {
+            w.u64(0); // gpdns counters
+        }
+        w.u8(0); // no fault record
+        w.u32(0); // no metric counters
+        w.u32(0); // no histograms
+        w.u32(0); // no scope records
+        w.u64(0); // calibration sample
+        w.u32(0); // no calibration records
+        w.u32(1); // one confidence record
         write_record(&mut w);
         w.finish()
     }
@@ -704,6 +823,159 @@ mod tests {
         let bytes = back.encode();
         assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), SNAPSHOT_VERSION);
         assert_eq!(SweepSnapshot::decode(&bytes).unwrap(), back);
+    }
+
+    #[test]
+    fn v2_snapshots_still_load_with_empty_confidence() {
+        let s = sample();
+        let v2 = encode_v2(&s);
+        assert_eq!(u16::from_le_bytes([v2[4], v2[5]]), 2);
+        let back = SweepSnapshot::decode(&v2).expect("v2 layout must keep decoding");
+        // Everything a v2 snapshot carried survives…
+        assert_eq!(back.records, s.records);
+        assert_eq!(back.metrics, s.metrics);
+        assert_eq!(back.fault, s.fault);
+        assert_eq!(back.calibration, s.calibration);
+        assert_eq!(back.calibration_sample, s.calibration_sample);
+        assert_eq!(
+            (back.epoch, back.world_seed, back.config_digest),
+            (s.epoch, s.world_seed, s.config_digest)
+        );
+        // …and the confidence section reads back empty: the clustered
+        // planner simply has no prior tags to escalate from.
+        assert!(back.confidence.is_empty());
+        // Re-encoding a v2-decoded snapshot writes the current version.
+        let bytes = back.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), SNAPSHOT_VERSION);
+        assert_eq!(SweepSnapshot::decode(&bytes).unwrap(), back);
+    }
+
+    /// A well-formed confidence record for the crafted-buffer tests.
+    fn write_good_confidence(w: &mut ByteWriter) {
+        w.u16(0); // member bound
+        w.u16(1); // member domain
+        w.u32(0x0A000100); // member addr
+        w.u8(24); // member len
+        w.u16(0); // rep bound
+        w.u16(1); // rep domain
+        w.u32(0x0A000000); // rep addr
+        w.u8(24); // rep len
+        w.u8(200); // confidence
+        w.u8(4); // prior verdict (Hit)
+    }
+
+    #[test]
+    fn crafted_confidence_sections_parse_or_name_the_bad_field() {
+        let good = craft_with_confidence(write_good_confidence);
+        let s = SweepSnapshot::decode(&good).expect("good crafted record decodes");
+        assert_eq!(s.confidence.len(), 1);
+        let rec = s.confidence[&(0, 1, 0x0A000100, 24)];
+        assert_eq!(rec.rep, (0, 1, 0x0A000000, 24));
+        assert_eq!(rec.confidence, 200);
+        assert_eq!(rec.prior_verdict, 4);
+
+        // Impossible member scope length.
+        let bad = craft_with_confidence(|w| {
+            w.u16(0);
+            w.u16(1);
+            w.u32(0x0A000100);
+            w.u8(33);
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("confidence member scope length"))
+        );
+
+        // Impossible representative scope length.
+        let bad = craft_with_confidence(|w| {
+            w.u16(0);
+            w.u16(1);
+            w.u32(0x0A000100);
+            w.u8(24);
+            w.u16(0);
+            w.u16(1);
+            w.u32(0x0A000000);
+            w.u8(40);
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("confidence rep scope length"))
+        );
+
+        // A stored record must carry some confidence.
+        let bad = craft_with_confidence(|w| {
+            w.u16(0);
+            w.u16(1);
+            w.u32(0x0A000100);
+            w.u8(24);
+            w.u16(0);
+            w.u16(1);
+            w.u32(0x0A000000);
+            w.u8(24);
+            w.u8(0); // untagged sentinel is not storable
+        });
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("confidence value"))
+        );
+
+        // Prior verdict rank outside the Verdict range.
+        let bad = craft_with_confidence(|w| {
+            write_good_confidence(w);
+        });
+        let mut bad = bad;
+        // Rewrite the prior-verdict byte (last payload byte before the
+        // checksum) and re-seal so only the field check can object.
+        let n = bad.len();
+        bad[n - 9] = 9;
+        let sum = checksum(&bad[..n - 8]);
+        bad[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("confidence prior verdict"))
+        );
+    }
+
+    #[test]
+    fn confidence_records_must_come_in_key_order() {
+        let s = sample();
+        let keys: Vec<RecordKey> = s.confidence.keys().copied().collect();
+        assert_eq!(keys.len(), 2);
+        // Re-encode with the two entries swapped (descending keys).
+        let good = s.encode();
+        let entry_bytes = 20 * keys.len();
+        let body_end = good.len() - 8 - entry_bytes;
+        let mut w = ByteWriter::new();
+        w.bytes(&good[..body_end]);
+        w.bytes(&good[body_end + 20..body_end + 40]);
+        w.bytes(&good[body_end..body_end + 20]);
+        let bad = w.finish();
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::Malformed("confidence key order"))
+        );
+    }
+
+    #[test]
+    fn truncated_or_flipped_confidence_is_rejected() {
+        let bytes = sample().encode();
+        // Any truncation inside the confidence section fails loudly
+        // (checksum covers the whole payload).
+        for cut in 1..48 {
+            assert!(
+                SweepSnapshot::decode(&bytes[..bytes.len() - cut]).is_err(),
+                "truncation by {cut} bytes went unnoticed"
+            );
+        }
+        // A bit flip inside the confidence section trips the trailing
+        // checksum.
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n - 10] ^= 0x01;
+        assert_eq!(
+            SweepSnapshot::decode(&bad).err(),
+            Some(CodecError::BadChecksum)
+        );
     }
 
     /// A well-formed calibration record for the crafted-buffer tests.

@@ -3,7 +3,8 @@
 //! ```text
 //! clientmap run     [--scale tiny|small|paper] [--seed N] [--faults PROFILE] [--fault-seed N]
 //!                   [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F]
-//!                   [--duration-hours F] [--metrics FILE]
+//!                   [--duration-hours F] [--metrics FILE] [--clustered-probing]
+//!                   [--cluster-epsilon F] [--cluster-escalate-below F]
 //! clientmap export  [--scale ...] [--seed N] --out DIR
 //! clientmap query   PREFIX [--scale ...] [--seed N]
 //! clientmap query   --connect ADDR [--trace FILE | QUERY...]
@@ -106,6 +107,9 @@ struct CommonOpts {
     expiry_budget: f64,
     duration_hours: Option<f64>,
     metrics: Option<PathBuf>,
+    clustered_probing: bool,
+    cluster_epsilon: Option<f64>,
+    cluster_escalate_below: Option<f64>,
 }
 
 impl CommonOpts {
@@ -120,6 +124,13 @@ impl CommonOpts {
         config.probe.expiry_budget = self.expiry_budget;
         if let Some(hours) = self.duration_hours {
             config.probe.duration_hours = hours;
+        }
+        config.probe.clustered_probing = self.clustered_probing;
+        if let Some(eps) = self.cluster_epsilon {
+            config.probe.cluster_epsilon = eps;
+        }
+        if let Some(below) = self.cluster_escalate_below {
+            config.probe.cluster_escalate_below = below;
         }
         config
     }
@@ -164,6 +175,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             expiry_budget: 0.0,
             duration_hours: None,
             metrics: None,
+            clustered_probing: false,
+            cluster_epsilon: None,
+            cluster_escalate_below: None,
         },
         out: None,
         listen: "127.0.0.1:0".into(),
@@ -257,6 +271,17 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             "--metrics" => {
                 args.common.metrics = Some(PathBuf::from(raw(argv, i, "--metrics", "FILE")?))
             }
+            "--clustered-probing" => {
+                args.common.clustered_probing = true;
+                consumed = 1;
+            }
+            "--cluster-epsilon" => {
+                args.common.cluster_epsilon = Some(val(argv, i, "--cluster-epsilon", "0.25")?)
+            }
+            "--cluster-escalate-below" => {
+                args.common.cluster_escalate_below =
+                    Some(val(argv, i, "--cluster-escalate-below", "0.5")?)
+            }
             "--listen" => args.listen = raw(argv, i, "--listen", "127.0.0.1:7801")?.to_string(),
             "--once" => {
                 args.once = true;
@@ -336,6 +361,9 @@ fn run_report_string(out: &PipelineOutput, warm: bool) -> String {
     writeln!(s, "{}", out.report().headlines()).expect("string write");
     if let Some(robustness) = out.report().robustness() {
         writeln!(s, "{robustness}").expect("string write");
+    }
+    if let Some(ablation) = out.report().cluster_ablation() {
+        writeln!(s, "{ablation}").expect("string write");
     }
     writeln!(
         s,
@@ -780,7 +808,8 @@ fn usage() -> ! {
          [--scale tiny|small|paper] [--seed N] \
          [--faults off|light|lossy|pop-churn] [--fault-seed N] [--out DIR] \
          [--snapshot-in FILE] [--snapshot-out FILE] [--expiry-budget F] \
-         [--duration-hours F] [--metrics FILE] [PREFIX]\n\
+         [--duration-hours F] [--metrics FILE] [--clustered-probing] \
+         [--cluster-epsilon F] [--cluster-escalate-below F] [PREFIX]\n\
          \x20      clientmap worker [--listen ADDR] [--once] [--fail-after N] [--io-timeout S]\n\
          \x20      clientmap driver --workers host:port[,host:port...] [--shards N] \
          [--connect-timeout S] [--io-timeout S] [run flags]\n\

@@ -6,8 +6,10 @@
 
 use std::process::Command;
 
+mod common;
+
 fn clientmap() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_clientmap"))
+    Command::new(common::BIN)
 }
 
 #[test]
@@ -79,7 +81,7 @@ fn query_rejects_garbage_prefix() {
 
 #[test]
 fn export_writes_shareable_csvs() {
-    let dir = std::env::temp_dir().join(format!("clientmap-cli-test-{}", std::process::id()));
+    let dir = common::scratch("cli-export");
     let _ = std::fs::remove_dir_all(&dir);
     let out = clientmap()
         .args([

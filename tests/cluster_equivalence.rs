@@ -1,0 +1,222 @@
+//! The cluster-equivalence differential suite: clustered predictive
+//! probing versus exhaustive probing, end to end.
+//!
+//! The clustered planner probes one representative per cluster and
+//! copies its verdict to the members, so a clustered sweep is allowed
+//! to be *wrong* — these tests pin how wrong. The scenario every test
+//! shares: a cold exhaustive sweep builds a prior, then a full-expiry
+//! warm re-sweep (every slot re-planned) runs twice from that same
+//! prior — once exhaustively, once clustered — and the two /24 verdict
+//! tables are compared as precision/recall on `Hit`. The floor is
+//! pinned at 0.97 across seeds (CI gates on the same floor via `repro
+//! bench`); the planner's live-probe ratio must stay under 1/3 of the
+//! exhaustive universe at the default epsilon.
+//!
+//! Determinism is pinned at the byte level: same snapshot at 1 and 4
+//! probing threads, epsilon 0 byte-identical to the exhaustive warm
+//! sweep, and the real driver/worker fleet at (1w×1t) and (2w×2t)
+//! byte-identical to the single-process clustered run — cold and warm.
+
+mod common;
+use common::{assert_fleet_matches, reference_run, scratch, Worker};
+
+use clientmap::analysis::verdict_precision_recall;
+use clientmap::core::{Pipeline, PipelineConfig, PipelineOutput};
+use clientmap::store::Verdict;
+
+/// The warm-differential floors: clustered `Hit` verdicts against the
+/// exhaustive reference, across seeds.
+const PRECISION_FLOOR: f64 = 0.97;
+const RECALL_FLOOR: f64 = 0.97;
+
+/// A full-expiry warm config: every slot re-planned, so the clustered
+/// planner sees the whole universe.
+fn warm_config(seed: u64, clustered: bool, epsilon: Option<f64>) -> PipelineConfig {
+    let mut config = PipelineConfig::tiny(seed);
+    config.probe.expiry_budget = 1.0;
+    config.probe.clustered_probing = clustered;
+    if let Some(eps) = epsilon {
+        config.probe.cluster_epsilon = eps;
+    }
+    config
+}
+
+fn cold_run(seed: u64) -> PipelineOutput {
+    Pipeline::run(PipelineConfig::tiny(seed)).expect("cold exhaustive run")
+}
+
+fn warm_run(seed: u64, prior: &PipelineOutput, clustered: bool, eps: Option<f64>) -> PipelineOutput {
+    Pipeline::run_warm(warm_config(seed, clustered, eps), Some(prior.sweep.clone()))
+        .expect("warm run")
+}
+
+fn cluster_counter(out: &PipelineOutput, name: &str) -> u64 {
+    out.metrics_snapshot()
+        .counter(&format!("cacheprobe.cluster.{name}"))
+}
+
+/// The headline differential: across seeds, a clustered full-expiry
+/// re-sweep reproduces the exhaustive re-sweep's `Hit` /24 table above
+/// the pinned precision/recall floor while probing at most a third of
+/// the universe live.
+#[test]
+fn clustered_resweep_beats_the_precision_recall_floor_across_seeds() {
+    for seed in [7u64, 2021, 99] {
+        let cold = cold_run(seed);
+        let exhaustive = warm_run(seed, &cold, false, None);
+        let clustered = warm_run(seed, &cold, true, None);
+
+        let pr = verdict_precision_recall(
+            &clustered.cache_probe.verdict_table(),
+            &exhaustive.cache_probe.verdict_table(),
+            Verdict::Hit,
+        );
+        assert!(
+            pr.precision() >= PRECISION_FLOOR,
+            "seed {seed}: Hit precision {:.4} under the {PRECISION_FLOOR} floor ({pr:?})",
+            pr.precision()
+        );
+        assert!(
+            pr.recall() >= RECALL_FLOOR,
+            "seed {seed}: Hit recall {:.4} under the {RECALL_FLOOR} floor ({pr:?})",
+            pr.recall()
+        );
+
+        let universe = cluster_counter(&clustered, "planned_universe");
+        let live =
+            cluster_counter(&clustered, "representatives") + cluster_counter(&clustered, "escalated");
+        assert!(universe > 0, "seed {seed}: empty clustered universe");
+        assert!(
+            (live as f64) <= universe as f64 / 3.0,
+            "seed {seed}: {live} live probes of {universe} planned exceeds the 1/3 budget"
+        );
+    }
+}
+
+/// The conservation law holds on the real pipeline at every epsilon,
+/// and a rebuilt sweep is byte-deterministic.
+#[test]
+fn epsilon_sweep_conserves_the_planned_universe() {
+    let seed = 2021;
+    let cold = cold_run(seed);
+    for eps in [0.1, 0.25, 0.6] {
+        let a = warm_run(seed, &cold, true, Some(eps));
+        let universe = cluster_counter(&a, "planned_universe");
+        let parts = cluster_counter(&a, "representatives")
+            + cluster_counter(&a, "extrapolated")
+            + cluster_counter(&a, "escalated");
+        assert_eq!(
+            parts, universe,
+            "epsilon {eps}: representatives + extrapolated + escalated != planned universe"
+        );
+        assert!(
+            cluster_counter(&a, "extrapolated") > 0,
+            "epsilon {eps}: nothing extrapolated at tiny scale"
+        );
+        let b = warm_run(seed, &cold, true, Some(eps));
+        assert_eq!(
+            a.sweep.encode(),
+            b.sweep.encode(),
+            "epsilon {eps}: rebuilt clustered sweep is not byte-identical"
+        );
+    }
+}
+
+/// Epsilon 0 degenerates to exhaustive probing *exactly*: the clustered
+/// sweep's snapshot is byte-identical to the exhaustive warm sweep's.
+#[test]
+fn epsilon_zero_is_byte_identical_to_the_exhaustive_resweep() {
+    let seed = 7;
+    let cold = cold_run(seed);
+    let exhaustive = warm_run(seed, &cold, false, None);
+    let degenerate = warm_run(seed, &cold, true, Some(0.0));
+    assert_eq!(cluster_counter(&degenerate, "extrapolated"), 0);
+    assert_eq!(cluster_counter(&degenerate, "escalated"), 0);
+    assert_eq!(
+        degenerate.sweep.encode(),
+        exhaustive.sweep.encode(),
+        "epsilon 0 sweep diverged from the exhaustive re-sweep"
+    );
+}
+
+/// Thread-count independence: the clustered warm sweep's snapshot and
+/// metrics dump are byte-identical at 1 and 4 probing threads.
+#[test]
+fn clustered_sweeps_are_byte_identical_across_thread_counts() {
+    let seed = 2021;
+    let cold = clientmap::par::with_threads(1, || cold_run(seed));
+    let one = clientmap::par::with_threads(1, || warm_run(seed, &cold, true, None));
+    let four = clientmap::par::with_threads(4, || warm_run(seed, &cold, true, None));
+    assert_eq!(
+        one.sweep.encode(),
+        four.sweep.encode(),
+        "clustered snapshot differs across thread counts"
+    );
+    assert_eq!(
+        one.metrics_snapshot().to_json(),
+        four.metrics_snapshot().to_json(),
+        "clustered metrics differ across thread counts"
+    );
+}
+
+/// The real fleet, clustered: driver/worker processes over loopback
+/// TCP at (1 worker × 1 thread) and (2 workers × 2 threads) must be
+/// byte-identical to the single-process clustered run — stdout
+/// (including the cluster-ablation section), metrics dump, and
+/// snapshot — both cold and on a full-expiry warm re-sweep from the
+/// cold snapshot (the driver-side extrapolation-merge path).
+#[test]
+fn clustered_fleet_shapes_match_the_single_process_run() {
+    let dir = scratch("cluster-fleet");
+    let cold_flags = ["--clustered-probing"];
+    let cold = reference_run(&dir, &cold_flags);
+    assert!(
+        cold.0.contains("Cluster ablation"),
+        "clustered reference run printed no ablation section:\n{}",
+        cold.0
+    );
+    let cold_snap = dir.join("cold.snap");
+    std::fs::write(&cold_snap, &cold.2).expect("stash cold snapshot");
+
+    let warm_flags = [
+        "--clustered-probing",
+        "--snapshot-in",
+        cold_snap.to_str().unwrap(),
+        "--expiry-budget",
+        "1.0",
+    ];
+    let warm = reference_run(&dir, &warm_flags);
+
+    for (num_workers, threads) in [(1usize, 1usize), (2, 2)] {
+        let workers: Vec<Worker> = (0..num_workers)
+            .map(|_| Worker::spawn(threads, &[]))
+            .collect();
+        let refs: Vec<&Worker> = workers.iter().collect();
+        assert_fleet_matches(
+            &dir,
+            &format!("cold-w{num_workers}t{threads}"),
+            &refs,
+            &cold_flags,
+            &cold,
+        );
+        for w in workers {
+            w.wait_success();
+        }
+
+        let workers: Vec<Worker> = (0..num_workers)
+            .map(|_| Worker::spawn(threads, &[]))
+            .collect();
+        let refs: Vec<&Worker> = workers.iter().collect();
+        assert_fleet_matches(
+            &dir,
+            &format!("warm-w{num_workers}t{threads}"),
+            &refs,
+            &warm_flags,
+            &warm,
+        );
+        for w in workers {
+            w.wait_success();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

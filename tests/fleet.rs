@@ -6,167 +6,14 @@
 //! worker crash mid-sweep. Failure paths (no workers reachable,
 //! SIGINT) must exit with their documented codes and leave no output.
 
-use std::io::BufRead as _;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::process::{Command, Stdio};
 use std::time::Duration;
 
-const BIN: &str = env!("CARGO_BIN_EXE_clientmap");
-
-/// A scratch directory unique to this test process.
-fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("clientmap-fleet-{tag}-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create scratch dir");
-    dir
-}
-
-struct Worker {
-    child: Child,
-    addr: String,
-}
-
-impl Worker {
-    /// Spawns `clientmap worker --once` pinned to `threads`, reading
-    /// the bound address off its announcement line.
-    fn spawn(threads: usize, extra: &[&str]) -> Worker {
-        let mut child = Command::new(BIN)
-            .args(["worker", "--listen", "127.0.0.1:0", "--once"])
-            .args(extra)
-            .env("CLIENTMAP_THREADS", threads.to_string())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn worker");
-        let stdout = child.stdout.take().expect("worker stdout");
-        let mut line = String::new();
-        std::io::BufReader::new(stdout)
-            .read_line(&mut line)
-            .expect("worker announcement");
-        let addr = line
-            .trim()
-            .rsplit(' ')
-            .next()
-            .expect("address on announcement line")
-            .to_string();
-        assert!(addr.contains(':'), "bad worker announcement: {line:?}");
-        Worker { child, addr }
-    }
-
-    fn wait_success(mut self) {
-        let status = self.child.wait().expect("wait worker");
-        assert!(status.success(), "worker exited with {status}");
-    }
-}
-
-struct RunOutput {
-    stdout: String,
-    stderr: String,
-    status: std::process::ExitStatus,
-}
-
-fn run_cli(args: &[&str], envs: &[(&str, &str)]) -> RunOutput {
-    let mut cmd = Command::new(BIN);
-    cmd.args(args);
-    for (k, v) in envs {
-        cmd.env(k, v);
-    }
-    let out = cmd.output().expect("run clientmap");
-    RunOutput {
-        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
-        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
-        status: out.status,
-    }
-}
-
-/// Drops the `wrote snapshot <path>` line (paths differ per run by
-/// design); everything else must match byte-for-byte.
-fn without_snapshot_line(stdout: &str) -> String {
-    stdout
-        .lines()
-        .filter(|l| !l.starts_with("wrote snapshot "))
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
-fn read_bytes(path: &Path) -> Vec<u8> {
-    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
-}
-
-/// Runs the single-process reference and returns its (stdout, metrics
-/// bytes, snapshot bytes).
-fn reference_run(dir: &Path, extra: &[&str]) -> (String, Vec<u8>, Vec<u8>) {
-    let snap = dir.join("ref.snap");
-    let metrics = dir.join("ref.metrics");
-    let mut args = vec![
-        "run",
-        "--scale",
-        "tiny",
-        "--seed",
-        "7",
-        "--snapshot-out",
-        snap.to_str().unwrap(),
-        "--metrics",
-        metrics.to_str().unwrap(),
-    ];
-    args.extend_from_slice(extra);
-    let out = run_cli(&args, &[("CLIENTMAP_THREADS", "4")]);
-    assert!(out.status.success(), "reference run failed: {}", out.stderr);
-    (out.stdout, read_bytes(&metrics), read_bytes(&snap))
-}
-
-/// Runs a driver over `workers` and asserts stdout/metrics/snapshot
-/// are byte-identical to the reference triple. Returns driver stderr.
-fn assert_fleet_matches(
-    dir: &Path,
-    tag: &str,
-    workers: &[&Worker],
-    extra: &[&str],
-    reference: &(String, Vec<u8>, Vec<u8>),
-) -> String {
-    let snap = dir.join(format!("{tag}.snap"));
-    let metrics = dir.join(format!("{tag}.metrics"));
-    let addrs = workers
-        .iter()
-        .map(|w| w.addr.as_str())
-        .collect::<Vec<_>>()
-        .join(",");
-    let mut args = vec![
-        "driver",
-        "--scale",
-        "tiny",
-        "--seed",
-        "7",
-        "--workers",
-        &addrs,
-        "--snapshot-out",
-        snap.to_str().unwrap(),
-        "--metrics",
-        metrics.to_str().unwrap(),
-    ];
-    args.extend_from_slice(extra);
-    let out = run_cli(&args, &[]);
-    assert!(
-        out.status.success(),
-        "driver ({tag}) failed: {}",
-        out.stderr
-    );
-    assert_eq!(
-        without_snapshot_line(&out.stdout),
-        without_snapshot_line(&reference.0),
-        "stdout diverged ({tag})"
-    );
-    assert_eq!(
-        read_bytes(&metrics),
-        reference.1,
-        "metrics snapshot diverged ({tag})"
-    );
-    assert_eq!(
-        read_bytes(&snap),
-        reference.2,
-        "sweep snapshot diverged ({tag})"
-    );
-    out.stderr
-}
+mod common;
+use common::{
+    assert_fleet_matches, read_bytes, reference_run, run_cli, scratch, without_snapshot_line, Worker,
+    BIN,
+};
 
 #[test]
 fn fleet_reports_are_byte_identical_across_worker_thread_combos() {

@@ -16,17 +16,11 @@ use std::time::Duration;
 
 use clientmap::serve::{Query, QueryClient, Reply};
 
-const BIN: &str = env!("CARGO_BIN_EXE_clientmap");
+mod common;
+use common::{announced_addr, read_bytes, scratch, BIN};
 
 /// Frame deadline generous enough for CI, far below a hung test.
 const IO: Duration = Duration::from_secs(60);
-
-/// A scratch directory unique to this test process.
-fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("clientmap-serve-{tag}-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("create scratch dir");
-    dir
-}
 
 struct Serve {
     child: Child,
@@ -61,13 +55,7 @@ impl Serve {
         let mut stdout = std::io::BufReader::new(child.stdout.take().expect("serve stdout"));
         let mut line = String::new();
         stdout.read_line(&mut line).expect("serve announcement");
-        let addr = line
-            .trim()
-            .rsplit(' ')
-            .next()
-            .expect("address on announcement line")
-            .to_string();
-        assert!(addr.contains(':'), "bad serve announcement: {line:?}");
+        let addr = announced_addr(&line);
         Serve {
             child,
             stdout,
@@ -85,10 +73,6 @@ impl Serve {
         assert!(status.success(), "serve exited with {status}");
         rest
     }
-}
-
-fn read_bytes(path: &Path) -> Vec<u8> {
-    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
 /// The query trace both determinism runs replay: waits for the final
